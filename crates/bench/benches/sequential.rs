@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the sequential solvers: the evaluation
+//! claims ChenEtAl ≫ Jones ≫ coreset-sized runs; this pins the per-call
+//! costs at several instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsw_bench::caps_for;
+use fairsw_datasets::covtype_like;
+use fairsw_metric::Euclidean;
+use fairsw_sequential::{ChenEtAl, FairCenterSolver, Instance, Jones, Kleindessner, RobustFair};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential");
+    group.sample_size(10);
+    for n in [100usize, 400, 1_000] {
+        let ds = covtype_like(n, 0xD0 + n as u64);
+        let caps = caps_for(&ds, 14);
+        let inst = Instance::new(&Euclidean, &ds.points, &caps);
+        group.bench_with_input(BenchmarkId::new("jones", n), &n, |b, _| {
+            b.iter(|| black_box(Jones.solve(&inst).expect("solves")))
+        });
+        group.bench_with_input(BenchmarkId::new("kleindessner", n), &n, |b, _| {
+            b.iter(|| black_box(Kleindessner.solve(&inst).expect("solves")))
+        });
+        if n <= 400 {
+            // ChenEtAl is quadratic in n: keep the bench tractable.
+            group.bench_with_input(BenchmarkId::new("chen", n), &n, |b, _| {
+                b.iter(|| black_box(ChenEtAl::new().solve(&inst).expect("solves")))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_robust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust_fair");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let ds = covtype_like(n, 0xE0 + n as u64);
+        let caps = caps_for(&ds, 14);
+        let inst = Instance::new(&Euclidean, &ds.points, &caps);
+        for z in [0usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("z{z}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| black_box(RobustFair::new(z).solve_robust(&inst).expect("solves")))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_robust);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the streaming operations: per-arrival
+//! `Update` and on-demand `Query`, across coreset precisions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsw_bench::caps_for;
+use fairsw_core::{FairSWConfig, FairSlidingWindow, ObliviousFairSlidingWindow};
+use fairsw_datasets::phones_like;
+use fairsw_metric::Euclidean;
+use fairsw_sequential::Jones;
+use std::hint::black_box;
+
+fn build(delta: f64, window: usize, warm: usize) -> FairSlidingWindow<Euclidean> {
+    let ds = phones_like(warm + window, 0xBE);
+    let caps = caps_for(&ds, 14);
+    let cfg = FairSWConfig::builder()
+        .window_size(window)
+        .capacities(caps)
+        .beta(2.0)
+        .delta(delta)
+        .build()
+        .expect("valid config");
+    let mut sw = FairSlidingWindow::new(cfg, Euclidean, 1e-4, 1e4).expect("valid");
+    for p in &ds.points[..warm] {
+        sw.insert(p.clone());
+    }
+    sw
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    for delta in [0.5f64, 2.0, 4.0] {
+        let window = 2_000;
+        let mut sw = build(delta, window, window);
+        let ds = phones_like(window, 0xBF);
+        let mut idx = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            b.iter(|| {
+                sw.insert(black_box(ds.points[idx % ds.points.len()].clone()));
+                idx += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    for delta in [0.5f64, 2.0, 4.0] {
+        let window = 2_000;
+        let sw = build(delta, window, 2 * window);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            b.iter(|| black_box(sw.query(&Jones).expect("query succeeds")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_oblivious_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oblivious_update");
+    let window = 2_000;
+    let ds = phones_like(3 * window, 0xC0);
+    let caps = caps_for(&ds, 14);
+    let cfg = FairSWConfig::builder()
+        .window_size(window)
+        .capacities(caps)
+        .beta(2.0)
+        .delta(1.0)
+        .build()
+        .expect("valid");
+    let mut sw = ObliviousFairSlidingWindow::new(cfg, Euclidean).expect("valid");
+    for p in &ds.points[..window] {
+        sw.insert(p.clone());
+    }
+    let mut idx = window;
+    group.bench_function("delta=1", |b| {
+        b.iter(|| {
+            sw.insert(black_box(ds.points[idx % ds.points.len()].clone()));
+            idx += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    let sw = build(1.0, 2_000, 4_000);
+    group.bench_function("encode", |b| b.iter(|| black_box(sw.snapshot())));
+    let bytes = sw.snapshot();
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            black_box(
+                FairSlidingWindow::<Euclidean>::restore(Euclidean, &bytes)
+                    .expect("valid snapshot"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_query, bench_oblivious_update, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation A — sensitivity to the guess parameter β.
+//!
+//! The paper fixes β = 2 and reports that "varying this parameter does
+//! not significantly influence the results". This ablation sweeps β and
+//! reports quality/memory/time so that claim can be checked: smaller β
+//! means more guesses (more memory, slower updates) and slightly finer
+//! radius guesses (marginally better quality).
+
+use fairsw_bench::{caps_for, env_usize, print_table, run_experiment, AlgoSpec, ExperimentParams};
+use fairsw_datasets::phones_like;
+
+fn main() {
+    let window = env_usize("FAIRSW_WINDOW", 2_000);
+    let stream = env_usize("FAIRSW_STREAM", window * 4);
+    let betas = [0.5f64, 1.0, 2.0, 4.0];
+
+    println!("Ablation A: guess parameter β sweep (phones stand-in, δ=1)");
+    println!("window={window} stream={stream}");
+
+    let ds = phones_like(stream, 0xAB);
+    let caps = caps_for(&ds, 14);
+    for &beta in &betas {
+        let params = ExperimentParams {
+            window,
+            beta,
+            ..ExperimentParams::default()
+        };
+        let res = run_experiment(
+            &ds,
+            &caps,
+            &params,
+            &[
+                AlgoSpec::Ours { delta: 1.0 },
+                AlgoSpec::OursOblivious { delta: 1.0 },
+                AlgoSpec::BaselineJones,
+            ],
+        );
+        print_table(&format!("β = {beta}"), &[], &res);
+    }
+}

@@ -1,0 +1,44 @@
+//! Ablation B — the Corollary 2 compact variant versus the main
+//! algorithm at the δ extremes.
+//!
+//! The paper states that δ = 4 makes the coreset "comparable in size to
+//! the validation set (i.e., the one yielding the result of
+//! Corollary 2)". This ablation puts the explicit compact implementation
+//! next to Ours(δ=4) and Ours(δ=0.5): memory of Compact ≈ Ours(δ=4) ≪
+//! Ours(δ=0.5), with quality degrading in the same order.
+
+use fairsw_bench::{caps_for, env_usize, print_table, run_experiment, AlgoSpec, ExperimentParams};
+use fairsw_datasets::{covtype_like, higgs_like, phones_like};
+
+fn main() {
+    let window = env_usize("FAIRSW_WINDOW", 2_000);
+    let stream = env_usize("FAIRSW_STREAM", window * 4);
+
+    println!("Ablation B: Compact (Corollary 2) vs coreset variants");
+    println!("window={window} stream={stream}");
+
+    let params = ExperimentParams {
+        window,
+        ..ExperimentParams::default()
+    };
+
+    for ds in [
+        phones_like(stream, 0xAC),
+        higgs_like(stream, 0xAD),
+        covtype_like(stream, 0xAE),
+    ] {
+        let caps = caps_for(&ds, params.total_k);
+        let res = run_experiment(
+            &ds,
+            &caps,
+            &params,
+            &[
+                AlgoSpec::Ours { delta: 0.5 },
+                AlgoSpec::Ours { delta: 4.0 },
+                AlgoSpec::Compact,
+                AlgoSpec::BaselineJones,
+            ],
+        );
+        print_table(&ds.name, &[], &res);
+    }
+}

@@ -1,0 +1,39 @@
+//! Ablation C — scaling in the total budget k.
+//!
+//! Theorem 2 bounds the stored points by `O(k² log Δ (c/ε)^D)`. This
+//! ablation doubles k (balanced budgets across 7 colors) and reports
+//! memory and times, making the quadratic-in-k trend observable.
+
+use fairsw_bench::{env_usize, print_table, run_experiment, AlgoSpec, ExperimentParams};
+use fairsw_datasets::{blobs, BlobsParams};
+
+fn main() {
+    let window = env_usize("FAIRSW_WINDOW", 2_000);
+    let stream = env_usize("FAIRSW_STREAM", window * 4);
+    // Balanced budgets over 7 colors: k = 7, 14, 28, 56.
+    let per_color = [1usize, 2, 4, 8];
+
+    println!("Ablation C: memory/time scaling in k (blobs d=3, δ=1)");
+    println!("window={window} stream={stream}");
+
+    let ds = blobs(stream, 3, BlobsParams::default(), 0xAF);
+    for &ki in &per_color {
+        let caps = vec![ki; 7];
+        let params = ExperimentParams {
+            window,
+            total_k: ki * 7,
+            ..ExperimentParams::default()
+        };
+        let res = run_experiment(
+            &ds,
+            &caps,
+            &params,
+            &[
+                AlgoSpec::Ours { delta: 1.0 },
+                AlgoSpec::OursOblivious { delta: 1.0 },
+                AlgoSpec::BaselineJones,
+            ],
+        );
+        print_table(&format!("k = {} (k_i = {ki})", ki * 7), &[], &res);
+    }
+}

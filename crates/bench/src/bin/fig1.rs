@@ -1,0 +1,58 @@
+//! Figure 1 — approximation ratio (top) and memory (bottom) versus the
+//! coreset precision δ, on the three dataset stand-ins with window
+//! 10 000 (scaled via `FAIRSW_WINDOW`, default 2 000).
+//!
+//! Paper shape to verify: at δ = 4 our algorithms stay within 2× of the
+//! baselines; at small δ they match them; memory is far below the window
+//! and shrinks as δ grows; OursOblivious uses slightly less memory than
+//! Ours.
+
+use fairsw_bench::{
+    caps_for, env_usize, print_table, run_experiment, standard_datasets, AlgoSpec,
+    ExperimentParams, DELTA_SWEEP,
+};
+
+fn main() {
+    let window = env_usize("FAIRSW_WINDOW", 2_000);
+    let stream = env_usize("FAIRSW_STREAM", window * 4);
+    let params = ExperimentParams {
+        window,
+        ..ExperimentParams::default()
+    };
+
+    println!("Figure 1: approximation ratio and memory vs delta");
+    println!("window={window} stream={stream} queries={}", params.queries);
+
+    for ds in standard_datasets(stream, 0xF1) {
+        let caps = caps_for(&ds, params.total_k);
+        // Baselines once per dataset (their metrics are δ-independent).
+        let base = run_experiment(
+            &ds,
+            &caps,
+            &params,
+            &[AlgoSpec::BaselineJones, AlgoSpec::BaselineChen],
+        );
+        print_table(
+            &format!("{} — baselines", ds.name),
+            &[("caps", &format!("{caps:?}"))],
+            &base,
+        );
+        for delta in DELTA_SWEEP {
+            let res = run_experiment(
+                &ds,
+                &caps,
+                &params,
+                &[
+                    AlgoSpec::Ours { delta },
+                    AlgoSpec::OursOblivious { delta },
+                    AlgoSpec::BaselineJones,
+                ],
+            );
+            print_table(
+                &format!("{} — δ={delta}", ds.name),
+                &[],
+                &res[..2], // baselines already reported above
+            );
+        }
+    }
+}

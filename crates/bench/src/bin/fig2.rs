@@ -1,0 +1,44 @@
+//! Figure 2 — update time (top) and query time (bottom, log scale)
+//! versus δ, same setup as Figure 1.
+//!
+//! Paper shape to verify: baselines have near-zero update time but query
+//! times orders of magnitude above ours (ChenEtAl ≫ Jones ≫ Ours);
+//! larger δ (smaller coresets) speeds up both update and query;
+//! OursOblivious is faster than Ours (fewer guesses).
+
+use fairsw_bench::{
+    caps_for, env_usize, print_table, run_experiment, standard_datasets, AlgoSpec,
+    ExperimentParams, DELTA_SWEEP,
+};
+
+fn main() {
+    let window = env_usize("FAIRSW_WINDOW", 2_000);
+    let stream = env_usize("FAIRSW_STREAM", window * 4);
+    let params = ExperimentParams {
+        window,
+        ..ExperimentParams::default()
+    };
+
+    println!("Figure 2: update and query time vs delta");
+    println!("window={window} stream={stream} queries={}", params.queries);
+
+    for ds in standard_datasets(stream, 0xF2) {
+        let caps = caps_for(&ds, params.total_k);
+        let base = run_experiment(
+            &ds,
+            &caps,
+            &params,
+            &[AlgoSpec::BaselineJones, AlgoSpec::BaselineChen],
+        );
+        print_table(&format!("{} — baselines", ds.name), &[], &base);
+        for delta in DELTA_SWEEP {
+            let res = run_experiment(
+                &ds,
+                &caps,
+                &params,
+                &[AlgoSpec::Ours { delta }, AlgoSpec::OursOblivious { delta }],
+            );
+            print_table(&format!("{} — δ={delta}", ds.name), &[], &res);
+        }
+    }
+}

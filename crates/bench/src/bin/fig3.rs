@@ -1,0 +1,52 @@
+//! Figure 3 — memory (top) and query time (bottom, log) versus the
+//! window size, δ = 0.5 (the paper's most accurate / most expensive
+//! setting).
+//!
+//! Paper shape to verify: baseline memory and query time grow linearly
+//! with the window (ChenEtAl times out first, then Jones), while both of
+//! ours flatten out to window-independent values.
+//!
+//! Window ladder defaults to 1k–16k; override the top with
+//! `FAIRSW_MAX_WINDOW` (the paper reaches 500k on a 32-core server).
+
+use fairsw_bench::{
+    caps_for, env_usize, print_table, run_experiment, standard_datasets, AlgoSpec,
+    ExperimentParams,
+};
+use std::time::Duration;
+
+fn main() {
+    let max_window = env_usize("FAIRSW_MAX_WINDOW", 16_000);
+    let budget = Duration::from_secs(env_usize("FAIRSW_BUDGET_SECS", 20) as u64);
+    let mut windows = vec![1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000];
+    windows.retain(|&w| w <= max_window);
+
+    println!("Figure 3: memory and query time vs window size (δ=0.5)");
+    println!("windows={windows:?} per-query budget={budget:?}");
+
+    let stream = windows.last().copied().unwrap_or(2_000) * 3;
+    for ds in standard_datasets(stream, 0xF3) {
+        let caps = caps_for(&ds, 14);
+        for &window in &windows {
+            let params = ExperimentParams {
+                window,
+                queries: 5,
+                query_budget: budget,
+                beta: 2.0,
+                total_k: 14,
+            };
+            let res = run_experiment(
+                &ds,
+                &caps,
+                &params,
+                &[
+                    AlgoSpec::Ours { delta: 0.5 },
+                    AlgoSpec::OursOblivious { delta: 0.5 },
+                    AlgoSpec::BaselineJones,
+                    AlgoSpec::BaselineChen,
+                ],
+            );
+            print_table(&format!("{} — window={window}", ds.name), &[], &res);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 4 — query time (left) and memory (right) versus the data
+//! dimensionality, on the `blobs` datasets (21 Gaussians, σ = 2, 7
+//! colors, k_i = 3, window 10 000 in the paper; scaled here).
+//!
+//! Paper shape to verify: the sequential baseline (Jones) is insensitive
+//! to dimension, while our query time and memory grow with `d`, much
+//! more steeply at δ = 0.5 than at δ = 2 — the `(c/ε)^D` coreset factor
+//! made visible.
+
+use fairsw_bench::{env_usize, print_table, run_experiment, AlgoSpec, ExperimentParams};
+use fairsw_datasets::{blobs, BlobsParams};
+
+fn main() {
+    let window = env_usize("FAIRSW_WINDOW", 2_000);
+    let stream = env_usize("FAIRSW_STREAM", window * 4);
+    let dims: Vec<usize> = (2..=env_usize("FAIRSW_MAX_DIM", 10)).collect();
+
+    println!("Figure 4: query time and memory vs dimensionality (blobs)");
+    println!("window={window} stream={stream} dims={dims:?} k_i=3 (7 colors)");
+
+    // The paper sets k_i = 3 for each of the 7 colors.
+    let caps = vec![3usize; 7];
+    let params = ExperimentParams {
+        window,
+        ..ExperimentParams::default()
+    };
+
+    for &d in &dims {
+        let ds = blobs(stream, d, BlobsParams::default(), 0xF4 + d as u64);
+        let res = run_experiment(
+            &ds,
+            &caps,
+            &params,
+            &[
+                AlgoSpec::Ours { delta: 0.5 },
+                AlgoSpec::Ours { delta: 2.0 },
+                AlgoSpec::BaselineJones,
+            ],
+        );
+        print_table(&format!("blobs d={d}"), &[], &res);
+    }
+}

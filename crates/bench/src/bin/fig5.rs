@@ -1,0 +1,42 @@
+//! Figure 5 — query time and memory versus the number of *coordinates*,
+//! on the `rotated` datasets: intrinsically 3-dimensional data padded to
+//! up to 15 coordinates and rigidly rotated.
+//!
+//! Paper shape to verify: unlike Figure 4, both query time and memory
+//! stay flat as coordinates are added — the algorithm's cost depends on
+//! the doubling dimension of the data, not the ambient dimension.
+
+use fairsw_bench::{caps_for, env_usize, print_table, run_experiment, AlgoSpec, ExperimentParams};
+use fairsw_datasets::rotated;
+
+fn main() {
+    let window = env_usize("FAIRSW_WINDOW", 2_000);
+    let stream = env_usize("FAIRSW_STREAM", window * 4);
+    let dims = [3usize, 6, 9, 12, 15];
+
+    println!("Figure 5: query time and memory vs #coordinates (rotated)");
+    println!("window={window} stream={stream} dims={dims:?}");
+
+    let params = ExperimentParams {
+        window,
+        ..ExperimentParams::default()
+    };
+
+    for &d in &dims {
+        // Same base stream (same seed) for every ambient dimension: all
+        // pairwise distances are identical across d by construction.
+        let ds = rotated(stream, d, 0xF5);
+        let caps = caps_for(&ds, params.total_k);
+        let res = run_experiment(
+            &ds,
+            &caps,
+            &params,
+            &[
+                AlgoSpec::Ours { delta: 0.5 },
+                AlgoSpec::Ours { delta: 2.0 },
+                AlgoSpec::BaselineJones,
+            ],
+        );
+        print_table(&format!("rotated d={d}"), &[], &res);
+    }
+}

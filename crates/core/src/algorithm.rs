@@ -1,0 +1,354 @@
+//! The main sliding-window algorithm ("Ours" in the paper's experiments):
+//! a fixed guess lattice spanning the stream's `[dmin, dmax]`, one
+//! [`GuessState`] per guess, `Update` on every arrival and `Query` on
+//! demand.
+
+use crate::config::{ConfigError, FairSWConfig};
+use crate::guess::{Budgets, GuessState};
+use fairsw_metric::{Colored, Metric};
+use fairsw_sequential::{FairCenterSolver, Instance, SolveError};
+use fairsw_stream::Lattice;
+use std::fmt;
+
+/// Errors a query can report.
+#[derive(Clone, Debug)]
+pub enum QueryError {
+    /// No point has been inserted yet.
+    EmptyWindow,
+    /// No guess passed the validation test — with a properly spanned
+    /// lattice this cannot happen; with an oblivious/truncated lattice it
+    /// signals the structures are still warming up.
+    NoValidGuess,
+    /// The sequential solver failed on the coreset.
+    Solver(SolveError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyWindow => write!(f, "no points inserted yet"),
+            QueryError::NoValidGuess => write!(f, "no guess passed validation"),
+            QueryError::Solver(e) => write!(f, "coreset solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<SolveError> for QueryError {
+    fn from(e: SolveError) -> Self {
+        QueryError::Solver(e)
+    }
+}
+
+/// A solution extracted from the sliding-window structures.
+#[derive(Clone, Debug)]
+pub struct WindowSolution<P> {
+    /// The fair centers (at most `k_i` of color `i`).
+    pub centers: Vec<Colored<P>>,
+    /// The guess `γ̂` whose coreset produced the solution.
+    pub guess: f64,
+    /// Size of the coreset handed to the sequential solver.
+    pub coreset_size: usize,
+    /// The solver-reported radius *over the coreset* (the radius over the
+    /// full window is at most `coreset radius + δγ̂` by Lemma 2 P2; the
+    /// harness measures the true window radius externally).
+    pub coreset_radius: f64,
+}
+
+/// The sliding-window fair-center algorithm with a fixed guess range
+/// (requires `dmin`/`dmax` of the stream up front; see
+/// [`ObliviousFairSlidingWindow`](crate::ObliviousFairSlidingWindow) for
+/// the estimate-as-you-go variant).
+#[derive(Clone, Debug)]
+pub struct FairSlidingWindow<M: Metric> {
+    pub(crate) metric: M,
+    pub(crate) cfg: FairSWConfig,
+    pub(crate) k: usize,
+    pub(crate) lattice: Lattice,
+    pub(crate) guesses: Vec<GuessState<M>>,
+    pub(crate) t: u64,
+}
+
+impl<M: Metric> FairSlidingWindow<M> {
+    /// Creates the algorithm for a stream whose pairwise distances fall in
+    /// `[dmin, dmax]`. The guess lattice is
+    /// `Γ = {(1+β)^i : ⌊log dmin⌋ ≤ i ≤ ⌈log dmax⌉}` exactly as in the
+    /// paper.
+    pub fn new(cfg: FairSWConfig, metric: M, dmin: f64, dmax: f64) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        assert!(
+            dmin.is_finite() && dmin > 0.0 && dmax >= dmin,
+            "need 0 < dmin <= dmax (got {dmin}, {dmax})"
+        );
+        let lattice = Lattice::new(cfg.beta);
+        let span = lattice.span(dmin, dmax);
+        let guesses = span
+            .clone()
+            .map(|lvl| GuessState::new(lattice.value(lvl)))
+            .collect();
+        let k = cfg.k();
+        Ok(FairSlidingWindow {
+            metric,
+            cfg,
+            k,
+            lattice,
+            guesses,
+            t: 0,
+        })
+    }
+
+    /// The arrival counter (number of points inserted so far).
+    pub fn time(&self) -> u64 {
+        self.t
+    }
+
+    /// The window length `n`.
+    pub fn window_size(&self) -> usize {
+        self.cfg.window_size
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FairSWConfig {
+        &self.cfg
+    }
+
+    /// Number of guesses `|Γ|`.
+    pub fn num_guesses(&self) -> usize {
+        self.guesses.len()
+    }
+
+    /// Handles one arrival: expiry of the outgoing point plus Update on
+    /// every guess (Algorithm 1).
+    pub fn insert(&mut self, p: Colored<M::Point>) {
+        self.t += 1;
+        let n = self.cfg.window_size as u64;
+        let te = self.t.checked_sub(n);
+        for g in &mut self.guesses {
+            if let Some(te) = te {
+                g.expire(te);
+            }
+            g.update(
+                &self.metric,
+                self.t,
+                &p.point,
+                p.color,
+                Budgets {
+                    caps: &self.cfg.capacities,
+                    k: self.k,
+                    delta: self.cfg.delta,
+                },
+            );
+        }
+    }
+
+    /// `Query` (Algorithm 3): find the smallest guess that (a) is valid
+    /// (`|AV| ≤ k`) and (b) admits a `≤ k`-point greedy `2γ`-packing of
+    /// `RV`, then run the sequential solver on its coreset `R`.
+    pub fn query<S: FairCenterSolver<M>>(
+        &self,
+        solver: &S,
+    ) -> Result<WindowSolution<M::Point>, QueryError> {
+        if self.t == 0 {
+            return Err(QueryError::EmptyWindow);
+        }
+        query_over_guesses(
+            &self.metric,
+            self.guesses.iter().map(|g| (g, ())),
+            self.k,
+            &self.cfg.capacities,
+            solver,
+        )
+        .map(|(sol, ())| sol)
+    }
+
+    /// Total stored points across every guess (the paper's memory metric).
+    pub fn stored_points(&self) -> usize {
+        self.guesses.iter().map(GuessState::stored_points).sum()
+    }
+
+    /// Iterates the guesses (used by tests and diagnostics).
+    pub fn guesses(&self) -> impl Iterator<Item = &GuessState<M>> {
+        self.guesses.iter()
+    }
+
+    /// The guess lattice.
+    pub fn lattice(&self) -> Lattice {
+        self.lattice
+    }
+
+    /// Verifies every guess's structural invariants (test helper).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for g in &self.guesses {
+            g.check_invariants(
+                &self.metric,
+                self.t,
+                self.cfg.window_size as u64,
+                Budgets {
+                    caps: &self.cfg.capacities,
+                    k: self.k,
+                    delta: self.cfg.delta,
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared Query logic: scans `(guess, tag)` pairs in ascending-γ order,
+/// applies the validation packing test, and solves on the first
+/// qualifying coreset. Returns the tag with the solution so callers can
+/// report which guess won. Used by the fixed, compact, and oblivious
+/// variants.
+pub(crate) fn query_over_guesses<'a, M, S, T, I>(
+    metric: &M,
+    guesses: I,
+    k: usize,
+    caps: &[usize],
+    solver: &S,
+) -> Result<(WindowSolution<M::Point>, T), QueryError>
+where
+    M: Metric + 'a,
+    S: FairCenterSolver<M>,
+    I: Iterator<Item = (&'a GuessState<M>, T)>,
+{
+    for (g, tag) in guesses {
+        if g.av_len() > k {
+            continue; // invalid guess: γ is a lower bound on OPT
+        }
+        // Greedy 2γ-packing over RV (Algorithm 3 inner loop).
+        let two_gamma = 2.0 * g.gamma();
+        let mut packing: Vec<&M::Point> = Vec::with_capacity(k + 1);
+        let mut overflow = false;
+        for q in g.rv_points() {
+            if metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
+                packing.push(q);
+                if packing.len() > k {
+                    overflow = true;
+                    break;
+                }
+            }
+        }
+        if overflow {
+            continue;
+        }
+        // Qualifying guess: solve on the coreset R.
+        let coreset = g.coreset();
+        let inst = Instance::new(metric, &coreset, caps);
+        let sol = solver.solve(&inst)?;
+        return Ok((
+            WindowSolution {
+                centers: sol.centers,
+                guess: g.gamma(),
+                coreset_size: coreset.len(),
+                coreset_radius: sol.radius,
+            },
+            tag,
+        ));
+    }
+    Err(QueryError::NoValidGuess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_sequential::Jones;
+
+    fn cfg(n: usize, caps: Vec<usize>, delta: f64) -> FairSWConfig {
+        FairSWConfig::builder()
+            .window_size(n)
+            .capacities(caps)
+            .beta(2.0)
+            .delta(delta)
+            .build()
+            .unwrap()
+    }
+
+    fn cp(x: f64, c: u32) -> Colored<EuclidPoint> {
+        Colored::new(EuclidPoint::new(vec![x]), c)
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let sw = FairSlidingWindow::new(cfg(10, vec![1], 1.0), Euclidean, 0.1, 100.0).unwrap();
+        assert!(matches!(sw.query(&Jones), Err(QueryError::EmptyWindow)));
+    }
+
+    #[test]
+    fn single_point_roundtrip() {
+        let mut sw = FairSlidingWindow::new(cfg(10, vec![1], 1.0), Euclidean, 0.1, 100.0).unwrap();
+        sw.insert(cp(5.0, 0));
+        let sol = sw.query(&Jones).unwrap();
+        assert_eq!(sol.centers.len(), 1);
+        assert_eq!(sol.centers[0].point.coords(), &[5.0]);
+        sw.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn two_clusters_two_centers() {
+        let mut sw =
+            FairSlidingWindow::new(cfg(100, vec![1, 1], 0.5), Euclidean, 0.5, 200.0).unwrap();
+        for i in 0..50 {
+            sw.insert(cp(i as f64 * 0.01, 0));
+            sw.insert(cp(100.0 + i as f64 * 0.01, 1));
+        }
+        sw.check_invariants().unwrap();
+        let sol = sw.query(&Jones).unwrap();
+        assert!(sol.centers.len() <= 2);
+        // Solution must have one center near each cluster: check the
+        // coreset radius is far below the cluster separation.
+        assert!(sol.coreset_radius < 50.0, "radius {}", sol.coreset_radius);
+    }
+
+    #[test]
+    fn memory_stays_bounded_as_window_slides() {
+        let mut sw =
+            FairSlidingWindow::new(cfg(50, vec![1, 1], 1.0), Euclidean, 0.01, 1000.0).unwrap();
+        let mut peak_during_fill = 0usize;
+        for i in 0..500u64 {
+            let x = (i as f64 * 0.618_033_988_7).fract() * 100.0;
+            sw.insert(cp(x, (i % 2) as u32));
+            if i < 50 {
+                peak_during_fill = peak_during_fill.max(sw.stored_points());
+            }
+        }
+        sw.check_invariants().unwrap();
+        // Memory after 500 arrivals must not exceed a small multiple of
+        // the peak reached while the first window filled — i.e. it is
+        // governed by the window content, not the stream length.
+        assert!(
+            sw.stored_points() <= 2 * peak_during_fill + 64,
+            "memory grew with stream length: {} vs fill-peak {}",
+            sw.stored_points(),
+            peak_during_fill
+        );
+    }
+
+    #[test]
+    fn fairness_constraint_respected() {
+        let mut sw =
+            FairSlidingWindow::new(cfg(60, vec![2, 1], 1.0), Euclidean, 0.05, 500.0).unwrap();
+        for i in 0..200u64 {
+            let x = (i as f64 * 0.324_717_957_2).fract() * 250.0;
+            sw.insert(cp(x, (i % 5 == 0) as u32));
+        }
+        let sol = sw.query(&Jones).unwrap();
+        let c0 = sol.centers.iter().filter(|c| c.color == 0).count();
+        let c1 = sol.centers.iter().filter(|c| c.color == 1).count();
+        assert!(c0 <= 2 && c1 <= 1, "budgets violated: {c0}, {c1}");
+    }
+
+    #[test]
+    fn query_uses_small_guess_for_tight_window() {
+        // All window points nearly coincide: the selected guess should be
+        // near the bottom of the lattice, and the coreset tiny.
+        let mut sw =
+            FairSlidingWindow::new(cfg(20, vec![2], 1.0), Euclidean, 0.1, 1000.0).unwrap();
+        for i in 0..40u64 {
+            sw.insert(cp(500.0 + (i % 3) as f64 * 0.05, 0));
+        }
+        let sol = sw.query(&Jones).unwrap();
+        assert!(sol.guess <= 1.0, "guess {} too large", sol.guess);
+    }
+}

@@ -1,0 +1,391 @@
+//! The Corollary 2 variant: dimension-independent space.
+//!
+//! The coreset families (`A`, `repsC`, `R`) are dropped entirely; instead
+//! each v-attractor's single representative is upgraded to a *maximal
+//! independent set* of the most recent points it attracted (at most `k_i`
+//! per color). `Query` selects the guess exactly as before and runs the
+//! sequential algorithm on `RV` itself. This costs a weaker — but still
+//! constant — approximation factor (`31 + O(ε)` with `β = ε`), in
+//! exchange for `O(k² log Δ / ε)` space with **no** `(c/ε)^D` term: the
+//! per-guess memory is at most a factor `k` larger than the plain
+//! validation structures, regardless of the data's doubling dimension.
+//!
+//! The paper notes that running the main algorithm with `δ = 4` produces
+//! a coreset "comparable in size to the validation set", i.e. this
+//! variant; we implement it explicitly so the ablation benchmark can
+//! compare the two (`ablation_compact`).
+
+use crate::algorithm::{QueryError, WindowSolution};
+use crate::config::{ConfigError, FairSWConfig};
+use fairsw_metric::{Colored, Metric};
+use fairsw_sequential::{FairCenterSolver, Instance};
+use fairsw_stream::Lattice;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// An `RV` entry of the compact variant: payload, color and the
+/// v-attractor that attracted it.
+#[derive(Clone, Debug)]
+struct RvEntry<P> {
+    point: P,
+    color: u32,
+    attractor: u64,
+}
+
+/// Per-guess state of the compact variant.
+#[derive(Clone, Debug)]
+struct CompactGuess<M: Metric> {
+    gamma: f64,
+    /// v-attractors, pairwise `> 2γ`, at most `k+1` after Update.
+    av: BTreeMap<u64, M::Point>,
+    /// Per-attractor, per-color representative times (sorted deques).
+    reps_v: HashMap<u64, Vec<VecDeque<u64>>>,
+    /// All representatives (current + orphans of dead attractors).
+    rv: BTreeMap<u64, RvEntry<M::Point>>,
+}
+
+impl<M: Metric> CompactGuess<M> {
+    fn new(gamma: f64) -> Self {
+        CompactGuess {
+            gamma,
+            av: BTreeMap::new(),
+            reps_v: HashMap::new(),
+            rv: BTreeMap::new(),
+        }
+    }
+
+    fn stored_points(&self) -> usize {
+        self.av.len() + self.rv.len()
+    }
+
+    fn expire(&mut self, te: u64) {
+        if self.av.remove(&te).is_some() {
+            // Representatives are orphaned, not removed (same timing
+            // invariant as the main algorithm: reps are never older than
+            // their attractor, so an expiring rep's attractor is gone).
+            self.reps_v.remove(&te);
+        }
+        self.rv.remove(&te);
+    }
+
+    fn update(&mut self, metric: &M, t: u64, p: &M::Point, color: u32, caps: &[usize], k: usize) {
+        let two_gamma = 2.0 * self.gamma;
+        let ci = color as usize;
+        // ψ = attractor within 2γ with the fewest same-color reps (the
+        // analog of the coreset side's balancing rule, which is what
+        // keeps each attractor's rep set maximal w.r.t. its cluster).
+        let psi = self
+            .av
+            .iter()
+            .filter(|(_, v)| metric.dist(p, v) <= two_gamma)
+            .min_by_key(|(&tv, _)| self.reps_v.get(&tv).map(|per| per[ci].len()).unwrap_or(0))
+            .map(|(&tv, _)| tv);
+        match psi {
+            None => {
+                self.av.insert(t, p.clone());
+                let mut per = vec![VecDeque::new(); caps.len()];
+                per[ci].push_back(t);
+                self.reps_v.insert(t, per);
+                self.rv.insert(
+                    t,
+                    RvEntry {
+                        point: p.clone(),
+                        color,
+                        attractor: t,
+                    },
+                );
+                self.cleanup(k);
+            }
+            Some(v) => {
+                let per = self.reps_v.get_mut(&v).expect("live attractor");
+                per[ci].push_back(t);
+                self.rv.insert(
+                    t,
+                    RvEntry {
+                        point: p.clone(),
+                        color,
+                        attractor: v,
+                    },
+                );
+                if per[ci].len() > caps[ci] {
+                    let orem = per[ci].pop_front().expect("over cap");
+                    self.rv.remove(&orem);
+                }
+            }
+        }
+    }
+
+    fn cleanup(&mut self, k: usize) {
+        if self.av.len() == k + 2 {
+            let oldest = *self.av.keys().next().expect("non-empty");
+            self.av.remove(&oldest);
+            self.reps_v.remove(&oldest);
+        }
+        if self.av.len() == k + 1 {
+            let tmin = *self.av.keys().next().expect("non-empty");
+            // Prefix prune: only orphans can be below tmin (reps of live
+            // attractors are younger than their attractor ≥ tmin).
+            let keep = self.rv.split_off(&tmin);
+            self.rv = keep;
+        }
+    }
+
+    /// Structural invariants (test helper).
+    fn check_invariants(
+        &self,
+        metric: &M,
+        t: u64,
+        n: u64,
+        caps: &[usize],
+        k: usize,
+    ) -> Result<(), String> {
+        let live = |time: u64| time + n > t;
+        if self.av.len() > k + 1 {
+            return Err(format!("|AV| = {} > k+1", self.av.len()));
+        }
+        let avs: Vec<_> = self.av.iter().collect();
+        for i in 0..avs.len() {
+            if !live(*avs[i].0) {
+                return Err(format!("expired attractor {}", avs[i].0));
+            }
+            for j in (i + 1)..avs.len() {
+                if metric.dist(avs[i].1, avs[j].1) <= 2.0 * self.gamma {
+                    return Err("attractors within 2γ".into());
+                }
+            }
+        }
+        for (&time, e) in &self.rv {
+            if !live(time) {
+                return Err(format!("expired rv {time}"));
+            }
+            if let Some(per) = self.reps_v.get(&e.attractor) {
+                if !per[e.color as usize].contains(&time) {
+                    return Err(format!("rv {time} untracked by live attractor"));
+                }
+                let d = metric.dist(&e.point, &self.av[&e.attractor]);
+                if d > 2.0 * self.gamma + 1e-9 {
+                    return Err(format!("rep {time} outside 2γ of attractor"));
+                }
+            }
+        }
+        for (&a, per) in &self.reps_v {
+            if !self.av.contains_key(&a) {
+                return Err(format!("reps_v for dead attractor {a}"));
+            }
+            for (ci, dq) in per.iter().enumerate() {
+                if dq.len() > caps[ci] {
+                    return Err(format!("reps_v^{ci}({a}) over capacity"));
+                }
+                for &time in dq {
+                    if !self.rv.contains_key(&time) {
+                        return Err(format!("tracked rep {time} missing from rv"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The Corollary 2 algorithm: validation-only structures, `O(1)`
+/// approximation, space free of the doubling dimension.
+#[derive(Clone, Debug)]
+pub struct CompactFairSlidingWindow<M: Metric> {
+    metric: M,
+    cfg: FairSWConfig,
+    k: usize,
+    guesses: Vec<CompactGuess<M>>,
+    t: u64,
+}
+
+impl<M: Metric> CompactFairSlidingWindow<M> {
+    /// Creates the compact algorithm for a stream with distances in
+    /// `[dmin, dmax]`. Corollary 2 suggests `β = ε`; any positive `β`
+    /// works, trading guesses for accuracy. The config's `delta` is
+    /// ignored (there is no coreset side).
+    pub fn new(cfg: FairSWConfig, metric: M, dmin: f64, dmax: f64) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        assert!(
+            dmin.is_finite() && dmin > 0.0 && dmax >= dmin,
+            "need 0 < dmin <= dmax (got {dmin}, {dmax})"
+        );
+        let lattice = Lattice::new(cfg.beta);
+        let guesses = lattice
+            .span(dmin, dmax)
+            .map(|lvl| CompactGuess::new(lattice.value(lvl)))
+            .collect();
+        let k = cfg.k();
+        Ok(CompactFairSlidingWindow {
+            metric,
+            cfg,
+            k,
+            guesses,
+            t: 0,
+        })
+    }
+
+    /// Handles one arrival.
+    pub fn insert(&mut self, p: Colored<M::Point>) {
+        self.t += 1;
+        let n = self.cfg.window_size as u64;
+        let te = self.t.checked_sub(n);
+        for g in &mut self.guesses {
+            if let Some(te) = te {
+                g.expire(te);
+            }
+            g.update(&self.metric, self.t, &p.point, p.color, &self.cfg.capacities, self.k);
+        }
+    }
+
+    /// Queries: guess selection identical to the main algorithm (the
+    /// packing runs over all of `RV`), then the sequential solver runs on
+    /// `RV` directly.
+    pub fn query<S: FairCenterSolver<M>>(
+        &self,
+        solver: &S,
+    ) -> Result<WindowSolution<M::Point>, QueryError> {
+        if self.t == 0 {
+            return Err(QueryError::EmptyWindow);
+        }
+        for g in &self.guesses {
+            if g.av.len() > self.k {
+                continue;
+            }
+            let two_gamma = 2.0 * g.gamma;
+            let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
+            let mut overflow = false;
+            for e in g.rv.values() {
+                if self
+                    .metric
+                    .dist_to_set(&e.point, packing.iter().copied())
+                    > two_gamma
+                {
+                    packing.push(&e.point);
+                    if packing.len() > self.k {
+                        overflow = true;
+                        break;
+                    }
+                }
+            }
+            if overflow {
+                continue;
+            }
+            let coreset: Vec<Colored<M::Point>> = g
+                .rv
+                .values()
+                .map(|e| Colored::new(e.point.clone(), e.color))
+                .collect();
+            let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
+            let sol = solver.solve(&inst)?;
+            return Ok(WindowSolution {
+                centers: sol.centers,
+                guess: g.gamma,
+                coreset_size: coreset.len(),
+                coreset_radius: sol.radius,
+            });
+        }
+        Err(QueryError::NoValidGuess)
+    }
+
+    /// Total stored points across guesses.
+    pub fn stored_points(&self) -> usize {
+        self.guesses.iter().map(CompactGuess::stored_points).sum()
+    }
+
+    /// Number of guesses.
+    pub fn num_guesses(&self) -> usize {
+        self.guesses.len()
+    }
+
+    /// The arrival counter.
+    pub fn time(&self) -> u64 {
+        self.t
+    }
+
+    /// Verifies per-guess invariants (test helper).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for g in &self.guesses {
+            g.check_invariants(
+                &self.metric,
+                self.t,
+                self.cfg.window_size as u64,
+                &self.cfg.capacities,
+                self.k,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_sequential::Jones;
+
+    fn cfg(n: usize, caps: Vec<usize>) -> FairSWConfig {
+        FairSWConfig::builder()
+            .window_size(n)
+            .capacities(caps)
+            .beta(2.0)
+            .build()
+            .unwrap()
+    }
+
+    fn cp(x: f64, c: u32) -> Colored<EuclidPoint> {
+        Colored::new(EuclidPoint::new(vec![x]), c)
+    }
+
+    #[test]
+    fn roundtrip_and_invariants() {
+        let mut sw =
+            CompactFairSlidingWindow::new(cfg(40, vec![1, 1]), Euclidean, 0.05, 500.0).unwrap();
+        for i in 0..150u64 {
+            let x = (i as f64 * 0.618_033_988_7).fract() * 200.0;
+            sw.insert(cp(x, (i % 2) as u32));
+            if i % 10 == 0 {
+                sw.check_invariants().unwrap();
+            }
+        }
+        let sol = sw.query(&Jones).unwrap();
+        assert!(!sol.centers.is_empty());
+        assert!(sol.centers.len() <= 2);
+    }
+
+    #[test]
+    fn memory_at_most_k_times_validation() {
+        // Per guess: |AV| ≤ k+1 and |RV| ≤ (k+1)·k + orphan slack; the
+        // whole structure stays small even with a large window.
+        let mut sw =
+            CompactFairSlidingWindow::new(cfg(1000, vec![2, 2]), Euclidean, 0.05, 500.0).unwrap();
+        for i in 0..3000u64 {
+            let x = (i as f64 * 0.324_717_957_2).fract() * 300.0;
+            sw.insert(cp(x, (i % 2) as u32));
+        }
+        let per_guess = sw.stored_points() / sw.num_guesses().max(1);
+        assert!(
+            per_guess <= 4 * (sw.k + 1) * (sw.k + 1),
+            "per-guess memory {per_guess} too large"
+        );
+        assert!(sw.stored_points() < 1000, "compact variant beats the window");
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let sw = CompactFairSlidingWindow::new(cfg(10, vec![1]), Euclidean, 0.1, 10.0).unwrap();
+        assert!(matches!(sw.query(&Jones), Err(QueryError::EmptyWindow)));
+    }
+
+    #[test]
+    fn fairness_respected() {
+        let mut sw =
+            CompactFairSlidingWindow::new(cfg(50, vec![1, 2]), Euclidean, 0.05, 500.0).unwrap();
+        for i in 0..200u64 {
+            let x = (i as f64 * 0.445_041_867_9).fract() * 400.0;
+            sw.insert(cp(x, (i % 3 == 0) as u32));
+        }
+        let sol = sw.query(&Jones).unwrap();
+        let c0 = sol.centers.iter().filter(|c| c.color == 0).count();
+        let c1 = sol.centers.iter().filter(|c| c.color == 1).count();
+        assert!(c0 <= 1 && c1 <= 2);
+    }
+}

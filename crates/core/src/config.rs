@@ -1,0 +1,242 @@
+//! Configuration of the sliding-window algorithms.
+
+use std::fmt;
+
+/// Errors raised when validating a [`FairSWConfig`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `window_size` must be positive.
+    ZeroWindow,
+    /// The per-color budgets are empty.
+    NoCapacities,
+    /// Some `k_i` is zero (color index attached).
+    ZeroCapacity(usize),
+    /// `beta` must be positive and finite.
+    BadBeta(f64),
+    /// `delta` must be in `(0, 4]` (the paper evaluates `δ ∈ [0.5, 4]`;
+    /// `δ = 4` degenerates to the Corollary 2 regime).
+    BadDelta(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWindow => write!(f, "window_size must be positive"),
+            ConfigError::NoCapacities => write!(f, "at least one color capacity is required"),
+            ConfigError::ZeroCapacity(i) => write!(f, "capacity k_{i} must be positive"),
+            ConfigError::BadBeta(b) => write!(f, "beta must be positive and finite, got {b}"),
+            ConfigError::BadDelta(d) => write!(f, "delta must be in (0, 4], got {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parameters of the sliding-window fair-center algorithm.
+///
+/// * `window_size` — the window length `n`;
+/// * `capacities` — the per-color budgets `k_1..k_ℓ` (`k = Σ k_i`);
+/// * `beta` — guess progression: guesses are `(1+β)^i` (the paper's
+///   experiments fix `β = 2` and observe little sensitivity);
+/// * `delta` — coreset precision: c-attractors are kept pairwise
+///   `> δγ/2`; smaller `δ` → larger coreset → better approximation.
+///   Theorem 1: choosing `δ = ε / ((1+β)(1+2α))` yields an `(α+ε)`-
+///   approximation, see [`FairSWConfig::delta_for_epsilon`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FairSWConfig {
+    /// Window length `n`.
+    pub window_size: usize,
+    /// Per-color budgets `k_i`.
+    pub capacities: Vec<usize>,
+    /// Guess lattice parameter `β`.
+    pub beta: f64,
+    /// Coreset precision `δ`.
+    pub delta: f64,
+}
+
+impl FairSWConfig {
+    /// Starts a builder with the paper's default `β = 2`, `δ = 1`.
+    pub fn builder() -> FairSWConfigBuilder {
+        FairSWConfigBuilder::default()
+    }
+
+    /// Total budget `k = Σ k_i`.
+    pub fn k(&self) -> usize {
+        self.capacities.iter().sum()
+    }
+
+    /// Number of colors `ℓ`.
+    pub fn num_colors(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// The `δ` that Theorem 1 prescribes for a target accuracy `ε`,
+    /// given the guess parameter `β` and the approximation factor `α`
+    /// of the sequential solver used in `Query` (3 for Jones):
+    /// `δ = ε / ((1+β)(1+2α))`.
+    pub fn delta_for_epsilon(epsilon: f64, beta: f64, alpha: f64) -> f64 {
+        epsilon / ((1.0 + beta) * (1.0 + 2.0 * alpha))
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window_size == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        if self.capacities.is_empty() {
+            return Err(ConfigError::NoCapacities);
+        }
+        if let Some(i) = self.capacities.iter().position(|&c| c == 0) {
+            return Err(ConfigError::ZeroCapacity(i));
+        }
+        if !(self.beta.is_finite() && self.beta > 0.0) {
+            return Err(ConfigError::BadBeta(self.beta));
+        }
+        if !(self.delta.is_finite() && self.delta > 0.0 && self.delta <= 4.0) {
+            return Err(ConfigError::BadDelta(self.delta));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FairSWConfig`].
+#[derive(Clone, Debug)]
+pub struct FairSWConfigBuilder {
+    window_size: usize,
+    capacities: Vec<usize>,
+    beta: f64,
+    delta: f64,
+}
+
+impl Default for FairSWConfigBuilder {
+    fn default() -> Self {
+        FairSWConfigBuilder {
+            window_size: 0,
+            capacities: Vec::new(),
+            beta: 2.0,
+            delta: 1.0,
+        }
+    }
+}
+
+impl FairSWConfigBuilder {
+    /// Sets the window length `n`.
+    pub fn window_size(mut self, n: usize) -> Self {
+        self.window_size = n;
+        self
+    }
+
+    /// Sets the per-color budgets `k_i`.
+    pub fn capacities(mut self, caps: Vec<usize>) -> Self {
+        self.capacities = caps;
+        self
+    }
+
+    /// Sets the guess parameter `β` (default 2, as in the paper).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the coreset precision `δ` (default 1).
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets `δ` from a target `ε` per Theorem 1 (`α = 3`, Jones).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.delta = FairSWConfig::delta_for_epsilon(epsilon, self.beta, 3.0);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<FairSWConfig, ConfigError> {
+        let cfg = FairSWConfig {
+            window_size: self.window_size,
+            capacities: self.capacities,
+            beta: self.beta,
+            delta: self.delta,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_happy_path() {
+        let cfg = FairSWConfig::builder()
+            .window_size(100)
+            .capacities(vec![1, 2])
+            .beta(2.0)
+            .delta(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.k(), 3);
+        assert_eq!(cfg.num_colors(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert_eq!(
+            FairSWConfig::builder().capacities(vec![1]).build(),
+            Err(ConfigError::ZeroWindow)
+        );
+        assert_eq!(
+            FairSWConfig::builder().window_size(5).build(),
+            Err(ConfigError::NoCapacities)
+        );
+        assert_eq!(
+            FairSWConfig::builder()
+                .window_size(5)
+                .capacities(vec![1, 0])
+                .build(),
+            Err(ConfigError::ZeroCapacity(1))
+        );
+        assert_eq!(
+            FairSWConfig::builder()
+                .window_size(5)
+                .capacities(vec![1])
+                .beta(-1.0)
+                .build(),
+            Err(ConfigError::BadBeta(-1.0))
+        );
+        assert_eq!(
+            FairSWConfig::builder()
+                .window_size(5)
+                .capacities(vec![1])
+                .delta(5.0)
+                .build(),
+            Err(ConfigError::BadDelta(5.0))
+        );
+    }
+
+    #[test]
+    fn theorem1_delta() {
+        // ε = 1, β = 2, α = 3: δ = 1 / (3·7) = 1/21.
+        let d = FairSWConfig::delta_for_epsilon(1.0, 2.0, 3.0);
+        assert!((d - 1.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_builder_sets_delta() {
+        let cfg = FairSWConfig::builder()
+            .window_size(10)
+            .capacities(vec![1])
+            .beta(2.0)
+            .epsilon(2.1)
+            .build()
+            .unwrap();
+        assert!((cfg.delta - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", ConfigError::ZeroWindow).contains("window"));
+        assert!(format!("{}", ConfigError::BadDelta(9.0)).contains("9"));
+    }
+}

@@ -1,0 +1,523 @@
+//! Per-guess state: validation points (`AV`, `RV`) and coreset points
+//! (`A`, `repsC`, `R`) with the `Update` / `Cleanup` logic of
+//! Algorithms 1–2 of the paper.
+//!
+//! Every family is keyed by arrival time in a `BTreeMap`, which makes the
+//! three removal patterns of the algorithm cheap and obviously correct:
+//!
+//! * **natural expiry** removes the single key `t - n`;
+//! * **Cleanup's age filter** ("remove everything with TTL below the
+//!   oldest v-attractor's") removes a *prefix* of keys;
+//! * **min-TTL evictions** (oldest v-attractor, oldest same-color
+//!   c-representative) pop the smallest key / the deque front.
+//!
+//! Two timing invariants keep the bookkeeping free of back-references
+//! (proved in the comments where they are used):
+//!
+//! 1. a representative never *precedes* its attractor (`t(rep) ≥
+//!    t(attractor)`), so when a representative expires its attractor is
+//!    already gone — natural expiry never has to fix a live attractor's
+//!    representative list;
+//! 2. Cleanup's age filter only ever removes *orphaned* representatives
+//!    (reps of already-removed attractors), because live attractors are
+//!    at least as old as the filter threshold and their reps are younger
+//!    still.
+
+use fairsw_metric::{Colored, Metric};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// The per-algorithm parameters threaded into every `Update`: the color
+/// budgets `k_i`, their sum `k`, and the coreset precision `δ`.
+#[derive(Clone, Copy, Debug)]
+pub struct Budgets<'a> {
+    /// Per-color budgets `k_1..k_ℓ`.
+    pub caps: &'a [usize],
+    /// Total budget `k = Σ k_i`.
+    pub k: usize,
+    /// Coreset precision `δ` (c-attractors are pairwise `> δγ/2`).
+    pub delta: f64,
+}
+
+/// A coreset point stored in `R`: payload, color, and the c-attractor it
+/// was attracted by (used only for diagnostics/invariant checking — the
+/// algorithm itself never follows the back-pointer, per invariant 1).
+#[derive(Clone, Debug)]
+pub(crate) struct CoresetEntry<P> {
+    pub point: P,
+    pub color: u32,
+    pub attractor: u64,
+}
+
+/// The state maintained for a single radius guess `γ`.
+#[derive(Clone, Debug)]
+pub struct GuessState<M: Metric> {
+    /// The guess value `γ`. (Fields are `pub(crate)` so the snapshot
+    /// codec in [`crate::snapshot`] can serialize them directly.)
+    pub(crate) gamma: f64,
+    /// v-attractors `AV`: pairwise `> 2γ`, at most `k+1` after Update.
+    pub(crate) av: BTreeMap<u64, M::Point>,
+    /// Current representative time of each live v-attractor.
+    pub(crate) rep_of: HashMap<u64, u64>,
+    /// v-representatives `RV` (current reps + orphans of dead attractors).
+    pub(crate) rv: BTreeMap<u64, M::Point>,
+    /// c-attractors `A`: pairwise `> δγ/2`; size bounded by the doubling
+    /// dimension (Theorem 2, Fact 2), not by an explicit cap.
+    pub(crate) a: BTreeMap<u64, M::Point>,
+    /// Per-attractor, per-color representative times (`repsC`). Each
+    /// deque is sorted by arrival (we always push the newest), so the
+    /// min-TTL eviction of Algorithm 1 line 19 is `pop_front`.
+    pub(crate) reps_c: HashMap<u64, Vec<VecDeque<u64>>>,
+    /// Coreset `R`: union of the `repsC` sets plus orphans.
+    pub(crate) r: BTreeMap<u64, CoresetEntry<M::Point>>,
+}
+
+impl<M: Metric> GuessState<M> {
+    /// Creates empty state for guess `gamma`.
+    pub fn new(gamma: f64) -> Self {
+        GuessState {
+            gamma,
+            av: BTreeMap::new(),
+            rep_of: HashMap::new(),
+            rv: BTreeMap::new(),
+            a: BTreeMap::new(),
+            reps_c: HashMap::new(),
+            r: BTreeMap::new(),
+        }
+    }
+
+    /// The guess value `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// `|AV|` — the validity test: the guess is *valid* iff `|AV| ≤ k`.
+    pub fn av_len(&self) -> usize {
+        self.av.len()
+    }
+
+    /// Iterates the v-representatives `RV` in arrival order (the set the
+    /// Query validation packing runs on).
+    pub fn rv_points(&self) -> impl Iterator<Item = &M::Point> {
+        self.rv.values()
+    }
+
+    /// Materializes the coreset `R` as colored points for the sequential
+    /// solver.
+    pub fn coreset(&self) -> Vec<Colored<M::Point>> {
+        self.r
+            .values()
+            .map(|e| Colored::new(e.point.clone(), e.color))
+            .collect()
+    }
+
+    /// `|R|` without materializing.
+    pub fn coreset_len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Total points stored by this guess (`|AV| + |RV| + |A| + |R|`) —
+    /// the paper's memory metric counts stored points across all sets.
+    pub fn stored_points(&self) -> usize {
+        self.av.len() + self.rv.len() + self.a.len() + self.r.len()
+    }
+
+    /// Removes the point that expires at time `te` from every family
+    /// (Algorithm 1, first step). Call once per arrival with
+    /// `te = t - n` before inserting the new point.
+    pub fn expire(&mut self, te: u64) {
+        if self.av.remove(&te).is_some() {
+            // The attractor dies; its current representative becomes an
+            // orphan and stays in RV until it expires or Cleanup drops it.
+            self.rep_of.remove(&te);
+        }
+        // Invariant 1: if rv contains te as the *current* rep of a live
+        // attractor v, then t(v) ≤ te, so v expired at te or earlier —
+        // i.e. this entry is an orphan (or v == te, handled above).
+        self.rv.remove(&te);
+        if self.a.remove(&te).is_some() {
+            // Its representatives become orphans in R.
+            self.reps_c.remove(&te);
+        }
+        // Same invariant on the coreset side: an expiring representative
+        // cannot belong to a live c-attractor, so no deque fix-up needed.
+        self.r.remove(&te);
+    }
+
+    /// Handles the arrival of `p` (color `color`) at time `t` —
+    /// Algorithm 1's per-guess body (validation + coreset sides).
+    pub fn update(&mut self, metric: &M, t: u64, p: &M::Point, color: u32, b: Budgets<'_>) {
+        let Budgets { caps, k, delta } = b;
+        let two_gamma = 2.0 * self.gamma;
+
+        // ---- validation side (Algorithm 1, lines 1, 3–10) -------------------
+        let psi = self
+            .av
+            .iter()
+            .find(|(_, v)| metric.dist(p, v) <= two_gamma)
+            .map(|(&tv, _)| tv);
+        match psi {
+            None => {
+                self.av.insert(t, p.clone());
+                self.rep_of.insert(t, t);
+                self.rv.insert(t, p.clone());
+                self.cleanup(k);
+            }
+            Some(v) => {
+                let old = self
+                    .rep_of
+                    .insert(v, t)
+                    .expect("live v-attractor has a representative");
+                self.rv.remove(&old);
+                self.rv.insert(t, p.clone());
+            }
+        }
+
+        // ---- coreset side (Algorithm 1, lines 2, 11–20) ----------------------
+        let attach = delta * self.gamma / 2.0;
+        let ci = color as usize;
+        // φ = c-attractor within δγ/2 of p minimising |repsC^i| (line 16).
+        let phi = self
+            .a
+            .iter()
+            .filter(|(_, q)| metric.dist(p, q) <= attach)
+            .min_by_key(|(&ta, _)| {
+                self.reps_c
+                    .get(&ta)
+                    .map(|per| per[ci].len())
+                    .unwrap_or(0)
+            })
+            .map(|(&ta, _)| ta);
+        match phi {
+            None => {
+                // p becomes a new c-attractor with itself as its only rep.
+                self.a.insert(t, p.clone());
+                let mut per = vec![VecDeque::new(); caps.len()];
+                per[ci].push_back(t);
+                self.reps_c.insert(t, per);
+                self.r.insert(
+                    t,
+                    CoresetEntry {
+                        point: p.clone(),
+                        color,
+                        attractor: t,
+                    },
+                );
+            }
+            Some(a) => {
+                let per = self
+                    .reps_c
+                    .get_mut(&a)
+                    .expect("live c-attractor has a repsC table");
+                per[ci].push_back(t);
+                self.r.insert(
+                    t,
+                    CoresetEntry {
+                        point: p.clone(),
+                        color,
+                        attractor: a,
+                    },
+                );
+                if per[ci].len() > caps[ci] {
+                    // Evict the same-color representative with minimum
+                    // TTL = earliest arrival = deque front.
+                    let orem = per[ci].pop_front().expect("len > cap ≥ 1");
+                    self.r.remove(&orem);
+                }
+            }
+        }
+    }
+
+    /// `Cleanup` (Algorithm 2), invoked after a new v-attractor arrival.
+    fn cleanup(&mut self, k: usize) {
+        if self.av.len() == k + 2 {
+            // Remove the v-attractor with minimum TTL (oldest arrival);
+            // its representative is orphaned but stays in RV.
+            let oldest = *self.av.keys().next().expect("non-empty");
+            self.av.remove(&oldest);
+            self.rep_of.remove(&oldest);
+        }
+        if self.av.len() == k + 1 {
+            // AV certifies the guess invalid until its oldest attractor
+            // expires; anything older than that attractor is dead weight.
+            let tmin = *self.av.keys().next().expect("non-empty");
+            // Prefix removals (strictly below tmin). Invariant 2: every
+            // removed rv/r entry is an orphan — live attractors have
+            // arrival ≥ tmin and reps are younger than their attractor.
+            let keep_a = self.a.split_off(&tmin);
+            for (dead, _) in std::mem::replace(&mut self.a, keep_a) {
+                self.reps_c.remove(&dead);
+            }
+            let keep_rv = self.rv.split_off(&tmin);
+            self.rv = keep_rv;
+            let keep_r = self.r.split_off(&tmin);
+            self.r = keep_r;
+        }
+    }
+
+    /// Verifies the structural invariants of this guess at time `t` for
+    /// window length `n`. Used by tests and debug assertions; returns a
+    /// description of the first violation found.
+    pub fn check_invariants(
+        &self,
+        metric: &M,
+        t: u64,
+        n: u64,
+        b: Budgets<'_>,
+    ) -> Result<(), String> {
+        let Budgets { caps, k, delta } = b;
+        let live = |time: u64| time + n > t;
+        // All stored times are active.
+        for (&time, _) in self.av.iter().chain(self.a.iter()) {
+            if !live(time) {
+                return Err(format!("expired attractor {time} at t={t}"));
+            }
+        }
+        for &time in self.rv.keys() {
+            if !live(time) {
+                return Err(format!("expired rv entry {time} at t={t}"));
+            }
+        }
+        for &time in self.r.keys() {
+            if !live(time) {
+                return Err(format!("expired r entry {time} at t={t}"));
+            }
+        }
+        // AV bounded and pairwise > 2γ.
+        if self.av.len() > k + 1 {
+            return Err(format!("|AV| = {} > k+1", self.av.len()));
+        }
+        let avs: Vec<_> = self.av.iter().collect();
+        for i in 0..avs.len() {
+            for j in (i + 1)..avs.len() {
+                if metric.dist(avs[i].1, avs[j].1) <= 2.0 * self.gamma {
+                    return Err(format!(
+                        "v-attractors {} and {} within 2γ",
+                        avs[i].0, avs[j].0
+                    ));
+                }
+            }
+        }
+        // A pairwise > δγ/2.
+        let cas: Vec<_> = self.a.iter().collect();
+        for i in 0..cas.len() {
+            for j in (i + 1)..cas.len() {
+                if metric.dist(cas[i].1, cas[j].1) <= delta * self.gamma / 2.0 {
+                    return Err(format!(
+                        "c-attractors {} and {} within δγ/2",
+                        cas[i].0, cas[j].0
+                    ));
+                }
+            }
+        }
+        // rep_of maps live attractors to live rv entries.
+        for (&v, &rep) in &self.rep_of {
+            if !self.av.contains_key(&v) {
+                return Err(format!("rep_of references dead attractor {v}"));
+            }
+            if !self.rv.contains_key(&rep) {
+                return Err(format!("rep_of[{v}] = {rep} missing from RV"));
+            }
+            if rep < v {
+                return Err(format!("rep {rep} older than attractor {v}"));
+            }
+        }
+        for &v in self.av.keys() {
+            if !self.rep_of.contains_key(&v) {
+                return Err(format!("live attractor {v} lacks a representative"));
+            }
+        }
+        // reps_c: per-color caps, sorted deques, entries present in R with
+        // the right attractor, within δγ of the attractor (2·(δγ/2)).
+        for (&a, per) in &self.reps_c {
+            if !self.a.contains_key(&a) {
+                return Err(format!("repsC table for dead attractor {a}"));
+            }
+            if per.len() != caps.len() {
+                return Err("repsC color arity mismatch".into());
+            }
+            for (ci, dq) in per.iter().enumerate() {
+                if dq.len() > caps[ci] {
+                    return Err(format!("repsC^{ci}({a}) over capacity"));
+                }
+                let mut prev = 0u64;
+                for &time in dq {
+                    if time < prev {
+                        return Err(format!("repsC deque of {a} unsorted"));
+                    }
+                    prev = time;
+                    match self.r.get(&time) {
+                        None => return Err(format!("repsC entry {time} missing from R")),
+                        Some(e) => {
+                            if e.attractor != a || e.color as usize != ci {
+                                return Err(format!("R entry {time} metadata mismatch"));
+                            }
+                            let d = metric.dist(&e.point, &self.a[&a]);
+                            if d > delta * self.gamma / 2.0 + 1e-9 {
+                                return Err(format!(
+                                    "rep {time} at distance {d} > δγ/2 from attractor {a}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Every R entry whose attractor is live must be listed in repsC.
+        for (&time, e) in &self.r {
+            if let Some(per) = self.reps_c.get(&e.attractor) {
+                if !per[e.color as usize].contains(&time) {
+                    return Err(format!("R entry {time} not tracked by its live attractor"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsw_metric::{Euclidean, EuclidPoint};
+
+    fn p(x: f64) -> EuclidPoint {
+        EuclidPoint::new(vec![x])
+    }
+
+    /// Drives a guess state over a 1-D stream with full checks.
+    fn drive(gamma: f64, delta: f64, caps: &[usize], n: u64, xs: &[f64]) -> GuessState<Euclidean> {
+        let k: usize = caps.iter().sum();
+        let mut g = GuessState::<Euclidean>::new(gamma);
+        for (i, &x) in xs.iter().enumerate() {
+            let t = i as u64 + 1;
+            if t > n {
+                g.expire(t - n);
+            }
+            let color = (i % caps.len()) as u32;
+            g.update(&Euclidean, t, &p(x), color, Budgets { caps, k, delta });
+            g.check_invariants(&Euclidean, t, n, Budgets { caps, k, delta })
+                .unwrap_or_else(|e| panic!("t={t}: {e}"));
+        }
+        g
+    }
+
+    #[test]
+    fn single_point_everywhere() {
+        let g = drive(1.0, 1.0, &[1], 10, &[5.0]);
+        assert_eq!(g.av_len(), 1);
+        assert_eq!(g.coreset_len(), 1);
+        assert_eq!(g.stored_points(), 4); // av + rv + a + r
+    }
+
+    #[test]
+    fn close_points_share_attractors() {
+        // All points within 2γ of the first: one v-attractor; within
+        // δγ/2: one c-attractor.
+        let g = drive(10.0, 1.0, &[2], 100, &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(g.av_len(), 1);
+        assert_eq!(g.a.len(), 1);
+        // caps[0] = 2: coreset keeps the 2 newest.
+        assert_eq!(g.coreset_len(), 2);
+        let times: Vec<u64> = g.r.keys().copied().collect();
+        assert_eq!(times, vec![3, 4]);
+    }
+
+    #[test]
+    fn rv_keeps_latest_rep_per_attractor() {
+        let g = drive(10.0, 1.0, &[1], 100, &[0.0, 1.0, 2.0]);
+        // One attractor (t=1); rep replaced twice; RV = {newest}.
+        assert_eq!(g.rv.len(), 1);
+        assert!(g.rv.contains_key(&3));
+    }
+
+    #[test]
+    fn cleanup_caps_av_at_k_plus_one() {
+        // γ small: every distinct point is its own v-attractor. k = 1:
+        // av must stay at ≤ 2 entries (k+1) after updates.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 100.0).collect();
+        let g = drive(1.0, 1.0, &[1], 100, &xs);
+        assert_eq!(g.av_len(), 2);
+        // The two newest attractors survive.
+        assert!(g.av.contains_key(&9) && g.av.contains_key(&10));
+    }
+
+    #[test]
+    fn cleanup_prunes_older_than_oldest_attractor() {
+        // Same far-apart stream; after cleanup, coreset entries older
+        // than the oldest v-attractor (t=9) must be gone.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 100.0).collect();
+        let g = drive(1.0, 1.0, &[1], 100, &xs);
+        assert!(g.r.keys().all(|&t| t >= 9));
+        assert!(g.a.keys().all(|&t| t >= 9));
+        assert!(g.rv.keys().all(|&t| t >= 9));
+    }
+
+    #[test]
+    fn expiry_removes_all_traces() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        // n = 3: by t=8 only arrivals 6..8 are active.
+        let g = drive(0.2, 1.0, &[1, 1], 3, &xs);
+        assert!(g.av.keys().all(|&t| t >= 6));
+        assert!(g.r.keys().all(|&t| t >= 6));
+        assert!(g.stored_points() <= 4 * 3);
+    }
+
+    #[test]
+    fn orphaned_reps_survive_attractor_expiry() {
+        // γ large: first point is the only v-attractor; n = 3.
+        // t=1: attractor born. t=2,3: reps replace each other.
+        // t=4: attractor (t=1) expires; rep of t=4 arrival... after
+        // expiry of the attractor the newest rep must still be in RV.
+        let mut g = GuessState::<Euclidean>::new(1000.0);
+        let caps = [1usize];
+        for t in 1..=4u64 {
+            if t > 3 {
+                g.expire(t - 3);
+            }
+            g.update(&Euclidean, t, &p(t as f64), 0, Budgets { caps: &caps, k: 1, delta: 1.0 });
+            g.check_invariants(&Euclidean, t, 3, Budgets { caps: &caps, k: 1, delta: 1.0 }).unwrap();
+        }
+        // At t=4 the original attractor (t=1) expired. The arrival at
+        // t=4 found no live attractor (t=1 was removed first), so it
+        // became a new attractor. The orphan rep from t=3 must survive.
+        assert!(g.rv.contains_key(&3), "orphan rep evicted too early");
+        assert!(g.av.contains_key(&4));
+    }
+
+    #[test]
+    fn per_color_caps_evict_oldest_of_that_color() {
+        // One c-attractor; colors alternate 0,1; caps [1,2].
+        let mut g = GuessState::<Euclidean>::new(10.0);
+        let caps = [1usize, 2];
+        let xs = [0.0, 0.1, 0.2, 0.3, 0.4];
+        for (i, &x) in xs.iter().enumerate() {
+            let t = i as u64 + 1;
+            g.update(&Euclidean, t, &p(x), (i % 2) as u32, Budgets { caps: &caps, k: 3, delta: 1.0 });
+        }
+        // Arrivals: t1 c0, t2 c1, t3 c0, t4 c1, t5 c0.
+        // Color 0 cap 1: keeps t5. Color 1 cap 2: keeps t2, t4.
+        let times: Vec<u64> = g.r.keys().copied().collect();
+        assert_eq!(times, vec![2, 4, 5]);
+        g.check_invariants(&Euclidean, 5, 100, Budgets { caps: &caps, k: 3, delta: 1.0 }).unwrap();
+    }
+
+    #[test]
+    fn invariant_checker_detects_corruption() {
+        let mut g = drive(10.0, 1.0, &[1], 100, &[0.0, 1.0]);
+        // Corrupt: inject a duplicate v-attractor within 2γ.
+        g.av.insert(99, p(0.5));
+        g.rep_of.insert(99, 99);
+        g.rv.insert(99, p(0.5));
+        assert!(g
+            .check_invariants(
+                &Euclidean,
+                99,
+                1000,
+                Budgets {
+                    caps: &[1],
+                    k: 1,
+                    delta: 1.0
+                }
+            )
+            .is_err());
+    }
+}

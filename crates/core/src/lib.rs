@@ -1,0 +1,62 @@
+//! # fairsw-core — fair center clustering in sliding windows
+//!
+//! Implementation of the sliding-window fair-center algorithm of
+//! Ceccarello, Pietracaprina, Pucci and Visonà (*Fair Center Clustering
+//! in Sliding Windows*, EDBT 2026): the first streaming algorithm that,
+//! at any time `t`, returns an `(α+ε)`-approximate fair k-center solution
+//! for the window `W_t` of the last `n` points using space and time
+//! **independent of `n`**.
+//!
+//! Three variants are provided, matching the paper:
+//!
+//! * [`FairSlidingWindow`] — the main algorithm ("Ours"): one set of
+//!   validation/coreset structures per radius guess
+//!   `γ ∈ Γ = {(1+β)^i}` spanning the stream's `[dmin, dmax]`;
+//! * [`ObliviousFairSlidingWindow`] — "OursOblivious": no prior knowledge
+//!   of `dmin`/`dmax`; the guess range adapts to the *current window*
+//!   using a sliding-window diameter estimator plus the invalidity
+//!   frontier of the validation structures;
+//! * [`CompactFairSlidingWindow`] — the Corollary 2 variant: coreset
+//!   structures are dropped and the per-attractor representative becomes a
+//!   maximal independent set, trading the approximation factor for space
+//!   `O(k² log Δ / ε)` with **no** dependence on the doubling dimension.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fairsw_core::{FairSWConfig, FairSlidingWindow};
+//! use fairsw_metric::{Colored, Euclidean, EuclidPoint};
+//! use fairsw_sequential::Jones;
+//!
+//! let cfg = FairSWConfig::builder()
+//!     .window_size(100)
+//!     .capacities(vec![2, 2])     // at most 2 centers per color
+//!     .build()
+//!     .unwrap();
+//! // Stream scale bounds (dmin, dmax) are known here; otherwise use
+//! // ObliviousFairSlidingWindow.
+//! let mut sw = FairSlidingWindow::new(cfg, Euclidean, 0.1, 100.0).unwrap();
+//! for i in 0..500u32 {
+//!     let x = (i % 97) as f64;
+//!     sw.insert(Colored::new(EuclidPoint::new(vec![x]), i % 2));
+//! }
+//! let sol = sw.query(&Jones).unwrap();
+//! assert!(!sol.centers.is_empty());
+//! ```
+
+pub mod algorithm;
+pub mod compact;
+pub mod config;
+pub mod guess;
+pub mod matroid_window;
+pub mod oblivious;
+pub mod robust;
+pub mod snapshot;
+
+pub use algorithm::{FairSlidingWindow, QueryError, WindowSolution};
+pub use compact::CompactFairSlidingWindow;
+pub use config::{ConfigError, FairSWConfig, FairSWConfigBuilder};
+pub use matroid_window::{MatroidSlidingWindow, MatroidWindowSolution};
+pub use oblivious::ObliviousFairSlidingWindow;
+pub use robust::{RobustFairSlidingWindow, RobustWindowSolution};
+pub use snapshot::{PointCodec, SnapshotError};

@@ -1,0 +1,496 @@
+//! Sliding-window **matroid** center: the paper's algorithm generalized
+//! from partition-matroid fairness to arbitrary matroid constraints over
+//! colors (laminar hierarchies, transversal slot systems, …).
+//!
+//! The paper observes (§2) that its fairness constraint is the partition-
+//! matroid case of matroid center, and that its coreset construction
+//! "can be immediately specialised" from matroid machinery. This module
+//! walks the implication in the other direction: the per-attractor
+//! representative maintenance generalizes from "≤ k_i per color, evict
+//! the oldest of the same color" to "keep an independent set, and when
+//! adding the newcomer creates a circuit, evict the **oldest element of
+//! that circuit**" — for partition matroids the circuit is exactly the
+//! over-capacity color class, recovering Algorithm 1 line 19 verbatim.
+//! The matroid exchange property guarantees the rep set stays a maximal
+//! independent set of its cluster's most recent points, which is all
+//! Lemma 3 needs; Theorem 1's mapping argument then goes through with
+//! `k = rank(M)`.
+//!
+//! `Query` runs the generic Chen-et-al matroid-center solver
+//! ([`fn@fairsw_sequential::matroid_center`], matroid-intersection based,
+//! `α = 3`) on the coreset.
+//!
+//! Complexity note: circuit-eviction costs `O(|R_a|)` independence-oracle
+//! calls per arrival and the generic query solver is much slower than the
+//! matching-based partition solvers — use [`crate::FairSlidingWindow`]
+//! when the constraint is a plain partition matroid.
+
+use crate::algorithm::QueryError;
+use crate::config::ConfigError;
+use fairsw_matroid::{Matroid, OverColors};
+use fairsw_metric::{Colored, Metric};
+use fairsw_sequential::{matroid_center, MatroidInstance};
+use fairsw_stream::Lattice;
+use std::collections::{BTreeMap, HashMap};
+
+/// A solution to sliding-window matroid center.
+#[derive(Clone, Debug)]
+pub struct MatroidWindowSolution<P> {
+    /// The selected centers (their colors form an independent set).
+    pub centers: Vec<Colored<P>>,
+    /// The guess `γ̂` whose coreset produced the solution.
+    pub guess: f64,
+    /// Size of the coreset handed to the solver.
+    pub coreset_size: usize,
+    /// Solver-reported radius over the coreset.
+    pub coreset_radius: f64,
+}
+
+/// Per-guess state of the matroid variant (validation families identical
+/// to the partition algorithm; coreset rep sets kept independent via
+/// circuit eviction).
+#[derive(Clone, Debug)]
+struct MatroidGuess<M: Metric> {
+    gamma: f64,
+    av: BTreeMap<u64, M::Point>,
+    rep_of: HashMap<u64, u64>,
+    rv: BTreeMap<u64, M::Point>,
+    a: BTreeMap<u64, M::Point>,
+    /// Per-attractor representative arrival times, sorted (push-back).
+    reps: HashMap<u64, Vec<u64>>,
+    /// Coreset entries: point, color, attractor.
+    r: BTreeMap<u64, (M::Point, u32, u64)>,
+}
+
+impl<M: Metric> MatroidGuess<M> {
+    fn new(gamma: f64) -> Self {
+        MatroidGuess {
+            gamma,
+            av: BTreeMap::new(),
+            rep_of: HashMap::new(),
+            rv: BTreeMap::new(),
+            a: BTreeMap::new(),
+            reps: HashMap::new(),
+            r: BTreeMap::new(),
+        }
+    }
+
+    fn stored_points(&self) -> usize {
+        self.av.len() + self.rv.len() + self.a.len() + self.r.len()
+    }
+
+    fn expire(&mut self, te: u64) {
+        if self.av.remove(&te).is_some() {
+            self.rep_of.remove(&te);
+        }
+        self.rv.remove(&te);
+        if self.a.remove(&te).is_some() {
+            self.reps.remove(&te);
+        }
+        // Timing invariant (same as the partition variant): an expiring
+        // representative's attractor is at least as old, hence already
+        // gone — no live rep list needs fixing.
+        self.r.remove(&te);
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal; mirrors Algorithm 1's parameter list
+    fn update<Mat: Matroid<u32>>(
+        &mut self,
+        metric: &M,
+        t: u64,
+        p: &M::Point,
+        color: u32,
+        matroid: &Mat,
+        k: usize,
+        delta: f64,
+    ) {
+        let two_gamma = 2.0 * self.gamma;
+
+        // Validation side: identical to Algorithm 1.
+        let psi = self
+            .av
+            .iter()
+            .find(|(_, v)| metric.dist(p, v) <= two_gamma)
+            .map(|(&tv, _)| tv);
+        match psi {
+            None => {
+                self.av.insert(t, p.clone());
+                self.rep_of.insert(t, t);
+                self.rv.insert(t, p.clone());
+                self.cleanup(k);
+            }
+            Some(v) => {
+                let old = self
+                    .rep_of
+                    .insert(v, t)
+                    .expect("live v-attractor has a representative");
+                self.rv.remove(&old);
+                self.rv.insert(t, p.clone());
+            }
+        }
+
+        // Coreset side with circuit eviction.
+        let attach = delta * self.gamma / 2.0;
+        // Prefer an attractor whose rep set accepts the newcomer without
+        // eviction; fall back to the one with the smallest rep set (the
+        // generalization of the paper's per-color argmin balancing).
+        let mut no_evict: Option<u64> = None;
+        let mut smallest: Option<(usize, u64)> = None;
+        for (&ta, q) in &self.a {
+            if metric.dist(p, q) > attach {
+                continue;
+            }
+            let times = self.reps.get(&ta).map(Vec::as_slice).unwrap_or(&[]);
+            let mut colors: Vec<u32> =
+                times.iter().map(|tt| self.r[tt].1).collect();
+            colors.push(color);
+            if no_evict.is_none() && matroid.is_independent(&colors) {
+                no_evict = Some(ta);
+            }
+            if smallest.is_none_or(|(len, _)| times.len() < len) {
+                smallest = Some((times.len(), ta));
+            }
+        }
+        match no_evict.or(smallest.map(|(_, ta)| ta)) {
+            None => {
+                // New c-attractor. A loop color (never independent even
+                // alone) is still stored as an attractor (it must repel
+                // nearby points) but cannot serve as a representative —
+                // nevertheless we keep it in R for coverage accounting if
+                // independent alone.
+                self.a.insert(t, p.clone());
+                if matroid.is_independent(&[color]) {
+                    self.reps.insert(t, vec![t]);
+                    self.r.insert(t, (p.clone(), color, t));
+                } else {
+                    self.reps.insert(t, Vec::new());
+                }
+            }
+            Some(ta) => {
+                let times = self.reps.get_mut(&ta).expect("live attractor");
+                let mut colors: Vec<u32> = times.iter().map(|tt| self.r[tt].1).collect();
+                colors.push(color);
+                if matroid.is_independent(&colors) {
+                    times.push(t);
+                    self.r.insert(t, (p.clone(), color, ta));
+                } else {
+                    // Circuit eviction: drop the oldest element whose
+                    // removal restores independence (for partition
+                    // matroids: the oldest same-color rep). If none does,
+                    // the newcomer is itself a loop — skip it.
+                    let mut evict: Option<usize> = None;
+                    for i in 0..times.len() {
+                        let cols: Vec<u32> = times
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != i)
+                            .map(|(_, tt)| self.r[tt].1)
+                            .chain(std::iter::once(color))
+                            .collect();
+                        if matroid.is_independent(&cols) {
+                            evict = Some(i);
+                            break;
+                        }
+                    }
+                    if let Some(i) = evict {
+                        let dead = times.remove(i);
+                        self.r.remove(&dead);
+                        times.push(t);
+                        self.r.insert(t, (p.clone(), color, ta));
+                    }
+                }
+            }
+        }
+    }
+
+    fn cleanup(&mut self, k: usize) {
+        if self.av.len() == k + 2 {
+            let oldest = *self.av.keys().next().expect("non-empty");
+            self.av.remove(&oldest);
+            self.rep_of.remove(&oldest);
+        }
+        if self.av.len() == k + 1 {
+            let tmin = *self.av.keys().next().expect("non-empty");
+            let keep_a = self.a.split_off(&tmin);
+            for (dead, _) in std::mem::replace(&mut self.a, keep_a) {
+                self.reps.remove(&dead);
+            }
+            let keep_rv = self.rv.split_off(&tmin);
+            self.rv = keep_rv;
+            let keep_r = self.r.split_off(&tmin);
+            self.r = keep_r;
+        }
+    }
+}
+
+/// Sliding-window matroid center under an arbitrary matroid over colors.
+#[derive(Clone, Debug)]
+pub struct MatroidSlidingWindow<M: Metric, Mat: Matroid<u32>> {
+    metric: M,
+    matroid: Mat,
+    window_size: usize,
+    delta: f64,
+    k: usize,
+    guesses: Vec<MatroidGuess<M>>,
+    t: u64,
+}
+
+impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
+    /// Creates the algorithm for a stream with pairwise distances in
+    /// `[dmin, dmax]`, window length `window_size`, guess parameter
+    /// `beta` and coreset precision `delta`, under `matroid` (over
+    /// colors; its rank plays the role of `k`).
+    pub fn new(
+        metric: M,
+        matroid: Mat,
+        window_size: usize,
+        beta: f64,
+        delta: f64,
+        dmin: f64,
+        dmax: f64,
+    ) -> Result<Self, ConfigError> {
+        if window_size == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(ConfigError::BadBeta(beta));
+        }
+        if !(delta.is_finite() && delta > 0.0 && delta <= 4.0) {
+            return Err(ConfigError::BadDelta(delta));
+        }
+        assert!(
+            dmin.is_finite() && dmin > 0.0 && dmax >= dmin,
+            "need 0 < dmin <= dmax (got {dmin}, {dmax})"
+        );
+        let lattice = Lattice::new(beta);
+        let guesses = lattice
+            .span(dmin, dmax)
+            .map(|lvl| MatroidGuess::new(lattice.value(lvl)))
+            .collect();
+        let k = matroid.rank();
+        Ok(MatroidSlidingWindow {
+            metric,
+            matroid,
+            window_size,
+            delta,
+            k,
+            guesses,
+            t: 0,
+        })
+    }
+
+    /// Handles one arrival.
+    pub fn insert(&mut self, p: Colored<M::Point>) {
+        self.t += 1;
+        let n = self.window_size as u64;
+        let te = self.t.checked_sub(n);
+        for g in &mut self.guesses {
+            if let Some(te) = te {
+                g.expire(te);
+            }
+            g.update(
+                &self.metric,
+                self.t,
+                &p.point,
+                p.color,
+                &self.matroid,
+                self.k,
+                self.delta,
+            );
+        }
+    }
+
+    /// Queries: validation packing as in Algorithm 3 (`k = rank`), then
+    /// the generic matroid-center solver on the coreset.
+    pub fn query(&self) -> Result<MatroidWindowSolution<M::Point>, QueryError> {
+        if self.t == 0 {
+            return Err(QueryError::EmptyWindow);
+        }
+        for g in &self.guesses {
+            if g.av.len() > self.k {
+                continue;
+            }
+            let two_gamma = 2.0 * g.gamma;
+            let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
+            let mut overflow = false;
+            for q in g.rv.values() {
+                if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
+                    packing.push(q);
+                    if packing.len() > self.k {
+                        overflow = true;
+                        break;
+                    }
+                }
+            }
+            if overflow {
+                continue;
+            }
+            let points: Vec<M::Point> = g.r.values().map(|(p, _, _)| p.clone()).collect();
+            let colors: Vec<u32> = g.r.values().map(|(_, c, _)| *c).collect();
+            let idx_matroid = OverColors::new(&colors, &self.matroid);
+            let inst = MatroidInstance {
+                metric: &self.metric,
+                points: &points,
+                matroid: &idx_matroid,
+            };
+            let sol = matroid_center(&inst).map_err(QueryError::Solver)?;
+            let centers = sol
+                .centers
+                .iter()
+                .map(|&i| Colored::new(points[i].clone(), colors[i]))
+                .collect();
+            return Ok(MatroidWindowSolution {
+                centers,
+                guess: g.gamma,
+                coreset_size: points.len(),
+                coreset_radius: sol.radius,
+            });
+        }
+        Err(QueryError::NoValidGuess)
+    }
+
+    /// Total stored points across guesses.
+    pub fn stored_points(&self) -> usize {
+        self.guesses.iter().map(MatroidGuess::stored_points).sum()
+    }
+
+    /// The constraint's rank (plays the role of `k`).
+    pub fn rank(&self) -> usize {
+        self.k
+    }
+
+    /// The arrival counter.
+    pub fn time(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsw_matroid::{Group, LaminarMatroid, PartitionMatroid};
+    use fairsw_metric::{Euclidean, EuclidPoint};
+
+    fn cp(x: f64, c: u32) -> Colored<EuclidPoint> {
+        Colored::new(EuclidPoint::new(vec![x]), c)
+    }
+
+    #[test]
+    fn partition_case_matches_fair_sliding_window() {
+        // Same stream through both implementations; the matroid variant
+        // under a partition matroid must deliver comparable quality.
+        let caps = vec![1usize, 1];
+        let part = PartitionMatroid::new(caps.clone()).unwrap();
+        let mut generic =
+            MatroidSlidingWindow::new(Euclidean, part, 80, 2.0, 1.0, 0.01, 1e4).unwrap();
+        let cfg = crate::FairSWConfig::builder()
+            .window_size(80)
+            .capacities(caps)
+            .beta(2.0)
+            .delta(1.0)
+            .build()
+            .unwrap();
+        let mut special =
+            crate::FairSlidingWindow::new(cfg, Euclidean, 0.01, 1e4).unwrap();
+        for i in 0..200u64 {
+            let base = if i % 2 == 0 { 0.0 } else { 500.0 };
+            let p = cp(base + (i as f64 * 0.618).fract() * 3.0, (i % 2) as u32);
+            generic.insert(p.clone());
+            special.insert(p);
+        }
+        let gs = generic.query().unwrap();
+        let ss = special.query(&fairsw_sequential::Jones).unwrap();
+        assert!(gs.centers.len() <= 2);
+        // Same two-cluster geometry: both must land at cluster scale.
+        assert!(gs.coreset_radius < 50.0, "generic radius {}", gs.coreset_radius);
+        assert!(ss.coreset_radius < 50.0);
+    }
+
+    #[test]
+    fn laminar_constraint_respected_over_stream() {
+        // ≤1 center of color 0, ≤2 of {0,1} combined, ≤3 total.
+        let lam = LaminarMatroid::new(vec![
+            Group::new(vec![0], 1),
+            Group::new(vec![0, 1], 2),
+            Group::new(vec![0, 1, 2], 3),
+        ])
+        .unwrap();
+        let mut sw =
+            MatroidSlidingWindow::new(Euclidean, lam.clone(), 100, 2.0, 1.0, 0.01, 1e4)
+                .unwrap();
+        for i in 0..300u64 {
+            let base = (i % 3) as f64 * 400.0;
+            sw.insert(cp(base + (i as f64 * 0.33).fract() * 4.0, (i % 3) as u32));
+        }
+        let sol = sw.query().unwrap();
+        let cols: Vec<u32> = sol.centers.iter().map(|c| c.color).collect();
+        assert!(
+            lam.colors_independent(cols.iter().copied()),
+            "laminar constraint violated: {cols:?}"
+        );
+        assert!(sol.centers.len() <= 3);
+        // Three far clusters, ≤3 centers: covering radius stays at
+        // cluster scale only if each cluster got a center.
+        assert!(sol.coreset_radius < 200.0, "radius {}", sol.coreset_radius);
+    }
+
+    #[test]
+    fn circuit_eviction_keeps_newest() {
+        // One attractor; caps [1] with extra total group cap 1: each new
+        // same-color point must replace the previous rep.
+        let part = PartitionMatroid::new(vec![1]).unwrap();
+        let mut sw =
+            MatroidSlidingWindow::new(Euclidean, part, 50, 2.0, 4.0, 0.01, 100.0).unwrap();
+        for i in 0..10u64 {
+            sw.insert(cp(0.1 * i as f64, 0));
+        }
+        // Every guess's coreset holds at most rank-many points per
+        // attractor; the newest point must be present somewhere.
+        let sol = sw.query().unwrap();
+        assert_eq!(sol.centers.len(), 1);
+        assert!(sol.coreset_radius < 2.0);
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let part = PartitionMatroid::new(vec![1, 1]).unwrap();
+        let mut sw =
+            MatroidSlidingWindow::new(Euclidean, part, 60, 2.0, 1.0, 0.01, 1e4).unwrap();
+        let mut peak_early = 0usize;
+        for i in 0..600u64 {
+            let x = (i as f64 * 0.445).fract() * 900.0;
+            sw.insert(cp(x, (i % 2) as u32));
+            if i < 120 {
+                peak_early = peak_early.max(sw.stored_points());
+            }
+        }
+        assert!(
+            sw.stored_points() <= 2 * peak_early + 64,
+            "memory grew with stream length"
+        );
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let part = PartitionMatroid::new(vec![1]).unwrap();
+        let sw = MatroidSlidingWindow::new(Euclidean, part, 10, 2.0, 1.0, 0.1, 10.0).unwrap();
+        assert!(matches!(sw.query(), Err(QueryError::EmptyWindow)));
+    }
+
+    #[test]
+    fn config_validation() {
+        let part = PartitionMatroid::new(vec![1]).unwrap();
+        assert!(matches!(
+            MatroidSlidingWindow::new(Euclidean, part.clone(), 0, 2.0, 1.0, 0.1, 1.0),
+            Err(ConfigError::ZeroWindow)
+        ));
+        assert!(matches!(
+            MatroidSlidingWindow::new(Euclidean, part.clone(), 5, -1.0, 1.0, 0.1, 1.0),
+            Err(ConfigError::BadBeta(_))
+        ));
+        assert!(matches!(
+            MatroidSlidingWindow::new(Euclidean, part, 5, 2.0, 9.0, 0.1, 1.0),
+            Err(ConfigError::BadDelta(_))
+        ));
+    }
+}

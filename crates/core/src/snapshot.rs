@@ -1,0 +1,453 @@
+//! Checkpoint / restore for the sliding-window state.
+//!
+//! A streaming operator that cannot persist its state must replay up to a
+//! full window of history after every restart. Since the whole point of
+//! the algorithm is that its state is *small* (`O(k² log Δ (c/ε)^D)`
+//! points), serializing it is cheap — this module provides a compact,
+//! versioned, self-contained binary snapshot of a
+//! [`FairSlidingWindow`]:
+//!
+//! ```
+//! use fairsw_core::{FairSWConfig, FairSlidingWindow};
+//! use fairsw_metric::{Colored, Euclidean, EuclidPoint};
+//!
+//! let cfg = FairSWConfig::builder()
+//!     .window_size(50)
+//!     .capacities(vec![1, 1])
+//!     .build()
+//!     .unwrap();
+//! let mut sw = FairSlidingWindow::new(cfg, Euclidean, 0.1, 100.0).unwrap();
+//! sw.insert(Colored::new(EuclidPoint::new(vec![1.0]), 0));
+//! let bytes = sw.snapshot();
+//! let restored = FairSlidingWindow::restore(Euclidean, &bytes).unwrap();
+//! assert_eq!(restored.time(), sw.time());
+//! ```
+//!
+//! The format is little-endian, length-prefixed throughout, and carries
+//! the full configuration, so `restore` needs only the metric (the
+//! distance function itself is code, not data). Hand-rolled rather than
+//! serde-derived: the state contains `Arc<[f64]>` payloads and
+//! `BTreeMap`/`VecDeque` families whose derived encodings would be both
+//! larger and slower, and the workspace keeps its dependency surface
+//! minimal (DESIGN.md §6).
+
+use crate::algorithm::FairSlidingWindow;
+use crate::config::FairSWConfig;
+use crate::guess::{CoresetEntry, GuessState};
+use fairsw_metric::{EuclidPoint, Metric};
+use fairsw_stream::Lattice;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Magic + version tag of the snapshot format.
+const MAGIC: &[u8; 4] = b"FSW1";
+
+/// Errors raised while decoding a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the expected magic/version tag.
+    BadMagic,
+    /// The buffer ended before the encoded structure did.
+    Truncated,
+    /// A decoded value is structurally invalid (message attached).
+    Invalid(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a fairsw snapshot (bad magic)"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Invalid(m) => write!(f, "invalid snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Binary encoding of a point type. Implemented for [`EuclidPoint`];
+/// implement it for custom point types to make their windows
+/// snapshot-able.
+pub trait PointCodec: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one point from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self, SnapshotError>;
+}
+
+impl PointCodec for EuclidPoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.coords().len() as u64);
+        for c in self.coords() {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, SnapshotError> {
+        let n = take_u64(input)? as usize;
+        if n > 1 << 24 {
+            return Err(SnapshotError::Invalid(format!("absurd dimension {n}")));
+        }
+        let mut coords = Vec::with_capacity(n);
+        for _ in 0..n {
+            coords.push(take_f64(input)?);
+        }
+        Ok(EuclidPoint::new(coords))
+    }
+}
+
+// ---- primitive helpers -------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_bytes<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], SnapshotError> {
+    if input.len() < n {
+        return Err(SnapshotError::Truncated);
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
+}
+
+fn take_u64(input: &mut &[u8]) -> Result<u64, SnapshotError> {
+    let b = take_bytes(input, 8)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn take_u32(input: &mut &[u8]) -> Result<u32, SnapshotError> {
+    let b = take_bytes(input, 4)?;
+    Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+fn take_f64(input: &mut &[u8]) -> Result<f64, SnapshotError> {
+    let b = take_bytes(input, 8)?;
+    Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+// ---- guess-state codec -------------------------------------------------
+
+fn encode_point_map<P: PointCodec>(out: &mut Vec<u8>, map: &BTreeMap<u64, P>) {
+    put_u64(out, map.len() as u64);
+    for (t, p) in map {
+        put_u64(out, *t);
+        p.encode(out);
+    }
+}
+
+fn decode_point_map<P: PointCodec>(
+    input: &mut &[u8],
+) -> Result<BTreeMap<u64, P>, SnapshotError> {
+    let n = take_u64(input)? as usize;
+    let mut map = BTreeMap::new();
+    for _ in 0..n {
+        let t = take_u64(input)?;
+        let p = P::decode(input)?;
+        map.insert(t, p);
+    }
+    Ok(map)
+}
+
+fn encode_guess<M: Metric>(out: &mut Vec<u8>, g: &GuessState<M>)
+where
+    M::Point: PointCodec,
+{
+    put_f64(out, g.gamma);
+    encode_point_map(out, &g.av);
+    put_u64(out, g.rep_of.len() as u64);
+    for (v, rep) in &g.rep_of {
+        put_u64(out, *v);
+        put_u64(out, *rep);
+    }
+    encode_point_map(out, &g.rv);
+    encode_point_map(out, &g.a);
+    put_u64(out, g.reps_c.len() as u64);
+    for (a, per) in &g.reps_c {
+        put_u64(out, *a);
+        put_u64(out, per.len() as u64);
+        for dq in per {
+            put_u64(out, dq.len() as u64);
+            for t in dq {
+                put_u64(out, *t);
+            }
+        }
+    }
+    put_u64(out, g.r.len() as u64);
+    for (t, e) in &g.r {
+        put_u64(out, *t);
+        e.point.encode(out);
+        put_u32(out, e.color);
+        put_u64(out, e.attractor);
+    }
+}
+
+fn decode_guess<M: Metric>(input: &mut &[u8]) -> Result<GuessState<M>, SnapshotError>
+where
+    M::Point: PointCodec,
+{
+    let gamma = take_f64(input)?;
+    if !(gamma.is_finite() && gamma > 0.0) {
+        return Err(SnapshotError::Invalid(format!("bad gamma {gamma}")));
+    }
+    let av = decode_point_map(input)?;
+    let n = take_u64(input)? as usize;
+    let mut rep_of = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let v = take_u64(input)?;
+        let rep = take_u64(input)?;
+        rep_of.insert(v, rep);
+    }
+    let rv = decode_point_map(input)?;
+    let a = decode_point_map(input)?;
+    let n = take_u64(input)? as usize;
+    let mut reps_c = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let at = take_u64(input)?;
+        let ncolors = take_u64(input)? as usize;
+        if ncolors > 1 << 20 {
+            return Err(SnapshotError::Invalid("absurd color count".into()));
+        }
+        let mut per = Vec::with_capacity(ncolors);
+        for _ in 0..ncolors {
+            let len = take_u64(input)? as usize;
+            let mut dq = VecDeque::with_capacity(len);
+            for _ in 0..len {
+                dq.push_back(take_u64(input)?);
+            }
+            per.push(dq);
+        }
+        reps_c.insert(at, per);
+    }
+    let n = take_u64(input)? as usize;
+    let mut r = BTreeMap::new();
+    for _ in 0..n {
+        let t = take_u64(input)?;
+        let point = M::Point::decode(input)?;
+        let color = take_u32(input)?;
+        let attractor = take_u64(input)?;
+        r.insert(
+            t,
+            CoresetEntry {
+                point,
+                color,
+                attractor,
+            },
+        );
+    }
+    let mut g = GuessState::new(gamma);
+    g.av = av;
+    g.rep_of = rep_of;
+    g.rv = rv;
+    g.a = a;
+    g.reps_c = reps_c;
+    g.r = r;
+    Ok(g)
+}
+
+// ---- public API --------------------------------------------------------
+
+impl<M: Metric> FairSlidingWindow<M>
+where
+    M::Point: PointCodec,
+{
+    /// Serializes the complete algorithm state (configuration included)
+    /// into a self-contained byte buffer.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1024);
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.cfg.window_size as u64);
+        put_u64(&mut out, self.cfg.capacities.len() as u64);
+        for c in &self.cfg.capacities {
+            put_u64(&mut out, *c as u64);
+        }
+        put_f64(&mut out, self.cfg.beta);
+        put_f64(&mut out, self.cfg.delta);
+        put_u64(&mut out, self.t);
+        put_u64(&mut out, self.guesses.len() as u64);
+        for g in &self.guesses {
+            encode_guess(&mut out, g);
+        }
+        out
+    }
+
+    /// Reconstructs a window from a snapshot produced by
+    /// [`snapshot`](Self::snapshot). Only the metric must be re-supplied
+    /// (a distance function is code, not data); everything else —
+    /// configuration, arrival counter, every per-guess family — comes
+    /// from the buffer.
+    pub fn restore(metric: M, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut input = bytes;
+        let magic = take_bytes(&mut input, 4)?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let window_size = take_u64(&mut input)? as usize;
+        let ncaps = take_u64(&mut input)? as usize;
+        if ncaps > 1 << 20 {
+            return Err(SnapshotError::Invalid("absurd capacity count".into()));
+        }
+        let mut capacities = Vec::with_capacity(ncaps);
+        for _ in 0..ncaps {
+            capacities.push(take_u64(&mut input)? as usize);
+        }
+        let beta = take_f64(&mut input)?;
+        let delta = take_f64(&mut input)?;
+        let cfg = FairSWConfig {
+            window_size,
+            capacities,
+            beta,
+            delta,
+        };
+        cfg.validate()
+            .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        let t = take_u64(&mut input)?;
+        let nguesses = take_u64(&mut input)? as usize;
+        if nguesses > 1 << 20 {
+            return Err(SnapshotError::Invalid("absurd guess count".into()));
+        }
+        let mut guesses = Vec::with_capacity(nguesses);
+        for _ in 0..nguesses {
+            guesses.push(decode_guess::<M>(&mut input)?);
+        }
+        if !input.is_empty() {
+            return Err(SnapshotError::Invalid(format!(
+                "{} trailing bytes",
+                input.len()
+            )));
+        }
+        let k = cfg.k();
+        let lattice = Lattice::new(cfg.beta);
+        Ok(FairSlidingWindow {
+            metric,
+            cfg,
+            k,
+            lattice,
+            guesses,
+            t,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsw_metric::{Colored, Euclidean};
+    use fairsw_sequential::Jones;
+
+    fn build(n_points: u64) -> FairSlidingWindow<Euclidean> {
+        let cfg = FairSWConfig::builder()
+            .window_size(60)
+            .capacities(vec![2, 1])
+            .beta(2.0)
+            .delta(1.0)
+            .build()
+            .unwrap();
+        let mut sw = FairSlidingWindow::new(cfg, Euclidean, 0.01, 1e4).unwrap();
+        for i in 0..n_points {
+            let x = (i as f64 * 0.618_033_988_7).fract() * 500.0;
+            sw.insert(Colored::new(EuclidPoint::new(vec![x, -x]), (i % 2) as u32));
+        }
+        sw
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let sw = build(150);
+        let bytes = sw.snapshot();
+        let restored = FairSlidingWindow::restore(Euclidean, &bytes).unwrap();
+        assert_eq!(restored.time(), sw.time());
+        assert_eq!(restored.stored_points(), sw.stored_points());
+        assert_eq!(restored.num_guesses(), sw.num_guesses());
+        restored.check_invariants().unwrap();
+        let a = sw.query(&Jones).unwrap();
+        let b = restored.query(&Jones).unwrap();
+        assert_eq!(a.guess, b.guess);
+        assert_eq!(a.coreset_size, b.coreset_size);
+        assert!((a.coreset_radius - b.coreset_radius).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restored_window_evolves_identically() {
+        let mut original = build(100);
+        let bytes = original.snapshot();
+        let mut restored = FairSlidingWindow::restore(Euclidean, &bytes).unwrap();
+        // Continue both with the same suffix; behavior must stay in
+        // lockstep (expiry, cleanup, evictions are all deterministic).
+        for i in 100u64..260 {
+            let x = (i as f64 * 0.324_717_957_2).fract() * 500.0;
+            let p = Colored::new(EuclidPoint::new(vec![x, x * 2.0]), (i % 2) as u32);
+            original.insert(p.clone());
+            restored.insert(p);
+        }
+        assert_eq!(original.stored_points(), restored.stored_points());
+        let a = original.query(&Jones).unwrap();
+        let b = restored.query(&Jones).unwrap();
+        assert_eq!(a.guess, b.guess);
+        assert!((a.coreset_radius - b.coreset_radius).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_compact() {
+        let sw = build(3_000);
+        let bytes = sw.snapshot();
+        // State ≈ stored points × (point payload + bookkeeping): far less
+        // than replaying/storing the raw window would need, and bounded
+        // in the stream length.
+        let per_point = bytes.len() as f64 / sw.stored_points().max(1) as f64;
+        assert!(per_point < 128.0, "snapshot too fat: {per_point} B/point");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            FairSlidingWindow::<Euclidean>::restore(Euclidean, b"np"),
+            Err(SnapshotError::Truncated)
+        ));
+        assert!(matches!(
+            FairSlidingWindow::<Euclidean>::restore(Euclidean, b"nope"),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(matches!(
+            FairSlidingWindow::<Euclidean>::restore(Euclidean, b"XXXXYYYYZZZZ"),
+            Err(SnapshotError::BadMagic)
+        ));
+        let sw = build(50);
+        let mut bytes = sw.snapshot();
+        bytes.truncate(bytes.len() / 2);
+        assert!(matches!(
+            FairSlidingWindow::<Euclidean>::restore(Euclidean, &bytes),
+            Err(SnapshotError::Truncated) | Err(SnapshotError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let sw = build(50);
+        let mut bytes = sw.snapshot();
+        bytes.extend_from_slice(b"extra");
+        assert!(matches!(
+            FairSlidingWindow::<Euclidean>::restore(Euclidean, &bytes),
+            Err(SnapshotError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn point_codec_roundtrip() {
+        let p = EuclidPoint::new(vec![1.5, -2.25, 1e-300, f64::MAX]);
+        let mut out = Vec::new();
+        p.encode(&mut out);
+        let mut input = out.as_slice();
+        let q = EuclidPoint::decode(&mut input).unwrap();
+        assert_eq!(p, q);
+        assert!(input.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! CSV loading, so the real UCI datasets can be dropped in when network
+//! access is available.
+//!
+//! Format: one point per line, `x_1,x_2,...,x_d,color` — coordinates as
+//! floats, the trailing field a non-negative integer color. Lines
+//! starting with `#` and blank lines are skipped.
+
+use fairsw_metric::{Colored, EuclidPoint};
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors raised while reading a CSV point file.
+#[derive(Debug)]
+pub enum CsvError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and message).
+    Parse { line: usize, msg: String },
+    /// Inconsistent dimensionality across lines.
+    DimMismatch { line: usize, expected: usize, got: usize },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            CsvError::DimMismatch { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} coordinates, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads colored points from any buffered reader.
+pub fn read_csv_reader<R: BufRead>(reader: R) -> Result<Vec<Colored<EuclidPoint>>, CsvError> {
+    let mut points = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(CsvError::Parse {
+                line: lineno,
+                msg: "need at least one coordinate and a color".into(),
+            });
+        }
+        let (coord_fields, color_field) = fields.split_at(fields.len() - 1);
+        let coords: Vec<f64> = coord_fields
+            .iter()
+            .map(|s| {
+                s.parse::<f64>().map_err(|e| CsvError::Parse {
+                    line: lineno,
+                    msg: format!("bad coordinate {s:?}: {e}"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let color: u32 = color_field[0].parse().map_err(|e| CsvError::Parse {
+            line: lineno,
+            msg: format!("bad color {:?}: {e}", color_field[0]),
+        })?;
+        match dim {
+            None => dim = Some(coords.len()),
+            Some(d) if d != coords.len() => {
+                return Err(CsvError::DimMismatch {
+                    line: lineno,
+                    expected: d,
+                    got: coords.len(),
+                })
+            }
+            _ => {}
+        }
+        points.push(Colored::new(EuclidPoint::new(coords), color));
+    }
+    Ok(points)
+}
+
+/// Reads colored points from a CSV file on disk.
+pub fn read_csv_points(path: &Path) -> Result<Vec<Colored<EuclidPoint>>, CsvError> {
+    let file = std::fs::File::open(path)?;
+    read_csv_reader(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_valid_input() {
+        let data = "# comment\n1.0, 2.0, 0\n\n3.5,-1.25,2\n";
+        let pts = read_csv_reader(data.as_bytes()).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].point.coords(), &[1.0, 2.0]);
+        assert_eq!(pts[0].color, 0);
+        assert_eq!(pts[1].color, 2);
+    }
+
+    #[test]
+    fn rejects_bad_coordinate() {
+        let err = read_csv_reader("1.0,abc,0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_color() {
+        let err = read_csv_reader("1.0,2.0,-3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        let err = read_csv_reader("1.0,2.0,0\n1.0,2.0,3.0,0\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::DimMismatch {
+                line: 2,
+                expected: 2,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_short_line() {
+        let err = read_csv_reader("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("fairsw_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.csv");
+        std::fs::write(&path, "0.5,1.5,1\n2.5,3.5,0\n").unwrap();
+        let pts = read_csv_points(&path).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].point.coords(), &[2.5, 3.5]);
+        std::fs::remove_file(&path).ok();
+    }
+}

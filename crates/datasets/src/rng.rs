@@ -1,0 +1,111 @@
+//! Seeded randomness helpers: Gaussian and heavy-tailed sampling on top
+//! of the `rand` crate (the workspace's only sampling dependency;
+//! distribution shaping is implemented here via Box–Muller).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > 1e-300 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A d-dimensional isotropic Gaussian sample with standard deviation
+/// `sigma` around `center`.
+pub fn gaussian_vec(rng: &mut StdRng, center: &[f64], sigma: f64) -> Vec<f64> {
+    center.iter().map(|&c| c + sigma * gaussian(rng)).collect()
+}
+
+/// A Laplace (double-exponential) sample with scale `b`: heavier tails
+/// than a Gaussian, used by the HIGGS stand-in to stretch its aspect
+/// ratio.
+pub fn laplace(rng: &mut StdRng, b: f64) -> f64 {
+    let u: f64 = rng.random::<f64>() - 0.5;
+    let s = if u >= 0.0 { 1.0 } else { -1.0 };
+    -b * s * (1.0 - 2.0 * u.abs()).max(1e-300).ln()
+}
+
+/// A uniformly random unit vector in `d` dimensions (Gaussian
+/// normalization).
+pub fn unit_vec(rng: &mut StdRng, d: usize) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..d).map(|_| gaussian(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..10 {
+            assert_eq!(gaussian(&mut a), gaussian(&mut b));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = seeded(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn laplace_is_heavier_tailed_than_gaussian() {
+        let mut rng = seeded(11);
+        let n = 20_000;
+        let extreme_laplace = (0..n).filter(|_| laplace(&mut rng, 1.0).abs() > 4.0).count();
+        let mut rng = seeded(11);
+        let extreme_gauss = (0..n).filter(|_| gaussian(&mut rng).abs() > 4.0).count();
+        assert!(extreme_laplace > extreme_gauss);
+    }
+
+    #[test]
+    fn unit_vec_is_unit() {
+        let mut rng = seeded(3);
+        for d in [1usize, 2, 8, 54] {
+            let v = unit_vec(&mut rng, d);
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gaussian_vec_centers_correctly() {
+        let mut rng = seeded(5);
+        let center = [10.0, -5.0];
+        let n = 5000;
+        let mut sums = [0.0f64; 2];
+        for _ in 0..n {
+            let v = gaussian_vec(&mut rng, &center, 0.5);
+            sums[0] += v[0];
+            sums[1] += v[1];
+        }
+        assert!((sums[0] / n as f64 - 10.0).abs() < 0.1);
+        assert!((sums[1] / n as f64 + 5.0).abs() < 0.1);
+    }
+}

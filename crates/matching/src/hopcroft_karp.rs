@@ -1,0 +1,196 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching in `O(E√V)`.
+
+/// Result of a maximum bipartite matching computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BipartiteMatching {
+    /// `pair_left[u] = Some(v)` iff left node `u` is matched to right
+    /// node `v`.
+    pub pair_left: Vec<Option<usize>>,
+    /// `pair_right[v] = Some(u)` iff right node `v` is matched to left
+    /// node `u`.
+    pub pair_right: Vec<Option<usize>>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum-cardinality matching of the bipartite graph with
+/// `n_left` left nodes, `n_right` right nodes and adjacency `adj`
+/// (`adj[u]` lists the right neighbours of left node `u`).
+///
+/// # Panics
+/// Panics if `adj.len() != n_left` or any listed neighbour is
+/// `>= n_right` — both indicate caller bugs, not recoverable conditions.
+pub fn max_bipartite_matching(
+    n_left: usize,
+    n_right: usize,
+    adj: &[Vec<usize>],
+) -> BipartiteMatching {
+    assert_eq!(adj.len(), n_left, "adjacency size mismatch");
+    debug_assert!(
+        adj.iter().all(|nb| nb.iter().all(|&v| v < n_right)),
+        "right neighbour out of range"
+    );
+
+    let mut pair_left: Vec<Option<usize>> = vec![None; n_left];
+    let mut pair_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut dist: Vec<u32> = vec![INF; n_left];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut size = 0usize;
+
+    // BFS layering from all free left nodes; returns whether an
+    // augmenting path exists.
+    let bfs = |pair_left: &[Option<usize>],
+               pair_right: &[Option<usize>],
+               dist: &mut [u32],
+               queue: &mut std::collections::VecDeque<usize>|
+     -> bool {
+        queue.clear();
+        for u in 0..n_left {
+            if pair_left[u].is_none() {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                match pair_right[v] {
+                    None => found = true,
+                    Some(w) => {
+                        if dist[w] == INF {
+                            dist[w] = dist[u] + 1;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+        }
+        found
+    };
+
+    // DFS along the BFS layers, augmenting when a free right node is hit.
+    fn dfs(
+        u: usize,
+        adj: &[Vec<usize>],
+        pair_left: &mut [Option<usize>],
+        pair_right: &mut [Option<usize>],
+        dist: &mut [u32],
+    ) -> bool {
+        for i in 0..adj[u].len() {
+            let v = adj[u][i];
+            let next = pair_right[v];
+            let ok = match next {
+                None => true,
+                Some(w) => dist[w] == dist[u] + 1 && dfs(w, adj, pair_left, pair_right, dist),
+            };
+            if ok {
+                pair_left[u] = Some(v);
+                pair_right[v] = Some(u);
+                return true;
+            }
+        }
+        dist[u] = INF;
+        false
+    }
+
+    while bfs(&pair_left, &pair_right, &mut dist, &mut queue) {
+        for u in 0..n_left {
+            if pair_left[u].is_none() && dfs(u, adj, &mut pair_left, &mut pair_right, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+
+    BipartiteMatching {
+        pair_left,
+        pair_right,
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_matching_size;
+    use proptest::prelude::*;
+
+    fn check_valid(m: &BipartiteMatching, adj: &[Vec<usize>]) {
+        let mut count = 0;
+        for (u, p) in m.pair_left.iter().enumerate() {
+            if let Some(v) = p {
+                assert!(adj[u].contains(v), "matched edge ({u},{v}) not in graph");
+                assert_eq!(m.pair_right[*v], Some(u), "pairing inconsistent");
+                count += 1;
+            }
+        }
+        assert_eq!(count, m.size);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = max_bipartite_matching(0, 0, &[]);
+        assert_eq!(m.size, 0);
+    }
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // 3x3 cycle-ish graph with a perfect matching.
+        let adj = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        let m = max_bipartite_matching(3, 3, &adj);
+        assert_eq!(m.size, 3);
+        check_valid(&m, &adj);
+    }
+
+    #[test]
+    fn bottleneck_graph() {
+        // All left nodes only see right node 0: max matching is 1.
+        let adj = vec![vec![0], vec![0], vec![0]];
+        let m = max_bipartite_matching(3, 2, &adj);
+        assert_eq!(m.size, 1);
+        check_valid(&m, &adj);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let adj = vec![vec![], vec![1], vec![]];
+        let m = max_bipartite_matching(3, 2, &adj);
+        assert_eq!(m.size, 1);
+        assert_eq!(m.pair_left[1], Some(1));
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Greedy that matches 0->0 must be undone via augmenting path:
+        // L0: {0}, L1: {0, 1}. Max matching = 2.
+        let adj = vec![vec![0], vec![0, 1]];
+        let m = max_bipartite_matching(2, 2, &adj);
+        assert_eq!(m.size, 2);
+        check_valid(&m, &adj);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn matches_brute_force(
+            n_left in 0usize..7,
+            n_right in 0usize..7,
+            edges in proptest::collection::vec((0usize..7, 0usize..7), 0..20),
+        ) {
+            let mut adj = vec![Vec::new(); n_left];
+            for (u, v) in edges {
+                if u < n_left && v < n_right && !adj[u].contains(&v) {
+                    adj[u].push(v);
+                }
+            }
+            let m = max_bipartite_matching(n_left, n_right, &adj);
+            check_valid(&m, &adj);
+            let brute = brute_force_matching_size(n_left, n_right, &adj);
+            prop_assert_eq!(m.size, brute);
+        }
+    }
+}

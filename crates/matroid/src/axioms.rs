@@ -1,0 +1,199 @@
+//! Exhaustive matroid-axiom checkers for small ground sets.
+//!
+//! These are test/verification utilities: given a [`Matroid`]
+//! implementation and a concrete ground set of at most ~20 elements, they
+//! enumerate subsets and verify downward closure and the augmentation
+//! property. The property-test suites of this crate run them against the
+//! partition and uniform matroids on random inputs, which pins down the
+//! implementations far more tightly than example-based tests would.
+
+use crate::Matroid;
+
+/// Outcome of an axiom check: `Ok(())` or a human-readable counterexample.
+pub type AxiomResult = Result<(), String>;
+
+fn subset_from_mask<E: Clone>(ground: &[E], mask: u32) -> Vec<E> {
+    ground
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask >> i & 1 == 1)
+        .map(|(_, e)| e.clone())
+        .collect()
+}
+
+/// Checks that the empty set is independent.
+pub fn check_empty_independent<E: Clone, M: Matroid<E>>(matroid: &M) -> AxiomResult {
+    if matroid.is_independent(&[]) {
+        Ok(())
+    } else {
+        Err("empty set is not independent".to_string())
+    }
+}
+
+/// Checks downward closure on every subset of `ground`
+/// (`|ground| ≤ 20` to keep the 2^n enumeration tractable).
+pub fn check_downward_closure<E: Clone, M: Matroid<E>>(matroid: &M, ground: &[E]) -> AxiomResult {
+    assert!(ground.len() <= 20, "ground set too large for enumeration");
+    let n = ground.len() as u32;
+    for mask in 0..(1u32 << n) {
+        let set = subset_from_mask(ground, mask);
+        if !matroid.is_independent(&set) {
+            continue;
+        }
+        // Remove each element in turn; all must remain independent.
+        for i in 0..n {
+            if mask >> i & 1 == 0 {
+                continue;
+            }
+            let sub = subset_from_mask(ground, mask & !(1 << i));
+            if !matroid.is_independent(&sub) {
+                return Err(format!(
+                    "downward closure violated: mask {mask:b} independent, sub-mask {:b} is not",
+                    mask & !(1 << i)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the augmentation property on every pair of independent subsets
+/// of `ground` (`|ground| ≤ 12`: the check is 4^n).
+pub fn check_augmentation<E: Clone, M: Matroid<E>>(matroid: &M, ground: &[E]) -> AxiomResult {
+    assert!(ground.len() <= 12, "ground set too large for enumeration");
+    let n = ground.len() as u32;
+    let masks: Vec<u32> = (0..(1u32 << n))
+        .filter(|&m| matroid.is_independent(&subset_from_mask(ground, m)))
+        .collect();
+    for &p in &masks {
+        for &q in &masks {
+            if (p.count_ones() as usize) <= (q.count_ones() as usize) {
+                continue;
+            }
+            // Find x in P \ Q with Q + x independent.
+            let mut found = false;
+            for i in 0..n {
+                if p >> i & 1 == 1 && q >> i & 1 == 0 {
+                    let aug = subset_from_mask(ground, q | (1 << i));
+                    if matroid.is_independent(&aug) {
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if !found {
+                return Err(format!(
+                    "augmentation violated: P={p:b} (|P|={}), Q={q:b} (|Q|={})",
+                    p.count_ones(),
+                    q.count_ones()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs all three axiom checks.
+pub fn check_all<E: Clone, M: Matroid<E>>(matroid: &M, ground: &[E]) -> AxiomResult {
+    check_empty_independent(matroid)?;
+    check_downward_closure(matroid, ground)?;
+    check_augmentation(matroid, ground)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionMatroid, UniformMatroid};
+    use proptest::prelude::*;
+
+    #[test]
+    fn partition_matroid_axioms_small() {
+        let m = PartitionMatroid::new(vec![1, 2, 1]).unwrap();
+        let ground: Vec<u32> = vec![0, 0, 1, 1, 1, 2, 2];
+        check_all(&m, &ground).unwrap();
+    }
+
+    #[test]
+    fn uniform_matroid_axioms_small() {
+        let m = UniformMatroid::new(3);
+        let ground: Vec<u32> = (0..8).collect();
+        check_all(&m, &ground).unwrap();
+    }
+
+    /// A deliberately broken "matroid" to prove the checkers can fail:
+    /// independence = "set does not contain both 0 and 1" is downward
+    /// closed but violates augmentation with P={0,2},Q={1}? Let's use the
+    /// classic non-matroid: independent iff set is one of {}, {0}, {1},
+    /// {0,1}... that IS a matroid. Use instead: independent iff |set|<=2
+    /// and not ({0,1} ⊆ set): P={0,2}, Q={1} — augmenting Q by 2 gives
+    /// {1,2} which is fine... P={0,2},{2,?}. Take P={2,3}, Q={0}: add 2 or
+    /// 3 to Q fine. The failing pair is P={0,2}, Q={1}: x∈{0,2}\{1}; {1,0}
+    /// dependent but {1,2} independent → ok. Need a real violation:
+    /// independence = sets of even size ≤ 2 fails downward closure.
+    struct EvenSize;
+    impl Matroid<u32> for EvenSize {
+        fn is_independent(&self, set: &[u32]) -> bool {
+            set.len().is_multiple_of(2) && set.len() <= 2
+        }
+        fn rank(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn checkers_detect_non_matroid() {
+        let ground: Vec<u32> = vec![0, 1, 2];
+        assert!(check_downward_closure(&EvenSize, &ground).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn partition_matroid_axioms_random(
+            caps in proptest::collection::vec(1usize..3, 1..4),
+            ground in proptest::collection::vec(0u32..4, 0..9),
+        ) {
+            let m = PartitionMatroid::new(caps).unwrap();
+            // Keep only in-range colors: out-of-range colors are loops
+            // (never independent), which the augmentation axiom tolerates,
+            // but downward closure enumeration wastes time on them.
+            let ground: Vec<u32> = ground
+                .into_iter()
+                .filter(|&c| (c as usize) < m.num_colors())
+                .collect();
+            prop_assert!(check_all(&m, &ground).is_ok());
+        }
+
+        #[test]
+        fn uniform_matroid_axioms_random(
+            k in 0usize..5,
+            n in 0usize..9,
+        ) {
+            let m = UniformMatroid::new(k);
+            let ground: Vec<u32> = (0..n as u32).collect();
+            prop_assert!(check_all(&m, &ground).is_ok());
+        }
+
+        #[test]
+        fn greedy_subset_is_maximum(
+            caps in proptest::collection::vec(1usize..3, 1..4),
+            ground in proptest::collection::vec(0u32..3, 0..10),
+        ) {
+            // For partition matroids the maximum independent subset size
+            // is Σ min(k_i, count_i); greedy must achieve it.
+            let m = PartitionMatroid::new(caps.clone()).unwrap();
+            let ground: Vec<u32> = ground
+                .into_iter()
+                .filter(|&c| (c as usize) < caps.len())
+                .collect();
+            let greedy = m.maximal_independent_subset(&ground).len();
+            let optimum: usize = caps
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| k.min(ground.iter().filter(|&&c| c as usize == i).count()))
+                .sum();
+            prop_assert_eq!(greedy, optimum);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Transversal matroids: independence = matchability into a bipartite
+//! slot system.
+//!
+//! Given elements on the left and "slots" on the right of a bipartite
+//! graph, a set of elements is independent iff it can be completely
+//! matched into distinct slots. Transversal matroids strictly generalize
+//! partition matroids (a partition matroid is the transversal matroid of
+//! a disjoint star forest with duplicated slots) and model fairness
+//! policies like "each selected center must be endorsable by a distinct
+//! committee member, where members endorse only some categories".
+//!
+//! The independence oracle delegates to the workspace's Hopcroft–Karp
+//! implementation, closing the loop between the matroid and matching
+//! substrates.
+
+use crate::Matroid;
+use fairsw_matching::max_bipartite_matching;
+
+/// The transversal matroid of a bipartite graph: element `e` (an index
+/// into `adj`) may occupy any slot in `adj[e]`; a set is independent iff
+/// a perfect matching of the set into distinct slots exists.
+#[derive(Clone, Debug)]
+pub struct TransversalMatroid {
+    adj: Vec<Vec<usize>>,
+    num_slots: usize,
+}
+
+impl TransversalMatroid {
+    /// Builds the matroid from element→slot adjacency.
+    ///
+    /// # Panics
+    /// Panics if an adjacency entry references a slot `>= num_slots`.
+    pub fn new(adj: Vec<Vec<usize>>, num_slots: usize) -> Self {
+        assert!(
+            adj.iter().all(|nb| nb.iter().all(|&s| s < num_slots)),
+            "slot index out of range"
+        );
+        TransversalMatroid { adj, num_slots }
+    }
+
+    /// Number of elements in the ground set.
+    pub fn num_elements(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+impl Matroid<usize> for TransversalMatroid {
+    fn is_independent(&self, set: &[usize]) -> bool {
+        if set.iter().any(|&e| e >= self.adj.len()) {
+            return false;
+        }
+        // Duplicate elements can never be matched to distinct slots...
+        // except that a multiset with repeats is not a set; reject.
+        let mut sorted = set.to_vec();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return false;
+        }
+        let sub_adj: Vec<Vec<usize>> = set.iter().map(|&e| self.adj[e].clone()).collect();
+        let m = max_bipartite_matching(set.len(), self.num_slots, &sub_adj);
+        m.size == set.len()
+    }
+
+    fn rank(&self) -> usize {
+        let m = max_bipartite_matching(self.adj.len(), self.num_slots, &self.adj);
+        m.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::check_all;
+
+    #[test]
+    fn basic_matchability() {
+        // Elements: 0 -> slot {0}, 1 -> slot {0, 1}, 2 -> slot {1}.
+        let m = TransversalMatroid::new(vec![vec![0], vec![0, 1], vec![1]], 2);
+        assert!(m.is_independent(&[0]));
+        assert!(m.is_independent(&[0, 1])); // 0->0 impossible with 1->0; 1->1 works
+        assert!(m.is_independent(&[0, 2]));
+        assert!(!m.is_independent(&[0, 1, 2])); // only two slots
+        assert_eq!(Matroid::<usize>::rank(&m), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_duplicates() {
+        let m = TransversalMatroid::new(vec![vec![0]], 1);
+        assert!(!m.is_independent(&[5]));
+        assert!(!m.is_independent(&[0, 0]));
+    }
+
+    #[test]
+    fn isolated_element_is_a_loop() {
+        let m = TransversalMatroid::new(vec![vec![], vec![0]], 1);
+        assert!(!m.is_independent(&[0]));
+        assert!(m.is_independent(&[1]));
+    }
+
+    #[test]
+    fn axioms_hold() {
+        // A small non-trivial slot system.
+        let m = TransversalMatroid::new(
+            vec![vec![0], vec![0, 1], vec![1, 2], vec![2], vec![0, 2]],
+            3,
+        );
+        let ground: Vec<usize> = (0..5).collect();
+        check_all(&m, &ground).unwrap();
+    }
+
+    #[test]
+    fn encodes_partition_matroid() {
+        // Partition with caps [2, 1]: colors 0 -> slots {0,1}, color 1 ->
+        // slot {2}. Elements: colors [0,0,0,1,1].
+        let colors = [0usize, 0, 0, 1, 1];
+        let slot_sets = [vec![0usize, 1], vec![2]];
+        let adj: Vec<Vec<usize>> = colors.iter().map(|&c| slot_sets[c].clone()).collect();
+        let trans = TransversalMatroid::new(adj, 3);
+        let part = crate::PartitionMatroid::new(vec![2, 1]).unwrap();
+        // Compare on all subsets.
+        for mask in 0u32..32 {
+            let idx: Vec<usize> = (0..5).filter(|&i| mask >> i & 1 == 1).collect();
+            let cols: Vec<u32> = idx.iter().map(|&i| colors[i] as u32).collect();
+            assert_eq!(
+                trans.is_independent(&idx),
+                part.is_independent(&cols),
+                "disagree on {idx:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The uniform matroid `U_{k,n}`: independence = cardinality at most `k`.
+//!
+//! Unconstrained k-center is exactly matroid center under the uniform
+//! matroid, so keeping this implementation around lets the sequential
+//! solvers and the tests express the unconstrained problem in the same
+//! vocabulary as the fair one.
+
+use crate::Matroid;
+
+/// The uniform matroid of rank `k` over any element type: every set with
+/// at most `k` elements is independent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniformMatroid {
+    k: usize,
+}
+
+impl UniformMatroid {
+    /// Builds the uniform matroid of rank `k`.
+    pub fn new(k: usize) -> Self {
+        UniformMatroid { k }
+    }
+}
+
+impl<E> Matroid<E> for UniformMatroid {
+    fn is_independent(&self, set: &[E]) -> bool {
+        set.len() <= self.k
+    }
+
+    fn rank(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_rule() {
+        let m = UniformMatroid::new(2);
+        assert!(Matroid::<u32>::is_independent(&m, &[]));
+        assert!(m.is_independent(&[1u32]));
+        assert!(m.is_independent(&[1u32, 2]));
+        assert!(!m.is_independent(&[1u32, 2, 3]));
+        assert_eq!(Matroid::<u32>::rank(&m), 2);
+    }
+
+    #[test]
+    fn rank_zero_matroid_only_has_empty_set() {
+        let m = UniformMatroid::new(0);
+        assert!(Matroid::<u32>::is_independent(&m, &[]));
+        assert!(!m.is_independent(&[7u32]));
+    }
+}

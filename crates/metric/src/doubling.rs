@@ -1,0 +1,159 @@
+//! Empirical doubling-dimension estimation.
+//!
+//! The doubling dimension `D` of a set `W` is the smallest value such that
+//! every ball `B(x, r)` in `W` is covered by at most `2^D` balls of radius
+//! `r/2`. The paper's space bound for the coreset is
+//! `O(k² log Δ (c/ε)^D)`; the algorithm never *needs* `D`, but the
+//! dimensionality experiments (Figures 4 and 5) are about how memory and
+//! query time track the *intrinsic* dimension of the data rather than the
+//! ambient number of coordinates. This module provides the estimator used
+//! by the harness to report that intrinsic dimension.
+
+use crate::metric::Metric;
+
+/// Greedy `r`-net: a maximal subset of `points` with pairwise distances
+/// `> r`, built by a single scan. Every input point is within `r` of some
+/// net point (maximality), and net points are an `r`-packing.
+pub fn greedy_net<M: Metric>(metric: &M, points: &[M::Point], r: f64) -> Vec<usize> {
+    let mut net: Vec<usize> = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for &j in &net {
+            if metric.dist(p, &points[j]) <= r {
+                continue 'outer;
+            }
+        }
+        net.push(i);
+    }
+    net
+}
+
+/// Estimates the doubling dimension of `points` by measuring the growth
+/// rate of greedy-net sizes across a geometric ladder of scales.
+///
+/// For an `r`-net of size `N_r`, a space of doubling dimension `D`
+/// satisfies `N_{r/2} ≤ c · 2^D · N_r` within the data diameter, so the
+/// base-2 logarithm of successive net-size ratios estimates `D`. We return
+/// the *median* ratio over the ladder, which is robust to boundary effects
+/// at the largest and smallest scales.
+///
+/// Returns `None` for degenerate inputs (fewer than two distinct points).
+pub fn estimate_doubling_dimension<M: Metric>(
+    metric: &M,
+    points: &[M::Point],
+    levels: usize,
+) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    // Diameter lower bound via double sweep.
+    let far = |from: &M::Point| -> f64 {
+        points
+            .iter()
+            .map(|p| metric.dist(from, p))
+            .fold(0.0, f64::max)
+    };
+    let diam = far(&points[0]);
+    if diam <= 0.0 {
+        return None;
+    }
+
+    let mut sizes = Vec::with_capacity(levels + 1);
+    let mut r = diam / 2.0;
+    for _ in 0..=levels {
+        let net = greedy_net(metric, points, r);
+        sizes.push(net.len());
+        r /= 2.0;
+        // Stop once the net saturates: below the minimum distance every
+        // point is its own net point and ratios degenerate to 1.
+        if *sizes.last().expect("just pushed") == points.len() {
+            break;
+        }
+    }
+
+    let mut ratios: Vec<f64> = sizes
+        .windows(2)
+        .filter(|w| w[0] > 0 && w[1] > w[0])
+        .map(|w| (w[1] as f64 / w[0] as f64).log2())
+        .collect();
+    if ratios.is_empty() {
+        return Some(0.0);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    Some(ratios[ratios.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Euclidean;
+    use crate::point::EuclidPoint;
+
+    /// Deterministic low-discrepancy points in the unit cube of dim `d`.
+    fn cube_points(n: usize, d: usize) -> Vec<EuclidPoint> {
+        // Additive quasi-random (Kronecker) sequence with per-dimension
+        // irrational steps (fractional parts of square roots of primes):
+        // fills the cube uniformly without rand and without cross-
+        // dimension correlation.
+        let primes = [2.0f64, 3.0, 5.0, 7.0, 11.0, 13.0, 17.0, 19.0];
+        (0..n)
+            .map(|i| {
+                let coords: Vec<f64> = (0..d)
+                    .map(|j| ((i + 1) as f64 * primes[j % primes.len()].sqrt()).fract())
+                    .collect();
+                EuclidPoint::new(coords)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_net_is_packing_and_covering() {
+        let pts = cube_points(300, 2);
+        let r = 0.2;
+        let net = greedy_net(&Euclidean, &pts, r);
+        // Packing: pairwise > r.
+        for i in 0..net.len() {
+            for j in (i + 1)..net.len() {
+                assert!(Euclidean.dist(&pts[net[i]], &pts[net[j]]) > r);
+            }
+        }
+        // Covering: every point within r of the net.
+        for p in &pts {
+            let d = Euclidean.dist_to_set(p, net.iter().map(|&i| &pts[i]));
+            assert!(d <= r);
+        }
+    }
+
+    #[test]
+    fn doubling_dim_tracks_intrinsic_dimension() {
+        let d1 = estimate_doubling_dimension(&Euclidean, &cube_points(600, 1), 6).unwrap();
+        let d2 = estimate_doubling_dimension(&Euclidean, &cube_points(600, 2), 6).unwrap();
+        let d3 = estimate_doubling_dimension(&Euclidean, &cube_points(600, 3), 6).unwrap();
+        // The estimator must be monotone across 1D/2D/3D samples and in
+        // the right ballpark (±1 of the true dimension).
+        assert!(d1 < d2 && d2 < d3, "got {d1} {d2} {d3}");
+        assert!(d1 > 0.3 && d1 < 2.0, "1D estimate {d1}");
+        assert!(d3 > 1.5, "3D estimate {d3}");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        let p = EuclidPoint::new(vec![0.0]);
+        assert!(estimate_doubling_dimension(&Euclidean, &[], 4).is_none());
+        assert!(estimate_doubling_dimension(&Euclidean, std::slice::from_ref(&p), 4).is_none());
+        assert!(estimate_doubling_dimension(&Euclidean, &[p.clone(), p], 4).is_none());
+    }
+
+    #[test]
+    fn rotated_data_keeps_low_intrinsic_dimension() {
+        // 1-D data embedded on a diagonal of 5-D space: the estimator must
+        // report ~1, not 5 — the exact phenomenon Figure 5 tests.
+        let pts: Vec<EuclidPoint> = (0..500)
+            .map(|i| {
+                let t = (i as f64 * 0.618_033_988_7).fract();
+                EuclidPoint::new(vec![t, 2.0 * t, -t, 0.5 * t, t])
+            })
+            .collect();
+        let d = estimate_doubling_dimension(&Euclidean, &pts, 6).unwrap();
+        assert!(d < 2.0, "embedded 1D line estimated at {d}");
+    }
+}

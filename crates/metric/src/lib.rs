@@ -1,0 +1,27 @@
+//! Metric-space substrate for the `fairsw` workspace.
+//!
+//! The paper ("Fair Center Clustering in Sliding Windows") is stated for
+//! *general* metric spaces: the algorithms only ever interact with the
+//! input through a pairwise distance function, a color label per point and
+//! the arrival order. This crate provides:
+//!
+//! * [`Metric`] — the distance-oracle trait every algorithm in the
+//!   workspace is generic over;
+//! * [`EuclidPoint`] plus the concrete [`Euclidean`], [`Manhattan`] and
+//!   [`Chebyshev`] metrics used by the experiments;
+//! * [`Colored`] — a point tagged with its fairness category;
+//! * [`stats`] — exact and sampled estimates of the minimum/maximum
+//!   pairwise distance and the aspect ratio `Δ = dmax/dmin` that define
+//!   the guess set `Γ`;
+//! * [`doubling`] — an empirical doubling-dimension estimator used by the
+//!   experiment harness to relate coreset sizes to intrinsic
+//!   dimensionality (the algorithm itself never needs it, per the paper).
+
+pub mod doubling;
+pub mod metric;
+pub mod point;
+pub mod stats;
+
+pub use metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
+pub use point::{Colored, Coords, EuclidPoint};
+pub use stats::{aspect_ratio, pairwise_extremes, sampled_extremes, PairwiseExtremes};

@@ -1,0 +1,243 @@
+//! The distance-oracle trait and the concrete metrics used in the
+//! experiments.
+
+use crate::point::EuclidPoint;
+
+/// A metric space: a point type plus a distance oracle.
+///
+/// All algorithms in the workspace — the sequential baselines of
+/// `fairsw-sequential` and the sliding-window algorithm of `fairsw-core` —
+/// are generic over this trait, mirroring the paper's generality ("general
+/// metric spaces"). Implementations must satisfy the metric axioms
+/// (non-negativity, identity, symmetry, triangle inequality); the property
+/// tests in this crate spot-check them for the bundled metrics.
+pub trait Metric: Clone {
+    /// The point type of the space.
+    type Point: Clone + std::fmt::Debug;
+
+    /// The distance between two points. Must be finite and `>= 0`.
+    fn dist(&self, a: &Self::Point, b: &Self::Point) -> f64;
+
+    /// Distance from `p` to the closest of `set`, or `f64::INFINITY` when
+    /// `set` is empty. Convenience used by every clustering routine.
+    fn dist_to_set<'a, I>(&self, p: &Self::Point, set: I) -> f64
+    where
+        I: IntoIterator<Item = &'a Self::Point>,
+        Self::Point: 'a,
+    {
+        let mut best = f64::INFINITY;
+        for q in set {
+            let d = self.dist(p, q);
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+}
+
+/// The Euclidean (L2) metric on [`EuclidPoint`]s. Used by every experiment
+/// in the paper.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    type Point = EuclidPoint;
+
+    #[inline]
+    fn dist(&self, a: &EuclidPoint, b: &EuclidPoint) -> f64 {
+        let (xs, ys) = (a.coords(), b.coords());
+        debug_assert_eq!(xs.len(), ys.len(), "dimension mismatch");
+        let mut acc = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            let d = x - y;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+}
+
+/// The Manhattan (L1) metric on [`EuclidPoint`]s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    type Point = EuclidPoint;
+
+    #[inline]
+    fn dist(&self, a: &EuclidPoint, b: &EuclidPoint) -> f64 {
+        let (xs, ys) = (a.coords(), b.coords());
+        debug_assert_eq!(xs.len(), ys.len(), "dimension mismatch");
+        xs.iter().zip(ys).map(|(x, y)| (x - y).abs()).sum()
+    }
+}
+
+/// The Chebyshev (L∞) metric on [`EuclidPoint`]s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    type Point = EuclidPoint;
+
+    #[inline]
+    fn dist(&self, a: &EuclidPoint, b: &EuclidPoint) -> f64 {
+        let (xs, ys) = (a.coords(), b.coords());
+        debug_assert_eq!(xs.len(), ys.len(), "dimension mismatch");
+        xs.iter()
+            .zip(ys)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The angular (normalized cosine) metric on [`EuclidPoint`]s:
+/// `d(a, b) = arccos(⟨a,b⟩ / (‖a‖‖b‖)) / π ∈ [0, 1]`.
+///
+/// Unlike raw "cosine distance" (`1 - cos`), the angle itself satisfies
+/// the triangle inequality on the unit sphere, so this is a genuine
+/// metric and safe for every algorithm in the workspace. Zero vectors are
+/// treated as at angle 0 from everything (a documented convention; feed
+/// non-degenerate data for meaningful results).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Angular;
+
+impl Metric for Angular {
+    type Point = EuclidPoint;
+
+    #[inline]
+    fn dist(&self, a: &EuclidPoint, b: &EuclidPoint) -> f64 {
+        let (xs, ys) = (a.coords(), b.coords());
+        debug_assert_eq!(xs.len(), ys.len(), "dimension mismatch");
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        // Kahan's stable angle: 2·atan2(‖â−b̂‖, ‖â+b̂‖) over the unit-
+        // normalized vectors. Exactly 0 for identical inputs and accurate
+        // for tiny angles, unlike acos of a clamped cosine.
+        let (na, nb) = (na.sqrt(), nb.sqrt());
+        let mut diff = 0.0;
+        let mut sum = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            let (u, v) = (x / na, y / nb);
+            diff += (u - v) * (u - v);
+            sum += (u + v) * (u + v);
+        }
+        2.0 * diff.sqrt().atan2(sum.sqrt()) / std::f64::consts::PI
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(v: &[f64]) -> EuclidPoint {
+        EuclidPoint::new(v.to_vec())
+    }
+
+    #[test]
+    fn euclidean_345() {
+        let m = Euclidean;
+        assert!((m.dist(&p(&[0.0, 0.0]), &p(&[3.0, 4.0])) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[3.0, -4.0]);
+        assert!((Manhattan.dist(&a, &b) - 7.0).abs() < 1e-12);
+        assert!((Chebyshev.dist(&a, &b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_basics() {
+        let m = Angular;
+        let e1 = p(&[1.0, 0.0]);
+        let e2 = p(&[0.0, 1.0]);
+        let neg = p(&[-1.0, 0.0]);
+        let scaled = p(&[5.0, 0.0]);
+        assert!((m.dist(&e1, &e2) - 0.5).abs() < 1e-12, "orthogonal = 1/2");
+        assert!((m.dist(&e1, &neg) - 1.0).abs() < 1e-12, "opposite = 1");
+        assert_eq!(m.dist(&e1, &scaled), 0.0, "scale invariant");
+        let zero = p(&[0.0, 0.0]);
+        assert_eq!(m.dist(&zero, &e1), 0.0, "zero-vector convention");
+    }
+
+    #[test]
+    fn dist_to_set_empty_is_infinite() {
+        let m = Euclidean;
+        let a = p(&[0.0]);
+        assert_eq!(m.dist_to_set(&a, std::iter::empty()), f64::INFINITY);
+    }
+
+    #[test]
+    fn dist_to_set_picks_minimum() {
+        let m = Euclidean;
+        let a = p(&[0.0]);
+        let set = [p(&[5.0]), p(&[2.0]), p(&[-1.0])];
+        assert!((m.dist_to_set(&a, set.iter()) - 1.0).abs() < 1e-12);
+    }
+
+    fn arb_point(dim: usize) -> impl Strategy<Value = EuclidPoint> {
+        proptest::collection::vec(-1e3..1e3f64, dim).prop_map(EuclidPoint::new)
+    }
+
+    macro_rules! metric_axiom_tests {
+        ($name:ident, $metric:expr) => {
+            mod $name {
+                use super::*;
+
+                proptest! {
+                    #[test]
+                    fn symmetry(a in arb_point(4), b in arb_point(4)) {
+                        let m = $metric;
+                        prop_assert!((m.dist(&a, &b) - m.dist(&b, &a)).abs() < 1e-9);
+                    }
+
+                    #[test]
+                    fn identity(a in arb_point(4)) {
+                        // ≤ 1e-9 rather than == 0: Angular goes through
+                        // acos, which can leave a few ulps of residue.
+                        let m = $metric;
+                        prop_assert!(m.dist(&a, &a) <= 1e-9);
+                    }
+
+                    #[test]
+                    fn non_negative(a in arb_point(4), b in arb_point(4)) {
+                        let m = $metric;
+                        prop_assert!(m.dist(&a, &b) >= 0.0);
+                    }
+
+                    #[test]
+                    fn triangle(a in arb_point(4), b in arb_point(4), c in arb_point(4)) {
+                        let m = $metric;
+                        prop_assert!(m.dist(&a, &c) <= m.dist(&a, &b) + m.dist(&b, &c) + 1e-7);
+                    }
+                }
+            }
+        };
+    }
+
+    metric_axiom_tests!(euclidean_axioms, Euclidean);
+    metric_axiom_tests!(angular_axioms, Angular);
+    metric_axiom_tests!(manhattan_axioms, Manhattan);
+    metric_axiom_tests!(chebyshev_axioms, Chebyshev);
+
+    proptest! {
+        #[test]
+        fn norm_ordering(a in arb_point(6), b in arb_point(6)) {
+            // L∞ ≤ L2 ≤ L1 for any pair of points.
+            let linf = Chebyshev.dist(&a, &b);
+            let l2 = Euclidean.dist(&a, &b);
+            let l1 = Manhattan.dist(&a, &b);
+            prop_assert!(linf <= l2 + 1e-9);
+            prop_assert!(l2 <= l1 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Point representations shared across the workspace.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared, immutable coordinate storage.
+///
+/// Points are cloned into several per-guess data structures by the sliding
+/// window algorithm (one copy per radius guess in the worst case), so the
+/// coordinate payload is reference counted: cloning a point is a pointer
+/// copy plus an atomic increment rather than an `O(d)` buffer copy.
+pub type Coords = Arc<[f64]>;
+
+/// A point of a Euclidean-style vector space (also served by the L1 / L∞
+/// metrics in [`crate::metric`]).
+#[derive(Clone)]
+pub struct EuclidPoint {
+    coords: Coords,
+}
+
+impl EuclidPoint {
+    /// Builds a point from a coordinate vector.
+    pub fn new(coords: impl Into<Vec<f64>>) -> Self {
+        let v: Vec<f64> = coords.into();
+        EuclidPoint {
+            coords: Arc::from(v.into_boxed_slice()),
+        }
+    }
+
+    /// Builds a point that shares an existing coordinate buffer.
+    pub fn from_shared(coords: Coords) -> Self {
+        EuclidPoint { coords }
+    }
+
+    /// The coordinates of the point.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Dimensionality (number of coordinates) of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+impl fmt::Debug for EuclidPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EuclidPoint(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialEq for EuclidPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.coords[..] == other.coords[..]
+    }
+}
+
+impl From<Vec<f64>> for EuclidPoint {
+    fn from(v: Vec<f64>) -> Self {
+        EuclidPoint::new(v)
+    }
+}
+
+impl From<&[f64]> for EuclidPoint {
+    fn from(v: &[f64]) -> Self {
+        EuclidPoint::new(v.to_vec())
+    }
+}
+
+/// A point tagged with its fairness category ("color").
+///
+/// Colors are small dense integers `0..ℓ`; the partition-matroid budgets
+/// `k_i` in [`fairsw_matroid`](https://docs.rs/fairsw-matroid) are indexed
+/// by them. The sliding-window algorithm, the sequential baselines and the
+/// dataset generators all exchange `Colored<P>` values.
+#[derive(Clone, Debug)]
+pub struct Colored<P> {
+    /// The payload point.
+    pub point: P,
+    /// The fairness category of the point, in `0..ℓ`.
+    pub color: u32,
+}
+
+impl<P> Colored<P> {
+    /// Tags `point` with `color`.
+    pub fn new(point: P, color: u32) -> Self {
+        Colored { point, color }
+    }
+
+    /// Maps the payload while keeping the color.
+    pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Colored<Q> {
+        Colored {
+            point: f(self.point),
+            color: self.color,
+        }
+    }
+
+    /// Borrowing view of the payload with the same color.
+    pub fn as_ref(&self) -> Colored<&P> {
+        Colored {
+            point: &self.point,
+            color: self.color,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclid_point_roundtrip() {
+        let p = EuclidPoint::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.coords(), &[1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+    }
+
+    #[test]
+    fn euclid_point_clone_shares_buffer() {
+        let p = EuclidPoint::new(vec![1.0; 64]);
+        let q = p.clone();
+        assert!(std::ptr::eq(p.coords().as_ptr(), q.coords().as_ptr()));
+    }
+
+    #[test]
+    fn euclid_point_eq_by_value() {
+        let p = EuclidPoint::new(vec![1.0, 2.0]);
+        let q = EuclidPoint::new(vec![1.0, 2.0]);
+        let r = EuclidPoint::new(vec![1.0, 2.5]);
+        assert_eq!(p, q);
+        assert_ne!(p, r);
+    }
+
+    #[test]
+    fn colored_map_preserves_color() {
+        let c = Colored::new(EuclidPoint::new(vec![0.0]), 5);
+        let d = c.map(|p| p.dim());
+        assert_eq!(d.color, 5);
+        assert_eq!(d.point, 1);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let p = EuclidPoint::new(vec![1.0, 2.0]);
+        let s = format!("{p:?}");
+        assert!(s.starts_with("EuclidPoint("));
+        assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    fn from_slice_and_vec() {
+        let v = [3.0, 4.0];
+        let p: EuclidPoint = v.as_slice().into();
+        let q: EuclidPoint = vec![3.0, 4.0].into();
+        assert_eq!(p, q);
+    }
+}

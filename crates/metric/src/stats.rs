@@ -1,0 +1,186 @@
+//! Pairwise-distance statistics: `dmin`, `dmax` and the aspect ratio
+//! `Δ = dmax / dmin` that determines the number of radius guesses
+//! `|Γ| = O(log Δ / log(1+β))` maintained by the sliding-window algorithm.
+
+use crate::metric::Metric;
+
+/// Minimum and maximum pairwise distance of a point set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairwiseExtremes {
+    /// The minimum distance over distinct-index pairs (ignoring exact
+    /// duplicates, which would force `dmin = 0` and an infinite guess
+    /// lattice; the paper implicitly assumes distinct points).
+    pub dmin: f64,
+    /// The maximum pairwise distance (the diameter).
+    pub dmax: f64,
+}
+
+impl PairwiseExtremes {
+    /// The aspect ratio `Δ = dmax / dmin`.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.dmax / self.dmin
+    }
+}
+
+/// Exact `dmin`/`dmax` over all `O(n²)` pairs.
+///
+/// Returns `None` when fewer than two points are given or when all points
+/// coincide. Duplicate points (distance 0) are skipped when computing
+/// `dmin`, matching the convention used to define the guess set.
+pub fn pairwise_extremes<M: Metric>(metric: &M, points: &[M::Point]) -> Option<PairwiseExtremes> {
+    let mut dmin = f64::INFINITY;
+    let mut dmax: f64 = 0.0;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = metric.dist(&points[i], &points[j]);
+            if d > 0.0 && d < dmin {
+                dmin = d;
+            }
+            if d > dmax {
+                dmax = d;
+            }
+        }
+    }
+    if dmin.is_finite() && dmax > 0.0 {
+        Some(PairwiseExtremes { dmin, dmax })
+    } else {
+        None
+    }
+}
+
+/// Sampled `dmin`/`dmax` estimate for large datasets.
+///
+/// Evaluates distances between `sample_size` evenly strided points plus a
+/// deterministic sweep of consecutive pairs (consecutive stream points are
+/// the most likely close pairs in trajectory-like data, tightening the
+/// `dmin` estimate). `dmax` is refined by a Gonzalez-style double sweep:
+/// from an arbitrary point, find the farthest point `a`, then the farthest
+/// from `a` — a classical 2-approximation of the diameter that in practice
+/// is nearly exact. The result brackets the true extremes well enough for
+/// guess-lattice construction (an underestimate of `dmin` or overestimate
+/// of `dmax` merely adds a few guesses).
+pub fn sampled_extremes<M: Metric>(
+    metric: &M,
+    points: &[M::Point],
+    sample_size: usize,
+) -> Option<PairwiseExtremes> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len();
+    let stride = (n / sample_size.max(1)).max(1);
+    let sample: Vec<&M::Point> = points.iter().step_by(stride).collect();
+
+    let mut dmin = f64::INFINITY;
+    let mut dmax: f64 = 0.0;
+    for i in 0..sample.len() {
+        for j in (i + 1)..sample.len() {
+            let d = metric.dist(sample[i], sample[j]);
+            if d > 0.0 && d < dmin {
+                dmin = d;
+            }
+            if d > dmax {
+                dmax = d;
+            }
+        }
+    }
+    // Consecutive pairs: cheap O(n) refinement of dmin.
+    for w in points.windows(2) {
+        let d = metric.dist(&w[0], &w[1]);
+        if d > 0.0 && d < dmin {
+            dmin = d;
+        }
+    }
+    // Double farthest-point sweep: refinement of dmax.
+    let far = |from: &M::Point| -> (usize, f64) {
+        let mut best = (0usize, 0.0f64);
+        for (i, p) in points.iter().enumerate() {
+            let d = metric.dist(from, p);
+            if d > best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    };
+    let (a, _) = far(&points[0]);
+    let (_, d2) = far(&points[a]);
+    if d2 > dmax {
+        dmax = d2;
+    }
+
+    if dmin.is_finite() && dmax > 0.0 {
+        Some(PairwiseExtremes { dmin, dmax })
+    } else {
+        None
+    }
+}
+
+/// The aspect ratio `Δ = dmax/dmin` of a point set (exact; `None` for
+/// degenerate inputs).
+pub fn aspect_ratio<M: Metric>(metric: &M, points: &[M::Point]) -> Option<f64> {
+    pairwise_extremes(metric, points).map(|e| e.aspect_ratio())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Euclidean;
+    use crate::point::EuclidPoint;
+
+    fn pts(vals: &[f64]) -> Vec<EuclidPoint> {
+        vals.iter().map(|&v| EuclidPoint::new(vec![v])).collect()
+    }
+
+    #[test]
+    fn exact_extremes_line() {
+        let e = pairwise_extremes(&Euclidean, &pts(&[0.0, 1.0, 10.0])).unwrap();
+        assert!((e.dmin - 1.0).abs() < 1e-12);
+        assert!((e.dmax - 10.0).abs() < 1e-12);
+        assert!((e.aspect_ratio() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(pairwise_extremes(&Euclidean, &pts(&[])).is_none());
+        assert!(pairwise_extremes(&Euclidean, &pts(&[1.0])).is_none());
+        assert!(pairwise_extremes(&Euclidean, &pts(&[2.0, 2.0])).is_none());
+    }
+
+    #[test]
+    fn duplicates_skipped_in_dmin() {
+        let e = pairwise_extremes(&Euclidean, &pts(&[0.0, 0.0, 3.0])).unwrap();
+        assert!((e.dmin - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_brackets_exact() {
+        // Deterministic quasi-random scatter in 2D.
+        let mut points = Vec::new();
+        let mut x = 0.5f64;
+        for i in 0..400 {
+            x = (x * 997.0 + 31.17).fract();
+            let y = ((i as f64) * 0.618_033_9).fract();
+            points.push(EuclidPoint::new(vec![x * 100.0, y * 100.0]));
+        }
+        let exact = pairwise_extremes(&Euclidean, &points).unwrap();
+        let approx = sampled_extremes(&Euclidean, &points, 64).unwrap();
+        // Sampled dmin can only overestimate, dmax can only underestimate,
+        // but the double sweep keeps dmax within factor 2.
+        assert!(approx.dmin >= exact.dmin - 1e-9);
+        assert!(approx.dmax <= exact.dmax + 1e-9);
+        assert!(approx.dmax >= exact.dmax / 2.0);
+    }
+
+    #[test]
+    fn sampled_small_input() {
+        let e = sampled_extremes(&Euclidean, &pts(&[0.0, 4.0]), 10).unwrap();
+        assert!((e.dmin - 4.0).abs() < 1e-12);
+        assert!((e.dmax - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aspect_ratio_helper() {
+        assert!((aspect_ratio(&Euclidean, &pts(&[0.0, 1.0, 8.0])).unwrap() - 8.0).abs() < 1e-12);
+        assert!(aspect_ratio(&Euclidean, &pts(&[1.0])).is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Exponential-time exact solvers for tiny instances.
+//!
+//! These establish ground truth for the approximation-factor property
+//! tests: Gonzalez ≤ 2·OPT, Jones/ChenEtAl ≤ 3·OPT. They enumerate all
+//! center subsets, so keep `n ≤ ~14`.
+
+use crate::{validate, FairCenterSolver, FairSolution, Instance, SolveError};
+use fairsw_metric::{Colored, Metric};
+
+/// The exact solver as a [`FairCenterSolver`] (α = 1).
+///
+/// Usable as the coreset solver `A` in `Query` when coresets are tiny
+/// (≲ 18 points): Theorem 1 then yields a `(1+ε)`-approximate streaming
+/// answer. Exponential time — guard instance sizes accordingly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactSolver;
+
+impl ExactSolver {
+    /// Creates the exact solver.
+    pub fn new() -> Self {
+        ExactSolver
+    }
+}
+
+impl<M: Metric> FairCenterSolver<M> for ExactSolver {
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+
+    fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError> {
+        exact_fair_center(inst)
+    }
+}
+
+/// Exact optimal radius for *unconstrained* k-center by enumeration of all
+/// `≤ k`-subsets.
+pub fn exact_kcenter_radius<M: Metric>(metric: &M, points: &[M::Point], k: usize) -> f64 {
+    assert!(points.len() <= 20, "instance too large for enumeration");
+    if points.is_empty() {
+        return 0.0;
+    }
+    if k == 0 {
+        return f64::INFINITY;
+    }
+    let n = points.len();
+    let mut best = f64::INFINITY;
+    for mask in 1u32..(1u32 << n) {
+        if mask.count_ones() as usize > k {
+            continue;
+        }
+        let centers: Vec<&M::Point> = (0..n)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| &points[i])
+            .collect();
+        let mut r: f64 = 0.0;
+        for p in points {
+            let d = metric.dist_to_set(p, centers.iter().copied());
+            if d > r {
+                r = d;
+            }
+            if r >= best {
+                break;
+            }
+        }
+        if r < best {
+            best = r;
+        }
+    }
+    best
+}
+
+/// Exact optimal fair-center solution by enumeration of all subsets that
+/// satisfy the color budgets.
+pub fn exact_fair_center<M: Metric>(
+    inst: &Instance<'_, M>,
+) -> Result<FairSolution<M::Point>, SolveError> {
+    validate(inst)?;
+    assert!(inst.points.len() <= 18, "instance too large for enumeration");
+    let n = inst.points.len();
+    let mut best_r = f64::INFINITY;
+    let mut best_mask = 0u32;
+    let k = inst.k();
+
+    'mask: for mask in 1u32..(1u32 << n) {
+        if mask.count_ones() as usize > k {
+            continue;
+        }
+        // Fairness check.
+        let mut counts = vec![0usize; inst.caps.len()];
+        for i in 0..n {
+            if mask >> i & 1 == 1 {
+                let c = inst.points[i].color as usize;
+                counts[c] += 1;
+                if counts[c] > inst.caps[c] {
+                    continue 'mask;
+                }
+            }
+        }
+        // Radius with early exit.
+        let mut r: f64 = 0.0;
+        for p in inst.points {
+            let mut d = f64::INFINITY;
+            for i in 0..n {
+                if mask >> i & 1 == 1 {
+                    let dd = inst.metric.dist(&p.point, &inst.points[i].point);
+                    if dd < d {
+                        d = dd;
+                    }
+                }
+            }
+            if d > r {
+                r = d;
+            }
+            if r >= best_r {
+                continue 'mask;
+            }
+        }
+        best_r = r;
+        best_mask = mask;
+    }
+
+    let centers: Vec<Colored<M::Point>> = (0..n)
+        .filter(|&i| best_mask >> i & 1 == 1)
+        .map(|i| inst.points[i].clone())
+        .collect();
+    Ok(FairSolution {
+        centers,
+        radius: best_r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::pts1d;
+    use fairsw_metric::{Euclidean, EuclidPoint};
+
+    #[test]
+    fn exact_kcenter_line() {
+        let pts: Vec<EuclidPoint> = [0.0, 1.0, 10.0, 11.0]
+            .iter()
+            .map(|&v| EuclidPoint::new(vec![v]))
+            .collect();
+        // k=2: centers at 0/1 and 10/11 -> radius 1... actually picking
+        // 0 and 10 gives radius 1; picking 0.5 not allowed (centers are
+        // input points). Optimum = 1.0.
+        let r = exact_kcenter_radius(&Euclidean, &pts, 2);
+        assert!((r - 1.0).abs() < 1e-12);
+        // k=4: zero radius.
+        assert_eq!(exact_kcenter_radius(&Euclidean, &pts, 4), 0.0);
+    }
+
+    #[test]
+    fn exact_kcenter_degenerate() {
+        assert_eq!(exact_kcenter_radius(&Euclidean, &[], 2), 0.0);
+        let p = [EuclidPoint::new(vec![0.0])];
+        assert_eq!(exact_kcenter_radius(&Euclidean, &p, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn fairness_makes_radius_worse() {
+        // Two clusters; all points of cluster 2 share color 0, budget 1.
+        // Unconstrained k=2 optimum: one center per cluster, radius 1.
+        // Fair optimum with caps [1,1]: color-1 point only exists in
+        // cluster 1, so cluster 2 takes the single color-0 slot; radius
+        // is still 1 if color assignment permits... craft so fair is
+        // strictly worse: all points color 0, caps [1] with k=1 < 2.
+        let pts = pts1d(&[(0.0, 0), (1.0, 0), (10.0, 0), (11.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1]);
+        let sol = exact_fair_center(&inst).unwrap();
+        // One center only: best is 0.0/1.0 -> covers within 11; center at
+        // 1.0 or 10.0 gives radius 10.
+        assert!((sol.radius - 10.0).abs() < 1e-12);
+        assert_eq!(sol.centers.len(), 1);
+        assert!(inst.is_fair(&sol.centers));
+    }
+
+    #[test]
+    fn fair_equals_unconstrained_when_budgets_loose() {
+        let pts = pts1d(&[(0.0, 0), (1.0, 1), (10.0, 0), (11.0, 1)]);
+        let inst = Instance::new(&Euclidean, &pts, &[2, 2]);
+        let sol = exact_fair_center(&inst).unwrap();
+        let points: Vec<EuclidPoint> = pts.iter().map(|c| c.point.clone()).collect();
+        let unc = exact_kcenter_radius(&Euclidean, &points, 4);
+        assert!((sol.radius - unc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_solver_trait_roundtrip() {
+        let pts = pts1d(&[(0.0, 0), (1.0, 1), (10.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1, 1]);
+        let sol =
+            <ExactSolver as crate::FairCenterSolver<Euclidean>>::solve(&ExactSolver::new(), &inst)
+                .unwrap();
+        assert!(inst.is_fair(&sol.centers));
+        assert!((sol.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let pts = pts1d(&[]);
+        let inst = Instance::new(&Euclidean, &pts, &[1]);
+        assert!(matches!(
+            exact_fair_center(&inst),
+            Err(SolveError::EmptyInstance)
+        ));
+    }
+}

@@ -1,0 +1,235 @@
+//! The Jones–Nguyen–Nguyen fair k-center algorithm ("Fair k-Centers via
+//! Maximum Matching", ICML 2020) — a 3-approximation in `O(nk)`-ish time.
+//!
+//! Outline (as implemented here):
+//!
+//! 1. Run Gonzalez for `k` pivots, recording the coverage radius of every
+//!    prefix `P_j` (`coverage[j-1]` = clustering radius of `P_j`).
+//! 2. Precompute `mind[p][i]` = distance from pivot `p` to the nearest
+//!    point of color `i` (`O(nk)` total).
+//! 3. For each prefix length `j`, binary-search the smallest threshold `τ`
+//!    (over the candidate values `mind[p][i]`, `p < j`) such that the
+//!    capacitated matching "pivot `p` may take color `i` iff
+//!    `mind[p][i] ≤ τ`" assigns a color to *every* pivot of `P_j`.
+//!    Replacing each pivot by its matched witness point yields a fair
+//!    solution of radius at most `coverage[j-1] + τ(j)`.
+//! 4. Return the candidate with the best bound (we additionally evaluate
+//!    its true radius over the instance, which can only be smaller).
+//!
+//! Why 3-approximate: let `r*` be the fair optimum and `j*` the largest
+//! prefix whose pivots are pairwise `> 2r*` apart. Each pivot of `P_{j*}`
+//! then lies within `r*` of a *distinct* optimal center, so assigning each
+//! pivot its optimal center's color is a feasible matching with
+//! `τ ≤ r*`; and the next Gonzalez pivot was within `2r*` of `P_{j*}`
+//! (otherwise `P_{j*+1}` would still be pairwise `> 2r*`), hence
+//! `coverage[j*-1] ≤ 2r*`. The returned minimum is therefore at most
+//! `coverage + τ ≤ 3r*`.
+
+use crate::{gonzalez, validate, FairCenterSolver, FairSolution, Instance, SolveError};
+use fairsw_metric::{Colored, Metric};
+use fairsw_matching::max_capacitated_matching;
+
+/// The Jones fair-center solver (α = 3). Stateless; construct freely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Jones;
+
+impl Jones {
+    /// Creates a new solver.
+    pub fn new() -> Self {
+        Jones
+    }
+}
+
+impl<M: Metric> FairCenterSolver<M> for Jones {
+    fn name(&self) -> &'static str {
+        "Jones"
+    }
+
+    fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError> {
+        validate(inst)?;
+        let k = inst.k();
+        let ncolors = inst.num_colors();
+        let raw: Vec<&M::Point> = inst.points.iter().map(|c| &c.point).collect();
+        let raw_owned: Vec<M::Point> = raw.iter().map(|p| (*p).clone()).collect();
+        let g = gonzalez(inst.metric, &raw_owned, k);
+        let npiv = g.pivots.len();
+
+        // mind[p][i] = (distance, witness index) of the nearest point of
+        // color i to pivot p.
+        let mut mind = vec![vec![(f64::INFINITY, usize::MAX); ncolors]; npiv];
+        for (pi, &pividx) in g.pivots.iter().enumerate() {
+            let pivot = &inst.points[pividx].point;
+            for (qi, q) in inst.points.iter().enumerate() {
+                let d = inst.metric.dist(pivot, &q.point);
+                let slot = &mut mind[pi][q.color as usize];
+                if d < slot.0 {
+                    *slot = (d, qi);
+                }
+            }
+        }
+
+        let mut best: Option<(f64, Vec<usize>)> = None; // (bound, witness indices)
+
+        for j in 1..=npiv {
+            if j > k {
+                break;
+            }
+            // Candidate thresholds: the finite mind values of the prefix.
+            let mut cands: Vec<f64> = mind[..j]
+                .iter()
+                .flat_map(|row| row.iter().map(|&(d, _)| d))
+                .filter(|d| d.is_finite())
+                .collect();
+            cands.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            cands.dedup();
+            if cands.is_empty() {
+                continue;
+            }
+
+            // Perfect matching is monotone in τ: binary search the
+            // smallest feasible candidate.
+            let feasible = |tau: f64| -> Option<Vec<usize>> {
+                let adj: Vec<Vec<usize>> = mind[..j]
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .enumerate()
+                            .filter(|(_, &(d, _))| d <= tau)
+                            .map(|(c, _)| c)
+                            .collect()
+                    })
+                    .collect();
+                let m = max_capacitated_matching(inst.caps, &adj);
+                if m.is_left_perfect() {
+                    Some(
+                        m.assigned
+                            .iter()
+                            .enumerate()
+                            .map(|(p, a)| mind[p][a.expect("perfect")].1)
+                            .collect(),
+                    )
+                } else {
+                    None
+                }
+            };
+
+            if feasible(*cands.last().expect("non-empty")).is_none() {
+                // Even the loosest threshold fails (some color classes
+                // absent): this prefix cannot be perfectly matched.
+                continue;
+            }
+            let (mut lo, mut hi) = (0usize, cands.len() - 1);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if feasible(cands[mid]).is_some() {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            let tau = cands[lo];
+            let witnesses = feasible(tau).expect("lo is feasible");
+            let cover = g.coverage[j - 1];
+            let bound = cover + tau;
+            if best.as_ref().is_none_or(|(b, _)| bound < *b) {
+                best = Some((bound, witnesses));
+            }
+        }
+
+        let (_, witnesses) = best.ok_or(SolveError::EmptyInstance)?;
+        let mut centers: Vec<Colored<M::Point>> =
+            witnesses.iter().map(|&i| inst.points[i].clone()).collect();
+        // Distinct pivots can share a witness point (the same point may be
+        // the closest representative of one color to two pivots); dedup by
+        // index to keep the center set a set.
+        let mut seen = std::collections::HashSet::new();
+        let mut keep = Vec::new();
+        for (c, &i) in centers.iter().zip(&witnesses) {
+            if seen.insert(i) {
+                keep.push(c.clone());
+            }
+        }
+        centers = keep;
+
+        let radius = inst.radius_of(&centers);
+        Ok(FairSolution { centers, radius })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::exact_fair_center;
+    use crate::testutil::{pts1d, scatter};
+    use fairsw_metric::Euclidean;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_single_point() {
+        let pts = pts1d(&[(3.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1]);
+        let sol = Jones.solve(&inst).unwrap();
+        assert_eq!(sol.centers.len(), 1);
+        assert_eq!(sol.radius, 0.0);
+    }
+
+    #[test]
+    fn respects_budgets() {
+        let pts = scatter(120, 2, 3);
+        let caps = [2usize, 1, 1];
+        let inst = Instance::new(&Euclidean, &pts, &caps);
+        let sol = Jones.solve(&inst).unwrap();
+        assert!(inst.is_fair(&sol.centers), "unfair solution");
+        assert!(sol.centers.len() <= 4);
+        assert!(sol.radius.is_finite());
+    }
+
+    #[test]
+    fn color_forced_substitution() {
+        // Cluster at 0 has only color 0; cluster at 100 only color 1.
+        // caps [1,1]: one center per cluster forced by colors; radius 1.
+        let pts = pts1d(&[(0.0, 0), (1.0, 0), (100.0, 1), (101.0, 1)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1, 1]);
+        let sol = Jones.solve(&inst).unwrap();
+        assert!(sol.radius <= 1.0 + 1e-9, "radius {}", sol.radius);
+    }
+
+    #[test]
+    fn missing_color_is_fine() {
+        // Budget exists for color 1 but no color-1 points: solver must
+        // still return a valid color-0-only solution.
+        let pts = pts1d(&[(0.0, 0), (5.0, 0), (10.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[2, 5]);
+        let sol = Jones.solve(&inst).unwrap();
+        assert!(inst.is_fair(&sol.centers));
+        assert!(sol.radius <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_instance_errors() {
+        let pts = pts1d(&[]);
+        let inst = Instance::new(&Euclidean, &pts, &[1]);
+        assert!(Jones.solve(&inst).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn three_approximation(
+            coords in proptest::collection::vec((-30.0..30.0f64, 0u32..3), 2..11),
+            caps in proptest::collection::vec(1usize..3, 3),
+        ) {
+            let pts = pts1d(
+                &coords.iter().map(|&(x, c)| (x, c)).collect::<Vec<_>>());
+            let inst = Instance::new(&Euclidean, &pts, &caps);
+            let sol = Jones.solve(&inst).unwrap();
+            prop_assert!(inst.is_fair(&sol.centers));
+            let opt = exact_fair_center(&inst).unwrap();
+            prop_assert!(
+                sol.radius <= 3.0 * opt.radius + 1e-9,
+                "jones {} vs opt {}", sol.radius, opt.radius
+            );
+        }
+    }
+}

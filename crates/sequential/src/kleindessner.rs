@@ -1,0 +1,149 @@
+//! A matching-free greedy-swap baseline in the spirit of Kleindessner,
+//! Awasthi and Morgenstern ("Fair k-center clustering for data
+//! summarization", ICML 2019, reference \[12\] of the paper).
+//!
+//! The original algorithm achieves a `(3·2^{ℓ-1} − 1)`-approximation in
+//! time linear in `n` and `k` by greedily picking farthest points and
+//! recursively repairing budget violations. We implement the same
+//! ingredients — a Gonzalez sweep followed by local color repairs without
+//! any matching machinery — and inherit its character: much cheaper than
+//! matching-based solvers, with a weaker (exponential-in-ℓ) guarantee.
+//! The paper under reproduction cites this algorithm as related work but
+//! benchmarks Jones instead; we keep it as an ablation baseline.
+//!
+//! Repair rule: process pivots in selection order; a pivot keeps its own
+//! color while the budget lasts, otherwise it is *swapped* for the nearest
+//! point (preferring its own cluster) whose color still has budget. If no
+//! budgeted color exists anywhere, the pivot is dropped (the remaining
+//! pivots still cover the data within twice the Gonzalez radius of the
+//! shorter prefix).
+
+use crate::{gonzalez, validate, FairCenterSolver, FairSolution, Instance, SolveError};
+use fairsw_metric::{Colored, Metric};
+
+/// The greedy-swap fair-center baseline (exponential-in-ℓ guarantee,
+/// matching-free, fastest of the sequential solvers).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Kleindessner;
+
+impl Kleindessner {
+    /// Creates a new solver.
+    pub fn new() -> Self {
+        Kleindessner
+    }
+}
+
+impl<M: Metric> FairCenterSolver<M> for Kleindessner {
+    fn name(&self) -> &'static str {
+        "Kleindessner"
+    }
+
+    fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError> {
+        validate(inst)?;
+        let k = inst.k();
+        let raw: Vec<M::Point> = inst.points.iter().map(|c| c.point.clone()).collect();
+        let g = gonzalez(inst.metric, &raw, k);
+
+        let mut remaining: Vec<usize> = inst.caps.to_vec();
+        let mut chosen: Vec<usize> = Vec::with_capacity(g.pivots.len());
+        let mut used = vec![false; inst.points.len()];
+
+        for (pi, &pividx) in g.pivots.iter().enumerate() {
+            let own_color = inst.points[pividx].color as usize;
+            if remaining[own_color] > 0 && !used[pividx] {
+                remaining[own_color] -= 1;
+                used[pividx] = true;
+                chosen.push(pividx);
+                continue;
+            }
+            // Swap: nearest unused point with budgeted color, preferring
+            // the pivot's own cluster.
+            let pivot = &inst.points[pividx].point;
+            let mut best: Option<(bool, f64, usize)> = None; // (in_cluster, dist, idx)
+            for (qi, q) in inst.points.iter().enumerate() {
+                if used[qi] || remaining[q.color as usize] == 0 {
+                    continue;
+                }
+                let d = inst.metric.dist(pivot, &q.point);
+                let in_cluster = g.assignment[qi] == pi;
+                let cand = (in_cluster, d, qi);
+                let better = match &best {
+                    None => true,
+                    // Prefer in-cluster; among equals, smaller distance.
+                    Some((bc, bd, _)) => (cand.0 && !bc) || (cand.0 == *bc && d < *bd),
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+            if let Some((_, _, qi)) = best {
+                remaining[inst.points[qi].color as usize] -= 1;
+                used[qi] = true;
+                chosen.push(qi);
+            }
+            // else: budgets exhausted everywhere; drop this pivot.
+        }
+
+        let centers: Vec<Colored<M::Point>> =
+            chosen.into_iter().map(|i| inst.points[i].clone()).collect();
+        if centers.is_empty() {
+            return Err(SolveError::EmptyInstance);
+        }
+        let radius = inst.radius_of(&centers);
+        Ok(FairSolution { centers, radius })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{pts1d, scatter};
+    use fairsw_metric::Euclidean;
+
+    #[test]
+    fn keeps_own_colors_when_budgeted() {
+        let pts = pts1d(&[(0.0, 0), (100.0, 1)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1, 1]);
+        let sol = Kleindessner.solve(&inst).unwrap();
+        assert_eq!(sol.centers.len(), 2);
+        assert!(sol.radius <= 1e-12);
+    }
+
+    #[test]
+    fn swaps_on_budget_exhaustion() {
+        // Three far clusters all headed by color 0, budget 1: two pivots
+        // must swap to the nearby color-1 points.
+        let pts = pts1d(&[
+            (0.0, 0),
+            (0.5, 1),
+            (100.0, 0),
+            (100.5, 1),
+            (200.0, 0),
+            (200.5, 1),
+        ]);
+        let inst = Instance::new(&Euclidean, &pts, &[1, 2]);
+        let sol = Kleindessner.solve(&inst).unwrap();
+        assert!(inst.is_fair(&sol.centers));
+        assert!(sol.radius <= 1.0, "radius {}", sol.radius);
+    }
+
+    #[test]
+    fn drops_pivots_when_everything_exhausted() {
+        // k = 1 but three far apart points: only one center possible.
+        let pts = pts1d(&[(0.0, 0), (100.0, 0), (200.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1]);
+        let sol = Kleindessner.solve(&inst).unwrap();
+        assert_eq!(sol.centers.len(), 1);
+        assert!(inst.is_fair(&sol.centers));
+    }
+
+    #[test]
+    fn fair_on_scatter() {
+        let pts = scatter(200, 3, 4);
+        let caps = [1usize, 2, 1, 2];
+        let inst = Instance::new(&Euclidean, &pts, &caps);
+        let sol = Kleindessner.solve(&inst).unwrap();
+        assert!(inst.is_fair(&sol.centers));
+        assert!(sol.radius.is_finite());
+    }
+}

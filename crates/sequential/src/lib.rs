@@ -1,0 +1,241 @@
+//! Sequential (offline) algorithms for k-center, fair center and matroid
+//! center.
+//!
+//! These play two roles in the reproduction:
+//!
+//! 1. **Baselines** — the paper evaluates its streaming algorithm against
+//!    [`ChenEtAl`] (matroid center, Chen-Li-Liang-Wang,
+//!    Algorithmica 2016, specialised to the partition matroid) and
+//!    [`Jones`] (fair k-center via maximum matching, Jones-
+//!    Nguyen-Nguyen, ICML 2020) run on the *entire window*;
+//! 2. **The coreset solver `A`** — `Query` extracts a coreset and runs a
+//!    sequential fair-center algorithm on it; the paper uses Jones
+//!    (`α = 3`), and so do we by default.
+//!
+//! [`fn@gonzalez`] provides the classical greedy 2-approximation for
+//! unconstrained k-center (Gonzalez 1985), used inside Jones and widely in
+//! tests; [`brute`] holds exponential-time exact solvers for tiny
+//! instances, backing the approximation-factor property tests.
+
+pub mod brute;
+pub mod chen;
+pub mod gonzalez;
+pub mod jones;
+pub mod kleindessner;
+pub mod matroid_center;
+pub mod robust;
+
+pub use brute::ExactSolver;
+pub use chen::ChenEtAl;
+pub use gonzalez::{gonzalez, GonzalezResult};
+pub use jones::Jones;
+pub use kleindessner::Kleindessner;
+pub use matroid_center::{matroid_center, MatroidCenterSolution, MatroidInstance};
+pub use robust::{robust_kcenter, RobustFair, RobustSolution};
+
+use fairsw_metric::{Colored, Metric};
+use std::fmt;
+
+/// A fair-center problem instance: colored points, a metric, and the
+/// per-color budgets `k_1..k_ℓ` of the partition matroid.
+#[derive(Clone, Copy)]
+pub struct Instance<'a, M: Metric> {
+    /// The distance oracle.
+    pub metric: &'a M,
+    /// The points to cluster, each tagged with its color in `0..ℓ`.
+    pub points: &'a [Colored<M::Point>],
+    /// Per-color budgets; `caps.len() = ℓ`, all entries positive.
+    pub caps: &'a [usize],
+}
+
+impl<'a, M: Metric> Instance<'a, M> {
+    /// Builds an instance. The caller guarantees colors are `< caps.len()`
+    /// (checked in debug builds).
+    pub fn new(metric: &'a M, points: &'a [Colored<M::Point>], caps: &'a [usize]) -> Self {
+        debug_assert!(
+            points.iter().all(|p| (p.color as usize) < caps.len()),
+            "point color out of range"
+        );
+        Instance {
+            metric,
+            points,
+            caps,
+        }
+    }
+
+    /// Total budget `k = Σ k_i`.
+    pub fn k(&self) -> usize {
+        self.caps.iter().sum()
+    }
+
+    /// Number of colors `ℓ`.
+    pub fn num_colors(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// The clustering radius of `centers` over this instance's points:
+    /// `max_p min_c d(p, c)`; `f64::INFINITY` when `centers` is empty and
+    /// points are not.
+    pub fn radius_of(&self, centers: &[Colored<M::Point>]) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        if centers.is_empty() {
+            return f64::INFINITY;
+        }
+        let mut r: f64 = 0.0;
+        for p in self.points {
+            let d = self
+                .metric
+                .dist_to_set(&p.point, centers.iter().map(|c| &c.point));
+            if d > r {
+                r = d;
+            }
+        }
+        r
+    }
+
+    /// Whether `centers` satisfies the fairness constraint (at most `k_i`
+    /// centers of color `i`).
+    pub fn is_fair(&self, centers: &[Colored<M::Point>]) -> bool {
+        let mut counts = vec![0usize; self.caps.len()];
+        for c in centers {
+            let idx = c.color as usize;
+            if idx >= counts.len() {
+                return false;
+            }
+            counts[idx] += 1;
+            if counts[idx] > self.caps[idx] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A fair-center solution: the chosen centers (a subset of the instance's
+/// points) and their clustering radius over the instance.
+#[derive(Clone, Debug)]
+pub struct FairSolution<P> {
+    /// Selected centers with their colors; satisfies the budgets.
+    pub centers: Vec<Colored<P>>,
+    /// `max_p min_c d(p, c)` over the instance points.
+    pub radius: f64,
+}
+
+/// Errors a sequential solver can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The instance has no points.
+    EmptyInstance,
+    /// The budgets are malformed (empty or containing zeros).
+    BadBudgets,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::EmptyInstance => write!(f, "instance has no points"),
+            SolveError::BadBudgets => write!(f, "budgets must be non-empty and positive"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A sequential fair-center algorithm, usable both as a full-window
+/// baseline and as the coreset solver `A` inside the streaming `Query`.
+pub trait FairCenterSolver<M: Metric> {
+    /// Short display name (used by the experiment harness).
+    fn name(&self) -> &'static str;
+
+    /// Solves the instance, returning fair centers and their radius.
+    fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError>;
+}
+
+/// Validates instance preconditions shared by all solvers.
+pub(crate) fn validate<M: Metric>(inst: &Instance<'_, M>) -> Result<(), SolveError> {
+    if inst.points.is_empty() {
+        return Err(SolveError::EmptyInstance);
+    }
+    if inst.caps.is_empty() || inst.caps.contains(&0) {
+        return Err(SolveError::BadBudgets);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use fairsw_metric::{Colored, EuclidPoint};
+
+    /// 1-D colored points from `(coordinate, color)` pairs.
+    pub fn pts1d(vals: &[(f64, u32)]) -> Vec<Colored<EuclidPoint>> {
+        vals.iter()
+            .map(|&(x, c)| Colored::new(EuclidPoint::new(vec![x]), c))
+            .collect()
+    }
+
+    /// Deterministic scatter of `n` colored points in `dim` dimensions
+    /// with `ncolors` colors (quasi-random, no rand dependency).
+    pub fn scatter(n: usize, dim: usize, ncolors: u32) -> Vec<Colored<EuclidPoint>> {
+        let primes = [2.0f64, 3.0, 5.0, 7.0, 11.0, 13.0];
+        (0..n)
+            .map(|i| {
+                let coords: Vec<f64> = (0..dim)
+                    .map(|j| (((i + 1) as f64) * primes[j % primes.len()].sqrt()).fract() * 10.0)
+                    .collect();
+                Colored::new(EuclidPoint::new(coords), (i as u32 * 7 + 3) % ncolors)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::pts1d;
+    use super::*;
+    use fairsw_metric::Euclidean;
+
+    #[test]
+    fn radius_of_basic() {
+        let pts = pts1d(&[(0.0, 0), (10.0, 1), (4.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1, 1]);
+        let centers = vec![pts[0].clone()];
+        assert!((inst.radius_of(&centers) - 10.0).abs() < 1e-12);
+        let centers2 = vec![pts[0].clone(), pts[1].clone()];
+        assert!((inst.radius_of(&centers2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_of_empty_center_set() {
+        let pts = pts1d(&[(0.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1]);
+        assert_eq!(inst.radius_of(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn fairness_check() {
+        let pts = pts1d(&[(0.0, 0), (1.0, 0), (2.0, 1)]);
+        let inst = Instance::new(&Euclidean, &pts, &[1, 2]);
+        assert!(inst.is_fair(&[pts[0].clone(), pts[2].clone()]));
+        assert!(!inst.is_fair(&[pts[0].clone(), pts[1].clone()]));
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        let pts = pts1d(&[]);
+        let inst = Instance::new(&Euclidean, &pts, &[1]);
+        assert_eq!(validate(&inst), Err(SolveError::EmptyInstance));
+        let pts = pts1d(&[(0.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[0, 1]);
+        assert_eq!(validate(&inst), Err(SolveError::BadBudgets));
+    }
+
+    #[test]
+    fn k_and_colors() {
+        let pts = pts1d(&[(0.0, 0)]);
+        let inst = Instance::new(&Euclidean, &pts, &[2, 3, 1]);
+        assert_eq!(inst.k(), 6);
+        assert_eq!(inst.num_colors(), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! The geometric guess lattice `Γ = {(1+β)^i : i ∈ ℤ}`.
+//!
+//! The paper instantiates one copy of its data structures per guess
+//! `γ = (1+β)^i` with `⌊log_{1+β} dmin⌋ ≤ i ≤ ⌈log_{1+β} dmax⌉`. Both the
+//! aspect-ratio-aware and the oblivious variants of the algorithm, plus
+//! the windowed extrema structures, need the same level arithmetic, so it
+//! lives here once.
+
+/// Geometric lattice with base `1 + β`.
+#[derive(Clone, Copy, Debug)]
+pub struct Lattice {
+    base: f64,
+    ln_base: f64,
+}
+
+impl Lattice {
+    /// Builds the lattice for a given `β > 0`.
+    ///
+    /// # Panics
+    /// Panics if `beta` is not positive and finite — a configuration
+    /// error that must surface immediately.
+    pub fn new(beta: f64) -> Self {
+        assert!(
+            beta.is_finite() && beta > 0.0,
+            "beta must be positive and finite, got {beta}"
+        );
+        let base = 1.0 + beta;
+        Lattice {
+            base,
+            ln_base: base.ln(),
+        }
+    }
+
+    /// The lattice base `1 + β`.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// The guess value at `level`: `(1+β)^level`.
+    pub fn value(&self, level: i32) -> f64 {
+        self.base.powi(level)
+    }
+
+    /// The largest level whose value is `≤ d` (i.e. `⌊log_{1+β} d⌋`),
+    /// robust to the floating-point boundary: if `d` is within one ulp-ish
+    /// of an exact lattice point we snap to it.
+    ///
+    /// # Panics
+    /// Panics if `d` is not positive and finite.
+    pub fn level_below(&self, d: f64) -> i32 {
+        assert!(d.is_finite() && d > 0.0, "lattice input must be positive, got {d}");
+        let raw = d.ln() / self.ln_base;
+        let mut lvl = raw.floor() as i32;
+        // Snap: value(lvl+1) may still be <= d due to rounding.
+        if self.value(lvl + 1) <= d {
+            lvl += 1;
+        }
+        if self.value(lvl) > d {
+            lvl -= 1;
+        }
+        lvl
+    }
+
+    /// The smallest level whose value is `≥ d` (i.e. `⌈log_{1+β} d⌉`).
+    pub fn level_above(&self, d: f64) -> i32 {
+        let below = self.level_below(d);
+        if self.value(below) >= d {
+            below
+        } else {
+            below + 1
+        }
+    }
+
+    /// The inclusive level range spanning `[dmin, dmax]`, mirroring the
+    /// paper's `Γ` definition.
+    pub fn span(&self, dmin: f64, dmax: f64) -> std::ops::RangeInclusive<i32> {
+        assert!(dmin <= dmax, "dmin {dmin} > dmax {dmax}");
+        self.level_below(dmin)..=self.level_above(dmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_powers_snap() {
+        let l = Lattice::new(1.0); // base 2
+        assert_eq!(l.level_below(8.0), 3);
+        assert_eq!(l.level_above(8.0), 3);
+        assert_eq!(l.level_below(9.0), 3);
+        assert_eq!(l.level_above(9.0), 4);
+        assert_eq!(l.level_below(0.5), -1);
+    }
+
+    #[test]
+    fn span_matches_paper_definition() {
+        let l = Lattice::new(2.0); // base 3, the experiments' β
+        let span = l.span(1.0, 100.0);
+        assert_eq!(*span.start(), 0);
+        // 3^4 = 81 < 100 <= 3^5: level_above(100) = 5.
+        assert_eq!(*span.end(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn rejects_bad_beta() {
+        let _ = Lattice::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_bad_input() {
+        let l = Lattice::new(1.0);
+        let _ = l.level_below(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn level_brackets_value(
+            beta in 0.1..4.0f64,
+            d in 1e-9..1e12f64,
+        ) {
+            let l = Lattice::new(beta);
+            let lo = l.level_below(d);
+            let hi = l.level_above(d);
+            prop_assert!(l.value(lo) <= d * (1.0 + 1e-12));
+            prop_assert!(l.value(hi) >= d * (1.0 - 1e-12));
+            prop_assert!(hi - lo <= 1);
+        }
+
+        #[test]
+        fn levels_are_monotone(
+            beta in 0.1..4.0f64,
+            a in 1e-6..1e6f64,
+            b in 1e-6..1e6f64,
+        ) {
+            let l = Lattice::new(beta);
+            if a <= b {
+                prop_assert!(l.level_below(a) <= l.level_below(b));
+            } else {
+                prop_assert!(l.level_below(b) <= l.level_below(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! An exact sliding-window buffer.
+//!
+//! The sequential baselines of the evaluation ("run ChenEtAl / Jones on
+//! all points of the current window") need the window itself; the
+//! streaming algorithm's tests need it as ground truth for the coverage
+//! invariants of Lemma 1. This is the paper's baseline memory cost: `n`
+//! points, linear in the window length.
+
+use fairsw_metric::Colored;
+use std::collections::VecDeque;
+
+/// A FIFO buffer holding exactly the last `n` colored points.
+#[derive(Clone, Debug)]
+pub struct ExactWindow<P> {
+    capacity: usize,
+    buf: VecDeque<Colored<P>>,
+}
+
+impl<P: Clone> ExactWindow<P> {
+    /// Creates an empty window of capacity `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "window capacity must be positive");
+        ExactWindow {
+            capacity: n,
+            buf: VecDeque::with_capacity(n),
+        }
+    }
+
+    /// Pushes a new arrival, evicting the expired point when full.
+    /// Returns the evicted point, if any.
+    pub fn push(&mut self, p: Colored<P>) -> Option<Colored<P>> {
+        let evicted = if self.buf.len() == self.capacity {
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(p);
+        evicted
+    }
+
+    /// The points currently in the window, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &Colored<P>> {
+        self.buf.iter()
+    }
+
+    /// Collects the window into a `Vec` (needed by the slice-based
+    /// sequential solver interface).
+    pub fn to_vec(&self) -> Vec<Colored<P>> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Number of points currently held (= memory cost in points).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity `n`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the window has filled up to capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsw_metric::EuclidPoint;
+
+    fn cp(x: f64, c: u32) -> Colored<EuclidPoint> {
+        Colored::new(EuclidPoint::new(vec![x]), c)
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut w = ExactWindow::new(2);
+        assert!(w.push(cp(1.0, 0)).is_none());
+        assert!(!w.is_full());
+        assert!(w.push(cp(2.0, 0)).is_none());
+        assert!(w.is_full());
+        let ev = w.push(cp(3.0, 1)).expect("eviction");
+        assert_eq!(ev.point.coords(), &[1.0]);
+        assert_eq!(w.len(), 2);
+        let xs: Vec<f64> = w.points().map(|p| p.point.coords()[0]).collect();
+        assert_eq!(xs, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ExactWindow::<EuclidPoint>::new(0);
+    }
+
+    #[test]
+    fn to_vec_preserves_order_and_colors() {
+        let mut w = ExactWindow::new(3);
+        for i in 0..5 {
+            w.push(cp(i as f64, i as u32 % 2));
+        }
+        let v = w.to_vec();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].point.coords(), &[2.0]);
+        assert_eq!(v[2].color, 0);
+    }
+}

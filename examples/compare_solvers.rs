@@ -1,0 +1,55 @@
+//! Sequential solver shoot-out on one window snapshot.
+//!
+//! Run with: `cargo run --release --example compare_solvers`
+//!
+//! Takes one window of the COVTYPE stand-in and runs all three offline
+//! fair-center algorithms on it, printing radius and wall time — a
+//! miniature of the paper's baseline comparison (ChenEtAl is the most
+//! accurate and by far the slowest; Jones is the practical choice;
+//! Kleindessner-style greedy is fastest with the weakest guarantee).
+
+use fairsw::prelude::*;
+use fairsw_datasets::{color_frequencies, covtype_like, proportional_capacities};
+use std::time::Instant;
+
+fn main() {
+    let n = 1_500usize;
+    let ds = covtype_like(n, 42);
+    let caps = proportional_capacities(&color_frequencies(&ds.points, ds.num_colors), 14);
+    let inst = Instance::new(&Euclidean, &ds.points, &caps);
+    println!(
+        "instance: {} points, {} dims, caps {:?}",
+        n,
+        ds.points[0].point.dim(),
+        caps
+    );
+
+    type SolverFn<'a> = Box<dyn Fn() -> FairSolution<EuclidPoint> + 'a>;
+    let solvers: Vec<(&str, SolverFn)> = vec![
+        (
+            "Kleindessner",
+            Box::new(|| Kleindessner.solve(&inst).expect("solves")),
+        ),
+        ("Jones", Box::new(|| Jones.solve(&inst).expect("solves"))),
+        (
+            "ChenEtAl",
+            Box::new(|| ChenEtAl::new().solve(&inst).expect("solves")),
+        ),
+    ];
+
+    let mut best = f64::INFINITY;
+    for (name, run) in &solvers {
+        let start = Instant::now();
+        let sol = run();
+        let elapsed = start.elapsed();
+        best = best.min(sol.radius);
+        assert!(inst.is_fair(&sol.centers), "{name} returned unfair centers");
+        println!(
+            "{name:<14} radius {:>10.3}  centers {:>2}  time {:>10.2?}",
+            sol.radius,
+            sol.centers.len(),
+            elapsed
+        );
+    }
+    println!("\nbest radius: {best:.3}");
+}

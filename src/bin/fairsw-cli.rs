@@ -1,0 +1,269 @@
+//! `fairsw-cli` — stream a CSV point file through the sliding-window
+//! fair-center algorithm and print periodic solutions.
+//!
+//! ```text
+//! USAGE:
+//!   fairsw-cli --input points.csv --window 10000 --caps 2,2,4 [OPTIONS]
+//!
+//! INPUT FORMAT:
+//!   One point per line: x_1,...,x_d,color  (color = integer in 0..ℓ).
+//!   Lines starting with '#' are skipped.
+//!
+//! OPTIONS:
+//!   --input PATH        CSV file (default: built-in demo stream)
+//!   --window N          window length (default 10000)
+//!   --caps a,b,c        per-color budgets k_i (default: 2 per color seen)
+//!   --delta F           coreset precision δ in (0,4] (default 1.0)
+//!   --beta F            guess progression β (default 2.0)
+//!   --query-every N     query cadence in arrivals (default: window)
+//!   --oblivious         estimate distance scales on the fly
+//!   --robust Z          tolerate Z outliers per window
+//!   --quiet             suppress per-center output
+//! ```
+
+use fairsw::core::{
+    FairSWConfig, FairSlidingWindow, ObliviousFairSlidingWindow, RobustFairSlidingWindow,
+};
+use fairsw::datasets::read_csv_points;
+use fairsw::metric::{sampled_extremes, Colored, Euclidean, EuclidPoint};
+use fairsw::sequential::Jones;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Args {
+    input: Option<PathBuf>,
+    window: usize,
+    caps: Option<Vec<usize>>,
+    delta: f64,
+    beta: f64,
+    query_every: Option<usize>,
+    oblivious: bool,
+    robust: Option<usize>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        window: 10_000,
+        caps: None,
+        delta: 1.0,
+        beta: 2.0,
+        query_every: None,
+        oblivious: false,
+        robust: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--input" => args.input = Some(PathBuf::from(value("--input")?)),
+            "--window" => {
+                args.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--caps" => {
+                let caps: Result<Vec<usize>, _> =
+                    value("--caps")?.split(',').map(str::parse).collect();
+                args.caps = Some(caps.map_err(|e| format!("--caps: {e}"))?);
+            }
+            "--delta" => {
+                args.delta = value("--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?
+            }
+            "--beta" => {
+                args.beta = value("--beta")?
+                    .parse()
+                    .map_err(|e| format!("--beta: {e}"))?
+            }
+            "--query-every" => {
+                args.query_every = Some(
+                    value("--query-every")?
+                        .parse()
+                        .map_err(|e| format!("--query-every: {e}"))?,
+                )
+            }
+            "--oblivious" => args.oblivious = true,
+            "--robust" => {
+                args.robust = Some(
+                    value("--robust")?
+                        .parse()
+                        .map_err(|e| format!("--robust: {e}"))?,
+                )
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "\
+fairsw-cli: sliding-window fair k-center over a CSV stream
+
+USAGE:
+  fairsw-cli --input points.csv --window 10000 --caps 2,2,4 [OPTIONS]
+
+OPTIONS:
+  --input PATH     CSV file: x_1,...,x_d,color per line (default: demo)
+  --window N       window length (default 10000)
+  --caps a,b,c     per-color budgets (default: 2 per color present)
+  --delta F        coreset precision in (0,4] (default 1.0)
+  --beta F         guess progression (default 2.0)
+  --query-every N  query cadence in arrivals (default: window)
+  --oblivious      estimate distance scales on the fly
+  --robust Z       tolerate Z outliers per window
+  --quiet          suppress per-center output
+";
+
+fn demo_stream(n: usize) -> Vec<Colored<EuclidPoint>> {
+    (0..n)
+        .map(|i| {
+            let base = (i % 3) as f64 * 50.0;
+            let x = base + ((i as f64) * 0.618_033_988_7).fract() * 5.0;
+            let y = ((i as f64) * 0.324_717_957_2).fract() * 5.0;
+            Colored::new(EuclidPoint::new(vec![x, y]), (i % 3) as u32)
+        })
+        .collect()
+}
+
+enum Engine {
+    Plain(Box<FairSlidingWindow<Euclidean>>),
+    Oblivious(Box<ObliviousFairSlidingWindow<Euclidean>>),
+    Robust(Box<RobustFairSlidingWindow<Euclidean>>),
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let points = match &args.input {
+        Some(path) => read_csv_points(path).map_err(|e| format!("reading input: {e}"))?,
+        None => {
+            eprintln!("no --input given: running on a built-in demo stream");
+            demo_stream(args.window * 3)
+        }
+    };
+    if points.is_empty() {
+        return Err("input contains no points".into());
+    }
+    let ncolors = points.iter().map(|p| p.color).max().unwrap_or(0) as usize + 1;
+    let caps = match args.caps {
+        Some(c) => {
+            if c.len() < ncolors {
+                return Err(format!(
+                    "--caps has {} entries but the data uses {} colors",
+                    c.len(),
+                    ncolors
+                ));
+            }
+            c
+        }
+        None => vec![2; ncolors],
+    };
+
+    let cfg = FairSWConfig::builder()
+        .window_size(args.window)
+        .capacities(caps.clone())
+        .beta(args.beta)
+        .delta(args.delta)
+        .build()
+        .map_err(|e| format!("configuration: {e}"))?;
+
+    let mut engine = if args.oblivious {
+        Engine::Oblivious(Box::new(
+            ObliviousFairSlidingWindow::new(cfg, Euclidean).map_err(|e| e.to_string())?,
+        ))
+    } else {
+        let raw: Vec<EuclidPoint> = points.iter().map(|p| p.point.clone()).collect();
+        let ext = sampled_extremes(&Euclidean, &raw, 512)
+            .ok_or("degenerate input (all points coincide)")?;
+        match args.robust {
+            Some(z) => Engine::Robust(Box::new(
+                RobustFairSlidingWindow::new(cfg, z, Euclidean, ext.dmin, ext.dmax)
+                    .map_err(|e| e.to_string())?,
+            )),
+            None => Engine::Plain(Box::new(
+                FairSlidingWindow::new(cfg, Euclidean, ext.dmin, ext.dmax)
+                    .map_err(|e| e.to_string())?,
+            )),
+        }
+    };
+    if args.robust.is_some() && args.oblivious {
+        return Err("--robust and --oblivious cannot be combined (yet)".into());
+    }
+
+    let cadence = args.query_every.unwrap_or(args.window).max(1);
+    let solver = Jones;
+    let t0 = Instant::now();
+    let mut queries = 0usize;
+
+    for (i, p) in points.iter().enumerate() {
+        match &mut engine {
+            Engine::Plain(e) => e.insert(p.clone()),
+            Engine::Oblivious(e) => e.insert(p.clone()),
+            Engine::Robust(e) => e.insert(p.clone()),
+        }
+        if (i + 1) % cadence == 0 {
+            queries += 1;
+            let (centers, guess, coreset, radius, mem, extra) = match &engine {
+                Engine::Plain(e) => {
+                    let s = e.query(&solver).map_err(|e| e.to_string())?;
+                    (s.centers, s.guess, s.coreset_size, s.coreset_radius, e.stored_points(), String::new())
+                }
+                Engine::Oblivious(e) => {
+                    let s = e.query(&solver).map_err(|e| e.to_string())?;
+                    (s.centers, s.guess, s.coreset_size, s.coreset_radius, e.stored_points(), String::new())
+                }
+                Engine::Robust(e) => {
+                    let s = e.query().map_err(|e| e.to_string())?;
+                    let extra = format!("  outliers={}", s.outliers.len());
+                    (s.centers, s.guess, s.coreset_size, s.coreset_radius, e.stored_points(), extra)
+                }
+            };
+            println!(
+                "t={:>9}  centers={:<2} radius={:<12.4} γ̂={:<10.4} coreset={:<5} stored={:<6}{extra}",
+                i + 1,
+                centers.len(),
+                radius,
+                guess,
+                coreset,
+                mem,
+            );
+            if !args.quiet {
+                for c in &centers {
+                    let coords: Vec<String> =
+                        c.point.coords().iter().map(|v| format!("{v:.3}")).collect();
+                    println!("    color {} @ ({})", c.color, coords.join(", "));
+                }
+            }
+        }
+    }
+    eprintln!(
+        "processed {} points, {queries} queries in {:.2?}",
+        points.len(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

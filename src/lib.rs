@@ -1,0 +1,52 @@
+//! # fairsw — Fair Center Clustering in Sliding Windows
+//!
+//! A Rust implementation of the sliding-window fair k-center algorithm of
+//! Ceccarello, Pietracaprina, Pucci and Visonà (EDBT 2026), together with
+//! every substrate it rests on: metric spaces, partition matroids,
+//! bipartite matching, the sequential baselines (Gonzalez, ChenEtAl,
+//! Jones), sliding-window scale estimation, dataset generators and a
+//! benchmark harness regenerating the paper's figures.
+//!
+//! ## The problem
+//!
+//! Points arrive on a stream; each belongs to a demographic category
+//! ("color"). At any time you may ask for at most `k_i` centers of color
+//! `i` minimizing the maximum distance from any point *of the last `n`
+//! arrivals* to its closest center — fair summarization under concept
+//! drift. This crate maintains that ability in space and time independent
+//! of `n`, with an `(α+ε)` approximation guarantee (`α = 3` via the
+//! bundled Jones solver).
+//!
+//! ## Entry points
+//!
+//! * [`core::FairSlidingWindow`] — the main algorithm (stream scale known);
+//! * [`core::ObliviousFairSlidingWindow`] — scale estimated on the fly;
+//! * [`core::CompactFairSlidingWindow`] — dimension-free space variant;
+//! * [`sequential::Jones`], [`sequential::ChenEtAl`] — offline solvers;
+//! * [`datasets`] — synthetic data, CSV loading.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use fairsw_core as core;
+pub use fairsw_datasets as datasets;
+pub use fairsw_matching as matching;
+pub use fairsw_matroid as matroid;
+pub use fairsw_metric as metric;
+pub use fairsw_sequential as sequential;
+pub use fairsw_stream as stream;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use fairsw_core::{
+        CompactFairSlidingWindow, FairSWConfig, FairSlidingWindow, MatroidSlidingWindow,
+        ObliviousFairSlidingWindow, QueryError, RobustFairSlidingWindow, RobustWindowSolution,
+        WindowSolution,
+    };
+    pub use fairsw_matroid::{Group, LaminarMatroid, Matroid, PartitionMatroid};
+    pub use fairsw_metric::{Angular, Colored, Euclidean, EuclidPoint, Metric};
+    pub use fairsw_sequential::{
+        ChenEtAl, ExactSolver, FairCenterSolver, FairSolution, Instance, Jones, Kleindessner,
+        RobustFair,
+    };
+    pub use fairsw_stream::ExactWindow;
+}

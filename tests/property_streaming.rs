@@ -1,0 +1,144 @@
+//! Property tests over the streaming algorithms: random streams, random
+//! configurations, structural invariants and fairness of every answer.
+
+use fairsw::prelude::*;
+use proptest::prelude::*;
+
+fn stream_strategy() -> impl Strategy<Value = Vec<(f64, f64, u8)>> {
+    // (x, y, color) triples; coordinates on very different scales to
+    // stress the guess lattice.
+    proptest::collection::vec(
+        (
+            prop_oneof![-1e3..1e3f64, -1.0..1.0f64],
+            prop_oneof![-1e3..1e3f64, -1.0..1.0f64],
+            0u8..3,
+        ),
+        2..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ours_always_fair_and_structurally_sound(
+        pts in stream_strategy(),
+        window in 2usize..40,
+        caps in proptest::collection::vec(1usize..3, 3),
+    ) {
+        let cfg = FairSWConfig::builder()
+            .window_size(window)
+            .capacities(caps.clone())
+            .beta(2.0)
+            .delta(1.0)
+            .build()
+            .expect("valid");
+        let mut sw = FairSlidingWindow::new(cfg, Euclidean, 1e-4, 1e4)
+            .expect("valid");
+        for &(x, y, c) in &pts {
+            sw.insert(Colored::new(EuclidPoint::new(vec![x, y]), c as u32));
+        }
+        sw.check_invariants().map_err(TestCaseError::fail)?;
+        let sol = sw.query(&Jones).expect("non-empty window");
+        // Fairness of the answer.
+        let mut counts = vec![0usize; caps.len()];
+        for c in &sol.centers {
+            counts[c.color as usize] += 1;
+        }
+        for (i, (&got, &cap)) in counts.iter().zip(&caps).enumerate() {
+            prop_assert!(got <= cap, "color {i} over budget");
+        }
+        prop_assert!(sol.coreset_size > 0);
+        prop_assert!(sol.coreset_radius.is_finite());
+    }
+
+    #[test]
+    fn oblivious_always_answers_and_is_fair(
+        pts in stream_strategy(),
+        window in 2usize..40,
+    ) {
+        let caps = vec![1usize, 2, 1];
+        let cfg = FairSWConfig::builder()
+            .window_size(window)
+            .capacities(caps.clone())
+            .beta(2.0)
+            .delta(1.0)
+            .build()
+            .expect("valid");
+        let mut sw = ObliviousFairSlidingWindow::new(cfg, Euclidean).expect("valid");
+        for &(x, y, c) in &pts {
+            sw.insert(Colored::new(EuclidPoint::new(vec![x, y]), c as u32));
+        }
+        sw.check_invariants().map_err(TestCaseError::fail)?;
+        let sol = sw.query(&Jones).expect("non-empty window");
+        let mut counts = vec![0usize; caps.len()];
+        for c in &sol.centers {
+            counts[c.color as usize] += 1;
+        }
+        for (&got, &cap) in counts.iter().zip(&caps) {
+            prop_assert!(got <= cap);
+        }
+    }
+
+    #[test]
+    fn compact_always_answers_and_is_fair(
+        pts in stream_strategy(),
+        window in 2usize..40,
+    ) {
+        let caps = vec![2usize, 1, 1];
+        let cfg = FairSWConfig::builder()
+            .window_size(window)
+            .capacities(caps.clone())
+            .beta(2.0)
+            .build()
+            .expect("valid");
+        let mut sw = CompactFairSlidingWindow::new(cfg, Euclidean, 1e-4, 1e4)
+            .expect("valid");
+        for &(x, y, c) in &pts {
+            sw.insert(Colored::new(EuclidPoint::new(vec![x, y]), c as u32));
+        }
+        sw.check_invariants().map_err(TestCaseError::fail)?;
+        let sol = sw.query(&Jones).expect("non-empty window");
+        let mut counts = vec![0usize; caps.len()];
+        for c in &sol.centers {
+            counts[c.color as usize] += 1;
+        }
+        for (&got, &cap) in counts.iter().zip(&caps) {
+            prop_assert!(got <= cap);
+        }
+    }
+
+    #[test]
+    fn window_solution_radius_bounded_by_guess(
+        pts in stream_strategy(),
+        window in 4usize..40,
+    ) {
+        // Lemma 2 (P2) + Theorem 1: the true window radius is at most the
+        // coreset radius + δγ̂; verify against an exact shadow window.
+        let caps = vec![2usize, 2, 2];
+        let delta = 1.0;
+        let cfg = FairSWConfig::builder()
+            .window_size(window)
+            .capacities(caps.clone())
+            .beta(2.0)
+            .delta(delta)
+            .build()
+            .expect("valid");
+        let mut sw = FairSlidingWindow::new(cfg, Euclidean, 1e-4, 1e4).expect("valid");
+        let mut exact = ExactWindow::new(window);
+        for &(x, y, c) in &pts {
+            let p = Colored::new(EuclidPoint::new(vec![x, y]), c as u32);
+            sw.insert(p.clone());
+            exact.push(p);
+        }
+        let sol = sw.query(&Jones).expect("non-empty");
+        let win = exact.to_vec();
+        let inst = Instance::new(&Euclidean, &win, &caps);
+        let true_radius = inst.radius_of(&sol.centers);
+        prop_assert!(
+            true_radius <= sol.coreset_radius + delta * sol.guess + 1e-9,
+            "window radius {} > coreset {} + δγ̂ {}",
+            true_radius, sol.coreset_radius, delta * sol.guess
+        );
+    }
+}

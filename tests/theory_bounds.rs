@@ -1,0 +1,102 @@
+//! Integration: the end-to-end approximation guarantee of Theorem 1,
+//! checked against exhaustive optima on brute-forceable windows.
+//!
+//! Theorem 1: with `δ = ε/((1+β)(1+2α))`, Query returns an
+//! `(α+ε)`-approximation. Unfolding the proof, for *any* admissible `δ`
+//! the returned radius is at most
+//! `α·OPT + (1+2α)·δ·γ̂` with `γ̂ ≤ (1+β)·OPT`, i.e. a multiplicative
+//! factor `α + (1+2α)(1+β)δ`. Using the exact solver (`α = 1`, feasible
+//! because the windows here are tiny) and `β = 2`, the factor is
+//! `1 + 9δ`. These tests stream adversarially scaled data, query at every
+//! step once the window fills, and compare against the exact fair optimum
+//! of the exact window.
+
+use fairsw::prelude::*;
+use fairsw::sequential::brute::exact_fair_center;
+
+fn theory_run(xs: &[(f64, u32)], window: usize, caps: &[usize], delta: f64, beta: f64) {
+    let factor = 1.0 + (1.0 + 2.0) * (1.0 + beta) * delta; // α = 1
+    let cfg = FairSWConfig::builder()
+        .window_size(window)
+        .capacities(caps.to_vec())
+        .beta(beta)
+        .delta(delta)
+        .build()
+        .expect("valid");
+    let mut sw = FairSlidingWindow::new(cfg, Euclidean, 1e-4, 1e5).expect("valid");
+    let mut exact = ExactWindow::new(window);
+    let solver = ExactSolver::new();
+
+    for (i, &(x, c)) in xs.iter().enumerate() {
+        let p = Colored::new(EuclidPoint::new(vec![x]), c);
+        sw.insert(p.clone());
+        exact.push(p);
+        if i + 1 < window {
+            continue;
+        }
+        let win = exact.to_vec();
+        let inst = Instance::new(&Euclidean, &win, caps);
+        let opt = exact_fair_center(&inst).expect("tiny window").radius;
+        let sol = sw.query(&solver).expect("query succeeds");
+        let streaming_radius = inst.radius_of(&sol.centers);
+        assert!(
+            inst.is_fair(&sol.centers),
+            "t={}: unfair streaming answer",
+            i + 1
+        );
+        assert!(
+            streaming_radius <= factor * opt + 1e-9,
+            "t={}: streaming {} > {:.2}×OPT ({} × {})",
+            i + 1,
+            streaming_radius,
+            factor,
+            factor,
+            opt
+        );
+    }
+}
+
+#[test]
+fn theorem1_bound_on_multiscale_line() {
+    // Values spanning four orders of magnitude with two colors.
+    let xs: Vec<(f64, u32)> = (0..60u64)
+        .map(|i| {
+            let scale = [0.01, 1.0, 100.0][(i / 20) as usize % 3];
+            let x = (i as f64 * 0.618_033_988_7).fract() * scale + scale;
+            (x, (i % 2) as u32)
+        })
+        .collect();
+    theory_run(&xs, 10, &[1, 1], 0.5, 2.0);
+}
+
+#[test]
+fn theorem1_bound_fine_delta() {
+    // δ = 0.1 → factor 1.9: the streaming answer must be close to OPT.
+    let xs: Vec<(f64, u32)> = (0..50u64)
+        .map(|i| ((i as f64 * 0.324_717_957_2).fract() * 50.0, (i % 3) as u32))
+        .collect();
+    theory_run(&xs, 9, &[1, 1, 1], 0.1, 2.0);
+}
+
+#[test]
+fn theorem1_bound_with_expiry_churn() {
+    // Tiny window (5) over drifting data: stresses expiry and cleanup.
+    let xs: Vec<(f64, u32)> = (0..80u64)
+        .map(|i| (i as f64 * 3.7 + (i as f64 * 0.7).fract(), (i % 2) as u32))
+        .collect();
+    theory_run(&xs, 5, &[2, 1], 1.0, 2.0);
+}
+
+#[test]
+fn epsilon_api_matches_theorem() {
+    // The builder's epsilon() must produce the Theorem 1 delta for Jones
+    // (α = 3): δ = ε / ((1+β)(1+2α)) = ε / 21 at β = 2.
+    let cfg = FairSWConfig::builder()
+        .window_size(10)
+        .capacities(vec![1])
+        .beta(2.0)
+        .epsilon(0.42)
+        .build()
+        .expect("valid");
+    assert!((cfg.delta - 0.02).abs() < 1e-12);
+}
