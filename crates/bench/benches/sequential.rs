@@ -40,13 +40,9 @@ fn bench_robust(c: &mut Criterion) {
         let caps = caps_for(&ds, 14);
         let inst = Instance::new(&Euclidean, &ds.points, &caps);
         for z in [0usize, 5] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("z{z}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| black_box(RobustFair::new(z).solve_robust(&inst).expect("solves")))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("z{z}"), n), &n, |b, _| {
+                b.iter(|| black_box(RobustFair::new(z).solve_robust(&inst).expect("solves")))
+            });
         }
     }
     group.finish();

@@ -3,10 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairsw_bench::caps_for;
-use fairsw_core::{FairSWConfig, FairSlidingWindow, ObliviousFairSlidingWindow};
+use fairsw_core::{
+    FairSWConfig, FairSlidingWindow, ObliviousFairSlidingWindow, SlidingWindowClustering,
+};
 use fairsw_datasets::phones_like;
 use fairsw_metric::Euclidean;
-use fairsw_sequential::Jones;
 use std::hint::black_box;
 
 fn build(delta: f64, window: usize, warm: usize) -> FairSlidingWindow<Euclidean> {
@@ -50,7 +51,7 @@ fn bench_query(c: &mut Criterion) {
         let window = 2_000;
         let sw = build(delta, window, 2 * window);
         group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
-            b.iter(|| black_box(sw.query(&Jones).expect("query succeeds")))
+            b.iter(|| black_box(sw.query().expect("query succeeds")))
         });
     }
     group.finish();
@@ -90,13 +91,18 @@ fn bench_snapshot(c: &mut Criterion) {
     group.bench_function("decode", |b| {
         b.iter(|| {
             black_box(
-                FairSlidingWindow::<Euclidean>::restore(Euclidean, &bytes)
-                    .expect("valid snapshot"),
+                FairSlidingWindow::<Euclidean>::restore(Euclidean, &bytes).expect("valid snapshot"),
             )
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_update, bench_query, bench_oblivious_update, bench_snapshot);
+criterion_group!(
+    benches,
+    bench_update,
+    bench_query,
+    bench_oblivious_update,
+    bench_snapshot
+);
 criterion_main!(benches);

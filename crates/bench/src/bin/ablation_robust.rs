@@ -7,13 +7,13 @@
 //! outlier budget `z` and report (a) the inlier radius of the robust
 //! solution, (b) the plain algorithm's radius on the same stream, and
 //! (c) memory, which grows with `z` (the coreset keeps `k_i + z` reps per
-//! color per attractor).
+//! color per attractor). Every lane is a [`WindowEngine`] driven through
+//! the [`SlidingWindowClustering`] trait.
 
 use fairsw_bench::{caps_for, env_usize, fmt_duration};
-use fairsw_core::{FairSWConfig, FairSlidingWindow, RobustFairSlidingWindow};
+use fairsw_core::{FairSWConfig, SlidingWindowClustering, VariantSpec, WindowEngine};
 use fairsw_datasets::phones_like;
-use fairsw_metric::{sampled_extremes, Colored, Euclidean, EuclidPoint};
-use fairsw_sequential::Jones;
+use fairsw_metric::{sampled_extremes, Colored, EuclidPoint, Euclidean};
 use std::time::Instant;
 
 fn main() {
@@ -51,13 +51,18 @@ fn main() {
         .build()
         .expect("valid");
 
-    // Plain lane for contrast.
-    let mut plain = FairSlidingWindow::new(cfg.clone(), Euclidean, ext.dmin, ext.dmax)
-        .expect("valid");
-    for p in &points {
-        plain.insert(p.clone());
-    }
-    let psol = plain.query(&Jones).expect("non-empty");
+    // One construction path for every lane: plain for contrast, then the
+    // z sweep — all through the engine facade.
+    let engine_for = |spec: VariantSpec| {
+        WindowEngine::build(cfg.clone(), spec, Euclidean).expect("valid engine")
+    };
+
+    let mut plain = engine_for(VariantSpec::Fixed {
+        dmin: ext.dmin,
+        dmax: ext.dmax,
+    });
+    plain.insert_batch(points.iter().cloned());
+    let psol = plain.query().expect("non-empty");
     println!(
         "\nplain        radius {:>12.2}  memory {:>7}  (glitches inflate the summary)",
         psol.coreset_radius,
@@ -65,13 +70,19 @@ fn main() {
     );
 
     let expected_glitches = window / glitch_every + 1;
-    for z in [0usize, expected_glitches / 2, expected_glitches + 2, 2 * expected_glitches] {
-        let mut sw = RobustFairSlidingWindow::new(cfg.clone(), z, Euclidean, ext.dmin, ext.dmax)
-            .expect("valid");
+    for z in [
+        0usize,
+        expected_glitches / 2,
+        expected_glitches + 2,
+        2 * expected_glitches,
+    ] {
+        let mut sw = engine_for(VariantSpec::Robust {
+            z,
+            dmin: ext.dmin,
+            dmax: ext.dmax,
+        });
         let t0 = Instant::now();
-        for p in &points {
-            sw.insert(p.clone());
-        }
+        sw.insert_batch(points.iter().cloned());
         let update = t0.elapsed() / points.len() as u32;
         let t0 = Instant::now();
         let sol = sw.query().expect("non-empty");
@@ -80,7 +91,7 @@ fn main() {
             "robust z={z:<3} radius {:>12.2}  memory {:>7}  outliers {:>2}  update {}  query {}",
             sol.coreset_radius,
             sw.stored_points(),
-            sol.outliers.len(),
+            sol.num_outliers(),
             fmt_duration(update),
             fmt_duration(query),
         );

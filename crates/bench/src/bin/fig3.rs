@@ -10,8 +10,7 @@
 //! `FAIRSW_MAX_WINDOW` (the paper reaches 500k on a 32-core server).
 
 use fairsw_bench::{
-    caps_for, env_usize, print_table, run_experiment, standard_datasets, AlgoSpec,
-    ExperimentParams,
+    caps_for, env_usize, print_table, run_experiment, standard_datasets, AlgoSpec, ExperimentParams,
 };
 use std::time::Duration;
 

@@ -15,15 +15,17 @@
 //!   the best radius any sequential baseline found on the same window
 //!   (the paper's definition).
 //!
+//! Every streaming lane is a [`WindowEngine`] driven exclusively through
+//! the [`SlidingWindowClustering`] trait — the harness has no per-variant
+//! code paths, so adding a lane is adding a [`VariantSpec`].
+//!
 //! Scales default to laptop-size and grow via environment variables
 //! (`FAIRSW_STREAM`, `FAIRSW_WINDOW`, `FAIRSW_QUERIES`); shape, not
 //! absolute numbers, is the reproduction target.
 
-use fairsw_core::{
-    CompactFairSlidingWindow, FairSWConfig, FairSlidingWindow, ObliviousFairSlidingWindow,
-};
+use fairsw_core::{FairSWConfig, SlidingWindowClustering, VariantSpec, WindowEngine};
 use fairsw_datasets::Dataset;
-use fairsw_metric::{sampled_extremes, Colored, Euclidean, EuclidPoint};
+use fairsw_metric::{sampled_extremes, Colored, EuclidPoint, Euclidean};
 use fairsw_sequential::{ChenEtAl, FairCenterSolver, Instance, Jones};
 use fairsw_stream::ExactWindow;
 use std::time::{Duration, Instant};
@@ -32,11 +34,22 @@ use std::time::{Duration, Instant};
 #[derive(Clone, Debug)]
 pub enum AlgoSpec {
     /// The paper's main algorithm with the given `δ` (knows dmin/dmax).
-    Ours { delta: f64 },
+    Ours {
+        /// Coreset precision δ.
+        delta: f64,
+    },
     /// The aspect-ratio-oblivious variant with the given `δ`.
-    OursOblivious { delta: f64 },
+    OursOblivious {
+        /// Coreset precision δ.
+        delta: f64,
+    },
     /// The Corollary 2 compact variant.
     Compact,
+    /// The robust variant with the given outlier budget `z` (δ = 1).
+    Robust {
+        /// Tolerated outliers per window.
+        z: usize,
+    },
     /// Jones run on the full window at query time.
     BaselineJones,
     /// ChenEtAl run on the full window at query time (with a per-query
@@ -51,6 +64,7 @@ impl AlgoSpec {
             AlgoSpec::Ours { delta } => format!("Ours(δ={delta})"),
             AlgoSpec::OursOblivious { delta } => format!("OursObl(δ={delta})"),
             AlgoSpec::Compact => "Compact".to_string(),
+            AlgoSpec::Robust { z } => format!("Robust(z={z})"),
             AlgoSpec::BaselineJones => "Jones".to_string(),
             AlgoSpec::BaselineChen => "ChenEtAl".to_string(),
         }
@@ -59,6 +73,27 @@ impl AlgoSpec {
     /// Whether this lane is a full-window sequential baseline.
     pub fn is_baseline(&self) -> bool {
         matches!(self, AlgoSpec::BaselineJones | AlgoSpec::BaselineChen)
+    }
+
+    /// The engine spec of a streaming lane (`None` for baselines).
+    /// `delta` rides in the shared config, so the spec only carries the
+    /// variant selector and the scale bounds.
+    fn variant(&self, dmin: f64, dmax: f64) -> Option<VariantSpec> {
+        match self {
+            AlgoSpec::Ours { .. } => Some(VariantSpec::Fixed { dmin, dmax }),
+            AlgoSpec::OursOblivious { .. } => Some(VariantSpec::Oblivious),
+            AlgoSpec::Compact => Some(VariantSpec::Compact { dmin, dmax }),
+            AlgoSpec::Robust { z } => Some(VariantSpec::Robust { z: *z, dmin, dmax }),
+            AlgoSpec::BaselineJones | AlgoSpec::BaselineChen => None,
+        }
+    }
+
+    /// The coreset precision the lane's config should carry.
+    fn delta(&self) -> f64 {
+        match self {
+            AlgoSpec::Ours { delta } | AlgoSpec::OursOblivious { delta } => *delta,
+            _ => 1.0,
+        }
     }
 }
 
@@ -120,10 +155,10 @@ pub fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// A lane under measurement: a streaming engine, or a sequential
+/// baseline answering from the shared exact window.
 enum Lane {
-    Ours(Box<FairSlidingWindow<Euclidean>>),
-    Oblivious(Box<ObliviousFairSlidingWindow<Euclidean>>),
-    Compact(Box<CompactFairSlidingWindow<Euclidean>>),
+    Engine(Box<WindowEngine<Euclidean>>),
     Baseline(&'static str),
 }
 
@@ -161,34 +196,27 @@ pub fn run_experiment(
     let raw: Vec<EuclidPoint> = dataset.points.iter().map(|c| c.point.clone()).collect();
     let ext = sampled_extremes(&metric, &raw, 256).expect("non-degenerate dataset");
 
-    let mk_cfg = |delta: f64| {
-        FairSWConfig::builder()
-            .window_size(n)
-            .capacities(caps.to_vec())
-            .beta(params.beta)
-            .delta(delta)
-            .build()
-            .expect("valid experiment config")
-    };
-
     let mut lanes: Vec<LaneState> = algos
         .iter()
         .map(|spec| {
             let lane = match spec {
-                AlgoSpec::Ours { delta } => Lane::Ours(Box::new(
-                    FairSlidingWindow::new(mk_cfg(*delta), metric, ext.dmin, ext.dmax)
-                        .expect("valid config"),
-                )),
-                AlgoSpec::OursOblivious { delta } => Lane::Oblivious(Box::new(
-                    ObliviousFairSlidingWindow::new(mk_cfg(*delta), metric)
-                        .expect("valid config"),
-                )),
-                AlgoSpec::Compact => Lane::Compact(Box::new(
-                    CompactFairSlidingWindow::new(mk_cfg(1.0), metric, ext.dmin, ext.dmax)
-                        .expect("valid config"),
-                )),
                 AlgoSpec::BaselineJones => Lane::Baseline("jones"),
                 AlgoSpec::BaselineChen => Lane::Baseline("chen"),
+                streaming => {
+                    let variant = streaming
+                        .variant(ext.dmin, ext.dmax)
+                        .expect("non-baseline specs map to a VariantSpec");
+                    let cfg = FairSWConfig::builder()
+                        .window_size(n)
+                        .capacities(caps.to_vec())
+                        .beta(params.beta)
+                        .delta(streaming.delta())
+                        .build()
+                        .expect("valid experiment config");
+                    Lane::Engine(Box::new(
+                        WindowEngine::build(cfg, variant, metric).expect("valid engine spec"),
+                    ))
+                }
             };
             LaneState {
                 spec: spec.clone(),
@@ -224,9 +252,7 @@ pub fn run_experiment(
         for lane in &mut lanes {
             let start = Instant::now();
             match &mut lane.lane {
-                Lane::Ours(a) => a.insert(p.clone()),
-                Lane::Oblivious(a) => a.insert(p.clone()),
-                Lane::Compact(a) => a.insert(p.clone()),
+                Lane::Engine(e) => e.insert(p.clone()),
                 Lane::Baseline(_) => {} // the shared ExactWindow is their store
             }
             lane.update_total += start.elapsed();
@@ -282,9 +308,7 @@ fn run_queries(
         }
         let start = Instant::now();
         let result: Option<Vec<Colored<EuclidPoint>>> = match &lane.lane {
-            Lane::Ours(a) => a.query(jones).ok().map(|s| s.centers),
-            Lane::Oblivious(a) => a.query(jones).ok().map(|s| s.centers),
-            Lane::Compact(a) => a.query(jones).ok().map(|s| s.centers),
+            Lane::Engine(e) => e.query().ok().map(|s| s.centers),
             Lane::Baseline("jones") => jones.solve(&inst).ok().map(|s| s.centers),
             Lane::Baseline(_) => chen.solve(&inst).ok().map(|s| s.centers),
         };
@@ -302,9 +326,7 @@ fn run_queries(
                 lane.query_total += elapsed;
                 lane.queries_done += 1;
                 lane.memory_total += match &lane.lane {
-                    Lane::Ours(a) => a.stored_points() as f64,
-                    Lane::Oblivious(a) => a.stored_points() as f64,
-                    Lane::Compact(a) => a.stored_points() as f64,
+                    Lane::Engine(e) => e.stored_points() as f64,
                     Lane::Baseline(_) => window.len() as f64,
                 };
                 lane.radius_total += r;
@@ -423,11 +445,35 @@ mod tests {
         // needs realistic window sizes; see the integration tests and
         // the fig1/fig3 harness for that shape check).
         let jones_mem = res[3].avg_memory;
-        assert!((jones_mem - 200.0).abs() < 1.0, "baseline stores the window");
+        assert!(
+            (jones_mem - 200.0).abs() < 1.0,
+            "baseline stores the window"
+        );
         assert!(res[0].avg_memory > 0.0 && res[0].avg_memory.is_finite());
         // Quality within the theory bound (loose sanity band).
         assert!(res[0].avg_ratio < 4.0, "ratio {}", res[0].avg_ratio);
         assert!(res[1].avg_ratio < 4.0, "ratio {}", res[1].avg_ratio);
+    }
+
+    #[test]
+    fn robust_lane_through_the_engine() {
+        let ds = fairsw_datasets::blobs(500, 2, fairsw_datasets::BlobsParams::default(), 7);
+        let caps = caps_for(&ds, 7);
+        let params = ExperimentParams {
+            window: 150,
+            queries: 2,
+            query_budget: Duration::from_secs(10),
+            beta: 2.0,
+            total_k: 7,
+        };
+        let res = run_experiment(
+            &ds,
+            &caps,
+            &params,
+            &[AlgoSpec::Robust { z: 2 }, AlgoSpec::BaselineJones],
+        );
+        assert_eq!(res[0].queries_done, 2);
+        assert!(res[0].avg_radius.is_finite() && res[0].avg_radius > 0.0);
     }
 
     #[test]

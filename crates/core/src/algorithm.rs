@@ -3,58 +3,12 @@
 //! [`GuessState`] per guess, `Update` on every arrival and `Query` on
 //! demand.
 
-use crate::config::{ConfigError, FairSWConfig};
+use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
+use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
 use fairsw_metric::{Colored, Metric};
-use fairsw_sequential::{FairCenterSolver, Instance, SolveError};
+use fairsw_sequential::{FairCenterSolver, Instance, Jones};
 use fairsw_stream::Lattice;
-use std::fmt;
-
-/// Errors a query can report.
-#[derive(Clone, Debug)]
-pub enum QueryError {
-    /// No point has been inserted yet.
-    EmptyWindow,
-    /// No guess passed the validation test — with a properly spanned
-    /// lattice this cannot happen; with an oblivious/truncated lattice it
-    /// signals the structures are still warming up.
-    NoValidGuess,
-    /// The sequential solver failed on the coreset.
-    Solver(SolveError),
-}
-
-impl fmt::Display for QueryError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            QueryError::EmptyWindow => write!(f, "no points inserted yet"),
-            QueryError::NoValidGuess => write!(f, "no guess passed validation"),
-            QueryError::Solver(e) => write!(f, "coreset solver failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for QueryError {}
-
-impl From<SolveError> for QueryError {
-    fn from(e: SolveError) -> Self {
-        QueryError::Solver(e)
-    }
-}
-
-/// A solution extracted from the sliding-window structures.
-#[derive(Clone, Debug)]
-pub struct WindowSolution<P> {
-    /// The fair centers (at most `k_i` of color `i`).
-    pub centers: Vec<Colored<P>>,
-    /// The guess `γ̂` whose coreset produced the solution.
-    pub guess: f64,
-    /// Size of the coreset handed to the sequential solver.
-    pub coreset_size: usize,
-    /// The solver-reported radius *over the coreset* (the radius over the
-    /// full window is at most `coreset radius + δγ̂` by Lemma 2 P2; the
-    /// harness measures the true window radius externally).
-    pub coreset_radius: f64,
-}
 
 /// The sliding-window fair-center algorithm with a fixed guess range
 /// (requires `dmin`/`dmax` of the stream up front; see
@@ -77,10 +31,7 @@ impl<M: Metric> FairSlidingWindow<M> {
     /// paper.
     pub fn new(cfg: FairSWConfig, metric: M, dmin: f64, dmax: f64) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        assert!(
-            dmin.is_finite() && dmin > 0.0 && dmax >= dmin,
-            "need 0 < dmin <= dmax (got {dmin}, {dmax})"
-        );
+        validate_scale(dmin, dmax)?;
         let lattice = Lattice::new(cfg.beta);
         let span = lattice.span(dmin, dmax);
         let guesses = span
@@ -98,29 +49,49 @@ impl<M: Metric> FairSlidingWindow<M> {
         })
     }
 
-    /// The arrival counter (number of points inserted so far).
-    pub fn time(&self) -> u64 {
-        self.t
-    }
-
-    /// The window length `n`.
-    pub fn window_size(&self) -> usize {
-        self.cfg.window_size
-    }
-
     /// The configuration.
     pub fn config(&self) -> &FairSWConfig {
         &self.cfg
     }
 
-    /// Number of guesses `|Γ|`.
-    pub fn num_guesses(&self) -> usize {
-        self.guesses.len()
+    /// `Query` (Algorithm 3) with an explicit coreset solver: find the
+    /// smallest guess that (a) is valid (`|AV| ≤ k`) and (b) admits a
+    /// `≤ k`-point greedy `2γ`-packing of `RV`, then run `solver` on its
+    /// coreset `R`. The trait-level
+    /// [`query`](SlidingWindowClustering::query) uses the paper's default
+    /// solver (Jones, `α = 3`).
+    pub fn query_with<S: FairCenterSolver<M>>(
+        &self,
+        solver: &S,
+    ) -> Result<Solution<M::Point>, QueryError> {
+        if self.t == 0 {
+            return Err(QueryError::EmptyWindow);
+        }
+        query_over_guesses(
+            &self.metric,
+            self.guesses.iter().map(|g| (g, ())),
+            self.k,
+            &self.cfg.capacities,
+            solver,
+        )
+        .map(|(sol, ())| sol)
     }
 
+    /// Iterates the guesses (used by tests and diagnostics).
+    pub fn guesses(&self) -> impl Iterator<Item = &GuessState<M>> {
+        self.guesses.iter()
+    }
+
+    /// The guess lattice.
+    pub fn lattice(&self) -> Lattice {
+        self.lattice
+    }
+}
+
+impl<M: Metric> SlidingWindowClustering<M> for FairSlidingWindow<M> {
     /// Handles one arrival: expiry of the outgoing point plus Update on
     /// every guess (Algorithm 1).
-    pub fn insert(&mut self, p: Colored<M::Point>) {
+    fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
         let n = self.cfg.window_size as u64;
         let te = self.t.checked_sub(n);
@@ -142,43 +113,32 @@ impl<M: Metric> FairSlidingWindow<M> {
         }
     }
 
-    /// `Query` (Algorithm 3): find the smallest guess that (a) is valid
-    /// (`|AV| ≤ k`) and (b) admits a `≤ k`-point greedy `2γ`-packing of
-    /// `RV`, then run the sequential solver on its coreset `R`.
-    pub fn query<S: FairCenterSolver<M>>(
-        &self,
-        solver: &S,
-    ) -> Result<WindowSolution<M::Point>, QueryError> {
-        if self.t == 0 {
-            return Err(QueryError::EmptyWindow);
-        }
-        query_over_guesses(
-            &self.metric,
-            self.guesses.iter().map(|g| (g, ())),
-            self.k,
-            &self.cfg.capacities,
-            solver,
-        )
-        .map(|(sol, ())| sol)
+    fn query(&self) -> Result<Solution<M::Point>, QueryError> {
+        self.query_with(&Jones)
     }
 
-    /// Total stored points across every guess (the paper's memory metric).
-    pub fn stored_points(&self) -> usize {
+    fn time(&self) -> u64 {
+        self.t
+    }
+
+    fn window_size(&self) -> usize {
+        self.cfg.window_size
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::from_guesses(self.guesses.iter().map(|g| (g.gamma(), g.stored_points())))
+    }
+
+    fn stored_points(&self) -> usize {
         self.guesses.iter().map(GuessState::stored_points).sum()
     }
 
-    /// Iterates the guesses (used by tests and diagnostics).
-    pub fn guesses(&self) -> impl Iterator<Item = &GuessState<M>> {
-        self.guesses.iter()
-    }
-
-    /// The guess lattice.
-    pub fn lattice(&self) -> Lattice {
-        self.lattice
+    fn num_guesses(&self) -> usize {
+        self.guesses.len()
     }
 
     /// Verifies every guess's structural invariants (test helper).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    fn check_invariants(&self) -> Result<(), String> {
         for g in &self.guesses {
             g.check_invariants(
                 &self.metric,
@@ -206,7 +166,7 @@ pub(crate) fn query_over_guesses<'a, M, S, T, I>(
     k: usize,
     caps: &[usize],
     solver: &S,
-) -> Result<(WindowSolution<M::Point>, T), QueryError>
+) -> Result<(Solution<M::Point>, T), QueryError>
 where
     M: Metric + 'a,
     S: FairCenterSolver<M>,
@@ -237,11 +197,12 @@ where
         let inst = Instance::new(metric, &coreset, caps);
         let sol = solver.solve(&inst)?;
         return Ok((
-            WindowSolution {
+            Solution {
                 centers: sol.centers,
                 guess: g.gamma(),
                 coreset_size: coreset.len(),
                 coreset_radius: sol.radius,
+                extras: SolutionExtras::None,
             },
             tag,
         ));
@@ -252,8 +213,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsw_metric::{Euclidean, EuclidPoint};
-    use fairsw_sequential::Jones;
+    use fairsw_metric::{EuclidPoint, Euclidean};
 
     fn cfg(n: usize, caps: Vec<usize>, delta: f64) -> FairSWConfig {
         FairSWConfig::builder()
@@ -272,16 +232,30 @@ mod tests {
     #[test]
     fn empty_query_errors() {
         let sw = FairSlidingWindow::new(cfg(10, vec![1], 1.0), Euclidean, 0.1, 100.0).unwrap();
-        assert!(matches!(sw.query(&Jones), Err(QueryError::EmptyWindow)));
+        assert!(matches!(sw.query(), Err(QueryError::EmptyWindow)));
+    }
+
+    #[test]
+    fn bad_scale_bounds_rejected() {
+        for (dmin, dmax) in [(0.0, 1.0), (-1.0, 1.0), (2.0, 1.0), (f64::NAN, 1.0)] {
+            assert!(
+                matches!(
+                    FairSlidingWindow::new(cfg(10, vec![1], 1.0), Euclidean, dmin, dmax),
+                    Err(ConfigError::BadScaleBounds { .. })
+                ),
+                "({dmin}, {dmax}) accepted"
+            );
+        }
     }
 
     #[test]
     fn single_point_roundtrip() {
         let mut sw = FairSlidingWindow::new(cfg(10, vec![1], 1.0), Euclidean, 0.1, 100.0).unwrap();
         sw.insert(cp(5.0, 0));
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         assert_eq!(sol.centers.len(), 1);
         assert_eq!(sol.centers[0].point.coords(), &[5.0]);
+        assert!(matches!(sol.extras, SolutionExtras::None));
         sw.check_invariants().unwrap();
     }
 
@@ -294,7 +268,7 @@ mod tests {
             sw.insert(cp(100.0 + i as f64 * 0.01, 1));
         }
         sw.check_invariants().unwrap();
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         assert!(sol.centers.len() <= 2);
         // Solution must have one center near each cluster: check the
         // coreset radius is far below the cluster separation.
@@ -326,6 +300,27 @@ mod tests {
     }
 
     #[test]
+    fn memory_stats_breakdown_consistent() {
+        let mut sw =
+            FairSlidingWindow::new(cfg(30, vec![1, 1], 1.0), Euclidean, 0.01, 1000.0).unwrap();
+        for i in 0..90u64 {
+            let x = (i as f64 * 0.618_033_988_7).fract() * 100.0;
+            sw.insert(cp(x, (i % 2) as u32));
+        }
+        let stats = sw.memory_stats();
+        assert_eq!(stats.num_guesses(), sw.guesses().count());
+        assert_eq!(stats.auxiliary, 0);
+        assert_eq!(
+            stats.stored_points(),
+            sw.guesses().map(GuessState::stored_points).sum::<usize>()
+        );
+        // Ascending-γ order.
+        for pair in stats.per_guess.windows(2) {
+            assert!(pair[0].gamma < pair[1].gamma);
+        }
+    }
+
+    #[test]
     fn fairness_constraint_respected() {
         let mut sw =
             FairSlidingWindow::new(cfg(60, vec![2, 1], 1.0), Euclidean, 0.05, 500.0).unwrap();
@@ -333,7 +328,7 @@ mod tests {
             let x = (i as f64 * 0.324_717_957_2).fract() * 250.0;
             sw.insert(cp(x, (i % 5 == 0) as u32));
         }
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         let c0 = sol.centers.iter().filter(|c| c.color == 0).count();
         let c1 = sol.centers.iter().filter(|c| c.color == 1).count();
         assert!(c0 <= 2 && c1 <= 1, "budgets violated: {c0}, {c1}");
@@ -343,12 +338,11 @@ mod tests {
     fn query_uses_small_guess_for_tight_window() {
         // All window points nearly coincide: the selected guess should be
         // near the bottom of the lattice, and the coreset tiny.
-        let mut sw =
-            FairSlidingWindow::new(cfg(20, vec![2], 1.0), Euclidean, 0.1, 1000.0).unwrap();
+        let mut sw = FairSlidingWindow::new(cfg(20, vec![2], 1.0), Euclidean, 0.1, 1000.0).unwrap();
         for i in 0..40u64 {
             sw.insert(cp(500.0 + (i % 3) as f64 * 0.05, 0));
         }
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         assert!(sol.guess <= 1.0, "guess {} too large", sol.guess);
     }
 }

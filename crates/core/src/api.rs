@@ -1,0 +1,286 @@
+//! The unified streaming-clustering API.
+//!
+//! The paper defines one Update/Query contract that every variant shares:
+//! points arrive one at a time, and at any moment the structure can be
+//! asked for a constrained center set covering the current window. This
+//! module states that contract once — the [`SlidingWindowClustering`]
+//! trait — together with the common [`Solution`] answer type and the
+//! uniform [`MemoryStats`] accounting, so that callers (the CLI, the
+//! experiment harness, the examples, future sharding layers) can drive
+//! any variant through one polymorphic surface. The five implementors:
+//!
+//! * [`FairSlidingWindow`](crate::FairSlidingWindow) — "Ours";
+//! * [`ObliviousFairSlidingWindow`](crate::ObliviousFairSlidingWindow) —
+//!   "OursOblivious";
+//! * [`CompactFairSlidingWindow`](crate::CompactFairSlidingWindow) — the
+//!   Corollary 2 variant;
+//! * [`RobustFairSlidingWindow`](crate::RobustFairSlidingWindow) — the
+//!   outlier-tolerant extension;
+//! * [`MatroidSlidingWindow`](crate::MatroidSlidingWindow) — arbitrary
+//!   matroid constraints over colors.
+//!
+//! [`WindowEngine`](crate::WindowEngine) packages the five behind one
+//! enum-dispatched value for heterogeneous collections.
+
+use fairsw_metric::{Colored, Metric};
+use fairsw_sequential::SolveError;
+use std::fmt;
+
+/// Errors a query can report.
+#[derive(Clone, Debug)]
+pub enum QueryError {
+    /// No point has been inserted yet.
+    EmptyWindow,
+    /// No guess passed the validation test — with a properly spanned
+    /// lattice this cannot happen; with an oblivious/truncated lattice it
+    /// signals the structures are still warming up.
+    NoValidGuess,
+    /// The sequential solver failed on the coreset.
+    Solver(SolveError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyWindow => write!(f, "no points inserted yet"),
+            QueryError::NoValidGuess => write!(f, "no guess passed validation"),
+            QueryError::Solver(e) => write!(f, "coreset solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<SolveError> for QueryError {
+    fn from(e: SolveError) -> Self {
+        QueryError::Solver(e)
+    }
+}
+
+/// Variant-specific annotations riding on a [`Solution`].
+#[derive(Clone, Debug, Default)]
+pub enum SolutionExtras<P> {
+    /// Nothing beyond the common fields (fixed-lattice variants).
+    #[default]
+    None,
+    /// The robust variant's outlier report.
+    Robust {
+        /// Coreset points the solver priced out (≤ `z`).
+        outliers: Vec<Colored<P>>,
+    },
+    /// Provenance from the oblivious variant's adaptive guess range.
+    Oblivious {
+        /// Whether the winning guess had processed the whole window
+        /// (immature guesses answer best-effort during warm-up).
+        mature: bool,
+        /// Whether the answer fell back to the newest point because no
+        /// materialized guess existed (degenerate all-coincident window).
+        fallback: bool,
+        /// The materialized guess range `(γ_min, γ_max)` at query time.
+        guess_range: Option<(f64, f64)>,
+    },
+}
+
+/// A solution extracted from any sliding-window variant.
+///
+/// Subsumes the per-variant answer types: the common fields cover the
+/// fixed, oblivious, compact and matroid variants; [`SolutionExtras`]
+/// carries the robust variant's outliers and the oblivious variant's
+/// provenance.
+#[derive(Clone, Debug)]
+pub struct Solution<P> {
+    /// The selected centers (they satisfy the variant's constraint: at
+    /// most `k_i` of color `i`, or an independent color set).
+    pub centers: Vec<Colored<P>>,
+    /// The guess `γ̂` whose structures produced the solution.
+    pub guess: f64,
+    /// Size of the point set handed to the sequential solver.
+    pub coreset_size: usize,
+    /// The solver-reported radius *over the coreset* (the radius over the
+    /// full window is at most `coreset radius + δγ̂` by Lemma 2 P2; the
+    /// harness measures the true window radius externally). For the
+    /// robust variant this is the radius over the coreset *inliers*.
+    pub coreset_radius: f64,
+    /// Variant-specific annotations.
+    pub extras: SolutionExtras<P>,
+}
+
+impl<P> Solution<P> {
+    /// The outliers discarded by the robust variant (empty for others).
+    pub fn outliers(&self) -> &[Colored<P>] {
+        match &self.extras {
+            SolutionExtras::Robust { outliers } => outliers,
+            _ => &[],
+        }
+    }
+
+    /// `outliers().len()` without borrowing gymnastics at call sites.
+    pub fn num_outliers(&self) -> usize {
+        self.outliers().len()
+    }
+}
+
+/// Memory accounting of one radius guess.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuessMemory {
+    /// The guess value `γ`.
+    pub gamma: f64,
+    /// Points stored by this guess's families (the paper counts stored
+    /// points across `AV ∪ RV ∪ A ∪ R`).
+    pub points: usize,
+}
+
+/// Uniform memory breakdown reported by every variant.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryStats {
+    /// Per-guess point counts, in ascending-γ order.
+    pub per_guess: Vec<GuessMemory>,
+    /// Points stored outside the guess structures (the oblivious
+    /// variant's diameter-estimator anchors and newest-point fallback;
+    /// zero for the fixed-lattice variants).
+    pub auxiliary: usize,
+}
+
+impl MemoryStats {
+    /// Builds the stats from per-guess `(γ, points)` pairs in
+    /// ascending-γ order (the shape every variant reports).
+    pub fn from_guesses<I>(guesses: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, usize)>,
+    {
+        MemoryStats {
+            per_guess: guesses
+                .into_iter()
+                .map(|(gamma, points)| GuessMemory { gamma, points })
+                .collect(),
+            auxiliary: 0,
+        }
+    }
+
+    /// Adds points stored outside the guess structures.
+    pub fn with_auxiliary(mut self, auxiliary: usize) -> Self {
+        self.auxiliary = auxiliary;
+        self
+    }
+
+    /// Total stored points — the paper's memory metric.
+    pub fn stored_points(&self) -> usize {
+        self.per_guess.iter().map(|g| g.points).sum::<usize>() + self.auxiliary
+    }
+
+    /// Number of (materialized) guesses `|Γ|`.
+    pub fn num_guesses(&self) -> usize {
+        self.per_guess.len()
+    }
+}
+
+/// The Update/Query contract shared by all five sliding-window variants.
+///
+/// Generic code written against this trait (plus the enum-dispatched
+/// [`WindowEngine`](crate::WindowEngine) facade) drives any variant:
+///
+/// ```
+/// use fairsw_core::{Solution, SlidingWindowClustering, QueryError};
+/// use fairsw_metric::{Colored, Metric};
+///
+/// fn drain<M: Metric, A: SlidingWindowClustering<M>>(
+///     algo: &mut A,
+///     stream: impl IntoIterator<Item = Colored<M::Point>>,
+/// ) -> Result<Solution<M::Point>, QueryError> {
+///     algo.insert_batch(stream);
+///     algo.query()
+/// }
+/// ```
+pub trait SlidingWindowClustering<M: Metric> {
+    /// Handles one arrival (expiry of the outgoing point plus `Update`
+    /// on every guess — Algorithm 1).
+    fn insert(&mut self, p: Colored<M::Point>);
+
+    /// Answers for the current window (`Query` — Algorithm 3): selects
+    /// the best certified guess and runs the variant's sequential solver
+    /// on its stored point set.
+    fn query(&self) -> Result<Solution<M::Point>, QueryError>;
+
+    /// The arrival counter (number of points inserted so far).
+    fn time(&self) -> u64;
+
+    /// The window length `n`.
+    fn window_size(&self) -> usize;
+
+    /// Uniform memory accounting: per-guess breakdown plus auxiliary
+    /// storage.
+    fn memory_stats(&self) -> MemoryStats;
+
+    /// Verifies the variant's structural invariants (test/diagnostic
+    /// helper); returns a description of the first violation found.
+    fn check_invariants(&self) -> Result<(), String>;
+
+    /// Handles a batch of arrivals, observationally equal to repeated
+    /// [`insert`](Self::insert) in stream order.
+    fn insert_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = Colored<M::Point>>,
+        Self: Sized,
+    {
+        for p in batch {
+            self.insert(p);
+        }
+    }
+
+    /// Total stored points (the paper's memory metric). The default
+    /// derives it from [`memory_stats`](Self::memory_stats); implementors
+    /// override it with an allocation-free sum.
+    fn stored_points(&self) -> usize {
+        self.memory_stats().stored_points()
+    }
+
+    /// Number of (materialized) guesses.
+    fn num_guesses(&self) -> usize {
+        self.memory_stats().num_guesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsw_metric::EuclidPoint;
+
+    #[test]
+    fn memory_stats_totals() {
+        let stats = MemoryStats {
+            per_guess: vec![
+                GuessMemory {
+                    gamma: 1.0,
+                    points: 4,
+                },
+                GuessMemory {
+                    gamma: 2.0,
+                    points: 6,
+                },
+            ],
+            auxiliary: 3,
+        };
+        assert_eq!(stats.stored_points(), 13);
+        assert_eq!(stats.num_guesses(), 2);
+        assert_eq!(MemoryStats::default().stored_points(), 0);
+    }
+
+    #[test]
+    fn solution_outlier_accessors() {
+        let plain: Solution<EuclidPoint> = Solution {
+            centers: vec![],
+            guess: 1.0,
+            coreset_size: 0,
+            coreset_radius: 0.0,
+            extras: SolutionExtras::None,
+        };
+        assert!(plain.outliers().is_empty());
+        let robust: Solution<EuclidPoint> = Solution {
+            extras: SolutionExtras::Robust {
+                outliers: vec![Colored::new(EuclidPoint::new(vec![1.0]), 0)],
+            },
+            ..plain
+        };
+        assert_eq!(robust.num_outliers(), 1);
+    }
+}

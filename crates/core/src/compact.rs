@@ -15,10 +15,10 @@
 //! variant; we implement it explicitly so the ablation benchmark can
 //! compare the two (`ablation_compact`).
 
-use crate::algorithm::{QueryError, WindowSolution};
-use crate::config::{ConfigError, FairSWConfig};
+use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
+use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use fairsw_metric::{Colored, Metric};
-use fairsw_sequential::{FairCenterSolver, Instance};
+use fairsw_sequential::{FairCenterSolver, Instance, Jones};
 use fairsw_stream::Lattice;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -204,10 +204,7 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
     /// ignored (there is no coreset side).
     pub fn new(cfg: FairSWConfig, metric: M, dmin: f64, dmax: f64) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        assert!(
-            dmin.is_finite() && dmin > 0.0 && dmax >= dmin,
-            "need 0 < dmin <= dmax (got {dmin}, {dmax})"
-        );
+        validate_scale(dmin, dmax)?;
         let lattice = Lattice::new(cfg.beta);
         let guesses = lattice
             .span(dmin, dmax)
@@ -223,26 +220,13 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
         })
     }
 
-    /// Handles one arrival.
-    pub fn insert(&mut self, p: Colored<M::Point>) {
-        self.t += 1;
-        let n = self.cfg.window_size as u64;
-        let te = self.t.checked_sub(n);
-        for g in &mut self.guesses {
-            if let Some(te) = te {
-                g.expire(te);
-            }
-            g.update(&self.metric, self.t, &p.point, p.color, &self.cfg.capacities, self.k);
-        }
-    }
-
-    /// Queries: guess selection identical to the main algorithm (the
-    /// packing runs over all of `RV`), then the sequential solver runs on
-    /// `RV` directly.
-    pub fn query<S: FairCenterSolver<M>>(
+    /// Queries with an explicit solver: guess selection identical to the
+    /// main algorithm (the packing runs over all of `RV`), then the
+    /// sequential solver runs on `RV` directly.
+    pub fn query_with<S: FairCenterSolver<M>>(
         &self,
         solver: &S,
-    ) -> Result<WindowSolution<M::Point>, QueryError> {
+    ) -> Result<Solution<M::Point>, QueryError> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
@@ -254,11 +238,7 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
             let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
             let mut overflow = false;
             for e in g.rv.values() {
-                if self
-                    .metric
-                    .dist_to_set(&e.point, packing.iter().copied())
-                    > two_gamma
-                {
+                if self.metric.dist_to_set(&e.point, packing.iter().copied()) > two_gamma {
                     packing.push(&e.point);
                     if packing.len() > self.k {
                         overflow = true;
@@ -269,40 +249,71 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
             if overflow {
                 continue;
             }
-            let coreset: Vec<Colored<M::Point>> = g
-                .rv
-                .values()
-                .map(|e| Colored::new(e.point.clone(), e.color))
-                .collect();
+            let coreset: Vec<Colored<M::Point>> =
+                g.rv.values()
+                    .map(|e| Colored::new(e.point.clone(), e.color))
+                    .collect();
             let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
             let sol = solver.solve(&inst)?;
-            return Ok(WindowSolution {
+            return Ok(Solution {
                 centers: sol.centers,
                 guess: g.gamma,
                 coreset_size: coreset.len(),
                 coreset_radius: sol.radius,
+                extras: SolutionExtras::None,
             });
         }
         Err(QueryError::NoValidGuess)
     }
+}
 
-    /// Total stored points across guesses.
-    pub fn stored_points(&self) -> usize {
-        self.guesses.iter().map(CompactGuess::stored_points).sum()
+impl<M: Metric> SlidingWindowClustering<M> for CompactFairSlidingWindow<M> {
+    /// Handles one arrival.
+    fn insert(&mut self, p: Colored<M::Point>) {
+        self.t += 1;
+        let n = self.cfg.window_size as u64;
+        let te = self.t.checked_sub(n);
+        for g in &mut self.guesses {
+            if let Some(te) = te {
+                g.expire(te);
+            }
+            g.update(
+                &self.metric,
+                self.t,
+                &p.point,
+                p.color,
+                &self.cfg.capacities,
+                self.k,
+            );
+        }
     }
 
-    /// Number of guesses.
-    pub fn num_guesses(&self) -> usize {
-        self.guesses.len()
+    fn query(&self) -> Result<Solution<M::Point>, QueryError> {
+        self.query_with(&Jones)
     }
 
-    /// The arrival counter.
-    pub fn time(&self) -> u64 {
+    fn time(&self) -> u64 {
         self.t
     }
 
+    fn window_size(&self) -> usize {
+        self.cfg.window_size
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::from_guesses(self.guesses.iter().map(|g| (g.gamma, g.stored_points())))
+    }
+
+    fn stored_points(&self) -> usize {
+        self.guesses.iter().map(CompactGuess::stored_points).sum()
+    }
+
+    fn num_guesses(&self) -> usize {
+        self.guesses.len()
+    }
+
     /// Verifies per-guess invariants (test helper).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    fn check_invariants(&self) -> Result<(), String> {
         for g in &self.guesses {
             g.check_invariants(
                 &self.metric,
@@ -319,9 +330,7 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsw_metric::{Euclidean, EuclidPoint};
-    use fairsw_sequential::Jones;
-
+    use fairsw_metric::{EuclidPoint, Euclidean};
     fn cfg(n: usize, caps: Vec<usize>) -> FairSWConfig {
         FairSWConfig::builder()
             .window_size(n)
@@ -346,7 +355,7 @@ mod tests {
                 sw.check_invariants().unwrap();
             }
         }
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         assert!(!sol.centers.is_empty());
         assert!(sol.centers.len() <= 2);
     }
@@ -366,13 +375,16 @@ mod tests {
             per_guess <= 4 * (sw.k + 1) * (sw.k + 1),
             "per-guess memory {per_guess} too large"
         );
-        assert!(sw.stored_points() < 1000, "compact variant beats the window");
+        assert!(
+            sw.stored_points() < 1000,
+            "compact variant beats the window"
+        );
     }
 
     #[test]
     fn empty_query_errors() {
         let sw = CompactFairSlidingWindow::new(cfg(10, vec![1]), Euclidean, 0.1, 10.0).unwrap();
-        assert!(matches!(sw.query(&Jones), Err(QueryError::EmptyWindow)));
+        assert!(matches!(sw.query(), Err(QueryError::EmptyWindow)));
     }
 
     #[test]
@@ -383,7 +395,7 @@ mod tests {
             let x = (i as f64 * 0.445_041_867_9).fract() * 400.0;
             sw.insert(cp(x, (i % 3 == 0) as u32));
         }
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         let c0 = sol.centers.iter().filter(|c| c.color == 0).count();
         let c1 = sol.centers.iter().filter(|c| c.color == 1).count();
         assert!(c0 <= 1 && c1 <= 2);

@@ -16,6 +16,14 @@ pub enum ConfigError {
     /// `delta` must be in `(0, 4]` (the paper evaluates `δ ∈ [0.5, 4]`;
     /// `δ = 4` degenerates to the Corollary 2 regime).
     BadDelta(f64),
+    /// Scale bounds must satisfy `0 < dmin ≤ dmax`, both finite (the
+    /// fixed-lattice variants span their guess set over `[dmin, dmax]`).
+    BadScaleBounds {
+        /// The offending lower bound.
+        dmin: f64,
+        /// The offending upper bound.
+        dmax: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -26,11 +34,24 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroCapacity(i) => write!(f, "capacity k_{i} must be positive"),
             ConfigError::BadBeta(b) => write!(f, "beta must be positive and finite, got {b}"),
             ConfigError::BadDelta(d) => write!(f, "delta must be in (0, 4], got {d}"),
+            ConfigError::BadScaleBounds { dmin, dmax } => {
+                write!(f, "need 0 < dmin <= dmax, both finite (got {dmin}, {dmax})")
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Validates the stream scale bounds the fixed-lattice variants need
+/// (`0 < dmin ≤ dmax`, both finite).
+pub fn validate_scale(dmin: f64, dmax: f64) -> Result<(), ConfigError> {
+    if dmin.is_finite() && dmax.is_finite() && dmin > 0.0 && dmax >= dmin {
+        Ok(())
+    } else {
+        Err(ConfigError::BadScaleBounds { dmin, dmax })
+    }
+}
 
 /// Parameters of the sliding-window fair-center algorithm.
 ///
@@ -106,6 +127,10 @@ pub struct FairSWConfigBuilder {
     capacities: Vec<usize>,
     beta: f64,
     delta: f64,
+    /// A pending `ε` target; resolved against the *final* `β` in
+    /// [`build`](Self::build), so `.epsilon(..)` and `.beta(..)` compose
+    /// in either order.
+    epsilon: Option<f64>,
 }
 
 impl Default for FairSWConfigBuilder {
@@ -115,6 +140,7 @@ impl Default for FairSWConfigBuilder {
             capacities: Vec::new(),
             beta: 2.0,
             delta: 1.0,
+            epsilon: None,
         }
     }
 }
@@ -138,26 +164,41 @@ impl FairSWConfigBuilder {
         self
     }
 
-    /// Sets the coreset precision `δ` (default 1).
+    /// Sets the coreset precision `δ` (default 1). Overrides any earlier
+    /// [`epsilon`](Self::epsilon).
     pub fn delta(mut self, delta: f64) -> Self {
         self.delta = delta;
+        self.epsilon = None;
         self
     }
 
-    /// Sets `δ` from a target `ε` per Theorem 1 (`α = 3`, Jones).
+    /// Sets `δ` from a target `ε` per Theorem 1 (`α = 3`, Jones):
+    /// `δ = ε / ((1+β)(1+2α))`, evaluated with the final `β` at
+    /// [`build`](Self::build) time.
     pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.delta = FairSWConfig::delta_for_epsilon(epsilon, self.beta, 3.0);
+        self.epsilon = Some(epsilon);
         self
+    }
+
+    /// Resolves the pending `ε` (if any) and assembles the configuration
+    /// without validating it. Used by the engine builder's matroid path,
+    /// which replaces the capacity constraint with a matroid.
+    pub(crate) fn build_raw(self) -> FairSWConfig {
+        let delta = match self.epsilon {
+            Some(eps) => FairSWConfig::delta_for_epsilon(eps, self.beta, 3.0),
+            None => self.delta,
+        };
+        FairSWConfig {
+            window_size: self.window_size,
+            capacities: self.capacities,
+            beta: self.beta,
+            delta,
+        }
     }
 
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<FairSWConfig, ConfigError> {
-        let cfg = FairSWConfig {
-            window_size: self.window_size,
-            capacities: self.capacities,
-            beta: self.beta,
-            delta: self.delta,
-        };
+        let cfg = self.build_raw();
         cfg.validate()?;
         Ok(cfg)
     }
@@ -235,8 +276,60 @@ mod tests {
     }
 
     #[test]
+    fn epsilon_resolves_against_final_beta_regardless_of_order() {
+        let mk = |first_eps: bool| {
+            let b = FairSWConfig::builder().window_size(10).capacities(vec![1]);
+            let b = if first_eps {
+                b.epsilon(2.1).beta(2.0)
+            } else {
+                b.beta(2.0).epsilon(2.1)
+            };
+            b.build().unwrap()
+        };
+        assert_eq!(mk(true).delta, mk(false).delta);
+        // A later explicit delta overrides a pending epsilon.
+        let cfg = FairSWConfig::builder()
+            .window_size(10)
+            .capacities(vec![1])
+            .epsilon(2.1)
+            .delta(0.7)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.delta, 0.7);
+    }
+
+    #[test]
     fn error_display() {
         assert!(format!("{}", ConfigError::ZeroWindow).contains("window"));
         assert!(format!("{}", ConfigError::BadDelta(9.0)).contains("9"));
+        assert!(format!(
+            "{}",
+            ConfigError::BadScaleBounds {
+                dmin: -1.0,
+                dmax: 2.0
+            }
+        )
+        .contains("-1"));
+    }
+
+    #[test]
+    fn scale_validation() {
+        assert_eq!(validate_scale(0.1, 100.0), Ok(()));
+        assert_eq!(validate_scale(5.0, 5.0), Ok(()));
+        for (dmin, dmax) in [
+            (0.0, 1.0),
+            (-2.0, 1.0),
+            (2.0, 1.0),
+            (f64::NAN, 1.0),
+            (1.0, f64::INFINITY),
+        ] {
+            assert!(
+                matches!(
+                    validate_scale(dmin, dmax),
+                    Err(ConfigError::BadScaleBounds { .. })
+                ),
+                "({dmin}, {dmax}) accepted"
+            );
+        }
     }
 }

@@ -1,0 +1,469 @@
+//! `WindowEngine` — one enum-dispatched facade over all five
+//! sliding-window variants.
+//!
+//! The trait [`SlidingWindowClustering`](crate::SlidingWindowClustering)
+//! unifies the variants *generically*; this module unifies them as a
+//! *value*: a [`VariantSpec`] names a variant plus its extra parameters
+//! (scale bounds, outlier budget, matroid constraint), and
+//! [`WindowEngine::build`] constructs the corresponding algorithm from a
+//! shared [`FairSWConfig`]. Because `WindowEngine` itself implements the
+//! trait, heterogeneous fleets — e.g. `Vec<WindowEngine<M>>` feeding a
+//! future sharding or multi-tenant serving layer — drive every variant
+//! through identical code:
+//!
+//! ```
+//! use fairsw_core::{EngineBuilder, SlidingWindowClustering, VariantSpec, WindowEngine};
+//! use fairsw_metric::{Colored, Euclidean, EuclidPoint};
+//!
+//! let mut fleet: Vec<WindowEngine<Euclidean>> = vec![
+//!     EngineBuilder::new()
+//!         .window_size(100)
+//!         .capacities(vec![2, 2])
+//!         .variant(VariantSpec::Fixed { dmin: 0.1, dmax: 100.0 })
+//!         .build(Euclidean)
+//!         .unwrap(),
+//!     EngineBuilder::new()
+//!         .window_size(100)
+//!         .capacities(vec![2, 2])
+//!         .build(Euclidean) // defaults to the oblivious variant
+//!         .unwrap(),
+//! ];
+//! for i in 0..300u32 {
+//!     let p = Colored::new(EuclidPoint::new(vec![(i % 97) as f64]), i % 2);
+//!     for engine in &mut fleet {
+//!         engine.insert(p.clone());
+//!     }
+//! }
+//! for engine in &fleet {
+//!     let sol = engine.query().unwrap();
+//!     assert!(!sol.centers.is_empty());
+//! }
+//! ```
+
+use crate::algorithm::FairSlidingWindow;
+use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution};
+use crate::compact::CompactFairSlidingWindow;
+use crate::config::{ConfigError, FairSWConfig, FairSWConfigBuilder};
+use crate::matroid_window::MatroidSlidingWindow;
+use crate::oblivious::ObliviousFairSlidingWindow;
+use crate::robust::RobustFairSlidingWindow;
+use fairsw_matroid::AnyMatroid;
+use fairsw_metric::{Colored, Metric};
+
+/// Which sliding-window variant to construct, plus its extra parameters.
+///
+/// The shared parameters (window length, budgets, `β`, `δ`) live in
+/// [`FairSWConfig`]; a spec carries only what distinguishes the variant.
+#[derive(Clone, Debug)]
+pub enum VariantSpec {
+    /// The main algorithm ("Ours"): fixed guess lattice spanning
+    /// `[dmin, dmax]`.
+    Fixed {
+        /// Lower bound on the stream's pairwise distances.
+        dmin: f64,
+        /// Upper bound on the stream's pairwise distances.
+        dmax: f64,
+    },
+    /// The scale-oblivious variant ("OursOblivious"): no prior bounds.
+    Oblivious,
+    /// The Corollary 2 variant: validation-only structures,
+    /// dimension-free space.
+    Compact {
+        /// Lower bound on the stream's pairwise distances.
+        dmin: f64,
+        /// Upper bound on the stream's pairwise distances.
+        dmax: f64,
+    },
+    /// The outlier-tolerant extension: up to `z` outliers per window.
+    Robust {
+        /// Tolerated outliers per window.
+        z: usize,
+        /// Lower bound on the stream's pairwise distances.
+        dmin: f64,
+        /// Upper bound on the stream's pairwise distances.
+        dmax: f64,
+    },
+    /// Arbitrary matroid constraint over colors (the config's
+    /// per-color capacities are ignored; the constraint is the matroid).
+    Matroid {
+        /// The color constraint.
+        matroid: AnyMatroid,
+        /// Lower bound on the stream's pairwise distances.
+        dmin: f64,
+        /// Upper bound on the stream's pairwise distances.
+        dmax: f64,
+    },
+}
+
+/// Any sliding-window variant behind one enum-dispatched value.
+///
+/// Variants are boxed so the enum itself stays pointer-sized — a
+/// heterogeneous `Vec<WindowEngine<M>>` moves cheaply regardless of how
+/// much per-guess state each algorithm carries.
+#[derive(Clone, Debug)]
+pub enum WindowEngine<M: Metric> {
+    /// [`FairSlidingWindow`] — "Ours".
+    Fixed(Box<FairSlidingWindow<M>>),
+    /// [`ObliviousFairSlidingWindow`] — "OursOblivious".
+    Oblivious(Box<ObliviousFairSlidingWindow<M>>),
+    /// [`CompactFairSlidingWindow`] — Corollary 2.
+    Compact(Box<CompactFairSlidingWindow<M>>),
+    /// [`RobustFairSlidingWindow`] — outlier tolerant.
+    Robust(Box<RobustFairSlidingWindow<M>>),
+    /// [`MatroidSlidingWindow`] under a type-erased [`AnyMatroid`].
+    Matroid(Box<MatroidSlidingWindow<M, AnyMatroid>>),
+}
+
+/// Dispatches a method call to whichever variant the engine holds.
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            WindowEngine::Fixed($inner) => $body,
+            WindowEngine::Oblivious($inner) => $body,
+            WindowEngine::Compact($inner) => $body,
+            WindowEngine::Robust($inner) => $body,
+            WindowEngine::Matroid($inner) => $body,
+        }
+    };
+}
+
+impl<M: Metric> WindowEngine<M> {
+    /// Constructs the variant described by `spec` from a shared
+    /// configuration. All parameter validation is fallible — no variant
+    /// panics on bad input.
+    pub fn build(cfg: FairSWConfig, spec: VariantSpec, metric: M) -> Result<Self, ConfigError> {
+        Ok(match spec {
+            VariantSpec::Fixed { dmin, dmax } => {
+                WindowEngine::Fixed(Box::new(FairSlidingWindow::new(cfg, metric, dmin, dmax)?))
+            }
+            VariantSpec::Oblivious => {
+                WindowEngine::Oblivious(Box::new(ObliviousFairSlidingWindow::new(cfg, metric)?))
+            }
+            VariantSpec::Compact { dmin, dmax } => WindowEngine::Compact(Box::new(
+                CompactFairSlidingWindow::new(cfg, metric, dmin, dmax)?,
+            )),
+            VariantSpec::Robust { z, dmin, dmax } => WindowEngine::Robust(Box::new(
+                RobustFairSlidingWindow::new(cfg, z, metric, dmin, dmax)?,
+            )),
+            VariantSpec::Matroid {
+                matroid,
+                dmin,
+                dmax,
+            } => {
+                // The matroid is the constraint: the config's capacities
+                // are documented as ignored here, so only the parameters
+                // the variant consumes are validated (by its constructor).
+                WindowEngine::Matroid(Box::new(MatroidSlidingWindow::new(
+                    metric,
+                    matroid,
+                    cfg.window_size,
+                    cfg.beta,
+                    cfg.delta,
+                    dmin,
+                    dmax,
+                )?))
+            }
+        })
+    }
+
+    /// Short stable identifier of the variant this engine runs.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            WindowEngine::Fixed(_) => "fixed",
+            WindowEngine::Oblivious(_) => "oblivious",
+            WindowEngine::Compact(_) => "compact",
+            WindowEngine::Robust(_) => "robust",
+            WindowEngine::Matroid(_) => "matroid",
+        }
+    }
+}
+
+impl<M: Metric> SlidingWindowClustering<M> for WindowEngine<M> {
+    fn insert(&mut self, p: Colored<M::Point>) {
+        dispatch!(self, e => e.insert(p))
+    }
+
+    fn query(&self) -> Result<Solution<M::Point>, QueryError> {
+        dispatch!(self, e => e.query())
+    }
+
+    fn time(&self) -> u64 {
+        dispatch!(self, e => e.time())
+    }
+
+    fn window_size(&self) -> usize {
+        dispatch!(self, e => e.window_size())
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        dispatch!(self, e => e.memory_stats())
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        dispatch!(self, e => e.check_invariants())
+    }
+
+    fn stored_points(&self) -> usize {
+        dispatch!(self, e => e.stored_points())
+    }
+
+    fn num_guesses(&self) -> usize {
+        dispatch!(self, e => e.num_guesses())
+    }
+}
+
+/// Fluent construction of a [`WindowEngine`]: the [`FairSWConfig`]
+/// parameters plus a [`VariantSpec`], defaulting to the oblivious
+/// variant (the only one needing no scale bounds).
+#[derive(Clone, Debug, Default)]
+pub struct EngineBuilder {
+    cfg: FairSWConfigBuilder,
+    spec: Option<VariantSpec>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder with the paper's defaults (`β = 2`, `δ = 1`,
+    /// oblivious variant).
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Sets the window length `n`.
+    pub fn window_size(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.window_size(n);
+        self
+    }
+
+    /// Sets the per-color budgets `k_i` (ignored by the matroid variant,
+    /// whose constraint is its matroid).
+    pub fn capacities(mut self, caps: Vec<usize>) -> Self {
+        self.cfg = self.cfg.capacities(caps);
+        self
+    }
+
+    /// Sets the guess parameter `β` (default 2, as in the paper).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.cfg = self.cfg.beta(beta);
+        self
+    }
+
+    /// Sets the coreset precision `δ` (default 1). Overrides any earlier
+    /// [`epsilon`](Self::epsilon).
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.cfg = self.cfg.delta(delta);
+        self
+    }
+
+    /// Sets `δ` from a target `ε` per Theorem 1 (`α = 3`, Jones),
+    /// evaluated with the final `β` at [`build`](Self::build) time.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.cfg = self.cfg.epsilon(epsilon);
+        self
+    }
+
+    /// Selects the variant to construct.
+    pub fn variant(mut self, spec: VariantSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Shorthand for [`VariantSpec::Fixed`].
+    pub fn fixed(self, dmin: f64, dmax: f64) -> Self {
+        self.variant(VariantSpec::Fixed { dmin, dmax })
+    }
+
+    /// Shorthand for [`VariantSpec::Oblivious`] (the default).
+    pub fn oblivious(self) -> Self {
+        self.variant(VariantSpec::Oblivious)
+    }
+
+    /// Shorthand for [`VariantSpec::Compact`].
+    pub fn compact(self, dmin: f64, dmax: f64) -> Self {
+        self.variant(VariantSpec::Compact { dmin, dmax })
+    }
+
+    /// Shorthand for [`VariantSpec::Robust`].
+    pub fn robust(self, z: usize, dmin: f64, dmax: f64) -> Self {
+        self.variant(VariantSpec::Robust { z, dmin, dmax })
+    }
+
+    /// Shorthand for [`VariantSpec::Matroid`].
+    pub fn matroid(self, matroid: impl Into<AnyMatroid>, dmin: f64, dmax: f64) -> Self {
+        self.variant(VariantSpec::Matroid {
+            matroid: matroid.into(),
+            dmin,
+            dmax,
+        })
+    }
+
+    /// Validates the configuration and constructs the engine.
+    pub fn build<M: Metric>(self, metric: M) -> Result<WindowEngine<M>, ConfigError> {
+        let spec = self.spec.unwrap_or(VariantSpec::Oblivious);
+        // The matroid variant takes its constraint from the matroid, not
+        // from per-color capacities, so it skips the capacity checks of
+        // `FairSWConfig` (its constructor validates the rest); the other
+        // variants get the fully validated configuration.
+        let cfg = match spec {
+            VariantSpec::Matroid { .. } => self.cfg.build_raw(),
+            _ => self.cfg.build()?,
+        };
+        WindowEngine::build(cfg, spec, metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SolutionExtras;
+    use fairsw_matroid::{Group, LaminarMatroid, PartitionMatroid};
+    use fairsw_metric::{Colored, EuclidPoint, Euclidean};
+
+    fn cp(x: f64, c: u32) -> Colored<EuclidPoint> {
+        Colored::new(EuclidPoint::new(vec![x]), c)
+    }
+
+    fn base() -> EngineBuilder {
+        EngineBuilder::new().window_size(40).capacities(vec![1, 1])
+    }
+
+    #[test]
+    fn builds_every_variant_from_one_config() {
+        let engines: Vec<WindowEngine<Euclidean>> = vec![
+            base().fixed(0.01, 1e4).build(Euclidean).unwrap(),
+            base().oblivious().build(Euclidean).unwrap(),
+            base().compact(0.01, 1e4).build(Euclidean).unwrap(),
+            base().robust(2, 0.01, 1e4).build(Euclidean).unwrap(),
+            base()
+                .matroid(PartitionMatroid::new(vec![1, 1]).unwrap(), 0.01, 1e4)
+                .build(Euclidean)
+                .unwrap(),
+        ];
+        let names: Vec<_> = engines.iter().map(WindowEngine::variant_name).collect();
+        assert_eq!(
+            names,
+            ["fixed", "oblivious", "compact", "robust", "matroid"]
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fleet_runs_through_the_trait() {
+        let mut fleet: Vec<WindowEngine<Euclidean>> = vec![
+            base().fixed(0.01, 1e4).build(Euclidean).unwrap(),
+            base().oblivious().build(Euclidean).unwrap(),
+            base().compact(0.01, 1e4).build(Euclidean).unwrap(),
+            base().robust(1, 0.01, 1e4).build(Euclidean).unwrap(),
+            base()
+                .matroid(
+                    LaminarMatroid::new(vec![Group::new(vec![0], 1), Group::new(vec![0, 1], 2)])
+                        .unwrap(),
+                    0.01,
+                    1e4,
+                )
+                .build(Euclidean)
+                .unwrap(),
+        ];
+        for i in 0..120u64 {
+            let base_x = if i % 2 == 0 { 0.0 } else { 500.0 };
+            let p = cp(base_x + (i as f64 * 0.618).fract() * 3.0, (i % 2) as u32);
+            for e in &mut fleet {
+                e.insert(p.clone());
+            }
+        }
+        for e in &fleet {
+            assert_eq!(e.time(), 120);
+            assert_eq!(e.window_size(), 40);
+            e.check_invariants().unwrap();
+            let sol = e
+                .query()
+                .unwrap_or_else(|err| panic!("{} failed to answer: {err}", e.variant_name()));
+            assert!(!sol.centers.is_empty());
+            assert!(sol.centers.len() <= 2);
+            assert!(
+                sol.coreset_radius < 50.0,
+                "{}: radius {}",
+                e.variant_name(),
+                sol.coreset_radius
+            );
+            assert!(e.stored_points() > 0);
+            assert_eq!(e.memory_stats().stored_points(), e.stored_points());
+            match (e.variant_name(), &sol.extras) {
+                ("robust", SolutionExtras::Robust { .. }) => {}
+                ("oblivious", SolutionExtras::Oblivious { .. }) => {}
+                ("fixed" | "compact" | "matroid", SolutionExtras::None) => {}
+                (name, extras) => panic!("{name}: unexpected extras {extras:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn build_reports_config_errors_instead_of_panicking() {
+        assert!(matches!(
+            base().fixed(0.0, 1e4).build(Euclidean),
+            Err(ConfigError::BadScaleBounds { .. })
+        ));
+        assert!(matches!(
+            base().robust(1, 5.0, 1.0).build(Euclidean),
+            Err(ConfigError::BadScaleBounds { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::new()
+                .capacities(vec![1])
+                .fixed(0.1, 1.0)
+                .build(Euclidean),
+            Err(ConfigError::ZeroWindow)
+        ));
+        assert!(matches!(
+            base()
+                .matroid(PartitionMatroid::new(vec![1]).unwrap(), f64::NAN, 1.0)
+                .build(Euclidean),
+            Err(ConfigError::BadScaleBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn matroid_path_ignores_capacities_on_both_construction_routes() {
+        // The matroid carries the constraint; per-color capacities are
+        // documented as ignored, so both construction paths must accept
+        // a capacity-less configuration.
+        let via_builder = EngineBuilder::new()
+            .window_size(10)
+            .matroid(PartitionMatroid::new(vec![1]).unwrap(), 0.1, 10.0)
+            .build(Euclidean);
+        assert!(via_builder.is_ok());
+        let cfg = FairSWConfig {
+            window_size: 10,
+            capacities: Vec::new(),
+            beta: 2.0,
+            delta: 1.0,
+        };
+        let via_build = WindowEngine::build(
+            cfg,
+            VariantSpec::Matroid {
+                matroid: PartitionMatroid::new(vec![1]).unwrap().into(),
+                dmin: 0.1,
+                dmax: 10.0,
+            },
+            Euclidean,
+        );
+        assert!(via_build.is_ok());
+    }
+
+    #[test]
+    fn insert_batch_default_matches_repeated_insert() {
+        let stream: Vec<_> = (0..90u64)
+            .map(|i| cp((i as f64 * 0.324_717_957_2).fract() * 200.0, (i % 2) as u32))
+            .collect();
+        let mut one = base().fixed(0.01, 1e4).build(Euclidean).unwrap();
+        let mut batch = base().fixed(0.01, 1e4).build(Euclidean).unwrap();
+        for p in &stream {
+            one.insert(p.clone());
+        }
+        batch.insert_batch(stream);
+        assert_eq!(one.time(), batch.time());
+        assert_eq!(one.stored_points(), batch.stored_points());
+        let (a, b) = (one.query().unwrap(), batch.query().unwrap());
+        assert_eq!(a.guess, b.guess);
+        assert_eq!(a.coreset_size, b.coreset_size);
+        assert_eq!(a.centers.len(), b.centers.len());
+    }
+}

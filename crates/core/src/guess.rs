@@ -180,12 +180,7 @@ impl<M: Metric> GuessState<M> {
             .a
             .iter()
             .filter(|(_, q)| metric.dist(p, q) <= attach)
-            .min_by_key(|(&ta, _)| {
-                self.reps_c
-                    .get(&ta)
-                    .map(|per| per[ci].len())
-                    .unwrap_or(0)
-            })
+            .min_by_key(|(&ta, _)| self.reps_c.get(&ta).map(|per| per[ci].len()).unwrap_or(0))
             .map(|(&ta, _)| ta);
         match phi {
             None => {
@@ -377,7 +372,7 @@ impl<M: Metric> GuessState<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_metric::{EuclidPoint, Euclidean};
 
     fn p(x: f64) -> EuclidPoint {
         EuclidPoint::new(vec![x])
@@ -473,8 +468,28 @@ mod tests {
             if t > 3 {
                 g.expire(t - 3);
             }
-            g.update(&Euclidean, t, &p(t as f64), 0, Budgets { caps: &caps, k: 1, delta: 1.0 });
-            g.check_invariants(&Euclidean, t, 3, Budgets { caps: &caps, k: 1, delta: 1.0 }).unwrap();
+            g.update(
+                &Euclidean,
+                t,
+                &p(t as f64),
+                0,
+                Budgets {
+                    caps: &caps,
+                    k: 1,
+                    delta: 1.0,
+                },
+            );
+            g.check_invariants(
+                &Euclidean,
+                t,
+                3,
+                Budgets {
+                    caps: &caps,
+                    k: 1,
+                    delta: 1.0,
+                },
+            )
+            .unwrap();
         }
         // At t=4 the original attractor (t=1) expired. The arrival at
         // t=4 found no live attractor (t=1 was removed first), so it
@@ -491,13 +506,33 @@ mod tests {
         let xs = [0.0, 0.1, 0.2, 0.3, 0.4];
         for (i, &x) in xs.iter().enumerate() {
             let t = i as u64 + 1;
-            g.update(&Euclidean, t, &p(x), (i % 2) as u32, Budgets { caps: &caps, k: 3, delta: 1.0 });
+            g.update(
+                &Euclidean,
+                t,
+                &p(x),
+                (i % 2) as u32,
+                Budgets {
+                    caps: &caps,
+                    k: 3,
+                    delta: 1.0,
+                },
+            );
         }
         // Arrivals: t1 c0, t2 c1, t3 c0, t4 c1, t5 c0.
         // Color 0 cap 1: keeps t5. Color 1 cap 2: keeps t2, t4.
         let times: Vec<u64> = g.r.keys().copied().collect();
         assert_eq!(times, vec![2, 4, 5]);
-        g.check_invariants(&Euclidean, 5, 100, Budgets { caps: &caps, k: 3, delta: 1.0 }).unwrap();
+        g.check_invariants(
+            &Euclidean,
+            5,
+            100,
+            Budgets {
+                caps: &caps,
+                k: 3,
+                delta: 1.0,
+            },
+        )
+        .unwrap();
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //! for the window `W_t` of the last `n` points using space and time
 //! **independent of `n`**.
 //!
-//! Three variants are provided, matching the paper:
+//! ## One API, five variants
+//!
+//! Every variant implements the [`SlidingWindowClustering`] trait — the
+//! paper's Update/Query contract — and returns the same [`Solution`]
+//! type; the [`WindowEngine`] facade constructs any of them from one
+//! [`FairSWConfig`]-derived builder and dispatches without generics:
 //!
 //! * [`FairSlidingWindow`] — the main algorithm ("Ours"): one set of
 //!   validation/coreset structures per radius guess
@@ -19,44 +24,58 @@
 //! * [`CompactFairSlidingWindow`] — the Corollary 2 variant: coreset
 //!   structures are dropped and the per-attractor representative becomes a
 //!   maximal independent set, trading the approximation factor for space
-//!   `O(k² log Δ / ε)` with **no** dependence on the doubling dimension.
+//!   `O(k² log Δ / ε)` with **no** dependence on the doubling dimension;
+//! * [`RobustFairSlidingWindow`] — the outlier-tolerant extension the
+//!   paper's conclusions sketch: up to `z` outliers per window;
+//! * [`MatroidSlidingWindow`] — the fairness constraint generalized to
+//!   arbitrary matroids over colors (laminar hierarchies, …).
 //!
 //! ## Quick start
 //!
 //! ```
-//! use fairsw_core::{FairSWConfig, FairSlidingWindow};
+//! use fairsw_core::{EngineBuilder, SlidingWindowClustering};
 //! use fairsw_metric::{Colored, Euclidean, EuclidPoint};
-//! use fairsw_sequential::Jones;
 //!
-//! let cfg = FairSWConfig::builder()
+//! // Window of the last 100 points, at most 2 centers per color; the
+//! // oblivious variant needs no distance bounds up front.
+//! let mut engine = EngineBuilder::new()
 //!     .window_size(100)
-//!     .capacities(vec![2, 2])     // at most 2 centers per color
-//!     .build()
+//!     .capacities(vec![2, 2])
+//!     .build(Euclidean)
 //!     .unwrap();
-//! // Stream scale bounds (dmin, dmax) are known here; otherwise use
-//! // ObliviousFairSlidingWindow.
-//! let mut sw = FairSlidingWindow::new(cfg, Euclidean, 0.1, 100.0).unwrap();
-//! for i in 0..500u32 {
+//! engine.insert_batch((0..500u32).map(|i| {
 //!     let x = (i % 97) as f64;
-//!     sw.insert(Colored::new(EuclidPoint::new(vec![x]), i % 2));
-//! }
-//! let sol = sw.query(&Jones).unwrap();
+//!     Colored::new(EuclidPoint::new(vec![x]), i % 2)
+//! }));
+//! let sol = engine.query().unwrap();
 //! assert!(!sol.centers.is_empty());
+//! assert!(engine.stored_points() < 500); // far below the stream length
 //! ```
+//!
+//! When the stream's distance scales are known, pick the main algorithm
+//! (`.fixed(dmin, dmax)`); add `.robust(z, ..)` for outlier tolerance or
+//! `.matroid(..)` for hierarchical constraints — construction is
+//! fallible ([`ConfigError`]), never panicking on bad parameters.
 
 pub mod algorithm;
+pub mod api;
 pub mod compact;
 pub mod config;
+pub mod engine;
 pub mod guess;
 pub mod matroid_window;
 pub mod oblivious;
 pub mod robust;
 pub mod snapshot;
 
-pub use algorithm::{FairSlidingWindow, QueryError, WindowSolution};
+pub use algorithm::FairSlidingWindow;
+pub use api::{
+    GuessMemory, MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras,
+};
 pub use compact::CompactFairSlidingWindow;
-pub use config::{ConfigError, FairSWConfig, FairSWConfigBuilder};
-pub use matroid_window::{MatroidSlidingWindow, MatroidWindowSolution};
+pub use config::{validate_scale, ConfigError, FairSWConfig, FairSWConfigBuilder};
+pub use engine::{EngineBuilder, VariantSpec, WindowEngine};
+pub use matroid_window::MatroidSlidingWindow;
 pub use oblivious::ObliviousFairSlidingWindow;
-pub use robust::{RobustFairSlidingWindow, RobustWindowSolution};
+pub use robust::RobustFairSlidingWindow;
 pub use snapshot::{PointCodec, SnapshotError};

@@ -25,26 +25,13 @@
 //! matching-based partition solvers — use [`crate::FairSlidingWindow`]
 //! when the constraint is a plain partition matroid.
 
-use crate::algorithm::QueryError;
-use crate::config::ConfigError;
+use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
+use crate::config::{validate_scale, ConfigError};
 use fairsw_matroid::{Matroid, OverColors};
 use fairsw_metric::{Colored, Metric};
 use fairsw_sequential::{matroid_center, MatroidInstance};
 use fairsw_stream::Lattice;
 use std::collections::{BTreeMap, HashMap};
-
-/// A solution to sliding-window matroid center.
-#[derive(Clone, Debug)]
-pub struct MatroidWindowSolution<P> {
-    /// The selected centers (their colors form an independent set).
-    pub centers: Vec<Colored<P>>,
-    /// The guess `γ̂` whose coreset produced the solution.
-    pub guess: f64,
-    /// Size of the coreset handed to the solver.
-    pub coreset_size: usize,
-    /// Solver-reported radius over the coreset.
-    pub coreset_radius: f64,
-}
 
 /// Per-guess state of the matroid variant (validation families identical
 /// to the partition algorithm; coreset rep sets kept independent via
@@ -141,8 +128,7 @@ impl<M: Metric> MatroidGuess<M> {
                 continue;
             }
             let times = self.reps.get(&ta).map(Vec::as_slice).unwrap_or(&[]);
-            let mut colors: Vec<u32> =
-                times.iter().map(|tt| self.r[tt].1).collect();
+            let mut colors: Vec<u32> = times.iter().map(|tt| self.r[tt].1).collect();
             colors.push(color);
             if no_evict.is_none() && matroid.is_independent(&colors) {
                 no_evict = Some(ta);
@@ -221,6 +207,84 @@ impl<M: Metric> MatroidGuess<M> {
             self.r = keep_r;
         }
     }
+
+    /// Structural invariants (test helper): liveness of every stored
+    /// time, the `2γ` separation of `AV`, the `δγ/2` separation of `A`,
+    /// and independence of every live attractor's representative colors.
+    fn check_invariants<Mat: Matroid<u32>>(
+        &self,
+        metric: &M,
+        t: u64,
+        n: u64,
+        matroid: &Mat,
+        k: usize,
+        delta: f64,
+    ) -> Result<(), String> {
+        let live = |time: u64| time + n > t;
+        for &time in self
+            .av
+            .keys()
+            .chain(self.rv.keys())
+            .chain(self.a.keys())
+            .chain(self.r.keys())
+        {
+            if !live(time) {
+                return Err(format!("expired entry {time} at t={t}"));
+            }
+        }
+        if self.av.len() > k + 1 {
+            return Err(format!("|AV| = {} > rank+1", self.av.len()));
+        }
+        let avs: Vec<_> = self.av.iter().collect();
+        for i in 0..avs.len() {
+            for j in (i + 1)..avs.len() {
+                if metric.dist(avs[i].1, avs[j].1) <= 2.0 * self.gamma {
+                    return Err(format!(
+                        "v-attractors {} and {} within 2γ",
+                        avs[i].0, avs[j].0
+                    ));
+                }
+            }
+        }
+        let cas: Vec<_> = self.a.iter().collect();
+        for i in 0..cas.len() {
+            for j in (i + 1)..cas.len() {
+                if metric.dist(cas[i].1, cas[j].1) <= delta * self.gamma / 2.0 {
+                    return Err(format!(
+                        "c-attractors {} and {} within δγ/2",
+                        cas[i].0, cas[j].0
+                    ));
+                }
+            }
+        }
+        for (&a, times) in &self.reps {
+            if !self.a.contains_key(&a) {
+                return Err(format!("rep set for dead attractor {a}"));
+            }
+            let mut colors = Vec::with_capacity(times.len());
+            for &time in times {
+                match self.r.get(&time) {
+                    None => return Err(format!("tracked rep {time} missing from R")),
+                    Some((p, c, att)) => {
+                        if *att != a {
+                            return Err(format!("R entry {time} attractor mismatch"));
+                        }
+                        let d = metric.dist(p, &self.a[&a]);
+                        if d > delta * self.gamma / 2.0 + 1e-9 {
+                            return Err(format!(
+                                "rep {time} at distance {d} > δγ/2 from attractor {a}"
+                            ));
+                        }
+                        colors.push(*c);
+                    }
+                }
+            }
+            if !matroid.is_independent(&colors) {
+                return Err(format!("rep colors of attractor {a} not independent"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Sliding-window matroid center under an arbitrary matroid over colors.
@@ -258,10 +322,7 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
         if !(delta.is_finite() && delta > 0.0 && delta <= 4.0) {
             return Err(ConfigError::BadDelta(delta));
         }
-        assert!(
-            dmin.is_finite() && dmin > 0.0 && dmax >= dmin,
-            "need 0 < dmin <= dmax (got {dmin}, {dmax})"
-        );
+        validate_scale(dmin, dmax)?;
         let lattice = Lattice::new(beta);
         let guesses = lattice
             .span(dmin, dmax)
@@ -279,8 +340,15 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
         })
     }
 
+    /// The constraint's rank (plays the role of `k`).
+    pub fn rank(&self) -> usize {
+        self.k
+    }
+}
+
+impl<M: Metric, Mat: Matroid<u32>> SlidingWindowClustering<M> for MatroidSlidingWindow<M, Mat> {
     /// Handles one arrival.
-    pub fn insert(&mut self, p: Colored<M::Point>) {
+    fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
         let n = self.window_size as u64;
         let te = self.t.checked_sub(n);
@@ -302,7 +370,7 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
 
     /// Queries: validation packing as in Algorithm 3 (`k = rank`), then
     /// the generic matroid-center solver on the coreset.
-    pub fn query(&self) -> Result<MatroidWindowSolution<M::Point>, QueryError> {
+    fn query(&self) -> Result<Solution<M::Point>, QueryError> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
@@ -339,29 +407,50 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
                 .iter()
                 .map(|&i| Colored::new(points[i].clone(), colors[i]))
                 .collect();
-            return Ok(MatroidWindowSolution {
+            return Ok(Solution {
                 centers,
                 guess: g.gamma,
                 coreset_size: points.len(),
                 coreset_radius: sol.radius,
+                extras: SolutionExtras::None,
             });
         }
         Err(QueryError::NoValidGuess)
     }
 
-    /// Total stored points across guesses.
-    pub fn stored_points(&self) -> usize {
+    fn time(&self) -> u64 {
+        self.t
+    }
+
+    fn window_size(&self) -> usize {
+        self.window_size
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::from_guesses(self.guesses.iter().map(|g| (g.gamma, g.stored_points())))
+    }
+
+    fn stored_points(&self) -> usize {
         self.guesses.iter().map(MatroidGuess::stored_points).sum()
     }
 
-    /// The constraint's rank (plays the role of `k`).
-    pub fn rank(&self) -> usize {
-        self.k
+    fn num_guesses(&self) -> usize {
+        self.guesses.len()
     }
 
-    /// The arrival counter.
-    pub fn time(&self) -> u64 {
-        self.t
+    /// Verifies per-guess invariants (test helper).
+    fn check_invariants(&self) -> Result<(), String> {
+        for g in &self.guesses {
+            g.check_invariants(
+                &self.metric,
+                self.t,
+                self.window_size as u64,
+                &self.matroid,
+                self.k,
+                self.delta,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -369,7 +458,7 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
 mod tests {
     use super::*;
     use fairsw_matroid::{Group, LaminarMatroid, PartitionMatroid};
-    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_metric::{EuclidPoint, Euclidean};
 
     fn cp(x: f64, c: u32) -> Colored<EuclidPoint> {
         Colored::new(EuclidPoint::new(vec![x]), c)
@@ -390,8 +479,7 @@ mod tests {
             .delta(1.0)
             .build()
             .unwrap();
-        let mut special =
-            crate::FairSlidingWindow::new(cfg, Euclidean, 0.01, 1e4).unwrap();
+        let mut special = crate::FairSlidingWindow::new(cfg, Euclidean, 0.01, 1e4).unwrap();
         for i in 0..200u64 {
             let base = if i % 2 == 0 { 0.0 } else { 500.0 };
             let p = cp(base + (i as f64 * 0.618).fract() * 3.0, (i % 2) as u32);
@@ -399,10 +487,14 @@ mod tests {
             special.insert(p);
         }
         let gs = generic.query().unwrap();
-        let ss = special.query(&fairsw_sequential::Jones).unwrap();
+        let ss = special.query().unwrap();
         assert!(gs.centers.len() <= 2);
         // Same two-cluster geometry: both must land at cluster scale.
-        assert!(gs.coreset_radius < 50.0, "generic radius {}", gs.coreset_radius);
+        assert!(
+            gs.coreset_radius < 50.0,
+            "generic radius {}",
+            gs.coreset_radius
+        );
         assert!(ss.coreset_radius < 50.0);
     }
 
@@ -416,8 +508,7 @@ mod tests {
         ])
         .unwrap();
         let mut sw =
-            MatroidSlidingWindow::new(Euclidean, lam.clone(), 100, 2.0, 1.0, 0.01, 1e4)
-                .unwrap();
+            MatroidSlidingWindow::new(Euclidean, lam.clone(), 100, 2.0, 1.0, 0.01, 1e4).unwrap();
         for i in 0..300u64 {
             let base = (i % 3) as f64 * 400.0;
             sw.insert(cp(base + (i as f64 * 0.33).fract() * 4.0, (i % 3) as u32));
@@ -439,8 +530,7 @@ mod tests {
         // One attractor; caps [1] with extra total group cap 1: each new
         // same-color point must replace the previous rep.
         let part = PartitionMatroid::new(vec![1]).unwrap();
-        let mut sw =
-            MatroidSlidingWindow::new(Euclidean, part, 50, 2.0, 4.0, 0.01, 100.0).unwrap();
+        let mut sw = MatroidSlidingWindow::new(Euclidean, part, 50, 2.0, 4.0, 0.01, 100.0).unwrap();
         for i in 0..10u64 {
             sw.insert(cp(0.1 * i as f64, 0));
         }
@@ -454,8 +544,7 @@ mod tests {
     #[test]
     fn memory_stays_bounded() {
         let part = PartitionMatroid::new(vec![1, 1]).unwrap();
-        let mut sw =
-            MatroidSlidingWindow::new(Euclidean, part, 60, 2.0, 1.0, 0.01, 1e4).unwrap();
+        let mut sw = MatroidSlidingWindow::new(Euclidean, part, 60, 2.0, 1.0, 0.01, 1e4).unwrap();
         let mut peak_early = 0usize;
         for i in 0..600u64 {
             let x = (i as f64 * 0.445).fract() * 900.0;

@@ -26,12 +26,15 @@
 //! (`b + n - 1 ≤ t`, or `b = 1`). `Query` prefers mature guesses and
 //! falls back to immature ones (best effort) only when no mature guess
 //! qualifies — in the experiments this only happens during stream warm-up.
+//! The returned [`Solution`] records that provenance in its
+//! [`SolutionExtras::Oblivious`] annotation.
 
-use crate::algorithm::{query_over_guesses, QueryError, WindowSolution};
+use crate::algorithm::query_over_guesses;
+use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
 use fairsw_metric::{Colored, Metric};
-use fairsw_sequential::FairCenterSolver;
+use fairsw_sequential::{FairCenterSolver, Jones};
 use fairsw_stream::{DiameterEstimator, Lattice, WindowedMinLattice};
 use std::collections::BTreeMap;
 
@@ -91,47 +94,8 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
         })
     }
 
-    /// Handles one arrival: scale estimation, guess-range maintenance,
-    /// then Update on every materialized guess.
-    pub fn insert(&mut self, p: Colored<M::Point>) {
-        self.t += 1;
-        let t = self.t;
-        let n = self.cfg.window_size as u64;
-        let te = t.checked_sub(n);
-
-        // Scale estimators.
-        self.diam.push(t, &p.point);
-        if let Some(prev) = &self.prev_point {
-            let d = self.metric.dist(prev, &p.point);
-            self.consec_min.push(t, d);
-        } else {
-            self.consec_min.expire(t);
-        }
-        self.prev_point = Some(p.point.clone());
-        self.last = Some(p.clone());
-
-        self.adjust_range(te);
-
-        for g in self.guesses.values_mut() {
-            if let Some(te) = te {
-                g.state.expire(te);
-            }
-            g.state.update(
-                &self.metric,
-                t,
-                &p.point,
-                p.color,
-                Budgets {
-                    caps: &self.cfg.capacities,
-                    k: self.k,
-                    delta: self.cfg.delta,
-                },
-            );
-        }
-    }
-
     /// Materializes / drops levels according to the current estimates.
-    fn adjust_range(&mut self, te: Option<u64>) {
+    fn adjust_range(&mut self) {
         let upper = self.diam.upper().filter(|&u| u > 0.0);
         let Some(upper) = upper else {
             return; // no scale information yet (≤ 1 distinct point)
@@ -198,27 +162,25 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
                 }
             }
         }
-        let _ = te;
     }
 
     fn materialize(&mut self, lvl: i32) {
         let gamma = self.lattice.value(lvl);
         let born = self.t;
-        self.guesses
-            .entry(lvl)
-            .or_insert_with(|| BornGuess {
-                state: GuessState::new(gamma),
-                born,
-            });
+        self.guesses.entry(lvl).or_insert_with(|| BornGuess {
+            state: GuessState::new(gamma),
+            born,
+        });
     }
 
-    /// Queries the current window. Prefers mature guesses; falls back to
-    /// immature ones, then to the newest point (degenerate windows where
-    /// no scale information exists).
-    pub fn query<S: FairCenterSolver<M>>(
+    /// Queries the current window with an explicit coreset solver.
+    /// Prefers mature guesses; falls back to immature ones, then to the
+    /// newest point (degenerate windows where no scale information
+    /// exists). The returned solution's `extras` records which path won.
+    pub fn query_with<S: FairCenterSolver<M>>(
         &self,
         solver: &S,
-    ) -> Result<WindowSolution<M::Point>, QueryError> {
+    ) -> Result<Solution<M::Point>, QueryError> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
@@ -231,49 +193,46 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
                 self.guesses
                     .values()
                     .filter(|g| !only_mature || mature(g))
-                    .map(|g| (&g.state, ())),
+                    .map(|g| (&g.state, mature(&g))),
                 self.k,
                 &self.cfg.capacities,
                 solver,
             )
-            .map(|(sol, ())| sol)
+        };
+
+        let annotated = |mut sol: Solution<M::Point>, mature: bool, fallback: bool| {
+            sol.extras = SolutionExtras::Oblivious {
+                mature,
+                fallback,
+                guess_range: self.guess_range(),
+            };
+            sol
         };
 
         match attempt(true) {
-            Ok(sol) => Ok(sol),
+            Ok((sol, mature)) => Ok(annotated(sol, mature, false)),
             Err(QueryError::NoValidGuess) => match attempt(false) {
-                Ok(sol) => Ok(sol),
+                Ok((sol, mature)) => Ok(annotated(sol, mature, false)),
                 Err(QueryError::NoValidGuess) => {
                     // No guesses at all (e.g. all window points coincide):
                     // the newest point is an optimal center.
                     let last = self.last.clone().ok_or(QueryError::EmptyWindow)?;
-                    Ok(WindowSolution {
-                        centers: vec![last],
-                        guess: 0.0,
-                        coreset_size: 1,
-                        coreset_radius: 0.0,
-                    })
+                    Ok(annotated(
+                        Solution {
+                            centers: vec![last],
+                            guess: 0.0,
+                            coreset_size: 1,
+                            coreset_radius: 0.0,
+                            extras: SolutionExtras::None,
+                        },
+                        false,
+                        true,
+                    ))
                 }
                 Err(e) => Err(e),
             },
             Err(e) => Err(e),
         }
-    }
-
-    /// Total stored points (guesses + estimator anchors).
-    pub fn stored_points(&self) -> usize {
-        self.guesses
-            .values()
-            .map(|g| g.state.stored_points())
-            .sum::<usize>()
-            + self.diam.stored_points()
-            + self.last.is_some() as usize
-    }
-
-    /// Number of materialized guesses (compare against the fixed
-    /// lattice's `num_guesses` to see the oblivious saving).
-    pub fn num_guesses(&self) -> usize {
-        self.guesses.len()
     }
 
     /// The materialized guess range `(γ_min, γ_max)`, if any — shows how
@@ -283,14 +242,86 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
         let hi = self.guesses.keys().next_back()?;
         Some((self.lattice.value(*lo), self.lattice.value(*hi)))
     }
+}
 
-    /// The arrival counter.
-    pub fn time(&self) -> u64 {
+impl<M: Metric> SlidingWindowClustering<M> for ObliviousFairSlidingWindow<M> {
+    /// Handles one arrival: scale estimation, guess-range maintenance,
+    /// then Update on every materialized guess.
+    fn insert(&mut self, p: Colored<M::Point>) {
+        self.t += 1;
+        let t = self.t;
+        let n = self.cfg.window_size as u64;
+        let te = t.checked_sub(n);
+
+        // Scale estimators.
+        self.diam.push(t, &p.point);
+        if let Some(prev) = &self.prev_point {
+            let d = self.metric.dist(prev, &p.point);
+            self.consec_min.push(t, d);
+        } else {
+            self.consec_min.expire(t);
+        }
+        self.prev_point = Some(p.point.clone());
+        self.last = Some(p.clone());
+
+        self.adjust_range();
+
+        for g in self.guesses.values_mut() {
+            if let Some(te) = te {
+                g.state.expire(te);
+            }
+            g.state.update(
+                &self.metric,
+                t,
+                &p.point,
+                p.color,
+                Budgets {
+                    caps: &self.cfg.capacities,
+                    k: self.k,
+                    delta: self.cfg.delta,
+                },
+            );
+        }
+    }
+
+    fn query(&self) -> Result<Solution<M::Point>, QueryError> {
+        self.query_with(&Jones)
+    }
+
+    fn time(&self) -> u64 {
         self.t
     }
 
+    fn window_size(&self) -> usize {
+        self.cfg.window_size
+    }
+
+    /// Per-guess counts plus the estimator anchors and the newest-point
+    /// fallback as auxiliary storage.
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::from_guesses(
+            self.guesses
+                .values()
+                .map(|g| (g.state.gamma(), g.state.stored_points())),
+        )
+        .with_auxiliary(self.diam.stored_points() + self.last.is_some() as usize)
+    }
+
+    fn stored_points(&self) -> usize {
+        self.guesses
+            .values()
+            .map(|g| g.state.stored_points())
+            .sum::<usize>()
+            + self.diam.stored_points()
+            + self.last.is_some() as usize
+    }
+
+    fn num_guesses(&self) -> usize {
+        self.guesses.len()
+    }
+
     /// Verifies per-guess invariants (test helper).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    fn check_invariants(&self) -> Result<(), String> {
         for g in self.guesses.values() {
             g.state.check_invariants(
                 &self.metric,
@@ -310,8 +341,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsw_metric::{Euclidean, EuclidPoint};
-    use fairsw_sequential::Jones;
+    use fairsw_metric::{EuclidPoint, Euclidean};
 
     fn cfg(n: usize, caps: Vec<usize>, delta: f64) -> FairSWConfig {
         FairSWConfig::builder()
@@ -330,16 +360,20 @@ mod tests {
     #[test]
     fn empty_query_errors() {
         let sw = ObliviousFairSlidingWindow::new(cfg(10, vec![1], 1.0), Euclidean).unwrap();
-        assert!(matches!(sw.query(&Jones), Err(QueryError::EmptyWindow)));
+        assert!(matches!(sw.query(), Err(QueryError::EmptyWindow)));
     }
 
     #[test]
     fn single_point_fallback() {
         let mut sw = ObliviousFairSlidingWindow::new(cfg(10, vec![1], 1.0), Euclidean).unwrap();
         sw.insert(cp(3.0, 0));
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         assert_eq!(sol.centers.len(), 1);
         assert_eq!(sol.coreset_radius, 0.0);
+        assert!(matches!(
+            sol.extras,
+            SolutionExtras::Oblivious { fallback: true, .. }
+        ));
     }
 
     #[test]
@@ -348,15 +382,14 @@ mod tests {
         for _ in 0..30 {
             sw.insert(cp(7.0, 0));
         }
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         assert_eq!(sol.centers.len(), 1);
         assert_eq!(sol.centers[0].point.coords(), &[7.0]);
     }
 
     #[test]
     fn tracks_two_clusters() {
-        let mut sw =
-            ObliviousFairSlidingWindow::new(cfg(60, vec![1, 1], 0.5), Euclidean).unwrap();
+        let mut sw = ObliviousFairSlidingWindow::new(cfg(60, vec![1, 1], 0.5), Euclidean).unwrap();
         for i in 0..240u64 {
             let base = if i % 2 == 0 { 0.0 } else { 100.0 };
             let x = base + ((i as f64) * 0.618_033_988_7).fract();
@@ -365,17 +398,25 @@ mod tests {
                 sw.check_invariants().unwrap();
             }
         }
-        let sol = sw.query(&Jones).unwrap();
+        let sol = sw.query().unwrap();
         assert!(sol.centers.len() <= 2);
         assert!(sol.coreset_radius < 50.0);
+        // Past warm-up the winning guess must be mature, not a fallback.
+        assert!(matches!(
+            sol.extras,
+            SolutionExtras::Oblivious {
+                mature: true,
+                fallback: false,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn guess_range_follows_window_scale() {
         // Phase 1: wide scatter. Phase 2: tight cluster. After phase 2
         // fills the window, high guesses must be dropped.
-        let mut sw =
-            ObliviousFairSlidingWindow::new(cfg(50, vec![1, 1], 1.0), Euclidean).unwrap();
+        let mut sw = ObliviousFairSlidingWindow::new(cfg(50, vec![1, 1], 1.0), Euclidean).unwrap();
         for i in 0..100u64 {
             let x = (i as f64 * 0.324_717_957_2).fract() * 1000.0;
             sw.insert(cp(x, (i % 2) as u32));
@@ -391,16 +432,18 @@ mod tests {
             tight_hi < wide_hi,
             "guess ceiling failed to shrink: {tight_hi} vs {wide_hi}"
         );
-        assert!(tight_lo < 1.0, "guess floor {tight_lo} did not follow the fine scale");
-        let sol = sw.query(&Jones).unwrap();
+        assert!(
+            tight_lo < 1.0,
+            "guess floor {tight_lo} did not follow the fine scale"
+        );
+        let sol = sw.query().unwrap();
         // Window spread is < 1.0: the coreset radius must reflect that.
         assert!(sol.coreset_radius < 10.0);
     }
 
     #[test]
     fn memory_independent_of_stream_length() {
-        let mut sw =
-            ObliviousFairSlidingWindow::new(cfg(40, vec![1, 1], 1.0), Euclidean).unwrap();
+        let mut sw = ObliviousFairSlidingWindow::new(cfg(40, vec![1, 1], 1.0), Euclidean).unwrap();
         let mut peak_early = 0usize;
         for i in 0..800u64 {
             let x = (i as f64 * 0.445_041_867_9).fract() * 100.0;
@@ -413,5 +456,17 @@ mod tests {
             sw.stored_points() <= 2 * peak_early + 64,
             "memory grew with stream length"
         );
+    }
+
+    #[test]
+    fn memory_stats_accounts_for_estimators() {
+        let mut sw = ObliviousFairSlidingWindow::new(cfg(20, vec![1, 1], 1.0), Euclidean).unwrap();
+        for i in 0..60u64 {
+            sw.insert(cp((i as f64 * 0.618).fract() * 50.0, (i % 2) as u32));
+        }
+        let stats = sw.memory_stats();
+        assert!(stats.auxiliary > 0, "estimator anchors not accounted");
+        assert_eq!(stats.num_guesses(), sw.num_guesses());
+        assert_eq!(stats.stored_points(), sw.stored_points());
     }
 }

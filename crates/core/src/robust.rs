@@ -27,28 +27,12 @@
 //! is exact. A weighted-coreset refinement is the natural next step and
 //! is listed in DESIGN.md.
 
-use crate::algorithm::QueryError;
-use crate::config::{ConfigError, FairSWConfig};
+use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
+use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
 use fairsw_metric::{Colored, Metric};
 use fairsw_sequential::{Instance, RobustFair};
 use fairsw_stream::Lattice;
-
-/// A robust query answer: fair centers plus the coreset points the
-/// solver declared outliers.
-#[derive(Clone, Debug)]
-pub struct RobustWindowSolution<P> {
-    /// The fair centers (≤ `k_i` of color `i`).
-    pub centers: Vec<Colored<P>>,
-    /// Coreset points excluded as outliers (≤ `z`).
-    pub outliers: Vec<Colored<P>>,
-    /// The guess `γ̂` whose coreset produced the solution.
-    pub guess: f64,
-    /// Size of the coreset handed to the solver.
-    pub coreset_size: usize,
-    /// Solver-reported radius over the coreset *inliers*.
-    pub coreset_radius: f64,
-}
 
 /// Sliding-window fair center tolerating up to `z` outliers per window.
 #[derive(Clone, Debug)]
@@ -76,10 +60,7 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
         dmax: f64,
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        assert!(
-            dmin.is_finite() && dmin > 0.0 && dmax >= dmin,
-            "need 0 < dmin <= dmax (got {dmin}, {dmax})"
-        );
+        validate_scale(dmin, dmax)?;
         let lattice = Lattice::new(cfg.beta);
         let guesses = lattice
             .span(dmin, dmax)
@@ -98,8 +79,15 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
         })
     }
 
+    /// The tolerated outlier count `z`.
+    pub fn outlier_budget(&self) -> usize {
+        self.z
+    }
+}
+
+impl<M: Metric> SlidingWindowClustering<M> for RobustFairSlidingWindow<M> {
     /// Handles one arrival (Update with the robustified budgets).
-    pub fn insert(&mut self, p: Colored<M::Point>) {
+    fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
         let n = self.cfg.window_size as u64;
         let te = self.t.checked_sub(n);
@@ -125,7 +113,8 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
 
     /// Queries: guess selection with the `k+z` packing threshold, then
     /// the robust fair solver on the coreset with the *original* budgets.
-    pub fn query(&self) -> Result<RobustWindowSolution<M::Point>, QueryError> {
+    /// The discarded outliers ride in [`SolutionExtras::Robust`].
+    fn query(&self) -> Result<Solution<M::Point>, QueryError> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
@@ -153,39 +142,40 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
             let coreset = g.coreset();
             let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
             let sol = solver.solve_robust(&inst).map_err(QueryError::Solver)?;
-            let outliers = sol
-                .outliers
-                .iter()
-                .map(|&i| coreset[i].clone())
-                .collect();
-            return Ok(RobustWindowSolution {
+            let outliers = sol.outliers.iter().map(|&i| coreset[i].clone()).collect();
+            return Ok(Solution {
                 centers: sol.centers,
-                outliers,
                 guess: g.gamma(),
                 coreset_size: coreset.len(),
                 coreset_radius: sol.radius,
+                extras: SolutionExtras::Robust { outliers },
             });
         }
         Err(QueryError::NoValidGuess)
     }
 
-    /// Total stored points across guesses.
-    pub fn stored_points(&self) -> usize {
-        self.guesses.iter().map(GuessState::stored_points).sum()
-    }
-
-    /// The tolerated outlier count `z`.
-    pub fn outlier_budget(&self) -> usize {
-        self.z
-    }
-
-    /// The arrival counter.
-    pub fn time(&self) -> u64 {
+    fn time(&self) -> u64 {
         self.t
     }
 
+    fn window_size(&self) -> usize {
+        self.cfg.window_size
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::from_guesses(self.guesses.iter().map(|g| (g.gamma(), g.stored_points())))
+    }
+
+    fn stored_points(&self) -> usize {
+        self.guesses.iter().map(GuessState::stored_points).sum()
+    }
+
+    fn num_guesses(&self) -> usize {
+        self.guesses.len()
+    }
+
     /// Verifies per-guess invariants (test helper).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    fn check_invariants(&self) -> Result<(), String> {
         for g in &self.guesses {
             g.check_invariants(
                 &self.metric,
@@ -205,7 +195,7 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_metric::{EuclidPoint, Euclidean};
 
     fn cfg(n: usize, caps: Vec<usize>, delta: f64) -> FairSWConfig {
         FairSWConfig::builder()
@@ -224,14 +214,9 @@ mod tests {
     #[test]
     fn ignores_planted_outliers() {
         // Two tight clusters plus occasional far-away glitch readings.
-        let mut sw = RobustFairSlidingWindow::new(
-            cfg(200, vec![1, 1], 1.0),
-            2,
-            Euclidean,
-            0.001,
-            1e7,
-        )
-        .unwrap();
+        let mut sw =
+            RobustFairSlidingWindow::new(cfg(200, vec![1, 1], 1.0), 2, Euclidean, 0.001, 1e7)
+                .unwrap();
         for i in 0..400u64 {
             let p = if i % 97 == 0 {
                 cp(1e6 + i as f64, (i % 2) as u32) // glitch
@@ -243,7 +228,7 @@ mod tests {
         }
         sw.check_invariants().unwrap();
         let sol = sw.query().unwrap();
-        assert!(sol.outliers.len() <= 2);
+        assert!(sol.outliers().len() <= 2);
         // Inlier radius reflects the clusters, not the glitches.
         assert!(
             sol.coreset_radius < 200.0,
@@ -251,7 +236,7 @@ mod tests {
             sol.coreset_radius
         );
         // The glitch points should be the declared outliers.
-        for o in &sol.outliers {
+        for o in sol.outliers() {
             assert!(o.point.coords()[0] > 1e5, "non-glitch declared outlier");
         }
     }
@@ -261,13 +246,8 @@ mod tests {
         let mut robust =
             RobustFairSlidingWindow::new(cfg(100, vec![1, 1], 1.0), 0, Euclidean, 0.01, 1e4)
                 .unwrap();
-        let mut plain = crate::FairSlidingWindow::new(
-            cfg(100, vec![1, 1], 1.0),
-            Euclidean,
-            0.01,
-            1e4,
-        )
-        .unwrap();
+        let mut plain =
+            crate::FairSlidingWindow::new(cfg(100, vec![1, 1], 1.0), Euclidean, 0.01, 1e4).unwrap();
         for i in 0..250u64 {
             let base = if i % 2 == 0 { 0.0 } else { 500.0 };
             let p = cp(base + (i as f64 * 0.33).fract() * 5.0, (i % 2) as u32);
@@ -275,22 +255,17 @@ mod tests {
             plain.insert(p);
         }
         let rs = robust.query().unwrap();
-        let ps = plain.query(&fairsw_sequential::Jones).unwrap();
-        assert!(rs.outliers.is_empty());
+        let ps = plain.query().unwrap();
+        assert!(rs.outliers().is_empty());
         // Same ballpark quality (both constant-factor on the same window).
         assert!(rs.coreset_radius <= 3.0 * ps.coreset_radius + 1e-6);
     }
 
     #[test]
     fn fairness_respected_with_outliers() {
-        let mut sw = RobustFairSlidingWindow::new(
-            cfg(150, vec![2, 1], 1.0),
-            3,
-            Euclidean,
-            0.001,
-            1e7,
-        )
-        .unwrap();
+        let mut sw =
+            RobustFairSlidingWindow::new(cfg(150, vec![2, 1], 1.0), 3, Euclidean, 0.001, 1e7)
+                .unwrap();
         for i in 0..300u64 {
             let x = (i as f64 * 0.445).fract() * 400.0 + if i % 83 == 0 { 1e6 } else { 0.0 };
             sw.insert(cp(x, (i % 3 == 0) as u32));
@@ -306,14 +281,9 @@ mod tests {
         // The robustified coreset keeps k_i + z reps per color: memory
         // must grow with z but stay bounded.
         let build = |z: usize| {
-            let mut sw = RobustFairSlidingWindow::new(
-                cfg(300, vec![1, 1], 1.0),
-                z,
-                Euclidean,
-                0.01,
-                1e4,
-            )
-            .unwrap();
+            let mut sw =
+                RobustFairSlidingWindow::new(cfg(300, vec![1, 1], 1.0), z, Euclidean, 0.01, 1e4)
+                    .unwrap();
             for i in 0..600u64 {
                 let x = (i as f64 * 0.618_033_988_7).fract() * 100.0;
                 sw.insert(cp(x, (i % 2) as u32));

@@ -8,7 +8,7 @@
 //! [`FairSlidingWindow`]:
 //!
 //! ```
-//! use fairsw_core::{FairSWConfig, FairSlidingWindow};
+//! use fairsw_core::{FairSWConfig, FairSlidingWindow, SlidingWindowClustering};
 //! use fairsw_metric::{Colored, Euclidean, EuclidPoint};
 //!
 //! let cfg = FairSWConfig::builder()
@@ -144,9 +144,7 @@ fn encode_point_map<P: PointCodec>(out: &mut Vec<u8>, map: &BTreeMap<u64, P>) {
     }
 }
 
-fn decode_point_map<P: PointCodec>(
-    input: &mut &[u8],
-) -> Result<BTreeMap<u64, P>, SnapshotError> {
+fn decode_point_map<P: PointCodec>(input: &mut &[u8]) -> Result<BTreeMap<u64, P>, SnapshotError> {
     let n = take_u64(input)? as usize;
     let mut map = BTreeMap::new();
     for _ in 0..n {
@@ -340,8 +338,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::SlidingWindowClustering;
     use fairsw_metric::{Colored, Euclidean};
-    use fairsw_sequential::Jones;
 
     fn build(n_points: u64) -> FairSlidingWindow<Euclidean> {
         let cfg = FairSWConfig::builder()
@@ -368,8 +366,8 @@ mod tests {
         assert_eq!(restored.stored_points(), sw.stored_points());
         assert_eq!(restored.num_guesses(), sw.num_guesses());
         restored.check_invariants().unwrap();
-        let a = sw.query(&Jones).unwrap();
-        let b = restored.query(&Jones).unwrap();
+        let a = sw.query().unwrap();
+        let b = restored.query().unwrap();
         assert_eq!(a.guess, b.guess);
         assert_eq!(a.coreset_size, b.coreset_size);
         assert!((a.coreset_radius - b.coreset_radius).abs() < 1e-12);
@@ -389,8 +387,8 @@ mod tests {
             restored.insert(p);
         }
         assert_eq!(original.stored_points(), restored.stored_points());
-        let a = original.query(&Jones).unwrap();
-        let b = restored.query(&Jones).unwrap();
+        let a = original.query().unwrap();
+        let b = restored.query().unwrap();
         assert_eq!(a.guess, b.guess);
         assert!((a.coreset_radius - b.coreset_radius).abs() < 1e-12);
     }

@@ -11,7 +11,6 @@
 use crate::rng::{gaussian, gaussian_vec, laplace, seeded, unit_vec};
 use crate::rotation::random_rotation;
 use fairsw_metric::{Colored, EuclidPoint};
-use rand::RngExt;
 
 /// A named colored dataset, ready to stream.
 #[derive(Clone, Debug)]
@@ -121,12 +120,12 @@ pub fn phones_like(n: usize, seed: u64) -> Dataset {
     // (step scale, jitter) per activity; "null" is nearly static, "bike"
     // moves fast — spreading the distance scales widely.
     let profiles: [(f64, f64); 7] = [
-        (0.002, 0.001), // stand
-        (0.001, 0.001), // sit
-        (0.4, 0.05),    // walk
-        (3.0, 0.3),     // bike
-        (0.25, 0.05),   // stairs up
-        (0.3, 0.05),    // stairs down
+        (0.002, 0.001),   // stand
+        (0.001, 0.001),   // sit
+        (0.4, 0.05),      // walk
+        (3.0, 0.3),       // bike
+        (0.25, 0.05),     // stairs up
+        (0.3, 0.05),      // stairs down
         (0.0005, 0.0005), // null
     ];
     // Skewed activity frequencies (walk/stand dominate).
@@ -150,7 +149,7 @@ pub fn phones_like(n: usize, seed: u64) -> Dataset {
                 }
                 pick -= w;
             }
-            segment_left = rng.random_range(80..400);
+            segment_left = rng.random_range(80..400usize);
             dir = unit_vec(&mut rng, 3);
         }
         segment_left -= 1;
@@ -205,10 +204,10 @@ pub fn higgs_like(n: usize, seed: u64) -> Dataset {
     let points = (0..n)
         .map(|_| {
             let is_signal = rng.random::<f64>() < 0.53; // slight skew, as in HIGGS
-            // Rare near-duplicate measurements (repeated detector
-            // readouts) give the dataset its tiny dmin, hence its large
-            // aspect ratio, mirroring the density of the 11M-point
-            // original that a laptop-scale sample cannot reach.
+                                                        // Rare near-duplicate measurements (repeated detector
+                                                        // readouts) give the dataset its tiny dmin, hence its large
+                                                        // aspect ratio, mirroring the density of the 11M-point
+                                                        // original that a laptop-scale sample cannot reach.
             if let Some(p) = &prev {
                 if rng.random::<f64>() < 0.02 {
                     let coords: Vec<f64> =
@@ -260,11 +259,7 @@ pub fn covtype_like(n: usize, seed: u64) -> Dataset {
     // Per-class anisotropy: some features vary widely (elevation-like),
     // some are almost binary (soil-type-like).
     let scales: Vec<Vec<f64>> = (0..ncolors)
-        .map(|_| {
-            (0..d)
-                .map(|j| if j < 10 { 8.0 } else { 0.5 })
-                .collect()
-        })
+        .map(|_| (0..d).map(|j| if j < 10 { 8.0 } else { 0.5 }).collect())
         .collect();
     let points = (0..n)
         .map(|_| {
@@ -311,7 +306,10 @@ mod tests {
         assert_eq!(ds.points.len(), 2000);
         assert_eq!(ds.dim(), 5);
         let freq = crate::color_frequencies(&ds.points, 7);
-        assert!(freq.iter().all(|&f| f > 150), "colors not uniform: {freq:?}");
+        assert!(
+            freq.iter().all(|&f| f > 150),
+            "colors not uniform: {freq:?}"
+        );
     }
 
     #[test]

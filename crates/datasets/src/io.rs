@@ -18,7 +18,11 @@ pub enum CsvError {
     /// A malformed line (1-based line number and message).
     Parse { line: usize, msg: String },
     /// Inconsistent dimensionality across lines.
-    DimMismatch { line: usize, expected: usize, got: usize },
+    DimMismatch {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
 }
 
 impl fmt::Display for CsvError {
@@ -26,7 +30,11 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "io error: {e}"),
             CsvError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
-            CsvError::DimMismatch { line, expected, got } => {
+            CsvError::DimMismatch {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} coordinates, got {got}")
             }
         }

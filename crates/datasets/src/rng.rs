@@ -1,17 +1,98 @@
 //! Seeded randomness helpers: Gaussian and heavy-tailed sampling on top
-//! of the `rand` crate (the workspace's only sampling dependency;
-//! distribution shaping is implemented here via Box–Muller).
+//! of a small in-tree PRNG (the workspace has no external sampling
+//! dependency; distribution shaping is implemented here via Box–Muller).
+//!
+//! The generator is SplitMix64 — tiny, fast, and fully deterministic
+//! across platforms, which is what the dataset stand-ins need (every
+//! generator is reproducible given a seed).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// A deterministic 64-bit PRNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// Creates the generator from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SeededRng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample of the unit interval (`f64` in `[0, 1)`; the
+    /// generic shape keeps call sites terse: `rng.random::<f64>()`).
+    pub fn random<T: Sample01>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from a half-open range.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        R::sample(range, self)
+    }
+}
+
+/// Types samplable uniformly from their unit interval.
+pub trait Sample01 {
+    /// Draws one sample.
+    fn sample(rng: &mut SeededRng) -> Self;
+}
+
+impl Sample01 for f64 {
+    fn sample(rng: &mut SeededRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one sample from the range.
+    fn sample(self, rng: &mut SeededRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SeededRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SeededRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // The spans used by the generators are tiny relative to
+                // 2^64, so the modulo bias is far below observable.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_range!(u32, u64, usize);
 
 /// Deterministic RNG from a seed.
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> SeededRng {
+    SeededRng::seed_from_u64(seed)
 }
 
 /// One standard-normal sample via the Box–Muller transform.
-pub fn gaussian(rng: &mut StdRng) -> f64 {
+pub fn gaussian(rng: &mut SeededRng) -> f64 {
     // Avoid ln(0) by sampling u1 from the open interval.
     let u1: f64 = loop {
         let u: f64 = rng.random();
@@ -25,14 +106,14 @@ pub fn gaussian(rng: &mut StdRng) -> f64 {
 
 /// A d-dimensional isotropic Gaussian sample with standard deviation
 /// `sigma` around `center`.
-pub fn gaussian_vec(rng: &mut StdRng, center: &[f64], sigma: f64) -> Vec<f64> {
+pub fn gaussian_vec(rng: &mut SeededRng, center: &[f64], sigma: f64) -> Vec<f64> {
     center.iter().map(|&c| c + sigma * gaussian(rng)).collect()
 }
 
 /// A Laplace (double-exponential) sample with scale `b`: heavier tails
 /// than a Gaussian, used by the HIGGS stand-in to stretch its aspect
 /// ratio.
-pub fn laplace(rng: &mut StdRng, b: f64) -> f64 {
+pub fn laplace(rng: &mut SeededRng, b: f64) -> f64 {
     let u: f64 = rng.random::<f64>() - 0.5;
     let s = if u >= 0.0 { 1.0 } else { -1.0 };
     -b * s * (1.0 - 2.0 * u.abs()).max(1e-300).ln()
@@ -40,7 +121,7 @@ pub fn laplace(rng: &mut StdRng, b: f64) -> f64 {
 
 /// A uniformly random unit vector in `d` dimensions (Gaussian
 /// normalization).
-pub fn unit_vec(rng: &mut StdRng, d: usize) -> Vec<f64> {
+pub fn unit_vec(rng: &mut SeededRng, d: usize) -> Vec<f64> {
     loop {
         let v: Vec<f64> = (0..d).map(|_| gaussian(rng)).collect();
         let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -78,7 +159,9 @@ mod tests {
     fn laplace_is_heavier_tailed_than_gaussian() {
         let mut rng = seeded(11);
         let n = 20_000;
-        let extreme_laplace = (0..n).filter(|_| laplace(&mut rng, 1.0).abs() > 4.0).count();
+        let extreme_laplace = (0..n)
+            .filter(|_| laplace(&mut rng, 1.0).abs() > 4.0)
+            .count();
         let mut rng = seeded(11);
         let extreme_gauss = (0..n).filter(|_| gaussian(&mut rng).abs() > 4.0).count();
         assert!(extreme_laplace > extreme_gauss);
@@ -91,6 +174,19 @@ mod tests {
             let v = unit_vec(&mut rng, d);
             let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
             assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = seeded(13);
+        for _ in 0..1000 {
+            let x = rng.random_range(3.0..7.0f64);
+            assert!((3.0..7.0).contains(&x));
+            let u = rng.random_range(5usize..9);
+            assert!((5..9).contains(&u));
+            let w = rng.random_range(0u32..3);
+            assert!(w < 3);
         }
     }
 

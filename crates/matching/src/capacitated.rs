@@ -32,10 +32,7 @@ impl CapacitatedMatching {
 /// terminate at any color with spare capacity. With `L` left nodes,
 /// `ℓ` colors and `E` edges, the cost is `O(L · E)` — tiny in our use
 /// (`L ≤ k`, `ℓ ≤` number of colors).
-pub fn max_capacitated_matching(
-    caps: &[usize],
-    adj: &[Vec<usize>],
-) -> CapacitatedMatching {
+pub fn max_capacitated_matching(caps: &[usize], adj: &[Vec<usize>]) -> CapacitatedMatching {
     let n_left = adj.len();
     let n_colors = caps.len();
     debug_assert!(

@@ -41,20 +41,15 @@ where
         let s: Vec<usize> = (0..n).filter(|&i| in_s[i]).collect();
 
         // Membership-toggled independence test: S with x removed, y added.
-        let indep_with = |m: &dyn Fn(&[usize]) -> bool,
-                          remove: Option<usize>,
-                          add: Option<usize>|
-         -> bool {
-            let mut set: Vec<usize> = s
-                .iter()
-                .copied()
-                .filter(|&e| Some(e) != remove)
-                .collect();
-            if let Some(a) = add {
-                set.push(a);
-            }
-            m(&set)
-        };
+        let indep_with =
+            |m: &dyn Fn(&[usize]) -> bool, remove: Option<usize>, add: Option<usize>| -> bool {
+                let mut set: Vec<usize> =
+                    s.iter().copied().filter(|&e| Some(e) != remove).collect();
+                if let Some(a) = add {
+                    set.push(a);
+                }
+                m(&set)
+            };
         let i1 = |set: &[usize]| m1.is_independent(set);
         let i2 = |set: &[usize]| m2.is_independent(set);
 

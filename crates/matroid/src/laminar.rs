@@ -175,11 +175,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_crossing_groups() {
-        let err = LaminarMatroid::new(vec![
-            Group::new(vec![0, 1], 1),
-            Group::new(vec![1, 2], 1),
-        ])
-        .unwrap_err();
+        let err = LaminarMatroid::new(vec![Group::new(vec![0, 1], 1), Group::new(vec![1, 2], 1)])
+            .unwrap_err();
         assert_eq!(err, LaminarError::NotLaminar { a: 0, b: 1 });
         assert!(LaminarMatroid::new(vec![]).is_err());
         assert!(matches!(
@@ -206,11 +203,8 @@ mod tests {
         assert_eq!(Matroid::<u32>::rank(&m), 4);
         // Without the total cap the rank would be 2 + unlimited color 2 —
         // check a family whose binding cap is the middle group.
-        let m2 = LaminarMatroid::new(vec![
-            Group::new(vec![0], 5),
-            Group::new(vec![0, 1], 3),
-        ])
-        .unwrap();
+        let m2 =
+            LaminarMatroid::new(vec![Group::new(vec![0], 5), Group::new(vec![0, 1], 3)]).unwrap();
         // Color 1 unconstrained individually but capped at 3 with 0...
         // and color 1 has no individual group: rank counts colors 0..=1:
         // any 3 of {0,1} fill group 2; rank = 3.
@@ -227,11 +221,8 @@ mod tests {
     #[test]
     fn partition_is_a_special_case() {
         // Disjoint singleton groups == partition matroid.
-        let lam = LaminarMatroid::new(vec![
-            Group::new(vec![0], 1),
-            Group::new(vec![1], 2),
-        ])
-        .unwrap();
+        let lam =
+            LaminarMatroid::new(vec![Group::new(vec![0], 1), Group::new(vec![1], 2)]).unwrap();
         let part = crate::PartitionMatroid::new(vec![1, 2]).unwrap();
         for set in [
             vec![],

@@ -12,6 +12,7 @@
 //! axioms (downward closure and augmentation) on small ground sets; they
 //! are exercised by property tests to validate the implementations.
 
+pub mod any;
 pub mod axioms;
 pub mod intersection;
 pub mod laminar;
@@ -19,12 +20,12 @@ pub mod partition;
 pub mod transversal;
 pub mod uniform;
 
+pub use any::AnyMatroid;
 pub use intersection::max_common_independent;
 pub use laminar::{Group, LaminarError, LaminarMatroid};
 pub use partition::{CapacityError, ColorCounter, PartitionMatroid};
 pub use transversal::TransversalMatroid;
 pub use uniform::UniformMatroid;
-
 
 /// A matroid over elements of type `E`.
 ///

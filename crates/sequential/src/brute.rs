@@ -75,7 +75,10 @@ pub fn exact_fair_center<M: Metric>(
     inst: &Instance<'_, M>,
 ) -> Result<FairSolution<M::Point>, SolveError> {
     validate(inst)?;
-    assert!(inst.points.len() <= 18, "instance too large for enumeration");
+    assert!(
+        inst.points.len() <= 18,
+        "instance too large for enumeration"
+    );
     let n = inst.points.len();
     let mut best_r = f64::INFINITY;
     let mut best_mask = 0u32;
@@ -133,7 +136,7 @@ pub fn exact_fair_center<M: Metric>(
 mod tests {
     use super::*;
     use crate::testutil::pts1d;
-    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_metric::{EuclidPoint, Euclidean};
 
     #[test]
     fn exact_kcenter_line() {

@@ -24,8 +24,8 @@
 //! deliberately the slow, high-quality baseline of the evaluation.
 
 use crate::{validate, FairCenterSolver, FairSolution, Instance, SolveError};
-use fairsw_metric::{Colored, Metric};
 use fairsw_matching::max_capacitated_matching;
+use fairsw_metric::{Colored, Metric};
 
 /// The ChenEtAl matroid-center solver (α = 3).
 #[derive(Clone, Copy, Debug)]

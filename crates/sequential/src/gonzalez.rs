@@ -85,7 +85,7 @@ pub fn gonzalez<M: Metric>(metric: &M, points: &[M::Point], k: usize) -> Gonzale
 mod tests {
     use super::*;
     use crate::brute::exact_kcenter_radius;
-    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_metric::{EuclidPoint, Euclidean};
     use proptest::prelude::*;
 
     fn pts(vals: &[f64]) -> Vec<EuclidPoint> {

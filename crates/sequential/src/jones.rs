@@ -26,8 +26,8 @@
 //! `coverage + τ ≤ 3r*`.
 
 use crate::{gonzalez, validate, FairCenterSolver, FairSolution, Instance, SolveError};
-use fairsw_metric::{Colored, Metric};
 use fairsw_matching::max_capacitated_matching;
+use fairsw_metric::{Colored, Metric};
 
 /// The Jones fair-center solver (α = 3). Stateless; construct freely.
 #[derive(Clone, Copy, Debug, Default)]

@@ -179,8 +179,10 @@ fn radius_of<M: Metric, Mat: Matroid<usize>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsw_matroid::{Group, LaminarMatroid, PartitionMatroid, TransversalMatroid, UniformMatroid};
-    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_matroid::{
+        Group, LaminarMatroid, PartitionMatroid, TransversalMatroid, UniformMatroid,
+    };
+    use fairsw_metric::{EuclidPoint, Euclidean};
 
     fn pts(vals: &[f64]) -> Vec<EuclidPoint> {
         vals.iter().map(|&v| EuclidPoint::new(vec![v])).collect()

@@ -379,10 +379,7 @@ mod tests {
             let c = (i % 2) as u32;
             let base = if c == 0 { 0.0 } else { 120.0 };
             pts.push(fairsw_metric::Colored::new(
-                fairsw_metric::EuclidPoint::new(vec![
-                    base + (i as f64 * 0.618).fract() * 5.0,
-                    0.0,
-                ]),
+                fairsw_metric::EuclidPoint::new(vec![base + (i as f64 * 0.618).fract() * 5.0, 0.0]),
                 c,
             ));
         }
@@ -422,8 +419,7 @@ mod tests {
         let caps = [1usize, 1];
         let inst = Instance::new(&Euclidean, &pts, &caps);
         let sol =
-            <RobustFair as FairCenterSolver<Euclidean>>::solve(&RobustFair::new(1), &inst)
-                .unwrap();
+            <RobustFair as FairCenterSolver<Euclidean>>::solve(&RobustFair::new(1), &inst).unwrap();
         assert!(inst.is_fair(&sol.centers));
         assert!(sol.radius <= 2.0, "inlier radius {}", sol.radius);
     }

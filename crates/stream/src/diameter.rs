@@ -104,7 +104,10 @@ impl<M: Metric> DiameterEstimator<M> {
             self.cur = Some(fresh);
         }
 
-        for a in [self.prev.as_mut(), self.cur.as_mut()].into_iter().flatten() {
+        for a in [self.prev.as_mut(), self.cur.as_mut()]
+            .into_iter()
+            .flatten()
+        {
             let d = self.metric.dist(&a.anchor, p);
             a.dist_max.push(t, d);
         }
@@ -132,7 +135,9 @@ impl<M: Metric> DiameterEstimator<M> {
     /// Number of stored points (anchors + last point) — the estimator's
     /// point-memory cost for the accounting experiments.
     pub fn stored_points(&self) -> usize {
-        self.prev.is_some() as usize + self.cur.is_some() as usize + self.last_point.is_some() as usize
+        self.prev.is_some() as usize
+            + self.cur.is_some() as usize
+            + self.last_point.is_some() as usize
     }
 }
 
@@ -149,7 +154,7 @@ impl<P: Clone> Anchored<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairsw_metric::{Euclidean, EuclidPoint};
+    use fairsw_metric::{EuclidPoint, Euclidean};
     use proptest::prelude::*;
 
     fn p(x: f64) -> EuclidPoint {

@@ -48,7 +48,10 @@ impl Lattice {
     /// # Panics
     /// Panics if `d` is not positive and finite.
     pub fn level_below(&self, d: f64) -> i32 {
-        assert!(d.is_finite() && d > 0.0, "lattice input must be positive, got {d}");
+        assert!(
+            d.is_finite() && d > 0.0,
+            "lattice input must be positive, got {d}"
+        );
         let raw = d.ln() / self.ln_base;
         let mut lvl = raw.floor() as i32;
         // Snap: value(lvl+1) may still be <= d due to rounding.

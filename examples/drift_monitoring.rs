@@ -8,7 +8,7 @@
 //! summary forgets it as soon as it leaves the window. We demonstrate by
 //! tracking where the returned centers live before and after the change,
 //! using the scale-oblivious variant (field data — nobody knows dmin/dmax
-//! up front).
+//! up front), driven through the unified `WindowEngine` API.
 
 use fairsw::prelude::*;
 
@@ -41,20 +41,15 @@ fn nearest_site(p: &EuclidPoint, sites: &[(f64, f64)]) -> usize {
 
 fn main() {
     let window = 3_000usize;
-    let cfg = FairSWConfig::builder()
+    let mut sw = EngineBuilder::new()
         .window_size(window)
         .capacities(vec![2, 2]) // ≤ 2 centers per vendor
         .delta(1.0)
-        .build()
+        .oblivious()
+        .build(Euclidean)
         .expect("valid configuration");
-    let mut sw = ObliviousFairSlidingWindow::new(cfg, Euclidean).expect("valid configuration");
 
-    let all_sites = [
-        (0.0, 0.0),
-        (80.0, 10.0),
-        (40.0, 70.0),
-        (160.0, 160.0),
-    ];
+    let all_sites = [(0.0, 0.0), (80.0, 10.0), (40.0, 70.0), (160.0, 160.0)];
     let names = ["A", "B", "C", "D"];
 
     let phase_len = 6_000u64;
@@ -64,7 +59,7 @@ fn main() {
         sw.insert(Colored::new(EuclidPoint::new(coords), color));
 
         if i % 2_000 == 1_999 {
-            let sol = sw.query(&Jones).expect("non-empty window");
+            let sol = sw.query().expect("non-empty window");
             let mut counts = [0usize; 4];
             for c in &sol.centers {
                 counts[nearest_site(&c.point, &all_sites)] += 1;

@@ -24,10 +24,7 @@ fn gen_point(i: u64) -> Colored<EuclidPoint> {
     let r1 = ((i as f64) * 0.618_033_988_7).fract();
     let r2 = ((i as f64) * 0.324_717_957_2).fract();
     if i.is_multiple_of(10) {
-        Colored::new(
-            EuclidPoint::new(vec![50.0 + r1 * 6.0, 50.0 + r2 * 6.0]),
-            1,
-        )
+        Colored::new(EuclidPoint::new(vec![50.0 + r1 * 6.0, 50.0 + r2 * 6.0]), 1)
     } else {
         Colored::new(EuclidPoint::new(vec![r1 * 30.0, r2 * 30.0]), 0)
     }
@@ -42,23 +39,23 @@ fn main() {
     let window = 4_000usize;
 
     // Fair: at most 3 majority + at least-possible 2 minority slots.
-    let fair_cfg = FairSWConfig::builder()
+    let mut fair = EngineBuilder::new()
         .window_size(window)
         .capacities(vec![3, 2])
         .delta(0.5)
-        .build()
-        .expect("valid configuration");
-    let mut fair = FairSlidingWindow::new(fair_cfg, Euclidean, 0.001, 200.0).expect("scales");
+        .fixed(0.001, 200.0)
+        .build(Euclidean)
+        .expect("scales");
 
     // Unconstrained with the same total k: all points recolored to one
     // class with budget 5.
-    let unc_cfg = FairSWConfig::builder()
+    let mut unc = EngineBuilder::new()
         .window_size(window)
         .capacities(vec![5])
         .delta(0.5)
-        .build()
-        .expect("valid configuration");
-    let mut unc = FairSlidingWindow::new(unc_cfg, Euclidean, 0.001, 200.0).expect("scales");
+        .fixed(0.001, 200.0)
+        .build(Euclidean)
+        .expect("scales");
 
     for i in 0..12_000u64 {
         let p = gen_point(i);
@@ -66,8 +63,8 @@ fn main() {
         fair.insert(p);
     }
 
-    let fair_sol = fair.query(&Jones).expect("non-empty");
-    let unc_sol = unc.query(&Jones).expect("non-empty");
+    let fair_sol = fair.query().expect("non-empty");
+    let unc_sol = unc.query().expect("non-empty");
 
     let (fm, ft) = minority_share(&fair_sol.centers);
     println!("fair    : {fm}/{ft} centers from the minority group");

@@ -14,17 +14,15 @@
 //! ≤ 2 centers per single group, ≤ 3 from the minority groups combined,
 //! ≤ 6 overall.
 
-use fairsw::core::MatroidSlidingWindow;
-use fairsw::matroid::{Group, LaminarMatroid};
 use fairsw::prelude::*;
 
 fn candidate(i: u64) -> Colored<EuclidPoint> {
     // Four skill-space clusters, one per source; minorities are rarer.
     let color = match i % 10 {
-        0 => 0u32,      // minority A, 10%
-        1 | 2 => 1,     // minority B, 20%
-        3..=6 => 2,     // majority C, 40%
-        _ => 3,         // majority D, 30%
+        0 => 0u32,  // minority A, 10%
+        1 | 2 => 1, // minority B, 20%
+        3..=6 => 2, // majority C, 40%
+        _ => 3,     // majority D, 30%
     };
     let (cx, cy) = [(0.0, 0.0), (60.0, 10.0), (20.0, 70.0), (80.0, 70.0)][color as usize];
     let jx = ((i as f64) * 0.618_033_988_7).fract() * 8.0;
@@ -43,16 +41,13 @@ fn main() {
     ])
     .expect("nested groups are laminar");
 
-    let mut sw = MatroidSlidingWindow::new(
-        Euclidean,
-        policy.clone(),
-        2_000, // window
-        2.0,   // beta
-        1.0,   // delta
-        0.05,  // dmin
-        500.0, // dmax
-    )
-    .expect("valid configuration");
+    let mut sw = EngineBuilder::new()
+        .window_size(2_000)
+        .beta(2.0)
+        .delta(1.0)
+        .matroid(policy.clone(), 0.05, 500.0)
+        .build(Euclidean)
+        .expect("valid configuration");
 
     for i in 0..6_000u64 {
         sw.insert(candidate(i));

@@ -6,23 +6,27 @@
 //! and, every so often, extract at most two centers per group that
 //! summarize the *recent* data. The whole point of the data structure:
 //! per-arrival cost and memory do not depend on the window length.
+//!
+//! Everything goes through the unified [`WindowEngine`] API — swap
+//! `.fixed(..)` for `.oblivious()`, `.robust(..)` or `.matroid(..)` and
+//! the rest of this program stays identical.
 
 use fairsw::prelude::*;
 
 fn main() {
     // Window of the 5 000 most recent points; at most 2 centers of each
-    // of the 2 colors (a partition-matroid constraint with k = 4).
-    let cfg = FairSWConfig::builder()
+    // of the 2 colors (a partition-matroid constraint with k = 4). The
+    // stream's distance scales are known here (coordinates in [0, ~220],
+    // finest spacing ~0.01), so we pick the scale-aware main algorithm;
+    // drop the `.fixed(..)` line to get the oblivious variant instead.
+    let mut engine = EngineBuilder::new()
         .window_size(5_000)
         .capacities(vec![2, 2])
         .beta(2.0) // radius guesses progress as 3^i
         .delta(1.0) // coreset precision: smaller = larger coreset, better quality
-        .build()
+        .fixed(0.01, 400.0)
+        .build(Euclidean)
         .expect("valid configuration");
-
-    // The stream's distance scales are known here (coordinates in
-    // [0, ~220], finest spacing ~0.01), so we use the scale-aware variant.
-    let mut sw = FairSlidingWindow::new(cfg, Euclidean, 0.01, 400.0).expect("valid scales");
 
     println!("streaming 20 000 points through a 5 000-point window...");
     for i in 0..20_000u64 {
@@ -34,19 +38,21 @@ fn main() {
         let jitter = ((i as f64) * 0.618_033_988_7).fract() * 3.0;
         let x = cluster_base + drift + jitter;
         let y = ((i as f64) * 0.324_717_957_2).fract() * 3.0;
-        sw.insert(Colored::new(EuclidPoint::new(vec![x, y]), color));
+        engine.insert(Colored::new(EuclidPoint::new(vec![x, y]), color));
 
         if i % 5_000 == 4_999 {
             // Query at any time: runs the Jones 3-approximation on the
             // small coreset, never on the window.
-            let sol = sw.query(&Jones).expect("window is non-empty");
+            let sol = engine.query().expect("window is non-empty");
+            let mem = engine.memory_stats();
             println!(
-                "t={:>6}  centers={}  guess γ̂={:<10.4} coreset={:>4} pts  stored={:>5} pts",
+                "t={:>6}  centers={}  guess γ̂={:<10.4} coreset={:>4} pts  stored={:>5} pts in {} guesses",
                 i + 1,
                 sol.centers.len(),
                 sol.guess,
                 sol.coreset_size,
-                sw.stored_points(),
+                mem.stored_points(),
+                mem.num_guesses(),
             );
             for c in &sol.centers {
                 println!(

@@ -10,7 +10,6 @@
 //! cites) discards up to `z` outliers per window and keeps reporting the
 //! true site geometry.
 
-use fairsw::core::RobustFairSlidingWindow;
 use fairsw::prelude::*;
 
 fn reading(i: u64) -> Colored<EuclidPoint> {
@@ -19,7 +18,11 @@ fn reading(i: u64) -> Colored<EuclidPoint> {
         // Corrupted reading: a wild coordinate.
         return Colored::new(EuclidPoint::new(vec![9e5 + i as f64, -7e5]), color);
     }
-    let base = if color == 0 { (0.0, 0.0) } else { (120.0, 40.0) };
+    let base = if color == 0 {
+        (0.0, 0.0)
+    } else {
+        (120.0, 40.0)
+    };
     let jx = ((i as f64) * 0.618_033_988_7).fract() * 5.0;
     let jy = ((i as f64) * 0.324_717_957_2).fract() * 5.0;
     Colored::new(EuclidPoint::new(vec![base.0 + jx, base.1 + jy]), color)
@@ -27,19 +30,22 @@ fn reading(i: u64) -> Colored<EuclidPoint> {
 
 fn main() {
     let window = 2_000usize;
-    let mk_cfg = || {
-        FairSWConfig::builder()
+    let mk_engine = || {
+        EngineBuilder::new()
             .window_size(window)
             .capacities(vec![2, 2])
             .delta(1.0)
-            .build()
-            .expect("valid configuration")
     };
 
-    let mut plain = FairSlidingWindow::new(mk_cfg(), Euclidean, 0.01, 3e6).expect("scales");
+    let mut plain = mk_engine()
+        .fixed(0.01, 3e6)
+        .build(Euclidean)
+        .expect("scales");
     // Tolerate up to 12 outliers per window (one glitch every 211 steps
     // puts ~10 in a 2000-point window).
-    let mut robust = RobustFairSlidingWindow::new(mk_cfg(), 12, Euclidean, 0.01, 3e6)
+    let mut robust = mk_engine()
+        .robust(12, 0.01, 3e6)
+        .build(Euclidean)
         .expect("scales");
 
     for i in 0..8_000u64 {
@@ -48,7 +54,7 @@ fn main() {
         robust.insert(p);
 
         if i % 2_000 == 1_999 {
-            let ps = plain.query(&Jones).expect("non-empty");
+            let ps = plain.query().expect("non-empty");
             let rs = robust.query().expect("non-empty");
             println!(
                 "t={:>5}  plain radius {:>12.1} (γ̂={:<9.1})   robust radius {:>8.1} \
@@ -58,7 +64,7 @@ fn main() {
                 ps.guess,
                 rs.coreset_radius,
                 rs.guess,
-                rs.outliers.len(),
+                rs.num_outliers(),
             );
         }
     }

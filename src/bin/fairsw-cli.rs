@@ -17,16 +17,19 @@
 //!   --beta F            guess progression β (default 2.0)
 //!   --query-every N     query cadence in arrivals (default: window)
 //!   --oblivious         estimate distance scales on the fly
+//!   --compact           Corollary 2 variant (dimension-free space)
 //!   --robust Z          tolerate Z outliers per window
 //!   --quiet             suppress per-center output
 //! ```
+//!
+//! Every variant is constructed and driven through the unified
+//! [`WindowEngine`] facade — the streaming loop below contains no
+//! per-variant code.
 
-use fairsw::core::{
-    FairSWConfig, FairSlidingWindow, ObliviousFairSlidingWindow, RobustFairSlidingWindow,
-};
+use fairsw::core::{SlidingWindowClustering, SolutionExtras, VariantSpec, WindowEngine};
 use fairsw::datasets::read_csv_points;
-use fairsw::metric::{sampled_extremes, Colored, Euclidean, EuclidPoint};
-use fairsw::sequential::Jones;
+use fairsw::metric::{sampled_extremes, Colored, EuclidPoint, Euclidean};
+use fairsw_core::FairSWConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -40,6 +43,7 @@ struct Args {
     beta: f64,
     query_every: Option<usize>,
     oblivious: bool,
+    compact: bool,
     robust: Option<usize>,
     quiet: bool,
 }
@@ -53,15 +57,13 @@ fn parse_args() -> Result<Args, String> {
         beta: 2.0,
         query_every: None,
         oblivious: false,
+        compact: false,
         robust: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--input" => args.input = Some(PathBuf::from(value("--input")?)),
             "--window" => {
@@ -92,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--oblivious" => args.oblivious = true,
+            "--compact" => args.compact = true,
             "--robust" => {
                 args.robust = Some(
                     value("--robust")?
@@ -124,6 +127,7 @@ OPTIONS:
   --beta F         guess progression (default 2.0)
   --query-every N  query cadence in arrivals (default: window)
   --oblivious      estimate distance scales on the fly
+  --compact        Corollary 2 variant (dimension-free space)
   --robust Z       tolerate Z outliers per window
   --quiet          suppress per-center output
 ";
@@ -139,10 +143,34 @@ fn demo_stream(n: usize) -> Vec<Colored<EuclidPoint>> {
         .collect()
 }
 
-enum Engine {
-    Plain(Box<FairSlidingWindow<Euclidean>>),
-    Oblivious(Box<ObliviousFairSlidingWindow<Euclidean>>),
-    Robust(Box<RobustFairSlidingWindow<Euclidean>>),
+/// Picks the variant spec the flags describe (scale bounds estimated from
+/// the data for the non-oblivious variants).
+fn variant_for(args: &Args, points: &[Colored<EuclidPoint>]) -> Result<VariantSpec, String> {
+    let exclusive = [args.oblivious, args.compact, args.robust.is_some()];
+    if exclusive.iter().filter(|&&f| f).count() > 1 {
+        return Err("--oblivious, --compact and --robust are mutually exclusive".into());
+    }
+    if args.oblivious {
+        return Ok(VariantSpec::Oblivious);
+    }
+    let raw: Vec<EuclidPoint> = points.iter().map(|p| p.point.clone()).collect();
+    let ext =
+        sampled_extremes(&Euclidean, &raw, 512).ok_or("degenerate input (all points coincide)")?;
+    Ok(match args.robust {
+        Some(z) => VariantSpec::Robust {
+            z,
+            dmin: ext.dmin,
+            dmax: ext.dmax,
+        },
+        None if args.compact => VariantSpec::Compact {
+            dmin: ext.dmin,
+            dmax: ext.dmax,
+        },
+        None => VariantSpec::Fixed {
+            dmin: ext.dmin,
+            dmax: ext.dmax,
+        },
+    })
 }
 
 fn run() -> Result<(), String> {
@@ -159,7 +187,7 @@ fn run() -> Result<(), String> {
         return Err("input contains no points".into());
     }
     let ncolors = points.iter().map(|p| p.color).max().unwrap_or(0) as usize + 1;
-    let caps = match args.caps {
+    let caps = match &args.caps {
         Some(c) => {
             if c.len() < ncolors {
                 return Err(format!(
@@ -168,7 +196,7 @@ fn run() -> Result<(), String> {
                     ncolors
                 ));
             }
-            c
+            c.clone()
         }
         None => vec![2; ncolors],
     };
@@ -181,68 +209,37 @@ fn run() -> Result<(), String> {
         .build()
         .map_err(|e| format!("configuration: {e}"))?;
 
-    let mut engine = if args.oblivious {
-        Engine::Oblivious(Box::new(
-            ObliviousFairSlidingWindow::new(cfg, Euclidean).map_err(|e| e.to_string())?,
-        ))
-    } else {
-        let raw: Vec<EuclidPoint> = points.iter().map(|p| p.point.clone()).collect();
-        let ext = sampled_extremes(&Euclidean, &raw, 512)
-            .ok_or("degenerate input (all points coincide)")?;
-        match args.robust {
-            Some(z) => Engine::Robust(Box::new(
-                RobustFairSlidingWindow::new(cfg, z, Euclidean, ext.dmin, ext.dmax)
-                    .map_err(|e| e.to_string())?,
-            )),
-            None => Engine::Plain(Box::new(
-                FairSlidingWindow::new(cfg, Euclidean, ext.dmin, ext.dmax)
-                    .map_err(|e| e.to_string())?,
-            )),
-        }
-    };
-    if args.robust.is_some() && args.oblivious {
-        return Err("--robust and --oblivious cannot be combined (yet)".into());
-    }
+    let spec = variant_for(&args, &points)?;
+    let mut engine =
+        WindowEngine::build(cfg, spec, Euclidean).map_err(|e| format!("configuration: {e}"))?;
+    eprintln!("variant: {}", engine.variant_name());
 
     let cadence = args.query_every.unwrap_or(args.window).max(1);
-    let solver = Jones;
     let t0 = Instant::now();
     let mut queries = 0usize;
 
     for (i, p) in points.iter().enumerate() {
-        match &mut engine {
-            Engine::Plain(e) => e.insert(p.clone()),
-            Engine::Oblivious(e) => e.insert(p.clone()),
-            Engine::Robust(e) => e.insert(p.clone()),
-        }
+        engine.insert(p.clone());
         if (i + 1) % cadence == 0 {
             queries += 1;
-            let (centers, guess, coreset, radius, mem, extra) = match &engine {
-                Engine::Plain(e) => {
-                    let s = e.query(&solver).map_err(|e| e.to_string())?;
-                    (s.centers, s.guess, s.coreset_size, s.coreset_radius, e.stored_points(), String::new())
+            let s = engine.query().map_err(|e| e.to_string())?;
+            let extra = match &s.extras {
+                SolutionExtras::Robust { outliers } => {
+                    format!("  outliers={}", outliers.len())
                 }
-                Engine::Oblivious(e) => {
-                    let s = e.query(&solver).map_err(|e| e.to_string())?;
-                    (s.centers, s.guess, s.coreset_size, s.coreset_radius, e.stored_points(), String::new())
-                }
-                Engine::Robust(e) => {
-                    let s = e.query().map_err(|e| e.to_string())?;
-                    let extra = format!("  outliers={}", s.outliers.len());
-                    (s.centers, s.guess, s.coreset_size, s.coreset_radius, e.stored_points(), extra)
-                }
+                _ => String::new(),
             };
             println!(
                 "t={:>9}  centers={:<2} radius={:<12.4} γ̂={:<10.4} coreset={:<5} stored={:<6}{extra}",
                 i + 1,
-                centers.len(),
-                radius,
-                guess,
-                coreset,
-                mem,
+                s.centers.len(),
+                s.coreset_radius,
+                s.guess,
+                s.coreset_size,
+                engine.stored_points(),
             );
             if !args.quiet {
-                for c in &centers {
+                for c in &s.centers {
                     let coords: Vec<String> =
                         c.point.coords().iter().map(|v| format!("{v:.3}")).collect();
                     println!("    color {} @ ({})", c.color, coords.join(", "));

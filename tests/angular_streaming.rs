@@ -38,7 +38,7 @@ fn angular_clusters_recovered() {
         exact.push(p);
     }
     sw.check_invariants().expect("structural invariants hold");
-    let sol = sw.query(&Jones).expect("non-empty");
+    let sol = sw.query().expect("non-empty");
     assert_eq!(sol.centers.len(), 3, "one center per angular cluster");
     // True radius over the window under the angular metric: within the
     // jitter scale (0.1 rad ≈ 0.032 normalized), far below the 1/3-turn
@@ -76,8 +76,8 @@ fn angular_scale_invariance() {
         b.insert(p2);
     }
     assert_eq!(a.stored_points(), b.stored_points());
-    let sa = a.query(&Jones).expect("ok");
-    let sb = b.query(&Jones).expect("ok");
+    let sa = a.query().expect("ok");
+    let sb = b.query().expect("ok");
     assert_eq!(sa.guess, sb.guess);
     assert!((sa.coreset_radius - sb.coreset_radius).abs() < 1e-9);
 }

@@ -75,7 +75,15 @@ fn coverage_on_trajectory_data() {
 #[test]
 fn coverage_on_blobs_fine_delta() {
     let ds = blobs(900, 3, BlobsParams::default(), 22);
-    check_coverage(&ds.points, 250, &[2, 2, 1, 1, 1, 1, 1], 0.5, 1e-3, 500.0, 83);
+    check_coverage(
+        &ds.points,
+        250,
+        &[2, 2, 1, 1, 1, 1, 1],
+        0.5,
+        1e-3,
+        500.0,
+        83,
+    );
 }
 
 #[test]
@@ -111,8 +119,7 @@ fn fairness_of_coreset_composition() {
         sw.insert(p.clone());
         exact.push(p.clone());
     }
-    let window_colors: std::collections::HashSet<u32> =
-        exact.points().map(|p| p.color).collect();
+    let window_colors: std::collections::HashSet<u32> = exact.points().map(|p| p.color).collect();
     for g in sw.guesses() {
         if g.av_len() > k {
             continue;

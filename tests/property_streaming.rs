@@ -39,7 +39,7 @@ proptest! {
             sw.insert(Colored::new(EuclidPoint::new(vec![x, y]), c as u32));
         }
         sw.check_invariants().map_err(TestCaseError::fail)?;
-        let sol = sw.query(&Jones).expect("non-empty window");
+        let sol = sw.query().expect("non-empty window");
         // Fairness of the answer.
         let mut counts = vec![0usize; caps.len()];
         for c in &sol.centers {
@@ -70,7 +70,7 @@ proptest! {
             sw.insert(Colored::new(EuclidPoint::new(vec![x, y]), c as u32));
         }
         sw.check_invariants().map_err(TestCaseError::fail)?;
-        let sol = sw.query(&Jones).expect("non-empty window");
+        let sol = sw.query().expect("non-empty window");
         let mut counts = vec![0usize; caps.len()];
         for c in &sol.centers {
             counts[c.color as usize] += 1;
@@ -98,7 +98,7 @@ proptest! {
             sw.insert(Colored::new(EuclidPoint::new(vec![x, y]), c as u32));
         }
         sw.check_invariants().map_err(TestCaseError::fail)?;
-        let sol = sw.query(&Jones).expect("non-empty window");
+        let sol = sw.query().expect("non-empty window");
         let mut counts = vec![0usize; caps.len()];
         for c in &sol.centers {
             counts[c.color as usize] += 1;
@@ -131,7 +131,7 @@ proptest! {
             sw.insert(p.clone());
             exact.push(p);
         }
-        let sol = sw.query(&Jones).expect("non-empty");
+        let sol = sw.query().expect("non-empty");
         let win = exact.to_vec();
         let inst = Instance::new(&Euclidean, &win, &caps);
         let true_radius = inst.radius_of(&sol.centers);

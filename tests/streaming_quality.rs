@@ -46,7 +46,7 @@ fn quality_run(s: &Setup, delta: f64, window: usize, bound: f64) {
         if query_at.contains(&i) {
             let win = exact.to_vec();
             let inst = Instance::new(&Euclidean, &win, &s.caps);
-            let sol = sw.query(&Jones).expect("query succeeds");
+            let sol = sw.query().expect("query succeeds");
             assert!(inst.is_fair(&sol.centers), "unfair streaming solution");
             let streaming_radius = inst.radius_of(&sol.centers);
             let baseline = Jones.solve(&inst).expect("baseline succeeds");
@@ -106,8 +106,8 @@ fn oblivious_matches_ours_quality() {
     }
     let win = exact.to_vec();
     let inst = Instance::new(&Euclidean, &win, &s.caps);
-    let r_ours = inst.radius_of(&ours.query(&Jones).expect("ok").centers);
-    let r_obl = inst.radius_of(&obl.query(&Jones).expect("ok").centers);
+    let r_ours = inst.radius_of(&ours.query().expect("ok").centers);
+    let r_obl = inst.radius_of(&obl.query().expect("ok").centers);
     // The paper finds the two variants of comparable quality.
     assert!(
         r_obl <= 2.0 * r_ours + 1e-9 && r_ours <= 2.0 * r_obl + 1e-9,
@@ -133,7 +133,7 @@ fn compact_variant_quality_band() {
     }
     let win = exact.to_vec();
     let inst = Instance::new(&Euclidean, &win, &s.caps);
-    let sol = sw.query(&Jones).expect("ok");
+    let sol = sw.query().expect("ok");
     assert!(inst.is_fair(&sol.centers));
     let r = inst.radius_of(&sol.centers);
     let baseline = Jones.solve(&inst).expect("ok").radius;

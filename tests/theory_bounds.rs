@@ -37,7 +37,7 @@ fn theory_run(xs: &[(f64, u32)], window: usize, caps: &[usize], delta: f64, beta
         let win = exact.to_vec();
         let inst = Instance::new(&Euclidean, &win, caps);
         let opt = exact_fair_center(&inst).expect("tiny window").radius;
-        let sol = sw.query(&solver).expect("query succeeds");
+        let sol = sw.query_with(&solver).expect("query succeeds");
         let streaming_radius = inst.radius_of(&sol.centers);
         assert!(
             inst.is_fair(&sol.centers),

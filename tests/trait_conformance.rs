@@ -1,0 +1,360 @@
+//! Trait-conformance suite: one scenario matrix, five variants, zero
+//! `dyn`.
+//!
+//! Every sliding-window variant implements `SlidingWindowClustering`;
+//! this suite drives each of them through the same generic scenarios
+//! (fill, slide, drift, fairness budgets, invariant checks) so that the
+//! shared contract — arrival counting, bounded memory, fair answers,
+//! structural invariants, consistent memory accounting — is enforced
+//! uniformly. A second battery checks that the default `insert_batch`
+//! is observationally equal to repeated `insert`.
+
+use fairsw::prelude::*;
+
+const WINDOW: usize = 60;
+const CAPS: [usize; 2] = [2, 1];
+const DMIN: f64 = 1e-4;
+const DMAX: f64 = 1e4;
+
+/// Constructs every variant for the shared scenario configuration and
+/// hands each to `run` (generic dispatch — each call monomorphizes).
+fn for_each_variant(run: impl Fn(&str, &mut dyn FnMut() -> WindowEngine<Euclidean>)) {
+    let base = || {
+        EngineBuilder::new()
+            .window_size(WINDOW)
+            .capacities(CAPS.to_vec())
+            .beta(2.0)
+            .delta(1.0)
+    };
+    run("fixed", &mut || {
+        base().fixed(DMIN, DMAX).build(Euclidean).expect("valid")
+    });
+    run("oblivious", &mut || {
+        base().oblivious().build(Euclidean).expect("valid")
+    });
+    run("compact", &mut || {
+        base().compact(DMIN, DMAX).build(Euclidean).expect("valid")
+    });
+    run("robust", &mut || {
+        base()
+            .robust(2, DMIN, DMAX)
+            .build(Euclidean)
+            .expect("valid")
+    });
+    run("matroid", &mut || {
+        base()
+            .matroid(
+                PartitionMatroid::new(CAPS.to_vec()).expect("valid caps"),
+                DMIN,
+                DMAX,
+            )
+            .build(Euclidean)
+            .expect("valid")
+    });
+}
+
+fn cp(x: f64, c: u32) -> Colored<EuclidPoint> {
+    Colored::new(EuclidPoint::new(vec![x]), c)
+}
+
+/// A deterministic two-cluster stream with a skewed color mix (~1/3 of
+/// the points carry color 1, matching caps [2, 1]).
+fn stream_point(i: u64, scale: f64) -> Colored<EuclidPoint> {
+    let color = i.is_multiple_of(3) as u32;
+    let base = if i.is_multiple_of(2) { 0.0 } else { scale };
+    cp(
+        base + (i as f64 * 0.618_033_988_7).fract() * scale * 0.01,
+        color,
+    )
+}
+
+/// The shared scenario body, generic over the implementor.
+fn drive<A: SlidingWindowClustering<Euclidean>>(
+    name: &str,
+    algo: &mut A,
+    points: impl IntoIterator<Item = Colored<EuclidPoint>>,
+    check_every: u64,
+) {
+    for p in points {
+        algo.insert(p);
+        if algo.time() % check_every == 0 {
+            algo.check_invariants()
+                .unwrap_or_else(|e| panic!("{name}: invariant violated at t={}: {e}", algo.time()));
+        }
+    }
+}
+
+/// Asserts the answer respects the [2, 1] budgets and reports sane
+/// metadata.
+fn assert_solution_sane(name: &str, sol: &Solution<EuclidPoint>) {
+    assert!(!sol.centers.is_empty(), "{name}: empty center set");
+    let c0 = sol.centers.iter().filter(|c| c.color == 0).count();
+    let c1 = sol.centers.iter().filter(|c| c.color == 1).count();
+    assert!(
+        c0 <= CAPS[0] && c1 <= CAPS[1],
+        "{name}: budgets violated ({c0}, {c1})"
+    );
+    assert!(sol.coreset_size > 0, "{name}: empty coreset");
+    assert!(
+        sol.coreset_radius.is_finite() && sol.coreset_radius >= 0.0,
+        "{name}: bad radius {}",
+        sol.coreset_radius
+    );
+}
+
+#[test]
+fn empty_window_errors_uniformly() {
+    for_each_variant(|name, make| {
+        let engine = make();
+        assert!(
+            matches!(engine.query(), Err(QueryError::EmptyWindow)),
+            "{name}: empty query must fail with EmptyWindow"
+        );
+        assert_eq!(engine.time(), 0, "{name}");
+        assert_eq!(engine.window_size(), WINDOW, "{name}");
+    });
+}
+
+#[test]
+fn fill_scenario_answers_before_window_is_full() {
+    for_each_variant(|name, make| {
+        let mut engine = make();
+        // Only half a window of data: every variant must already answer.
+        drive(
+            name,
+            &mut engine,
+            (0..WINDOW as u64 / 2).map(|i| stream_point(i, 100.0)),
+            7,
+        );
+        assert_eq!(engine.time(), WINDOW as u64 / 2, "{name}: arrival counter");
+        let sol = engine.query().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_solution_sane(name, &sol);
+        engine.check_invariants().unwrap();
+    });
+}
+
+#[test]
+fn slide_scenario_keeps_memory_bounded() {
+    for_each_variant(|name, make| {
+        let mut engine = make();
+        let mut fill_peak = 0usize;
+        for i in 0..(8 * WINDOW as u64) {
+            engine.insert(stream_point(i, 100.0));
+            if i < WINDOW as u64 {
+                fill_peak = fill_peak.max(engine.stored_points());
+            }
+        }
+        engine.check_invariants().unwrap();
+        assert!(
+            engine.stored_points() <= 2 * fill_peak + 64,
+            "{name}: memory grew with stream length ({} vs fill peak {})",
+            engine.stored_points(),
+            fill_peak
+        );
+        let sol = engine.query().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_solution_sane(name, &sol);
+    });
+}
+
+#[test]
+fn drift_scenario_follows_the_window_scale() {
+    for_each_variant(|name, make| {
+        let mut engine = make();
+        // Phase 1: clusters separated by 1000; phase 2: everything within
+        // ~2 units. After phase 2 fills the window, the answer must be at
+        // the fine scale.
+        drive(
+            name,
+            &mut engine,
+            (0..200u64).map(|i| stream_point(i, 1000.0)),
+            50,
+        );
+        drive(
+            name,
+            &mut engine,
+            (0..3 * WINDOW as u64).map(|i| {
+                cp(
+                    500.0 + (i as f64 * 0.324_7).fract() * 2.0,
+                    (i % 3 == 0) as u32,
+                )
+            }),
+            50,
+        );
+        let sol = engine.query().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_solution_sane(name, &sol);
+        assert!(
+            sol.coreset_radius <= 16.0,
+            "{name}: radius {} ignores the drift to the fine scale",
+            sol.coreset_radius
+        );
+    });
+}
+
+#[test]
+fn fairness_budgets_respected_under_skew() {
+    for_each_variant(|name, make| {
+        let mut engine = make();
+        // Color 1 is rare (every 7th point) yet capped at 1; color 0
+        // spread over three clusters with cap 2.
+        drive(
+            name,
+            &mut engine,
+            (0..4 * WINDOW as u64).map(|i| {
+                let color = (i % 7 == 0) as u32;
+                let base = (i % 3) as f64 * 300.0;
+                cp(base + (i as f64 * 0.445).fract() * 3.0, color)
+            }),
+            25,
+        );
+        let sol = engine.query().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_solution_sane(name, &sol);
+    });
+}
+
+#[test]
+fn memory_stats_consistent_with_stored_points() {
+    for_each_variant(|name, make| {
+        let mut engine = make();
+        drive(
+            name,
+            &mut engine,
+            (0..3 * WINDOW as u64).map(|i| stream_point(i, 250.0)),
+            40,
+        );
+        let stats = engine.memory_stats();
+        assert_eq!(
+            stats.stored_points(),
+            engine.stored_points(),
+            "{name}: memory_stats total disagrees with stored_points"
+        );
+        assert_eq!(
+            stats.num_guesses(),
+            engine.num_guesses(),
+            "{name}: num_guesses mismatch"
+        );
+        assert!(stats.num_guesses() > 0, "{name}: no guesses materialized");
+        // Per-guess entries are in ascending-γ order and all live guesses
+        // store a bounded number of points.
+        for pair in stats.per_guess.windows(2) {
+            assert!(pair[0].gamma < pair[1].gamma, "{name}: γ order");
+        }
+    });
+}
+
+#[test]
+fn insert_batch_equals_repeated_insert() {
+    for_each_variant(|name, make| {
+        let stream: Vec<_> = (0..3 * WINDOW as u64)
+            .map(|i| stream_point(i, 400.0))
+            .collect();
+        let mut one_by_one = make();
+        let mut batched = make();
+        for p in &stream {
+            one_by_one.insert(p.clone());
+        }
+        batched.insert_batch(stream);
+        assert_eq!(one_by_one.time(), batched.time(), "{name}: time diverged");
+        assert_eq!(
+            one_by_one.stored_points(),
+            batched.stored_points(),
+            "{name}: memory diverged"
+        );
+        let (sa, sb) = (one_by_one.memory_stats(), batched.memory_stats());
+        assert_eq!(sa.per_guess.len(), sb.per_guess.len(), "{name}");
+        for (a, b) in sa.per_guess.iter().zip(&sb.per_guess) {
+            assert_eq!(a.gamma, b.gamma, "{name}: guess set diverged");
+            assert_eq!(a.points, b.points, "{name}: per-guess memory diverged");
+        }
+        let qa = one_by_one.query().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let qb = batched.query().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(qa.guess, qb.guess, "{name}: winning guess diverged");
+        assert_eq!(qa.coreset_size, qb.coreset_size, "{name}");
+        assert_eq!(qa.centers.len(), qb.centers.len(), "{name}");
+        assert!(
+            (qa.coreset_radius - qb.coreset_radius).abs() < 1e-12,
+            "{name}: radius diverged"
+        );
+    });
+}
+
+/// The same generic body applied to the five *concrete* types (no
+/// `WindowEngine` in between): the trait bounds alone carry the scenario.
+#[test]
+fn concrete_types_conform_generically() {
+    fn scenario<A: SlidingWindowClustering<Euclidean>>(name: &str, algo: &mut A) {
+        drive(
+            name,
+            algo,
+            (0..3 * WINDOW as u64).map(|i| stream_point(i, 150.0)),
+            30,
+        );
+        assert_eq!(algo.time(), 3 * WINDOW as u64, "{name}");
+        assert_eq!(algo.window_size(), WINDOW, "{name}");
+        let sol = algo.query().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_solution_sane(name, &sol);
+        assert_eq!(
+            algo.memory_stats().stored_points(),
+            algo.stored_points(),
+            "{name}"
+        );
+    }
+
+    let cfg = FairSWConfig::builder()
+        .window_size(WINDOW)
+        .capacities(CAPS.to_vec())
+        .build()
+        .expect("valid");
+    scenario(
+        "FairSlidingWindow",
+        &mut FairSlidingWindow::new(cfg.clone(), Euclidean, DMIN, DMAX).expect("valid"),
+    );
+    scenario(
+        "ObliviousFairSlidingWindow",
+        &mut ObliviousFairSlidingWindow::new(cfg.clone(), Euclidean).expect("valid"),
+    );
+    scenario(
+        "CompactFairSlidingWindow",
+        &mut CompactFairSlidingWindow::new(cfg.clone(), Euclidean, DMIN, DMAX).expect("valid"),
+    );
+    scenario(
+        "RobustFairSlidingWindow",
+        &mut RobustFairSlidingWindow::new(cfg.clone(), 2, Euclidean, DMIN, DMAX).expect("valid"),
+    );
+    scenario(
+        "MatroidSlidingWindow",
+        &mut MatroidSlidingWindow::new(
+            Euclidean,
+            PartitionMatroid::new(CAPS.to_vec()).expect("valid"),
+            WINDOW,
+            cfg.beta,
+            cfg.delta,
+            DMIN,
+            DMAX,
+        )
+        .expect("valid"),
+    );
+}
+
+#[test]
+fn extras_carry_variant_provenance() {
+    for_each_variant(|name, make| {
+        let mut engine = make();
+        drive(
+            name,
+            &mut engine,
+            (0..2 * WINDOW as u64).map(|i| stream_point(i, 100.0)),
+            60,
+        );
+        let sol = engine.query().unwrap_or_else(|e| panic!("{name}: {e}"));
+        match (name, &sol.extras) {
+            ("robust", SolutionExtras::Robust { outliers }) => {
+                assert!(outliers.len() <= 2, "robust: too many outliers");
+            }
+            ("oblivious", SolutionExtras::Oblivious { guess_range, .. }) => {
+                assert!(guess_range.is_some(), "oblivious: no guess range recorded");
+            }
+            ("fixed" | "compact" | "matroid", SolutionExtras::None) => {}
+            (name, extras) => panic!("{name}: unexpected extras {extras:?}"),
+        }
+    });
+}

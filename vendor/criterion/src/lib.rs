@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the benchmark-definition surface the workspace uses
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`) backed by a simple wall-clock loop: each benchmark is
+//! warmed up briefly, then timed over enough iterations to fill a small
+//! measurement budget, and the mean per-iteration time is printed. No
+//! statistics, plots or baselines — `cargo bench` output is meant for
+//! quick relative comparisons only.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Label of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` label.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A label that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    /// Measurement budget for the timed phase.
+    budget: Duration,
+    /// Measured mean per-iteration time (read by the harness).
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` and records the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (also forces lazy setup).
+        std::hint::black_box(routine());
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget && iters >= 5 {
+                break;
+            }
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim sizes runs by wall-clock
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            budget: Duration::from_millis(200),
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{}/{:<28} {:>12.3?}/iter", self.name, id, b.mean);
+    }
+
+    /// Benchmarks a closure under a plain name.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        self.run(id.id, f);
+    }
+
+    /// Benchmarks a closure that receives an input parameter.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.id, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; matches upstream's API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- {name}");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            budget: Duration::from_millis(200),
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name:<32} {:>12.3?}/iter", b.mean);
+        self
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
