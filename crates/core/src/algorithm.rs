@@ -6,6 +6,7 @@
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
+use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_metric::{Colored, Metric};
 use fairsw_sequential::{FairCenterSolver, Instance, Jones};
 use fairsw_stream::Lattice;
@@ -22,6 +23,7 @@ pub struct FairSlidingWindow<M: Metric> {
     pub(crate) lattice: Lattice,
     pub(crate) guesses: Vec<GuessState<M>>,
     pub(crate) t: u64,
+    pub(crate) exec: Exec,
 }
 
 impl<M: Metric> FairSlidingWindow<M> {
@@ -46,6 +48,7 @@ impl<M: Metric> FairSlidingWindow<M> {
             lattice,
             guesses,
             t: 0,
+            exec: Exec::default(),
         })
     }
 
@@ -54,22 +57,38 @@ impl<M: Metric> FairSlidingWindow<M> {
         &self.cfg
     }
 
+    /// Spreads per-guess work over `spec` worker threads (sequential and
+    /// parallel runs are bit-identical; see [`crate::parallel`]).
+    pub fn with_parallelism(mut self, spec: ParallelismSpec) -> Self {
+        self.exec = Exec::new(spec);
+        self
+    }
+
+    /// The effective worker-thread count (1 when sequential).
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
+
     /// `Query` (Algorithm 3) with an explicit coreset solver: find the
     /// smallest guess that (a) is valid (`|AV| ≤ k`) and (b) admits a
     /// `≤ k`-point greedy `2γ`-packing of `RV`, then run `solver` on its
     /// coreset `R`. The trait-level
     /// [`query`](SlidingWindowClustering::query) uses the paper's default
     /// solver (Jones, `α = 3`).
-    pub fn query_with<S: FairCenterSolver<M>>(
-        &self,
-        solver: &S,
-    ) -> Result<Solution<M::Point>, QueryError> {
+    pub fn query_with<S>(&self, solver: &S) -> Result<Solution<M::Point>, QueryError>
+    where
+        S: FairCenterSolver<M> + Sync,
+        M: Sync,
+        M::Point: Send + Sync,
+    {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
+        let guesses: Vec<(&GuessState<M>, ())> = self.guesses.iter().map(|g| (g, ())).collect();
         query_over_guesses(
+            &self.exec,
             &self.metric,
-            self.guesses.iter().map(|g| (g, ())),
+            &guesses,
             self.k,
             &self.cfg.capacities,
             solver,
@@ -88,29 +107,60 @@ impl<M: Metric> FairSlidingWindow<M> {
     }
 }
 
-impl<M: Metric> SlidingWindowClustering<M> for FairSlidingWindow<M> {
+impl<M> SlidingWindowClustering<M> for FairSlidingWindow<M>
+where
+    M: Metric + Sync,
+    M::Point: Send + Sync,
+{
     /// Handles one arrival: expiry of the outgoing point plus Update on
-    /// every guess (Algorithm 1).
+    /// every guess (Algorithm 1) — fanned out over the worker pool when
+    /// one is configured (the guesses never read each other's state).
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
-        let n = self.cfg.window_size as u64;
-        let te = self.t.checked_sub(n);
-        for g in &mut self.guesses {
+        let t = self.t;
+        let te = t.checked_sub(self.cfg.window_size as u64);
+        let metric = &self.metric;
+        let budgets = Budgets {
+            caps: &self.cfg.capacities,
+            k: self.k,
+            delta: self.cfg.delta,
+        };
+        self.exec.for_each_mut(&mut self.guesses, |g| {
             if let Some(te) = te {
                 g.expire(te);
             }
-            g.update(
-                &self.metric,
-                self.t,
-                &p.point,
-                p.color,
-                Budgets {
-                    caps: &self.cfg.capacities,
-                    k: self.k,
-                    delta: self.cfg.delta,
-                },
-            );
-        }
+            g.update(metric, t, &p.point, p.color, budgets);
+        });
+    }
+
+    /// Batch arrivals: each guess replays the whole batch locally, so
+    /// one pool dispatch amortizes the fan-out cost over the batch (the
+    /// throughput path of the parallel engine). Per-guess evolution is
+    /// identical to repeated [`insert`](SlidingWindowClustering::insert)
+    /// because guesses are mutually independent.
+    fn insert_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = Colored<M::Point>>,
+    {
+        let batch: Vec<Colored<M::Point>> = batch.into_iter().collect();
+        let metric = &self.metric;
+        let budgets = Budgets {
+            caps: &self.cfg.capacities,
+            k: self.k,
+            delta: self.cfg.delta,
+        };
+        self.t = self.exec.replay_batch(
+            &mut self.guesses,
+            &batch,
+            self.t,
+            self.cfg.window_size as u64,
+            |g, t, te, p| {
+                if let Some(te) = te {
+                    g.expire(te);
+                }
+                g.update(metric, t, &p.point, p.color, budgets);
+            },
+        );
     }
 
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
@@ -158,56 +208,59 @@ impl<M: Metric> SlidingWindowClustering<M> for FairSlidingWindow<M> {
 /// Shared Query logic: scans `(guess, tag)` pairs in ascending-γ order,
 /// applies the validation packing test, and solves on the first
 /// qualifying coreset. Returns the tag with the solution so callers can
-/// report which guess won. Used by the fixed, compact, and oblivious
-/// variants.
-pub(crate) fn query_over_guesses<'a, M, S, T, I>(
+/// report which guess won. Used by the fixed and oblivious variants.
+///
+/// With a parallel [`Exec`] the scan shards into contiguous chunks and
+/// the earliest shard's outcome wins — exactly the guess the sequential
+/// scan selects (see [`crate::parallel`] for the determinism argument).
+pub(crate) fn query_over_guesses<M, S, T>(
+    exec: &Exec,
     metric: &M,
-    guesses: I,
+    guesses: &[(&GuessState<M>, T)],
     k: usize,
     caps: &[usize],
     solver: &S,
 ) -> Result<(Solution<M::Point>, T), QueryError>
 where
-    M: Metric + 'a,
-    S: FairCenterSolver<M>,
-    I: Iterator<Item = (&'a GuessState<M>, T)>,
+    M: Metric + Sync,
+    M::Point: Send + Sync,
+    S: FairCenterSolver<M> + Sync,
+    T: Copy + Send + Sync,
 {
-    for (g, tag) in guesses {
+    exec.find_map_first(guesses, |&(g, tag)| {
         if g.av_len() > k {
-            continue; // invalid guess: γ is a lower bound on OPT
+            return None; // invalid guess: γ is a lower bound on OPT
         }
         // Greedy 2γ-packing over RV (Algorithm 3 inner loop).
         let two_gamma = 2.0 * g.gamma();
         let mut packing: Vec<&M::Point> = Vec::with_capacity(k + 1);
-        let mut overflow = false;
         for q in g.rv_points() {
             if metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
                 packing.push(q);
                 if packing.len() > k {
-                    overflow = true;
-                    break;
+                    return None; // packing overflow: guess not qualified
                 }
             }
         }
-        if overflow {
-            continue;
-        }
-        // Qualifying guess: solve on the coreset R.
+        // Qualifying guess: solve on the coreset R. A solver error on
+        // the winning guess is the query's outcome, as in the
+        // sequential scan.
         let coreset = g.coreset();
         let inst = Instance::new(metric, &coreset, caps);
-        let sol = solver.solve(&inst)?;
-        return Ok((
-            Solution {
-                centers: sol.centers,
-                guess: g.gamma(),
-                coreset_size: coreset.len(),
-                coreset_radius: sol.radius,
-                extras: SolutionExtras::None,
-            },
-            tag,
-        ));
-    }
-    Err(QueryError::NoValidGuess)
+        Some(solver.solve(&inst).map_err(QueryError::from).map(|sol| {
+            (
+                Solution {
+                    centers: sol.centers,
+                    guess: g.gamma(),
+                    coreset_size: coreset.len(),
+                    coreset_radius: sol.radius,
+                    extras: SolutionExtras::None,
+                },
+                tag,
+            )
+        }))
+    })
+    .unwrap_or(Err(QueryError::NoValidGuess))
 }
 
 #[cfg(test)]

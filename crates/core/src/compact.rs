@@ -17,6 +17,7 @@
 
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
+use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_metric::{Colored, Metric};
 use fairsw_sequential::{FairCenterSolver, Instance, Jones};
 use fairsw_stream::Lattice;
@@ -195,6 +196,7 @@ pub struct CompactFairSlidingWindow<M: Metric> {
     k: usize,
     guesses: Vec<CompactGuess<M>>,
     t: u64,
+    exec: Exec,
 }
 
 impl<M: Metric> CompactFairSlidingWindow<M> {
@@ -217,75 +219,114 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
             k,
             guesses,
             t: 0,
+            exec: Exec::default(),
         })
+    }
+
+    /// Spreads per-guess work over `spec` worker threads (bit-identical
+    /// to sequential execution; see [`crate::parallel`]).
+    pub fn with_parallelism(mut self, spec: ParallelismSpec) -> Self {
+        self.exec = Exec::new(spec);
+        self
+    }
+
+    /// The effective worker-thread count (1 when sequential).
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
     }
 
     /// Queries with an explicit solver: guess selection identical to the
     /// main algorithm (the packing runs over all of `RV`), then the
     /// sequential solver runs on `RV` directly.
-    pub fn query_with<S: FairCenterSolver<M>>(
-        &self,
-        solver: &S,
-    ) -> Result<Solution<M::Point>, QueryError> {
+    pub fn query_with<S>(&self, solver: &S) -> Result<Solution<M::Point>, QueryError>
+    where
+        S: FairCenterSolver<M> + Sync,
+        M: Sync,
+        M::Point: Send + Sync,
+    {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
-        for g in &self.guesses {
-            if g.av.len() > self.k {
-                continue;
-            }
-            let two_gamma = 2.0 * g.gamma;
-            let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
-            let mut overflow = false;
-            for e in g.rv.values() {
-                if self.metric.dist_to_set(&e.point, packing.iter().copied()) > two_gamma {
-                    packing.push(&e.point);
-                    if packing.len() > self.k {
-                        overflow = true;
-                        break;
+        self.exec
+            .find_map_first(&self.guesses, |g| {
+                if g.av.len() > self.k {
+                    return None;
+                }
+                let two_gamma = 2.0 * g.gamma;
+                let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
+                for e in g.rv.values() {
+                    if self.metric.dist_to_set(&e.point, packing.iter().copied()) > two_gamma {
+                        packing.push(&e.point);
+                        if packing.len() > self.k {
+                            return None;
+                        }
                     }
                 }
-            }
-            if overflow {
-                continue;
-            }
-            let coreset: Vec<Colored<M::Point>> =
-                g.rv.values()
-                    .map(|e| Colored::new(e.point.clone(), e.color))
-                    .collect();
-            let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
-            let sol = solver.solve(&inst)?;
-            return Ok(Solution {
-                centers: sol.centers,
-                guess: g.gamma,
-                coreset_size: coreset.len(),
-                coreset_radius: sol.radius,
-                extras: SolutionExtras::None,
-            });
-        }
-        Err(QueryError::NoValidGuess)
+                let coreset: Vec<Colored<M::Point>> =
+                    g.rv.values()
+                        .map(|e| Colored::new(e.point.clone(), e.color))
+                        .collect();
+                let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
+                Some(
+                    solver
+                        .solve(&inst)
+                        .map_err(QueryError::from)
+                        .map(|sol| Solution {
+                            centers: sol.centers,
+                            guess: g.gamma,
+                            coreset_size: coreset.len(),
+                            coreset_radius: sol.radius,
+                            extras: SolutionExtras::None,
+                        }),
+                )
+            })
+            .unwrap_or(Err(QueryError::NoValidGuess))
     }
 }
 
-impl<M: Metric> SlidingWindowClustering<M> for CompactFairSlidingWindow<M> {
-    /// Handles one arrival.
+impl<M> SlidingWindowClustering<M> for CompactFairSlidingWindow<M>
+where
+    M: Metric + Sync,
+    M::Point: Send + Sync,
+{
+    /// Handles one arrival (fanned out per guess when a pool is set).
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
-        let n = self.cfg.window_size as u64;
-        let te = self.t.checked_sub(n);
-        for g in &mut self.guesses {
+        let t = self.t;
+        let te = t.checked_sub(self.cfg.window_size as u64);
+        let metric = &self.metric;
+        let caps = &self.cfg.capacities;
+        let k = self.k;
+        self.exec.for_each_mut(&mut self.guesses, |g| {
             if let Some(te) = te {
                 g.expire(te);
             }
-            g.update(
-                &self.metric,
-                self.t,
-                &p.point,
-                p.color,
-                &self.cfg.capacities,
-                self.k,
-            );
-        }
+            g.update(metric, t, &p.point, p.color, caps, k);
+        });
+    }
+
+    /// Batch arrivals: each guess replays the whole batch locally (one
+    /// pool dispatch per batch; identical evolution to repeated insert).
+    fn insert_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = Colored<M::Point>>,
+    {
+        let batch: Vec<Colored<M::Point>> = batch.into_iter().collect();
+        let metric = &self.metric;
+        let caps = &self.cfg.capacities;
+        let k = self.k;
+        self.t = self.exec.replay_batch(
+            &mut self.guesses,
+            &batch,
+            self.t,
+            self.cfg.window_size as u64,
+            |g, t, te, p| {
+                if let Some(te) = te {
+                    g.expire(te);
+                }
+                g.update(metric, t, &p.point, p.color, caps, k);
+            },
+        );
     }
 
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {

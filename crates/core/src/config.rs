@@ -208,17 +208,19 @@ impl FairSWConfigBuilder {
 mod tests {
     use super::*;
 
+    // Builder tests return `Result` and propagate with `?` so a failure
+    // reports the actual `ConfigError` instead of an unwrap panic.
     #[test]
-    fn builder_happy_path() {
+    fn builder_happy_path() -> Result<(), ConfigError> {
         let cfg = FairSWConfig::builder()
             .window_size(100)
             .capacities(vec![1, 2])
             .beta(2.0)
             .delta(0.5)
-            .build()
-            .unwrap();
+            .build()?;
         assert_eq!(cfg.k(), 3);
         assert_eq!(cfg.num_colors(), 2);
+        Ok(())
     }
 
     #[test]
@@ -264,19 +266,19 @@ mod tests {
     }
 
     #[test]
-    fn epsilon_builder_sets_delta() {
+    fn epsilon_builder_sets_delta() -> Result<(), ConfigError> {
         let cfg = FairSWConfig::builder()
             .window_size(10)
             .capacities(vec![1])
             .beta(2.0)
             .epsilon(2.1)
-            .build()
-            .unwrap();
+            .build()?;
         assert!((cfg.delta - 0.1).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn epsilon_resolves_against_final_beta_regardless_of_order() {
+    fn epsilon_resolves_against_final_beta_regardless_of_order() -> Result<(), ConfigError> {
         let mk = |first_eps: bool| {
             let b = FairSWConfig::builder().window_size(10).capacities(vec![1]);
             let b = if first_eps {
@@ -284,18 +286,18 @@ mod tests {
             } else {
                 b.beta(2.0).epsilon(2.1)
             };
-            b.build().unwrap()
+            b.build()
         };
-        assert_eq!(mk(true).delta, mk(false).delta);
+        assert_eq!(mk(true)?.delta, mk(false)?.delta);
         // A later explicit delta overrides a pending epsilon.
         let cfg = FairSWConfig::builder()
             .window_size(10)
             .capacities(vec![1])
             .epsilon(2.1)
             .delta(0.7)
-            .build()
-            .unwrap();
+            .build()?;
         assert_eq!(cfg.delta, 0.7);
+        Ok(())
     }
 
     #[test]

@@ -39,6 +39,44 @@
 //!     assert!(!sol.centers.is_empty());
 //! }
 //! ```
+//!
+//! ## Parallel engines and fleets
+//!
+//! Each engine can spread its per-guess work over a worker pool with
+//! [`EngineBuilder::threads`], and a whole fleet can be driven
+//! concurrently over one shared batch with [`run_fleet`] — the
+//! multi-tenant serving shape. Both axes compose, and every answer is
+//! bit-identical to a sequential run (see [`crate::parallel`] for how to
+//! choose a thread count):
+//!
+//! ```
+//! use fairsw_core::{run_fleet, EngineBuilder, SlidingWindowClustering};
+//! use fairsw_metric::{Colored, Euclidean, EuclidPoint};
+//!
+//! // Two tenants: one knows its distance scales, one is oblivious;
+//! // each spreads its guesses over 2 worker threads.
+//! let mut fleet = vec![
+//!     EngineBuilder::new()
+//!         .window_size(100)
+//!         .capacities(vec![2, 2])
+//!         .fixed(0.1, 1e3)
+//!         .threads(2)
+//!         .build(Euclidean)
+//!         .unwrap(),
+//!     EngineBuilder::new()
+//!         .window_size(100)
+//!         .capacities(vec![2, 2])
+//!         .threads(2)
+//!         .build(Euclidean)
+//!         .unwrap(),
+//! ];
+//! let batch: Vec<_> = (0..300u32)
+//!     .map(|i| Colored::new(EuclidPoint::new(vec![(i % 97) as f64]), i % 2))
+//!     .collect();
+//! for sol in run_fleet(&mut fleet, &batch) {
+//!     assert!(!sol.unwrap().centers.is_empty());
+//! }
+//! ```
 
 use crate::algorithm::FairSlidingWindow;
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution};
@@ -46,6 +84,7 @@ use crate::compact::CompactFairSlidingWindow;
 use crate::config::{ConfigError, FairSWConfig, FairSWConfigBuilder};
 use crate::matroid_window::MatroidSlidingWindow;
 use crate::oblivious::ObliviousFairSlidingWindow;
+use crate::parallel::ParallelismSpec;
 use crate::robust::RobustFairSlidingWindow;
 use fairsw_matroid::AnyMatroid;
 use fairsw_metric::{Colored, Metric};
@@ -176,11 +215,79 @@ impl<M: Metric> WindowEngine<M> {
             WindowEngine::Matroid(_) => "matroid",
         }
     }
+
+    /// Spreads the engine's per-guess work over `spec` worker threads.
+    /// Parallel and sequential runs are bit-identical — guesses never
+    /// interact — so this is purely a throughput knob (see
+    /// [`crate::parallel`]).
+    pub fn with_parallelism(self, spec: ParallelismSpec) -> Self {
+        match self {
+            WindowEngine::Fixed(e) => WindowEngine::Fixed(Box::new(e.with_parallelism(spec))),
+            WindowEngine::Oblivious(e) => {
+                WindowEngine::Oblivious(Box::new(e.with_parallelism(spec)))
+            }
+            WindowEngine::Compact(e) => WindowEngine::Compact(Box::new(e.with_parallelism(spec))),
+            WindowEngine::Robust(e) => WindowEngine::Robust(Box::new(e.with_parallelism(spec))),
+            WindowEngine::Matroid(e) => WindowEngine::Matroid(Box::new(e.with_parallelism(spec))),
+        }
+    }
+
+    /// The effective worker-thread count (1 when sequential).
+    pub fn threads(&self) -> usize {
+        dispatch!(self, e => e.threads())
+    }
 }
 
-impl<M: Metric> SlidingWindowClustering<M> for WindowEngine<M> {
+/// Drives a heterogeneous fleet of engines over one shared batch,
+/// concurrently (one scoped thread per engine), then queries each —
+/// the multi-tenant serving shape: many windows, one arrival stream.
+///
+/// Engines may themselves be parallel ([`EngineBuilder::threads`]); the
+/// fleet axis and the per-engine guess axis compose because pool jobs
+/// are leaf closures that never block on other jobs. Results are
+/// returned in engine order and are identical to driving each engine
+/// alone.
+pub fn run_fleet<M>(
+    engines: &mut [WindowEngine<M>],
+    batch: &[Colored<M::Point>],
+) -> Vec<Result<Solution<M::Point>, QueryError>>
+where
+    M: Metric + Send + Sync,
+    M::Point: Send + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = engines
+            .iter_mut()
+            .map(|engine| {
+                scope.spawn(move || {
+                    engine.insert_batch(batch.iter().cloned());
+                    engine.query()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect()
+    })
+}
+
+impl<M> SlidingWindowClustering<M> for WindowEngine<M>
+where
+    M: Metric + Sync,
+    M::Point: Send + Sync,
+{
     fn insert(&mut self, p: Colored<M::Point>) {
         dispatch!(self, e => e.insert(p))
+    }
+
+    fn insert_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = Colored<M::Point>>,
+    {
+        // Forward to the variant's batched path (one pool dispatch per
+        // batch) instead of the trait's insert-by-insert default.
+        dispatch!(self, e => e.insert_batch(batch))
     }
 
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
@@ -219,6 +326,7 @@ impl<M: Metric> SlidingWindowClustering<M> for WindowEngine<M> {
 pub struct EngineBuilder {
     cfg: FairSWConfigBuilder,
     spec: Option<VariantSpec>,
+    par: ParallelismSpec,
 }
 
 impl EngineBuilder {
@@ -267,6 +375,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Spreads per-guess work over `n` worker threads (`0`/`1` =
+    /// sequential). The default consults the `FAIRSW_THREADS`
+    /// environment variable. Parallel and sequential engines produce
+    /// bit-identical answers — this is purely a throughput knob; see the
+    /// module docs for guidance on choosing a count.
+    pub fn threads(self, n: usize) -> Self {
+        self.parallelism(ParallelismSpec::Threads(n))
+    }
+
+    /// Sets the full [`ParallelismSpec`] (explicit, sequential, or
+    /// environment-driven).
+    pub fn parallelism(mut self, spec: ParallelismSpec) -> Self {
+        self.par = spec;
+        self
+    }
+
     /// Shorthand for [`VariantSpec::Fixed`].
     pub fn fixed(self, dmin: f64, dmax: f64) -> Self {
         self.variant(VariantSpec::Fixed { dmin, dmax })
@@ -307,7 +431,7 @@ impl EngineBuilder {
             VariantSpec::Matroid { .. } => self.cfg.build_raw(),
             _ => self.cfg.build()?,
         };
-        WindowEngine::build(cfg, spec, metric)
+        Ok(WindowEngine::build(cfg, spec, metric)?.with_parallelism(self.par))
     }
 }
 

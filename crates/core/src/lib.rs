@@ -56,6 +56,15 @@
 //! (`.fixed(dmin, dmax)`); add `.robust(z, ..)` for outlier tolerance or
 //! `.matroid(..)` for hierarchical constraints — construction is
 //! fallible ([`ConfigError`]), never panicking on bad parameters.
+//!
+//! Per-guess state is independent across guesses, so
+//! `EngineBuilder::threads(n)` spreads inserts and queries over `n`
+//! worker threads with **bit-identical** answers — a pure throughput
+//! knob. Prefer `insert_batch` when parallel (one pool dispatch per
+//! batch), keep `n` at or below the materialized guess count, and see
+//! the [`parallel`] module (and the README's "Choosing a thread count")
+//! for the full guidance; [`run_fleet`] drives heterogeneous engine
+//! fleets concurrently for multi-tenant serving.
 
 pub mod algorithm;
 pub mod api;
@@ -65,6 +74,7 @@ pub mod engine;
 pub mod guess;
 pub mod matroid_window;
 pub mod oblivious;
+pub mod parallel;
 pub mod robust;
 pub mod snapshot;
 
@@ -74,8 +84,9 @@ pub use api::{
 };
 pub use compact::CompactFairSlidingWindow;
 pub use config::{validate_scale, ConfigError, FairSWConfig, FairSWConfigBuilder};
-pub use engine::{EngineBuilder, VariantSpec, WindowEngine};
+pub use engine::{run_fleet, EngineBuilder, VariantSpec, WindowEngine};
 pub use matroid_window::MatroidSlidingWindow;
 pub use oblivious::ObliviousFairSlidingWindow;
+pub use parallel::{ParallelismSpec, WorkerPool};
 pub use robust::RobustFairSlidingWindow;
 pub use snapshot::{PointCodec, SnapshotError};

@@ -27,6 +27,7 @@
 
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError};
+use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_matroid::{Matroid, OverColors};
 use fairsw_metric::{Colored, Metric};
 use fairsw_sequential::{matroid_center, MatroidInstance};
@@ -297,6 +298,7 @@ pub struct MatroidSlidingWindow<M: Metric, Mat: Matroid<u32>> {
     k: usize,
     guesses: Vec<MatroidGuess<M>>,
     t: u64,
+    exec: Exec,
 }
 
 impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
@@ -337,6 +339,7 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
             k,
             guesses,
             t: 0,
+            exec: Exec::default(),
         })
     }
 
@@ -344,28 +347,65 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
     pub fn rank(&self) -> usize {
         self.k
     }
+
+    /// Spreads per-guess work over `spec` worker threads (bit-identical
+    /// to sequential execution; see [`crate::parallel`]).
+    pub fn with_parallelism(mut self, spec: ParallelismSpec) -> Self {
+        self.exec = Exec::new(spec);
+        self
+    }
+
+    /// The effective worker-thread count (1 when sequential).
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
 }
 
-impl<M: Metric, Mat: Matroid<u32>> SlidingWindowClustering<M> for MatroidSlidingWindow<M, Mat> {
-    /// Handles one arrival.
+impl<M, Mat> SlidingWindowClustering<M> for MatroidSlidingWindow<M, Mat>
+where
+    M: Metric + Sync,
+    M::Point: Send + Sync,
+    Mat: Matroid<u32> + Sync,
+{
+    /// Handles one arrival (fanned out per guess when a pool is set; the
+    /// matroid oracle is shared read-only across workers).
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
-        let n = self.window_size as u64;
-        let te = self.t.checked_sub(n);
-        for g in &mut self.guesses {
+        let t = self.t;
+        let te = t.checked_sub(self.window_size as u64);
+        let metric = &self.metric;
+        let matroid = &self.matroid;
+        let (k, delta) = (self.k, self.delta);
+        self.exec.for_each_mut(&mut self.guesses, |g| {
             if let Some(te) = te {
                 g.expire(te);
             }
-            g.update(
-                &self.metric,
-                self.t,
-                &p.point,
-                p.color,
-                &self.matroid,
-                self.k,
-                self.delta,
-            );
-        }
+            g.update(metric, t, &p.point, p.color, matroid, k, delta);
+        });
+    }
+
+    /// Batch arrivals: each guess replays the whole batch locally (one
+    /// pool dispatch per batch; identical evolution to repeated insert).
+    fn insert_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = Colored<M::Point>>,
+    {
+        let batch: Vec<Colored<M::Point>> = batch.into_iter().collect();
+        let metric = &self.metric;
+        let matroid = &self.matroid;
+        let (k, delta) = (self.k, self.delta);
+        self.t = self.exec.replay_batch(
+            &mut self.guesses,
+            &batch,
+            self.t,
+            self.window_size as u64,
+            |g, t, te, p| {
+                if let Some(te) = te {
+                    g.expire(te);
+                }
+                g.update(metric, t, &p.point, p.color, matroid, k, delta);
+            },
+        );
     }
 
     /// Queries: validation packing as in Algorithm 3 (`k = rank`), then
@@ -374,48 +414,49 @@ impl<M: Metric, Mat: Matroid<u32>> SlidingWindowClustering<M> for MatroidSliding
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
-        for g in &self.guesses {
-            if g.av.len() > self.k {
-                continue;
-            }
-            let two_gamma = 2.0 * g.gamma;
-            let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
-            let mut overflow = false;
-            for q in g.rv.values() {
-                if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
-                    packing.push(q);
-                    if packing.len() > self.k {
-                        overflow = true;
-                        break;
+        self.exec
+            .find_map_first(&self.guesses, |g| {
+                if g.av.len() > self.k {
+                    return None;
+                }
+                let two_gamma = 2.0 * g.gamma;
+                let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
+                for q in g.rv.values() {
+                    if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
+                        packing.push(q);
+                        if packing.len() > self.k {
+                            return None;
+                        }
                     }
                 }
-            }
-            if overflow {
-                continue;
-            }
-            let points: Vec<M::Point> = g.r.values().map(|(p, _, _)| p.clone()).collect();
-            let colors: Vec<u32> = g.r.values().map(|(_, c, _)| *c).collect();
-            let idx_matroid = OverColors::new(&colors, &self.matroid);
-            let inst = MatroidInstance {
-                metric: &self.metric,
-                points: &points,
-                matroid: &idx_matroid,
-            };
-            let sol = matroid_center(&inst).map_err(QueryError::Solver)?;
-            let centers = sol
-                .centers
-                .iter()
-                .map(|&i| Colored::new(points[i].clone(), colors[i]))
-                .collect();
-            return Ok(Solution {
-                centers,
-                guess: g.gamma,
-                coreset_size: points.len(),
-                coreset_radius: sol.radius,
-                extras: SolutionExtras::None,
-            });
-        }
-        Err(QueryError::NoValidGuess)
+                let points: Vec<M::Point> = g.r.values().map(|(p, _, _)| p.clone()).collect();
+                let colors: Vec<u32> = g.r.values().map(|(_, c, _)| *c).collect();
+                let idx_matroid = OverColors::new(&colors, &self.matroid);
+                let inst = MatroidInstance {
+                    metric: &self.metric,
+                    points: &points,
+                    matroid: &idx_matroid,
+                };
+                Some(
+                    matroid_center(&inst)
+                        .map_err(QueryError::Solver)
+                        .map(|sol| {
+                            let centers = sol
+                                .centers
+                                .iter()
+                                .map(|&i| Colored::new(points[i].clone(), colors[i]))
+                                .collect();
+                            Solution {
+                                centers,
+                                guess: g.gamma,
+                                coreset_size: points.len(),
+                                coreset_radius: sol.radius,
+                                extras: SolutionExtras::None,
+                            }
+                        }),
+                )
+            })
+            .unwrap_or(Err(QueryError::NoValidGuess))
     }
 
     fn time(&self) -> u64 {

@@ -33,6 +33,7 @@ use crate::algorithm::query_over_guesses;
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
+use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_metric::{Colored, Metric};
 use fairsw_sequential::{FairCenterSolver, Jones};
 use fairsw_stream::{DiameterEstimator, Lattice, WindowedMinLattice};
@@ -62,6 +63,7 @@ pub struct ObliviousFairSlidingWindow<M: Metric> {
     last: Option<Colored<M::Point>>,
     prev_point: Option<M::Point>,
     t: u64,
+    exec: Exec,
 }
 
 /// How many levels to keep below the invalidity frontier.
@@ -91,7 +93,23 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
             last: None,
             prev_point: None,
             t: 0,
+            exec: Exec::default(),
         })
+    }
+
+    /// Spreads per-guess work over `spec` worker threads. Guess
+    /// materialization and retirement (the range adjustment) stay on the
+    /// calling thread — they mutate the guess *set* — so the pool only
+    /// ever sees a frozen set of independent per-guess states, which is
+    /// what keeps parallel runs bit-identical to sequential ones.
+    pub fn with_parallelism(mut self, spec: ParallelismSpec) -> Self {
+        self.exec = Exec::new(spec);
+        self
+    }
+
+    /// The effective worker-thread count (1 when sequential).
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
     }
 
     /// Materializes / drops levels according to the current estimates.
@@ -177,23 +195,33 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
     /// Prefers mature guesses; falls back to immature ones, then to the
     /// newest point (degenerate windows where no scale information
     /// exists). The returned solution's `extras` records which path won.
-    pub fn query_with<S: FairCenterSolver<M>>(
-        &self,
-        solver: &S,
-    ) -> Result<Solution<M::Point>, QueryError> {
+    pub fn query_with<S>(&self, solver: &S) -> Result<Solution<M::Point>, QueryError>
+    where
+        S: FairCenterSolver<M> + Sync,
+        M: Sync,
+        M::Point: Send + Sync,
+    {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
         let n = self.cfg.window_size as u64;
-        let mature = |g: &&BornGuess<M>| g.born == 1 || g.born + n - 1 <= self.t;
+        let mature = |g: &BornGuess<M>| g.born == 1 || g.born + n - 1 <= self.t;
+        let all: Vec<(&GuessState<M>, bool)> = self
+            .guesses
+            .values()
+            .map(|g| (&g.state, mature(g)))
+            .collect();
 
         let attempt = |only_mature: bool| {
+            let scan: Vec<(&GuessState<M>, bool)> = all
+                .iter()
+                .copied()
+                .filter(|&(_, m)| m || !only_mature)
+                .collect();
             query_over_guesses(
+                &self.exec,
                 &self.metric,
-                self.guesses
-                    .values()
-                    .filter(|g| !only_mature || mature(g))
-                    .map(|g| (&g.state, mature(&g))),
+                &scan,
                 self.k,
                 &self.cfg.capacities,
                 solver,
@@ -244,9 +272,14 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
     }
 }
 
-impl<M: Metric> SlidingWindowClustering<M> for ObliviousFairSlidingWindow<M> {
-    /// Handles one arrival: scale estimation, guess-range maintenance,
-    /// then Update on every materialized guess.
+impl<M> SlidingWindowClustering<M> for ObliviousFairSlidingWindow<M>
+where
+    M: Metric + Sync,
+    M::Point: Send + Sync,
+{
+    /// Handles one arrival: scale estimation, guess-range maintenance
+    /// (pool-oblivious: it mutates the guess *set* on the calling
+    /// thread), then Update fanned out over every materialized guess.
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
         let t = self.t;
@@ -266,21 +299,24 @@ impl<M: Metric> SlidingWindowClustering<M> for ObliviousFairSlidingWindow<M> {
 
         self.adjust_range();
 
-        for g in self.guesses.values_mut() {
+        let metric = &self.metric;
+        let budgets = Budgets {
+            caps: &self.cfg.capacities,
+            k: self.k,
+            delta: self.cfg.delta,
+        };
+        let update = |g: &mut BornGuess<M>| {
             if let Some(te) = te {
                 g.state.expire(te);
             }
-            g.state.update(
-                &self.metric,
-                t,
-                &p.point,
-                p.color,
-                Budgets {
-                    caps: &self.cfg.capacities,
-                    k: self.k,
-                    delta: self.cfg.delta,
-                },
-            );
+            g.state.update(metric, t, &p.point, p.color, budgets);
+        };
+        if self.exec.is_sequential() {
+            // Hot path: iterate the map directly, no per-arrival Vec.
+            self.guesses.values_mut().for_each(update);
+        } else {
+            let mut live: Vec<&mut BornGuess<M>> = self.guesses.values_mut().collect();
+            self.exec.for_each_mut(&mut live, |g| update(g));
         }
     }
 

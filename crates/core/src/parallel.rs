@@ -1,0 +1,489 @@
+//! Parallel execution of per-guess work.
+//!
+//! Every sliding-window variant maintains one independent state per
+//! radius guess, and `Update`/`Query` touch each guess without ever
+//! reading another — the guess axis is embarrassingly parallel. This
+//! module supplies the machinery that exploits it:
+//!
+//! * [`ParallelismSpec`] — how many worker threads an algorithm should
+//!   use (explicit, sequential, or taken from the `FAIRSW_THREADS`
+//!   environment variable);
+//! * [`WorkerPool`] — a persistent `std::thread` pool (the registry is
+//!   offline, so no rayon/crossbeam; the pool is ~150 lines of std) with
+//!   a scoped-dispatch primitive that lets jobs borrow the caller's
+//!   stack;
+//! * [`Exec`] — the per-algorithm handle: either inline sequential
+//!   execution or a shared pool, with the two access patterns the
+//!   variants need (`for_each_mut` over mutable per-guess state,
+//!   `find_map_first` for the ascending-γ query scan).
+//!
+//! ## Determinism
+//!
+//! Parallel execution is *bit-identical* to sequential execution, by
+//! construction:
+//!
+//! * inserts shard the guess list; each guess's state evolves exactly as
+//!   it would sequentially because no guess reads another's state;
+//! * queries shard the ascending-γ scan into contiguous chunks; each
+//!   shard reports the outcome of its first qualifying guess, and the
+//!   merge takes the earliest shard's answer — the same guess the
+//!   sequential scan would have selected (higher shards do some
+//!   throwaway solver work, but the *answer* cannot differ).
+//!
+//! `tests/parallel_equivalence.rs` enforces this end to end for all five
+//! variants: identical `Solution`s and identical `MemoryStats` at any
+//! thread count.
+//!
+//! ## Thread-safety bounds
+//!
+//! Fanning work out requires the metric to be shareable (`M: Sync`) and
+//! points to cross threads (`M::Point: Send + Sync`). Every metric in
+//! the workspace is a plain value type satisfying both; the bounds
+//! surface on the `SlidingWindowClustering` impls rather than the trait,
+//! so exotic single-threaded metrics can still implement the trait for
+//! their own types.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How many threads an algorithm should spread its per-guess work over.
+///
+/// `Threads(0)` and `Threads(1)` both mean sequential execution; the
+/// default `Auto` consults the `FAIRSW_THREADS` environment variable
+/// (sequential when unset or unparsable), which is how the CI matrix
+/// drives the whole test suite through the parallel path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelismSpec {
+    /// Read `FAIRSW_THREADS` from the environment; sequential if unset.
+    #[default]
+    Auto,
+    /// Plain single-threaded execution (no pool is created).
+    Sequential,
+    /// A fixed worker count (`0` and `1` degrade to sequential).
+    Threads(usize),
+}
+
+impl ParallelismSpec {
+    /// The effective worker count: `<= 1` means sequential.
+    pub fn resolve(self) -> usize {
+        match self {
+            ParallelismSpec::Auto => std::env::var("FAIRSW_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(1),
+            ParallelismSpec::Sequential => 1,
+            ParallelismSpec::Threads(n) => n,
+        }
+    }
+}
+
+/// A job dispatched to the pool. Lifetime-erased: [`WorkerPool::scope`]
+/// guarantees every job finishes before it returns, which is what makes
+/// handing out `'env` borrows sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool over plain `std::thread`s.
+///
+/// Workers live as long as the pool; each [`scope`](WorkerPool::scope)
+/// call distributes a batch of jobs round-robin and blocks until all of
+/// them finish, so jobs may borrow from the caller's stack frame.
+/// Cloning the owning [`Exec`] shares the pool (it is stateless between
+/// scope calls); concurrent `scope` calls from different threads are
+/// safe because each call tracks completions on its own channel.
+pub struct WorkerPool {
+    senders: Vec<Sender<(Job, Sender<std::thread::Result<()>>)>>,
+    next: AtomicUsize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (`threads >= 2`; smaller counts should
+    /// not construct a pool at all — see [`Exec::new`]).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a pool below 2 threads is pure overhead");
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = channel::<(Job, Sender<std::thread::Result<()>>)>();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                while let Ok((job, done)) = rx.recv() {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    // A receiver that hung up already observed a panic;
+                    // nothing useful to do with the send error.
+                    let _ = done.send(result);
+                }
+            }));
+        }
+        WorkerPool {
+            senders,
+            next: AtomicUsize::new(0),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Runs `jobs` on the workers and blocks until every one of them has
+    /// finished. Panics from jobs are re-raised here (after all jobs
+    /// completed, so borrows stay valid during unwinding).
+    pub fn scope<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let njobs = jobs.len();
+        if njobs == 0 {
+            return;
+        }
+        let (done_tx, done_rx) = channel::<std::thread::Result<()>>();
+        for job in jobs {
+            // SAFETY: the job only borrows data outliving this call; we
+            // receive exactly `njobs` completions below before returning
+            // (workers always answer — the job body runs under
+            // catch_unwind), so no borrow escapes the scope.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            let i = self.next.fetch_add(1, Ordering::Relaxed) % self.senders.len();
+            if let Err(failed) = self.senders[i].send((job, done_tx.clone())) {
+                // Worker gone (only possible mid-teardown): run inline so
+                // the completion count still balances.
+                let (job, done) = failed.0;
+                let _ = done.send(catch_unwind(AssertUnwindSafe(job)));
+            }
+        }
+        drop(done_tx);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..njobs {
+            match done_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(payload)) => {
+                    first_panic.get_or_insert(payload);
+                }
+                // Losing a completion would mean a job may still be
+                // running with borrows into our frame: returning (or
+                // unwinding) would be unsound, and by construction the
+                // workers cannot drop a completion sender without
+                // answering. Abort rather than risk UB.
+                Err(_) => std::process::abort(),
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // hang up: workers drain and exit
+        if let Ok(mut handles) = self.handles.lock() {
+            for h in handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+/// The execution strategy carried by each sliding-window algorithm:
+/// inline sequential processing, or fan-out over a shared [`WorkerPool`].
+///
+/// Clones share the pool, so a cloned algorithm keeps its parallelism
+/// without spawning new threads.
+#[derive(Clone, Default)]
+pub(crate) enum Exec {
+    /// Inline execution on the calling thread.
+    #[default]
+    Seq,
+    /// Fan out over the pool.
+    Pool(Arc<WorkerPool>),
+}
+
+/// Hard ceiling on pool size: thread counts beyond this cannot help (a
+/// lattice rarely materializes even dozens of guesses) and unchecked
+/// values from `--threads`/`FAIRSW_THREADS` must not exhaust OS threads.
+pub(crate) const MAX_POOL_THREADS: usize = 256;
+
+impl Exec {
+    /// Builds the strategy a spec describes (`<= 1` thread → no pool;
+    /// counts are clamped to [`MAX_POOL_THREADS`]).
+    pub(crate) fn new(spec: ParallelismSpec) -> Self {
+        match spec.resolve().min(MAX_POOL_THREADS) {
+            0 | 1 => Exec::Seq,
+            n => Exec::Pool(Arc::new(WorkerPool::new(n))),
+        }
+    }
+
+    /// The effective worker count (1 when sequential).
+    pub(crate) fn threads(&self) -> usize {
+        match self {
+            Exec::Seq => 1,
+            Exec::Pool(p) => p.threads(),
+        }
+    }
+
+    /// Whether work runs inline on the calling thread.
+    pub(crate) fn is_sequential(&self) -> bool {
+        matches!(self, Exec::Seq)
+    }
+
+    /// Replays one batch over every item: item `g` sees arrival `j` of
+    /// the batch at time `t0 + 1 + j` with the expiry threshold for a
+    /// window of length `window`. Returns the post-batch clock. One pool
+    /// dispatch per batch — the shared scaffolding behind every
+    /// variant's `insert_batch` override.
+    pub(crate) fn replay_batch<T, P, F>(
+        &self,
+        items: &mut [T],
+        batch: &[P],
+        t0: u64,
+        window: u64,
+        f: F,
+    ) -> u64
+    where
+        T: Send,
+        P: Sync,
+        F: Fn(&mut T, u64, Option<u64>, &P) + Sync,
+    {
+        self.for_each_mut(items, |g| {
+            for (j, p) in batch.iter().enumerate() {
+                let t = t0 + 1 + j as u64;
+                f(g, t, t.checked_sub(window), p);
+            }
+        });
+        t0 + batch.len() as u64
+    }
+
+    /// Applies `f` to every item, sharding contiguously across the pool.
+    ///
+    /// Items are mutated independently (one worker per chunk), so the
+    /// result is identical to the sequential loop for any thread count.
+    pub(crate) fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        match self {
+            Exec::Seq => items.iter_mut().for_each(f),
+            Exec::Pool(pool) => {
+                if items.len() <= 1 {
+                    items.iter_mut().for_each(f);
+                    return;
+                }
+                let chunk = items.len().div_ceil(pool.threads());
+                let f = &f;
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                    .chunks_mut(chunk)
+                    .map(|c| Box::new(move || c.iter_mut().for_each(f)) as _)
+                    .collect();
+                pool.scope(jobs);
+            }
+        }
+    }
+
+    /// Returns `f`'s first `Some` over `items` *in item order* — the
+    /// parallel equivalent of `items.iter().find_map(f)`.
+    ///
+    /// Shards are contiguous chunks scanned independently; the merge
+    /// takes the earliest shard's hit, so the selected item is exactly
+    /// the one the sequential scan would pick. Later shards may evaluate
+    /// `f` on items a sequential scan would never reach — wasted work,
+    /// never a different answer: each shard stops at its first hit *or
+    /// panic*, and the merge replays only the earliest outcome, so a
+    /// panic past the sequential winner is swallowed exactly like the
+    /// sequential scan never reaching that item, while a panic *before*
+    /// it propagates just as it would sequentially.
+    pub(crate) fn find_map_first<T, R, F>(&self, items: &[T], f: F) -> Option<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Option<R> + Sync,
+    {
+        enum Outcome<R> {
+            Hit(R),
+            Panicked(Box<dyn std::any::Any + Send>),
+        }
+        match self {
+            Exec::Seq => items.iter().find_map(f),
+            Exec::Pool(pool) => {
+                if items.len() <= 1 {
+                    return items.iter().find_map(f);
+                }
+                let chunk = items.len().div_ceil(pool.threads());
+                let nshards = items.len().div_ceil(chunk);
+                let mut outcomes: Vec<Option<Outcome<R>>> = (0..nshards).map(|_| None).collect();
+                let f = &f;
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                    .chunks(chunk)
+                    .zip(outcomes.iter_mut())
+                    .map(|(c, slot)| {
+                        Box::new(move || {
+                            for item in c {
+                                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                                    Ok(None) => continue,
+                                    Ok(Some(r)) => *slot = Some(Outcome::Hit(r)),
+                                    Err(payload) => *slot = Some(Outcome::Panicked(payload)),
+                                }
+                                break;
+                            }
+                        }) as _
+                    })
+                    .collect();
+                pool.scope(jobs);
+                match outcomes.into_iter().flatten().next() {
+                    Some(Outcome::Hit(r)) => Some(r),
+                    Some(Outcome::Panicked(payload)) => resume_unwind(payload),
+                    None => None,
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Exec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exec::Seq => write!(f, "Sequential"),
+            Exec::Pool(p) => write!(f, "Pool({} threads)", p.threads()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_resolution() {
+        assert_eq!(ParallelismSpec::Sequential.resolve(), 1);
+        assert_eq!(ParallelismSpec::Threads(0).resolve(), 0);
+        assert_eq!(ParallelismSpec::Threads(4).resolve(), 4);
+    }
+
+    #[test]
+    fn auto_spec_reads_the_environment() {
+        // Mutating FAIRSW_THREADS can race concurrently-running tests
+        // that build Auto engines, but only their *thread count* — never
+        // their answers (the equivalence guarantee) — so the brief
+        // window is harmless; the prior value is restored either way.
+        let saved = std::env::var("FAIRSW_THREADS").ok();
+        std::env::set_var("FAIRSW_THREADS", "3");
+        assert_eq!(ParallelismSpec::Auto.resolve(), 3);
+        std::env::set_var("FAIRSW_THREADS", "not-a-number");
+        assert_eq!(
+            ParallelismSpec::Auto.resolve(),
+            1,
+            "unparsable → sequential"
+        );
+        match saved {
+            Some(v) => std::env::set_var("FAIRSW_THREADS", v),
+            None => std::env::remove_var("FAIRSW_THREADS"),
+        }
+    }
+
+    #[test]
+    fn exec_small_counts_stay_sequential_and_huge_counts_clamp() {
+        assert!(matches!(Exec::new(ParallelismSpec::Threads(0)), Exec::Seq));
+        assert!(matches!(Exec::new(ParallelismSpec::Threads(1)), Exec::Seq));
+        assert!(matches!(
+            Exec::new(ParallelismSpec::Threads(3)),
+            Exec::Pool(_)
+        ));
+        // An absurd request must not try to spawn that many OS threads.
+        let huge = Exec::new(ParallelismSpec::Threads(usize::MAX));
+        assert_eq!(huge.threads(), MAX_POOL_THREADS);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        for exec in [Exec::Seq, Exec::new(ParallelismSpec::Threads(4))] {
+            let mut items: Vec<u64> = (0..101).collect();
+            exec.for_each_mut(&mut items, |x| *x += 1000);
+            assert!(
+                items.iter().enumerate().all(|(i, &x)| x == i as u64 + 1000),
+                "{exec:?} missed or repeated items"
+            );
+        }
+    }
+
+    #[test]
+    fn find_map_first_matches_sequential_scan() {
+        let items: Vec<u64> = (0..57).collect();
+        let pool = Exec::new(ParallelismSpec::Threads(4));
+        for needle in [0u64, 1, 13, 29, 41, 56] {
+            let f = |&x: &u64| (x >= needle).then_some(x);
+            assert_eq!(items.iter().find_map(f), pool.find_map_first(&items, f));
+        }
+        let miss = |&x: &u64| (x > 1_000).then_some(x);
+        assert_eq!(pool.find_map_first(&items, miss), None);
+    }
+
+    #[test]
+    fn find_map_first_panic_semantics_match_sequential_scan() {
+        let items: Vec<u64> = (0..40).collect();
+        let pool = Exec::new(ParallelismSpec::Threads(4));
+        // Winner at index 3; index 30 would panic but lies beyond the
+        // sequential scan's reach, so the parallel scan must swallow it.
+        let f = |&x: &u64| -> Option<u64> {
+            assert!(x != 30, "unreachable item evaluated to completion");
+            (x == 3).then_some(x)
+        };
+        assert_eq!(pool.find_map_first(&items, f), Some(3));
+        // A panic *before* the winner propagates, exactly as it would
+        // from the sequential scan.
+        let g = |&x: &u64| -> Option<u64> {
+            assert!(x != 2, "boom before the winner");
+            (x == 3).then_some(x)
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| pool.find_map_first(&items, g)));
+        assert!(caught.is_err(), "pre-winner panic must propagate");
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_to_jobs() {
+        // The lifetime-erased scope must let jobs read stack data.
+        let pool = WorkerPool::new(3);
+        let input: Vec<u64> = (0..40).collect();
+        let mut partials = [0u64; 4];
+        {
+            let chunks = input.chunks(10).zip(partials.iter_mut());
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .map(|(c, slot)| Box::new(move || *slot = c.iter().sum()) as _)
+                .collect();
+            pool.scope(jobs);
+        }
+        assert_eq!(partials.iter().sum::<u64>(), (0..40).sum());
+    }
+
+    #[test]
+    fn panics_propagate_after_all_jobs_finish() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("job {i} exploded");
+                        }
+                    }) as _
+                })
+                .collect();
+            pool.scope(jobs);
+        }));
+        assert!(caught.is_err(), "panic swallowed");
+        // The pool must still be usable afterwards.
+        let mut items = [1u64, 2, 3];
+        Exec::Pool(Arc::new(pool)).for_each_mut(&mut items, |x| *x *= 2);
+        assert_eq!(items, [2, 4, 6]);
+    }
+}

@@ -30,6 +30,7 @@
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
+use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_metric::{Colored, Metric};
 use fairsw_sequential::{Instance, RobustFair};
 use fairsw_stream::Lattice;
@@ -47,6 +48,7 @@ pub struct RobustFairSlidingWindow<M: Metric> {
     inflated_caps: Vec<usize>,
     guesses: Vec<GuessState<M>>,
     t: u64,
+    exec: Exec,
 }
 
 impl<M: Metric> RobustFairSlidingWindow<M> {
@@ -76,6 +78,7 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
             inflated_caps,
             guesses,
             t: 0,
+            exec: Exec::default(),
         })
     }
 
@@ -83,32 +86,71 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
     pub fn outlier_budget(&self) -> usize {
         self.z
     }
+
+    /// Spreads per-guess work over `spec` worker threads (bit-identical
+    /// to sequential execution; see [`crate::parallel`]).
+    pub fn with_parallelism(mut self, spec: ParallelismSpec) -> Self {
+        self.exec = Exec::new(spec);
+        self
+    }
+
+    /// The effective worker-thread count (1 when sequential).
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
 }
 
-impl<M: Metric> SlidingWindowClustering<M> for RobustFairSlidingWindow<M> {
-    /// Handles one arrival (Update with the robustified budgets).
+impl<M> SlidingWindowClustering<M> for RobustFairSlidingWindow<M>
+where
+    M: Metric + Sync,
+    M::Point: Send + Sync,
+{
+    /// Handles one arrival (Update with the robustified budgets, fanned
+    /// out per guess when a pool is set).
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
-        let n = self.cfg.window_size as u64;
-        let te = self.t.checked_sub(n);
+        let t = self.t;
+        let te = t.checked_sub(self.cfg.window_size as u64);
         // Validation structures certify the *robust* optimum: cap k+z.
-        let k_eff = self.k + self.z;
-        for g in &mut self.guesses {
+        let metric = &self.metric;
+        let budgets = Budgets {
+            caps: &self.inflated_caps,
+            k: self.k + self.z,
+            delta: self.cfg.delta,
+        };
+        self.exec.for_each_mut(&mut self.guesses, |g| {
             if let Some(te) = te {
                 g.expire(te);
             }
-            g.update(
-                &self.metric,
-                self.t,
-                &p.point,
-                p.color,
-                Budgets {
-                    caps: &self.inflated_caps,
-                    k: k_eff,
-                    delta: self.cfg.delta,
-                },
-            );
-        }
+            g.update(metric, t, &p.point, p.color, budgets);
+        });
+    }
+
+    /// Batch arrivals: each guess replays the whole batch locally (one
+    /// pool dispatch per batch; identical evolution to repeated insert).
+    fn insert_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = Colored<M::Point>>,
+    {
+        let batch: Vec<Colored<M::Point>> = batch.into_iter().collect();
+        let metric = &self.metric;
+        let budgets = Budgets {
+            caps: &self.inflated_caps,
+            k: self.k + self.z,
+            delta: self.cfg.delta,
+        };
+        self.t = self.exec.replay_batch(
+            &mut self.guesses,
+            &batch,
+            self.t,
+            self.cfg.window_size as u64,
+            |g, t, te, p| {
+                if let Some(te) = te {
+                    g.expire(te);
+                }
+                g.update(metric, t, &p.point, p.color, budgets);
+            },
+        );
     }
 
     /// Queries: guess selection with the `k+z` packing threshold, then
@@ -120,38 +162,41 @@ impl<M: Metric> SlidingWindowClustering<M> for RobustFairSlidingWindow<M> {
         }
         let k_eff = self.k + self.z;
         let solver = RobustFair::new(self.z);
-        for g in &self.guesses {
-            if g.av_len() > k_eff {
-                continue;
-            }
-            let two_gamma = 2.0 * g.gamma();
-            let mut packing: Vec<&M::Point> = Vec::with_capacity(k_eff + 1);
-            let mut overflow = false;
-            for q in g.rv_points() {
-                if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
-                    packing.push(q);
-                    if packing.len() > k_eff {
-                        overflow = true;
-                        break;
+        self.exec
+            .find_map_first(&self.guesses, |g| {
+                if g.av_len() > k_eff {
+                    return None;
+                }
+                let two_gamma = 2.0 * g.gamma();
+                let mut packing: Vec<&M::Point> = Vec::with_capacity(k_eff + 1);
+                for q in g.rv_points() {
+                    if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
+                        packing.push(q);
+                        if packing.len() > k_eff {
+                            return None;
+                        }
                     }
                 }
-            }
-            if overflow {
-                continue;
-            }
-            let coreset = g.coreset();
-            let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
-            let sol = solver.solve_robust(&inst).map_err(QueryError::Solver)?;
-            let outliers = sol.outliers.iter().map(|&i| coreset[i].clone()).collect();
-            return Ok(Solution {
-                centers: sol.centers,
-                guess: g.gamma(),
-                coreset_size: coreset.len(),
-                coreset_radius: sol.radius,
-                extras: SolutionExtras::Robust { outliers },
-            });
-        }
-        Err(QueryError::NoValidGuess)
+                let coreset = g.coreset();
+                let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
+                Some(
+                    solver
+                        .solve_robust(&inst)
+                        .map_err(QueryError::Solver)
+                        .map(|sol| {
+                            let outliers =
+                                sol.outliers.iter().map(|&i| coreset[i].clone()).collect();
+                            Solution {
+                                centers: sol.centers,
+                                guess: g.gamma(),
+                                coreset_size: coreset.len(),
+                                coreset_radius: sol.radius,
+                                extras: SolutionExtras::Robust { outliers },
+                            }
+                        }),
+                )
+            })
+            .unwrap_or(Err(QueryError::NoValidGuess))
     }
 
     fn time(&self) -> u64 {

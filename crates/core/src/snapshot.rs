@@ -11,16 +11,18 @@
 //! use fairsw_core::{FairSWConfig, FairSlidingWindow, SlidingWindowClustering};
 //! use fairsw_metric::{Colored, Euclidean, EuclidPoint};
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cfg = FairSWConfig::builder()
 //!     .window_size(50)
 //!     .capacities(vec![1, 1])
-//!     .build()
-//!     .unwrap();
-//! let mut sw = FairSlidingWindow::new(cfg, Euclidean, 0.1, 100.0).unwrap();
+//!     .build()?;
+//! let mut sw = FairSlidingWindow::new(cfg, Euclidean, 0.1, 100.0)?;
 //! sw.insert(Colored::new(EuclidPoint::new(vec![1.0]), 0));
 //! let bytes = sw.snapshot();
-//! let restored = FairSlidingWindow::restore(Euclidean, &bytes).unwrap();
+//! let restored = FairSlidingWindow::restore(Euclidean, &bytes)?;
 //! assert_eq!(restored.time(), sw.time());
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! The format is little-endian, length-prefixed throughout, and carries
@@ -324,6 +326,9 @@ where
         }
         let k = cfg.k();
         let lattice = Lattice::new(cfg.beta);
+        // Parallelism is an execution property, not state: a restored
+        // window starts sequential; re-apply `with_parallelism` to
+        // restore a pool.
         Ok(FairSlidingWindow {
             metric,
             cfg,
@@ -331,6 +336,7 @@ where
             lattice,
             guesses,
             t,
+            exec: crate::parallel::Exec::default(),
         })
     }
 }

@@ -68,4 +68,46 @@ fn main() {
         "\nDone. Note the stored-point count stayed flat while 4 windows' \
          worth of data streamed past — that is the paper's headline property."
     );
+
+    // Parallel bonus round: the same engine with its per-guess work
+    // spread over 2 worker threads (`.threads(2)` on the builder, or the
+    // FAIRSW_THREADS env var). Answers are bit-identical at any thread
+    // count — see README "Choosing a thread count" — and run_fleet
+    // drives many windows concurrently for multi-tenant serving.
+    let mut fleet = vec![
+        EngineBuilder::new()
+            .window_size(5_000)
+            .capacities(vec![2, 2])
+            .fixed(0.01, 400.0)
+            .threads(2)
+            .build(Euclidean)
+            .expect("valid configuration"),
+        EngineBuilder::new()
+            .window_size(1_000) // a second tenant with a shorter memory
+            .capacities(vec![1, 1])
+            .threads(2)
+            .build(Euclidean)
+            .expect("valid configuration"),
+    ];
+    let batch: Vec<_> = (0..6_000u64)
+        .map(|i| {
+            let color = (i % 2) as u32;
+            let x = if color == 0 { 0.0 } else { 100.0 };
+            Colored::new(
+                EuclidPoint::new(vec![x + (i as f64 * 0.618).fract() * 3.0, 0.0]),
+                color,
+            )
+        })
+        .collect();
+    let results = run_fleet(&mut fleet, &batch);
+    for (engine, result) in fleet.iter().zip(results) {
+        let sol = result.expect("fleet windows are non-empty");
+        println!(
+            "fleet tenant (window {:>5}, {} threads): {} centers at guess {:.3}",
+            engine.window_size(),
+            engine.threads(),
+            sol.centers.len(),
+            sol.guess,
+        );
+    }
 }

@@ -19,6 +19,9 @@
 //!   --oblivious         estimate distance scales on the fly
 //!   --compact           Corollary 2 variant (dimension-free space)
 //!   --robust Z          tolerate Z outliers per window
+//!   --threads N         spread per-guess work over N worker threads
+//!                       (default: FAIRSW_THREADS env var, else 1);
+//!                       answers are bit-identical at any thread count
 //!   --quiet             suppress per-center output
 //! ```
 //!
@@ -26,7 +29,9 @@
 //! [`WindowEngine`] facade — the streaming loop below contains no
 //! per-variant code.
 
-use fairsw::core::{SlidingWindowClustering, SolutionExtras, VariantSpec, WindowEngine};
+use fairsw::core::{
+    ParallelismSpec, SlidingWindowClustering, SolutionExtras, VariantSpec, WindowEngine,
+};
 use fairsw::datasets::read_csv_points;
 use fairsw::metric::{sampled_extremes, Colored, EuclidPoint, Euclidean};
 use fairsw_core::FairSWConfig;
@@ -45,6 +50,7 @@ struct Args {
     oblivious: bool,
     compact: bool,
     robust: Option<usize>,
+    threads: Option<usize>,
     quiet: bool,
 }
 
@@ -59,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         oblivious: false,
         compact: false,
         robust: None,
+        threads: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -102,6 +109,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--robust: {e}"))?,
                 )
             }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{}", USAGE);
@@ -129,6 +143,8 @@ OPTIONS:
   --oblivious      estimate distance scales on the fly
   --compact        Corollary 2 variant (dimension-free space)
   --robust Z       tolerate Z outliers per window
+  --threads N      per-guess worker threads (default: FAIRSW_THREADS,
+                   else sequential); answers are bit-identical
   --quiet          suppress per-center output
 ";
 
@@ -210,9 +226,19 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("configuration: {e}"))?;
 
     let spec = variant_for(&args, &points)?;
-    let mut engine =
-        WindowEngine::build(cfg, spec, Euclidean).map_err(|e| format!("configuration: {e}"))?;
-    eprintln!("variant: {}", engine.variant_name());
+    let par = match args.threads {
+        Some(n) => ParallelismSpec::Threads(n),
+        None => ParallelismSpec::Auto, // honors FAIRSW_THREADS
+    };
+    let mut engine = WindowEngine::build(cfg, spec, Euclidean)
+        .map_err(|e| format!("configuration: {e}"))?
+        .with_parallelism(par);
+    eprintln!(
+        "variant: {} ({} thread{})",
+        engine.variant_name(),
+        engine.threads(),
+        if engine.threads() == 1 { "" } else { "s" }
+    );
 
     let cadence = args.query_every.unwrap_or(args.window).max(1);
     let t0 = Instant::now();
@@ -247,10 +273,14 @@ fn run() -> Result<(), String> {
             }
         }
     }
+    let elapsed = t0.elapsed();
     eprintln!(
-        "processed {} points, {queries} queries in {:.2?}",
+        "processed {} points, {queries} queries in {elapsed:.2?} \
+         ({:.0} points/s on {} thread{})",
         points.len(),
-        t0.elapsed()
+        points.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        engine.threads(),
+        if engine.threads() == 1 { "" } else { "s" }
     );
     Ok(())
 }

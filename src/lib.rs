@@ -67,10 +67,10 @@ pub use fairsw_stream as stream;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use fairsw_core::{
-        CompactFairSlidingWindow, EngineBuilder, FairSWConfig, FairSlidingWindow, GuessMemory,
-        MatroidSlidingWindow, MemoryStats, ObliviousFairSlidingWindow, QueryError,
-        RobustFairSlidingWindow, SlidingWindowClustering, Solution, SolutionExtras, VariantSpec,
-        WindowEngine,
+        run_fleet, CompactFairSlidingWindow, EngineBuilder, FairSWConfig, FairSlidingWindow,
+        GuessMemory, MatroidSlidingWindow, MemoryStats, ObliviousFairSlidingWindow,
+        ParallelismSpec, QueryError, RobustFairSlidingWindow, SlidingWindowClustering, Solution,
+        SolutionExtras, VariantSpec, WindowEngine,
     };
     pub use fairsw_matroid::{AnyMatroid, Group, LaminarMatroid, Matroid, PartitionMatroid};
     pub use fairsw_metric::{Angular, Colored, EuclidPoint, Euclidean, Metric};
