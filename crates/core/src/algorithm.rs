@@ -2,13 +2,20 @@
 //! a fixed guess lattice spanning the stream's `[dmin, dmax]`, one
 //! [`GuessState`] per guess, `Update` on every arrival and `Query` on
 //! demand.
+//!
+//! Each arriving point is interned once in the algorithm's shared
+//! [`PointStore`](fairsw_metric::PointStore) arena; the per-guess
+//! structures hold 8-byte handles, and the query path resolves payloads
+//! only at solution-assembly time (the `guess_set` module documents the
+//! arrival protocol).
 
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
+use crate::guess_set::GuessSet;
 use crate::parallel::{Exec, ParallelismSpec};
-use fairsw_metric::{Colored, Metric};
-use fairsw_sequential::{FairCenterSolver, Instance, Jones};
+use fairsw_metric::{Colored, ColoredId, Metric, Resolver};
+use fairsw_sequential::{FairCenterSolver, Jones};
 use fairsw_stream::Lattice;
 
 /// The sliding-window fair-center algorithm with a fixed guess range
@@ -21,7 +28,7 @@ pub struct FairSlidingWindow<M: Metric> {
     pub(crate) cfg: FairSWConfig,
     pub(crate) k: usize,
     pub(crate) lattice: Lattice,
-    pub(crate) guesses: Vec<GuessState<M>>,
+    pub(crate) set: GuessSet<GuessState, M::Point>,
     pub(crate) t: u64,
     pub(crate) exec: Exec,
 }
@@ -46,7 +53,7 @@ impl<M: Metric> FairSlidingWindow<M> {
             cfg,
             k,
             lattice,
-            guesses,
+            set: GuessSet::new(guesses),
             t: 0,
             exec: Exec::default(),
         })
@@ -84,10 +91,11 @@ impl<M: Metric> FairSlidingWindow<M> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
-        let guesses: Vec<(&GuessState<M>, ())> = self.guesses.iter().map(|g| (g, ())).collect();
+        let guesses: Vec<(&GuessState, ())> = self.set.guesses.iter().map(|g| (g, ())).collect();
         query_over_guesses(
             &self.exec,
             &self.metric,
+            self.set.store.resolver(),
             &guesses,
             self.k,
             &self.cfg.capacities,
@@ -97,8 +105,14 @@ impl<M: Metric> FairSlidingWindow<M> {
     }
 
     /// Iterates the guesses (used by tests and diagnostics).
-    pub fn guesses(&self) -> impl Iterator<Item = &GuessState<M>> {
-        self.guesses.iter()
+    pub fn guesses(&self) -> impl Iterator<Item = &GuessState> {
+        self.set.guesses.iter()
+    }
+
+    /// A resolver over the algorithm's interned arena (resolves the
+    /// handles exposed by [`guesses`](Self::guesses)).
+    pub fn resolver(&self) -> Resolver<'_, M::Point> {
+        self.set.store.resolver()
     }
 
     /// The guess lattice.
@@ -112,55 +126,69 @@ where
     M: Metric + Sync,
     M::Point: Send + Sync,
 {
-    /// Handles one arrival: expiry of the outgoing point plus Update on
-    /// every guess (Algorithm 1) — fanned out over the worker pool when
-    /// one is configured (the guesses never read each other's state).
+    /// Handles one arrival: the point is interned once, then expiry of
+    /// the outgoing point plus Update on every guess (Algorithm 1) —
+    /// fanned out over the worker pool when one is configured (the
+    /// guesses never read each other's state; they share the arena
+    /// read-only plus atomic reference counts).
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
         let t = self.t;
         let te = t.checked_sub(self.cfg.window_size as u64);
+        let id = self.set.store.insert(t, p.point);
         let metric = &self.metric;
         let budgets = Budgets {
             caps: &self.cfg.capacities,
             k: self.k,
             delta: self.cfg.delta,
         };
-        self.exec.for_each_mut(&mut self.guesses, |g| {
+        let res = self.set.store.resolver();
+        self.exec.for_each_mut(&mut self.set.guesses, |g| {
             if let Some(te) = te {
-                g.expire(te);
+                g.expire(res, te);
             }
-            g.update(metric, t, &p.point, p.color, budgets);
+            g.update(metric, res, t, id, p.color, budgets);
         });
+        self.set.finish_arrival(te);
     }
 
-    /// Batch arrivals: each guess replays the whole batch locally, so
-    /// one pool dispatch amortizes the fan-out cost over the batch (the
-    /// throughput path of the parallel engine). Per-guess evolution is
-    /// identical to repeated [`insert`](SlidingWindowClustering::insert)
-    /// because guesses are mutually independent.
+    /// Batch arrivals: the whole batch is interned up front, then each
+    /// guess replays it locally, so one pool dispatch amortizes the
+    /// fan-out cost over the batch (the throughput path of the parallel
+    /// engine). Per-guess evolution is identical to repeated
+    /// [`insert`](SlidingWindowClustering::insert) because guesses are
+    /// mutually independent; payloads released mid-batch are reclaimed in
+    /// the epilogue, so the arena transiently holds up to one batch of
+    /// extra points during the dispatch.
     fn insert_batch<I>(&mut self, batch: I)
     where
         I: IntoIterator<Item = Colored<M::Point>>,
     {
-        let batch: Vec<Colored<M::Point>> = batch.into_iter().collect();
+        let n = self.cfg.window_size as u64;
+        let ids: Vec<ColoredId> = batch
+            .into_iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let t = self.t + 1 + j as u64;
+                Colored::new(self.set.store.insert(t, p.point), p.color)
+            })
+            .collect();
         let metric = &self.metric;
         let budgets = Budgets {
             caps: &self.cfg.capacities,
             k: self.k,
             delta: self.cfg.delta,
         };
-        self.t = self.exec.replay_batch(
-            &mut self.guesses,
-            &batch,
-            self.t,
-            self.cfg.window_size as u64,
-            |g, t, te, p| {
+        let res = self.set.store.resolver();
+        self.t = self
+            .exec
+            .replay_batch(&mut self.set.guesses, &ids, self.t, n, |g, t, te, cid| {
                 if let Some(te) = te {
-                    g.expire(te);
+                    g.expire(res, te);
                 }
-                g.update(metric, t, &p.point, p.color, budgets);
-            },
-        );
+                g.update(metric, res, t, cid.point, cid.color, budgets);
+            });
+        self.set.finish_arrival(self.t.checked_sub(n));
     }
 
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
@@ -176,22 +204,24 @@ where
     }
 
     fn memory_stats(&self) -> MemoryStats {
-        MemoryStats::from_guesses(self.guesses.iter().map(|g| (g.gamma(), g.stored_points())))
+        self.set.memory_stats()
     }
 
     fn stored_points(&self) -> usize {
-        self.guesses.iter().map(GuessState::stored_points).sum()
+        self.set.stored_points()
     }
 
     fn num_guesses(&self) -> usize {
-        self.guesses.len()
+        self.set.guesses.len()
     }
 
     /// Verifies every guess's structural invariants (test helper).
     fn check_invariants(&self) -> Result<(), String> {
-        for g in &self.guesses {
+        let res = self.set.store.resolver();
+        for g in &self.set.guesses {
             g.check_invariants(
                 &self.metric,
+                res,
                 self.t,
                 self.cfg.window_size as u64,
                 Budgets {
@@ -210,13 +240,18 @@ where
 /// qualifying coreset. Returns the tag with the solution so callers can
 /// report which guess won. Used by the fixed and oblivious variants.
 ///
+/// The scan works entirely on arena handles; payloads are resolved for
+/// distance computations in place and materialized only once, inside the
+/// solver's id-slice entry point, at solution-assembly time.
+///
 /// With a parallel [`Exec`] the scan shards into contiguous chunks and
 /// the earliest shard's outcome wins — exactly the guess the sequential
 /// scan selects (see [`crate::parallel`] for the determinism argument).
 pub(crate) fn query_over_guesses<M, S, T>(
     exec: &Exec,
     metric: &M,
-    guesses: &[(&GuessState<M>, T)],
+    res: Resolver<'_, M::Point>,
+    guesses: &[(&GuessState, T)],
     k: usize,
     caps: &[usize],
     solver: &S,
@@ -234,7 +269,7 @@ where
         // Greedy 2γ-packing over RV (Algorithm 3 inner loop).
         let two_gamma = 2.0 * g.gamma();
         let mut packing: Vec<&M::Point> = Vec::with_capacity(k + 1);
-        for q in g.rv_points() {
+        for q in g.rv_points(res) {
             if metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
                 packing.push(q);
                 if packing.len() > k {
@@ -245,20 +280,24 @@ where
         // Qualifying guess: solve on the coreset R. A solver error on
         // the winning guess is the query's outcome, as in the
         // sequential scan.
-        let coreset = g.coreset();
-        let inst = Instance::new(metric, &coreset, caps);
-        Some(solver.solve(&inst).map_err(QueryError::from).map(|sol| {
-            (
-                Solution {
-                    centers: sol.centers,
-                    guess: g.gamma(),
-                    coreset_size: coreset.len(),
-                    coreset_radius: sol.radius,
-                    extras: SolutionExtras::None,
-                },
-                tag,
-            )
-        }))
+        let ids = g.coreset_ids();
+        Some(
+            solver
+                .solve_ids(metric, res, &ids, caps)
+                .map_err(QueryError::from)
+                .map(|sol| {
+                    (
+                        Solution {
+                            centers: sol.centers,
+                            guess: g.gamma(),
+                            coreset_size: ids.len(),
+                            coreset_radius: sol.radius,
+                            extras: SolutionExtras::None,
+                        },
+                        tag,
+                    )
+                }),
+        )
     })
     .unwrap_or(Err(QueryError::NoValidGuess))
 }
@@ -310,6 +349,8 @@ mod tests {
         assert_eq!(sol.centers[0].point.coords(), &[5.0]);
         assert!(matches!(sol.extras, SolutionExtras::None));
         sw.check_invariants().unwrap();
+        // One arrival: one payload in the arena, many handles.
+        assert_eq!(sw.memory_stats().unique_points, 1);
     }
 
     #[test]
@@ -371,6 +412,13 @@ mod tests {
         for pair in stats.per_guess.windows(2) {
             assert!(pair[0].gamma < pair[1].gamma);
         }
+        // The arena dedup: payloads never exceed entries, and entries
+        // reference at least one payload each.
+        assert!(stats.unique_points <= stats.stored_points());
+        assert!(stats.unique_points > 0);
+        assert!(stats.payload_bytes > 0);
+        // No payload exceeds the window: the arena never outlives expiry.
+        assert!(stats.unique_points <= sw.window_size());
     }
 
     #[test]
@@ -397,5 +445,25 @@ mod tests {
         }
         let sol = sw.query().unwrap();
         assert!(sol.guess <= 1.0, "guess {} too large", sol.guess);
+    }
+
+    #[test]
+    fn arena_dedup_beats_per_guess_copies() {
+        // Many guesses over a drifting stream: handle entries must
+        // outnumber resident payloads by a wide margin — the whole point
+        // of the interned arena.
+        let mut sw =
+            FairSlidingWindow::new(cfg(200, vec![2, 2], 1.0), Euclidean, 1e-3, 1e4).unwrap();
+        for i in 0..600u64 {
+            let x = (i as f64 * 0.618_033_988_7).fract() * 1000.0 + i as f64 * 0.3;
+            sw.insert(cp(x, (i % 2) as u32));
+        }
+        let stats = sw.memory_stats();
+        assert!(
+            stats.stored_points() >= 3 * stats.unique_points,
+            "expected entries ≫ payloads, got {} entries vs {} payloads",
+            stats.stored_points(),
+            stats.unique_points
+        );
     }
 }

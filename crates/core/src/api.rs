@@ -125,20 +125,46 @@ impl<P> Solution<P> {
 pub struct GuessMemory {
     /// The guess value `γ`.
     pub gamma: f64,
-    /// Points stored by this guess's families (the paper counts stored
-    /// points across `AV ∪ RV ∪ A ∪ R`).
+    /// Entries stored by this guess's families (the paper counts stored
+    /// points across `AV ∪ RV ∪ A ∪ R`). With the interned arena each
+    /// entry is an 8-byte handle, not a point copy.
     pub points: usize,
 }
 
+/// Bytes of one guess-family entry: a 4-byte `PointId` handle plus a
+/// 4-byte color tag. (Map keys and per-family overhead are excluded —
+/// this is the paper's "stored points" metric priced in handle units.)
+pub const HANDLE_ENTRY_BYTES: usize = 8;
+
 /// Uniform memory breakdown reported by every variant.
+///
+/// Two axes are reported since the interned-arena refactor:
+///
+/// * **entries** ([`stored_points`](Self::stored_points), per-guess in
+///   [`per_guess`]) — the paper's memory metric: how many family slots
+///   the guesses occupy. Each is an 8-byte handle.
+/// * **payloads** ([`unique_points`](Self::unique_points),
+///   [`payload_bytes`](Self::payload_bytes)) — the deduplicated arena
+///   side: how many distinct points are resident and what their
+///   coordinate buffers weigh. Before the arena, every entry *was* a
+///   payload copy; the ratio `stored_points / unique_points` is the
+///   copy-reduction the arena delivers.
+///
+/// [`per_guess`]: Self::per_guess
 #[derive(Clone, Debug, Default)]
 pub struct MemoryStats {
-    /// Per-guess point counts, in ascending-γ order.
+    /// Per-guess handle-entry counts, in ascending-γ order.
     pub per_guess: Vec<GuessMemory>,
     /// Points stored outside the guess structures (the oblivious
     /// variant's diameter-estimator anchors and newest-point fallback;
-    /// zero for the fixed-lattice variants).
+    /// zero for the fixed-lattice variants). These are owned payloads,
+    /// not arena handles.
     pub auxiliary: usize,
+    /// Distinct live payloads in the interned arena.
+    pub unique_points: usize,
+    /// Heap bytes of those payloads (plus any auxiliary owned points a
+    /// variant folds in).
+    pub payload_bytes: usize,
 }
 
 impl MemoryStats {
@@ -154,6 +180,8 @@ impl MemoryStats {
                 .map(|(gamma, points)| GuessMemory { gamma, points })
                 .collect(),
             auxiliary: 0,
+            unique_points: 0,
+            payload_bytes: 0,
         }
     }
 
@@ -163,9 +191,34 @@ impl MemoryStats {
         self
     }
 
+    /// Records the interned arena's deduplicated payload accounting.
+    pub fn with_arena(mut self, unique_points: usize, payload_bytes: usize) -> Self {
+        self.unique_points = unique_points;
+        self.payload_bytes = payload_bytes;
+        self
+    }
+
+    /// Adds payload bytes held outside the arena (auxiliary owned
+    /// points).
+    pub fn with_extra_payload_bytes(mut self, bytes: usize) -> Self {
+        self.payload_bytes += bytes;
+        self
+    }
+
     /// Total stored points — the paper's memory metric.
     pub fn stored_points(&self) -> usize {
         self.per_guess.iter().map(|g| g.points).sum::<usize>() + self.auxiliary
+    }
+
+    /// Bytes spent on guess-family handle entries
+    /// (`stored_points × 8`, auxiliary owned points excluded).
+    pub fn handle_bytes(&self) -> usize {
+        self.per_guess.iter().map(|g| g.points).sum::<usize>() * HANDLE_ENTRY_BYTES
+    }
+
+    /// Total resident bytes: handles plus deduplicated payloads.
+    pub fn resident_bytes(&self) -> usize {
+        self.handle_bytes() + self.payload_bytes
     }
 
     /// Number of (materialized) guesses `|Γ|`.
@@ -247,22 +300,16 @@ mod tests {
 
     #[test]
     fn memory_stats_totals() {
-        let stats = MemoryStats {
-            per_guess: vec![
-                GuessMemory {
-                    gamma: 1.0,
-                    points: 4,
-                },
-                GuessMemory {
-                    gamma: 2.0,
-                    points: 6,
-                },
-            ],
-            auxiliary: 3,
-        };
+        let stats = MemoryStats::from_guesses([(1.0, 4), (2.0, 6)])
+            .with_auxiliary(3)
+            .with_arena(5, 400);
         assert_eq!(stats.stored_points(), 13);
         assert_eq!(stats.num_guesses(), 2);
+        assert_eq!(stats.unique_points, 5);
+        assert_eq!(stats.handle_bytes(), 10 * HANDLE_ENTRY_BYTES);
+        assert_eq!(stats.resident_bytes(), 10 * HANDLE_ENTRY_BYTES + 400);
         assert_eq!(MemoryStats::default().stored_points(), 0);
+        assert_eq!(MemoryStats::default().resident_bytes(), 0);
     }
 
     #[test]

@@ -14,43 +14,63 @@
 //! a coreset "comparable in size to the validation set", i.e. this
 //! variant; we implement it explicitly so the ablation benchmark can
 //! compare the two (`ablation_compact`).
+//!
+//! Like every variant, the per-guess families hold arena handles; the
+//! point payloads live once in the shared
+//! [`PointStore`](fairsw_metric::PointStore).
 
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
+use crate::guess_set::{DeadList, GuessSet, GuessSlot};
 use crate::parallel::{Exec, ParallelismSpec};
-use fairsw_metric::{Colored, Metric};
-use fairsw_sequential::{FairCenterSolver, Instance, Jones};
+use fairsw_metric::{Colored, ColoredId, Metric, PointId, Resolver};
+use fairsw_sequential::{FairCenterSolver, Jones};
 use fairsw_stream::Lattice;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-/// An `RV` entry of the compact variant: payload, color and the
+/// An `RV` entry of the compact variant: handle, color and the
 /// v-attractor that attracted it.
-#[derive(Clone, Debug)]
-struct RvEntry<P> {
-    point: P,
+#[derive(Clone, Copy, Debug)]
+struct RvEntry {
+    id: PointId,
     color: u32,
     attractor: u64,
 }
 
 /// Per-guess state of the compact variant.
 #[derive(Clone, Debug)]
-struct CompactGuess<M: Metric> {
+struct CompactGuess {
     gamma: f64,
     /// v-attractors, pairwise `> 2γ`, at most `k+1` after Update.
-    av: BTreeMap<u64, M::Point>,
+    av: BTreeMap<u64, PointId>,
     /// Per-attractor, per-color representative times (sorted deques).
     reps_v: HashMap<u64, Vec<VecDeque<u64>>>,
     /// All representatives (current + orphans of dead attractors).
-    rv: BTreeMap<u64, RvEntry<M::Point>>,
+    rv: BTreeMap<u64, RvEntry>,
+    /// Arena ids observed crossing refcount zero (owner drains).
+    dead: DeadList,
 }
 
-impl<M: Metric> CompactGuess<M> {
+impl GuessSlot for CompactGuess {
+    fn gamma(&self) -> f64 {
+        self.gamma
+    }
+    fn entries(&self) -> usize {
+        self.stored_points()
+    }
+    fn drain_dead(&mut self, into: &mut Vec<PointId>) {
+        self.dead.drain_into(into);
+    }
+}
+
+impl CompactGuess {
     fn new(gamma: f64) -> Self {
         CompactGuess {
             gamma,
             av: BTreeMap::new(),
             reps_v: HashMap::new(),
             rv: BTreeMap::new(),
+            dead: DeadList::default(),
         }
     }
 
@@ -58,17 +78,31 @@ impl<M: Metric> CompactGuess<M> {
         self.av.len() + self.rv.len()
     }
 
-    fn expire(&mut self, te: u64) {
-        if self.av.remove(&te).is_some() {
+    fn expire<P>(&mut self, res: Resolver<'_, P>, te: u64) {
+        if let Some(id) = self.av.remove(&te) {
             // Representatives are orphaned, not removed (same timing
             // invariant as the main algorithm: reps are never older than
             // their attractor, so an expiring rep's attractor is gone).
             self.reps_v.remove(&te);
+            self.dead.release(res, id);
         }
-        self.rv.remove(&te);
+        if let Some(e) = self.rv.remove(&te) {
+            self.dead.release(res, e.id);
+        }
     }
 
-    fn update(&mut self, metric: &M, t: u64, p: &M::Point, color: u32, caps: &[usize], k: usize) {
+    #[allow(clippy::too_many_arguments)] // internal; mirrors Algorithm 1's parameter list
+    fn update<M: Metric>(
+        &mut self,
+        metric: &M,
+        res: Resolver<'_, M::Point>,
+        t: u64,
+        id: PointId,
+        color: u32,
+        caps: &[usize],
+        k: usize,
+    ) {
+        let p = res.get(id);
         let two_gamma = 2.0 * self.gamma;
         let ci = color as usize;
         // ψ = attractor within 2γ with the fewest same-color reps (the
@@ -77,24 +111,26 @@ impl<M: Metric> CompactGuess<M> {
         let psi = self
             .av
             .iter()
-            .filter(|(_, v)| metric.dist(p, v) <= two_gamma)
+            .filter(|(_, &v)| metric.dist(p, res.get(v)) <= two_gamma)
             .min_by_key(|(&tv, _)| self.reps_v.get(&tv).map(|per| per[ci].len()).unwrap_or(0))
             .map(|(&tv, _)| tv);
         match psi {
             None => {
-                self.av.insert(t, p.clone());
+                self.av.insert(t, id);
+                res.acquire(id);
                 let mut per = vec![VecDeque::new(); caps.len()];
                 per[ci].push_back(t);
                 self.reps_v.insert(t, per);
                 self.rv.insert(
                     t,
                     RvEntry {
-                        point: p.clone(),
+                        id,
                         color,
                         attractor: t,
                     },
                 );
-                self.cleanup(k);
+                res.acquire(id);
+                self.cleanup(res, k);
             }
             Some(v) => {
                 let per = self.reps_v.get_mut(&v).expect("live attractor");
@@ -102,23 +138,28 @@ impl<M: Metric> CompactGuess<M> {
                 self.rv.insert(
                     t,
                     RvEntry {
-                        point: p.clone(),
+                        id,
                         color,
                         attractor: v,
                     },
                 );
+                res.acquire(id);
                 if per[ci].len() > caps[ci] {
                     let orem = per[ci].pop_front().expect("over cap");
-                    self.rv.remove(&orem);
+                    if let Some(e) = self.rv.remove(&orem) {
+                        self.dead.release(res, e.id);
+                    }
                 }
             }
         }
     }
 
-    fn cleanup(&mut self, k: usize) {
+    fn cleanup<P>(&mut self, res: Resolver<'_, P>, k: usize) {
         if self.av.len() == k + 2 {
             let oldest = *self.av.keys().next().expect("non-empty");
-            self.av.remove(&oldest);
+            if let Some(id) = self.av.remove(&oldest) {
+                self.dead.release(res, id);
+            }
             self.reps_v.remove(&oldest);
         }
         if self.av.len() == k + 1 {
@@ -126,14 +167,17 @@ impl<M: Metric> CompactGuess<M> {
             // Prefix prune: only orphans can be below tmin (reps of live
             // attractors are younger than their attractor ≥ tmin).
             let keep = self.rv.split_off(&tmin);
-            self.rv = keep;
+            for (_, e) in std::mem::replace(&mut self.rv, keep) {
+                self.dead.release(res, e.id);
+            }
         }
     }
 
     /// Structural invariants (test helper).
-    fn check_invariants(
+    fn check_invariants<M: Metric>(
         &self,
         metric: &M,
+        res: Resolver<'_, M::Point>,
         t: u64,
         n: u64,
         caps: &[usize],
@@ -148,8 +192,11 @@ impl<M: Metric> CompactGuess<M> {
             if !live(*avs[i].0) {
                 return Err(format!("expired attractor {}", avs[i].0));
             }
+            if res.try_get(*avs[i].1).is_none() {
+                return Err(format!("attractor {} holds a collected id", avs[i].0));
+            }
             for j in (i + 1)..avs.len() {
-                if metric.dist(avs[i].1, avs[j].1) <= 2.0 * self.gamma {
+                if metric.dist(res.get(*avs[i].1), res.get(*avs[j].1)) <= 2.0 * self.gamma {
                     return Err("attractors within 2γ".into());
                 }
             }
@@ -158,11 +205,14 @@ impl<M: Metric> CompactGuess<M> {
             if !live(time) {
                 return Err(format!("expired rv {time}"));
             }
+            if res.try_get(e.id).is_none() {
+                return Err(format!("rv {time} holds a collected id"));
+            }
             if let Some(per) = self.reps_v.get(&e.attractor) {
                 if !per[e.color as usize].contains(&time) {
                     return Err(format!("rv {time} untracked by live attractor"));
                 }
-                let d = metric.dist(&e.point, &self.av[&e.attractor]);
+                let d = metric.dist(res.get(e.id), res.get(self.av[&e.attractor]));
                 if d > 2.0 * self.gamma + 1e-9 {
                     return Err(format!("rep {time} outside 2γ of attractor"));
                 }
@@ -194,7 +244,7 @@ pub struct CompactFairSlidingWindow<M: Metric> {
     metric: M,
     cfg: FairSWConfig,
     k: usize,
-    guesses: Vec<CompactGuess<M>>,
+    set: GuessSet<CompactGuess, M::Point>,
     t: u64,
     exec: Exec,
 }
@@ -217,7 +267,7 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
             metric,
             cfg,
             k,
-            guesses,
+            set: GuessSet::new(guesses),
             t: 0,
             exec: Exec::default(),
         })
@@ -237,7 +287,8 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
 
     /// Queries with an explicit solver: guess selection identical to the
     /// main algorithm (the packing runs over all of `RV`), then the
-    /// sequential solver runs on `RV` directly.
+    /// sequential solver runs on `RV` directly (resolved from the arena
+    /// only inside the solver's id-slice entry point).
     pub fn query_with<S>(&self, solver: &S) -> Result<Solution<M::Point>, QueryError>
     where
         S: FairCenterSolver<M> + Sync,
@@ -247,34 +298,33 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
+        let res = self.set.store.resolver();
         self.exec
-            .find_map_first(&self.guesses, |g| {
+            .find_map_first(&self.set.guesses, |g| {
                 if g.av.len() > self.k {
                     return None;
                 }
                 let two_gamma = 2.0 * g.gamma;
                 let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
                 for e in g.rv.values() {
-                    if self.metric.dist_to_set(&e.point, packing.iter().copied()) > two_gamma {
-                        packing.push(&e.point);
+                    let q = res.get(e.id);
+                    if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
+                        packing.push(q);
                         if packing.len() > self.k {
                             return None;
                         }
                     }
                 }
-                let coreset: Vec<Colored<M::Point>> =
-                    g.rv.values()
-                        .map(|e| Colored::new(e.point.clone(), e.color))
-                        .collect();
-                let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
+                let ids: Vec<ColoredId> =
+                    g.rv.values().map(|e| Colored::new(e.id, e.color)).collect();
                 Some(
                     solver
-                        .solve(&inst)
+                        .solve_ids(&self.metric, res, &ids, &self.cfg.capacities)
                         .map_err(QueryError::from)
                         .map(|sol| Solution {
                             centers: sol.centers,
                             guess: g.gamma,
-                            coreset_size: coreset.len(),
+                            coreset_size: ids.len(),
                             coreset_radius: sol.radius,
                             extras: SolutionExtras::None,
                         }),
@@ -289,44 +339,55 @@ where
     M: Metric + Sync,
     M::Point: Send + Sync,
 {
-    /// Handles one arrival (fanned out per guess when a pool is set).
+    /// Handles one arrival (interned once, fanned out per guess when a
+    /// pool is set).
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
         let t = self.t;
         let te = t.checked_sub(self.cfg.window_size as u64);
+        let id = self.set.store.insert(t, p.point);
         let metric = &self.metric;
         let caps = &self.cfg.capacities;
         let k = self.k;
-        self.exec.for_each_mut(&mut self.guesses, |g| {
+        let res = self.set.store.resolver();
+        self.exec.for_each_mut(&mut self.set.guesses, |g| {
             if let Some(te) = te {
-                g.expire(te);
+                g.expire(res, te);
             }
-            g.update(metric, t, &p.point, p.color, caps, k);
+            g.update(metric, res, t, id, p.color, caps, k);
         });
+        self.set.finish_arrival(te);
     }
 
-    /// Batch arrivals: each guess replays the whole batch locally (one
-    /// pool dispatch per batch; identical evolution to repeated insert).
+    /// Batch arrivals: the batch is interned up front and each guess
+    /// replays it locally (one pool dispatch per batch; identical
+    /// evolution to repeated insert).
     fn insert_batch<I>(&mut self, batch: I)
     where
         I: IntoIterator<Item = Colored<M::Point>>,
     {
-        let batch: Vec<Colored<M::Point>> = batch.into_iter().collect();
+        let n = self.cfg.window_size as u64;
+        let ids: Vec<ColoredId> = batch
+            .into_iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let t = self.t + 1 + j as u64;
+                Colored::new(self.set.store.insert(t, p.point), p.color)
+            })
+            .collect();
         let metric = &self.metric;
         let caps = &self.cfg.capacities;
         let k = self.k;
-        self.t = self.exec.replay_batch(
-            &mut self.guesses,
-            &batch,
-            self.t,
-            self.cfg.window_size as u64,
-            |g, t, te, p| {
+        let res = self.set.store.resolver();
+        self.t = self
+            .exec
+            .replay_batch(&mut self.set.guesses, &ids, self.t, n, |g, t, te, cid| {
                 if let Some(te) = te {
-                    g.expire(te);
+                    g.expire(res, te);
                 }
-                g.update(metric, t, &p.point, p.color, caps, k);
-            },
-        );
+                g.update(metric, res, t, cid.point, cid.color, caps, k);
+            });
+        self.set.finish_arrival(self.t.checked_sub(n));
     }
 
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
@@ -342,22 +403,24 @@ where
     }
 
     fn memory_stats(&self) -> MemoryStats {
-        MemoryStats::from_guesses(self.guesses.iter().map(|g| (g.gamma, g.stored_points())))
+        self.set.memory_stats()
     }
 
     fn stored_points(&self) -> usize {
-        self.guesses.iter().map(CompactGuess::stored_points).sum()
+        self.set.stored_points()
     }
 
     fn num_guesses(&self) -> usize {
-        self.guesses.len()
+        self.set.guesses.len()
     }
 
     /// Verifies per-guess invariants (test helper).
     fn check_invariants(&self) -> Result<(), String> {
-        for g in &self.guesses {
+        let res = self.set.store.resolver();
+        for g in &self.set.guesses {
             g.check_invariants(
                 &self.metric,
+                res,
                 self.t,
                 self.cfg.window_size as u64,
                 &self.cfg.capacities,
@@ -420,6 +483,11 @@ mod tests {
             sw.stored_points() < 1000,
             "compact variant beats the window"
         );
+        // The arena holds each referenced point once: resident payloads
+        // are bounded by the deduplicated union, far below the window.
+        let stats = sw.memory_stats();
+        assert!(stats.unique_points <= stats.stored_points());
+        assert!(stats.unique_points < 1000);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `WindowEngine` — one enum-dispatched facade over all five
 //! sliding-window variants.
 //!
-//! The trait [`SlidingWindowClustering`](crate::SlidingWindowClustering)
-//! unifies the variants *generically*; this module unifies them as a
+//! The trait [`SlidingWindowClustering`] unifies the variants
+//! *generically*; this module unifies them as a
 //! *value*: a [`VariantSpec`] names a variant plus its extra parameters
 //! (scale bounds, outlier budget, matroid constraint), and
 //! [`WindowEngine::build`] constructs the corresponding algorithm from a

@@ -65,6 +65,20 @@
 //! the [`parallel`] module (and the README's "Choosing a thread count")
 //! for the full guidance; [`run_fleet`] drives heterogeneous engine
 //! fleets concurrently for multi-tenant serving.
+//!
+//! ## Memory model
+//!
+//! Arriving points are interned once per algorithm in a shared
+//! [`PointStore`](fairsw_metric::PointStore) arena; every per-guess
+//! family entry is an 8-byte handle (id + color), acquired and released
+//! against the arena's reference counts, with window expiry as the
+//! epoch-GC backstop. Resident payloads therefore track the
+//! *deduplicated union* of the coresets — `O(Σ coreset sizes)` instead
+//! of `guesses × window` copies. [`MemoryStats`] reports both the entry
+//! counts (the paper's metric) and the arena's `unique_points` /
+//! `payload_bytes`; the query path resolves payloads only at
+//! solution-assembly time, so a [`Solution`] still owns its points. See
+//! the README's "Memory model" section for the full story.
 
 pub mod algorithm;
 pub mod api;
@@ -72,6 +86,7 @@ pub mod compact;
 pub mod config;
 pub mod engine;
 pub mod guess;
+mod guess_set;
 pub mod matroid_window;
 pub mod oblivious;
 pub mod parallel;
@@ -81,6 +96,7 @@ pub mod snapshot;
 pub use algorithm::FairSlidingWindow;
 pub use api::{
     GuessMemory, MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras,
+    HANDLE_ENTRY_BYTES,
 };
 pub use compact::CompactFairSlidingWindow;
 pub use config::{validate_scale, ConfigError, FairSWConfig, FairSWConfigBuilder};

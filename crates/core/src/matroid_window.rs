@@ -18,7 +18,9 @@
 //!
 //! `Query` runs the generic Chen-et-al matroid-center solver
 //! ([`fn@fairsw_sequential::matroid_center`], matroid-intersection based,
-//! `α = 3`) on the coreset.
+//! `α = 3`) on the coreset, resolved out of the shared arena only at
+//! solution-assembly time
+//! ([`fairsw_sequential::matroid_center_ids`]).
 //!
 //! Complexity note: circuit-eviction costs `O(|R_a|)` independence-oracle
 //! calls per arrival and the generic query solver is much slower than the
@@ -27,30 +29,45 @@
 
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError};
+use crate::guess_set::{DeadList, GuessSet, GuessSlot};
 use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_matroid::{Matroid, OverColors};
-use fairsw_metric::{Colored, Metric};
-use fairsw_sequential::{matroid_center, MatroidInstance};
+use fairsw_metric::{Colored, ColoredId, Metric, PointId, Resolver};
+use fairsw_sequential::matroid_center_ids;
 use fairsw_stream::Lattice;
 use std::collections::{BTreeMap, HashMap};
 
 /// Per-guess state of the matroid variant (validation families identical
 /// to the partition algorithm; coreset rep sets kept independent via
-/// circuit eviction).
+/// circuit eviction). All families hold arena handles.
 #[derive(Clone, Debug)]
-struct MatroidGuess<M: Metric> {
+struct MatroidGuess {
     gamma: f64,
-    av: BTreeMap<u64, M::Point>,
+    av: BTreeMap<u64, PointId>,
     rep_of: HashMap<u64, u64>,
-    rv: BTreeMap<u64, M::Point>,
-    a: BTreeMap<u64, M::Point>,
+    rv: BTreeMap<u64, PointId>,
+    a: BTreeMap<u64, PointId>,
     /// Per-attractor representative arrival times, sorted (push-back).
     reps: HashMap<u64, Vec<u64>>,
-    /// Coreset entries: point, color, attractor.
-    r: BTreeMap<u64, (M::Point, u32, u64)>,
+    /// Coreset entries: handle, color, attractor.
+    r: BTreeMap<u64, (PointId, u32, u64)>,
+    /// Arena ids observed crossing refcount zero (owner drains).
+    dead: DeadList,
 }
 
-impl<M: Metric> MatroidGuess<M> {
+impl GuessSlot for MatroidGuess {
+    fn gamma(&self) -> f64 {
+        self.gamma
+    }
+    fn entries(&self) -> usize {
+        self.stored_points()
+    }
+    fn drain_dead(&mut self, into: &mut Vec<PointId>) {
+        self.dead.drain_into(into);
+    }
+}
+
+impl MatroidGuess {
     fn new(gamma: f64) -> Self {
         MatroidGuess {
             gamma,
@@ -60,6 +77,7 @@ impl<M: Metric> MatroidGuess<M> {
             a: BTreeMap::new(),
             reps: HashMap::new(),
             r: BTreeMap::new(),
+            dead: DeadList::default(),
         }
     }
 
@@ -67,53 +85,66 @@ impl<M: Metric> MatroidGuess<M> {
         self.av.len() + self.rv.len() + self.a.len() + self.r.len()
     }
 
-    fn expire(&mut self, te: u64) {
-        if self.av.remove(&te).is_some() {
+    fn expire<P>(&mut self, res: Resolver<'_, P>, te: u64) {
+        if let Some(id) = self.av.remove(&te) {
             self.rep_of.remove(&te);
+            self.dead.release(res, id);
         }
-        self.rv.remove(&te);
-        if self.a.remove(&te).is_some() {
+        if let Some(id) = self.rv.remove(&te) {
+            self.dead.release(res, id);
+        }
+        if let Some(id) = self.a.remove(&te) {
             self.reps.remove(&te);
+            self.dead.release(res, id);
         }
         // Timing invariant (same as the partition variant): an expiring
         // representative's attractor is at least as old, hence already
         // gone — no live rep list needs fixing.
-        self.r.remove(&te);
+        if let Some((id, _, _)) = self.r.remove(&te) {
+            self.dead.release(res, id);
+        }
     }
 
     #[allow(clippy::too_many_arguments)] // internal; mirrors Algorithm 1's parameter list
-    fn update<Mat: Matroid<u32>>(
+    fn update<M: Metric, Mat: Matroid<u32>>(
         &mut self,
         metric: &M,
+        res: Resolver<'_, M::Point>,
         t: u64,
-        p: &M::Point,
+        id: PointId,
         color: u32,
         matroid: &Mat,
         k: usize,
         delta: f64,
     ) {
+        let p = res.get(id);
         let two_gamma = 2.0 * self.gamma;
 
         // Validation side: identical to Algorithm 1.
         let psi = self
             .av
             .iter()
-            .find(|(_, v)| metric.dist(p, v) <= two_gamma)
+            .find(|(_, &v)| metric.dist(p, res.get(v)) <= two_gamma)
             .map(|(&tv, _)| tv);
         match psi {
             None => {
-                self.av.insert(t, p.clone());
+                self.av.insert(t, id);
+                res.acquire(id);
                 self.rep_of.insert(t, t);
-                self.rv.insert(t, p.clone());
-                self.cleanup(k);
+                self.rv.insert(t, id);
+                res.acquire(id);
+                self.cleanup(res, k);
             }
             Some(v) => {
                 let old = self
                     .rep_of
                     .insert(v, t)
                     .expect("live v-attractor has a representative");
-                self.rv.remove(&old);
-                self.rv.insert(t, p.clone());
+                if let Some(oid) = self.rv.remove(&old) {
+                    self.dead.release(res, oid);
+                }
+                self.rv.insert(t, id);
+                res.acquire(id);
             }
         }
 
@@ -124,8 +155,8 @@ impl<M: Metric> MatroidGuess<M> {
         // generalization of the paper's per-color argmin balancing).
         let mut no_evict: Option<u64> = None;
         let mut smallest: Option<(usize, u64)> = None;
-        for (&ta, q) in &self.a {
-            if metric.dist(p, q) > attach {
+        for (&ta, &q) in &self.a {
+            if metric.dist(p, res.get(q)) > attach {
                 continue;
             }
             let times = self.reps.get(&ta).map(Vec::as_slice).unwrap_or(&[]);
@@ -145,10 +176,12 @@ impl<M: Metric> MatroidGuess<M> {
                 // nearby points) but cannot serve as a representative —
                 // nevertheless we keep it in R for coverage accounting if
                 // independent alone.
-                self.a.insert(t, p.clone());
+                self.a.insert(t, id);
+                res.acquire(id);
                 if matroid.is_independent(&[color]) {
                     self.reps.insert(t, vec![t]);
-                    self.r.insert(t, (p.clone(), color, t));
+                    self.r.insert(t, (id, color, t));
+                    res.acquire(id);
                 } else {
                     self.reps.insert(t, Vec::new());
                 }
@@ -159,7 +192,8 @@ impl<M: Metric> MatroidGuess<M> {
                 colors.push(color);
                 if matroid.is_independent(&colors) {
                     times.push(t);
-                    self.r.insert(t, (p.clone(), color, ta));
+                    self.r.insert(t, (id, color, ta));
+                    res.acquire(id);
                 } else {
                     // Circuit eviction: drop the oldest element whose
                     // removal restores independence (for partition
@@ -180,41 +214,53 @@ impl<M: Metric> MatroidGuess<M> {
                         }
                     }
                     if let Some(i) = evict {
-                        let dead = times.remove(i);
-                        self.r.remove(&dead);
+                        let dead_t = times.remove(i);
+                        if let Some((oid, _, _)) = self.r.remove(&dead_t) {
+                            self.dead.release(res, oid);
+                        }
                         times.push(t);
-                        self.r.insert(t, (p.clone(), color, ta));
+                        self.r.insert(t, (id, color, ta));
+                        res.acquire(id);
                     }
                 }
             }
         }
     }
 
-    fn cleanup(&mut self, k: usize) {
+    fn cleanup<P>(&mut self, res: Resolver<'_, P>, k: usize) {
         if self.av.len() == k + 2 {
             let oldest = *self.av.keys().next().expect("non-empty");
-            self.av.remove(&oldest);
+            if let Some(id) = self.av.remove(&oldest) {
+                self.dead.release(res, id);
+            }
             self.rep_of.remove(&oldest);
         }
         if self.av.len() == k + 1 {
             let tmin = *self.av.keys().next().expect("non-empty");
             let keep_a = self.a.split_off(&tmin);
-            for (dead, _) in std::mem::replace(&mut self.a, keep_a) {
-                self.reps.remove(&dead);
+            for (dead_t, id) in std::mem::replace(&mut self.a, keep_a) {
+                self.reps.remove(&dead_t);
+                self.dead.release(res, id);
             }
             let keep_rv = self.rv.split_off(&tmin);
-            self.rv = keep_rv;
+            for (_, id) in std::mem::replace(&mut self.rv, keep_rv) {
+                self.dead.release(res, id);
+            }
             let keep_r = self.r.split_off(&tmin);
-            self.r = keep_r;
+            for (_, (id, _, _)) in std::mem::replace(&mut self.r, keep_r) {
+                self.dead.release(res, id);
+            }
         }
     }
 
     /// Structural invariants (test helper): liveness of every stored
     /// time, the `2γ` separation of `AV`, the `δγ/2` separation of `A`,
     /// and independence of every live attractor's representative colors.
-    fn check_invariants<Mat: Matroid<u32>>(
+    #[allow(clippy::too_many_arguments)] // internal checker; mirrors update's list
+    fn check_invariants<M: Metric, Mat: Matroid<u32>>(
         &self,
         metric: &M,
+        res: Resolver<'_, M::Point>,
         t: u64,
         n: u64,
         matroid: &Mat,
@@ -233,13 +279,23 @@ impl<M: Metric> MatroidGuess<M> {
                 return Err(format!("expired entry {time} at t={t}"));
             }
         }
+        for &id in self
+            .av
+            .values()
+            .chain(self.rv.values())
+            .chain(self.a.values())
+        {
+            if res.try_get(id).is_none() {
+                return Err("entry holds a collected arena id".into());
+            }
+        }
         if self.av.len() > k + 1 {
             return Err(format!("|AV| = {} > rank+1", self.av.len()));
         }
         let avs: Vec<_> = self.av.iter().collect();
         for i in 0..avs.len() {
             for j in (i + 1)..avs.len() {
-                if metric.dist(avs[i].1, avs[j].1) <= 2.0 * self.gamma {
+                if metric.dist(res.get(*avs[i].1), res.get(*avs[j].1)) <= 2.0 * self.gamma {
                     return Err(format!(
                         "v-attractors {} and {} within 2γ",
                         avs[i].0, avs[j].0
@@ -250,7 +306,7 @@ impl<M: Metric> MatroidGuess<M> {
         let cas: Vec<_> = self.a.iter().collect();
         for i in 0..cas.len() {
             for j in (i + 1)..cas.len() {
-                if metric.dist(cas[i].1, cas[j].1) <= delta * self.gamma / 2.0 {
+                if metric.dist(res.get(*cas[i].1), res.get(*cas[j].1)) <= delta * self.gamma / 2.0 {
                     return Err(format!(
                         "c-attractors {} and {} within δγ/2",
                         cas[i].0, cas[j].0
@@ -266,17 +322,20 @@ impl<M: Metric> MatroidGuess<M> {
             for &time in times {
                 match self.r.get(&time) {
                     None => return Err(format!("tracked rep {time} missing from R")),
-                    Some((p, c, att)) => {
-                        if *att != a {
+                    Some(&(id, c, att)) => {
+                        if att != a {
                             return Err(format!("R entry {time} attractor mismatch"));
                         }
-                        let d = metric.dist(p, &self.a[&a]);
+                        let Some(rp) = res.try_get(id) else {
+                            return Err(format!("R entry {time} holds a collected id"));
+                        };
+                        let d = metric.dist(rp, res.get(self.a[&a]));
                         if d > delta * self.gamma / 2.0 + 1e-9 {
                             return Err(format!(
                                 "rep {time} at distance {d} > δγ/2 from attractor {a}"
                             ));
                         }
-                        colors.push(*c);
+                        colors.push(c);
                     }
                 }
             }
@@ -296,7 +355,7 @@ pub struct MatroidSlidingWindow<M: Metric, Mat: Matroid<u32>> {
     window_size: usize,
     delta: f64,
     k: usize,
-    guesses: Vec<MatroidGuess<M>>,
+    set: GuessSet<MatroidGuess, M::Point>,
     t: u64,
     exec: Exec,
 }
@@ -337,7 +396,7 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
             window_size,
             delta,
             k,
-            guesses,
+            set: GuessSet::new(guesses),
             t: 0,
             exec: Exec::default(),
         })
@@ -367,61 +426,75 @@ where
     M::Point: Send + Sync,
     Mat: Matroid<u32> + Sync,
 {
-    /// Handles one arrival (fanned out per guess when a pool is set; the
-    /// matroid oracle is shared read-only across workers).
+    /// Handles one arrival (interned once, fanned out per guess when a
+    /// pool is set; the matroid oracle is shared read-only across
+    /// workers).
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
         let t = self.t;
         let te = t.checked_sub(self.window_size as u64);
+        let id = self.set.store.insert(t, p.point);
         let metric = &self.metric;
         let matroid = &self.matroid;
         let (k, delta) = (self.k, self.delta);
-        self.exec.for_each_mut(&mut self.guesses, |g| {
+        let res = self.set.store.resolver();
+        self.exec.for_each_mut(&mut self.set.guesses, |g| {
             if let Some(te) = te {
-                g.expire(te);
+                g.expire(res, te);
             }
-            g.update(metric, t, &p.point, p.color, matroid, k, delta);
+            g.update(metric, res, t, id, p.color, matroid, k, delta);
         });
+        self.set.finish_arrival(te);
     }
 
-    /// Batch arrivals: each guess replays the whole batch locally (one
-    /// pool dispatch per batch; identical evolution to repeated insert).
+    /// Batch arrivals: the batch is interned up front and each guess
+    /// replays it locally (one pool dispatch per batch; identical
+    /// evolution to repeated insert).
     fn insert_batch<I>(&mut self, batch: I)
     where
         I: IntoIterator<Item = Colored<M::Point>>,
     {
-        let batch: Vec<Colored<M::Point>> = batch.into_iter().collect();
+        let n = self.window_size as u64;
+        let ids: Vec<ColoredId> = batch
+            .into_iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let t = self.t + 1 + j as u64;
+                Colored::new(self.set.store.insert(t, p.point), p.color)
+            })
+            .collect();
         let metric = &self.metric;
         let matroid = &self.matroid;
         let (k, delta) = (self.k, self.delta);
-        self.t = self.exec.replay_batch(
-            &mut self.guesses,
-            &batch,
-            self.t,
-            self.window_size as u64,
-            |g, t, te, p| {
+        let res = self.set.store.resolver();
+        self.t = self
+            .exec
+            .replay_batch(&mut self.set.guesses, &ids, self.t, n, |g, t, te, cid| {
                 if let Some(te) = te {
-                    g.expire(te);
+                    g.expire(res, te);
                 }
-                g.update(metric, t, &p.point, p.color, matroid, k, delta);
-            },
-        );
+                g.update(metric, res, t, cid.point, cid.color, matroid, k, delta);
+            });
+        self.set.finish_arrival(self.t.checked_sub(n));
     }
 
     /// Queries: validation packing as in Algorithm 3 (`k = rank`), then
-    /// the generic matroid-center solver on the coreset.
+    /// the generic matroid-center solver on the coreset (resolved from
+    /// the arena inside [`matroid_center_ids`] at solution assembly).
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
+        let res = self.set.store.resolver();
         self.exec
-            .find_map_first(&self.guesses, |g| {
+            .find_map_first(&self.set.guesses, |g| {
                 if g.av.len() > self.k {
                     return None;
                 }
                 let two_gamma = 2.0 * g.gamma;
                 let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
-                for q in g.rv.values() {
+                for &qid in g.rv.values() {
+                    let q = res.get(qid);
                     if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
                         packing.push(q);
                         if packing.len() > self.k {
@@ -429,27 +502,22 @@ where
                         }
                     }
                 }
-                let points: Vec<M::Point> = g.r.values().map(|(p, _, _)| p.clone()).collect();
-                let colors: Vec<u32> = g.r.values().map(|(_, c, _)| *c).collect();
+                let ids: Vec<PointId> = g.r.values().map(|&(id, _, _)| id).collect();
+                let colors: Vec<u32> = g.r.values().map(|&(_, c, _)| c).collect();
                 let idx_matroid = OverColors::new(&colors, &self.matroid);
-                let inst = MatroidInstance {
-                    metric: &self.metric,
-                    points: &points,
-                    matroid: &idx_matroid,
-                };
                 Some(
-                    matroid_center(&inst)
+                    matroid_center_ids(&self.metric, res, &ids, &idx_matroid)
                         .map_err(QueryError::Solver)
                         .map(|sol| {
                             let centers = sol
                                 .centers
                                 .iter()
-                                .map(|&i| Colored::new(points[i].clone(), colors[i]))
+                                .map(|&i| Colored::new(res.get(ids[i]).clone(), colors[i]))
                                 .collect();
                             Solution {
                                 centers,
                                 guess: g.gamma,
-                                coreset_size: points.len(),
+                                coreset_size: ids.len(),
                                 coreset_radius: sol.radius,
                                 extras: SolutionExtras::None,
                             }
@@ -468,22 +536,24 @@ where
     }
 
     fn memory_stats(&self) -> MemoryStats {
-        MemoryStats::from_guesses(self.guesses.iter().map(|g| (g.gamma, g.stored_points())))
+        self.set.memory_stats()
     }
 
     fn stored_points(&self) -> usize {
-        self.guesses.iter().map(MatroidGuess::stored_points).sum()
+        self.set.stored_points()
     }
 
     fn num_guesses(&self) -> usize {
-        self.guesses.len()
+        self.set.guesses.len()
     }
 
     /// Verifies per-guess invariants (test helper).
     fn check_invariants(&self) -> Result<(), String> {
-        for g in &self.guesses {
+        let res = self.set.store.resolver();
+        for g in &self.set.guesses {
             g.check_invariants(
                 &self.metric,
+                res,
                 self.t,
                 self.window_size as u64,
                 &self.matroid,
@@ -598,6 +668,10 @@ mod tests {
             sw.stored_points() <= 2 * peak_early + 64,
             "memory grew with stream length"
         );
+        // Arena payloads are the deduplicated union, never more than the
+        // handle entries.
+        let stats = sw.memory_stats();
+        assert!(stats.unique_points <= stats.stored_points());
     }
 
     #[test]

@@ -33,16 +33,17 @@ use crate::algorithm::query_over_guesses;
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
+use crate::guess_set::{arena_stats, reclaim_dead};
 use crate::parallel::{Exec, ParallelismSpec};
-use fairsw_metric::{Colored, Metric};
+use fairsw_metric::{Colored, Metric, PointFootprint, PointStore};
 use fairsw_sequential::{FairCenterSolver, Jones};
 use fairsw_stream::{DiameterEstimator, Lattice, WindowedMinLattice};
 use std::collections::BTreeMap;
 
 /// A materialized guess plus its birth time (for maturity tracking).
 #[derive(Clone, Debug)]
-struct BornGuess<M: Metric> {
-    state: GuessState<M>,
+struct BornGuess {
+    state: GuessState,
     born: u64,
 }
 
@@ -54,7 +55,9 @@ pub struct ObliviousFairSlidingWindow<M: Metric> {
     k: usize,
     lattice: Lattice,
     /// Materialized guesses keyed by lattice level (ascending).
-    guesses: BTreeMap<i32, BornGuess<M>>,
+    guesses: BTreeMap<i32, BornGuess>,
+    /// The shared interned arena the guesses' handles point into.
+    store: PointStore<M::Point>,
     diam: DiameterEstimator<M>,
     /// Windowed minimum of consecutive-arrival distances: the descent
     /// floor for the lower cutoff.
@@ -90,6 +93,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
             k,
             lattice,
             guesses: BTreeMap::new(),
+            store: PointStore::new(),
             last: None,
             prev_point: None,
             t: 0,
@@ -132,7 +136,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
         for lvl in start..=hi {
             self.materialize(lvl);
         }
-        // Drop far-above levels.
+        // Drop far-above levels (returning their arena references).
         let too_high: Vec<i32> = self
             .guesses
             .keys()
@@ -140,12 +144,12 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
             .filter(|&l| l > hi + UPPER_BUFFER)
             .collect();
         for l in too_high {
-            self.guesses.remove(&l);
+            self.retire(l);
         }
 
         // Lower cutoff: invalidity frontier among mature guesses.
         let n = self.cfg.window_size as u64;
-        let mature = |g: &BornGuess<M>| g.born == 1 || g.born + n - 1 <= self.t;
+        let mature = |g: &BornGuess| g.born == 1 || g.born + n - 1 <= self.t;
         let frontier = self
             .guesses
             .iter()
@@ -163,7 +167,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
                     .filter(|&l| l < f - LOWER_BUFFER)
                     .collect();
                 for l in too_low {
-                    self.guesses.remove(&l);
+                    self.retire(l);
                 }
             }
             None => {
@@ -191,6 +195,15 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
         });
     }
 
+    /// Drops a materialized level, returning every arena reference its
+    /// families held (owner-side; payloads referenced by no other guess
+    /// are reclaimed immediately).
+    fn retire(&mut self, lvl: i32) {
+        if let Some(g) = self.guesses.remove(&lvl) {
+            g.state.release_all(&mut self.store);
+        }
+    }
+
     /// Queries the current window with an explicit coreset solver.
     /// Prefers mature guesses; falls back to immature ones, then to the
     /// newest point (degenerate windows where no scale information
@@ -205,15 +218,16 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
             return Err(QueryError::EmptyWindow);
         }
         let n = self.cfg.window_size as u64;
-        let mature = |g: &BornGuess<M>| g.born == 1 || g.born + n - 1 <= self.t;
-        let all: Vec<(&GuessState<M>, bool)> = self
+        let mature = |g: &BornGuess| g.born == 1 || g.born + n - 1 <= self.t;
+        let all: Vec<(&GuessState, bool)> = self
             .guesses
             .values()
             .map(|g| (&g.state, mature(g)))
             .collect();
+        let res = self.store.resolver();
 
         let attempt = |only_mature: bool| {
-            let scan: Vec<(&GuessState<M>, bool)> = all
+            let scan: Vec<(&GuessState, bool)> = all
                 .iter()
                 .copied()
                 .filter(|&(_, m)| m || !only_mature)
@@ -221,6 +235,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
             query_over_guesses(
                 &self.exec,
                 &self.metric,
+                res,
                 &scan,
                 self.k,
                 &self.cfg.capacities,
@@ -299,24 +314,36 @@ where
 
         self.adjust_range();
 
+        let color = p.color;
+        let id = self.store.insert(t, p.point);
         let metric = &self.metric;
         let budgets = Budgets {
             caps: &self.cfg.capacities,
             k: self.k,
             delta: self.cfg.delta,
         };
-        let update = |g: &mut BornGuess<M>| {
+        let res = self.store.resolver();
+        let update = |g: &mut BornGuess| {
             if let Some(te) = te {
-                g.state.expire(te);
+                g.state.expire(res, te);
             }
-            g.state.update(metric, t, &p.point, p.color, budgets);
+            g.state.update(metric, res, t, id, color, budgets);
         };
         if self.exec.is_sequential() {
             // Hot path: iterate the map directly, no per-arrival Vec.
             self.guesses.values_mut().for_each(update);
         } else {
-            let mut live: Vec<&mut BornGuess<M>> = self.guesses.values_mut().collect();
+            let mut live: Vec<&mut BornGuess> = self.guesses.values_mut().collect();
             self.exec.for_each_mut(&mut live, |g| update(g));
+        }
+        // Arrival epilogue: reclaim payloads released during the
+        // dispatch, then run the window-expiry epoch sweep.
+        reclaim_dead(
+            &mut self.store,
+            self.guesses.values_mut().map(|g| &mut g.state),
+        );
+        if let Some(te) = te {
+            self.store.expire(te);
         }
     }
 
@@ -333,14 +360,23 @@ where
     }
 
     /// Per-guess counts plus the estimator anchors and the newest-point
-    /// fallback as auxiliary storage.
+    /// fallback as auxiliary storage. The payload-byte accounting folds
+    /// in the auxiliary owned points (they live outside the arena).
     fn memory_stats(&self) -> MemoryStats {
-        MemoryStats::from_guesses(
+        let aux_bytes = self.diam.payload_bytes()
+            + self
+                .last
+                .as_ref()
+                .map(|c| c.point.payload_bytes())
+                .unwrap_or(0);
+        arena_stats(
             self.guesses
                 .values()
                 .map(|g| (g.state.gamma(), g.state.stored_points())),
+            &self.store,
         )
         .with_auxiliary(self.diam.stored_points() + self.last.is_some() as usize)
+        .with_extra_payload_bytes(aux_bytes)
     }
 
     fn stored_points(&self) -> usize {
@@ -358,9 +394,11 @@ where
 
     /// Verifies per-guess invariants (test helper).
     fn check_invariants(&self) -> Result<(), String> {
+        let res = self.store.resolver();
         for g in self.guesses.values() {
             g.state.check_invariants(
                 &self.metric,
+                res,
                 self.t,
                 self.cfg.window_size as u64,
                 Budgets {

@@ -12,7 +12,7 @@
 //!   offline, so no rayon/crossbeam; the pool is ~150 lines of std) with
 //!   a scoped-dispatch primitive that lets jobs borrow the caller's
 //!   stack;
-//! * [`Exec`] — the per-algorithm handle: either inline sequential
+//! * `Exec` (crate-internal) — the per-algorithm handle: either inline sequential
 //!   execution or a shared pool, with the two access patterns the
 //!   variants need (`for_each_mut` over mutable per-guess state,
 //!   `find_map_first` for the ascending-γ query scan).
@@ -90,7 +90,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// Workers live as long as the pool; each [`scope`](WorkerPool::scope)
 /// call distributes a batch of jobs round-robin and blocks until all of
 /// them finish, so jobs may borrow from the caller's stack frame.
-/// Cloning the owning [`Exec`] shares the pool (it is stateless between
+/// Cloning the owning `Exec` shares the pool (it is stateless between
 /// scope calls); concurrent `scope` calls from different threads are
 /// safe because each call tracks completions on its own channel.
 pub struct WorkerPool {
@@ -101,7 +101,7 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `threads` workers (`threads >= 2`; smaller counts should
-    /// not construct a pool at all — see [`Exec::new`]).
+    /// not construct a pool at all — see `Exec::new`).
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 2, "a pool below 2 threads is pure overhead");
         let mut senders = Vec::with_capacity(threads);

@@ -30,9 +30,10 @@
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
+use crate::guess_set::GuessSet;
 use crate::parallel::{Exec, ParallelismSpec};
-use fairsw_metric::{Colored, Metric};
-use fairsw_sequential::{Instance, RobustFair};
+use fairsw_metric::{Colored, ColoredId, Metric};
+use fairsw_sequential::RobustFair;
 use fairsw_stream::Lattice;
 
 /// Sliding-window fair center tolerating up to `z` outliers per window.
@@ -46,7 +47,7 @@ pub struct RobustFairSlidingWindow<M: Metric> {
     z: usize,
     /// Inflated per-color caps `k_i + z` maintained in the coreset.
     inflated_caps: Vec<usize>,
-    guesses: Vec<GuessState<M>>,
+    set: GuessSet<GuessState, M::Point>,
     t: u64,
     exec: Exec,
 }
@@ -76,7 +77,7 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
             k,
             z,
             inflated_caps,
-            guesses,
+            set: GuessSet::new(guesses),
             t: 0,
             exec: Exec::default(),
         })
@@ -105,12 +106,13 @@ where
     M: Metric + Sync,
     M::Point: Send + Sync,
 {
-    /// Handles one arrival (Update with the robustified budgets, fanned
-    /// out per guess when a pool is set).
+    /// Handles one arrival (interned once, then Update with the
+    /// robustified budgets, fanned out per guess when a pool is set).
     fn insert(&mut self, p: Colored<M::Point>) {
         self.t += 1;
         let t = self.t;
         let te = t.checked_sub(self.cfg.window_size as u64);
+        let id = self.set.store.insert(t, p.point);
         // Validation structures certify the *robust* optimum: cap k+z.
         let metric = &self.metric;
         let budgets = Budgets {
@@ -118,39 +120,48 @@ where
             k: self.k + self.z,
             delta: self.cfg.delta,
         };
-        self.exec.for_each_mut(&mut self.guesses, |g| {
+        let res = self.set.store.resolver();
+        self.exec.for_each_mut(&mut self.set.guesses, |g| {
             if let Some(te) = te {
-                g.expire(te);
+                g.expire(res, te);
             }
-            g.update(metric, t, &p.point, p.color, budgets);
+            g.update(metric, res, t, id, p.color, budgets);
         });
+        self.set.finish_arrival(te);
     }
 
-    /// Batch arrivals: each guess replays the whole batch locally (one
-    /// pool dispatch per batch; identical evolution to repeated insert).
+    /// Batch arrivals: the batch is interned up front and each guess
+    /// replays it locally (one pool dispatch per batch; identical
+    /// evolution to repeated insert).
     fn insert_batch<I>(&mut self, batch: I)
     where
         I: IntoIterator<Item = Colored<M::Point>>,
     {
-        let batch: Vec<Colored<M::Point>> = batch.into_iter().collect();
+        let n = self.cfg.window_size as u64;
+        let ids: Vec<ColoredId> = batch
+            .into_iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let t = self.t + 1 + j as u64;
+                Colored::new(self.set.store.insert(t, p.point), p.color)
+            })
+            .collect();
         let metric = &self.metric;
         let budgets = Budgets {
             caps: &self.inflated_caps,
             k: self.k + self.z,
             delta: self.cfg.delta,
         };
-        self.t = self.exec.replay_batch(
-            &mut self.guesses,
-            &batch,
-            self.t,
-            self.cfg.window_size as u64,
-            |g, t, te, p| {
+        let res = self.set.store.resolver();
+        self.t = self
+            .exec
+            .replay_batch(&mut self.set.guesses, &ids, self.t, n, |g, t, te, cid| {
                 if let Some(te) = te {
-                    g.expire(te);
+                    g.expire(res, te);
                 }
-                g.update(metric, t, &p.point, p.color, budgets);
-            },
-        );
+                g.update(metric, res, t, cid.point, cid.color, budgets);
+            });
+        self.set.finish_arrival(self.t.checked_sub(n));
     }
 
     /// Queries: guess selection with the `k+z` packing threshold, then
@@ -162,14 +173,15 @@ where
         }
         let k_eff = self.k + self.z;
         let solver = RobustFair::new(self.z);
+        let res = self.set.store.resolver();
         self.exec
-            .find_map_first(&self.guesses, |g| {
+            .find_map_first(&self.set.guesses, |g| {
                 if g.av_len() > k_eff {
                     return None;
                 }
                 let two_gamma = 2.0 * g.gamma();
                 let mut packing: Vec<&M::Point> = Vec::with_capacity(k_eff + 1);
-                for q in g.rv_points() {
+                for q in g.rv_points(res) {
                     if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
                         packing.push(q);
                         if packing.len() > k_eff {
@@ -177,19 +189,21 @@ where
                         }
                     }
                 }
-                let coreset = g.coreset();
-                let inst = Instance::new(&self.metric, &coreset, &self.cfg.capacities);
+                let ids = g.coreset_ids();
                 Some(
                     solver
-                        .solve_robust(&inst)
+                        .solve_robust_ids(&self.metric, res, &ids, &self.cfg.capacities)
                         .map_err(QueryError::Solver)
                         .map(|sol| {
-                            let outliers =
-                                sol.outliers.iter().map(|&i| coreset[i].clone()).collect();
+                            let outliers = sol
+                                .outliers
+                                .iter()
+                                .map(|&i| res.colored(ids[i]).map(Clone::clone))
+                                .collect();
                             Solution {
                                 centers: sol.centers,
                                 guess: g.gamma(),
-                                coreset_size: coreset.len(),
+                                coreset_size: ids.len(),
                                 coreset_radius: sol.radius,
                                 extras: SolutionExtras::Robust { outliers },
                             }
@@ -208,22 +222,24 @@ where
     }
 
     fn memory_stats(&self) -> MemoryStats {
-        MemoryStats::from_guesses(self.guesses.iter().map(|g| (g.gamma(), g.stored_points())))
+        self.set.memory_stats()
     }
 
     fn stored_points(&self) -> usize {
-        self.guesses.iter().map(GuessState::stored_points).sum()
+        self.set.stored_points()
     }
 
     fn num_guesses(&self) -> usize {
-        self.guesses.len()
+        self.set.guesses.len()
     }
 
     /// Verifies per-guess invariants (test helper).
     fn check_invariants(&self) -> Result<(), String> {
-        for g in &self.guesses {
+        let res = self.set.store.resolver();
+        for g in &self.set.guesses {
             g.check_invariants(
                 &self.metric,
+                res,
                 self.t,
                 self.cfg.window_size as u64,
                 Budgets {

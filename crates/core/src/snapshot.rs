@@ -32,17 +32,28 @@
 //! `BTreeMap`/`VecDeque` families whose derived encodings would be both
 //! larger and slower, and the workspace keeps its dependency surface
 //! minimal (DESIGN.md §6).
+//!
+//! ## Format v2: snapshots go through the arena
+//!
+//! Since the interned-`PointStore` refactor, point payloads are written
+//! **once**, in a store section of `(arrival time, point)` pairs; the
+//! per-guess families serialize only arrival times plus metadata (a
+//! point's identity *is* its arrival time). `restore` re-interns the
+//! store section, rebuilds the time→handle mapping, and re-acquires one
+//! arena reference per family entry — so a restored window carries
+//! exactly the deduplicated payload footprint of the original.
 
 use crate::algorithm::FairSlidingWindow;
 use crate::config::FairSWConfig;
 use crate::guess::{CoresetEntry, GuessState};
-use fairsw_metric::{EuclidPoint, Metric};
+use crate::guess_set::GuessSet;
+use fairsw_metric::{EuclidPoint, Metric, PointId, PointStore};
 use fairsw_stream::Lattice;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
-/// Magic + version tag of the snapshot format.
-const MAGIC: &[u8; 4] = b"FSW1";
+/// Magic + version tag of the snapshot format (v2 = interned arena).
+const MAGIC: &[u8; 4] = b"FSW2";
 
 /// Errors raised while decoding a snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,7 +97,7 @@ impl PointCodec for EuclidPoint {
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, SnapshotError> {
-        let n = take_u64(input)? as usize;
+        let n = take_count(input, 8)?;
         if n > 1 << 24 {
             return Err(SnapshotError::Invalid(format!("absurd dimension {n}")));
         }
@@ -136,40 +147,60 @@ fn take_f64(input: &mut &[u8]) -> Result<f64, SnapshotError> {
     Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
 }
 
-// ---- guess-state codec -------------------------------------------------
+/// Reads a length prefix and sanity-checks it against the bytes left:
+/// every counted item occupies at least `min_item_bytes` further input,
+/// so a count the buffer cannot possibly satisfy is rejected *before*
+/// any allocation is sized by it (a corrupt 30-byte snapshot must not
+/// trigger a multi-GiB `with_capacity`).
+fn take_count(input: &mut &[u8], min_item_bytes: usize) -> Result<usize, SnapshotError> {
+    let n = take_u64(input)?;
+    if n as u128 * min_item_bytes as u128 > input.len() as u128 {
+        return Err(SnapshotError::Truncated);
+    }
+    Ok(n as usize)
+}
 
-fn encode_point_map<P: PointCodec>(out: &mut Vec<u8>, map: &BTreeMap<u64, P>) {
+// ---- guess-state codec -------------------------------------------------
+//
+// Families reference points by arrival time only; payloads live in the
+// snapshot's store section. The decoder resolves times through the
+// re-interned arena and re-acquires one reference per entry.
+
+fn encode_time_map(out: &mut Vec<u8>, map: &BTreeMap<u64, PointId>) {
     put_u64(out, map.len() as u64);
-    for (t, p) in map {
+    for t in map.keys() {
         put_u64(out, *t);
-        p.encode(out);
     }
 }
 
-fn decode_point_map<P: PointCodec>(input: &mut &[u8]) -> Result<BTreeMap<u64, P>, SnapshotError> {
-    let n = take_u64(input)? as usize;
+fn decode_time_map<P>(
+    input: &mut &[u8],
+    ids: &HashMap<u64, PointId>,
+    store: &mut PointStore<P>,
+) -> Result<BTreeMap<u64, PointId>, SnapshotError> {
+    let n = take_count(input, 8)?;
     let mut map = BTreeMap::new();
     for _ in 0..n {
         let t = take_u64(input)?;
-        let p = P::decode(input)?;
-        map.insert(t, p);
+        let id = *ids
+            .get(&t)
+            .ok_or_else(|| SnapshotError::Invalid(format!("entry time {t} not in store")))?;
+        store.acquire_owned(id);
+        map.insert(t, id);
     }
     Ok(map)
 }
 
-fn encode_guess<M: Metric>(out: &mut Vec<u8>, g: &GuessState<M>)
-where
-    M::Point: PointCodec,
-{
+fn encode_guess(out: &mut Vec<u8>, g: &GuessState) {
     put_f64(out, g.gamma);
-    encode_point_map(out, &g.av);
+    encode_time_map(out, &g.av);
     put_u64(out, g.rep_of.len() as u64);
     for (v, rep) in &g.rep_of {
         put_u64(out, *v);
         put_u64(out, *rep);
     }
-    encode_point_map(out, &g.rv);
-    encode_point_map(out, &g.a);
+    encode_time_map(out, &g.rv);
+    encode_time_map(out, &g.a);
     put_u64(out, g.reps_c.len() as u64);
     for (a, per) in &g.reps_c {
         put_u64(out, *a);
@@ -184,41 +215,38 @@ where
     put_u64(out, g.r.len() as u64);
     for (t, e) in &g.r {
         put_u64(out, *t);
-        e.point.encode(out);
         put_u32(out, e.color);
         put_u64(out, e.attractor);
     }
 }
 
-fn decode_guess<M: Metric>(input: &mut &[u8]) -> Result<GuessState<M>, SnapshotError>
-where
-    M::Point: PointCodec,
-{
+fn decode_guess<P>(
+    input: &mut &[u8],
+    ids: &HashMap<u64, PointId>,
+    store: &mut PointStore<P>,
+) -> Result<GuessState, SnapshotError> {
     let gamma = take_f64(input)?;
     if !(gamma.is_finite() && gamma > 0.0) {
         return Err(SnapshotError::Invalid(format!("bad gamma {gamma}")));
     }
-    let av = decode_point_map(input)?;
-    let n = take_u64(input)? as usize;
+    let av = decode_time_map(input, ids, store)?;
+    let n = take_count(input, 16)?;
     let mut rep_of = HashMap::with_capacity(n);
     for _ in 0..n {
         let v = take_u64(input)?;
         let rep = take_u64(input)?;
         rep_of.insert(v, rep);
     }
-    let rv = decode_point_map(input)?;
-    let a = decode_point_map(input)?;
-    let n = take_u64(input)? as usize;
+    let rv = decode_time_map(input, ids, store)?;
+    let a = decode_time_map(input, ids, store)?;
+    let n = take_count(input, 16)?;
     let mut reps_c = HashMap::with_capacity(n);
     for _ in 0..n {
         let at = take_u64(input)?;
-        let ncolors = take_u64(input)? as usize;
-        if ncolors > 1 << 20 {
-            return Err(SnapshotError::Invalid("absurd color count".into()));
-        }
+        let ncolors = take_count(input, 8)?;
         let mut per = Vec::with_capacity(ncolors);
         for _ in 0..ncolors {
-            let len = take_u64(input)? as usize;
+            let len = take_count(input, 8)?;
             let mut dq = VecDeque::with_capacity(len);
             for _ in 0..len {
                 dq.push_back(take_u64(input)?);
@@ -227,17 +255,20 @@ where
         }
         reps_c.insert(at, per);
     }
-    let n = take_u64(input)? as usize;
+    let n = take_count(input, 20)?;
     let mut r = BTreeMap::new();
     for _ in 0..n {
         let t = take_u64(input)?;
-        let point = M::Point::decode(input)?;
         let color = take_u32(input)?;
         let attractor = take_u64(input)?;
+        let id = *ids
+            .get(&t)
+            .ok_or_else(|| SnapshotError::Invalid(format!("r entry time {t} not in store")))?;
+        store.acquire_owned(id);
         r.insert(
             t,
             CoresetEntry {
-                point,
+                id,
                 color,
                 attractor,
             },
@@ -260,7 +291,8 @@ where
     M::Point: PointCodec,
 {
     /// Serializes the complete algorithm state (configuration included)
-    /// into a self-contained byte buffer.
+    /// into a self-contained byte buffer. Each live point payload is
+    /// written once — the arena's deduplication carries over to the wire.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(1024);
         out.extend_from_slice(MAGIC);
@@ -272,8 +304,14 @@ where
         put_f64(&mut out, self.cfg.beta);
         put_f64(&mut out, self.cfg.delta);
         put_u64(&mut out, self.t);
-        put_u64(&mut out, self.guesses.len() as u64);
-        for g in &self.guesses {
+        // Store section: (arrival time, payload) in arrival order.
+        put_u64(&mut out, self.set.store.live_points() as u64);
+        for (t, _, p) in self.set.store.iter() {
+            put_u64(&mut out, t);
+            p.encode(&mut out);
+        }
+        put_u64(&mut out, self.set.guesses.len() as u64);
+        for g in &self.set.guesses {
             encode_guess(&mut out, g);
         }
         out
@@ -282,8 +320,8 @@ where
     /// Reconstructs a window from a snapshot produced by
     /// [`snapshot`](Self::snapshot). Only the metric must be re-supplied
     /// (a distance function is code, not data); everything else —
-    /// configuration, arrival counter, every per-guess family — comes
-    /// from the buffer.
+    /// configuration, arrival counter, the interned arena, every
+    /// per-guess family — comes from the buffer.
     pub fn restore(metric: M, bytes: &[u8]) -> Result<Self, SnapshotError> {
         let mut input = bytes;
         let magic = take_bytes(&mut input, 4)?;
@@ -291,10 +329,7 @@ where
             return Err(SnapshotError::BadMagic);
         }
         let window_size = take_u64(&mut input)? as usize;
-        let ncaps = take_u64(&mut input)? as usize;
-        if ncaps > 1 << 20 {
-            return Err(SnapshotError::Invalid("absurd capacity count".into()));
-        }
+        let ncaps = take_count(&mut input, 8)?;
         let mut capacities = Vec::with_capacity(ncaps);
         for _ in 0..ncaps {
             capacities.push(take_u64(&mut input)? as usize);
@@ -310,13 +345,28 @@ where
         cfg.validate()
             .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
         let t = take_u64(&mut input)?;
-        let nguesses = take_u64(&mut input)? as usize;
-        if nguesses > 1 << 20 {
-            return Err(SnapshotError::Invalid("absurd guess count".into()));
+        // Store section: re-intern in arrival order, building the
+        // time → handle mapping the family decoders resolve through.
+        // Each entry needs ≥ 16 bytes (time + point-length header), so a
+        // count the buffer cannot hold is refused before allocating.
+        let npoints = take_count(&mut input, 16)?;
+        let mut store: PointStore<M::Point> = PointStore::new();
+        let mut ids: HashMap<u64, PointId> = HashMap::with_capacity(npoints);
+        let mut prev_time: Option<u64> = None;
+        for _ in 0..npoints {
+            let pt = take_u64(&mut input)?;
+            if prev_time.is_some_and(|prev| pt <= prev) {
+                return Err(SnapshotError::Invalid("store times not increasing".into()));
+            }
+            prev_time = Some(pt);
+            let p = M::Point::decode(&mut input)?;
+            ids.insert(pt, store.insert(pt, p));
         }
+        // A guess encodes at minimum its γ plus six length prefixes.
+        let nguesses = take_count(&mut input, 56)?;
         let mut guesses = Vec::with_capacity(nguesses);
         for _ in 0..nguesses {
-            guesses.push(decode_guess::<M>(&mut input)?);
+            guesses.push(decode_guess(&mut input, &ids, &mut store)?);
         }
         if !input.is_empty() {
             return Err(SnapshotError::Invalid(format!(
@@ -334,7 +384,7 @@ where
             cfg,
             k,
             lattice,
-            guesses,
+            set: GuessSet { guesses, store },
             t,
             exec: crate::parallel::Exec::default(),
         })
@@ -371,6 +421,10 @@ mod tests {
         assert_eq!(restored.time(), sw.time());
         assert_eq!(restored.stored_points(), sw.stored_points());
         assert_eq!(restored.num_guesses(), sw.num_guesses());
+        // The arena's deduplicated footprint survives the roundtrip.
+        let (a, b) = (sw.memory_stats(), restored.memory_stats());
+        assert_eq!(a.unique_points, b.unique_points);
+        assert_eq!(a.payload_bytes, b.payload_bytes);
         restored.check_invariants().unwrap();
         let a = sw.query().unwrap();
         let b = restored.query().unwrap();
@@ -385,7 +439,8 @@ mod tests {
         let bytes = original.snapshot();
         let mut restored = FairSlidingWindow::restore(Euclidean, &bytes).unwrap();
         // Continue both with the same suffix; behavior must stay in
-        // lockstep (expiry, cleanup, evictions are all deterministic).
+        // lockstep (expiry, cleanup, evictions, arena reclaim are all
+        // deterministic).
         for i in 100u64..260 {
             let x = (i as f64 * 0.324_717_957_2).fract() * 500.0;
             let p = Colored::new(EuclidPoint::new(vec![x, x * 2.0]), (i % 2) as u32);
@@ -393,6 +448,10 @@ mod tests {
             restored.insert(p);
         }
         assert_eq!(original.stored_points(), restored.stored_points());
+        assert_eq!(
+            original.memory_stats().unique_points,
+            restored.memory_stats().unique_points
+        );
         let a = original.query().unwrap();
         let b = restored.query().unwrap();
         assert_eq!(a.guess, b.guess);
@@ -403,11 +462,11 @@ mod tests {
     fn snapshot_is_compact() {
         let sw = build(3_000);
         let bytes = sw.snapshot();
-        // State ≈ stored points × (point payload + bookkeeping): far less
-        // than replaying/storing the raw window would need, and bounded
-        // in the stream length.
-        let per_point = bytes.len() as f64 / sw.stored_points().max(1) as f64;
-        assert!(per_point < 128.0, "snapshot too fat: {per_point} B/point");
+        // Interned format: every payload once plus 8-byte times per
+        // entry — far below one payload per entry, let alone the raw
+        // window.
+        let per_entry = bytes.len() as f64 / sw.stored_points().max(1) as f64;
+        assert!(per_entry < 64.0, "snapshot too fat: {per_entry} B/entry");
     }
 
     #[test]
@@ -422,6 +481,11 @@ mod tests {
         ));
         assert!(matches!(
             FairSlidingWindow::<Euclidean>::restore(Euclidean, b"XXXXYYYYZZZZ"),
+            Err(SnapshotError::BadMagic)
+        ));
+        // The v1 (pre-arena) tag is refused, not misparsed.
+        assert!(matches!(
+            FairSlidingWindow::<Euclidean>::restore(Euclidean, b"FSW1AAAABBBBCCCC"),
             Err(SnapshotError::BadMagic)
         ));
         let sw = build(50);

@@ -1,6 +1,6 @@
 //! A concrete union of the color matroids shipped by this crate.
 //!
-//! The sliding-window engine ([`fairsw-core`]'s `WindowEngine`) needs to
+//! The sliding-window engine (`fairsw-core`'s `WindowEngine`) needs to
 //! hold "some matroid over colors" without a type parameter, so that a
 //! heterogeneous fleet of engines (`Vec<WindowEngine<M>>`) can mix
 //! partition-, laminar- and uniform-constrained variants. `AnyMatroid` is

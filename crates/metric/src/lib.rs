@@ -15,13 +15,18 @@
 //!   the guess set `Γ`;
 //! * [`doubling`] — an empirical doubling-dimension estimator used by the
 //!   experiment harness to relate coreset sizes to intrinsic
-//!   dimensionality (the algorithm itself never needs it, per the paper).
+//!   dimensionality (the algorithm itself never needs it, per the paper);
+//! * [`store`] — the interned [`PointStore`] arena: each live window
+//!   point stored once, addressed by copyable 4-byte [`PointId`] handles
+//!   with refcounted early reclaim plus window-expiry epoch GC.
 
 pub mod doubling;
 pub mod metric;
 pub mod point;
 pub mod stats;
+pub mod store;
 
 pub use metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
 pub use point::{Colored, Coords, EuclidPoint};
 pub use stats::{aspect_ratio, pairwise_extremes, sampled_extremes, PairwiseExtremes};
+pub use store::{ColoredId, PointFootprint, PointId, PointStore, Resolver};

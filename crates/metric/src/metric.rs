@@ -12,8 +12,12 @@ use crate::point::EuclidPoint;
 /// (non-negativity, identity, symmetry, triangle inequality); the property
 /// tests in this crate spot-check them for the bundled metrics.
 pub trait Metric: Clone {
-    /// The point type of the space.
-    type Point: Clone + std::fmt::Debug;
+    /// The point type of the space. The [`PointFootprint`] bound feeds
+    /// the byte-level memory accounting; its default implementation
+    /// (inline size only) makes custom point types a one-line impl.
+    ///
+    /// [`PointFootprint`]: crate::store::PointFootprint
+    type Point: Clone + std::fmt::Debug + crate::store::PointFootprint;
 
     /// The distance between two points. Must be finite and `>= 0`.
     fn dist(&self, a: &Self::Point, b: &Self::Point) -> f64;

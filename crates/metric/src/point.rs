@@ -45,6 +45,15 @@ impl EuclidPoint {
     }
 }
 
+impl crate::store::PointFootprint for EuclidPoint {
+    /// Struct plus the shared coordinate buffer. The buffer is counted in
+    /// full even though `clone`s share it — the interned arena stores each
+    /// point once, so resident copies and counted copies coincide there.
+    fn payload_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.coords.len() * std::mem::size_of::<f64>()
+    }
+}
+
 impl fmt::Debug for EuclidPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "EuclidPoint(")?;
@@ -81,8 +90,10 @@ impl From<&[f64]> for EuclidPoint {
 /// Colors are small dense integers `0..ℓ`; the partition-matroid budgets
 /// `k_i` in [`fairsw_matroid`](https://docs.rs/fairsw-matroid) are indexed
 /// by them. The sliding-window algorithm, the sequential baselines and the
-/// dataset generators all exchange `Colored<P>` values.
-#[derive(Clone, Debug)]
+/// dataset generators all exchange `Colored<P>` values; with a `Copy`
+/// payload (e.g. a [`crate::PointId`] handle) the tagged value is `Copy`
+/// too.
+#[derive(Clone, Copy, Debug)]
 pub struct Colored<P> {
     /// The payload point.
     pub point: P,

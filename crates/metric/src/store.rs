@@ -1,0 +1,538 @@
+//! The interned point arena shared by every sliding-window guess.
+//!
+//! The sliding-window algorithms run `Θ(log Δ / log(1+β))` parallel
+//! radius guesses, and each guess keeps the arriving point in up to four
+//! families (`AV`, `RV`, `A`, `R`). Storing an owned point per family per
+//! guess makes resident memory scale as `guesses × point size` even
+//! though the *set* of distinct live points is bounded by the coreset
+//! sizes. [`PointStore`] breaks that multiplication: each window point is
+//! stored **once**, and the guesses traffic in copyable 4-byte
+//! [`PointId`] handles.
+//!
+//! ## Lifecycle and garbage collection
+//!
+//! A point enters the store at its arrival time ([`PointStore::insert`])
+//! and leaves through one of two doors:
+//!
+//! * **Reference counting (early free).** Every guess-family entry holds
+//!   one reference, acquired/released through the [`Resolver`] view. The
+//!   counters are atomic so the per-guess work can run on worker threads;
+//!   a release that drops a count to zero *records* the id (in the
+//!   releasing guess's scratch list) rather than freeing — freeing is
+//!   owner-side, after the parallel dispatch has quiesced, via
+//!   [`PointStore::free_if_dead`]. A point evicted from every guess is
+//!   therefore reclaimed on the very arrival that evicted it, keeping
+//!   total payloads at `O(Σ coreset sizes)` rather than `O(window)`.
+//! * **Epoch expiry (backstop).** The structural invariants of the
+//!   algorithms guarantee no guess references a point older than the
+//!   window, so [`PointStore::expire`] sweeps everything at or below the
+//!   expiry time unconditionally. This catches points that never acquired
+//!   a reference (e.g. arrivals while the oblivious variant has no
+//!   materialized guess).
+//!
+//! Slots are reused through a free list; a *stamp* (the occupant's
+//! arrival time) disambiguates stale timeline entries from reused slots,
+//! so early-freed slots never get double-freed by the epoch sweep.
+//!
+//! ## Threading contract
+//!
+//! `&PointStore` (and its [`Resolver`]) is `Sync`: resolution and
+//! acquire/release are safe from worker threads. All *structural*
+//! mutation — insert, free, expire — takes `&mut self` and therefore
+//! happens on the owner thread between dispatches, which is exactly what
+//! makes handing `Resolver`s to a worker pool sound.
+
+use crate::point::Colored;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A 4-byte handle to a point interned in a [`PointStore`].
+///
+/// Ids are plain slot indices: copyable, orderable, hashable. They are
+/// only meaningful against the store that issued them, and only while the
+/// point is live (the sliding-window invariants guarantee the algorithms
+/// never hold an id past its window).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointId(pub(crate) u32);
+
+impl PointId {
+    /// The raw slot index (diagnostics / serialization).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A colored handle — what the guess structures store per entry (8
+/// bytes) and what the id-slice solver entry points consume.
+pub type ColoredId = Colored<PointId>;
+
+/// Heap footprint of a point payload, used by the byte-level memory
+/// accounting (`MemoryStats` in `fairsw-core`).
+///
+/// The default counts only the inline size of the value; point types
+/// owning heap buffers should override it. [`crate::EuclidPoint`] reports
+/// its coordinate buffer.
+pub trait PointFootprint {
+    /// Total bytes attributable to one resident copy of this point
+    /// (inline struct plus owned heap payload).
+    fn payload_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+struct Slot<P> {
+    /// The payload; `None` while the slot sits on the free list.
+    payload: Option<P>,
+    /// Arrival time of the current occupant (stale-timeline guard).
+    stamp: u64,
+    /// Live references held by guess-family entries.
+    rc: AtomicU32,
+}
+
+impl<P: Clone> Clone for Slot<P> {
+    fn clone(&self) -> Self {
+        Slot {
+            payload: self.payload.clone(),
+            stamp: self.stamp,
+            rc: AtomicU32::new(self.rc.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The interned point arena: each live window point stored exactly once.
+///
+/// See the [module docs](self) for the GC story. Constructed per
+/// algorithm instance; every radius guess of that instance shares it.
+pub struct PointStore<P> {
+    slots: Vec<Slot<P>>,
+    free: Vec<u32>,
+    /// `(arrival time, slot)` in arrival order — the epoch-expiry queue.
+    /// Entries may be stale (slot freed early and possibly reused); the
+    /// stamp check in [`expire`](Self::expire) skips those.
+    timeline: std::collections::VecDeque<(u64, u32)>,
+    live: usize,
+}
+
+impl<P> Default for PointStore<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PointStore<P> {
+    /// An empty store.
+    pub fn new() -> Self {
+        PointStore {
+            slots: Vec::new(),
+            free: Vec::new(),
+            timeline: std::collections::VecDeque::new(),
+            live: 0,
+        }
+    }
+
+    /// Interns the point arriving at time `t` (strictly increasing across
+    /// calls) with a zero reference count, returning its handle.
+    pub fn insert(&mut self, t: u64, p: P) -> PointId {
+        debug_assert!(
+            self.timeline.back().is_none_or(|&(last, _)| last < t),
+            "arrival times must be strictly increasing"
+        );
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.payload = Some(p);
+                slot.stamp = t;
+                *slot.rc.get_mut() = 0;
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("more than u32::MAX live points");
+                self.slots.push(Slot {
+                    payload: Some(p),
+                    stamp: t,
+                    rc: AtomicU32::new(0),
+                });
+                idx
+            }
+        };
+        self.timeline.push_back((t, idx));
+        self.live += 1;
+        PointId(idx)
+    }
+
+    /// Epoch sweep: frees every point that arrived at or before `te`
+    /// (the window-expiry backstop). By the algorithms' invariants no
+    /// guess still references such a point; a debug assertion checks it.
+    pub fn expire(&mut self, te: u64) {
+        while let Some(&(t, idx)) = self.timeline.front() {
+            if t > te {
+                break;
+            }
+            self.timeline.pop_front();
+            let slot = &mut self.slots[idx as usize];
+            // Stale entry: the slot was reclaimed early (and possibly
+            // reused by a younger point) — nothing to do.
+            if slot.stamp != t || slot.payload.is_none() {
+                continue;
+            }
+            debug_assert_eq!(
+                *slot.rc.get_mut(),
+                0,
+                "point {t} expired from the window while still referenced"
+            );
+            *slot.rc.get_mut() = 0;
+            slot.payload = None;
+            self.free.push(idx);
+            self.live -= 1;
+        }
+    }
+
+    /// Owner-side reclaim of an id recorded as dead by a release: frees
+    /// the slot iff its reference count is (still) zero. Idempotent —
+    /// transient zero-crossings during a parallel dispatch may record an
+    /// id that was re-acquired before the dispatch finished, and the same
+    /// id may be recorded more than once.
+    pub fn free_if_dead(&mut self, id: PointId) {
+        let slot = &mut self.slots[id.0 as usize];
+        if slot.payload.is_some() && *slot.rc.get_mut() == 0 {
+            slot.payload = None;
+            self.free.push(id.0);
+            self.live -= 1;
+        }
+    }
+
+    /// Owner-side release (guess retirement, restore-error unwinding):
+    /// drops one reference and frees immediately on zero.
+    pub fn release_owned(&mut self, id: PointId) {
+        let slot = &mut self.slots[id.0 as usize];
+        debug_assert!(slot.payload.is_some(), "releasing a dead id");
+        let rc = slot.rc.get_mut();
+        debug_assert!(*rc > 0, "release without matching acquire");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free_if_dead(id);
+        }
+    }
+
+    /// Owner-side acquire (snapshot restore rebuilds counts this way).
+    pub fn acquire_owned(&mut self, id: PointId) {
+        let slot = &mut self.slots[id.0 as usize];
+        debug_assert!(slot.payload.is_some(), "acquiring a dead id");
+        *slot.rc.get_mut() += 1;
+    }
+
+    /// The payload behind a live handle. Panics on a dead id — that is a
+    /// GC accounting bug, never a recoverable condition.
+    pub fn get(&self, id: PointId) -> &P {
+        self.resolver().get(id)
+    }
+
+    /// A shareable, `Copy` view for resolution and reference counting
+    /// from worker threads.
+    pub fn resolver(&self) -> Resolver<'_, P> {
+        Resolver { slots: &self.slots }
+    }
+
+    /// Number of live (distinct) points.
+    pub fn live_points(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the store holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates live points as `(arrival time, id, &point)` in arrival
+    /// order (snapshot encoding, diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, PointId, &P)> {
+        self.timeline.iter().filter_map(move |&(t, idx)| {
+            let slot = &self.slots[idx as usize];
+            match &slot.payload {
+                Some(p) if slot.stamp == t => Some((t, PointId(idx), p)),
+                _ => None,
+            }
+        })
+    }
+
+    /// Total heap bytes of the live payloads — the arena side of the
+    /// byte-level memory accounting.
+    pub fn payload_bytes(&self) -> usize
+    where
+        P: PointFootprint,
+    {
+        self.iter().map(|(_, _, p)| p.payload_bytes()).sum()
+    }
+}
+
+impl<P: Clone> Clone for PointStore<P> {
+    fn clone(&self) -> Self {
+        PointStore {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            timeline: self.timeline.clone(),
+            live: self.live,
+        }
+    }
+}
+
+impl<P> fmt::Debug for PointStore<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PointStore")
+            .field("live", &self.live)
+            .field("slots", &self.slots.len())
+            .field("free", &self.free.len())
+            .finish()
+    }
+}
+
+/// A borrowed, `Copy`, `Sync` view of a [`PointStore`]: resolves handles
+/// and adjusts reference counts from any thread. Structural mutation
+/// (insert/free/expire) stays with the owning store.
+pub struct Resolver<'a, P> {
+    slots: &'a [Slot<P>],
+}
+
+impl<'a, P> Clone for Resolver<'a, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a, P> Copy for Resolver<'a, P> {}
+
+impl<'a, P> Resolver<'a, P> {
+    /// The payload behind a live handle; panics on a dead id (GC bug).
+    #[inline]
+    pub fn get(&self, id: PointId) -> &'a P {
+        self.slots[id.0 as usize]
+            .payload
+            .as_ref()
+            .unwrap_or_else(|| panic!("resolved dead point id {}", id.0))
+    }
+
+    /// The payload behind a handle, or `None` if the slot is free
+    /// (invariant checkers use this to report rather than panic).
+    #[inline]
+    pub fn try_get(&self, id: PointId) -> Option<&'a P> {
+        self.slots.get(id.0 as usize)?.payload.as_ref()
+    }
+
+    /// Adds one reference to `id` (a guess-family entry now holds it).
+    #[inline]
+    pub fn acquire(&self, id: PointId) {
+        self.slots[id.0 as usize].rc.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops one reference; returns `true` when this release observed the
+    /// count reaching zero — the caller must then *record* the id for the
+    /// owner's [`PointStore::free_if_dead`] pass (freeing here would race
+    /// other workers still resolving).
+    #[inline]
+    #[must_use = "a zero-crossing must be recorded for owner-side reclaim"]
+    pub fn release(&self, id: PointId) -> bool {
+        let prev = self.slots[id.0 as usize].rc.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "release without matching acquire");
+        prev == 1
+    }
+
+    /// Resolves a colored handle to a borrowed colored point.
+    #[inline]
+    pub fn colored(&self, c: ColoredId) -> Colored<&'a P> {
+        Colored {
+            point: self.get(c.point),
+            color: c.color,
+        }
+    }
+}
+
+impl<'a, P> fmt::Debug for Resolver<'a, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Resolver")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_resolve_roundtrip() {
+        let mut store = PointStore::new();
+        let a = store.insert(1, "alpha");
+        let b = store.insert(2, "beta");
+        assert_eq!(*store.get(a), "alpha");
+        assert_eq!(*store.get(b), "beta");
+        assert_eq!(store.live_points(), 2);
+    }
+
+    #[test]
+    fn refcount_reclaim_frees_exactly_on_zero() {
+        let mut store = PointStore::new();
+        let id = store.insert(1, 42u64);
+        let res = store.resolver();
+        res.acquire(id);
+        res.acquire(id);
+        assert!(!res.release(id));
+        assert!(res.release(id), "second release crosses zero");
+        store.free_if_dead(id);
+        assert_eq!(store.live_points(), 0);
+        assert!(store.resolver().try_get(id).is_none());
+    }
+
+    #[test]
+    fn free_if_dead_skips_reacquired_ids() {
+        // A transient zero recorded during a dispatch must not free an id
+        // that was re-acquired before the owner's reclaim pass.
+        let mut store = PointStore::new();
+        let id = store.insert(1, 7u8);
+        let res = store.resolver();
+        res.acquire(id);
+        assert!(res.release(id)); // recorded...
+        res.acquire(id); // ...but re-acquired before reclaim
+        store.free_if_dead(id);
+        assert_eq!(store.live_points(), 1, "re-acquired id freed");
+    }
+
+    #[test]
+    fn expire_sweeps_prefix_and_skips_stale_timeline_entries() {
+        let mut store = PointStore::new();
+        let a = store.insert(1, 'a');
+        let _b = store.insert(2, 'b');
+        // Early-free a, reuse its slot at t=3.
+        store.free_if_dead(a);
+        let c = store.insert(3, 'c');
+        assert_eq!(c.index(), a.index(), "slot reused");
+        // Expiring t<=2 must drop 'b' but leave the reused slot alone.
+        store.expire(2);
+        assert_eq!(store.live_points(), 1);
+        assert_eq!(*store.get(c), 'c');
+    }
+
+    #[test]
+    fn clone_snapshots_payloads_and_counts() {
+        let mut store = PointStore::new();
+        let id = store.insert(1, String::from("x"));
+        store.resolver().acquire(id);
+        let copy = store.clone();
+        assert_eq!(copy.live_points(), 1);
+        assert_eq!(*copy.get(id), "x");
+        assert!(!copy.resolver().release(id) || copy.resolver().try_get(id).is_some());
+    }
+
+    /// One step of the model-based GC test.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert,
+        Acquire(usize),
+        Release(usize),
+        ExpireThrough(usize),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // The vendored proptest shim's prop_oneof is unweighted; skew
+        // toward the frequent ops by repeating them.
+        prop_oneof![
+            Just(Op::Insert),
+            Just(Op::Insert),
+            (0usize..64).prop_map(Op::Acquire),
+            (0usize..64).prop_map(Op::Acquire),
+            (0usize..64).prop_map(Op::Release),
+            (0usize..64).prop_map(Op::Release),
+            (0usize..8).prop_map(Op::ExpireThrough),
+        ]
+    }
+
+    // Model-based GC: no live id is ever collected, every dead id is
+    // eventually collected, payloads never get crossed by slot reuse.
+    proptest! {
+        #[test]
+        fn gc_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let mut store: PointStore<u64> = PointStore::new();
+            // Model: time -> (id, payload, rc) for undead entries.
+            let mut model: HashMap<u64, (PointId, u64, u32)> = HashMap::new();
+            let mut t = 0u64;
+            let mut pending_dead: Vec<PointId> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert => {
+                        t += 1;
+                        let payload = t * 1000 + 7;
+                        let id = store.insert(t, payload);
+                        model.insert(t, (id, payload, 0));
+                    }
+                    Op::Acquire(pick) => {
+                        let mut keys: Vec<u64> = model.keys().copied().collect();
+                        keys.sort_unstable();
+                        if keys.is_empty() { continue; }
+                        let key = keys[pick % keys.len()];
+                        let entry = model.get_mut(&key).unwrap();
+                        store.resolver().acquire(entry.0);
+                        entry.2 += 1;
+                    }
+                    Op::Release(pick) => {
+                        let mut keys: Vec<u64> = model
+                            .iter()
+                            .filter(|(_, v)| v.2 > 0)
+                            .map(|(&k, _)| k)
+                            .collect();
+                        keys.sort_unstable();
+                        if keys.is_empty() { continue; }
+                        let key = keys[pick % keys.len()];
+                        let entry = model.get_mut(&key).unwrap();
+                        entry.2 -= 1;
+                        if store.resolver().release(entry.0) {
+                            pending_dead.push(entry.0);
+                        }
+                        if entry.2 == 0 {
+                            let id = entry.0;
+                            model.remove(&key);
+                            // Owner reclaim pass.
+                            for d in pending_dead.drain(..) {
+                                store.free_if_dead(d);
+                            }
+                            prop_assert!(store.resolver().try_get(id).is_none(),
+                                "dead id survived reclaim");
+                        }
+                    }
+                    Op::ExpireThrough(back) => {
+                        // Expire everything whose refs the model says are
+                        // gone, up to `back` steps behind the clock; first
+                        // force-release in the model (mirrors the window
+                        // invariant: nothing old is referenced).
+                        let te = t.saturating_sub(back as u64);
+                        let expired: Vec<u64> =
+                            model.keys().copied().filter(|&k| k <= te).collect();
+                        for k in expired {
+                            let (id, _, rc) = model.remove(&k).unwrap();
+                            for _ in 0..rc {
+                                let _ = store.resolver().release(id);
+                            }
+                        }
+                        store.expire(te);
+                        pending_dead.clear();
+                    }
+                }
+                // Invariants after every step: every model entry resolves
+                // to its own payload; the live count never undershoots.
+                for (id, payload, _) in model.values() {
+                    prop_assert_eq!(store.resolver().try_get(*id), Some(payload),
+                        "live id lost or crossed");
+                }
+                prop_assert!(store.live_points() >= model.len());
+            }
+            // Drain: expire everything; the store must end empty.
+            for (_, (id, _, rc)) in model.drain() {
+                for _ in 0..rc {
+                    let _ = store.resolver().release(id);
+                }
+            }
+            store.expire(t);
+            prop_assert_eq!(store.live_points(), 0, "expired ids never collected");
+        }
+    }
+}

@@ -30,10 +30,12 @@ pub use chen::ChenEtAl;
 pub use gonzalez::{gonzalez, GonzalezResult};
 pub use jones::Jones;
 pub use kleindessner::Kleindessner;
-pub use matroid_center::{matroid_center, MatroidCenterSolution, MatroidInstance};
+pub use matroid_center::{
+    matroid_center, matroid_center_ids, MatroidCenterSolution, MatroidInstance,
+};
 pub use robust::{robust_kcenter, RobustFair, RobustSolution};
 
-use fairsw_metric::{Colored, Metric};
+use fairsw_metric::{Colored, ColoredId, Metric, Resolver};
 use std::fmt;
 
 /// A fair-center problem instance: colored points, a metric, and the
@@ -151,6 +153,25 @@ pub trait FairCenterSolver<M: Metric> {
 
     /// Solves the instance, returning fair centers and their radius.
     fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError>;
+
+    /// Solves an instance given as colored arena handles — the entry
+    /// point the sliding-window `Query` uses. Payloads are resolved out
+    /// of the [`PointStore`](fairsw_metric::PointStore) exactly once,
+    /// here, at solution-assembly time; the streaming structures above
+    /// never materialize point copies.
+    fn solve_ids(
+        &self,
+        metric: &M,
+        res: Resolver<'_, M::Point>,
+        ids: &[ColoredId],
+        caps: &[usize],
+    ) -> Result<FairSolution<M::Point>, SolveError> {
+        let points: Vec<Colored<M::Point>> = ids
+            .iter()
+            .map(|c| Colored::new(res.get(c.point).clone(), c.color))
+            .collect();
+        self.solve(&Instance::new(metric, &points, caps))
+    }
 }
 
 /// Validates instance preconditions shared by all solvers.

@@ -78,6 +78,24 @@ impl Matroid<usize> for BallMatroid {
     }
 }
 
+/// [`matroid_center`] over arena handles — the sliding-window `Query`
+/// entry point. Payloads are resolved out of the point store once, here,
+/// at solution-assembly time; the returned center indices index into
+/// `ids`.
+pub fn matroid_center_ids<M: Metric, Mat: Matroid<usize>>(
+    metric: &M,
+    res: fairsw_metric::Resolver<'_, M::Point>,
+    ids: &[fairsw_metric::PointId],
+    matroid: &Mat,
+) -> Result<MatroidCenterSolution, SolveError> {
+    let points: Vec<M::Point> = ids.iter().map(|&id| res.get(id).clone()).collect();
+    matroid_center(&MatroidInstance {
+        metric,
+        points: &points,
+        matroid,
+    })
+}
+
 /// Solves matroid center to a 3-approximation. See the module docs.
 pub fn matroid_center<M: Metric, Mat: Matroid<usize>>(
     inst: &MatroidInstance<'_, M, Mat>,

@@ -188,6 +188,24 @@ impl RobustFair {
         RobustFair { z }
     }
 
+    /// [`solve_robust`](Self::solve_robust) over colored arena handles —
+    /// the sliding-window `Query` entry point. Payloads are resolved out
+    /// of the point store once, here; the returned outlier indices still
+    /// index into `ids`.
+    pub fn solve_robust_ids<M: Metric>(
+        &self,
+        metric: &M,
+        res: fairsw_metric::Resolver<'_, M::Point>,
+        ids: &[fairsw_metric::ColoredId],
+        caps: &[usize],
+    ) -> Result<RobustSolution<M::Point>, SolveError> {
+        let points: Vec<Colored<M::Point>> = ids
+            .iter()
+            .map(|c| Colored::new(res.get(c.point).clone(), c.color))
+            .collect();
+        self.solve_robust(&Instance::new(metric, &points, caps))
+    }
+
     /// Solves the robust fair instance, reporting centers, inlier radius
     /// and the declared outliers.
     pub fn solve_robust<M: Metric>(

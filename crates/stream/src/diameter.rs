@@ -139,6 +139,23 @@ impl<M: Metric> DiameterEstimator<M> {
             + self.cur.is_some() as usize
             + self.last_point.is_some() as usize
     }
+
+    /// Heap bytes of the stored points — the estimator's contribution to
+    /// the byte-level memory accounting (these points are owned here,
+    /// outside any interned arena).
+    pub fn payload_bytes(&self) -> usize {
+        use fairsw_metric::PointFootprint;
+        self.prev
+            .iter()
+            .chain(self.cur.iter())
+            .map(|a| a.anchor.payload_bytes())
+            .sum::<usize>()
+            + self
+                .last_point
+                .as_ref()
+                .map(|p| p.payload_bytes())
+                .unwrap_or(0)
+    }
 }
 
 impl<P: Clone> Anchored<P> {

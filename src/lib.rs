@@ -73,7 +73,10 @@ pub mod prelude {
         SolutionExtras, VariantSpec, WindowEngine,
     };
     pub use fairsw_matroid::{AnyMatroid, Group, LaminarMatroid, Matroid, PartitionMatroid};
-    pub use fairsw_metric::{Angular, Colored, EuclidPoint, Euclidean, Metric};
+    pub use fairsw_metric::{
+        Angular, Colored, ColoredId, EuclidPoint, Euclidean, Metric, PointFootprint, PointId,
+        PointStore, Resolver,
+    };
     pub use fairsw_sequential::{
         ChenEtAl, ExactSolver, FairCenterSolver, FairSolution, Instance, Jones, Kleindessner,
         RobustFair,

@@ -38,14 +38,15 @@ fn check_coverage(
             continue;
         }
         sw.check_invariants().expect("structural invariants");
+        let res = sw.resolver();
         for g in sw.guesses() {
             if g.av_len() > k {
                 continue; // Lemma 1 case 2 needs arrival bookkeeping; we
                           // verify the valid-guess case that Query relies on.
             }
             let gamma = g.gamma();
-            let rv: Vec<&EuclidPoint> = g.rv_points().collect();
-            let coreset = g.coreset();
+            let rv: Vec<&EuclidPoint> = g.rv_points(res).collect();
+            let coreset = g.coreset(res);
             for q in exact.points() {
                 let d_rv = m.dist_to_set(&q.point, rv.iter().copied());
                 assert!(
@@ -125,7 +126,7 @@ fn fairness_of_coreset_composition() {
             continue;
         }
         let coreset_colors: std::collections::HashSet<u32> =
-            g.coreset().iter().map(|c| c.color).collect();
+            g.coreset(sw.resolver()).iter().map(|c| c.color).collect();
         for c in &window_colors {
             assert!(
                 coreset_colors.contains(c),

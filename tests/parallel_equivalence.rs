@@ -180,9 +180,18 @@ fn assert_centers_identical(
     }
 }
 
-/// Bit-level equality of the memory accounting.
+/// Bit-level equality of the memory accounting (handle entries and the
+/// interned arena's deduplicated payload side).
 fn assert_memory_identical(ctx: &str, a: &MemoryStats, b: &MemoryStats) {
     assert_eq!(a.auxiliary, b.auxiliary, "{ctx}: auxiliary storage");
+    assert_eq!(
+        a.unique_points, b.unique_points,
+        "{ctx}: arena payload count diverged"
+    );
+    assert_eq!(
+        a.payload_bytes, b.payload_bytes,
+        "{ctx}: arena payload bytes diverged"
+    );
     assert_eq!(
         a.per_guess.len(),
         b.per_guess.len(),

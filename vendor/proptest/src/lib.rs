@@ -131,7 +131,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use core::ops::Range;
 
-    /// Admissible lengths for [`vec`]: an exact count or a range.
+    /// Admissible lengths for [`vec()`]: an exact count or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
