@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Serve smoke test: boot fairsw-served on an ephemeral port, run a short
+# multi-tenant loadgen burst, assert a clean SHUTDOWN-driven exit.
+# Honors FAIRSW_THREADS for the tenants' per-engine worker pools.
+set -euo pipefail
+
+cargo build --release -p fairsw-serve
+
+SCRATCH="$(mktemp -d)"
+SERVER_PID=""
+# Kill the background server on any failure path so a broken burst
+# fails the step fast instead of hanging it on the orphaned process.
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$SCRATCH"' EXIT
+PORT_FILE="$SCRATCH/addr"
+
+./target/release/fairsw-served \
+    --addr 127.0.0.1:0 \
+    --shards 2 \
+    --spool "$SCRATCH/spool" \
+    --port-file "$PORT_FILE" &
+SERVER_PID=$!
+
+# Wait for the server to publish its ephemeral address.
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "server never published its address"; exit 1; }
+ADDR="$(cat "$PORT_FILE")"
+echo "server at $ADDR (FAIRSW_THREADS=${FAIRSW_THREADS:-unset})"
+
+# Short burst: 4 tenants, batched ingest, final queries must answer;
+# --shutdown asks the server to exit cleanly afterwards.
+./target/release/fairsw-loadgen \
+    --addr "$ADDR" --tenants 4 --points 3000 --batch 128 --window 400 \
+    --shutdown
+
+# The server must exit cleanly (status 0) after SHUTDOWN.
+wait "$SERVER_PID"
+echo "serve smoke: clean shutdown"

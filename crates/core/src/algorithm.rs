@@ -76,6 +76,17 @@ impl<M: Metric> FairSlidingWindow<M> {
         self.exec.threads()
     }
 
+    /// Drops every streamed point and rebuilds empty structures from the
+    /// retained configuration: same guess lattice, same budgets, same
+    /// worker pool. Equivalent to (but much cheaper than) reconstructing
+    /// through [`new`](Self::new) — the delete-and-recreate reuse path of
+    /// multi-tenant serving layers.
+    pub fn reset(&mut self) {
+        let gammas: Vec<f64> = self.set.guesses.iter().map(|g| g.gamma).collect();
+        self.set = GuessSet::new(gammas.into_iter().map(GuessState::new).collect());
+        self.t = 0;
+    }
+
     /// `Query` (Algorithm 3) with an explicit coreset solver: find the
     /// smallest guess that (a) is valid (`|AV| ≤ k`) and (b) admits a
     /// `≤ k`-point greedy `2γ`-packing of `RV`, then run `solver` on its

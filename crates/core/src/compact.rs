@@ -285,6 +285,15 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
         self.exec.threads()
     }
 
+    /// Drops every streamed point and rebuilds empty structures from the
+    /// retained configuration (same guess lattice, same worker pool) —
+    /// the delete-and-recreate reuse path of serving layers.
+    pub fn reset(&mut self) {
+        let gammas: Vec<f64> = self.set.guesses.iter().map(|g| g.gamma).collect();
+        self.set = GuessSet::new(gammas.into_iter().map(CompactGuess::new).collect());
+        self.t = 0;
+    }
+
     /// Queries with an explicit solver: guess selection identical to the
     /// main algorithm (the packing runs over all of `RV`), then the
     /// sequential solver runs on `RV` directly (resolved from the arena

@@ -236,6 +236,42 @@ impl<M: Metric> WindowEngine<M> {
     pub fn threads(&self) -> usize {
         dispatch!(self, e => e.threads())
     }
+
+    /// Drops all streamed state and rebuilds the empty structures from
+    /// the retained configuration — same variant, same guess lattice,
+    /// same worker pool. Much cheaper than reconstructing through
+    /// [`EngineBuilder`]; this is the tenant delete-and-recreate reuse
+    /// path of serving layers.
+    pub fn reset(&mut self) {
+        dispatch!(self, e => e.reset())
+    }
+}
+
+impl<M: Metric> WindowEngine<M>
+where
+    M::Point: crate::snapshot::PointCodec,
+{
+    /// Serializes the engine's complete state as a self-contained FSW2
+    /// snapshot (see [`crate::snapshot`]). Only the fixed-lattice main
+    /// algorithm supports checkpointing today; the other variants return
+    /// `None` (callers such as the serving layer report the tenant as
+    /// unsupported instead of failing).
+    pub fn snapshot(&self) -> Option<Vec<u8>> {
+        match self {
+            WindowEngine::Fixed(e) => Some(e.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Reconstructs a [`WindowEngine::Fixed`] engine from an FSW2
+    /// snapshot produced by [`snapshot`](Self::snapshot). The restored
+    /// engine starts sequential; re-apply
+    /// [`with_parallelism`](Self::with_parallelism) to restore a pool.
+    pub fn restore(metric: M, bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(WindowEngine::Fixed(Box::new(FairSlidingWindow::restore(
+            metric, bytes,
+        )?)))
+    }
 }
 
 /// Drives a heterogeneous fleet of engines over one shared batch,
@@ -570,6 +606,94 @@ mod tests {
             Euclidean,
         );
         assert!(via_build.is_ok());
+    }
+
+    #[test]
+    fn reset_engine_replays_like_a_fresh_one() {
+        // Every variant: stream, reset, re-stream a different prefix —
+        // answers and memory accounting must equal a fresh engine's.
+        let mk_all = || -> Vec<WindowEngine<Euclidean>> {
+            vec![
+                base().fixed(0.01, 1e4).build(Euclidean).unwrap(),
+                base().oblivious().build(Euclidean).unwrap(),
+                base().compact(0.01, 1e4).build(Euclidean).unwrap(),
+                base().robust(1, 0.01, 1e4).build(Euclidean).unwrap(),
+                base()
+                    .matroid(PartitionMatroid::new(vec![1, 1]).unwrap(), 0.01, 1e4)
+                    .build(Euclidean)
+                    .unwrap(),
+            ]
+        };
+        let first: Vec<_> = (0..90u64)
+            .map(|i| cp((i as f64 * 0.618_033_988_7).fract() * 300.0, (i % 2) as u32))
+            .collect();
+        let second: Vec<_> = (0..70u64)
+            .map(|i| cp((i as f64 * 0.324_717_957_2).fract() * 40.0, (i % 2) as u32))
+            .collect();
+        let mut reused = mk_all();
+        for e in &mut reused {
+            e.insert_batch(first.iter().cloned());
+            e.reset();
+            assert_eq!(e.time(), 0, "{}: reset kept the clock", e.variant_name());
+            assert_eq!(
+                e.stored_points(),
+                0,
+                "{}: reset kept points",
+                e.variant_name()
+            );
+            assert_eq!(
+                e.memory_stats().unique_points,
+                0,
+                "{}: reset kept arena payloads",
+                e.variant_name()
+            );
+            e.insert_batch(second.iter().cloned());
+        }
+        let mut fresh = mk_all();
+        for e in &mut fresh {
+            e.insert_batch(second.iter().cloned());
+        }
+        for (r, f) in reused.iter().zip(&fresh) {
+            let name = r.variant_name();
+            r.check_invariants().unwrap();
+            assert_eq!(r.time(), f.time(), "{name}: time");
+            assert_eq!(r.stored_points(), f.stored_points(), "{name}: memory");
+            let (a, b) = (r.query().unwrap(), f.query().unwrap());
+            assert_eq!(a.guess.to_bits(), b.guess.to_bits(), "{name}: guess");
+            assert_eq!(
+                a.coreset_radius.to_bits(),
+                b.coreset_radius.to_bits(),
+                "{name}: radius"
+            );
+            assert_eq!(a.centers.len(), b.centers.len(), "{name}: centers");
+        }
+    }
+
+    #[test]
+    fn reset_keeps_the_worker_pool() {
+        let mut e = base().fixed(0.01, 1e4).threads(2).build(Euclidean).unwrap();
+        e.insert(cp(1.0, 0));
+        e.reset();
+        assert_eq!(e.threads(), 2);
+    }
+
+    #[test]
+    fn engine_snapshot_roundtrips_fixed_and_declines_others() {
+        let mut fixed = base().fixed(0.01, 1e4).build(Euclidean).unwrap();
+        let mut obl = base().oblivious().build(Euclidean).unwrap();
+        for i in 0..60u64 {
+            let p = cp((i as f64 * 0.618_033_988_7).fract() * 200.0, (i % 2) as u32);
+            fixed.insert(p.clone());
+            obl.insert(p);
+        }
+        assert!(obl.snapshot().is_none());
+        let bytes = fixed.snapshot().expect("fixed variant snapshots");
+        let restored = WindowEngine::restore(Euclidean, &bytes).unwrap();
+        assert_eq!(restored.variant_name(), "fixed");
+        assert_eq!(restored.time(), fixed.time());
+        let (a, b) = (fixed.query().unwrap(), restored.query().unwrap());
+        assert_eq!(a.guess.to_bits(), b.guess.to_bits());
+        assert_eq!(a.coreset_radius.to_bits(), b.coreset_radius.to_bits());
     }
 
     #[test]

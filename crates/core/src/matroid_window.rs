@@ -418,6 +418,16 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
     pub fn threads(&self) -> usize {
         self.exec.threads()
     }
+
+    /// Drops every streamed point and rebuilds empty structures from the
+    /// retained configuration (same guess lattice, same matroid, same
+    /// worker pool) — the delete-and-recreate reuse path of serving
+    /// layers.
+    pub fn reset(&mut self) {
+        let gammas: Vec<f64> = self.set.guesses.iter().map(|g| g.gamma).collect();
+        self.set = GuessSet::new(gammas.into_iter().map(MatroidGuess::new).collect());
+        self.t = 0;
+    }
 }
 
 impl<M, Mat> SlidingWindowClustering<M> for MatroidSlidingWindow<M, Mat>

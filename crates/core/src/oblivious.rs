@@ -116,6 +116,21 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
         self.exec.threads()
     }
 
+    /// Drops every streamed point, all materialized guesses and both
+    /// scale estimators, rebuilding the empty adaptive state from the
+    /// retained configuration (worker pool kept) — the delete-and-
+    /// recreate reuse path of serving layers.
+    pub fn reset(&mut self) {
+        let n = self.cfg.window_size as u64;
+        self.guesses.clear();
+        self.store = PointStore::new();
+        self.diam = DiameterEstimator::new(self.metric.clone(), self.lattice, n);
+        self.consec_min = WindowedMinLattice::new(self.lattice, n.max(2) - 1);
+        self.last = None;
+        self.prev_point = None;
+        self.t = 0;
+    }
+
     /// Materializes / drops levels according to the current estimates.
     fn adjust_range(&mut self) {
         let upper = self.diam.upper().filter(|&u| u > 0.0);

@@ -99,6 +99,16 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
     pub fn threads(&self) -> usize {
         self.exec.threads()
     }
+
+    /// Drops every streamed point and rebuilds empty structures from the
+    /// retained configuration (same guess lattice, same inflated budgets,
+    /// same worker pool) — the delete-and-recreate reuse path of serving
+    /// layers.
+    pub fn reset(&mut self) {
+        let gammas: Vec<f64> = self.set.guesses.iter().map(|g| g.gamma).collect();
+        self.set = GuessSet::new(gammas.into_iter().map(GuessState::new).collect());
+        self.t = 0;
+    }
 }
 
 impl<M> SlidingWindowClustering<M> for RobustFairSlidingWindow<M>

@@ -224,6 +224,7 @@ fn decode_guess<P>(
     input: &mut &[u8],
     ids: &HashMap<u64, PointId>,
     store: &mut PointStore<P>,
+    ncolors: usize,
 ) -> Result<GuessState, SnapshotError> {
     let gamma = take_f64(input)?;
     if !(gamma.is_finite() && gamma > 0.0) {
@@ -243,9 +244,16 @@ fn decode_guess<P>(
     let mut reps_c = HashMap::with_capacity(n);
     for _ in 0..n {
         let at = take_u64(input)?;
-        let ncolors = take_count(input, 8)?;
-        let mut per = Vec::with_capacity(ncolors);
-        for _ in 0..ncolors {
+        let nc = take_count(input, 8)?;
+        // The insert path indexes these tables by color: a table that
+        // does not span the configuration's colors would panic later.
+        if nc != ncolors {
+            return Err(SnapshotError::Invalid(format!(
+                "repsC table spans {nc} colors, config has {ncolors}"
+            )));
+        }
+        let mut per = Vec::with_capacity(nc);
+        for _ in 0..nc {
             let len = take_count(input, 8)?;
             let mut dq = VecDeque::with_capacity(len);
             for _ in 0..len {
@@ -260,6 +268,13 @@ fn decode_guess<P>(
     for _ in 0..n {
         let t = take_u64(input)?;
         let color = take_u32(input)?;
+        // Colors index the capacity table and the solvers' per-color
+        // structures; an out-of-range color must die here, not there.
+        if color as usize >= ncolors {
+            return Err(SnapshotError::Invalid(format!(
+                "color {color} out of range (config has {ncolors})"
+            )));
+        }
         let attractor = take_u64(input)?;
         let id = *ids
             .get(&t)
@@ -344,6 +359,18 @@ where
         };
         cfg.validate()
             .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        // `validate` bounds neither `n` nor `k`; a corrupt byte in a
+        // capacity or the window must not size later allocations (the
+        // query path reserves `k + 1` slots).
+        let k = cfg.capacities.iter().map(|&c| c as u128).sum::<u128>();
+        if k > 1 << 24 {
+            return Err(SnapshotError::Invalid(format!("absurd total budget {k}")));
+        }
+        if window_size as u128 > 1 << 48 {
+            return Err(SnapshotError::Invalid(format!(
+                "absurd window size {window_size}"
+            )));
+        }
         let t = take_u64(&mut input)?;
         // Store section: re-intern in arrival order, building the
         // time → handle mapping the family decoders resolve through.
@@ -366,7 +393,12 @@ where
         let nguesses = take_count(&mut input, 56)?;
         let mut guesses = Vec::with_capacity(nguesses);
         for _ in 0..nguesses {
-            guesses.push(decode_guess(&mut input, &ids, &mut store)?);
+            guesses.push(decode_guess(
+                &mut input,
+                &ids,
+                &mut store,
+                cfg.num_colors(),
+            )?);
         }
         if !input.is_empty() {
             return Err(SnapshotError::Invalid(format!(
@@ -506,6 +538,97 @@ mod tests {
             FairSlidingWindow::<Euclidean>::restore(Euclidean, &bytes),
             Err(SnapshotError::Invalid(_))
         ));
+    }
+
+    mod decoder_robustness {
+        //! Property battery over the decoder's failure surface: random
+        //! truncations and random single-byte corruptions of a valid
+        //! snapshot must always come back as `Err(SnapshotError::..)` —
+        //! never a panic, and never an allocation sized by a corrupt
+        //! length prefix (`take_count` rejects counts the buffer cannot
+        //! hold *before* any `with_capacity`, so a malicious few-byte
+        //! buffer cannot request gigabytes; a run that violated this
+        //! would abort or time out loudly here).
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// One moderately rich snapshot, built once: multiple guesses,
+        /// robust families, a slid window.
+        fn valid_snapshot() -> &'static [u8] {
+            static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+            BYTES.get_or_init(|| build(150).snapshot())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            #[test]
+            fn any_truncation_is_an_error(frac in 0.0..1.0f64) {
+                let bytes = valid_snapshot();
+                // Every strict prefix, including the empty one.
+                let cut = ((bytes.len() as f64) * frac) as usize % bytes.len();
+                let result = FairSlidingWindow::<Euclidean>::restore(
+                    Euclidean,
+                    &bytes[..cut],
+                );
+                prop_assert!(
+                    result.is_err(),
+                    "truncation to {cut}/{} bytes decoded",
+                    bytes.len()
+                );
+            }
+
+            #[test]
+            fn single_byte_corruption_never_panics_and_stays_structural(
+                frac in 0.0..1.0f64,
+                xor in 1u8..255,
+            ) {
+                let mut bytes = valid_snapshot().to_vec();
+                let pos = ((bytes.len() as f64) * frac) as usize % bytes.len();
+                bytes[pos] ^= xor;
+                // The decode must return — corrupt magic, lengths, times,
+                // gammas, colors all surface as Err; a flipped coordinate
+                // bit may legitimately decode. When it does decode, the
+                // restored window must be fully operational (queryable),
+                // not a structure with dangling handles.
+                match FairSlidingWindow::<Euclidean>::restore(Euclidean, &bytes) {
+                    Err(_) => {}
+                    Ok(mut sw) => {
+                        prop_assert_eq!(sw.time(), 150);
+                        prop_assert!(sw.query().is_ok());
+                        // The window must also keep streaming: colors
+                        // and per-color tables were validated against
+                        // the decoded configuration.
+                        for i in 0..8u64 {
+                            sw.insert(Colored::new(
+                                EuclidPoint::new(vec![i as f64, 1.0]),
+                                (i % 2) as u32,
+                            ));
+                        }
+                        prop_assert!(sw.query().is_ok());
+                    }
+                }
+            }
+
+            #[test]
+            fn corrupt_store_count_is_refused_before_allocating(
+                count in 0u64..u64::MAX,
+            ) {
+                // Surgical corruption of the store-section count (offset:
+                // magic 4 + window 8 + ncaps 8 + 2 caps 16 + beta/delta 16
+                // + t 8 = 60). Counts the buffer cannot hold must be
+                // rejected by the pre-allocation guard.
+                let bytes = valid_snapshot();
+                let mut evil = bytes.to_vec();
+                evil[60..68].copy_from_slice(&count.to_le_bytes());
+                let result = FairSlidingWindow::<Euclidean>::restore(Euclidean, &evil);
+                if count as u128 * 16 > (bytes.len() - 68) as u128 {
+                    prop_assert!(result.is_err(), "absurd count {count} accepted");
+                }
+            }
+        }
     }
 
     #[test]

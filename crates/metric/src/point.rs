@@ -101,6 +101,12 @@ pub struct Colored<P> {
     pub color: u32,
 }
 
+impl<P: PartialEq> PartialEq for Colored<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.color == other.color && self.point == other.point
+    }
+}
+
 impl<P> Colored<P> {
     /// Tags `point` with `color`.
     pub fn new(point: P, color: u32) -> Self {

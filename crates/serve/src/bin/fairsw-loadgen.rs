@@ -1,0 +1,117 @@
+//! `fairsw-loadgen` — drive a running `fairsw-served` with a
+//! multi-tenant ingest burst and report throughput.
+//!
+//! ```text
+//! USAGE:
+//!   fairsw-loadgen --addr 127.0.0.1:4871 [OPTIONS]
+//!
+//! OPTIONS:
+//!   --addr HOST:PORT  the server (required)
+//!   --tenants N       concurrent tenants, one connection each (default 4)
+//!   --points N        points per tenant (default 4000)
+//!   --batch N         INSERT_BATCH size (default 128)
+//!   --window N        tenant window length (default 500)
+//!   --shutdown        send SHUTDOWN after the burst
+//! ```
+//!
+//! Exits non-zero when any tenant's final `QUERY` fails — the burst
+//! doubles as a smoke test (CI boots a server, runs a short burst and
+//! asserts a clean shutdown).
+
+use fairsw_serve::loadgen::{run_burst, BurstOptions, Client};
+use fairsw_serve::protocol::Reply;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fairsw-loadgen: multi-tenant ingest burst against fairsw-served
+
+USAGE:
+  fairsw-loadgen --addr 127.0.0.1:4871 [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT  the server (required)
+  --tenants N       concurrent tenants (default 4)
+  --points N        points per tenant (default 4000)
+  --batch N         INSERT_BATCH size (default 128)
+  --window N        tenant window length (default 500)
+  --shutdown        send SHUTDOWN after the burst
+";
+
+fn run() -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut opts = BurstOptions::default();
+    let mut shutdown = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--tenants" => {
+                opts.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--points" => {
+                opts.points = value("--points")?
+                    .parse()
+                    .map_err(|e| format!("--points: {e}"))?
+            }
+            "--batch" => {
+                opts.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--window" => {
+                opts.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required (try --help)")?;
+
+    let report = run_burst(addr.clone(), &opts)?;
+    println!(
+        "{} tenants x {} points (batch {}): {} points in {:.2?} = {:.0} points/s, \
+         {} overload retries, {}/{} queries ok",
+        opts.tenants,
+        opts.points,
+        opts.batch,
+        report.points_sent,
+        report.elapsed,
+        report.points_per_sec,
+        report.overloaded_retries,
+        report.queries_ok,
+        opts.tenants,
+    );
+    if report.queries_ok != opts.tenants {
+        return Err(format!(
+            "only {}/{} tenants answered their final query",
+            report.queries_ok, opts.tenants
+        ));
+    }
+    if shutdown {
+        let mut c = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+        match c.shutdown().map_err(|e| e.to_string())? {
+            Reply::Ok => println!("server acknowledged shutdown"),
+            other => return Err(format!("shutdown not acknowledged: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

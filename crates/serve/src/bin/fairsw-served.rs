@@ -1,0 +1,117 @@
+//! `fairsw-served` — the multi-tenant sliding-window clustering server.
+//!
+//! ```text
+//! USAGE:
+//!   fairsw-served [--addr 127.0.0.1:4871] [OPTIONS]
+//!
+//! OPTIONS:
+//!   --addr HOST:PORT   bind address (default 127.0.0.1:4871; port 0
+//!                      picks an ephemeral port — see --port-file)
+//!   --shards N         shard threads owning the tenants (default 2)
+//!   --flush-batch N    ingest-buffer flush threshold (default 512)
+//!   --queue-depth N    bounded per-shard queue (default 128); a full
+//!                      queue answers OVERLOADED (admission control)
+//!   --tick-ms N        idle flush tick in milliseconds (default 20)
+//!   --spool DIR        snapshot spool directory: CHECKPOINT writes
+//!                      FSW2 snapshots here and startup replays them
+//!   --port-file PATH   write the bound address to PATH once listening
+//!                      (lets scripts find an ephemeral port)
+//! ```
+//!
+//! Per-tenant engines honor `FAIRSW_THREADS` for their worker pools.
+//! The server runs until a client sends `SHUTDOWN`.
+
+use fairsw_serve::server::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+fairsw-served: multi-tenant sliding-window fair-clustering server
+
+USAGE:
+  fairsw-served [--addr 127.0.0.1:4871] [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT  bind address (default 127.0.0.1:4871; port 0 = ephemeral)
+  --shards N        shard threads owning the tenants (default 2)
+  --flush-batch N   ingest-buffer flush threshold (default 512)
+  --queue-depth N   bounded per-shard queue depth (default 128)
+  --tick-ms N       idle flush tick in milliseconds (default 20)
+  --spool DIR       snapshot spool (CHECKPOINT target, replayed on start)
+  --port-file PATH  write the bound address to PATH once listening
+";
+
+struct Args {
+    addr: String,
+    cfg: ServeConfig,
+    port_file: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:4871".into(),
+        cfg: ServeConfig::default(),
+        port_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => {
+                args.cfg.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--flush-batch" => {
+                args.cfg.flush_batch = value("--flush-batch")?
+                    .parse()
+                    .map_err(|e| format!("--flush-batch: {e}"))?
+            }
+            "--queue-depth" => {
+                args.cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--tick-ms" => {
+                let ms: u64 = value("--tick-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tick-ms: {e}"))?;
+                args.cfg.tick = Duration::from_millis(ms.max(1));
+            }
+            "--spool" => args.cfg.spool_dir = Some(PathBuf::from(value("--spool")?)),
+            "--port-file" => args.port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let handle = Server::start(args.addr.as_str(), args.cfg)
+        .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let addr = handle.local_addr();
+    println!("fairsw-served listening on {addr}");
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("writing {path:?}: {e}"))?;
+    }
+    handle.wait();
+    println!("fairsw-served: clean shutdown");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

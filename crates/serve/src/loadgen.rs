@@ -1,0 +1,300 @@
+//! A small blocking client plus a multi-tenant load generator — the
+//! same code path the integration tests, the CI smoke test and the
+//! `serve_throughput` bench lane drive the server through.
+//!
+//! [`Client`] speaks the framed protocol over one TCP connection,
+//! strictly request/reply; concurrency comes from one client per
+//! thread. [`run_burst`] spins up one thread per tenant, streams a
+//! synthetic two-cluster workload through `INSERT_BATCH`, retries on
+//! [`ErrorKind::Overloaded`] (back-pressure is a signal, not a failure)
+//! and finishes each tenant with a `QUERY`, returning aggregate
+//! throughput.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorKind, Reply, Request, TenantConfig, WireError, WireVariant,
+};
+use fairsw_metric::{Colored, EuclidPoint};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Errors a client call can report.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The peer sent a frame the protocol cannot decode.
+    Wire(WireError),
+    /// The connection closed mid-conversation.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: io::BufReader<TcpStream>,
+    writer: io::BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: io::BufReader::new(stream.try_clone()?),
+            writer: io::BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and waits for its reply.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        match read_frame(&mut self.reader)? {
+            Some(body) => Ok(Reply::decode(&body)?),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// `CREATE tenant` with the given engine configuration.
+    pub fn create(&mut self, tenant: &str, config: &TenantConfig) -> Result<Reply, ClientError> {
+        self.call(&Request::Create {
+            tenant: tenant.into(),
+            config: config.clone(),
+        })
+    }
+
+    /// `INSERT` one point.
+    pub fn insert(
+        &mut self,
+        tenant: &str,
+        point: &Colored<EuclidPoint>,
+    ) -> Result<Reply, ClientError> {
+        self.call(&Request::Insert {
+            tenant: tenant.into(),
+            point: point.clone(),
+        })
+    }
+
+    /// `INSERT_BATCH` a slice of points in stream order.
+    pub fn insert_batch(
+        &mut self,
+        tenant: &str,
+        points: &[Colored<EuclidPoint>],
+    ) -> Result<Reply, ClientError> {
+        self.call(&Request::InsertBatch {
+            tenant: tenant.into(),
+            points: points.to_vec(),
+        })
+    }
+
+    /// `QUERY` the tenant's current window.
+    pub fn query(&mut self, tenant: &str) -> Result<Reply, ClientError> {
+        self.call(&Request::Query {
+            tenant: tenant.into(),
+        })
+    }
+
+    /// `STATS` for the tenant.
+    pub fn stats(&mut self, tenant: &str) -> Result<Reply, ClientError> {
+        self.call(&Request::Stats {
+            tenant: tenant.into(),
+        })
+    }
+
+    /// `CHECKPOINT` one tenant, or every tenant when `tenant` is empty.
+    pub fn checkpoint(&mut self, tenant: &str) -> Result<Reply, ClientError> {
+        self.call(&Request::Checkpoint {
+            tenant: tenant.into(),
+        })
+    }
+
+    /// `DELETE` the tenant.
+    pub fn delete(&mut self, tenant: &str) -> Result<Reply, ClientError> {
+        self.call(&Request::Delete {
+            tenant: tenant.into(),
+        })
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<Reply, ClientError> {
+        self.call(&Request::Shutdown)
+    }
+
+    /// Like [`insert_batch`](Self::insert_batch), but treats
+    /// `OVERLOADED` as back-pressure: sleeps briefly and retries until
+    /// accepted. Returns the number of retries.
+    pub fn insert_batch_backoff(
+        &mut self,
+        tenant: &str,
+        points: &[Colored<EuclidPoint>],
+    ) -> Result<u64, ClientError> {
+        let mut retries = 0;
+        loop {
+            match self.insert_batch(tenant, points)? {
+                Reply::Ok => return Ok(retries),
+                Reply::Error(ErrorKind::Overloaded, _) => {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(1 << retries.min(6)));
+                }
+                other => {
+                    return Err(ClientError::Wire(WireError::Invalid(format!(
+                        "unexpected ingest reply {other:?}"
+                    ))))
+                }
+            }
+        }
+    }
+}
+
+/// Parameters of a [`run_burst`] load-generation run.
+#[derive(Clone, Debug)]
+pub struct BurstOptions {
+    /// Concurrent tenants (one connection + thread each).
+    pub tenants: usize,
+    /// Points streamed per tenant.
+    pub points: usize,
+    /// `INSERT_BATCH` size.
+    pub batch: usize,
+    /// Window length of each tenant's engine.
+    pub window: usize,
+    /// Delete the tenants afterwards (leave them for inspection when
+    /// `false`).
+    pub cleanup: bool,
+}
+
+impl Default for BurstOptions {
+    fn default() -> Self {
+        BurstOptions {
+            tenants: 4,
+            points: 4_000,
+            batch: 128,
+            window: 500,
+            cleanup: true,
+        }
+    }
+}
+
+/// Aggregate outcome of a [`run_burst`] run.
+#[derive(Clone, Debug)]
+pub struct BurstReport {
+    /// Total points accepted across all tenants.
+    pub points_sent: u64,
+    /// Wall-clock time of the whole burst.
+    pub elapsed: Duration,
+    /// `points_sent / elapsed`.
+    pub points_per_sec: f64,
+    /// `OVERLOADED` replies absorbed by back-off (back-pressure events).
+    pub overloaded_retries: u64,
+    /// Tenants whose final `QUERY` answered with a solution.
+    pub queries_ok: usize,
+}
+
+/// The deterministic synthetic workload every load-generation lane
+/// streams: three drifting clusters, two colors, golden-ratio jitter
+/// (matches the style of the repo's dataset generators; no RNG state).
+pub fn workload(points: usize, seed: u64) -> Vec<Colored<EuclidPoint>> {
+    (0..points)
+        .map(|i| {
+            let i = i as u64 + seed;
+            let base = (i % 3) as f64 * 120.0;
+            let x = base + ((i as f64) * 0.618_033_988_7).fract() * 4.0;
+            let y = ((i as f64) * 0.324_717_957_2).fract() * 4.0;
+            Colored::new(EuclidPoint::new(vec![x, y]), (i % 2) as u32)
+        })
+        .collect()
+}
+
+/// The tenant configuration [`run_burst`] creates: the fixed-lattice
+/// main algorithm with bounds spanning [`workload`]'s scales.
+pub fn burst_config(window: usize) -> TenantConfig {
+    TenantConfig::new(
+        window,
+        vec![2, 2],
+        WireVariant::Fixed {
+            dmin: 1e-3,
+            dmax: 1e4,
+        },
+    )
+}
+
+/// Drives `opts.tenants` concurrent tenants through create → batched
+/// ingest (with overload back-off) → query (→ delete), one thread and
+/// connection per tenant, and reports aggregate throughput.
+pub fn run_burst(
+    addr: impl ToSocketAddrs + Clone + Send + 'static,
+    opts: &BurstOptions,
+) -> Result<BurstReport, String> {
+    let t0 = Instant::now();
+    let results: Vec<(u64, u64, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.tenants)
+            .map(|i| {
+                let addr = addr.clone();
+                let opts = opts.clone();
+                scope.spawn(move || -> Result<(u64, u64, bool), String> {
+                    let tenant = format!("burst-{i}");
+                    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+                    match c
+                        .create(&tenant, &burst_config(opts.window))
+                        .map_err(|e| e.to_string())?
+                    {
+                        Reply::Ok => {}
+                        other => return Err(format!("{tenant}: create failed: {other:?}")),
+                    }
+                    let stream = workload(opts.points, i as u64 * 7919);
+                    let mut retries = 0;
+                    for chunk in stream.chunks(opts.batch.max(1)) {
+                        retries += c
+                            .insert_batch_backoff(&tenant, chunk)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    let ok = matches!(
+                        c.query(&tenant).map_err(|e| e.to_string())?,
+                        Reply::Solution(_)
+                    );
+                    if opts.cleanup {
+                        c.delete(&tenant).map_err(|e| e.to_string())?;
+                    }
+                    Ok((stream.len() as u64, retries, ok))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("burst worker panicked"))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let elapsed = t0.elapsed();
+    let points_sent: u64 = results.iter().map(|r| r.0).sum();
+    Ok(BurstReport {
+        points_sent,
+        elapsed,
+        points_per_sec: points_sent as f64 / elapsed.as_secs_f64().max(1e-9),
+        overloaded_retries: results.iter().map(|r| r.1).sum(),
+        queries_ok: results.iter().filter(|r| r.2).count(),
+    })
+}

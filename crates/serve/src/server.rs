@@ -1,0 +1,1020 @@
+//! The multi-tenant TCP server: shard threads own the engines, the hot
+//! path is lock-free, admission control is a bounded queue.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             ┌──────────┐  bounded try_send   ┌─────────────────────┐
+//! client ──▶  │ conn     │ ───────────────────▶│ shard 0: {tenants}  │
+//! client ──▶  │ threads  │      (OVERLOADED    │ shard 1: {tenants}  │
+//!             └──────────┘       when full)    └─────────────────────┘
+//! ```
+//!
+//! Tenants are hash-sharded by name across `shards` worker threads; each
+//! shard **owns** its tenants' [`WindowEngine`]s outright — no mutex is
+//! ever taken on the insert/query path; cross-thread communication is
+//! exactly one bounded [`sync_channel`] per shard. When a shard's queue is full, the connection thread
+//! replies [`ErrorKind::Overloaded`] immediately instead of buffering
+//! without bound — clients treat it as back-pressure and retry.
+//!
+//! Arriving points land in a per-tenant ingest buffer that flushes into
+//! the engine's batched [`insert_batch`] path when it reaches
+//! [`ServeConfig::flush_batch`] points or on the shard's idle tick, so
+//! per-frame wire overhead amortizes into one pool dispatch per batch.
+//! `QUERY`/`STATS`/`CHECKPOINT` flush first, so replies always reflect
+//! every acknowledged insert. Because the batched path is bit-identical
+//! to per-point insertion (the PR 2 guarantee), the flush schedule never
+//! shows up in answers.
+//!
+//! `CHECKPOINT` writes each tenant's FSW2 snapshot atomically
+//! (tmp + rename) to [`ServeConfig::spool_dir`]; [`Server::start`]
+//! replays the spool, so a kill-and-restart resumes every checkpointed
+//! tenant. `DELETE` resets the tenant's engine ([`WindowEngine::reset`])
+//! and parks it for reuse by the next `CREATE` with an identical
+//! configuration — delete-and-recreate churn costs no reconstruction.
+//!
+//! [`insert_batch`]: fairsw_core::SlidingWindowClustering::insert_batch
+
+use crate::protocol::{
+    valid_tenant_name, write_frame, ErrorKind, Reply, Request, TenantConfig, WireStats,
+};
+use fairsw_core::{ParallelismSpec, SlidingWindowClustering, WindowEngine};
+use fairsw_metric::{Colored, EuclidPoint, Euclidean};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Extension of spool files (one FSW2 snapshot per tenant).
+const SPOOL_EXT: &str = "fsw2";
+/// Recent query latencies retained per tenant for the percentiles.
+const LATENCY_WINDOW: usize = 512;
+/// Reset engines parked per shard for delete-and-recreate reuse.
+const PARK_CAP: usize = 8;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Shard threads (tenants are hash-partitioned across them).
+    pub shards: usize,
+    /// Ingest-buffer flush threshold in points.
+    pub flush_batch: usize,
+    /// Bounded per-shard queue depth (admission control).
+    pub queue_depth: usize,
+    /// Idle tick: buffered points older than one tick are flushed even
+    /// if the buffer is short.
+    pub tick: Duration,
+    /// Snapshot spool directory (`CHECKPOINT` target, replayed on
+    /// startup). `None` disables checkpointing.
+    pub spool_dir: Option<PathBuf>,
+    /// Per-engine parallelism applied to every tenant (the default
+    /// honors `FAIRSW_THREADS`).
+    pub parallelism: ParallelismSpec,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            flush_batch: 512,
+            queue_depth: 128,
+            tick: Duration::from_millis(20),
+            spool_dir: None,
+            parallelism: ParallelismSpec::Auto,
+        }
+    }
+}
+
+/// FNV-1a; stable tenant → shard assignment.
+fn shard_of(tenant: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// One tenant: its engine plus ingest buffer and service counters.
+struct Tenant {
+    engine: WindowEngine<Euclidean>,
+    /// The creating config (None for spool-restored tenants) — the key
+    /// for delete-and-recreate engine reuse.
+    config: Option<TenantConfig>,
+    variant_code: u8,
+    /// Colors the engine accepts (`0..ncolors`). The per-guess tables
+    /// are indexed by color, so an out-of-range wire color must be
+    /// rejected at ingest — it would panic the shard deep inside the
+    /// engine otherwise.
+    ncolors: usize,
+    buffer: Vec<Colored<EuclidPoint>>,
+    points_total: u64,
+    created: Instant,
+    latencies: Vec<Duration>,
+}
+
+impl Tenant {
+    fn new(engine: WindowEngine<Euclidean>, config: Option<TenantConfig>) -> Self {
+        let variant_code = match engine.variant_name() {
+            "fixed" => 0,
+            "oblivious" => 1,
+            "compact" => 2,
+            "robust" => 3,
+            _ => 4,
+        };
+        let ncolors = match &config {
+            Some(c) => c.caps.len(),
+            // Spool-restored tenants are always the fixed variant; its
+            // configuration rode in the snapshot.
+            None => match &engine {
+                WindowEngine::Fixed(e) => e.config().num_colors(),
+                _ => 0,
+            },
+        };
+        Tenant {
+            engine,
+            config,
+            variant_code,
+            ncolors,
+            buffer: Vec::new(),
+            points_total: 0,
+            created: Instant::now(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Rejects colors the engine's capacity-indexed tables cannot hold.
+    fn check_colors<'a>(
+        &self,
+        points: impl IntoIterator<Item = &'a Colored<EuclidPoint>>,
+    ) -> Result<(), Reply> {
+        match points
+            .into_iter()
+            .find(|p| p.color as usize >= self.ncolors)
+        {
+            None => Ok(()),
+            Some(p) => Err(Reply::Error(
+                ErrorKind::BadRequest,
+                format!(
+                    "color {} out of range (tenant has {} colors)",
+                    p.color, self.ncolors
+                ),
+            )),
+        }
+    }
+
+    /// Applies the buffered points through the batched fast path.
+    fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            self.engine.insert_batch(self.buffer.drain(..));
+        }
+    }
+
+    fn record_latency(&mut self, d: Duration) {
+        if self.latencies.len() == LATENCY_WINDOW {
+            self.latencies.remove(0);
+        }
+        self.latencies.push(d);
+    }
+
+    fn stats(&self) -> WireStats {
+        let mem = self.engine.memory_stats();
+        let elapsed = self.created.elapsed().as_secs_f64().max(1e-9);
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx].as_secs_f64() * 1e6
+        };
+        WireStats {
+            time: self.engine.time(),
+            window: self.engine.window_size() as u64,
+            stored_points: mem.stored_points() as u64,
+            unique_points: mem.unique_points as u64,
+            payload_bytes: mem.payload_bytes as u64,
+            resident_bytes: mem.resident_bytes() as u64,
+            num_guesses: mem.num_guesses() as u64,
+            variant: self.variant_code,
+            points_total: self.points_total,
+            buffered: self.buffer.len() as u64,
+            points_per_sec: self.points_total as f64 / elapsed,
+            query_p50_us: pct(0.50),
+            query_p90_us: pct(0.90),
+            query_p99_us: pct(0.99),
+        }
+    }
+}
+
+/// A request routed to a shard. Replies go back on a per-request
+/// channel so connection threads can interleave freely.
+enum ShardMsg {
+    Req {
+        tenant: String,
+        op: Op,
+        reply: Sender<Reply>,
+    },
+    /// Checkpoint every tenant of this shard.
+    CheckpointAll {
+        reply: Sender<Reply>,
+    },
+    /// Test hook: occupy the shard thread so the bounded queue fills.
+    #[allow(dead_code)]
+    Stall(Duration),
+    Shutdown,
+}
+
+/// Tenant-scoped operations (the shard-side view of a [`Request`]).
+enum Op {
+    Create(TenantConfig),
+    Insert(Colored<EuclidPoint>),
+    InsertBatch(Vec<Colored<EuclidPoint>>),
+    Query,
+    Stats,
+    Checkpoint,
+    Delete,
+}
+
+/// One shard: owns a disjoint subset of tenants.
+struct Shard {
+    tenants: HashMap<String, Tenant>,
+    /// Reset engines awaiting reuse, keyed by their creating config.
+    parked: Vec<(TenantConfig, WindowEngine<Euclidean>)>,
+    cfg: ServeConfig,
+}
+
+impl Shard {
+    fn run(mut self, rx: Receiver<ShardMsg>) {
+        loop {
+            match rx.recv_timeout(self.cfg.tick) {
+                Ok(ShardMsg::Req { tenant, op, reply }) => {
+                    let r = self.handle(&tenant, op);
+                    let _ = reply.send(r);
+                }
+                Ok(ShardMsg::CheckpointAll { reply }) => {
+                    let r = self.checkpoint_all();
+                    let _ = reply.send(r);
+                }
+                Ok(ShardMsg::Stall(d)) => std::thread::sleep(d),
+                Ok(ShardMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Idle tick: age out the ingest buffers.
+                    for t in self.tenants.values_mut() {
+                        t.flush();
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, tenant: &str, op: Op) -> Reply {
+        match op {
+            Op::Create(config) => self.create(tenant, config),
+            Op::Insert(p) => match self.tenants.get_mut(tenant) {
+                Some(t) => {
+                    if let Err(reply) = t.check_colors([&p]) {
+                        return reply;
+                    }
+                    t.buffer.push(p);
+                    t.points_total += 1;
+                    if t.buffer.len() >= self.cfg.flush_batch {
+                        t.flush();
+                    }
+                    Reply::Ok
+                }
+                None => no_such_tenant(tenant),
+            },
+            Op::InsertBatch(points) => match self.tenants.get_mut(tenant) {
+                Some(t) => {
+                    // All-or-nothing: a batch with any bad color is
+                    // refused whole, so an error reply never leaves a
+                    // partially applied batch behind.
+                    if let Err(reply) = t.check_colors(&points) {
+                        return reply;
+                    }
+                    t.points_total += points.len() as u64;
+                    t.buffer.extend(points);
+                    if t.buffer.len() >= self.cfg.flush_batch {
+                        t.flush();
+                    }
+                    Reply::Ok
+                }
+                None => no_such_tenant(tenant),
+            },
+            Op::Query => match self.tenants.get_mut(tenant) {
+                Some(t) => {
+                    t.flush();
+                    let t0 = Instant::now();
+                    let result = t.engine.query();
+                    t.record_latency(t0.elapsed());
+                    Reply::from_query(&result)
+                }
+                None => no_such_tenant(tenant),
+            },
+            Op::Stats => match self.tenants.get_mut(tenant) {
+                Some(t) => {
+                    t.flush();
+                    Reply::Stats(t.stats())
+                }
+                None => no_such_tenant(tenant),
+            },
+            Op::Checkpoint => {
+                let Some(dir) = self.cfg.spool_dir.clone() else {
+                    return Reply::Error(
+                        ErrorKind::Unsupported,
+                        "server started without a spool directory".into(),
+                    );
+                };
+                match self.tenants.get_mut(tenant) {
+                    Some(t) => {
+                        t.flush();
+                        match t.engine.snapshot() {
+                            Some(bytes) => match spool_write(&dir, tenant, &bytes) {
+                                Ok(()) => Reply::Checkpointed {
+                                    written: 1,
+                                    skipped: 0,
+                                },
+                                Err(e) => Reply::Error(
+                                    ErrorKind::Unsupported,
+                                    format!("spool write failed: {e}"),
+                                ),
+                            },
+                            None => Reply::Error(
+                                ErrorKind::Unsupported,
+                                format!(
+                                    "variant {:?} does not support snapshots",
+                                    t.engine.variant_name()
+                                ),
+                            ),
+                        }
+                    }
+                    None => no_such_tenant(tenant),
+                }
+            }
+            Op::Delete => match self.tenants.remove(tenant) {
+                Some(mut t) => {
+                    // A deleted tenant must stay deleted across a
+                    // restart: drop its spool snapshot too.
+                    self.spool_remove(tenant);
+                    // Park the reset engine for delete-and-recreate
+                    // reuse: the next CREATE with the same config takes
+                    // it instead of reconstructing.
+                    if let Some(config) = t.config.take() {
+                        if self.parked.len() < PARK_CAP {
+                            t.engine.reset();
+                            self.parked.push((config, t.engine));
+                        }
+                    }
+                    Reply::Ok
+                }
+                None => no_such_tenant(tenant),
+            },
+        }
+    }
+
+    fn create(&mut self, tenant: &str, config: TenantConfig) -> Reply {
+        if self.tenants.contains_key(tenant) {
+            return Reply::Error(
+                ErrorKind::TenantExists,
+                format!("tenant {tenant:?} already exists"),
+            );
+        }
+        let engine = match self.parked.iter().position(|(c, _)| *c == config) {
+            Some(i) => self.parked.swap_remove(i).1,
+            None => match config.build_engine() {
+                Ok(e) => e.with_parallelism(self.cfg.parallelism),
+                Err(e) => return Reply::Error(ErrorKind::BadRequest, e.to_string()),
+            },
+        };
+        // A stale snapshot under this name (from a deleted or
+        // pre-restart life) must not resurrect over the fresh tenant
+        // if the server crashes before its first CHECKPOINT.
+        self.spool_remove(tenant);
+        self.tenants
+            .insert(tenant.to_string(), Tenant::new(engine, Some(config)));
+        Reply::Ok
+    }
+
+    /// Best-effort removal of a tenant's spool snapshot (the shard owns
+    /// its tenants' spool files; nothing else writes them).
+    fn spool_remove(&self, tenant: &str) {
+        if let Some(dir) = &self.cfg.spool_dir {
+            let _ = std::fs::remove_file(dir.join(format!("{tenant}.{SPOOL_EXT}")));
+        }
+    }
+
+    fn checkpoint_all(&mut self) -> Reply {
+        let Some(dir) = self.cfg.spool_dir.clone() else {
+            return Reply::Error(
+                ErrorKind::Unsupported,
+                "server started without a spool directory".into(),
+            );
+        };
+        let (mut written, mut skipped) = (0u32, 0u32);
+        for (name, t) in self.tenants.iter_mut() {
+            t.flush();
+            match t.engine.snapshot() {
+                Some(bytes) => match spool_write(&dir, name, &bytes) {
+                    Ok(()) => written += 1,
+                    Err(e) => {
+                        return Reply::Error(
+                            ErrorKind::Unsupported,
+                            format!("spool write failed for {name:?}: {e}"),
+                        )
+                    }
+                },
+                None => skipped += 1,
+            }
+        }
+        Reply::Checkpointed { written, skipped }
+    }
+}
+
+fn no_such_tenant(tenant: &str) -> Reply {
+    Reply::Error(ErrorKind::NoSuchTenant, format!("no tenant {tenant:?}"))
+}
+
+/// Atomic snapshot write: tmp file + rename.
+fn spool_write(dir: &std::path::Path, tenant: &str, bytes: &[u8]) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("{tenant}.{SPOOL_EXT}.tmp"));
+    let dst = dir.join(format!("{tenant}.{SPOOL_EXT}"));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, &dst)
+}
+
+/// Restores every spooled tenant (`<name>.fsw2`), skipping unreadable
+/// or corrupt files with a note on stderr — a damaged snapshot must not
+/// keep the service down.
+fn spool_replay(cfg: &ServeConfig) -> Vec<(String, Tenant)> {
+    let Some(dir) = &cfg.spool_dir else {
+        return Vec::new();
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(SPOOL_EXT) {
+            continue;
+        }
+        let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+            continue;
+        };
+        if !valid_tenant_name(&name) {
+            continue;
+        }
+        let restored = std::fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| WindowEngine::restore(Euclidean, &bytes).map_err(|e| e.to_string()));
+        match restored {
+            Ok(engine) => {
+                let engine = engine.with_parallelism(cfg.parallelism);
+                let mut tenant = Tenant::new(engine, None);
+                tenant.points_total = tenant.engine.time();
+                out.push((name, tenant));
+            }
+            Err(e) => eprintln!("fairsw-served: skipping spool file {path:?}: {e}"),
+        }
+    }
+    out
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](Self::shutdown) or [`wait`](Self::wait).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    listener: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the shard queues and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join_all();
+    }
+
+    /// Blocks until a client's `SHUTDOWN` request (or a local
+    /// [`shutdown`](Self::shutdown) from another handle clone) stops the
+    /// server, then joins every thread.
+    pub fn wait(mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        // Connection threads observe the stop flag via their read
+        // timeout; join them before the shards so no request can race a
+        // closing queue.
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for c in conns {
+            let _ = c.join();
+        }
+        for tx in self.shard_txs.drain(..) {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for s in self.shards.drain(..) {
+            let _ = s.join();
+        }
+    }
+
+    /// Test hook: occupies one shard thread so its bounded queue can be
+    /// filled deterministically.
+    #[cfg(test)]
+    fn stall_shard(&self, shard: usize, d: Duration) {
+        self.shard_txs[shard]
+            .send(ShardMsg::Stall(d))
+            .expect("shard alive");
+    }
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), replays
+    /// the snapshot spool, spawns the shard and listener threads and
+    /// returns a handle.
+    pub fn start(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let nshards = cfg.shards.max(1);
+
+        let mut initial: Vec<HashMap<String, Tenant>> =
+            (0..nshards).map(|_| HashMap::new()).collect();
+        for (name, tenant) in spool_replay(&cfg) {
+            initial[shard_of(&name, nshards)].insert(name, tenant);
+        }
+
+        let mut shard_txs = Vec::with_capacity(nshards);
+        let mut shards = Vec::with_capacity(nshards);
+        for tenants in initial {
+            let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+            let shard = Shard {
+                tenants,
+                parked: Vec::new(),
+                cfg: cfg.clone(),
+            };
+            shard_txs.push(tx);
+            shards.push(std::thread::spawn(move || shard.run(rx)));
+        }
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let listener_handle = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let shard_txs = shard_txs.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let stop = Arc::clone(&stop);
+                            let txs = shard_txs.clone();
+                            let handle =
+                                std::thread::spawn(move || serve_connection(stream, txs, stop));
+                            let mut conns = conns.lock().expect("conns lock");
+                            // Reap finished connections so the handle
+                            // list tracks live connections, not the
+                            // server's whole connection history.
+                            let mut i = 0;
+                            while i < conns.len() {
+                                if conns[i].is_finished() {
+                                    let _ = conns.swap_remove(i).join();
+                                } else {
+                                    i += 1;
+                                }
+                            }
+                            conns.push(handle);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            shard_txs,
+            listener: Some(listener_handle),
+            shards,
+            conns,
+        })
+    }
+}
+
+/// Outcome of a polled exact read.
+enum PolledRead {
+    /// The buffer was filled.
+    Done,
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The stop flag was raised while waiting.
+    Stopped,
+}
+
+/// `read_exact` that survives the socket's read timeout: partial
+/// progress is kept across `WouldBlock`/`TimedOut` (a stall in the
+/// middle of a large frame must not desynchronize the framing), and the
+/// timeout only serves to poll `stop`. `eof_ok` marks a frame boundary,
+/// where a clean peer close is a normal end of conversation.
+fn read_exact_polled(
+    r: &mut impl io::Read,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    eof_ok: bool,
+) -> io::Result<PolledRead> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && eof_ok => return Ok(PolledRead::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // The connection is closing anyway once `stop` is set;
+                // abandoning a partial frame then is fine.
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(PolledRead::Stopped);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(PolledRead::Done)
+}
+
+/// One connection: read a frame, route it, write the reply. Requests on
+/// one connection are strictly ordered; concurrency comes from many
+/// connections.
+fn serve_connection(
+    stream: TcpStream,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut reader = io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = io::BufWriter::new(stream);
+
+    loop {
+        let mut header = [0u8; 4];
+        match read_exact_polled(&mut reader, &mut header, &stop, true) {
+            Ok(PolledRead::Done) => {}
+            Ok(PolledRead::Eof) | Ok(PolledRead::Stopped) | Err(_) => return,
+        }
+        let n = u32::from_le_bytes(header) as usize;
+        if n > crate::protocol::MAX_FRAME {
+            return; // unrecoverable framing error: drop the connection
+        }
+        let mut body = vec![0u8; n];
+        match read_exact_polled(&mut reader, &mut body, &stop, false) {
+            Ok(PolledRead::Done) => {}
+            Ok(PolledRead::Eof) | Ok(PolledRead::Stopped) | Err(_) => return,
+        }
+        let reply = match Request::decode(&body) {
+            Ok(req) => route(req, &shard_txs, &stop),
+            Err(e) => Reply::Error(ErrorKind::BadRequest, e.to_string()),
+        };
+        let done = matches!(reply, Reply::Error(ErrorKind::ShuttingDown, _));
+        if write_frame(&mut writer, &reply.encode()).is_err() {
+            return;
+        }
+        if done {
+            return;
+        }
+    }
+}
+
+/// Routes one decoded request and waits for the shard's reply.
+fn route(req: Request, shard_txs: &[SyncSender<ShardMsg>], stop: &AtomicBool) -> Reply {
+    if stop.load(Ordering::SeqCst) {
+        return Reply::Error(ErrorKind::ShuttingDown, "server is shutting down".into());
+    }
+    let (op, tenant) = match req {
+        Request::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            // Ack, then the conn thread closes; `ServerHandle::wait`
+            // observes the flag and joins everything.
+            return Reply::Ok;
+        }
+        Request::Checkpoint { tenant } if tenant.is_empty() => {
+            // Broadcast: every shard checkpoints its tenants; counts sum.
+            let (mut written, mut skipped) = (0u32, 0u32);
+            for tx in shard_txs {
+                let (rtx, rrx) = mpsc::channel();
+                match tx.try_send(ShardMsg::CheckpointAll { reply: rtx }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        return Reply::Error(
+                            ErrorKind::Overloaded,
+                            "shard queue full, retry".into(),
+                        )
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        return Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into())
+                    }
+                }
+                match rrx.recv() {
+                    Ok(Reply::Checkpointed {
+                        written: w,
+                        skipped: s,
+                    }) => {
+                        written += w;
+                        skipped += s;
+                    }
+                    Ok(other) => return other, // first error wins
+                    Err(_) => return Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into()),
+                }
+            }
+            return Reply::Checkpointed { written, skipped };
+        }
+        Request::Create { tenant, config } => {
+            if !valid_tenant_name(&tenant) {
+                return Reply::Error(
+                    ErrorKind::BadRequest,
+                    format!("invalid tenant name {tenant:?} (want [A-Za-z0-9._-]{{1,64}})"),
+                );
+            }
+            (Op::Create(config), tenant)
+        }
+        Request::Insert { tenant, point } => (Op::Insert(point), tenant),
+        Request::InsertBatch { tenant, points } => (Op::InsertBatch(points), tenant),
+        Request::Query { tenant } => (Op::Query, tenant),
+        Request::Stats { tenant } => (Op::Stats, tenant),
+        Request::Checkpoint { tenant } => (Op::Checkpoint, tenant),
+        Request::Delete { tenant } => (Op::Delete, tenant),
+    };
+    let tx = &shard_txs[shard_of(&tenant, shard_txs.len())];
+    let (rtx, rrx) = mpsc::channel();
+    match tx.try_send(ShardMsg::Req {
+        tenant,
+        op,
+        reply: rtx,
+    }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            return Reply::Error(ErrorKind::Overloaded, "shard queue full, retry".into())
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into())
+        }
+    }
+    match rrx.recv() {
+        Ok(reply) => reply,
+        Err(_) => Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::Client;
+    use crate::protocol::WireVariant;
+
+    fn pt(x: f64, c: u32) -> Colored<EuclidPoint> {
+        Colored::new(EuclidPoint::new(vec![x]), c)
+    }
+
+    fn cfg_fixed(window: usize) -> TenantConfig {
+        TenantConfig::new(
+            window,
+            vec![1, 1],
+            WireVariant::Fixed {
+                dmin: 0.01,
+                dmax: 1e4,
+            },
+        )
+    }
+
+    #[test]
+    fn create_insert_query_delete_lifecycle() {
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        assert_eq!(c.create("t1", &cfg_fixed(20)).unwrap(), Reply::Ok);
+        assert!(matches!(
+            c.create("t1", &cfg_fixed(20)).unwrap(),
+            Reply::Error(ErrorKind::TenantExists, _)
+        ));
+        for i in 0..30 {
+            assert_eq!(
+                c.insert("t1", &pt(i as f64, (i % 2) as u32)).unwrap(),
+                Reply::Ok
+            );
+        }
+        match c.query("t1").unwrap() {
+            Reply::Solution(sol) => assert!(!sol.centers.is_empty()),
+            other => panic!("unexpected query reply {other:?}"),
+        }
+        match c.stats("t1").unwrap() {
+            Reply::Stats(s) => {
+                assert_eq!(s.time, 30);
+                assert_eq!(s.points_total, 30);
+                assert_eq!(s.buffered, 0, "stats flushes first");
+                assert!(s.resident_bytes > 0);
+                assert!(s.query_p50_us > 0.0);
+            }
+            other => panic!("unexpected stats reply {other:?}"),
+        }
+        assert_eq!(c.delete("t1").unwrap(), Reply::Ok);
+        assert!(matches!(
+            c.query("t1").unwrap(),
+            Reply::Error(ErrorKind::NoSuchTenant, _)
+        ));
+        // Recreate with the identical config: served from the parked
+        // (reset) engine, and behaves like a fresh tenant.
+        assert_eq!(c.create("t1", &cfg_fixed(20)).unwrap(), Reply::Ok);
+        match c.stats("t1").unwrap() {
+            Reply::Stats(s) => assert_eq!((s.time, s.stored_points), (0, 0)),
+            other => panic!("unexpected stats reply {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_colors_are_rejected_before_the_engine_sees_them() {
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        assert_eq!(c.create("t", &cfg_fixed(20)).unwrap(), Reply::Ok); // 2 colors
+        assert!(matches!(
+            c.insert("t", &pt(1.0, 5)).unwrap(),
+            Reply::Error(ErrorKind::BadRequest, _)
+        ));
+        // A batch with one bad color is refused whole — nothing applied,
+        // nothing buffered, and the shard survives to serve the retry.
+        let batch = vec![pt(1.0, 0), pt(2.0, 1), pt(3.0, 2)];
+        assert!(matches!(
+            c.insert_batch("t", &batch).unwrap(),
+            Reply::Error(ErrorKind::BadRequest, _)
+        ));
+        match c.stats("t").unwrap() {
+            Reply::Stats(s) => assert_eq!((s.time, s.points_total, s.buffered), (0, 0, 0)),
+            other => panic!("unexpected stats reply {other:?}"),
+        }
+        assert_eq!(c.insert("t", &pt(1.0, 1)).unwrap(), Reply::Ok);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn huge_multibyte_tenant_name_gets_an_error_reply_not_a_hangup() {
+        // The error message is truncated to the str16 cap on a char
+        // boundary; the reply must arrive instead of the connection
+        // thread panicking mid-slice.
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        // 65 529 bytes of 3-byte chars: encodable as str16, but the
+        // `no tenant "..."` error message overflows the 64 KiB cap with
+        // the cut landing mid-char.
+        let name = "€".repeat(21_843);
+        assert!(matches!(
+            c.insert(&name, &pt(1.0, 0)).unwrap(),
+            Reply::Error(ErrorKind::NoSuchTenant, _)
+        ));
+        // The connection is still healthy.
+        assert_eq!(c.create("ok", &cfg_fixed(10)).unwrap(), Reply::Ok);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn delete_removes_the_spool_snapshot() {
+        let spool = std::env::temp_dir().join(format!("fairsw-del-spool-{}", std::process::id()));
+        let cfg = ServeConfig {
+            spool_dir: Some(spool.clone()),
+            ..ServeConfig::default()
+        };
+        {
+            let handle = Server::start("127.0.0.1:0", cfg.clone()).unwrap();
+            let mut c = Client::connect(handle.local_addr()).unwrap();
+            assert_eq!(c.create("gone", &cfg_fixed(20)).unwrap(), Reply::Ok);
+            c.insert("gone", &pt(1.0, 0)).unwrap();
+            assert!(matches!(
+                c.checkpoint("gone").unwrap(),
+                Reply::Checkpointed { written: 1, .. }
+            ));
+            assert!(spool.join("gone.fsw2").exists());
+            assert_eq!(c.delete("gone").unwrap(), Reply::Ok);
+            assert!(
+                !spool.join("gone.fsw2").exists(),
+                "spool file survived DELETE"
+            );
+            handle.shutdown();
+        }
+        // A restart must not resurrect the deleted tenant.
+        let handle = Server::start("127.0.0.1:0", cfg).unwrap();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        assert!(matches!(
+            c.query("gone").unwrap(),
+            Reply::Error(ErrorKind::NoSuchTenant, _)
+        ));
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn unknown_tenant_and_bad_names_are_rejected() {
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        assert!(matches!(
+            c.insert("ghost", &pt(1.0, 0)).unwrap(),
+            Reply::Error(ErrorKind::NoSuchTenant, _)
+        ));
+        assert!(matches!(
+            c.create("../evil", &cfg_fixed(10)).unwrap(),
+            Reply::Error(ErrorKind::BadRequest, _)
+        ));
+        assert!(matches!(
+            c.create("ok", &TenantConfig::new(0, vec![1], WireVariant::Oblivious))
+                .unwrap(),
+            Reply::Error(ErrorKind::BadRequest, _)
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn full_shard_queue_returns_overloaded() {
+        let cfg = ServeConfig {
+            shards: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        };
+        let handle = Server::start("127.0.0.1:0", cfg).unwrap();
+        let mut c1 = Client::connect(handle.local_addr()).unwrap();
+        assert_eq!(c1.create("t", &cfg_fixed(10)).unwrap(), Reply::Ok);
+        // Occupy the single shard thread, then fill its depth-1 queue
+        // from one connection while a second connection gets bounced.
+        handle.stall_shard(0, Duration::from_millis(400));
+        std::thread::sleep(Duration::from_millis(50)); // stall picked up
+        let t1 = std::thread::spawn(move || {
+            // Occupies the one queue slot until the stall ends.
+            c1.insert("t", &pt(1.0, 0)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(50)); // slot occupied
+        let mut c2 = Client::connect(handle.local_addr()).unwrap();
+        let r2 = c2.insert("t", &pt(2.0, 0)).unwrap();
+        assert!(
+            matches!(r2, Reply::Error(ErrorKind::Overloaded, _)),
+            "expected OVERLOADED, got {r2:?}"
+        );
+        assert_eq!(t1.join().unwrap(), Reply::Ok, "queued insert completes");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_request_stops_the_server() {
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(c.shutdown().unwrap(), Reply::Ok);
+        handle.wait(); // returns because the flag is set
+        assert!(
+            Client::connect(addr).is_err() || {
+                // The OS may accept briefly; a request must not be served.
+                let mut c2 = Client::connect(addr).unwrap();
+                c2.stats("x").is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_spread() {
+        let a = shard_of("tenant-a", 4);
+        assert_eq!(a, shard_of("tenant-a", 4));
+        let hit: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of(&format!("t{i}"), 4)).collect();
+        assert!(hit.len() > 1, "all tenants on one shard");
+    }
+}

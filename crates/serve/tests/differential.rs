@@ -1,0 +1,389 @@
+//! Differential suite for the serving layer: every reply from the TCP
+//! server must be **byte-identical** to the answer of an in-process
+//! sequential oracle engine fed the same stream.
+//!
+//! Identity is enforced at the encoding level: two replies are compared
+//! by their wire bytes, and the wire writes `f64`s as raw IEEE bits, so
+//! byte equality *is* bit-identity of guesses, radii, centers and
+//! extras. The suite covers all five variants, single and batched
+//! ingest (with batch boundaries that do not align with the server's
+//! flush threshold), several tenants concurrently across shard threads,
+//! engine-side parallelism (the tenants honor `FAIRSW_THREADS`, so the
+//! CI matrix drives 1- and 4-thread pools through this file), and the
+//! crash-recovery path: kill after `CHECKPOINT`, restart from the
+//! spool, resume bit-identically.
+
+use fairsw_core::{ParallelismSpec, SlidingWindowClustering, WindowEngine};
+use fairsw_metric::{Colored, EuclidPoint, Euclidean};
+use fairsw_serve::loadgen::Client;
+use fairsw_serve::protocol::{ErrorKind, Reply, TenantConfig, WireStats, WireVariant};
+use fairsw_serve::server::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+const WINDOW: usize = 40;
+const DMIN: f64 = 1e-3;
+const DMAX: f64 = 1e4;
+
+/// A scratch directory unique to this test process + call.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fairsw-serve-test-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        // Small flush threshold so size-triggered flushes interleave
+        // with tick-triggered ones mid-test.
+        flush_batch: 16,
+        queue_depth: 64,
+        tick: Duration::from_millis(5),
+        spool_dir: None,
+        parallelism: ParallelismSpec::Auto, // honors FAIRSW_THREADS
+    }
+}
+
+fn cp(x: f64, c: u32) -> Colored<EuclidPoint> {
+    Colored::new(EuclidPoint::new(vec![x, -0.5 * x]), c)
+}
+
+/// Three windows of two-cluster data with occasional far spikes (the
+/// robust variant gets genuine outliers) and a drift phase.
+fn stream() -> Vec<Colored<EuclidPoint>> {
+    let n = WINDOW as u64;
+    (0..3 * n)
+        .map(|i| {
+            if i % 37 == 0 {
+                cp(6e3 + i as f64, (i % 3 == 0) as u32)
+            } else {
+                let base = if i % 2 == 0 { 0.0 } else { 300.0 };
+                cp(
+                    base + (i as f64 * 0.618_033_988_7).fract() * 4.0,
+                    (i % 3 == 0) as u32,
+                )
+            }
+        })
+        .chain((0..n).map(|i| {
+            cp(
+                150.0 + (i as f64 * 0.324_717_957_2).fract() * 2.0,
+                (i % 3 == 0) as u32,
+            )
+        }))
+        .collect()
+}
+
+fn variants() -> Vec<(&'static str, TenantConfig)> {
+    let base = |variant| TenantConfig::new(WINDOW, vec![2, 1], variant);
+    vec![
+        (
+            "fixed",
+            base(WireVariant::Fixed {
+                dmin: DMIN,
+                dmax: DMAX,
+            }),
+        ),
+        ("oblivious", base(WireVariant::Oblivious)),
+        (
+            "compact",
+            base(WireVariant::Compact {
+                dmin: DMIN,
+                dmax: DMAX,
+            }),
+        ),
+        (
+            "robust",
+            base(WireVariant::Robust {
+                z: 2,
+                dmin: DMIN,
+                dmax: DMAX,
+            }),
+        ),
+        (
+            "matroid",
+            base(WireVariant::Matroid {
+                dmin: DMIN,
+                dmax: DMAX,
+            }),
+        ),
+    ]
+}
+
+/// Builds the sequential oracle for a tenant config.
+fn oracle_for(config: &TenantConfig) -> WindowEngine<Euclidean> {
+    config
+        .build_engine()
+        .expect("valid oracle config")
+        .with_parallelism(ParallelismSpec::Sequential)
+}
+
+/// Byte-level reply comparison (wire bytes carry raw f64 bits, so this
+/// is the bit-identity the acceptance criterion demands).
+fn assert_reply_bytes(ctx: &str, got: &Reply, want: &Reply) {
+    assert_eq!(
+        got.encode(),
+        want.encode(),
+        "{ctx}: reply diverged from oracle\n got: {got:?}\nwant: {want:?}"
+    );
+}
+
+/// The deterministic part of the stats the oracle predicts.
+fn expected_stats(
+    oracle: &WindowEngine<Euclidean>,
+    variant_code: u8,
+    points_total: u64,
+) -> WireStats {
+    let mem = oracle.memory_stats();
+    WireStats {
+        time: oracle.time(),
+        window: oracle.window_size() as u64,
+        stored_points: mem.stored_points() as u64,
+        unique_points: mem.unique_points as u64,
+        payload_bytes: mem.payload_bytes as u64,
+        resident_bytes: mem.resident_bytes() as u64,
+        num_guesses: mem.num_guesses() as u64,
+        variant: variant_code,
+        points_total,
+        buffered: 0,
+        points_per_sec: 0.0,
+        query_p50_us: 0.0,
+        query_p90_us: 0.0,
+        query_p99_us: 0.0,
+    }
+}
+
+fn check_stats(ctx: &str, client: &mut Client, tenant: &str, want: WireStats) {
+    match client.stats(tenant).expect("stats reply") {
+        Reply::Stats(got) => {
+            assert_reply_bytes(
+                &format!("{ctx}/stats"),
+                &Reply::Stats(got.deterministic()),
+                &Reply::Stats(want),
+            );
+        }
+        other => panic!("{ctx}: unexpected stats reply {other:?}"),
+    }
+}
+
+/// Drives one tenant against its oracle, comparing QUERY and STATS at
+/// three mid-stream checkpoints plus the end. `batched = None` streams
+/// per-point `INSERT`s; `Some(b)` uses `INSERT_BATCH` chunks of `b`
+/// (chosen to misalign with the server's flush threshold).
+fn drive_tenant(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    config: &TenantConfig,
+    points: &[Colored<EuclidPoint>],
+    batched: Option<usize>,
+) {
+    let variant_code = config.variant.code();
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(
+        client.create(tenant, config).expect("create reply"),
+        Reply::Ok,
+        "{tenant}: create"
+    );
+    let mut oracle = oracle_for(config);
+    let checkpoints = [points.len() / 3, 2 * points.len() / 3, points.len()];
+    let mut sent = 0usize;
+    let chunks: Vec<&[Colored<EuclidPoint>]> = match batched {
+        Some(b) => points.chunks(b).collect(),
+        None => points.chunks(1).collect(),
+    };
+    for chunk in chunks {
+        let reply = match (batched, chunk) {
+            (None, [p]) => client.insert(tenant, p).expect("insert reply"),
+            _ => client.insert_batch(tenant, chunk).expect("batch reply"),
+        };
+        assert_eq!(reply, Reply::Ok, "{tenant}: ingest ack at {sent}");
+        for p in chunk {
+            oracle.insert(p.clone());
+        }
+        sent += chunk.len();
+        if checkpoints.contains(&sent) {
+            let ctx = format!("{tenant} at t={sent}");
+            let got = client.query(tenant).expect("query reply");
+            assert_reply_bytes(&ctx, &got, &Reply::from_query(&oracle.query()));
+            check_stats(
+                &ctx,
+                &mut client,
+                tenant,
+                expected_stats(&oracle, variant_code, sent as u64),
+            );
+        }
+    }
+}
+
+#[test]
+fn every_variant_single_and_batched_matches_the_oracle_bit_for_bit() {
+    let handle = Server::start("127.0.0.1:0", serve_config()).expect("server starts");
+    let addr = handle.local_addr();
+    let points = stream();
+
+    // 10 tenants (5 variants × {single, batched}) driven concurrently
+    // from 10 connections across 2 shard threads. Batch size 17
+    // deliberately misaligns with the server's flush threshold of 16.
+    std::thread::scope(|scope| {
+        for (name, config) in variants() {
+            let points = &points;
+            let single = format!("{name}-single");
+            let batch = format!("{name}-batched");
+            let cfg2 = config.clone();
+            scope.spawn(move || drive_tenant(addr, &single, &config, points, None));
+            scope.spawn(move || drive_tenant(addr, &batch, &cfg2, points, Some(17)));
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn checkpoint_kill_restart_resumes_bit_identically() {
+    let spool = scratch_dir("spool");
+    let mk_cfg = || ServeConfig {
+        spool_dir: Some(spool.clone()),
+        ..serve_config()
+    };
+    let points = stream();
+    let half = points.len() / 2;
+
+    // Three fixed tenants (snapshot-capable) with distinct configs plus
+    // one oblivious tenant (not snapshot-capable, reported as skipped).
+    let fixed_tenants: Vec<(String, TenantConfig)> = (0..3)
+        .map(|i| {
+            let caps = if i == 0 { vec![2, 1] } else { vec![1, 1] };
+            let window = WINDOW + 10 * i;
+            (
+                format!("ckpt-{i}"),
+                TenantConfig::new(
+                    window,
+                    caps,
+                    WireVariant::Fixed {
+                        dmin: DMIN,
+                        dmax: DMAX,
+                    },
+                ),
+            )
+        })
+        .collect();
+
+    {
+        let handle = Server::start("127.0.0.1:0", mk_cfg()).expect("server starts");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        for (name, config) in &fixed_tenants {
+            assert_eq!(client.create(name, config).unwrap(), Reply::Ok);
+            assert_eq!(
+                client.insert_batch(name, &points[..half]).unwrap(),
+                Reply::Ok
+            );
+        }
+        assert_eq!(
+            client
+                .create(
+                    "ephemeral",
+                    &TenantConfig::new(WINDOW, vec![2, 1], WireVariant::Oblivious)
+                )
+                .unwrap(),
+            Reply::Ok
+        );
+        assert_eq!(
+            client.insert_batch("ephemeral", &points[..half]).unwrap(),
+            Reply::Ok
+        );
+        // Checkpoint-all: 3 snapshots written, the oblivious tenant
+        // skipped (no snapshot support).
+        match client.checkpoint("").unwrap() {
+            Reply::Checkpointed { written, skipped } => {
+                assert_eq!((written, skipped), (3, 1));
+            }
+            other => panic!("unexpected checkpoint reply {other:?}"),
+        }
+        // Per-tenant checkpoint of an unsupported variant is an error.
+        assert!(matches!(
+            client.checkpoint("ephemeral").unwrap(),
+            Reply::Error(ErrorKind::Unsupported, _)
+        ));
+        // Kill: no graceful per-tenant teardown, exactly like a crash
+        // after the spool write.
+        handle.shutdown();
+    }
+
+    // Restart from the spool; continue the second half and compare
+    // against oracles that saw the whole stream uninterrupted.
+    let handle = Server::start("127.0.0.1:0", mk_cfg()).expect("server restarts");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    // The non-checkpointed tenant did not survive, as a crash demands.
+    assert!(matches!(
+        client.query("ephemeral").unwrap(),
+        Reply::Error(ErrorKind::NoSuchTenant, _)
+    ));
+    for (name, config) in &fixed_tenants {
+        let mut oracle = oracle_for(config);
+        for p in &points {
+            oracle.insert(p.clone());
+        }
+        assert_eq!(
+            client.insert_batch(name, &points[half..]).unwrap(),
+            Reply::Ok,
+            "{name}: resume ingest"
+        );
+        let got = client.query(name).expect("query reply");
+        assert_reply_bytes(
+            &format!("{name} after restart"),
+            &got,
+            &Reply::from_query(&oracle.query()),
+        );
+        check_stats(
+            &format!("{name} after restart"),
+            &mut client,
+            name,
+            // points_total restarts from the snapshot's arrival clock.
+            expected_stats(&oracle, 0, points.len() as u64),
+        );
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn delete_then_recreate_reuses_a_reset_engine_exactly() {
+    let handle = Server::start("127.0.0.1:0", serve_config()).expect("server starts");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let points = stream();
+    let (name, config) = &variants()[0]; // fixed
+    let tenant = format!("reuse-{name}");
+
+    // First life: stream everything, then delete (parks a reset engine).
+    assert_eq!(client.create(&tenant, config).unwrap(), Reply::Ok);
+    assert_eq!(client.insert_batch(&tenant, &points).unwrap(), Reply::Ok);
+    assert_eq!(client.delete(&tenant).unwrap(), Reply::Ok);
+
+    // Second life under the same config: must answer exactly like a
+    // fresh engine fed only the new (shorter, different) stream.
+    let second: Vec<_> = points.iter().take(70).cloned().collect();
+    assert_eq!(client.create(&tenant, config).unwrap(), Reply::Ok);
+    assert_eq!(client.insert_batch(&tenant, &second).unwrap(), Reply::Ok);
+    let mut oracle = oracle_for(config);
+    for p in &second {
+        oracle.insert(p.clone());
+    }
+    let got = client.query(&tenant).expect("query reply");
+    assert_reply_bytes(
+        "reuse second life",
+        &got,
+        &Reply::from_query(&oracle.query()),
+    );
+    check_stats(
+        "reuse second life",
+        &mut client,
+        &tenant,
+        expected_stats(&oracle, config.variant.code(), second.len() as u64),
+    );
+    handle.shutdown();
+}

@@ -22,6 +22,12 @@
 //!   --threads N         spread per-guess work over N worker threads
 //!                       (default: FAIRSW_THREADS env var, else 1);
 //!                       answers are bit-identical at any thread count
+//!   --snapshot-out PATH write an FSW2 snapshot after the stream ends
+//!                       (fixed variant only — the default when no
+//!                       variant flag is given)
+//!   --snapshot-in PATH  resume from an FSW2 snapshot instead of
+//!                       building a fresh engine (the snapshot carries
+//!                       the window/caps/beta/delta configuration)
 //!   --quiet             suppress per-center output
 //! ```
 //!
@@ -51,6 +57,8 @@ struct Args {
     compact: bool,
     robust: Option<usize>,
     threads: Option<usize>,
+    snapshot_out: Option<PathBuf>,
+    snapshot_in: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -66,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         compact: false,
         robust: None,
         threads: None,
+        snapshot_out: None,
+        snapshot_in: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -116,6 +126,8 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--threads: {e}"))?,
                 )
             }
+            "--snapshot-out" => args.snapshot_out = Some(PathBuf::from(value("--snapshot-out")?)),
+            "--snapshot-in" => args.snapshot_in = Some(PathBuf::from(value("--snapshot-in")?)),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{}", USAGE);
@@ -145,6 +157,12 @@ OPTIONS:
   --robust Z       tolerate Z outliers per window
   --threads N      per-guess worker threads (default: FAIRSW_THREADS,
                    else sequential); answers are bit-identical
+  --snapshot-out PATH  write an FSW2 snapshot after the stream ends
+                   (fixed variant only, the default variant); the same
+                   format fairsw-served spools on CHECKPOINT
+  --snapshot-in PATH   resume from an FSW2 snapshot instead of building
+                   a fresh engine (it carries window/caps/beta/delta;
+                   --window/--caps/--delta/--beta are then ignored)
   --quiet          suppress per-center output
 ";
 
@@ -217,22 +235,47 @@ fn run() -> Result<(), String> {
         None => vec![2; ncolors],
     };
 
-    let cfg = FairSWConfig::builder()
-        .window_size(args.window)
-        .capacities(caps.clone())
-        .beta(args.beta)
-        .delta(args.delta)
-        .build()
-        .map_err(|e| format!("configuration: {e}"))?;
-
-    let spec = variant_for(&args, &points)?;
     let par = match args.threads {
         Some(n) => ParallelismSpec::Threads(n),
         None => ParallelismSpec::Auto, // honors FAIRSW_THREADS
     };
-    let mut engine = WindowEngine::build(cfg, spec, Euclidean)
-        .map_err(|e| format!("configuration: {e}"))?
-        .with_parallelism(par);
+    let mut engine = match &args.snapshot_in {
+        Some(path) => {
+            // Resume: the snapshot carries the full configuration, so
+            // the config/variant flags are superseded.
+            if args.oblivious || args.compact || args.robust.is_some() {
+                return Err(
+                    "--snapshot-in resumes a fixed-variant engine; it conflicts with \
+                     --oblivious/--compact/--robust"
+                        .into(),
+                );
+            }
+            let bytes = std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+            let engine = WindowEngine::restore(Euclidean, &bytes)
+                .map_err(|e| format!("restoring {path:?}: {e}"))?
+                .with_parallelism(par);
+            eprintln!(
+                "resumed from {path:?} at t={} (window {}, {} stored points)",
+                engine.time(),
+                engine.window_size(),
+                engine.stored_points()
+            );
+            engine
+        }
+        None => {
+            let cfg = FairSWConfig::builder()
+                .window_size(args.window)
+                .capacities(caps.clone())
+                .beta(args.beta)
+                .delta(args.delta)
+                .build()
+                .map_err(|e| format!("configuration: {e}"))?;
+            let spec = variant_for(&args, &points)?;
+            WindowEngine::build(cfg, spec, Euclidean)
+                .map_err(|e| format!("configuration: {e}"))?
+                .with_parallelism(par)
+        }
+    };
     eprintln!(
         "variant: {} ({} thread{})",
         engine.variant_name(),
@@ -272,6 +315,21 @@ fn run() -> Result<(), String> {
                 }
             }
         }
+    }
+    if let Some(path) = &args.snapshot_out {
+        let bytes = engine.snapshot().ok_or_else(|| {
+            format!(
+                "--snapshot-out: the {} variant does not support snapshots \
+                 (only the fixed variant does)",
+                engine.variant_name()
+            )
+        })?;
+        std::fs::write(path, &bytes).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!(
+            "wrote snapshot {path:?} ({} bytes at t={})",
+            bytes.len(),
+            engine.time()
+        );
     }
     let elapsed = t0.elapsed();
     eprintln!(
