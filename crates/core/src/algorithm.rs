@@ -14,9 +14,16 @@ use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
 use crate::guess_set::GuessSet;
 use crate::parallel::{Exec, ParallelismSpec};
-use fairsw_metric::{Colored, ColoredId, Metric, Resolver};
+use fairsw_metric::{packing_scan, Colored, ColoredId, DistScratch, Metric, Resolver, ScratchPool};
 use fairsw_sequential::{FairCenterSolver, Jones};
 use fairsw_stream::Lattice;
+
+/// The per-algorithm pool of reusable distance-staging buffers: query
+/// shards check a [`DistScratch`] out for their chunk of the guess scan
+/// and return it, so steady-state queries gather and stage coresets
+/// without allocating. Never semantic state — clones start empty,
+/// snapshots skip it.
+pub(crate) type QueryScratch<P> = ScratchPool<DistScratch<P>>;
 
 /// The sliding-window fair-center algorithm with a fixed guess range
 /// (requires `dmin`/`dmax` of the stream up front; see
@@ -31,6 +38,7 @@ pub struct FairSlidingWindow<M: Metric> {
     pub(crate) set: GuessSet<GuessState, M::Point>,
     pub(crate) t: u64,
     pub(crate) exec: Exec,
+    pub(crate) scratch: QueryScratch<M::Point>,
 }
 
 impl<M: Metric> FairSlidingWindow<M> {
@@ -56,6 +64,7 @@ impl<M: Metric> FairSlidingWindow<M> {
             set: GuessSet::new(guesses),
             t: 0,
             exec: Exec::default(),
+            scratch: QueryScratch::default(),
         })
     }
 
@@ -105,6 +114,7 @@ impl<M: Metric> FairSlidingWindow<M> {
         let guesses: Vec<(&GuessState, ())> = self.set.guesses.iter().map(|g| (g, ())).collect();
         query_over_guesses(
             &self.exec,
+            &self.scratch,
             &self.metric,
             self.set.store.resolver(),
             &guesses,
@@ -251,15 +261,21 @@ where
 /// qualifying coreset. Returns the tag with the solution so callers can
 /// report which guess won. Used by the fixed and oblivious variants.
 ///
-/// The scan works entirely on arena handles; payloads are resolved for
-/// distance computations in place and materialized only once, inside the
-/// solver's id-slice entry point, at solution-assembly time.
+/// Per guess, `RV` is gathered out of the arena **once** into the
+/// shard's [`DistScratch`] view and the `2γ`-packing runs as a batched
+/// minimum-distance scan ([`packing_scan`]) — one kernel call per packed
+/// point instead of a pointwise `dist_to_set` per representative.
+/// Payload copies are materialized only inside the solver's id-slice
+/// entry point, at solution-assembly time.
 ///
-/// With a parallel [`Exec`] the scan shards into contiguous chunks and
-/// the earliest shard's outcome wins — exactly the guess the sequential
-/// scan selects (see [`crate::parallel`] for the determinism argument).
+/// With a parallel [`Exec`] the scan shards into contiguous chunks —
+/// each checking its own scratch out of `scratch` — and the earliest
+/// shard's outcome wins: exactly the guess the sequential scan selects
+/// (see [`crate::parallel`] for the determinism argument).
+#[allow(clippy::too_many_arguments)] // internal; mirrors the query's parameter list
 pub(crate) fn query_over_guesses<M, S, T>(
     exec: &Exec,
+    scratch: &QueryScratch<M::Point>,
     metric: &M,
     res: Resolver<'_, M::Point>,
     guesses: &[(&GuessState, T)],
@@ -273,24 +289,24 @@ where
     S: FairCenterSolver<M> + Sync,
     T: Copy + Send + Sync,
 {
-    exec.find_map_first(guesses, |&(g, tag)| {
+    exec.find_map_first_pooled(scratch, guesses, |&(g, tag), s| {
         if g.av_len() > k {
             return None; // invalid guess: γ is a lower bound on OPT
         }
-        // Greedy 2γ-packing over RV (Algorithm 3 inner loop).
-        let two_gamma = 2.0 * g.gamma();
-        let mut packing: Vec<&M::Point> = Vec::with_capacity(k + 1);
-        for q in g.rv_points(res) {
-            if metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
-                packing.push(q);
-                if packing.len() > k {
-                    return None; // packing overflow: guess not qualified
-                }
-            }
-        }
-        // Qualifying guess: solve on the coreset R. A solver error on
-        // the winning guess is the query's outcome, as in the
-        // sequential scan.
+        // Greedy 2γ-packing over RV (Algorithm 3 inner loop), staged.
+        s.view.gather_ids(metric, res, g.rv_ids());
+        packing_scan(
+            metric,
+            &s.view,
+            2.0 * g.gamma(),
+            k,
+            &mut s.dist,
+            &mut s.min_dist,
+            &mut s.packed,
+        )?; // packing overflow: guess not qualified
+            // Qualifying guess: solve on the coreset R. A solver error on
+            // the winning guess is the query's outcome, as in the
+            // sequential scan.
         let ids = g.coreset_ids();
         Some(
             solver

@@ -19,11 +19,12 @@
 //! point payloads live once in the shared
 //! [`PointStore`](fairsw_metric::PointStore).
 
+use crate::algorithm::QueryScratch;
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess_set::{DeadList, GuessSet, GuessSlot};
 use crate::parallel::{Exec, ParallelismSpec};
-use fairsw_metric::{Colored, ColoredId, Metric, PointId, Resolver};
+use fairsw_metric::{packing_scan, Colored, ColoredId, Metric, PointId, Resolver};
 use fairsw_sequential::{FairCenterSolver, Jones};
 use fairsw_stream::Lattice;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -247,6 +248,7 @@ pub struct CompactFairSlidingWindow<M: Metric> {
     set: GuessSet<CompactGuess, M::Point>,
     t: u64,
     exec: Exec,
+    scratch: QueryScratch<M::Point>,
 }
 
 impl<M: Metric> CompactFairSlidingWindow<M> {
@@ -270,6 +272,7 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
             set: GuessSet::new(guesses),
             t: 0,
             exec: Exec::default(),
+            scratch: QueryScratch::default(),
         })
     }
 
@@ -295,9 +298,10 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
     }
 
     /// Queries with an explicit solver: guess selection identical to the
-    /// main algorithm (the packing runs over all of `RV`), then the
-    /// sequential solver runs on `RV` directly (resolved from the arena
-    /// only inside the solver's id-slice entry point).
+    /// main algorithm — `RV` is gathered into the shard's scratch view
+    /// once and the packing runs batched — then the sequential solver
+    /// runs on `RV` directly (payload copies materialize only inside
+    /// the solver's id-slice entry point).
     pub fn query_with<S>(&self, solver: &S) -> Result<Solution<M::Point>, QueryError>
     where
         S: FairCenterSolver<M> + Sync,
@@ -309,21 +313,22 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
         }
         let res = self.set.store.resolver();
         self.exec
-            .find_map_first(&self.set.guesses, |g| {
+            .find_map_first_pooled(&self.scratch, &self.set.guesses, |g, s| {
                 if g.av.len() > self.k {
                     return None;
                 }
-                let two_gamma = 2.0 * g.gamma;
-                let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
-                for e in g.rv.values() {
-                    let q = res.get(e.id);
-                    if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
-                        packing.push(q);
-                        if packing.len() > self.k {
-                            return None;
-                        }
-                    }
-                }
+                // The packing never reads colors: gather handles only.
+                s.view
+                    .gather_ids(&self.metric, res, g.rv.values().map(|e| e.id));
+                packing_scan(
+                    &self.metric,
+                    &s.view,
+                    2.0 * g.gamma,
+                    self.k,
+                    &mut s.dist,
+                    &mut s.min_dist,
+                    &mut s.packed,
+                )?;
                 let ids: Vec<ColoredId> =
                     g.rv.values().map(|e| Colored::new(e.id, e.color)).collect();
                 Some(

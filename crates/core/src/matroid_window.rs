@@ -27,12 +27,13 @@
 //! matching-based partition solvers — use [`crate::FairSlidingWindow`]
 //! when the constraint is a plain partition matroid.
 
+use crate::algorithm::QueryScratch;
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError};
 use crate::guess_set::{DeadList, GuessSet, GuessSlot};
 use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_matroid::{Matroid, OverColors};
-use fairsw_metric::{Colored, ColoredId, Metric, PointId, Resolver};
+use fairsw_metric::{packing_scan, Colored, ColoredId, Metric, PointId, Resolver};
 use fairsw_sequential::matroid_center_ids;
 use fairsw_stream::Lattice;
 use std::collections::{BTreeMap, HashMap};
@@ -358,6 +359,7 @@ pub struct MatroidSlidingWindow<M: Metric, Mat: Matroid<u32>> {
     set: GuessSet<MatroidGuess, M::Point>,
     t: u64,
     exec: Exec,
+    scratch: QueryScratch<M::Point>,
 }
 
 impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
@@ -399,6 +401,7 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
             set: GuessSet::new(guesses),
             t: 0,
             exec: Exec::default(),
+            scratch: QueryScratch::default(),
         })
     }
 
@@ -497,21 +500,21 @@ where
         }
         let res = self.set.store.resolver();
         self.exec
-            .find_map_first(&self.set.guesses, |g| {
+            .find_map_first_pooled(&self.scratch, &self.set.guesses, |g, s| {
                 if g.av.len() > self.k {
                     return None;
                 }
-                let two_gamma = 2.0 * g.gamma;
-                let mut packing: Vec<&M::Point> = Vec::with_capacity(self.k + 1);
-                for &qid in g.rv.values() {
-                    let q = res.get(qid);
-                    if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
-                        packing.push(q);
-                        if packing.len() > self.k {
-                            return None;
-                        }
-                    }
-                }
+                // Batched 2γ-packing over RV (k = rank).
+                s.view.gather_ids(&self.metric, res, g.rv.values().copied());
+                packing_scan(
+                    &self.metric,
+                    &s.view,
+                    2.0 * g.gamma,
+                    self.k,
+                    &mut s.dist,
+                    &mut s.min_dist,
+                    &mut s.packed,
+                )?;
                 let ids: Vec<PointId> = g.r.values().map(|&(id, _, _)| id).collect();
                 let colors: Vec<u32> = g.r.values().map(|&(_, c, _)| c).collect();
                 let idx_matroid = OverColors::new(&colors, &self.matroid);

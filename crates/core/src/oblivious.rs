@@ -29,7 +29,7 @@
 //! The returned [`Solution`] records that provenance in its
 //! [`SolutionExtras::Oblivious`] annotation.
 
-use crate::algorithm::query_over_guesses;
+use crate::algorithm::{query_over_guesses, QueryScratch};
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
@@ -67,6 +67,7 @@ pub struct ObliviousFairSlidingWindow<M: Metric> {
     prev_point: Option<M::Point>,
     t: u64,
     exec: Exec,
+    scratch: QueryScratch<M::Point>,
 }
 
 /// How many levels to keep below the invalidity frontier.
@@ -98,6 +99,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
             prev_point: None,
             t: 0,
             exec: Exec::default(),
+            scratch: QueryScratch::default(),
         })
     }
 
@@ -249,6 +251,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
                 .collect();
             query_over_guesses(
                 &self.exec,
+                &self.scratch,
                 &self.metric,
                 res,
                 &scan,

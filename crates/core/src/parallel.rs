@@ -43,6 +43,7 @@
 //! so exotic single-threaded metrics can still implement the trait for
 //! their own types.
 
+use fairsw_metric::ScratchPool;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -292,7 +293,25 @@ impl Exec {
     }
 
     /// Returns `f`'s first `Some` over `items` *in item order* — the
-    /// parallel equivalent of `items.iter().find_map(f)`.
+    /// parallel equivalent of `items.iter().find_map(f)`. Every query
+    /// path now scans through [`find_map_first_pooled`](Self::find_map_first_pooled);
+    /// this scratch-free wrapper remains for the determinism unit tests.
+    #[cfg(test)]
+    pub(crate) fn find_map_first<T, R, F>(&self, items: &[T], f: F) -> Option<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Option<R> + Sync,
+    {
+        let pool: ScratchPool<()> = ScratchPool::default();
+        self.find_map_first_pooled(&pool, items, |item, ()| f(item))
+    }
+
+    /// [`find_map_first`](Self::find_map_first) with a reusable scratch
+    /// checked out of `pool` per shard: each worker borrows one scratch
+    /// for its whole contiguous chunk (the sequential scan borrows one
+    /// for the whole list), so per-item buffers warm up once and — with
+    /// a pool owned by the algorithm — stay warm across queries.
     ///
     /// Shards are contiguous chunks scanned independently; the merge
     /// takes the earliest shard's hit, so the selected item is exactly
@@ -303,21 +322,27 @@ impl Exec {
     /// panic past the sequential winner is swallowed exactly like the
     /// sequential scan never reaching that item, while a panic *before*
     /// it propagates just as it would sequentially.
-    pub(crate) fn find_map_first<T, R, F>(&self, items: &[T], f: F) -> Option<R>
+    pub(crate) fn find_map_first_pooled<T, R, S, F>(
+        &self,
+        scratches: &ScratchPool<S>,
+        items: &[T],
+        f: F,
+    ) -> Option<R>
     where
         T: Sync,
         R: Send,
-        F: Fn(&T) -> Option<R> + Sync,
+        S: Default + Send,
+        F: Fn(&T, &mut S) -> Option<R> + Sync,
     {
         enum Outcome<R> {
             Hit(R),
             Panicked(Box<dyn std::any::Any + Send>),
         }
         match self {
-            Exec::Seq => items.iter().find_map(f),
+            Exec::Seq => scratches.with(|s| items.iter().find_map(|item| f(item, s))),
             Exec::Pool(pool) => {
                 if items.len() <= 1 {
-                    return items.iter().find_map(f);
+                    return scratches.with(|s| items.iter().find_map(|item| f(item, s)));
                 }
                 let chunk = items.len().div_ceil(pool.threads());
                 let nshards = items.len().div_ceil(chunk);
@@ -328,14 +353,16 @@ impl Exec {
                     .zip(outcomes.iter_mut())
                     .map(|(c, slot)| {
                         Box::new(move || {
-                            for item in c {
-                                match catch_unwind(AssertUnwindSafe(|| f(item))) {
-                                    Ok(None) => continue,
-                                    Ok(Some(r)) => *slot = Some(Outcome::Hit(r)),
-                                    Err(payload) => *slot = Some(Outcome::Panicked(payload)),
+                            scratches.with(|s| {
+                                for item in c {
+                                    match catch_unwind(AssertUnwindSafe(|| f(item, s))) {
+                                        Ok(None) => continue,
+                                        Ok(Some(r)) => *slot = Some(Outcome::Hit(r)),
+                                        Err(payload) => *slot = Some(Outcome::Panicked(payload)),
+                                    }
+                                    break;
                                 }
-                                break;
-                            }
+                            })
                         }) as _
                     })
                     .collect();

@@ -27,12 +27,13 @@
 //! is exact. A weighted-coreset refinement is the natural next step and
 //! is listed in DESIGN.md.
 
+use crate::algorithm::QueryScratch;
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
 use crate::guess_set::GuessSet;
 use crate::parallel::{Exec, ParallelismSpec};
-use fairsw_metric::{Colored, ColoredId, Metric};
+use fairsw_metric::{packing_scan, Colored, ColoredId, Metric};
 use fairsw_sequential::RobustFair;
 use fairsw_stream::Lattice;
 
@@ -50,6 +51,7 @@ pub struct RobustFairSlidingWindow<M: Metric> {
     set: GuessSet<GuessState, M::Point>,
     t: u64,
     exec: Exec,
+    scratch: QueryScratch<M::Point>,
 }
 
 impl<M: Metric> RobustFairSlidingWindow<M> {
@@ -80,6 +82,7 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
             set: GuessSet::new(guesses),
             t: 0,
             exec: Exec::default(),
+            scratch: QueryScratch::default(),
         })
     }
 
@@ -185,20 +188,21 @@ where
         let solver = RobustFair::new(self.z);
         let res = self.set.store.resolver();
         self.exec
-            .find_map_first(&self.set.guesses, |g| {
+            .find_map_first_pooled(&self.scratch, &self.set.guesses, |g, s| {
                 if g.av_len() > k_eff {
                     return None;
                 }
-                let two_gamma = 2.0 * g.gamma();
-                let mut packing: Vec<&M::Point> = Vec::with_capacity(k_eff + 1);
-                for q in g.rv_points(res) {
-                    if self.metric.dist_to_set(q, packing.iter().copied()) > two_gamma {
-                        packing.push(q);
-                        if packing.len() > k_eff {
-                            return None;
-                        }
-                    }
-                }
+                // Batched 2γ-packing with the robust `k+z` threshold.
+                s.view.gather_ids(&self.metric, res, g.rv_ids());
+                packing_scan(
+                    &self.metric,
+                    &s.view,
+                    2.0 * g.gamma(),
+                    k_eff,
+                    &mut s.dist,
+                    &mut s.min_dist,
+                    &mut s.packed,
+                )?;
                 let ids = g.coreset_ids();
                 Some(
                     solver

@@ -419,6 +419,7 @@ where
             set: GuessSet { guesses, store },
             t,
             exec: crate::parallel::Exec::default(),
+            scratch: Default::default(),
         })
     }
 }

@@ -18,14 +18,23 @@
 //!   dimensionality (the algorithm itself never needs it, per the paper);
 //! * [`store`] — the interned [`PointStore`] arena: each live window
 //!   point stored once, addressed by copyable 4-byte [`PointId`] handles
-//!   with refcounted early reclaim plus window-expiry epoch GC.
+//!   with refcounted early reclaim plus window-expiry epoch GC;
+//! * [`kernel`] — the batched distance layer: [`CoresetView`] gathers a
+//!   candidate set once into a columnar (structure-of-arrays) block,
+//!   [`DistScratch`]/[`ScratchPool`] make steady-state queries
+//!   allocation-free, and the [`Metric`] block kernels
+//!   ([`Metric::dist_one_to_many`], [`Metric::dist_many_to_many`])
+//!   evaluate distances over the staged block bit-identically to scalar
+//!   [`Metric::dist`].
 
 pub mod doubling;
+pub mod kernel;
 pub mod metric;
 pub mod point;
 pub mod stats;
 pub mod store;
 
+pub use kernel::{packing_scan, CoresetView, DistScratch, ScratchPool, SoaBlock, LANES};
 pub use metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
 pub use point::{Colored, Coords, EuclidPoint};
 pub use stats::{aspect_ratio, pairwise_extremes, sampled_extremes, PairwiseExtremes};

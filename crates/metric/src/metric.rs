@@ -1,6 +1,7 @@
 //! The distance-oracle trait and the concrete metrics used in the
 //! experiments.
 
+use crate::kernel::CoresetView;
 use crate::point::EuclidPoint;
 
 /// A metric space: a point type plus a distance oracle.
@@ -38,6 +39,229 @@ pub trait Metric: Clone {
         }
         best
     }
+
+    /// Stages a freshly gathered [`CoresetView`] into whatever block
+    /// layout this metric's batched kernels consume.
+    ///
+    /// The default stages nothing: the kernels then fall back to per-row
+    /// scalar [`dist`](Self::dist) calls over the view's point clones.
+    /// The bundled coordinate metrics override this to fill the view's
+    /// columnar [`SoaBlock`](crate::SoaBlock) mirror, which their
+    /// hand-tuned kernels stream with unit stride.
+    #[inline]
+    fn stage(&self, view: &mut CoresetView<Self::Point>) {
+        let _ = view;
+    }
+
+    /// Batched one-to-many distances: writes
+    /// `out[i] = dist(q, view[i])` for every staged point, **bit
+    /// identical** to the scalar [`dist`](Self::dist) — same accumulation
+    /// order per point, no squared-distance shortcuts. `out` is caller
+    /// owned and must hold exactly `view.len()` slots.
+    ///
+    /// The default is the scalar fallback (one `dist` call per row);
+    /// the bundled metrics override it with columnar kernels when the
+    /// view carries a staged [`SoaBlock`](crate::SoaBlock).
+    #[inline]
+    fn dist_one_to_many(&self, q: &Self::Point, view: &CoresetView<Self::Point>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+        for (o, p) in out.iter_mut().zip(view.points()) {
+            *o = self.dist(q, p);
+        }
+    }
+
+    /// Batched many-to-many distances: writes the row-major matrix
+    /// `out[i * cols.len() + j] = dist(rows[i], cols[j])`, bit-identical
+    /// to scalar [`dist`](Self::dist) per pair. `out` is caller owned
+    /// and must hold exactly `rows.len() * cols.len()` slots.
+    ///
+    /// The default forwards each row through
+    /// [`dist_one_to_many`](Self::dist_one_to_many), which is already the
+    /// cache-friendly shape when that kernel is columnar.
+    #[inline]
+    fn dist_many_to_many(
+        &self,
+        rows: &CoresetView<Self::Point>,
+        cols: &CoresetView<Self::Point>,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(
+            out.len(),
+            rows.len() * cols.len(),
+            "output block size mismatch"
+        );
+        let width = cols.len();
+        for (i, q) in rows.points().iter().enumerate() {
+            self.dist_one_to_many(q, cols, &mut out[i * width..(i + 1) * width]);
+        }
+    }
+}
+
+/// Stages the coordinate columns of a view of [`EuclidPoint`]s — the
+/// shared [`Metric::stage`] body of the four bundled metrics. Views with
+/// ragged dimensions are left unstaged (the kernels then use the scalar
+/// fallback, whose per-pair `debug_assert` reports the mismatch).
+fn stage_euclid(view: &mut CoresetView<EuclidPoint>) {
+    let Some(first) = view.points().first() else {
+        return;
+    };
+    let dim = first.dim();
+    if view.points().iter().any(|p| p.dim() != dim) {
+        return;
+    }
+    // Move the block out to appease the borrow checker: `stage_rows`
+    // reads the rows while writing the columns.
+    let mut soa = std::mem::take(view.soa_mut());
+    soa.stage_rows(dim, view.points().iter().map(EuclidPoint::coords));
+    *view.soa_mut() = soa;
+}
+
+use crate::kernel::LANES;
+
+/// The scalar fallback body shared by the hand-tuned kernels for views
+/// the metric did not stage (ragged dimensions).
+fn scalar_one_to_many<M: Metric>(
+    metric: &M,
+    q: &M::Point,
+    view: &CoresetView<M::Point>,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+    for (o, p) in out.iter_mut().zip(view.points()) {
+        *o = metric.dist(q, p);
+    }
+}
+
+/// Register-tiled columnar reduction shared by the L1/L2/L∞ kernels:
+/// for each [`LANES`]-wide tile, `step` folds coordinate `d` of every
+/// lane into its accumulator (ascending-dimension order per point —
+/// exactly the scalar loop, so no floating-point reassociation), then
+/// `finish` post-processes the accumulator. The tile walk is one linear
+/// pass over the staged buffer; padding lanes are computed and
+/// discarded.
+#[inline(always)]
+fn tiled_kernel(
+    q: &[f64],
+    soa: &crate::kernel::SoaBlock,
+    out: &mut [f64],
+    init: f64,
+    step: impl Fn(f64, f64, f64) -> f64,
+    finish: impl Fn(f64) -> f64,
+) {
+    debug_assert_eq!(q.len(), soa.dim(), "dimension mismatch");
+    let n = soa.len();
+    for t in 0..soa.tiles() {
+        let tile = soa.tile(t);
+        let mut acc = [init; LANES];
+        for (d, &qd) in q.iter().enumerate() {
+            let lanes = &tile[d * LANES..(d + 1) * LANES];
+            for (a, &x) in acc.iter_mut().zip(lanes) {
+                *a = step(*a, qd, x);
+            }
+        }
+        let start = t * LANES;
+        let w = LANES.min(n - start);
+        for (o, &a) in out[start..start + w].iter_mut().zip(&acc) {
+            *o = finish(a);
+        }
+    }
+}
+
+/// Columnar L2 kernel: squared differences accumulate per point in
+/// ascending-dimension order, then one square root — bit-identical to
+/// the scalar loop.
+fn l2_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
+    tiled_kernel(
+        q,
+        soa,
+        out,
+        0.0,
+        |acc, qd, x| {
+            let diff = qd - x;
+            acc + diff * diff
+        },
+        f64::sqrt,
+    );
+}
+
+/// Columnar L1 kernel (absolute differences summed in
+/// ascending-dimension order).
+fn l1_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
+    tiled_kernel(q, soa, out, 0.0, |acc, qd, x| acc + (qd - x).abs(), |a| a);
+}
+
+/// Columnar L∞ kernel (running maximum per point, ascending-dimension
+/// order with the same `max(acc, |diff|)` argument order as the scalar
+/// fold).
+fn linf_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
+    tiled_kernel(
+        q,
+        soa,
+        out,
+        0.0,
+        |acc, qd, x| f64::max(acc, (qd - x).abs()),
+        |a| a,
+    );
+}
+
+/// Tiled columnar angular kernel. Per tile, one pass accumulates the
+/// candidate norms, a second accumulates the Kahan angle's `‖â−b̂‖²` /
+/// `‖â+b̂‖²` sums (the tile stays resident in L1 between the passes).
+/// All per-point accumulation runs in ascending-dimension order with
+/// the exact scalar operations (including the `x / ‖a‖` normalizing
+/// divisions), so results are bit-identical; zero-norm candidates are
+/// masked to the scalar path's `0.0` convention.
+fn angular_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
+    debug_assert_eq!(q.len(), soa.dim(), "dimension mismatch");
+    let mut na = 0.0;
+    for &x in q {
+        na += x * x;
+    }
+    if na == 0.0 {
+        out.fill(0.0);
+        return;
+    }
+    let na = na.sqrt();
+    let n = soa.len();
+    for t in 0..soa.tiles() {
+        let tile = soa.tile(t);
+        let mut nb_sq = [0.0f64; LANES];
+        for d in 0..soa.dim() {
+            let lanes = &tile[d * LANES..(d + 1) * LANES];
+            for (acc, &y) in nb_sq.iter_mut().zip(lanes) {
+                *acc += y * y;
+            }
+        }
+        let mut nb = [0.0f64; LANES];
+        for (b, &sq) in nb.iter_mut().zip(&nb_sq) {
+            *b = sq.sqrt();
+        }
+        let mut diff = [0.0f64; LANES];
+        let mut sum = [0.0f64; LANES];
+        for (d, &qd) in q.iter().enumerate() {
+            let u = qd / na;
+            let lanes = &tile[d * LANES..(d + 1) * LANES];
+            for j in 0..LANES {
+                // Zero-norm candidates (and padding lanes) divide 0/0
+                // here; the NaNs are masked below, matching the scalar
+                // convention.
+                let v = lanes[j] / nb[j];
+                let dv = u - v;
+                let sv = u + v;
+                diff[j] += dv * dv;
+                sum[j] += sv * sv;
+            }
+        }
+        let start = t * LANES;
+        let w = LANES.min(n - start);
+        for j in 0..w {
+            out[start + j] = if nb_sq[j] == 0.0 {
+                0.0
+            } else {
+                2.0 * diff[j].sqrt().atan2(sum[j].sqrt()) / std::f64::consts::PI
+            };
+        }
+    }
 }
 
 /// The Euclidean (L2) metric on [`EuclidPoint`]s. Used by every experiment
@@ -59,6 +283,21 @@ impl Metric for Euclidean {
         }
         acc.sqrt()
     }
+
+    #[inline]
+    fn stage(&self, view: &mut CoresetView<EuclidPoint>) {
+        stage_euclid(view);
+    }
+
+    /// Columnar L2 kernel over the staged [`SoaBlock`](crate::SoaBlock);
+    /// bit-identical to per-pair [`dist`](Metric::dist).
+    fn dist_one_to_many(&self, q: &EuclidPoint, view: &CoresetView<EuclidPoint>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+        match view.soa() {
+            Some(soa) => l2_kernel(q.coords(), soa, out),
+            None => scalar_one_to_many(self, q, view, out),
+        }
+    }
 }
 
 /// The Manhattan (L1) metric on [`EuclidPoint`]s.
@@ -73,6 +312,21 @@ impl Metric for Manhattan {
         let (xs, ys) = (a.coords(), b.coords());
         debug_assert_eq!(xs.len(), ys.len(), "dimension mismatch");
         xs.iter().zip(ys).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    #[inline]
+    fn stage(&self, view: &mut CoresetView<EuclidPoint>) {
+        stage_euclid(view);
+    }
+
+    /// Columnar L1 kernel over the staged [`SoaBlock`](crate::SoaBlock);
+    /// bit-identical to per-pair [`dist`](Metric::dist).
+    fn dist_one_to_many(&self, q: &EuclidPoint, view: &CoresetView<EuclidPoint>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+        match view.soa() {
+            Some(soa) => l1_kernel(q.coords(), soa, out),
+            None => scalar_one_to_many(self, q, view, out),
+        }
     }
 }
 
@@ -91,6 +345,21 @@ impl Metric for Chebyshev {
             .zip(ys)
             .map(|(x, y)| (x - y).abs())
             .fold(0.0, f64::max)
+    }
+
+    #[inline]
+    fn stage(&self, view: &mut CoresetView<EuclidPoint>) {
+        stage_euclid(view);
+    }
+
+    /// Columnar L∞ kernel over the staged [`SoaBlock`](crate::SoaBlock);
+    /// bit-identical to per-pair [`dist`](Metric::dist).
+    fn dist_one_to_many(&self, q: &EuclidPoint, view: &CoresetView<EuclidPoint>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+        match view.soa() {
+            Some(soa) => linf_kernel(q.coords(), soa, out),
+            None => scalar_one_to_many(self, q, view, out),
+        }
     }
 }
 
@@ -133,6 +402,22 @@ impl Metric for Angular {
             sum += (u + v) * (u + v);
         }
         2.0 * diff.sqrt().atan2(sum.sqrt()) / std::f64::consts::PI
+    }
+
+    #[inline]
+    fn stage(&self, view: &mut CoresetView<EuclidPoint>) {
+        stage_euclid(view);
+    }
+
+    /// Chunked columnar angle kernel over the staged
+    /// [`SoaBlock`](crate::SoaBlock); bit-identical to per-pair
+    /// [`dist`](Metric::dist), including the zero-vector convention.
+    fn dist_one_to_many(&self, q: &EuclidPoint, view: &CoresetView<EuclidPoint>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+        match view.soa() {
+            Some(soa) => angular_kernel(q.coords(), soa, out),
+            None => scalar_one_to_many(self, q, view, out),
+        }
     }
 }
 
@@ -192,6 +477,12 @@ mod tests {
         proptest::collection::vec(-1e3..1e3f64, dim).prop_map(EuclidPoint::new)
     }
 
+    /// `n` random points sharing one random dimension in 1..16 — the
+    /// axiom tests run across dimensionalities, not just a fixed one.
+    fn arb_points_same_dim(n: usize) -> impl Strategy<Value = Vec<EuclidPoint>> {
+        (1usize..16).prop_flat_map(move |dim| proptest::collection::vec(arb_point(dim), n))
+    }
+
     macro_rules! metric_axiom_tests {
         ($name:ident, $metric:expr) => {
             mod $name {
@@ -199,29 +490,31 @@ mod tests {
 
                 proptest! {
                     #[test]
-                    fn symmetry(a in arb_point(4), b in arb_point(4)) {
+                    fn symmetry(pts in arb_points_same_dim(2)) {
                         let m = $metric;
-                        prop_assert!((m.dist(&a, &b) - m.dist(&b, &a)).abs() < 1e-9);
+                        let (a, b) = (&pts[0], &pts[1]);
+                        prop_assert!((m.dist(a, b) - m.dist(b, a)).abs() < 1e-9);
                     }
 
                     #[test]
-                    fn identity(a in arb_point(4)) {
+                    fn identity(pts in arb_points_same_dim(1)) {
                         // ≤ 1e-9 rather than == 0: Angular goes through
                         // acos, which can leave a few ulps of residue.
                         let m = $metric;
-                        prop_assert!(m.dist(&a, &a) <= 1e-9);
+                        prop_assert!(m.dist(&pts[0], &pts[0]) <= 1e-9);
                     }
 
                     #[test]
-                    fn non_negative(a in arb_point(4), b in arb_point(4)) {
+                    fn non_negative(pts in arb_points_same_dim(2)) {
                         let m = $metric;
-                        prop_assert!(m.dist(&a, &b) >= 0.0);
+                        prop_assert!(m.dist(&pts[0], &pts[1]) >= 0.0);
                     }
 
                     #[test]
-                    fn triangle(a in arb_point(4), b in arb_point(4), c in arb_point(4)) {
+                    fn triangle(pts in arb_points_same_dim(3)) {
                         let m = $metric;
-                        prop_assert!(m.dist(&a, &c) <= m.dist(&a, &b) + m.dist(&b, &c) + 1e-7);
+                        let (a, b, c) = (&pts[0], &pts[1], &pts[2]);
+                        prop_assert!(m.dist(a, c) <= m.dist(a, b) + m.dist(b, c) + 1e-7);
                     }
                 }
             }

@@ -25,7 +25,7 @@
 
 use crate::{validate, FairCenterSolver, FairSolution, Instance, SolveError};
 use fairsw_matching::max_capacitated_matching;
-use fairsw_metric::{Colored, Metric};
+use fairsw_metric::{Colored, CoresetView, Metric};
 
 /// The ChenEtAl matroid-center solver (α = 3).
 #[derive(Clone, Copy, Debug)]
@@ -53,28 +53,51 @@ impl ChenEtAl {
     }
 
     /// Tests feasibility of radius `r`; on success returns the witness
-    /// center indices.
-    fn feasible<M: Metric>(&self, inst: &Instance<'_, M>, r: f64) -> Option<Vec<usize>> {
+    /// center indices. Distances are staged through `view` (the
+    /// instance's points, gathered once by `solve`, which also owns the
+    /// `dbuf`/`mind` working buffers shared across probes).
+    fn feasible<M: Metric>(
+        &self,
+        inst: &Instance<'_, M>,
+        view: &CoresetView<M::Point>,
+        r: f64,
+        dbuf: &mut Vec<f64>,
+        mind: &mut Vec<f64>,
+    ) -> Option<Vec<usize>> {
         let k = inst.k();
-        // Greedy 2r-separated heads.
+        // Greedy 2r-separated heads: the running minimum to the packed
+        // heads replaces the per-candidate `any` scan (a candidate is
+        // close iff its min head distance is ≤ 2r), with one kernel
+        // call per accepted head.
+        let n = inst.points.len();
         let mut heads: Vec<usize> = Vec::new();
-        for (i, p) in inst.points.iter().enumerate() {
-            let close = heads
-                .iter()
-                .any(|&h| inst.metric.dist(&p.point, &inst.points[h].point) <= 2.0 * r);
-            if !close {
+        dbuf.clear();
+        dbuf.resize(n, 0.0);
+        mind.clear();
+        mind.resize(n, f64::INFINITY);
+        for i in 0..n {
+            if mind[i] > 2.0 * r {
                 heads.push(i);
                 if heads.len() > k {
                     return None; // certificate that r < OPT
                 }
+                inst.metric.dist_one_to_many(view.point(i), view, dbuf);
+                for j in (i + 1)..n {
+                    if dbuf[j] < mind[j] {
+                        mind[j] = dbuf[j];
+                    }
+                }
             }
         }
-        // Nearest point of each color within distance r of each head.
+        // Nearest point of each color within distance r of each head:
+        // one kernel call per head, merged per color with the same
+        // ascending-index tie-break as the pointwise scan.
         let ncolors = inst.num_colors();
         let mut witness = vec![vec![(f64::INFINITY, usize::MAX); ncolors]; heads.len()];
-        for (qi, q) in inst.points.iter().enumerate() {
-            for (hi, &h) in heads.iter().enumerate() {
-                let d = inst.metric.dist(&q.point, &inst.points[h].point);
+        for (hi, &h) in heads.iter().enumerate() {
+            inst.metric.dist_one_to_many(view.point(h), view, dbuf);
+            for (qi, q) in inst.points.iter().enumerate() {
+                let d = dbuf[qi];
                 if d <= r {
                     let slot = &mut witness[hi][q.color as usize];
                     if d < slot.0 {
@@ -116,52 +139,61 @@ impl<M: Metric> FairCenterSolver<M> for ChenEtAl {
     fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError> {
         validate(inst)?;
         let n = inst.points.len();
+        // Stage the instance once; every feasibility test and candidate
+        // sweep below runs batched kernels over this view.
+        let mut view = CoresetView::new();
+        view.gather_colored(inst.metric, inst.points.iter());
+        let mut dbuf = vec![0.0f64; n];
+        let mut mind: Vec<f64> = Vec::new();
 
         let witnesses: Vec<usize> = if n <= self.exact_threshold {
             // Exact mode: binary search over all pairwise distances
-            // (including 0: with n ≤ k every point can be its own center).
+            // (including 0: with n ≤ k every point can be its own center),
+            // one kernel row per point.
             let mut cands: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2 + 1);
             cands.push(0.0);
             for i in 0..n {
-                for j in (i + 1)..n {
-                    cands.push(
-                        inst.metric
-                            .dist(&inst.points[i].point, &inst.points[j].point),
-                    );
-                }
+                inst.metric
+                    .dist_one_to_many(view.point(i), &view, &mut dbuf);
+                cands.extend_from_slice(&dbuf[(i + 1)..]);
             }
             cands.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
             cands.dedup();
             let (mut lo, mut hi) = (0usize, cands.len() - 1);
             debug_assert!(
-                self.feasible(inst, cands[hi]).is_some(),
+                self.feasible(inst, &view, cands[hi], &mut dbuf, &mut mind)
+                    .is_some(),
                 "r = dmax must be feasible"
             );
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                if self.feasible(inst, cands[mid]).is_some() {
+                if self
+                    .feasible(inst, &view, cands[mid], &mut dbuf, &mut mind)
+                    .is_some()
+                {
                     hi = mid;
                 } else {
                     lo = mid + 1;
                 }
             }
-            self.feasible(inst, cands[lo])
+            self.feasible(inst, &view, cands[lo], &mut dbuf, &mut mind)
                 .expect("binary search ended on a feasible radius")
         } else {
-            // Value mode: [0, dmax_estimate] to relative tolerance.
+            // Value mode: [0, dmax_estimate] to relative tolerance. The
+            // Gonzalez-style double sweep is two kernel calls.
             let mut dmax: f64 = 0.0;
-            let p0 = &inst.points[0].point;
             let mut far = 0usize;
-            for (i, p) in inst.points.iter().enumerate() {
-                let d = inst.metric.dist(p0, &p.point);
+            inst.metric
+                .dist_one_to_many(view.point(0), &view, &mut dbuf);
+            for (i, &d) in dbuf.iter().enumerate() {
                 if d > dmax {
                     dmax = d;
                     far = i;
                 }
             }
-            let pf = &inst.points[far].point;
-            for p in inst.points {
-                let d = inst.metric.dist(pf, &p.point);
+            inst.metric
+                .dist_one_to_many(view.point(far), &view, &mut dbuf);
+            for &d in &dbuf {
                 if d > dmax {
                     dmax = d;
                 }
@@ -176,11 +208,11 @@ impl<M: Metric> FairCenterSolver<M> for ChenEtAl {
             }
             let (mut lo, mut hi) = (0.0f64, dmax);
             let mut best = self
-                .feasible(inst, hi)
+                .feasible(inst, &view, hi, &mut dbuf, &mut mind)
                 .expect("r = diameter estimate must be feasible");
             while hi - lo > self.value_tolerance * dmax {
                 let mid = 0.5 * (lo + hi);
-                match self.feasible(inst, mid) {
+                match self.feasible(inst, &view, mid, &mut dbuf, &mut mind) {
                     Some(w) => {
                         best = w;
                         hi = mid;
@@ -197,7 +229,21 @@ impl<M: Metric> FairCenterSolver<M> for ChenEtAl {
             .filter(|i| seen.insert(*i))
             .map(|i| inst.points[i].clone())
             .collect();
-        let radius = inst.radius_of(&centers);
+        // Radius over the already-staged view — no re-gather.
+        let mut mind = Vec::new();
+        crate::min_over_centers(
+            inst.metric,
+            &view,
+            centers.iter().map(|c| &c.point),
+            &mut dbuf,
+            &mut mind,
+        );
+        let mut radius: f64 = 0.0;
+        for &d in &mind {
+            if d > radius {
+                radius = d;
+            }
+        }
         Ok(FairSolution { centers, radius })
     }
 }

@@ -7,7 +7,7 @@
 //! `Query` validation step (a greedy 2γ-packing is a Gonzalez run with an
 //! early exit).
 
-use fairsw_metric::Metric;
+use fairsw_metric::{CoresetView, Metric};
 
 /// Output of a Gonzalez run.
 #[derive(Clone, Debug)]
@@ -33,11 +33,31 @@ impl GonzalezResult {
 /// index 0 (deterministic). Returns fewer than `k` pivots when the input
 /// has fewer points.
 ///
+/// Stages `points` into a [`CoresetView`] and delegates to
+/// [`gonzalez_view`]; callers that already hold a staged view (Jones,
+/// Kleindessner) should call that entry point directly and reuse the
+/// view for their own kernel calls.
+pub fn gonzalez<M: Metric>(metric: &M, points: &[M::Point], k: usize) -> GonzalezResult {
+    let mut view = CoresetView::new();
+    view.gather(metric, points.iter());
+    gonzalez_view(metric, &view, k)
+}
+
+/// [`gonzalez`] over a pre-staged view. Each round evaluates the new
+/// pivot's distances to every point with one
+/// [`dist_one_to_many`](Metric::dist_one_to_many) kernel call and merges
+/// them into the running minima — decision-identical to the classical
+/// pointwise loop.
+///
 /// The greedy invariant: after selecting `j` pivots the next pivot is the
 /// point farthest from the current pivot set, so pivots are pairwise at
 /// least `coverage[j-1]` apart, giving the classical 2-approximation.
-pub fn gonzalez<M: Metric>(metric: &M, points: &[M::Point], k: usize) -> GonzalezResult {
-    if points.is_empty() || k == 0 {
+pub fn gonzalez_view<M: Metric>(
+    metric: &M,
+    view: &CoresetView<M::Point>,
+    k: usize,
+) -> GonzalezResult {
+    if view.is_empty() || k == 0 {
         return GonzalezResult {
             pivots: Vec::new(),
             coverage: Vec::new(),
@@ -45,24 +65,24 @@ pub fn gonzalez<M: Metric>(metric: &M, points: &[M::Point], k: usize) -> Gonzale
         };
     }
 
-    let n = points.len();
+    let n = view.len();
     let kk = k.min(n);
     let mut pivots = Vec::with_capacity(kk);
     let mut coverage = Vec::with_capacity(kk);
     // dist[i] = distance of point i to the closest selected pivot.
     let mut dist = vec![f64::INFINITY; n];
+    let mut dbuf = vec![0.0f64; n];
     let mut assignment = vec![0usize; n];
 
     let mut next = 0usize;
     for round in 0..kk {
         pivots.push(next);
-        let pv = &points[next];
+        metric.dist_one_to_many(view.point(next), view, &mut dbuf);
         let mut far_idx = 0usize;
         let mut far_d: f64 = -1.0;
         for i in 0..n {
-            let d = metric.dist(&points[i], pv);
-            if d < dist[i] {
-                dist[i] = d;
+            if dbuf[i] < dist[i] {
+                dist[i] = dbuf[i];
                 assignment[i] = round;
             }
             if dist[i] > far_d {

@@ -25,9 +25,9 @@
 //! `coverage[j*-1] ≤ 2r*`. The returned minimum is therefore at most
 //! `coverage + τ ≤ 3r*`.
 
-use crate::{gonzalez, validate, FairCenterSolver, FairSolution, Instance, SolveError};
+use crate::{gonzalez_view, validate, FairCenterSolver, FairSolution, Instance, SolveError};
 use fairsw_matching::max_capacitated_matching;
-use fairsw_metric::{Colored, Metric};
+use fairsw_metric::{Colored, CoresetView, Metric};
 
 /// The Jones fair-center solver (α = 3). Stateless; construct freely.
 #[derive(Clone, Copy, Debug, Default)]
@@ -38,30 +38,46 @@ impl Jones {
     pub fn new() -> Self {
         Jones
     }
-}
 
-impl<M: Metric> FairCenterSolver<M> for Jones {
-    fn name(&self) -> &'static str {
-        "Jones"
-    }
-
-    fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError> {
-        validate(inst)?;
-        let k = inst.k();
-        let ncolors = inst.num_colors();
-        let raw: Vec<&M::Point> = inst.points.iter().map(|c| &c.point).collect();
-        let raw_owned: Vec<M::Point> = raw.iter().map(|p| (*p).clone()).collect();
-        let g = gonzalez(inst.metric, &raw_owned, k);
+    /// The algorithm proper, over an already-staged view (points +
+    /// colors). Both entry points below land here: `solve` stages the
+    /// instance slice, `solve_ids` gathers straight out of the arena —
+    /// either way every candidate distance flows through the batched
+    /// kernels and no intermediate point copies are materialized.
+    fn solve_on_view<M: Metric>(
+        &self,
+        metric: &M,
+        view: &CoresetView<M::Point>,
+        caps: &[usize],
+    ) -> Result<FairSolution<M::Point>, SolveError> {
+        if view.is_empty() {
+            return Err(SolveError::EmptyInstance);
+        }
+        if caps.is_empty() || caps.contains(&0) {
+            return Err(SolveError::BadBudgets);
+        }
+        let k: usize = caps.iter().sum();
+        let ncolors = caps.len();
+        let colors = view.colors();
+        debug_assert!(
+            colors.iter().all(|&c| (c as usize) < ncolors),
+            "point color out of range"
+        );
+        let g = gonzalez_view(metric, view, k);
         let npiv = g.pivots.len();
 
         // mind[p][i] = (distance, witness index) of the nearest point of
-        // color i to pivot p.
+        // color i to pivot p. One kernel call per pivot replaces the
+        // pointwise O(nk) scan; the per-color argmin keeps the same
+        // ascending-index tie-break.
         let mut mind = vec![vec![(f64::INFINITY, usize::MAX); ncolors]; npiv];
+        let mut dbuf = vec![0.0f64; view.len()];
+        let mut mind_buf: Vec<f64> = Vec::new();
         for (pi, &pividx) in g.pivots.iter().enumerate() {
-            let pivot = &inst.points[pividx].point;
-            for (qi, q) in inst.points.iter().enumerate() {
-                let d = inst.metric.dist(pivot, &q.point);
-                let slot = &mut mind[pi][q.color as usize];
+            metric.dist_one_to_many(view.point(pividx), view, &mut dbuf);
+            for (qi, &color) in colors.iter().enumerate() {
+                let d = dbuf[qi];
+                let slot = &mut mind[pi][color as usize];
                 if d < slot.0 {
                     *slot = (d, qi);
                 }
@@ -99,7 +115,7 @@ impl<M: Metric> FairCenterSolver<M> for Jones {
                             .collect()
                     })
                     .collect();
-                let m = max_capacitated_matching(inst.caps, &adj);
+                let m = max_capacitated_matching(caps, &adj);
                 if m.is_left_perfect() {
                     Some(
                         m.assigned
@@ -137,22 +153,61 @@ impl<M: Metric> FairCenterSolver<M> for Jones {
         }
 
         let (_, witnesses) = best.ok_or(SolveError::EmptyInstance)?;
-        let mut centers: Vec<Colored<M::Point>> =
-            witnesses.iter().map(|&i| inst.points[i].clone()).collect();
         // Distinct pivots can share a witness point (the same point may be
         // the closest representative of one color to two pivots); dedup by
         // index to keep the center set a set.
         let mut seen = std::collections::HashSet::new();
-        let mut keep = Vec::new();
-        for (c, &i) in centers.iter().zip(&witnesses) {
-            if seen.insert(i) {
-                keep.push(c.clone());
+        let centers: Vec<Colored<M::Point>> = witnesses
+            .iter()
+            .filter(|&&i| seen.insert(i))
+            .map(|&i| Colored::new(view.point(i).clone(), colors[i]))
+            .collect();
+
+        // Radius over the already-staged view — no re-gather.
+        crate::min_over_centers(
+            metric,
+            view,
+            centers.iter().map(|c| &c.point),
+            &mut dbuf,
+            &mut mind_buf,
+        );
+        let mut radius: f64 = 0.0;
+        for &d in &mind_buf {
+            if d > radius {
+                radius = d;
             }
         }
-        centers = keep;
-
-        let radius = inst.radius_of(&centers);
         Ok(FairSolution { centers, radius })
+    }
+}
+
+impl<M: Metric> FairCenterSolver<M> for Jones {
+    fn name(&self) -> &'static str {
+        "Jones"
+    }
+
+    fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError> {
+        validate(inst)?;
+        // Stage the instance once; everything downstream runs on batched
+        // kernels over this view.
+        let mut view = CoresetView::new();
+        view.gather_colored(inst.metric, inst.points.iter());
+        self.solve_on_view(inst.metric, &view, inst.caps)
+    }
+
+    /// Gathers the coreset straight out of the arena into a staged view
+    /// — one resolver pass, no intermediate `Vec<Colored<_>>` — and
+    /// solves on it.
+    fn solve_ids(
+        &self,
+        metric: &M,
+        res: fairsw_metric::Resolver<'_, M::Point>,
+        ids: &[fairsw_metric::ColoredId],
+        caps: &[usize],
+    ) -> Result<FairSolution<M::Point>, SolveError> {
+        let mut view = CoresetView::new();
+        view.gather_colored_ids(metric, res, ids.iter().copied());
+        self.solve_on_view(metric, &view, caps)
     }
 }
 

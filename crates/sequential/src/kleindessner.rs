@@ -18,8 +18,8 @@
 //! pivots still cover the data within twice the Gonzalez radius of the
 //! shorter prefix).
 
-use crate::{gonzalez, validate, FairCenterSolver, FairSolution, Instance, SolveError};
-use fairsw_metric::{Colored, Metric};
+use crate::{gonzalez_view, validate, FairCenterSolver, FairSolution, Instance, SolveError};
+use fairsw_metric::{Colored, CoresetView, Metric};
 
 /// The greedy-swap fair-center baseline (exponential-in-ℓ guarantee,
 /// matching-free, fastest of the sequential solvers).
@@ -33,23 +33,38 @@ impl Kleindessner {
     }
 }
 
-impl<M: Metric> FairCenterSolver<M> for Kleindessner {
-    fn name(&self) -> &'static str {
-        "Kleindessner"
-    }
+impl Kleindessner {
+    /// The algorithm proper, over an already-staged view (points +
+    /// colors). Both trait entry points land here: `solve` stages the
+    /// instance slice, `solve_ids` gathers straight out of the arena —
+    /// every candidate distance flows through the batched kernels.
+    fn solve_on_view<M: Metric>(
+        &self,
+        metric: &M,
+        view: &CoresetView<M::Point>,
+        caps: &[usize],
+    ) -> Result<FairSolution<M::Point>, SolveError> {
+        if view.is_empty() {
+            return Err(SolveError::EmptyInstance);
+        }
+        if caps.is_empty() || caps.contains(&0) {
+            return Err(SolveError::BadBudgets);
+        }
+        let k: usize = caps.iter().sum();
+        let colors = view.colors();
+        debug_assert!(
+            colors.iter().all(|&c| (c as usize) < caps.len()),
+            "point color out of range"
+        );
+        let g = gonzalez_view(metric, view, k);
 
-    fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError> {
-        validate(inst)?;
-        let k = inst.k();
-        let raw: Vec<M::Point> = inst.points.iter().map(|c| c.point.clone()).collect();
-        let g = gonzalez(inst.metric, &raw, k);
-
-        let mut remaining: Vec<usize> = inst.caps.to_vec();
+        let mut remaining: Vec<usize> = caps.to_vec();
         let mut chosen: Vec<usize> = Vec::with_capacity(g.pivots.len());
-        let mut used = vec![false; inst.points.len()];
+        let mut used = vec![false; view.len()];
+        let mut dbuf = vec![0.0f64; view.len()];
 
         for (pi, &pividx) in g.pivots.iter().enumerate() {
-            let own_color = inst.points[pividx].color as usize;
+            let own_color = colors[pividx] as usize;
             if remaining[own_color] > 0 && !used[pividx] {
                 remaining[own_color] -= 1;
                 used[pividx] = true;
@@ -57,14 +72,15 @@ impl<M: Metric> FairCenterSolver<M> for Kleindessner {
                 continue;
             }
             // Swap: nearest unused point with budgeted color, preferring
-            // the pivot's own cluster.
-            let pivot = &inst.points[pividx].point;
+            // the pivot's own cluster. One kernel call per swap, same
+            // candidate order and tie-breaks as the pointwise scan.
+            metric.dist_one_to_many(view.point(pividx), view, &mut dbuf);
             let mut best: Option<(bool, f64, usize)> = None; // (in_cluster, dist, idx)
-            for (qi, q) in inst.points.iter().enumerate() {
-                if used[qi] || remaining[q.color as usize] == 0 {
+            for (qi, &color) in colors.iter().enumerate() {
+                if used[qi] || remaining[color as usize] == 0 {
                     continue;
                 }
-                let d = inst.metric.dist(pivot, &q.point);
+                let d = dbuf[qi];
                 let in_cluster = g.assignment[qi] == pi;
                 let cand = (in_cluster, d, qi);
                 let better = match &best {
@@ -77,20 +93,64 @@ impl<M: Metric> FairCenterSolver<M> for Kleindessner {
                 }
             }
             if let Some((_, _, qi)) = best {
-                remaining[inst.points[qi].color as usize] -= 1;
+                remaining[colors[qi] as usize] -= 1;
                 used[qi] = true;
                 chosen.push(qi);
             }
             // else: budgets exhausted everywhere; drop this pivot.
         }
 
-        let centers: Vec<Colored<M::Point>> =
-            chosen.into_iter().map(|i| inst.points[i].clone()).collect();
+        let centers: Vec<Colored<M::Point>> = chosen
+            .into_iter()
+            .map(|i| Colored::new(view.point(i).clone(), colors[i]))
+            .collect();
         if centers.is_empty() {
             return Err(SolveError::EmptyInstance);
         }
-        let radius = inst.radius_of(&centers);
+        // Radius over the already-staged view — no re-gather.
+        let mut mind = Vec::new();
+        crate::min_over_centers(
+            metric,
+            view,
+            centers.iter().map(|c| &c.point),
+            &mut dbuf,
+            &mut mind,
+        );
+        let mut radius: f64 = 0.0;
+        for &d in &mind {
+            if d > radius {
+                radius = d;
+            }
+        }
         Ok(FairSolution { centers, radius })
+    }
+}
+
+impl<M: Metric> FairCenterSolver<M> for Kleindessner {
+    fn name(&self) -> &'static str {
+        "Kleindessner"
+    }
+
+    fn solve(&self, inst: &Instance<'_, M>) -> Result<FairSolution<M::Point>, SolveError> {
+        validate(inst)?;
+        let mut view = CoresetView::new();
+        view.gather_colored(inst.metric, inst.points.iter());
+        self.solve_on_view(inst.metric, &view, inst.caps)
+    }
+
+    /// Gathers the coreset straight out of the arena into a staged view
+    /// — one resolver pass, no intermediate `Vec<Colored<_>>` — and
+    /// solves on it.
+    fn solve_ids(
+        &self,
+        metric: &M,
+        res: fairsw_metric::Resolver<'_, M::Point>,
+        ids: &[fairsw_metric::ColoredId],
+        caps: &[usize],
+    ) -> Result<FairSolution<M::Point>, SolveError> {
+        let mut view = CoresetView::new();
+        view.gather_colored_ids(metric, res, ids.iter().copied());
+        self.solve_on_view(metric, &view, caps)
     }
 }
 

@@ -27,7 +27,7 @@ pub mod robust;
 
 pub use brute::ExactSolver;
 pub use chen::ChenEtAl;
-pub use gonzalez::{gonzalez, GonzalezResult};
+pub use gonzalez::{gonzalez, gonzalez_view, GonzalezResult};
 pub use jones::Jones;
 pub use kleindessner::Kleindessner;
 pub use matroid_center::{
@@ -35,8 +35,38 @@ pub use matroid_center::{
 };
 pub use robust::{robust_kcenter, RobustFair, RobustSolution};
 
-use fairsw_metric::{Colored, ColoredId, Metric, Resolver};
+use fairsw_metric::{Colored, ColoredId, CoresetView, Metric, Resolver};
 use std::fmt;
+
+/// Batched distance-to-set: fills `min_dist[i]` with the distance of
+/// `view[i]` to the closest of `centers` (`+∞` when `centers` is empty)
+/// — one [`dist_one_to_many`](Metric::dist_one_to_many) kernel call per
+/// center, merged into running minima. Produces the same values as a
+/// per-point `dist_to_set` scan because the minimum of a fixed set of
+/// non-negative distances is order-independent.
+pub(crate) fn min_over_centers<'a, M: Metric>(
+    metric: &M,
+    view: &CoresetView<M::Point>,
+    centers: impl IntoIterator<Item = &'a M::Point>,
+    dbuf: &mut Vec<f64>,
+    min_dist: &mut Vec<f64>,
+) where
+    M::Point: 'a,
+{
+    let n = view.len();
+    min_dist.clear();
+    min_dist.resize(n, f64::INFINITY);
+    dbuf.clear();
+    dbuf.resize(n, 0.0);
+    for c in centers {
+        metric.dist_one_to_many(c, view, dbuf);
+        for (m, &d) in min_dist.iter_mut().zip(dbuf.iter()) {
+            if d < *m {
+                *m = d;
+            }
+        }
+    }
+}
 
 /// A fair-center problem instance: colored points, a metric, and the
 /// per-color budgets `k_1..k_ℓ` of the partition matroid.
@@ -77,7 +107,8 @@ impl<'a, M: Metric> Instance<'a, M> {
 
     /// The clustering radius of `centers` over this instance's points:
     /// `max_p min_c d(p, c)`; `f64::INFINITY` when `centers` is empty and
-    /// points are not.
+    /// points are not. Stages the points once and evaluates one batched
+    /// kernel call per center.
     pub fn radius_of(&self, centers: &[Colored<M::Point>]) -> f64 {
         if self.points.is_empty() {
             return 0.0;
@@ -85,11 +116,18 @@ impl<'a, M: Metric> Instance<'a, M> {
         if centers.is_empty() {
             return f64::INFINITY;
         }
+        let mut view = CoresetView::new();
+        view.gather_colored(self.metric, self.points.iter());
+        let (mut dbuf, mut mind) = (Vec::new(), Vec::new());
+        min_over_centers(
+            self.metric,
+            &view,
+            centers.iter().map(|c| &c.point),
+            &mut dbuf,
+            &mut mind,
+        );
         let mut r: f64 = 0.0;
-        for p in self.points {
-            let d = self
-                .metric
-                .dist_to_set(&p.point, centers.iter().map(|c| &c.point));
+        for &d in &mind {
             if d > r {
                 r = d;
             }
@@ -157,8 +195,9 @@ pub trait FairCenterSolver<M: Metric> {
     /// Solves an instance given as colored arena handles — the entry
     /// point the sliding-window `Query` uses. Payloads are resolved out
     /// of the [`PointStore`](fairsw_metric::PointStore) exactly once,
-    /// here, at solution-assembly time; the streaming structures above
-    /// never materialize point copies.
+    /// here; `solve` then stages them into a [`CoresetView`] so every
+    /// candidate distance flows through the batched [`Metric`] kernels.
+    /// The streaming structures above never materialize point copies.
     fn solve_ids(
         &self,
         metric: &M,

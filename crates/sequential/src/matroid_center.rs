@@ -26,7 +26,7 @@
 
 use crate::SolveError;
 use fairsw_matroid::{max_common_independent, Matroid};
-use fairsw_metric::Metric;
+use fairsw_metric::{CoresetView, Metric};
 
 /// A matroid-center instance: raw points plus an independence oracle over
 /// point indices.
@@ -105,36 +105,55 @@ pub fn matroid_center<M: Metric, Mat: Matroid<usize>>(
     }
     let n = inst.points.len();
     let rank = inst.matroid.rank();
+    // Stage the instance once; the candidate sweep and every
+    // feasibility test below run batched kernels over this view.
+    let mut view = CoresetView::new();
+    view.gather(inst.metric, inst.points.iter());
 
     let mut cands = vec![0.0f64];
+    let mut dbuf = vec![0.0f64; n];
     for i in 0..n {
-        for j in (i + 1)..n {
-            cands.push(inst.metric.dist(&inst.points[i], &inst.points[j]));
-        }
+        inst.metric
+            .dist_one_to_many(view.point(i), &view, &mut dbuf);
+        cands.extend_from_slice(&dbuf[(i + 1)..]);
     }
     cands.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     cands.dedup();
 
-    let feasible = |r: f64| -> Option<Vec<usize>> {
-        // Greedy heads pairwise > 2r.
+    // Working buffers shared across every feasibility probe.
+    let mut mind: Vec<f64> = Vec::new();
+    let mut feasible = |r: f64| -> Option<Vec<usize>> {
+        // Greedy heads pairwise > 2r: running minimum to the packed
+        // heads (one kernel call per accepted head) replaces the
+        // per-candidate `any` scan — identical decisions.
         let mut heads: Vec<usize> = Vec::new();
+        dbuf.clear();
+        dbuf.resize(n, 0.0);
+        mind.clear();
+        mind.resize(n, f64::INFINITY);
         for i in 0..n {
-            let close = heads
-                .iter()
-                .any(|&h| inst.metric.dist(&inst.points[i], &inst.points[h]) <= 2.0 * r);
-            if !close {
+            if mind[i] > 2.0 * r {
                 heads.push(i);
                 if heads.len() > rank {
                     return None; // certificate that r < OPT
                 }
+                inst.metric
+                    .dist_one_to_many(view.point(i), &view, &mut dbuf);
+                for j in (i + 1)..n {
+                    if dbuf[j] < mind[j] {
+                        mind[j] = dbuf[j];
+                    }
+                }
             }
         }
         // Ball membership (balls are disjoint because heads are > 2r
-        // apart and balls have radius r).
+        // apart and balls have radius r); one kernel call per head.
         let mut ball_of = vec![None; n];
         for (bi, &h) in heads.iter().enumerate() {
+            inst.metric
+                .dist_one_to_many(view.point(h), &view, &mut dbuf);
             for (i, bo) in ball_of.iter_mut().enumerate() {
-                if inst.metric.dist(&inst.points[i], &inst.points[h]) <= r {
+                if dbuf[i] <= r {
                     debug_assert!(bo.is_none(), "balls must be disjoint");
                     *bo = Some(bi);
                 }
@@ -182,11 +201,18 @@ fn radius_of<M: Metric, Mat: Matroid<usize>>(
     inst: &MatroidInstance<'_, M, Mat>,
     centers: &[usize],
 ) -> f64 {
+    let mut view = CoresetView::new();
+    view.gather(inst.metric, inst.points.iter());
+    let (mut dbuf, mut mind) = (Vec::new(), Vec::new());
+    crate::min_over_centers(
+        inst.metric,
+        &view,
+        centers.iter().map(|&i| &inst.points[i]),
+        &mut dbuf,
+        &mut mind,
+    );
     let mut r: f64 = 0.0;
-    for p in inst.points {
-        let d = inst
-            .metric
-            .dist_to_set(p, centers.iter().map(|&i| &inst.points[i]));
+    for &d in &mind {
         if d > r {
             r = d;
         }

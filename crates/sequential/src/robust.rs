@@ -35,7 +35,7 @@
 
 use crate::{validate, FairCenterSolver, FairSolution, Instance, SolveError};
 use fairsw_matching::max_capacitated_matching;
-use fairsw_metric::{Colored, Metric};
+use fairsw_metric::{Colored, CoresetView, Metric};
 
 /// Result of a robust (outlier-tolerant) clustering call.
 #[derive(Clone, Debug)]
@@ -50,28 +50,45 @@ pub struct RobustSolution<P> {
     pub outliers: Vec<usize>,
 }
 
-/// For a radius guess `r`: greedy max-coverage disk selection.
-/// Returns (head indices, uncovered indices) where heads are chosen by
-/// `r`-ball coverage counts and coverage expands to `3r` balls.
+/// For a radius guess `r`: greedy max-coverage disk selection over a
+/// staged view. Returns (head indices, uncovered indices) where heads
+/// are chosen by `r`-ball coverage counts and coverage expands to `3r`
+/// balls. Selection is identical to the pointwise scan; per round each
+/// candidate's coverage count is evaluated either as one kernel row or
+/// — once most points are covered — as scalar distances to just the
+/// uncovered set (the batched analog of the old `!covered` short
+/// circuit). `dbuf` is caller-owned working space (one slot per point).
 fn greedy_disks<M: Metric>(
     metric: &M,
-    points: &[Colored<M::Point>],
+    view: &CoresetView<M::Point>,
     k: usize,
     r: f64,
+    dbuf: &mut Vec<f64>,
 ) -> (Vec<usize>, Vec<usize>) {
-    let n = points.len();
+    let n = view.len();
     let mut covered = vec![false; n];
     let mut heads = Vec::with_capacity(k);
+    let mut uncovered: Vec<usize> = (0..n).collect();
+    dbuf.clear();
+    dbuf.resize(n, 0.0);
     for _ in 0..k {
         // Pick the point whose r-ball covers the most uncovered points.
+        // A full kernel row per candidate only pays while a decent
+        // fraction of points is still uncovered; past that, scalar
+        // distances to the uncovered set cost strictly less.
+        let dense = uncovered.len() * 4 >= n;
         let mut best = (usize::MAX, 0usize);
         for i in 0..n {
-            let mut cnt = 0usize;
-            for j in 0..n {
-                if !covered[j] && metric.dist(&points[i].point, &points[j].point) <= r {
-                    cnt += 1;
-                }
-            }
+            let cnt = if dense {
+                metric.dist_one_to_many(view.point(i), view, dbuf);
+                uncovered.iter().filter(|&&j| dbuf[j] <= r).count()
+            } else {
+                let p = view.point(i);
+                uncovered
+                    .iter()
+                    .filter(|&&j| metric.dist(p, view.point(j)) <= r)
+                    .count()
+            };
             if best.0 == usize::MAX || cnt > best.1 {
                 best = (i, cnt);
             }
@@ -82,13 +99,15 @@ fn greedy_disks<M: Metric>(
         }
         heads.push(head);
         // Expanded ball: mark everything within 3r of the head covered.
-        for j in 0..n {
-            if !covered[j] && metric.dist(&points[head].point, &points[j].point) <= 3.0 * r {
+        metric.dist_one_to_many(view.point(head), view, dbuf);
+        uncovered.retain(|&j| {
+            let keep = dbuf[j] > 3.0 * r;
+            if !keep {
                 covered[j] = true;
             }
-        }
+            keep
+        });
     }
-    let uncovered = (0..n).filter(|&j| !covered[j]).collect();
     (heads, uncovered)
 }
 
@@ -106,9 +125,11 @@ pub fn robust_kcenter<M: Metric>(
     z: usize,
 ) -> RobustSolution<M::Point> {
     assert!(!points.is_empty(), "robust_kcenter on empty input");
-    let (heads, outliers, _) = robust_heads(metric, points, k, z);
+    let mut view = CoresetView::new();
+    view.gather_colored(metric, points.iter());
+    let (heads, outliers, _) = robust_heads(metric, &view, k, z);
     let centers: Vec<Colored<M::Point>> = heads.iter().map(|&i| points[i].clone()).collect();
-    let radius = inlier_radius(metric, points, &centers, &outliers);
+    let radius = inlier_radius(metric, &view, &centers, &outliers);
     RobustSolution {
         centers,
         radius,
@@ -116,26 +137,27 @@ pub fn robust_kcenter<M: Metric>(
     }
 }
 
-/// The shared head-selection stage: binary search the smallest feasible
-/// radius, returning (heads, outliers, radius).
+/// The shared head-selection stage over a staged view: binary search the
+/// smallest feasible radius, returning (heads, outliers, radius).
 fn robust_heads<M: Metric>(
     metric: &M,
-    points: &[Colored<M::Point>],
+    view: &CoresetView<M::Point>,
     k: usize,
     z: usize,
 ) -> (Vec<usize>, Vec<usize>, f64) {
-    let n = points.len();
+    let n = view.len();
     let mut cands = vec![0.0f64];
+    let mut dbuf = vec![0.0f64; n];
     for i in 0..n {
-        for j in (i + 1)..n {
-            cands.push(metric.dist(&points[i].point, &points[j].point));
-        }
+        metric.dist_one_to_many(view.point(i), view, &mut dbuf);
+        cands.extend_from_slice(&dbuf[(i + 1)..]);
     }
     cands.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     cands.dedup();
 
-    let feasible = |r: f64| -> Option<(Vec<usize>, Vec<usize>)> {
-        let (heads, uncovered) = greedy_disks(metric, points, k, r);
+    // The probe buffer is shared across every feasibility test.
+    let mut feasible = |r: f64| -> Option<(Vec<usize>, Vec<usize>)> {
+        let (heads, uncovered) = greedy_disks(metric, view, k, r, &mut dbuf);
         (uncovered.len() <= z).then_some((heads, uncovered))
     };
 
@@ -153,20 +175,29 @@ fn robust_heads<M: Metric>(
     (heads, outliers, cands[lo])
 }
 
-/// Covering radius over the points not listed in `outliers`.
+/// Covering radius over the staged points not listed in `outliers`: one
+/// kernel call per center merged into running minima, then a maximum
+/// over the inlier rows.
 fn inlier_radius<M: Metric>(
     metric: &M,
-    points: &[Colored<M::Point>],
+    view: &CoresetView<M::Point>,
     centers: &[Colored<M::Point>],
     outliers: &[usize],
 ) -> f64 {
     let out: std::collections::HashSet<usize> = outliers.iter().copied().collect();
+    let (mut dbuf, mut mind) = (Vec::new(), Vec::new());
+    crate::min_over_centers(
+        metric,
+        view,
+        centers.iter().map(|c| &c.point),
+        &mut dbuf,
+        &mut mind,
+    );
     let mut r: f64 = 0.0;
-    for (i, p) in points.iter().enumerate() {
+    for (i, &d) in mind.iter().enumerate() {
         if out.contains(&i) {
             continue;
         }
-        let d = metric.dist_to_set(&p.point, centers.iter().map(|c| &c.point));
         if d > r {
             r = d;
         }
@@ -215,9 +246,13 @@ impl RobustFair {
         validate(inst)?;
         let k = inst.k();
         let ncolors = inst.num_colors();
+        // Stage the instance once; head selection, witness tables and
+        // the inlier radius all run batched kernels over this view.
+        let mut view = CoresetView::new();
+        view.gather_colored(inst.metric, inst.points.iter());
 
         // Stage 1: robust heads + outliers (CKMN, sound binary search).
-        let (heads, outliers, _r) = robust_heads(inst.metric, inst.points, k, self.z);
+        let (heads, outliers, _r) = robust_heads(inst.metric, &view, k, self.z);
         if heads.is_empty() {
             // Degenerate: k = 0 or everything isolated; one center
             // (first point) is the best fair answer available here.
@@ -229,14 +264,19 @@ impl RobustFair {
         }
         let out_set: std::collections::HashSet<usize> = outliers.iter().copied().collect();
 
-        // Stage 2: nearest *inlier* witness of each color per head.
+        // Stage 2: nearest *inlier* witness of each color per head —
+        // one kernel call per head, outliers skipped in the merge, with
+        // the scalar scan's ascending-index tie-break per (head, color).
         let mut mind = vec![vec![(f64::INFINITY, usize::MAX); ncolors]; heads.len()];
-        for (qi, q) in inst.points.iter().enumerate() {
-            if out_set.contains(&qi) {
-                continue;
-            }
-            for (hi, &h) in heads.iter().enumerate() {
-                let d = inst.metric.dist(&q.point, &inst.points[h].point);
+        let mut dbuf = vec![0.0f64; view.len()];
+        for (hi, &h) in heads.iter().enumerate() {
+            inst.metric
+                .dist_one_to_many(view.point(h), &view, &mut dbuf);
+            for (qi, q) in inst.points.iter().enumerate() {
+                if out_set.contains(&qi) {
+                    continue;
+                }
+                let d = dbuf[qi];
                 let slot = &mut mind[hi][q.color as usize];
                 if d < slot.0 {
                     *slot = (d, qi);
@@ -306,7 +346,7 @@ impl RobustFair {
                 outliers: Vec::new(),
             });
         }
-        let radius = inlier_radius(inst.metric, inst.points, &centers, &outliers);
+        let radius = inlier_radius(inst.metric, &view, &centers, &outliers);
         Ok(RobustSolution {
             centers,
             radius,

@@ -11,8 +11,14 @@
 //!   --points N        points per tenant (default 4000)
 //!   --batch N         INSERT_BATCH size (default 128)
 //!   --window N        tenant window length (default 500)
+//!   --queries N       interim QUERYs per tenant during ingest (default 4;
+//!                     one final QUERY per tenant is always issued)
 //!   --shutdown        send SHUTDOWN after the burst
 //! ```
+//!
+//! The summary reports client-side p50/p95/p99 query latency (request
+//! write to reply decode, so framing + network + server queueing are
+//! included), complementing the server-compute percentiles in `STATS`.
 //!
 //! Exits non-zero when any tenant's final `QUERY` fails — the burst
 //! doubles as a smoke test (CI boots a server, runs a short burst and
@@ -34,6 +40,7 @@ OPTIONS:
   --points N        points per tenant (default 4000)
   --batch N         INSERT_BATCH size (default 128)
   --window N        tenant window length (default 500)
+  --queries N       interim QUERYs per tenant during ingest (default 4)
   --shutdown        send SHUTDOWN after the burst
 ";
 
@@ -66,6 +73,11 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--window: {e}"))?
             }
+            "--queries" => {
+                opts.queries = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?
+            }
             "--shutdown" => shutdown = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -79,7 +91,7 @@ fn run() -> Result<(), String> {
     let report = run_burst(addr.clone(), &opts)?;
     println!(
         "{} tenants x {} points (batch {}): {} points in {:.2?} = {:.0} points/s, \
-         {} overload retries, {}/{} queries ok",
+         {} overload retries, {}/{} tenants all-queries-ok",
         opts.tenants,
         opts.points,
         opts.batch,
@@ -90,9 +102,13 @@ fn run() -> Result<(), String> {
         report.queries_ok,
         opts.tenants,
     );
+    println!(
+        "client-side query latency over {} queries: p50={:.2?} p95={:.2?} p99={:.2?}",
+        report.queries_total, report.query_p50, report.query_p95, report.query_p99,
+    );
     if report.queries_ok != opts.tenants {
         return Err(format!(
-            "only {}/{} tenants answered their final query",
+            "only {}/{} tenants answered all their queries",
             report.queries_ok, opts.tenants
         ));
     }

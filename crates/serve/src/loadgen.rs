@@ -182,6 +182,10 @@ pub struct BurstOptions {
     pub batch: usize,
     /// Window length of each tenant's engine.
     pub window: usize,
+    /// Interim `QUERY`s issued per tenant, evenly spaced through the
+    /// ingest (each tenant always issues one final query on top). Their
+    /// client-side latencies feed the burst percentiles.
+    pub queries: usize,
     /// Delete the tenants afterwards (leave them for inspection when
     /// `false`).
     pub cleanup: bool,
@@ -194,6 +198,7 @@ impl Default for BurstOptions {
             points: 4_000,
             batch: 128,
             window: 500,
+            queries: 4,
             cleanup: true,
         }
     }
@@ -210,8 +215,30 @@ pub struct BurstReport {
     pub points_per_sec: f64,
     /// `OVERLOADED` replies absorbed by back-off (back-pressure events).
     pub overloaded_retries: u64,
-    /// Tenants whose final `QUERY` answered with a solution.
+    /// Tenants whose every `QUERY` (interim and final) answered with a
+    /// solution.
     pub queries_ok: usize,
+    /// Total `QUERY`s issued across all tenants.
+    pub queries_total: usize,
+    /// Client-side query-latency percentiles over every issued `QUERY`
+    /// — wall-clock from request write to reply decode, so they include
+    /// framing, the network and server-side queueing, complementing the
+    /// server-side compute percentiles in `STATS`.
+    pub query_p50: Duration,
+    /// 95th percentile (same measurement).
+    pub query_p95: Duration,
+    /// 99th percentile (same measurement).
+    pub query_p99: Duration,
+}
+
+/// Nearest-rank percentile over a sorted latency list (`Duration::ZERO`
+/// when empty) — the same idiom the server's `STATS` percentiles use.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
 }
 
 /// The deterministic synthetic workload every load-generation lane
@@ -242,20 +269,29 @@ pub fn burst_config(window: usize) -> TenantConfig {
     )
 }
 
+/// Per-tenant outcome of one burst worker.
+struct TenantOutcome {
+    points: u64,
+    retries: u64,
+    all_queries_ok: bool,
+    query_latencies: Vec<Duration>,
+}
+
 /// Drives `opts.tenants` concurrent tenants through create → batched
-/// ingest (with overload back-off) → query (→ delete), one thread and
-/// connection per tenant, and reports aggregate throughput.
+/// ingest (with overload back-off, interleaved interim queries) → final
+/// query (→ delete), one thread and connection per tenant, and reports
+/// aggregate throughput plus client-side query-latency percentiles.
 pub fn run_burst(
     addr: impl ToSocketAddrs + Clone + Send + 'static,
     opts: &BurstOptions,
 ) -> Result<BurstReport, String> {
     let t0 = Instant::now();
-    let results: Vec<(u64, u64, bool)> = std::thread::scope(|scope| {
+    let results: Vec<TenantOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.tenants)
             .map(|i| {
                 let addr = addr.clone();
                 let opts = opts.clone();
-                scope.spawn(move || -> Result<(u64, u64, bool), String> {
+                scope.spawn(move || -> Result<TenantOutcome, String> {
                     let tenant = format!("burst-{i}");
                     let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
                     match c
@@ -266,20 +302,53 @@ pub fn run_burst(
                         other => return Err(format!("{tenant}: create failed: {other:?}")),
                     }
                     let stream = workload(opts.points, i as u64 * 7919);
-                    let mut retries = 0;
-                    for chunk in stream.chunks(opts.batch.max(1)) {
-                        retries += c
+                    let nchunks = stream.chunks(opts.batch.max(1)).count();
+                    // Interim queries every `stride` chunks (client-side
+                    // latency samples from mid-burst, under ingest load).
+                    let stride = (nchunks / (opts.queries + 1)).max(1);
+                    let mut outcome = TenantOutcome {
+                        points: stream.len() as u64,
+                        retries: 0,
+                        all_queries_ok: true,
+                        query_latencies: Vec::with_capacity(opts.queries + 1),
+                    };
+                    // Like ingest, a query answered `OVERLOADED` is
+                    // back-pressure, not a failure: back off and retry,
+                    // recording the latency of the accepted attempt.
+                    let timed_query = |c: &mut Client,
+                                       outcome: &mut TenantOutcome|
+                     -> Result<(), String> {
+                        loop {
+                            let q0 = Instant::now();
+                            match c.query(&tenant).map_err(|e| e.to_string())? {
+                                Reply::Error(ErrorKind::Overloaded, _) => {
+                                    outcome.retries += 1;
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                reply => {
+                                    outcome.query_latencies.push(q0.elapsed());
+                                    outcome.all_queries_ok &= matches!(reply, Reply::Solution(_));
+                                    return Ok(());
+                                }
+                            }
+                        }
+                    };
+                    for (ci, chunk) in stream.chunks(opts.batch.max(1)).enumerate() {
+                        outcome.retries += c
                             .insert_batch_backoff(&tenant, chunk)
                             .map_err(|e| e.to_string())?;
+                        if opts.queries > 0
+                            && (ci + 1) % stride == 0
+                            && outcome.query_latencies.len() < opts.queries
+                        {
+                            timed_query(&mut c, &mut outcome)?;
+                        }
                     }
-                    let ok = matches!(
-                        c.query(&tenant).map_err(|e| e.to_string())?,
-                        Reply::Solution(_)
-                    );
+                    timed_query(&mut c, &mut outcome)?;
                     if opts.cleanup {
                         c.delete(&tenant).map_err(|e| e.to_string())?;
                     }
-                    Ok((stream.len() as u64, retries, ok))
+                    Ok(outcome)
                 })
             })
             .collect();
@@ -289,12 +358,21 @@ pub fn run_burst(
             .collect::<Result<Vec<_>, String>>()
     })?;
     let elapsed = t0.elapsed();
-    let points_sent: u64 = results.iter().map(|r| r.0).sum();
+    let points_sent: u64 = results.iter().map(|r| r.points).sum();
+    let mut latencies: Vec<Duration> = results
+        .iter()
+        .flat_map(|r| r.query_latencies.iter().copied())
+        .collect();
+    latencies.sort();
     Ok(BurstReport {
         points_sent,
         elapsed,
         points_per_sec: points_sent as f64 / elapsed.as_secs_f64().max(1e-9),
-        overloaded_retries: results.iter().map(|r| r.1).sum(),
-        queries_ok: results.iter().filter(|r| r.2).count(),
+        overloaded_retries: results.iter().map(|r| r.retries).sum(),
+        queries_ok: results.iter().filter(|r| r.all_queries_ok).count(),
+        queries_total: latencies.len(),
+        query_p50: percentile(&latencies, 0.50),
+        query_p95: percentile(&latencies, 0.95),
+        query_p99: percentile(&latencies, 0.99),
     })
 }

@@ -24,7 +24,7 @@
 
 use crate::lattice::Lattice;
 use crate::windowed::WindowedMaxLattice;
-use fairsw_metric::Metric;
+use fairsw_metric::{CoresetView, Metric};
 
 /// One anchored estimator: the anchor point plus the windowed maximum of
 /// distances from arrivals to the anchor.
@@ -52,6 +52,14 @@ pub struct DiameterEstimator<M: Metric> {
     consecutive_max: WindowedMaxLattice,
     last_point: Option<M::Point>,
     now: u64,
+    /// The live anchors (`prev` then `cur`), staged once per rotation so
+    /// every arrival's anchor distances run through one batched
+    /// [`Metric::dist_one_to_many`] kernel call instead of per-anchor
+    /// pointer-chasing `dist` calls. Pure scratch — rebuilt on rotation,
+    /// never semantic state.
+    anchor_view: CoresetView<M::Point>,
+    /// Kernel output for the (at most two) anchor distances.
+    anchor_dist: Vec<f64>,
 }
 
 impl<M: Metric> DiameterEstimator<M> {
@@ -70,7 +78,21 @@ impl<M: Metric> DiameterEstimator<M> {
             consecutive_max: WindowedMaxLattice::new(lattice, window.max(2) - 1),
             last_point: None,
             now: 0,
+            anchor_view: CoresetView::new(),
+            anchor_dist: Vec::new(),
         }
+    }
+
+    /// Restages the live anchors (`prev` then `cur`, matching the push
+    /// order below) into the columnar view. Called on every rotation.
+    fn restage_anchors(&mut self) {
+        let anchors = [self.prev.as_ref(), self.cur.as_ref()];
+        self.anchor_view.gather(
+            &self.metric,
+            anchors.into_iter().flatten().map(|a| &a.anchor),
+        );
+        self.anchor_dist.clear();
+        self.anchor_dist.resize(self.anchor_view.len(), 0.0);
     }
 
     /// Observes the arrival at time `t` (strictly increasing).
@@ -102,13 +124,19 @@ impl<M: Metric> DiameterEstimator<M> {
             };
             self.prev = self.cur.take().or(Some(fresh.clone_for_prev()));
             self.cur = Some(fresh);
+            self.restage_anchors();
         }
 
-        for a in [self.prev.as_mut(), self.cur.as_mut()]
+        // One batched kernel call covers both anchors (bit-identical to
+        // per-anchor scalar `dist`; anchors are staged in `prev`, `cur`
+        // order, matching the windowed-max push order).
+        self.metric
+            .dist_one_to_many(p, &self.anchor_view, &mut self.anchor_dist);
+        for (a, &d) in [self.prev.as_mut(), self.cur.as_mut()]
             .into_iter()
             .flatten()
+            .zip(&self.anchor_dist)
         {
-            let d = self.metric.dist(&a.anchor, p);
             a.dist_max.push(t, d);
         }
     }

@@ -15,6 +15,9 @@
 //!   --caps a,b,c        per-color budgets k_i (default: 2 per color seen)
 //!   --delta F           coreset precision δ in (0,4] (default 1.0)
 //!   --beta F            guess progression β (default 2.0)
+//!   --metric NAME       distance oracle: euclidean (default), manhattan,
+//!                       chebyshev or angular — every variant and the
+//!                       scale estimation run under the chosen metric
 //!   --query-every N     query cadence in arrivals (default: window)
 //!   --oblivious         estimate distance scales on the fly
 //!   --compact           Corollary 2 variant (dimension-free space)
@@ -39,11 +42,47 @@ use fairsw::core::{
     ParallelismSpec, SlidingWindowClustering, SolutionExtras, VariantSpec, WindowEngine,
 };
 use fairsw::datasets::read_csv_points;
-use fairsw::metric::{sampled_extremes, Colored, EuclidPoint, Euclidean};
+use fairsw::metric::{
+    sampled_extremes, Angular, Chebyshev, Colored, EuclidPoint, Euclidean, Manhattan, Metric,
+};
 use fairsw_core::FairSWConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Which distance oracle to cluster under (`--metric`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum MetricChoice {
+    #[default]
+    Euclidean,
+    Manhattan,
+    Chebyshev,
+    Angular,
+}
+
+impl MetricChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "euclidean" | "l2" => Ok(MetricChoice::Euclidean),
+            "manhattan" | "l1" => Ok(MetricChoice::Manhattan),
+            "chebyshev" | "linf" => Ok(MetricChoice::Chebyshev),
+            "angular" | "cosine" => Ok(MetricChoice::Angular),
+            other => Err(format!(
+                "--metric: unknown metric {other:?} \
+                 (expected euclidean|manhattan|chebyshev|angular)"
+            )),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            MetricChoice::Euclidean => "euclidean",
+            MetricChoice::Manhattan => "manhattan",
+            MetricChoice::Chebyshev => "chebyshev",
+            MetricChoice::Angular => "angular",
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Args {
@@ -52,6 +91,7 @@ struct Args {
     caps: Option<Vec<usize>>,
     delta: f64,
     beta: f64,
+    metric: MetricChoice,
     query_every: Option<usize>,
     oblivious: bool,
     compact: bool,
@@ -69,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         caps: None,
         delta: 1.0,
         beta: 2.0,
+        metric: MetricChoice::default(),
         query_every: None,
         oblivious: false,
         compact: false,
@@ -103,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--beta: {e}"))?
             }
+            "--metric" => args.metric = MetricChoice::parse(&value("--metric")?)?,
             "--query-every" => {
                 args.query_every = Some(
                     value("--query-every")?
@@ -151,6 +193,8 @@ OPTIONS:
   --caps a,b,c     per-color budgets (default: 2 per color present)
   --delta F        coreset precision in (0,4] (default 1.0)
   --beta F         guess progression (default 2.0)
+  --metric NAME    distance oracle: euclidean (default), manhattan,
+                   chebyshev or angular (aliases: l2, l1, linf, cosine)
   --query-every N  query cadence in arrivals (default: window)
   --oblivious      estimate distance scales on the fly
   --compact        Corollary 2 variant (dimension-free space)
@@ -162,7 +206,9 @@ OPTIONS:
                    format fairsw-served spools on CHECKPOINT
   --snapshot-in PATH   resume from an FSW2 snapshot instead of building
                    a fresh engine (it carries window/caps/beta/delta;
-                   --window/--caps/--delta/--beta are then ignored)
+                   --window/--caps/--delta/--beta are then ignored.
+                   Snapshots do not record the metric: pass the same
+                   --metric the snapshot was written with)
   --quiet          suppress per-center output
 ";
 
@@ -178,8 +224,12 @@ fn demo_stream(n: usize) -> Vec<Colored<EuclidPoint>> {
 }
 
 /// Picks the variant spec the flags describe (scale bounds estimated from
-/// the data for the non-oblivious variants).
-fn variant_for(args: &Args, points: &[Colored<EuclidPoint>]) -> Result<VariantSpec, String> {
+/// the data *under the selected metric* for the non-oblivious variants).
+fn variant_for<M: Metric<Point = EuclidPoint>>(
+    metric: &M,
+    args: &Args,
+    points: &[Colored<EuclidPoint>],
+) -> Result<VariantSpec, String> {
     let exclusive = [args.oblivious, args.compact, args.robust.is_some()];
     if exclusive.iter().filter(|&&f| f).count() > 1 {
         return Err("--oblivious, --compact and --robust are mutually exclusive".into());
@@ -189,7 +239,7 @@ fn variant_for(args: &Args, points: &[Colored<EuclidPoint>]) -> Result<VariantSp
     }
     let raw: Vec<EuclidPoint> = points.iter().map(|p| p.point.clone()).collect();
     let ext =
-        sampled_extremes(&Euclidean, &raw, 512).ok_or("degenerate input (all points coincide)")?;
+        sampled_extremes(metric, &raw, 512).ok_or("degenerate input (all points coincide)")?;
     Ok(match args.robust {
         Some(z) => VariantSpec::Robust {
             z,
@@ -235,6 +285,28 @@ fn run() -> Result<(), String> {
         None => vec![2; ncolors],
     };
 
+    // One generic streaming body, instantiated per distance oracle: the
+    // whole pipeline below (engine construction, snapshot resume, the
+    // insert/query loop) is metric-polymorphic through `WindowEngine`.
+    match args.metric {
+        MetricChoice::Euclidean => drive(Euclidean, &args, &points, &caps),
+        MetricChoice::Manhattan => drive(Manhattan, &args, &points, &caps),
+        MetricChoice::Chebyshev => drive(Chebyshev, &args, &points, &caps),
+        MetricChoice::Angular => drive(Angular, &args, &points, &caps),
+    }
+}
+
+/// Streams `points` through the configured engine under `metric` and
+/// prints periodic solutions.
+fn drive<M>(
+    metric: M,
+    args: &Args,
+    points: &[Colored<EuclidPoint>],
+    caps: &[usize],
+) -> Result<(), String>
+where
+    M: Metric<Point = EuclidPoint> + Sync,
+{
     let par = match args.threads {
         Some(n) => ParallelismSpec::Threads(n),
         None => ParallelismSpec::Auto, // honors FAIRSW_THREADS
@@ -251,9 +323,18 @@ fn run() -> Result<(), String> {
                 );
             }
             let bytes = std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
-            let engine = WindowEngine::restore(Euclidean, &bytes)
+            let engine = WindowEngine::restore(metric, &bytes)
                 .map_err(|e| format!("restoring {path:?}: {e}"))?
                 .with_parallelism(par);
+            // FSW2 snapshots carry no metric identifier: the guess
+            // lattice and coresets inside were computed under whatever
+            // metric wrote them, so resuming under a different one
+            // silently voids the approximation guarantees.
+            eprintln!(
+                "note: snapshots do not record the metric — resuming under \
+                 `{}`; supply the same --metric the snapshot was written with",
+                args.metric.name()
+            );
             eprintln!(
                 "resumed from {path:?} at t={} (window {}, {} stored points)",
                 engine.time(),
@@ -265,20 +346,21 @@ fn run() -> Result<(), String> {
         None => {
             let cfg = FairSWConfig::builder()
                 .window_size(args.window)
-                .capacities(caps.clone())
+                .capacities(caps.to_vec())
                 .beta(args.beta)
                 .delta(args.delta)
                 .build()
                 .map_err(|e| format!("configuration: {e}"))?;
-            let spec = variant_for(&args, &points)?;
-            WindowEngine::build(cfg, spec, Euclidean)
+            let spec = variant_for(&metric, args, points)?;
+            WindowEngine::build(cfg, spec, metric)
                 .map_err(|e| format!("configuration: {e}"))?
                 .with_parallelism(par)
         }
     };
     eprintln!(
-        "variant: {} ({} thread{})",
+        "variant: {} / {} metric ({} thread{})",
         engine.variant_name(),
+        args.metric.name(),
         engine.threads(),
         if engine.threads() == 1 { "" } else { "s" }
     );

@@ -36,6 +36,15 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Derives a dependent strategy from each generated value (e.g.
+        /// pick a dimension, then points of that dimension).
+        fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// Always produces a clone of one value.
@@ -50,6 +59,7 @@ pub mod strategy {
     }
 
     /// The result of [`Strategy::prop_map`].
+    #[derive(Clone)]
     pub struct Map<S, F> {
         pub(crate) inner: S,
         pub(crate) f: F,
@@ -59,6 +69,20 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {
             (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// The result of [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn sample(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
         }
     }
 
