@@ -37,4 +37,21 @@ echo "server at $ADDR (FAIRSW_THREADS=${FAIRSW_THREADS:-unset})"
 
 # The server must exit cleanly (status 0) after SHUTDOWN.
 wait "$SERVER_PID"
+SERVER_PID=""
 echo "serve smoke: clean shutdown"
+
+# WAL durability smoke: the crash drill boots its own WAL-backed server,
+# ingests, SIGKILLs it mid-stream, restarts from the spool + WAL and
+# verifies the recovered tenant lost at most one batch and keeps
+# answering queries.
+./target/release/fairsw-loadgen \
+    --crash-drill --points 2000 --batch 64 --kill-after 1000 \
+    --dir "$SCRATCH/drill" --served-bin ./target/release/fairsw-served
+echo "serve smoke: WAL crash drill clean"
+
+# Same drill, recovering by failover: a hot standby streams the leader's
+# WAL, the leader is SIGKILLed, the standby is PROMOTEd and takes over.
+./target/release/fairsw-loadgen \
+    --crash-drill --failover --points 2000 --batch 64 --kill-after 1000 \
+    --dir "$SCRATCH/drill-failover" --served-bin ./target/release/fairsw-served
+echo "serve smoke: failover drill clean"

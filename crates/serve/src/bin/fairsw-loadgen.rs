@@ -14,6 +14,14 @@
 //!   --queries N       interim QUERYs per tenant during ingest (default 4;
 //!                     one final QUERY per tenant is always issued)
 //!   --shutdown        send SHUTDOWN after the burst
+//!
+//! CRASH DRILL (spawns its own servers; --addr is not used):
+//!   --crash-drill     run the kill -9 durability drill instead of a burst
+//!   --kill-after N    points to ingest before the SIGKILL (default 2000)
+//!   --failover        recover by promoting a hot standby instead of
+//!                     restarting the killed leader from its WAL
+//!   --dir DIR         drill scratch directory (wiped; default under /tmp)
+//!   --served-bin PATH fairsw-served binary (default: sibling of this one)
 //! ```
 //!
 //! The summary reports client-side p50/p95/p99 query latency (request
@@ -24,8 +32,9 @@
 //! doubles as a smoke test (CI boots a server, runs a short burst and
 //! asserts a clean shutdown).
 
-use fairsw_serve::loadgen::{run_burst, BurstOptions, Client};
+use fairsw_serve::loadgen::{run_burst, run_crash_drill, BurstOptions, Client, DrillOptions};
 use fairsw_serve::protocol::Reply;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -42,17 +51,47 @@ OPTIONS:
   --window N        tenant window length (default 500)
   --queries N       interim QUERYs per tenant during ingest (default 4)
   --shutdown        send SHUTDOWN after the burst
+
+CRASH DRILL (spawns its own servers; --addr is not used):
+  --crash-drill     run the kill -9 durability drill instead of a burst
+  --kill-after N    points to ingest before the SIGKILL (default 2000)
+  --failover        promote a hot standby instead of restarting the leader
+  --dir DIR         drill scratch directory (wiped; default under /tmp)
+  --served-bin PATH fairsw-served binary (default: sibling of this one)
 ";
+
+/// `--served-bin` default: the `fairsw-served` next to this binary.
+fn sibling_served() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("fairsw-served")))
+        .unwrap_or_else(|| PathBuf::from("fairsw-served"))
+}
 
 fn run() -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut opts = BurstOptions::default();
     let mut shutdown = false;
+    let mut crash_drill = false;
+    let mut drill = DrillOptions {
+        served_bin: sibling_served(),
+        dir: std::env::temp_dir().join(format!("fairsw-crash-drill-{}", std::process::id())),
+        ..DrillOptions::default()
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--addr" => addr = Some(value("--addr")?),
+            "--crash-drill" => crash_drill = true,
+            "--kill-after" => {
+                drill.kill_after = value("--kill-after")?
+                    .parse()
+                    .map_err(|e| format!("--kill-after: {e}"))?
+            }
+            "--failover" => drill.failover = true,
+            "--dir" => drill.dir = PathBuf::from(value("--dir")?),
+            "--served-bin" => drill.served_bin = PathBuf::from(value("--served-bin")?),
             "--tenants" => {
                 opts.tenants = value("--tenants")?
                     .parse()
@@ -85,6 +124,27 @@ fn run() -> Result<(), String> {
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
+    }
+    if crash_drill {
+        drill.points = opts.points;
+        drill.batch = opts.batch;
+        drill.window = opts.window;
+        let report = run_crash_drill(&drill)?;
+        println!(
+            "crash drill ({}): {} points acked, {} recovered, {} lost \
+             (contract: at most one batch of {}), recovery in {:.2?}",
+            if report.failover {
+                "failover: SIGKILL leader, PROMOTE standby"
+            } else {
+                "SIGKILL, restart from WAL"
+            },
+            report.accepted,
+            report.durable,
+            report.lost,
+            drill.batch,
+            report.recovery,
+        );
+        return Ok(());
     }
     let addr = addr.ok_or("--addr is required (try --help)")?;
 

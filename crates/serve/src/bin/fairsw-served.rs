@@ -14,6 +14,15 @@
 //!   --tick-ms N        idle flush tick in milliseconds (default 20)
 //!   --spool DIR        snapshot spool directory: CHECKPOINT writes
 //!                      FSW2 snapshots here and startup replays them
+//!   --wal DIR          write-ahead-log root: every accepted write is
+//!                      logged before it is acked, and startup replays
+//!                      snapshot + WAL suffix (crash-safe durability)
+//!   --wal-segment-bytes N  rotate WAL segments at N bytes (default 1 MiB)
+//!   --wal-compact-bytes N  fold the WAL into a spool snapshot once a
+//!                      tenant's log exceeds N bytes (default 4 MiB)
+//!   --follow ADDR      start as a hot standby of the leader at ADDR:
+//!                      read-only, streams the leader's WAL, becomes a
+//!                      leader itself on PROMOTE
 //!   --port-file PATH   write the bound address to PATH once listening
 //!                      (lets scripts find an ephemeral port)
 //! ```
@@ -39,6 +48,10 @@ OPTIONS:
   --queue-depth N   bounded per-shard queue depth (default 128)
   --tick-ms N       idle flush tick in milliseconds (default 20)
   --spool DIR       snapshot spool (CHECKPOINT target, replayed on start)
+  --wal DIR         write-ahead-log root (log before ack, replay on start)
+  --wal-segment-bytes N  WAL segment rotation threshold (default 1 MiB)
+  --wal-compact-bytes N  WAL-into-snapshot compaction threshold (default 4 MiB)
+  --follow ADDR     run as a read-only hot standby of the leader at ADDR
   --port-file PATH  write the bound address to PATH once listening
 ";
 
@@ -81,6 +94,18 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.tick = Duration::from_millis(ms.max(1));
             }
             "--spool" => args.cfg.spool_dir = Some(PathBuf::from(value("--spool")?)),
+            "--wal" => args.cfg.wal_dir = Some(PathBuf::from(value("--wal")?)),
+            "--wal-segment-bytes" => {
+                args.cfg.wal_tuning.segment_bytes = value("--wal-segment-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--wal-segment-bytes: {e}"))?
+            }
+            "--wal-compact-bytes" => {
+                args.cfg.wal_tuning.compact_bytes = value("--wal-compact-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--wal-compact-bytes: {e}"))?
+            }
+            "--follow" => args.cfg.follow = Some(value("--follow")?),
             "--port-file" => args.port_file = Some(PathBuf::from(value("--port-file")?)),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -94,10 +119,14 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    let follow = args.cfg.follow.clone();
     let handle = Server::start(args.addr.as_str(), args.cfg)
         .map_err(|e| format!("bind {}: {e}", args.addr))?;
     let addr = handle.local_addr();
-    println!("fairsw-served listening on {addr}");
+    match follow {
+        Some(leader) => println!("fairsw-served listening on {addr} (following {leader})"),
+        None => println!("fairsw-served listening on {addr}"),
+    }
     if let Some(path) = &args.port_file {
         std::fs::write(path, addr.to_string()).map_err(|e| format!("writing {path:?}: {e}"))?;
     }

@@ -22,8 +22,11 @@
 //!   pool (`FAIRSW_THREADS`);
 //! * **admission control** — per-shard queues are bounded; a full queue
 //!   answers `OVERLOADED` instead of buffering without bound;
-//! * **crash recovery** — `CHECKPOINT` spools FSW2 snapshots; startup
-//!   replays them.
+//! * **crash recovery** — `CHECKPOINT` spools FSW2 snapshots; a
+//!   per-tenant write-ahead log ([`wal`]) makes every *acknowledged*
+//!   write durable between checkpoints, with group-commit fsync,
+//!   segment compaction, and a `--follow` hot standby replicating the
+//!   same records; startup replays snapshot + WAL suffix.
 //!
 //! ## Quick tour
 //!
@@ -58,7 +61,9 @@
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod wal;
 
 pub use loadgen::{run_burst, BurstOptions, BurstReport, Client};
 pub use protocol::{Reply, Request, TenantConfig, WireVariant};
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use wal::{TenantWal, WalRecord, WalTuning};

@@ -17,6 +17,8 @@ use fairsw_metric::{Colored, EuclidPoint};
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 /// Errors a client call can report.
@@ -143,6 +145,12 @@ impl Client {
     /// Asks the server to shut down.
     pub fn shutdown(&mut self) -> Result<Reply, ClientError> {
         self.call(&Request::Shutdown)
+    }
+
+    /// `PROMOTE` — detaches a follower from its leader and lifts its
+    /// read-only gate. Errors with `UNSUPPORTED` on a non-follower.
+    pub fn promote(&mut self) -> Result<Reply, ClientError> {
+        self.call(&Request::Promote)
     }
 
     /// Like [`insert_batch`](Self::insert_batch), but treats
@@ -374,5 +382,269 @@ pub fn run_burst(
         query_p50: percentile(&latencies, 0.50),
         query_p95: percentile(&latencies, 0.95),
         query_p99: percentile(&latencies, 0.99),
+    })
+}
+
+/// Parameters of a [`run_crash_drill`] durability drill.
+#[derive(Clone, Debug)]
+pub struct DrillOptions {
+    /// Path to the `fairsw-served` binary to spawn and kill.
+    pub served_bin: PathBuf,
+    /// Scratch directory for spools, WALs and port files (wiped).
+    pub dir: PathBuf,
+    /// Total points in the drill stream.
+    pub points: usize,
+    /// `INSERT_BATCH` size.
+    pub batch: usize,
+    /// Tenant window length.
+    pub window: usize,
+    /// Points to ingest before the `SIGKILL`.
+    pub kill_after: usize,
+    /// Recover by promoting a hot standby instead of restarting the
+    /// killed leader from its WAL.
+    pub failover: bool,
+}
+
+impl Default for DrillOptions {
+    fn default() -> Self {
+        DrillOptions {
+            served_bin: PathBuf::from("fairsw-served"),
+            dir: std::env::temp_dir().join("fairsw-crash-drill"),
+            points: 4_000,
+            batch: 64,
+            window: 500,
+            kill_after: 2_000,
+            failover: false,
+        }
+    }
+}
+
+/// Outcome of one [`run_crash_drill`] run.
+#[derive(Clone, Debug)]
+pub struct DrillReport {
+    /// Points the server acked before the `SIGKILL`.
+    pub accepted: u64,
+    /// Points the survivor (restart or promoted standby) recovered.
+    pub durable: u64,
+    /// `accepted - durable` — the durability contract bounds this by
+    /// one batch.
+    pub lost: u64,
+    /// Wall-clock from the kill to the survivor answering `STATS`.
+    pub recovery: Duration,
+    /// How the drill recovered.
+    pub failover: bool,
+}
+
+/// A spawned `fairsw-served` that is `SIGKILL`ed when dropped, so a
+/// failed drill never leaks server processes.
+struct ServedChild(Option<Child>);
+
+impl ServedChild {
+    /// `SIGKILL` now (`Child::kill` sends `SIGKILL` on Unix) — the
+    /// crash under test, not a shutdown handshake.
+    fn kill_now(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for ServedChild {
+    fn drop(&mut self) {
+        self.kill_now();
+    }
+}
+
+/// Polls `path` until the spawned server writes its bound address
+/// there, failing fast if the child exits first.
+fn wait_for_addr(path: &Path, child: &mut Child) -> Result<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            let s = s.trim();
+            if !s.is_empty() {
+                return Ok(s.to_string());
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(format!("fairsw-served exited before binding: {status}"));
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "timed out waiting for port file {}",
+                path.display()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Spawns one `fairsw-served` with an ephemeral port and waits for its
+/// bound address.
+fn spawn_served(
+    bin: &Path,
+    dir: &Path,
+    tag: &str,
+    extra: &[String],
+) -> Result<(ServedChild, String), String> {
+    let port_file = dir.join(format!("{tag}.port"));
+    let _ = std::fs::remove_file(&port_file);
+    let child = Command::new(bin)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--port-file")
+        .arg(&port_file)
+        .arg("--flush-batch")
+        .arg("32")
+        .arg("--tick-ms")
+        .arg("5")
+        .args(extra)
+        .stdout(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", bin.display()))?;
+    let mut guard = ServedChild(Some(child));
+    let addr = wait_for_addr(&port_file, guard.0.as_mut().expect("child present"))?;
+    Ok((guard, addr))
+}
+
+/// `STATS` the tenant, reporting `None` while the server is unreachable
+/// or the tenant is not there yet (mid-bootstrap / mid-replay).
+fn poll_stats(addr: &str, tenant: &str) -> Option<crate::protocol::WireStats> {
+    let mut c = Client::connect(addr).ok()?;
+    match c.stats(tenant) {
+        Ok(Reply::Stats(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Drives the crash/recovery scenario end to end: boot a WAL-backed
+/// leader (plus a hot standby when `failover`), ingest `kill_after`
+/// points, `SIGKILL` the leader mid-stream, recover — restart from the
+/// WAL, or `PROMOTE` the standby — and verify the durable prefix lost
+/// at most one batch before streaming the remainder through the
+/// survivor. Returns the measured recovery time.
+pub fn run_crash_drill(opts: &DrillOptions) -> Result<DrillReport, String> {
+    let dir = &opts.dir;
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let leader_args = vec![
+        "--spool".to_string(),
+        dir.join("leader-spool").display().to_string(),
+        "--wal".to_string(),
+        dir.join("leader-wal").display().to_string(),
+    ];
+    let (mut leader, leader_addr) = spawn_served(&opts.served_bin, dir, "leader", &leader_args)?;
+
+    let mut standby: Option<(ServedChild, String)> = None;
+    if opts.failover {
+        let follower_args = vec![
+            "--spool".to_string(),
+            dir.join("follower-spool").display().to_string(),
+            "--wal".to_string(),
+            dir.join("follower-wal").display().to_string(),
+            "--follow".to_string(),
+            leader_addr.clone(),
+        ];
+        standby = Some(spawn_served(
+            &opts.served_bin,
+            dir,
+            "follower",
+            &follower_args,
+        )?);
+    }
+
+    let tenant = "drill";
+    let stream = workload(opts.points, 0);
+    let kill_after = opts.kill_after.clamp(1, stream.len());
+    let mut c = Client::connect(leader_addr.as_str()).map_err(|e| e.to_string())?;
+    match c
+        .create(tenant, &burst_config(opts.window))
+        .map_err(|e| e.to_string())?
+    {
+        Reply::Ok => {}
+        other => return Err(format!("create failed: {other:?}")),
+    }
+    let mut accepted = 0u64;
+    for chunk in stream[..kill_after].chunks(opts.batch.max(1)) {
+        c.insert_batch_backoff(tenant, chunk)
+            .map_err(|e| e.to_string())?;
+        accepted += chunk.len() as u64;
+    }
+
+    if let Some((_, follower_addr)) = &standby {
+        // The drill measures recovery, not replication lag: let the
+        // standby catch up before pulling the plug.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if poll_stats(follower_addr, tenant).is_some_and(|s| s.points_total >= accepted) {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err("standby never caught up to the leader".into());
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    leader.kill_now();
+    let t_kill = Instant::now();
+
+    let (survivor, survivor_addr) = match standby {
+        Some((guard, follower_addr)) => {
+            let mut fc = Client::connect(follower_addr.as_str()).map_err(|e| e.to_string())?;
+            match fc.promote().map_err(|e| e.to_string())? {
+                Reply::Ok => {}
+                other => return Err(format!("promote failed: {other:?}")),
+            }
+            (guard, follower_addr)
+        }
+        None => spawn_served(&opts.served_bin, dir, "restart", &leader_args)?,
+    };
+    let durable = {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if let Some(s) = poll_stats(&survivor_addr, tenant) {
+                break s.points_total;
+            }
+            if Instant::now() > deadline {
+                return Err("survivor never answered STATS after recovery".into());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    let recovery = t_kill.elapsed();
+
+    let lost = accepted.saturating_sub(durable);
+    if lost > opts.batch as u64 {
+        return Err(format!(
+            "durability contract broken: {accepted} acked, {durable} recovered \
+             ({lost} lost > one batch of {})",
+            opts.batch
+        ));
+    }
+
+    // Resume the stream from the durable prefix and finish cleanly —
+    // the survivor must take writes and answer queries.
+    let mut c = Client::connect(survivor_addr.as_str()).map_err(|e| e.to_string())?;
+    for chunk in stream[durable as usize..].chunks(opts.batch.max(1)) {
+        c.insert_batch_backoff(tenant, chunk)
+            .map_err(|e| e.to_string())?;
+    }
+    match c.query(tenant).map_err(|e| e.to_string())? {
+        Reply::Solution(_) => {}
+        other => return Err(format!("post-recovery query failed: {other:?}")),
+    }
+    match c.shutdown().map_err(|e| e.to_string())? {
+        Reply::Ok => {}
+        other => return Err(format!("survivor shutdown failed: {other:?}")),
+    }
+    drop(survivor);
+    Ok(DrillReport {
+        accepted,
+        durable,
+        lost,
+        recovery,
+        failover: opts.failover,
     })
 }

@@ -22,14 +22,30 @@
 //! | 6  | `CHECKPOINT`   | — (empty tenant name = every tenant)        |
 //! | 7  | `DELETE`       | —                                           |
 //! | 8  | `SHUTDOWN`     | — (tenant name ignored)                     |
+//! | 9  | `WAL_SUBSCRIBE`| — (tenant name ignored)                     |
+//! | 10 | `PROMOTE`      | — (tenant name ignored)                     |
 //!
 //! A colored point is `color:u32 dim:u16 coords:f64[dim]`. Replies carry
 //! `status = 0` (OK) followed by a payload tag (`0` bare ack, `1`
-//! [`WireSolution`], `2` [`WireStats`], `3` checkpoint counts), or a
-//! non-zero [`ErrorKind`] code followed by `msg:str16`. All numbers are
-//! little-endian; `f64` values travel as raw IEEE bits, so solutions
-//! survive the wire **bit-identically** — the differential suite
-//! compares server replies against in-process engines at the byte level.
+//! [`WireSolution`], `2` [`WireStats`], `3` checkpoint counts, `4` a
+//! `WAL_APPEND` replication frame: `tenant:str16` + one
+//! [`WalRecord`](crate::wal::WalRecord)), or a non-zero [`ErrorKind`]
+//! code followed by `msg:str16`. All numbers are little-endian; `f64`
+//! values travel as raw IEEE bits, so solutions survive the wire
+//! **bit-identically** — the differential suite compares server replies
+//! against in-process engines at the byte level.
+//!
+//! ## Replication frames
+//!
+//! `WAL_SUBSCRIBE` converts the connection into a one-way replication
+//! stream: the server acks with a bare `Ok`, then pushes `WAL_APPEND`
+//! reply frames (tag `4`) — one per durable log record — for every
+//! tenant's history (bootstrap) and every subsequently accepted write
+//! (live tail). The subscriber never sends another request on that
+//! connection. `PROMOTE`, sent to a follower started with `--follow`,
+//! detaches it from its leader and re-enables writes; on a server that
+//! is not a follower it answers [`ErrorKind::Unsupported`]. Writes sent
+//! to a not-yet-promoted follower answer [`ErrorKind::ReadOnly`].
 //!
 //! Every decoder is total: corrupt input yields [`WireError`], never a
 //! panic, and length prefixes are sanity-checked against the bytes
@@ -121,29 +137,29 @@ impl std::error::Error for WireError {}
 
 // ---- primitive helpers -------------------------------------------------
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str16(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str16(out: &mut Vec<u8>, s: &str) {
     debug_assert!(s.len() <= u16::MAX as usize);
     put_u16(out, s.len() as u16);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn take_bytes<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+pub(crate) fn take_bytes<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
     if input.len() < n {
         return Err(WireError::Truncated);
     }
@@ -152,29 +168,29 @@ fn take_bytes<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError>
     Ok(head)
 }
 
-fn take_u8(input: &mut &[u8]) -> Result<u8, WireError> {
+pub(crate) fn take_u8(input: &mut &[u8]) -> Result<u8, WireError> {
     Ok(take_bytes(input, 1)?[0])
 }
 
-fn take_u16(input: &mut &[u8]) -> Result<u16, WireError> {
+pub(crate) fn take_u16(input: &mut &[u8]) -> Result<u16, WireError> {
     Ok(u16::from_le_bytes(
         take_bytes(input, 2)?.try_into().expect("2 bytes"),
     ))
 }
 
-fn take_u32(input: &mut &[u8]) -> Result<u32, WireError> {
+pub(crate) fn take_u32(input: &mut &[u8]) -> Result<u32, WireError> {
     Ok(u32::from_le_bytes(
         take_bytes(input, 4)?.try_into().expect("4 bytes"),
     ))
 }
 
-fn take_u64(input: &mut &[u8]) -> Result<u64, WireError> {
+pub(crate) fn take_u64(input: &mut &[u8]) -> Result<u64, WireError> {
     Ok(u64::from_le_bytes(
         take_bytes(input, 8)?.try_into().expect("8 bytes"),
     ))
 }
 
-fn take_f64(input: &mut &[u8]) -> Result<f64, WireError> {
+pub(crate) fn take_f64(input: &mut &[u8]) -> Result<f64, WireError> {
     Ok(f64::from_le_bytes(
         take_bytes(input, 8)?.try_into().expect("8 bytes"),
     ))
@@ -182,7 +198,7 @@ fn take_f64(input: &mut &[u8]) -> Result<f64, WireError> {
 
 /// Reads a `u32` count and sanity-checks it against the bytes left so a
 /// corrupt prefix cannot size a huge allocation.
-fn take_count32(input: &mut &[u8], min_item_bytes: usize) -> Result<usize, WireError> {
+pub(crate) fn take_count32(input: &mut &[u8], min_item_bytes: usize) -> Result<usize, WireError> {
     let n = take_u32(input)? as usize;
     if n as u128 * min_item_bytes as u128 > input.len() as u128 {
         return Err(WireError::Truncated);
@@ -190,7 +206,7 @@ fn take_count32(input: &mut &[u8], min_item_bytes: usize) -> Result<usize, WireE
     Ok(n)
 }
 
-fn take_str16(input: &mut &[u8]) -> Result<String, WireError> {
+pub(crate) fn take_str16(input: &mut &[u8]) -> Result<String, WireError> {
     let n = take_u16(input)? as usize;
     let bytes = take_bytes(input, n)?;
     String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("non-UTF-8 string".into()))
@@ -198,7 +214,7 @@ fn take_str16(input: &mut &[u8]) -> Result<String, WireError> {
 
 // ---- points ------------------------------------------------------------
 
-fn put_point(out: &mut Vec<u8>, p: &Colored<EuclidPoint>) {
+pub(crate) fn put_point(out: &mut Vec<u8>, p: &Colored<EuclidPoint>) {
     put_u32(out, p.color);
     debug_assert!(p.point.coords().len() <= u16::MAX as usize);
     put_u16(out, p.point.coords().len() as u16);
@@ -207,7 +223,7 @@ fn put_point(out: &mut Vec<u8>, p: &Colored<EuclidPoint>) {
     }
 }
 
-fn take_point(input: &mut &[u8]) -> Result<Colored<EuclidPoint>, WireError> {
+pub(crate) fn take_point(input: &mut &[u8]) -> Result<Colored<EuclidPoint>, WireError> {
     let color = take_u32(input)?;
     let dim = take_u16(input)? as usize;
     if dim * 8 > input.len() {
@@ -327,7 +343,7 @@ impl TenantConfig {
         builder.variant(spec).build(Euclidean)
     }
 
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
         put_u64(out, self.window as u64);
         debug_assert!(self.caps.len() <= u16::MAX as usize);
         put_u16(out, self.caps.len() as u16);
@@ -353,7 +369,7 @@ impl TenantConfig {
         }
     }
 
-    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+    pub(crate) fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let window = take_u64(input)? as usize;
         let ncaps = take_u16(input)? as usize;
         if ncaps * 8 > input.len() {
@@ -448,6 +464,14 @@ pub enum Request {
     },
     /// Asks the server to shut down cleanly.
     Shutdown,
+    /// Converts this connection into a replication stream: the server
+    /// acks, then pushes one [`Reply::Wal`] frame per durable log
+    /// record (bootstrap history first, live tail after). Requires the
+    /// server to run with a WAL directory.
+    WalSubscribe,
+    /// Promotes a follower to leader: detaches it from its leader and
+    /// re-enables writes. Not a follower → [`ErrorKind::Unsupported`].
+    Promote,
 }
 
 const OP_CREATE: u8 = 1;
@@ -458,6 +482,8 @@ const OP_STATS: u8 = 5;
 const OP_CHECKPOINT: u8 = 6;
 const OP_DELETE: u8 = 7;
 const OP_SHUTDOWN: u8 = 8;
+const OP_WAL_SUBSCRIBE: u8 = 9;
+const OP_PROMOTE: u8 = 10;
 
 impl Request {
     /// The tenant the request addresses ("" for `SHUTDOWN` and
@@ -471,7 +497,7 @@ impl Request {
             | Request::Stats { tenant }
             | Request::Checkpoint { tenant }
             | Request::Delete { tenant } => tenant,
-            Request::Shutdown => "",
+            Request::Shutdown | Request::WalSubscribe | Request::Promote => "",
         }
     }
 
@@ -518,6 +544,14 @@ impl Request {
                 out.push(OP_SHUTDOWN);
                 put_str16(&mut out, "");
             }
+            Request::WalSubscribe => {
+                out.push(OP_WAL_SUBSCRIBE);
+                put_str16(&mut out, "");
+            }
+            Request::Promote => {
+                out.push(OP_PROMOTE);
+                put_str16(&mut out, "");
+            }
         }
         out
     }
@@ -550,6 +584,8 @@ impl Request {
             OP_CHECKPOINT => Request::Checkpoint { tenant },
             OP_DELETE => Request::Delete { tenant },
             OP_SHUTDOWN => Request::Shutdown,
+            OP_WAL_SUBSCRIBE => Request::WalSubscribe,
+            OP_PROMOTE => Request::Promote,
             other => return Err(WireError::Invalid(format!("unknown opcode {other}"))),
         };
         if !input.is_empty() {
@@ -583,6 +619,9 @@ pub enum ErrorKind {
     Unsupported = 6,
     /// The server is shutting down.
     ShuttingDown = 7,
+    /// The server is a not-yet-promoted follower: writes are rejected
+    /// until `PROMOTE` (reads are served from the replicated state).
+    ReadOnly = 8,
 }
 
 impl ErrorKind {
@@ -595,6 +634,7 @@ impl ErrorKind {
             5 => ErrorKind::QueryFailed,
             6 => ErrorKind::Unsupported,
             7 => ErrorKind::ShuttingDown,
+            8 => ErrorKind::ReadOnly,
             _ => return None,
         })
     }
@@ -784,16 +824,40 @@ pub struct WireStats {
     pub query_p90_us: f64,
     /// 99th percentile.
     pub query_p99_us: f64,
+    /// Live bytes across the tenant's WAL segments (0 without a WAL).
+    pub wal_bytes: u64,
+    /// Live WAL segment files (0 without a WAL).
+    pub wal_segments: u64,
+    /// Bytes appended since the last group-commit fsync — the window a
+    /// power loss could take (a plain `kill -9` loses nothing that
+    /// reached the page cache).
+    pub wal_unsynced_bytes: u64,
+    /// Time since the last fsync of this tenant's WAL, in microseconds
+    /// (0 when nothing is unsynced).
+    pub wal_fsync_lag_us: f64,
+    /// Live replication subscribers on this tenant's shard.
+    pub followers: u64,
+    /// Largest replication backlog (queued frames) across those
+    /// subscribers — follower lag in records.
+    pub repl_lag: u64,
 }
 
 impl WireStats {
-    /// Blanks the wall-clock fields, leaving the deterministic
-    /// engine-state part (what differential tests compare).
+    /// Blanks the wall-clock and durability-bookkeeping fields, leaving
+    /// the deterministic engine-state part (what differential tests
+    /// compare). The WAL fields depend on record framing and fsync
+    /// timing, so they are service-side observability, not oracle state.
     pub fn deterministic(mut self) -> Self {
         self.points_per_sec = 0.0;
         self.query_p50_us = 0.0;
         self.query_p90_us = 0.0;
         self.query_p99_us = 0.0;
+        self.wal_bytes = 0;
+        self.wal_segments = 0;
+        self.wal_unsynced_bytes = 0;
+        self.wal_fsync_lag_us = 0.0;
+        self.followers = 0;
+        self.repl_lag = 0;
         self
     }
 
@@ -820,6 +884,12 @@ impl WireStats {
         ] {
             put_f64(out, v);
         }
+        for v in [self.wal_bytes, self.wal_segments, self.wal_unsynced_bytes] {
+            put_u64(out, v);
+        }
+        put_f64(out, self.wal_fsync_lag_us);
+        put_u64(out, self.followers);
+        put_u64(out, self.repl_lag);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -838,6 +908,12 @@ impl WireStats {
             query_p50_us: take_f64(input)?,
             query_p90_us: take_f64(input)?,
             query_p99_us: take_f64(input)?,
+            wal_bytes: take_u64(input)?,
+            wal_segments: take_u64(input)?,
+            wal_unsynced_bytes: take_u64(input)?,
+            wal_fsync_lag_us: take_f64(input)?,
+            followers: take_u64(input)?,
+            repl_lag: take_u64(input)?,
         })
     }
 }
@@ -859,6 +935,14 @@ pub enum Reply {
         /// Tenants skipped (no snapshot support).
         skipped: u32,
     },
+    /// A `WAL_APPEND` replication frame, pushed (never solicited
+    /// per-request) on a connection converted by `WAL_SUBSCRIBE`.
+    Wal {
+        /// The tenant the record belongs to.
+        tenant: String,
+        /// The replicated log record.
+        record: crate::wal::WalRecord,
+    },
     /// The request failed.
     Error(ErrorKind, String),
 }
@@ -867,8 +951,21 @@ const REPLY_ACK: u8 = 0;
 const REPLY_SOLUTION: u8 = 1;
 const REPLY_STATS: u8 = 2;
 const REPLY_CHECKPOINTED: u8 = 3;
+const REPLY_WAL: u8 = 4;
 
 impl Reply {
+    /// Encodes a `WAL_APPEND` frame body from an already-encoded record
+    /// body — the shard-side hot path pushes replication frames without
+    /// materializing an owned [`WalRecord`](crate::wal::WalRecord).
+    pub(crate) fn wal_frame_bytes(tenant: &str, record_body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + tenant.len() + record_body.len());
+        out.push(0);
+        out.push(REPLY_WAL);
+        put_str16(&mut out, tenant);
+        out.extend_from_slice(record_body);
+        out
+    }
+
     /// Builds the reply for an engine query outcome.
     pub fn from_query(result: &Result<Solution<EuclidPoint>, QueryError>) -> Self {
         match result {
@@ -901,6 +998,11 @@ impl Reply {
                 put_u32(&mut out, *written);
                 put_u32(&mut out, *skipped);
             }
+            Reply::Wal { tenant, record } => {
+                let mut body = Vec::new();
+                record.encode(&mut body);
+                return Reply::wal_frame_bytes(tenant, &body);
+            }
             Reply::Error(kind, msg) => {
                 out.push(*kind as u8);
                 // str16 caps the message at 64 KiB; back the cut off to
@@ -927,6 +1029,10 @@ impl Reply {
                 REPLY_CHECKPOINTED => Reply::Checkpointed {
                     written: take_u32(&mut input)?,
                     skipped: take_u32(&mut input)?,
+                },
+                REPLY_WAL => Reply::Wal {
+                    tenant: take_str16(&mut input)?,
+                    record: crate::wal::WalRecord::decode(&mut input)?,
                 },
                 other => return Err(WireError::Invalid(format!("unknown reply tag {other}"))),
             }
@@ -993,6 +1099,8 @@ mod tests {
             Request::Checkpoint { tenant: "".into() },
             Request::Delete { tenant: "t".into() },
             Request::Shutdown,
+            Request::WalSubscribe,
+            Request::Promote,
         ];
         for req in reqs {
             let body = req.encode();
@@ -1039,12 +1147,33 @@ mod tests {
                 query_p50_us: 10.0,
                 query_p90_us: 20.0,
                 query_p99_us: 30.0,
+                wal_bytes: 4096,
+                wal_segments: 2,
+                wal_unsynced_bytes: 128,
+                wal_fsync_lag_us: 1500.0,
+                followers: 1,
+                repl_lag: 7,
             }),
             Reply::Checkpointed {
                 written: 3,
                 skipped: 1,
             },
-            Reply::Error(ErrorKind::Overloaded, "shard queue full".into()),
+            Reply::Wal {
+                tenant: "repl".into(),
+                record: crate::wal::WalRecord::Batch {
+                    start: 42,
+                    points: vec![pt(1.0, 0), pt(-2.5, 1)],
+                },
+            },
+            Reply::Wal {
+                tenant: "repl".into(),
+                record: crate::wal::WalRecord::Create(TenantConfig::new(
+                    10,
+                    vec![1, 1],
+                    WireVariant::Oblivious,
+                )),
+            },
+            Reply::Error(ErrorKind::ReadOnly, "follower is read-only".into()),
         ];
         for reply in replies {
             let body = reply.encode();
@@ -1054,7 +1183,7 @@ mod tests {
 
     #[test]
     fn decoders_reject_garbage_without_panicking() {
-        for body in [&b""[..], &b"\xff"[..], &b"\x01\x00"[..], &[9, 0, 0][..]] {
+        for body in [&b""[..], &b"\xff"[..], &b"\x01\x00"[..], &[11, 0, 0][..]] {
             assert!(Request::decode(body).is_err());
             assert!(Reply::decode(body).is_err());
         }

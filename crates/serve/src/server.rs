@@ -38,6 +38,9 @@
 use crate::protocol::{
     valid_tenant_name, write_frame, ErrorKind, Reply, Request, TenantConfig, WireStats,
 };
+use crate::wal::replicate::{follower_loop, subscription, Subscriber};
+use crate::wal::segment::{encode_batch_body, encode_create_body};
+use crate::wal::{atomic_write, build_tenant, read_log, TenantWal, WalRecord, WalTuning};
 use fairsw_core::{ParallelismSpec, SlidingWindowClustering, WindowEngine};
 use fairsw_metric::{Colored, EuclidPoint, Euclidean};
 use std::collections::HashMap;
@@ -72,6 +75,17 @@ pub struct ServeConfig {
     /// Snapshot spool directory (`CHECKPOINT` target, replayed on
     /// startup). `None` disables checkpointing.
     pub spool_dir: Option<PathBuf>,
+    /// Write-ahead-log root (one subdirectory per tenant). `None`
+    /// disables the WAL: only `CHECKPOINT`ed state survives a kill.
+    /// With a WAL, every *acknowledged* write is replayed on restart
+    /// (group-commit fsync on the tick; see [`crate::wal`]).
+    pub wal_dir: Option<PathBuf>,
+    /// WAL segment-rotation and compaction thresholds.
+    pub wal_tuning: WalTuning,
+    /// Start as a hot standby replicating from this leader address.
+    /// The server is read-only (writes answer [`ErrorKind::ReadOnly`])
+    /// until a `PROMOTE` request detaches it.
+    pub follow: Option<String>,
     /// Per-engine parallelism applied to every tenant (the default
     /// honors `FAIRSW_THREADS`).
     pub parallelism: ParallelismSpec,
@@ -85,8 +99,19 @@ impl Default for ServeConfig {
             queue_depth: 128,
             tick: Duration::from_millis(20),
             spool_dir: None,
+            wal_dir: None,
+            wal_tuning: WalTuning::default(),
+            follow: None,
             parallelism: ParallelismSpec::Auto,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The WAL directory of one tenant (tenant names are validated to
+    /// be path-safe).
+    fn tenant_wal_dir(&self, tenant: &str) -> Option<PathBuf> {
+        self.wal_dir.as_ref().map(|d| d.join(tenant))
     }
 }
 
@@ -116,6 +141,8 @@ struct Tenant {
     points_total: u64,
     created: Instant,
     latencies: Vec<Duration>,
+    /// The tenant's write-ahead log (servers started with a WAL dir).
+    wal: Option<TenantWal>,
 }
 
 impl Tenant {
@@ -145,10 +172,17 @@ impl Tenant {
             points_total: 0,
             created: Instant::now(),
             latencies: Vec::new(),
+            wal: None,
         }
     }
 
+    fn with_wal(mut self, wal: Option<TenantWal>) -> Self {
+        self.wal = wal;
+        self
+    }
+
     /// Rejects colors the engine's capacity-indexed tables cannot hold.
+    #[allow(clippy::result_large_err)] // Err is the wire `Reply`; cold path
     fn check_colors<'a>(
         &self,
         points: impl IntoIterator<Item = &'a Colored<EuclidPoint>>,
@@ -209,6 +243,13 @@ impl Tenant {
             query_p50_us: pct(0.50),
             query_p90_us: pct(0.90),
             query_p99_us: pct(0.99),
+            wal_bytes: self.wal.as_ref().map_or(0, TenantWal::total_bytes),
+            wal_segments: self.wal.as_ref().map_or(0, TenantWal::segments),
+            wal_unsynced_bytes: self.wal.as_ref().map_or(0, TenantWal::unsynced_bytes),
+            wal_fsync_lag_us: self.wal.as_ref().map_or(0.0, TenantWal::fsync_lag_us),
+            // Shard-level: filled in by the shard serving the request.
+            followers: 0,
+            repl_lag: 0,
         }
     }
 }
@@ -224,6 +265,18 @@ enum ShardMsg {
     /// Checkpoint every tenant of this shard.
     CheckpointAll {
         reply: Sender<Reply>,
+    },
+    /// Attach a replication subscriber: bootstrap every tenant of this
+    /// shard onto it, then add it to the live fan-out list.
+    Subscribe {
+        sub: Subscriber,
+        reply: Sender<Reply>,
+    },
+    /// Follower side: apply one replicated record to this shard.
+    Apply {
+        tenant: String,
+        record: WalRecord,
+        reply: Sender<Result<(), String>>,
     },
     /// Test hook: occupy the shard thread so the bounded queue fills.
     #[allow(dead_code)]
@@ -247,13 +300,21 @@ struct Shard {
     tenants: HashMap<String, Tenant>,
     /// Reset engines awaiting reuse, keyed by their creating config.
     parked: Vec<(TenantConfig, WindowEngine<Euclidean>)>,
+    /// Live replication subscribers (fan-out targets for every
+    /// accepted write on this shard).
+    subs: Vec<Subscriber>,
     cfg: ServeConfig,
 }
 
 impl Shard {
     fn run(mut self, rx: Receiver<ShardMsg>) {
+        let mut last_tick = Instant::now();
         loop {
-            match rx.recv_timeout(self.cfg.tick) {
+            // Wake at the next tick boundary even while messages keep
+            // arriving — the group-commit fsync must fire under
+            // sustained load, not only when the shard goes idle.
+            let timeout = self.cfg.tick.saturating_sub(last_tick.elapsed());
+            match rx.recv_timeout(timeout) {
                 Ok(ShardMsg::Req { tenant, op, reply }) => {
                     let r = self.handle(&tenant, op);
                     let _ = reply.send(r);
@@ -262,14 +323,74 @@ impl Shard {
                     let r = self.checkpoint_all();
                     let _ = reply.send(r);
                 }
+                Ok(ShardMsg::Subscribe { sub, reply }) => {
+                    let r = self.subscribe(sub);
+                    let _ = reply.send(r);
+                }
+                Ok(ShardMsg::Apply {
+                    tenant,
+                    record,
+                    reply,
+                }) => {
+                    let r = self.apply(&tenant, record);
+                    let _ = reply.send(r);
+                }
                 Ok(ShardMsg::Stall(d)) => std::thread::sleep(d),
-                Ok(ShardMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
-                Err(RecvTimeoutError::Timeout) => {
-                    // Idle tick: age out the ingest buffers.
+                Ok(ShardMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                    // Clean shutdown: everything acknowledged is synced.
                     for t in self.tenants.values_mut() {
-                        t.flush();
+                        if let Some(wal) = &mut t.wal {
+                            let _ = wal.sync();
+                        }
+                    }
+                    return;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            if last_tick.elapsed() >= self.cfg.tick {
+                self.tick();
+                last_tick = Instant::now();
+            }
+        }
+    }
+
+    /// The periodic tick: age out ingest buffers, group-commit the
+    /// WALs, and compact any log past its threshold.
+    fn tick(&mut self) {
+        for (name, t) in self.tenants.iter_mut() {
+            t.flush();
+            if let Some(wal) = &mut t.wal {
+                if let Err(e) = wal.sync() {
+                    eprintln!("fairsw-served: wal sync failed for {name:?}: {e}");
+                }
+            }
+        }
+        self.compact_due();
+    }
+
+    /// Folds oversized WALs into spool snapshots (snapshot-capable
+    /// tenants with a spool only — for the rest the log *is* the
+    /// durable history and must be kept whole).
+    fn compact_due(&mut self) {
+        let Some(dir) = self.cfg.spool_dir.clone() else {
+            return;
+        };
+        for (name, t) in self.tenants.iter_mut() {
+            let due = t.wal.as_ref().is_some_and(TenantWal::wants_compaction);
+            if !due {
+                continue;
+            }
+            t.flush();
+            let Some(bytes) = t.engine.snapshot() else {
+                continue;
+            };
+            match spool_write(&dir, name, &bytes) {
+                Ok(()) => {
+                    if let Err(e) = compact_log(t) {
+                        eprintln!("fairsw-served: wal compaction failed for {name:?}: {e}");
                     }
                 }
+                Err(e) => eprintln!("fairsw-served: compaction spool write for {name:?}: {e}"),
             }
         }
     }
@@ -280,6 +401,14 @@ impl Shard {
             Op::Insert(p) => match self.tenants.get_mut(tenant) {
                 Some(t) => {
                     if let Err(reply) = t.check_colors([&p]) {
+                        return reply;
+                    }
+                    // Log before ack: the reply leaves only after the
+                    // point is in the WAL (page cache) and on its way
+                    // to every subscriber.
+                    if let Err(reply) =
+                        log_accept(&mut self.subs, tenant, t, std::slice::from_ref(&p))
+                    {
                         return reply;
                     }
                     t.buffer.push(p);
@@ -297,6 +426,9 @@ impl Shard {
                     // refused whole, so an error reply never leaves a
                     // partially applied batch behind.
                     if let Err(reply) = t.check_colors(&points) {
+                        return reply;
+                    }
+                    if let Err(reply) = log_accept(&mut self.subs, tenant, t, &points) {
                         return reply;
                     }
                     t.points_total += points.len() as u64;
@@ -321,7 +453,10 @@ impl Shard {
             Op::Stats => match self.tenants.get_mut(tenant) {
                 Some(t) => {
                     t.flush();
-                    Reply::Stats(t.stats())
+                    let mut stats = t.stats();
+                    stats.followers = self.subs.len() as u64;
+                    stats.repl_lag = self.subs.iter().map(Subscriber::lag).max().unwrap_or(0);
+                    Reply::Stats(stats)
                 }
                 None => no_such_tenant(tenant),
             },
@@ -337,10 +472,19 @@ impl Shard {
                         t.flush();
                         match t.engine.snapshot() {
                             Some(bytes) => match spool_write(&dir, tenant, &bytes) {
-                                Ok(()) => Reply::Checkpointed {
-                                    written: 1,
-                                    skipped: 0,
-                                },
+                                Ok(()) => {
+                                    // The snapshot covers the whole log:
+                                    // fold it away.
+                                    if let Err(e) = compact_log(t) {
+                                        eprintln!(
+                                            "fairsw-served: wal compaction failed for {tenant:?}: {e}"
+                                        );
+                                    }
+                                    Reply::Checkpointed {
+                                        written: 1,
+                                        skipped: 0,
+                                    }
+                                }
                                 Err(e) => Reply::Error(
                                     ErrorKind::Unsupported,
                                     format!("spool write failed: {e}"),
@@ -361,8 +505,16 @@ impl Shard {
             Op::Delete => match self.tenants.remove(tenant) {
                 Some(mut t) => {
                     // A deleted tenant must stay deleted across a
-                    // restart: drop its spool snapshot too.
+                    // restart: drop its spool snapshot and WAL too.
                     self.spool_remove(tenant);
+                    if let Some(wal) = t.wal.take() {
+                        let dir = wal.dir().to_path_buf();
+                        drop(wal); // close the open segment first
+                        if let Err(e) = TenantWal::remove(&dir) {
+                            eprintln!("fairsw-served: wal removal failed for {tenant:?}: {e}");
+                        }
+                    }
+                    push_record(&mut self.subs, tenant, &encode_record(&WalRecord::Delete));
                     // Park the reset engine for delete-and-recreate
                     // reuse: the next CREATE with the same config takes
                     // it instead of reconstructing.
@@ -397,9 +549,165 @@ impl Shard {
         // pre-restart life) must not resurrect over the fresh tenant
         // if the server crashes before its first CHECKPOINT.
         self.spool_remove(tenant);
-        self.tenants
-            .insert(tenant.to_string(), Tenant::new(engine, Some(config)));
+        // Start the tenant's log with its Create record — a fresh WAL
+        // wipes any stale directory for the same reason.
+        let wal = match self.cfg.tenant_wal_dir(tenant) {
+            Some(dir) => match TenantWal::create(&dir, self.cfg.wal_tuning) {
+                Ok(mut wal) => {
+                    let body = encode_create_body(&config);
+                    if let Err(e) = wal.append(&body).and_then(|()| wal.sync()) {
+                        return Reply::Error(
+                            ErrorKind::Unsupported,
+                            format!("wal create failed: {e}"),
+                        );
+                    }
+                    push_record(&mut self.subs, tenant, &body);
+                    Some(wal)
+                }
+                Err(e) => {
+                    return Reply::Error(ErrorKind::Unsupported, format!("wal create failed: {e}"))
+                }
+            },
+            None => None,
+        };
+        self.tenants.insert(
+            tenant.to_string(),
+            Tenant::new(engine, Some(config)).with_wal(wal),
+        );
         Reply::Ok
+    }
+
+    /// Bootstraps `sub` with every tenant's durable history, then adds
+    /// it to the live fan-out list. Snapshot-capable tenants ship one
+    /// `Create` + one fresh `Snapshot` record; the rest replay their
+    /// on-disk log (whose records double as the wire bootstrap).
+    fn subscribe(&mut self, sub: Subscriber) -> Reply {
+        for (name, t) in self.tenants.iter_mut() {
+            t.flush();
+            let mut frames: Vec<Vec<u8>> = Vec::new();
+            if let Some(config) = &t.config {
+                frames.push(encode_create_body(config));
+            }
+            if let Some(bytes) = t.engine.snapshot() {
+                let mut body = Vec::with_capacity(bytes.len() + 8);
+                WalRecord::Snapshot(bytes).encode(&mut body);
+                frames.push(body);
+            } else if let Some(wal) = &mut t.wal {
+                // Sync first so the on-disk log holds every
+                // acknowledged record, then stream it.
+                let _ = wal.sync();
+                match read_log(wal.dir()) {
+                    Ok((records, _)) => {
+                        // The log starts with its own Create.
+                        frames.clear();
+                        frames.extend(records.iter().map(encode_record));
+                    }
+                    Err(e) => {
+                        return Reply::Error(
+                            ErrorKind::Unsupported,
+                            format!("bootstrap read of {name:?} failed: {e}"),
+                        )
+                    }
+                }
+            }
+            for body in frames {
+                // Blocking push: a bootstrap may exceed the queue
+                // depth; the subscriber is actively draining.
+                if !sub.push_blocking(Reply::wal_frame_bytes(name, &body)) {
+                    return Reply::Error(ErrorKind::Unsupported, "subscriber hung up".into());
+                }
+            }
+        }
+        self.subs.push(sub);
+        Reply::Ok
+    }
+
+    /// Applies one replicated record (the follower side). Errors make
+    /// the follower drop the connection and resubscribe — the bootstrap
+    /// is idempotent, so resync is always safe.
+    fn apply(&mut self, tenant: &str, record: WalRecord) -> Result<(), String> {
+        match record {
+            WalRecord::Create(config) => {
+                // A (re)connect bootstrap or a live re-create: either
+                // way the leader's history restarts here, so any local
+                // state under that name is stale.
+                if self.tenants.contains_key(tenant) {
+                    self.handle(tenant, Op::Delete);
+                }
+                match self.create(tenant, config) {
+                    Reply::Ok => Ok(()),
+                    Reply::Error(_, msg) => Err(msg),
+                    other => Err(format!("unexpected create reply {other:?}")),
+                }
+            }
+            WalRecord::Batch { start, points } => {
+                let Some(t) = self.tenants.get_mut(tenant) else {
+                    return Err(format!("batch for unknown tenant {tenant:?}"));
+                };
+                t.check_colors(&points)
+                    .map_err(|r| format!("replicated batch refused: {r:?}"))?;
+                // The leader's `start` is a position in its stream;
+                // ours matches except across a reconnect, where the
+                // bootstrap re-delivers what we already hold.
+                let skip = (t.points_total.saturating_sub(start)) as usize;
+                if skip >= points.len() {
+                    return Ok(());
+                }
+                let suffix = &points[skip..];
+                if let Err(Reply::Error(_, msg)) = log_accept(&mut self.subs, tenant, t, suffix) {
+                    return Err(msg);
+                }
+                t.points_total += suffix.len() as u64;
+                t.buffer.extend_from_slice(suffix);
+                if t.buffer.len() >= self.cfg.flush_batch {
+                    t.flush();
+                }
+                Ok(())
+            }
+            WalRecord::Snapshot(bytes) => {
+                let engine = WindowEngine::restore(Euclidean, &bytes)
+                    .map_err(|e| format!("bootstrap snapshot: {e}"))?
+                    .with_parallelism(self.cfg.parallelism);
+                let config = self.tenants.get(tenant).and_then(|t| t.config.clone());
+                let mut fresh = Tenant::new(engine, config);
+                fresh.points_total = fresh.engine.time();
+                // Persist our own recovery point: snapshot to the
+                // spool, WAL restarted just past it.
+                if let Some(dir) = &self.cfg.spool_dir {
+                    if let Err(e) = spool_write(dir, tenant, &bytes) {
+                        return Err(format!("bootstrap spool write: {e}"));
+                    }
+                }
+                if let Some(dir) = self.cfg.tenant_wal_dir(tenant) {
+                    let mut wal = TenantWal::create(&dir, self.cfg.wal_tuning)
+                        .map_err(|e| format!("bootstrap wal: {e}"))?;
+                    // Seed the fresh log so our own restart replays the
+                    // same state: the config, and — when no spool holds
+                    // the snapshot — the snapshot record itself.
+                    let mut seed: Vec<Vec<u8>> = Vec::new();
+                    if let Some(config) = &fresh.config {
+                        seed.push(encode_create_body(config));
+                    }
+                    if self.cfg.spool_dir.is_none() {
+                        seed.push(encode_record(&WalRecord::Snapshot(bytes)));
+                    }
+                    for body in &seed {
+                        wal.append(body)
+                            .map_err(|e| format!("bootstrap wal: {e}"))?;
+                    }
+                    wal.sync().map_err(|e| format!("bootstrap wal: {e}"))?;
+                    fresh.wal = Some(wal);
+                }
+                self.tenants.insert(tenant.to_string(), fresh);
+                Ok(())
+            }
+            WalRecord::Delete => {
+                if self.tenants.contains_key(tenant) {
+                    self.handle(tenant, Op::Delete);
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Best-effort removal of a tenant's spool snapshot (the shard owns
@@ -422,7 +730,12 @@ impl Shard {
             t.flush();
             match t.engine.snapshot() {
                 Some(bytes) => match spool_write(&dir, name, &bytes) {
-                    Ok(()) => written += 1,
+                    Ok(()) => {
+                        written += 1;
+                        if let Err(e) = compact_log(t) {
+                            eprintln!("fairsw-served: wal compaction failed for {name:?}: {e}");
+                        }
+                    }
                     Err(e) => {
                         return Reply::Error(
                             ErrorKind::Unsupported,
@@ -437,17 +750,72 @@ impl Shard {
     }
 }
 
+/// Encodes one record body.
+fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    record.encode(&mut body);
+    body
+}
+
+/// The accept-path durability step, shared by leader ingest and
+/// follower apply: encode the batch at the tenant's current stream
+/// position, append it to the WAL (ack only after), and fan it out to
+/// every live subscriber. Subscribers that are gone or too slow are
+/// dropped — replication must never block or fail the hot path.
+#[allow(clippy::result_large_err)] // Err is the wire `Reply`; cold path
+fn log_accept(
+    subs: &mut Vec<Subscriber>,
+    name: &str,
+    t: &mut Tenant,
+    points: &[Colored<EuclidPoint>],
+) -> Result<(), Reply> {
+    if t.wal.is_none() && subs.is_empty() {
+        return Ok(());
+    }
+    let body = encode_batch_body(t.points_total, points);
+    if let Some(wal) = &mut t.wal {
+        wal.append(&body)
+            .map_err(|e| Reply::Error(ErrorKind::Unsupported, format!("wal append failed: {e}")))?;
+    }
+    push_record(subs, name, &body);
+    Ok(())
+}
+
+/// Folds a tenant's log away after its snapshot reached the spool:
+/// compacts to a fresh segment and reseeds it with the tenant's
+/// `Create` record, so a compacted log stays self-describing (config
+/// included) across restarts. Purely local — subscribers see nothing.
+fn compact_log(t: &mut Tenant) -> io::Result<()> {
+    let config = t.config.clone();
+    let Some(wal) = &mut t.wal else {
+        return Ok(());
+    };
+    wal.compact()?;
+    if let Some(config) = &config {
+        wal.append(&encode_create_body(config))?;
+        wal.sync()?;
+    }
+    Ok(())
+}
+
+/// Non-blocking fan-out of one encoded record to every subscriber.
+fn push_record(subs: &mut Vec<Subscriber>, name: &str, body: &[u8]) {
+    if subs.is_empty() {
+        return;
+    }
+    let frame = Reply::wal_frame_bytes(name, body);
+    subs.retain(|s| s.push(frame.clone()));
+}
+
 fn no_such_tenant(tenant: &str) -> Reply {
     Reply::Error(ErrorKind::NoSuchTenant, format!("no tenant {tenant:?}"))
 }
 
-/// Atomic snapshot write: tmp file + rename.
+/// Atomic snapshot write — the WAL's fsync'd `tmp + rename` helper, so
+/// the spool gets the same durability (including the parent-directory
+/// fsync the pre-WAL spool skipped).
 fn spool_write(dir: &std::path::Path, tenant: &str, bytes: &[u8]) -> io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let tmp = dir.join(format!("{tenant}.{SPOOL_EXT}.tmp"));
-    let dst = dir.join(format!("{tenant}.{SPOOL_EXT}"));
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, &dst)
+    atomic_write(dir, &format!("{tenant}.{SPOOL_EXT}"), bytes)
 }
 
 /// Restores every spooled tenant (`<name>.fsw2`), skipping unreadable
@@ -488,14 +856,84 @@ fn spool_replay(cfg: &ServeConfig) -> Vec<(String, Tenant)> {
     out
 }
 
+/// Recovers every tenant from durable state. Without a WAL this is the
+/// spool replay; with one, each tenant is rebuilt from its spool
+/// snapshot plus the valid WAL suffix, and its log is reopened at the
+/// replayed cut (truncating any torn tail for good). Damaged tenants
+/// are skipped with a note — recovery of one tenant must not keep the
+/// service down.
+fn replay_all(cfg: &ServeConfig) -> Vec<(String, Tenant)> {
+    let Some(wal_root) = &cfg.wal_dir else {
+        return spool_replay(cfg);
+    };
+    let mut names = std::collections::BTreeSet::new();
+    if let Some(dir) = &cfg.spool_dir {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) == Some(SPOOL_EXT) {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        names.insert(stem.to_string());
+                    }
+                }
+            }
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(wal_root) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.insert(name.to_string());
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for name in names {
+        if !valid_tenant_name(&name) {
+            continue;
+        }
+        let snapshot = cfg
+            .spool_dir
+            .as_ref()
+            .and_then(|d| std::fs::read(d.join(format!("{name}.{SPOOL_EXT}"))).ok());
+        let tenant_dir = wal_root.join(&name);
+        let (records, cut) = match read_log(&tenant_dir) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("fairsw-served: skipping tenant {name:?}: wal read failed: {e}");
+                continue;
+            }
+        };
+        let replayed = match build_tenant(snapshot.as_deref(), &records, cfg.parallelism) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fairsw-served: skipping tenant {name:?}: {e}");
+                continue;
+            }
+        };
+        match TenantWal::reopen(&tenant_dir, cfg.wal_tuning, cut) {
+            Ok(wal) => {
+                let mut tenant = Tenant::new(replayed.engine, replayed.config).with_wal(Some(wal));
+                tenant.points_total = tenant.engine.time();
+                out.push((name, tenant));
+            }
+            Err(e) => eprintln!("fairsw-served: skipping tenant {name:?}: wal reopen: {e}"),
+        }
+    }
+    out
+}
+
 /// A running server. Dropping the handle does **not** stop the server;
 /// call [`shutdown`](Self::shutdown) or [`wait`](Self::wait).
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    is_follower: Arc<AtomicBool>,
     shard_txs: Vec<SyncSender<ShardMsg>>,
     listener: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<()>>,
+    follower: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -503,6 +941,12 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Whether the server is (still) a read-only follower. Starts
+    /// `true` for `--follow` servers, drops to `false` on `PROMOTE`.
+    pub fn is_follower(&self) -> bool {
+        self.is_follower.load(Ordering::SeqCst)
     }
 
     /// Stops accepting, drains the shard queues and joins every thread.
@@ -532,6 +976,11 @@ impl ServerHandle {
         for c in conns {
             let _ = c.join();
         }
+        // The replication thread polls the stop flag too; join it
+        // before the shards so no Apply can race a closing queue.
+        if let Some(follower) = self.follower.take() {
+            let _ = follower.join();
+        }
         for tx in self.shard_txs.drain(..) {
             let _ = tx.send(ShardMsg::Shutdown);
         }
@@ -555,18 +1004,20 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), replays
-    /// the snapshot spool, spawns the shard and listener threads and
-    /// returns a handle.
+    /// the durable state (snapshot spool + WAL suffix), spawns the
+    /// shard, listener and — with [`ServeConfig::follow`] — replication
+    /// threads, and returns a handle.
     pub fn start(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let is_follower = Arc::new(AtomicBool::new(cfg.follow.is_some()));
         let nshards = cfg.shards.max(1);
 
         let mut initial: Vec<HashMap<String, Tenant>> =
             (0..nshards).map(|_| HashMap::new()).collect();
-        for (name, tenant) in spool_replay(&cfg) {
+        for (name, tenant) in replay_all(&cfg) {
             initial[shard_of(&name, nshards)].insert(name, tenant);
         }
 
@@ -577,12 +1028,36 @@ impl Server {
             let shard = Shard {
                 tenants,
                 parked: Vec::new(),
+                subs: Vec::new(),
                 cfg: cfg.clone(),
             };
             shard_txs.push(tx);
             shards.push(std::thread::spawn(move || shard.run(rx)));
         }
 
+        let follower = cfg.follow.clone().map(|leader| {
+            let stop = Arc::clone(&stop);
+            let is_follower = Arc::clone(&is_follower);
+            let txs = shard_txs.clone();
+            std::thread::spawn(move || {
+                follower_loop(&leader, &stop, &is_follower, |tenant, record| {
+                    let tx = &txs[shard_of(&tenant, txs.len())];
+                    let (rtx, rrx) = mpsc::channel();
+                    tx.send(ShardMsg::Apply {
+                        tenant,
+                        record,
+                        reply: rtx,
+                    })
+                    .map_err(|_| "shard stopped".to_string())?;
+                    rrx.recv().map_err(|_| "shard stopped".to_string())?
+                })
+            })
+        });
+
+        let role = Role {
+            wal_enabled: cfg.wal_dir.is_some(),
+            is_follower: Arc::clone(&is_follower),
+        };
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let listener_handle = {
             let stop = Arc::clone(&stop);
@@ -594,8 +1069,10 @@ impl Server {
                         Ok((stream, _peer)) => {
                             let stop = Arc::clone(&stop);
                             let txs = shard_txs.clone();
-                            let handle =
-                                std::thread::spawn(move || serve_connection(stream, txs, stop));
+                            let role = role.clone();
+                            let handle = std::thread::spawn(move || {
+                                serve_connection(stream, txs, stop, role)
+                            });
                             let mut conns = conns.lock().expect("conns lock");
                             // Reap finished connections so the handle
                             // list tracks live connections, not the
@@ -622,33 +1099,48 @@ impl Server {
         Ok(ServerHandle {
             addr,
             stop,
+            is_follower,
             shard_txs,
             listener: Some(listener_handle),
             shards,
+            follower,
             conns,
         })
     }
 }
 
+/// The durability/replication role a connection serves under.
+#[derive(Clone)]
+struct Role {
+    /// The server was started with a WAL directory (`WAL_SUBSCRIBE`
+    /// requires it — there is nothing to stream otherwise).
+    wal_enabled: bool,
+    /// Still replicating from a leader: writes answer `READ_ONLY`
+    /// until `PROMOTE` clears this.
+    is_follower: Arc<AtomicBool>,
+}
+
 /// Outcome of a polled exact read.
-enum PolledRead {
+pub(crate) enum PolledRead {
     /// The buffer was filled.
     Done,
     /// Clean EOF at a frame boundary.
     Eof,
-    /// The stop flag was raised while waiting.
+    /// The stop predicate fired while waiting.
     Stopped,
 }
 
 /// `read_exact` that survives the socket's read timeout: partial
 /// progress is kept across `WouldBlock`/`TimedOut` (a stall in the
 /// middle of a large frame must not desynchronize the framing), and the
-/// timeout only serves to poll `stop`. `eof_ok` marks a frame boundary,
-/// where a clean peer close is a normal end of conversation.
-fn read_exact_polled(
+/// timeout only serves to poll `should_stop` (the server's stop flag —
+/// or, on a follower's replication socket, "stopped or promoted").
+/// `eof_ok` marks a frame boundary, where a clean peer close is a
+/// normal end of conversation.
+pub(crate) fn read_exact_polled(
     r: &mut impl io::Read,
     buf: &mut [u8],
-    stop: &AtomicBool,
+    should_stop: impl Fn() -> bool,
     eof_ok: bool,
 ) -> io::Result<PolledRead> {
     let mut filled = 0;
@@ -666,9 +1158,9 @@ fn read_exact_polled(
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                // The connection is closing anyway once `stop` is set;
+                // The connection is closing anyway once stopped;
                 // abandoning a partial frame then is fine.
-                if stop.load(Ordering::SeqCst) {
+                if should_stop() {
                     return Ok(PolledRead::Stopped);
                 }
             }
@@ -685,6 +1177,7 @@ fn serve_connection(
     stream: TcpStream,
     shard_txs: Vec<SyncSender<ShardMsg>>,
     stop: Arc<AtomicBool>,
+    role: Role,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
@@ -693,7 +1186,12 @@ fn serve_connection(
 
     loop {
         let mut header = [0u8; 4];
-        match read_exact_polled(&mut reader, &mut header, &stop, true) {
+        match read_exact_polled(
+            &mut reader,
+            &mut header,
+            || stop.load(Ordering::SeqCst),
+            true,
+        ) {
             Ok(PolledRead::Done) => {}
             Ok(PolledRead::Eof) | Ok(PolledRead::Stopped) | Err(_) => return,
         }
@@ -702,12 +1200,23 @@ fn serve_connection(
             return; // unrecoverable framing error: drop the connection
         }
         let mut body = vec![0u8; n];
-        match read_exact_polled(&mut reader, &mut body, &stop, false) {
+        match read_exact_polled(
+            &mut reader,
+            &mut body,
+            || stop.load(Ordering::SeqCst),
+            false,
+        ) {
             Ok(PolledRead::Done) => {}
             Ok(PolledRead::Eof) | Ok(PolledRead::Stopped) | Err(_) => return,
         }
         let reply = match Request::decode(&body) {
-            Ok(req) => route(req, &shard_txs, &stop),
+            Ok(Request::WalSubscribe) => {
+                // Converts this connection into a one-way replication
+                // stream; serve_subscription only returns when it ends.
+                serve_subscription(&mut writer, &shard_txs, &stop, &role);
+                return;
+            }
+            Ok(req) => route(req, &shard_txs, &stop, &role),
             Err(e) => Reply::Error(ErrorKind::BadRequest, e.to_string()),
         };
         let done = matches!(reply, Reply::Error(ErrorKind::ShuttingDown, _));
@@ -720,12 +1229,116 @@ fn serve_connection(
     }
 }
 
+/// Handles a `WAL_SUBSCRIBE` connection: bootstrap every shard onto a
+/// fresh subscription, ack, then drain queued `WAL_APPEND` frames onto
+/// the socket until the subscriber hangs up or the server stops.
+fn serve_subscription(
+    writer: &mut impl io::Write,
+    shard_txs: &[SyncSender<ShardMsg>],
+    stop: &AtomicBool,
+    role: &Role,
+) {
+    if !role.wal_enabled {
+        let reply = Reply::Error(
+            ErrorKind::Unsupported,
+            "server started without --wal; nothing to replicate".into(),
+        );
+        let _ = write_frame(writer, &reply.encode());
+        return;
+    }
+    let (sub, rx) = subscription();
+    for tx in shard_txs {
+        let (rtx, rrx) = mpsc::channel();
+        // Blocking send: a subscription is rare and may wait out a busy
+        // queue rather than bounce like the hot path does.
+        if tx
+            .send(ShardMsg::Subscribe {
+                sub: sub.clone(),
+                reply: rtx,
+            })
+            .is_err()
+        {
+            let _ = write_frame(
+                writer,
+                &Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into()).encode(),
+            );
+            return;
+        }
+        match rrx.recv() {
+            Ok(Reply::Ok) => {}
+            Ok(other) => {
+                let _ = write_frame(writer, &other.encode());
+                return;
+            }
+            Err(_) => {
+                let _ = write_frame(
+                    writer,
+                    &Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into()).encode(),
+                );
+                return;
+            }
+        }
+    }
+    if write_frame(writer, &Reply::Ok.encode()).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(frame) => {
+                if write_frame(writer, &frame).is_err() {
+                    return; // subscriber hung up; shards drop the sub on next push
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
 /// Routes one decoded request and waits for the shard's reply.
-fn route(req: Request, shard_txs: &[SyncSender<ShardMsg>], stop: &AtomicBool) -> Reply {
+fn route(
+    req: Request,
+    shard_txs: &[SyncSender<ShardMsg>],
+    stop: &AtomicBool,
+    role: &Role,
+) -> Reply {
     if stop.load(Ordering::SeqCst) {
         return Reply::Error(ErrorKind::ShuttingDown, "server is shutting down".into());
     }
+    // A not-yet-promoted follower serves reads from replicated state;
+    // writes must go to the leader (or wait for PROMOTE).
+    if role.is_follower.load(Ordering::SeqCst)
+        && matches!(
+            req,
+            Request::Create { .. }
+                | Request::Insert { .. }
+                | Request::InsertBatch { .. }
+                | Request::Delete { .. }
+                | Request::Checkpoint { .. }
+        )
+    {
+        return Reply::Error(
+            ErrorKind::ReadOnly,
+            "follower is read-only until PROMOTE".into(),
+        );
+    }
     let (op, tenant) = match req {
+        Request::Promote => {
+            return if role.is_follower.swap(false, Ordering::SeqCst) {
+                // The replication thread sees the flag and detaches.
+                Reply::Ok
+            } else {
+                Reply::Error(ErrorKind::Unsupported, "server is not a follower".into())
+            };
+        }
+        Request::WalSubscribe => {
+            // Handled stream-side in serve_connection; reaching route
+            // means a non-connection caller (not supported).
+            return Reply::Error(
+                ErrorKind::Unsupported,
+                "WAL_SUBSCRIBE is stream-only".into(),
+            );
+        }
         Request::Shutdown => {
             stop.store(true, Ordering::SeqCst);
             // Ack, then the conn thread closes; `ServerHandle::wait`

@@ -1,0 +1,46 @@
+//! Durability for `fairsw-serve`: a per-tenant write-ahead log, its
+//! recovery path, and hot-standby replication built on the same
+//! records.
+//!
+//! ## Design
+//!
+//! Every accepted write (`CREATE`, `INSERT`, `INSERT_BATCH`) is encoded
+//! as a [`WalRecord`] and appended — CRC-framed — to the tenant's log
+//! *before* the acknowledgement leaves the shard. Appends hit the page
+//! cache only; the shard's existing flush tick fsyncs each tenant's
+//! open segment once per tick (**group commit**), so durability costs
+//! one `fdatasync` per tenant per tick instead of one per request.
+//! The loss window is therefore:
+//!
+//! * `kill -9` — nothing: the page cache survives the process.
+//! * power loss — at most the unsynced tail of the current tick,
+//!   reported live as `wal_unsynced_bytes` in `STATS`.
+//!
+//! A torn append (crash mid-write) is caught on replay by the
+//! per-record CRC + length framing and truncated away — at most one
+//! partially-written batch is lost, never a panic, never a misparse.
+//!
+//! ## Module map
+//!
+//! * [`segment`] — the record codec, CRC framing, torn-tail segment
+//!   reader, and the shared fsync'd `tmp + rename` helper
+//!   ([`atomic_write`]) that the snapshot spool uses too.
+//! * [`writer`] — [`TenantWal`]: the append path, group-commit
+//!   [`sync`](TenantWal::sync), segment rotation, and
+//!   [`compact`](TenantWal::compact)ion, which folds the log into a
+//!   spool snapshot so disk and recovery time stay bounded.
+//! * [`replay`] — startup recovery: [`read_log`] + [`build_tenant`]
+//!   rebuild each tenant from spool snapshot + WAL suffix, using each
+//!   batch record's stream position to skip what the snapshot covers.
+//! * [`replicate`] — the `WAL_SUBSCRIBE` fan-out on the leader and the
+//!   apply/reconnect loop a `--follow` process runs; the same records
+//!   stream over the wire as `WAL_APPEND` reply frames.
+
+pub mod replay;
+pub mod replicate;
+pub mod segment;
+pub mod writer;
+
+pub use replay::{build_tenant, read_log, ReplayedTenant};
+pub use segment::{atomic_write, crc32, read_segment, WalRecord};
+pub use writer::{LogCut, TenantWal, WalTuning};

@@ -1,0 +1,255 @@
+//! Hot-standby replication: subscriber fan-out on the leader, the
+//! streaming apply loop on the follower.
+//!
+//! A connection that sends `WAL_SUBSCRIBE` becomes a one-way stream of
+//! `WAL_APPEND` reply frames. On the leader side each shard keeps a
+//! list of `Subscriber`s; at accept time — right after the record is
+//! appended to the local WAL — the shard pushes the already-encoded
+//! frame to every subscriber with a non-blocking `try_send`. A
+//! subscriber whose bounded queue is full (or whose connection died) is
+//! dropped from the list: a slow follower must never be able to stall
+//! the ingest hot path, and it can always resubscribe — bootstrap
+//! brings it back to current state.
+//!
+//! The follower side is `follower_loop`: connect, subscribe, apply
+//! each incoming record through the server's shard channels, and
+//! reconnect with backoff on any failure, until the process stops or
+//! the follower is promoted out of follower-hood.
+
+use super::segment::WalRecord;
+use crate::protocol::{write_frame, Reply, Request, MAX_FRAME};
+use crate::server::{read_exact_polled, PolledRead};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Encoded frames a subscriber's connection may buffer before the
+/// leader declares it too slow and drops it.
+pub const SUBSCRIBER_QUEUE: usize = 1024;
+
+/// Reconnect backoff of a follower that lost (or cannot reach) its
+/// leader.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(300);
+
+/// Creates a subscription: the [`Subscriber`] half lives in the shards
+/// (one clone per shard), the [`SubscriptionRx`] half in the connection
+/// thread that drains frames onto the socket.
+pub(crate) fn subscription() -> (Subscriber, SubscriptionRx) {
+    let (tx, rx) = sync_channel(SUBSCRIBER_QUEUE);
+    let queued = Arc::new(AtomicU64::new(0));
+    (
+        Subscriber {
+            tx,
+            queued: Arc::clone(&queued),
+        },
+        SubscriptionRx { rx, queued },
+    )
+}
+
+/// The shard-side half of one replication stream.
+#[derive(Clone)]
+pub(crate) struct Subscriber {
+    tx: SyncSender<Vec<u8>>,
+    queued: Arc<AtomicU64>,
+}
+
+impl Subscriber {
+    /// Queues one encoded `WAL_APPEND` frame without blocking. Returns
+    /// `false` when the subscriber is dead or too slow — the caller
+    /// drops it from the fan-out list.
+    pub fn push(&self, frame: Vec<u8>) -> bool {
+        match self.tx.try_send(frame) {
+            Ok(()) => {
+                self.queued.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+
+    /// Queues one frame, waiting for space if the queue is full — used
+    /// only for the bootstrap burst right after `WAL_SUBSCRIBE`, whose
+    /// record count may exceed [`SUBSCRIBER_QUEUE`] (the subscriber is
+    /// actively draining; live-tail pushes stay non-blocking). Returns
+    /// `false` when the subscriber hung up.
+    pub fn push_blocking(&self, frame: Vec<u8>) -> bool {
+        match self.tx.send(frame) {
+            Ok(()) => {
+                self.queued.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Frames queued but not yet written to the socket — this
+    /// subscriber's replication lag in records.
+    pub fn lag(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+}
+
+/// The connection-side half: frames queued by the shards, drained onto
+/// the subscriber's socket.
+pub(crate) struct SubscriptionRx {
+    rx: Receiver<Vec<u8>>,
+    queued: Arc<AtomicU64>,
+}
+
+impl SubscriptionRx {
+    /// Waits up to `timeout` for the next queued frame.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, RecvTimeoutError> {
+        let frame = self.rx.recv_timeout(timeout)?;
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        Ok(frame)
+    }
+}
+
+/// Reads one length-prefixed frame with stop polling. `Ok(None)` means
+/// the stream ended (EOF or stop) — the caller reconnects or exits.
+fn read_frame_polled(
+    r: &mut impl io::Read,
+    should_stop: &impl Fn() -> bool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match read_exact_polled(r, &mut header, should_stop, true)? {
+        PolledRead::Done => {}
+        PolledRead::Eof | PolledRead::Stopped => return Ok(None),
+    }
+    let n = u32::from_le_bytes(header) as usize;
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized replication frame",
+        ));
+    }
+    let mut body = vec![0u8; n];
+    match read_exact_polled(r, &mut body, should_stop, false)? {
+        PolledRead::Done => Ok(Some(body)),
+        PolledRead::Eof | PolledRead::Stopped => Ok(None),
+    }
+}
+
+/// The follower's replication thread: subscribe to `leader`, apply
+/// every streamed record via `apply`, reconnect with backoff on any
+/// failure. Runs until the server stops or the follower is promoted
+/// (`is_follower` cleared). Each (re)connection replays a full
+/// bootstrap — [`build_tenant`](super::replay::build_tenant)'s
+/// position-based skip makes re-delivery idempotent.
+pub(crate) fn follower_loop(
+    leader: &str,
+    stop: &Arc<AtomicBool>,
+    is_follower: &Arc<AtomicBool>,
+    apply: impl Fn(String, WalRecord) -> Result<(), String>,
+) {
+    let done = || stop.load(Ordering::SeqCst) || !is_follower.load(Ordering::SeqCst);
+    let mut warned = false;
+    while !done() {
+        let mut stream = match TcpStream::connect(leader) {
+            Ok(s) => s,
+            Err(e) => {
+                if !warned {
+                    eprintln!("fairsw-served: leader {leader} unreachable ({e}), retrying");
+                    warned = true;
+                }
+                backoff(&done);
+                continue;
+            }
+        };
+        warned = false;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        if write_frame(&mut stream, &Request::WalSubscribe.encode()).is_err() {
+            backoff(&done);
+            continue;
+        }
+        // First frame is the subscription ack.
+        match read_frame_polled(&mut stream, &done) {
+            Ok(Some(body)) if Reply::decode(&body) == Ok(Reply::Ok) => {}
+            Ok(None) => continue, // stopped or leader closed
+            _ => {
+                eprintln!("fairsw-served: leader {leader} refused WAL_SUBSCRIBE, retrying");
+                backoff(&done);
+                continue;
+            }
+        }
+        // Stream frames until the connection or the process ends
+        // (`Ok(None)` and `Err` both fall out to reconnect below).
+        while let Ok(Some(body)) = read_frame_polled(&mut stream, &done) {
+            match Reply::decode(&body) {
+                Ok(Reply::Wal { tenant, record }) => {
+                    if let Err(e) = apply(tenant, record) {
+                        eprintln!("fairsw-served: replication apply failed: {e}; resyncing");
+                        break; // reconnect → fresh bootstrap
+                    }
+                }
+                Ok(other) => {
+                    eprintln!("fairsw-served: unexpected replication frame {other:?}");
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("fairsw-served: bad replication frame: {e}; resyncing");
+                    break;
+                }
+            }
+        }
+        if !done() {
+            backoff(&done);
+        }
+    }
+}
+
+/// Sleeps the reconnect backoff in small slices so stop/promote are
+/// honored promptly.
+fn backoff(done: &impl Fn() -> bool) {
+    let slice = Duration::from_millis(25);
+    let mut waited = Duration::ZERO;
+    while waited < RECONNECT_BACKOFF && !done() {
+        std::thread::sleep(slice);
+        waited += slice;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscription_tracks_lag_and_drops_slow_subscribers() {
+        let (sub, rx) = subscription();
+        assert!(sub.push(vec![1]));
+        assert!(sub.push(vec![2]));
+        assert_eq!(sub.lag(), 2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), vec![1]);
+        assert_eq!(sub.lag(), 1);
+        drop(rx);
+        assert!(!sub.push(vec![3]), "dead subscriber must be rejected");
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let (sub, _rx) = subscription();
+        for i in 0..SUBSCRIBER_QUEUE {
+            assert!(sub.push(vec![i as u8]));
+        }
+        assert!(!sub.push(vec![0]), "overflow must not block the shard");
+        assert_eq!(sub.lag(), SUBSCRIBER_QUEUE as u64);
+    }
+
+    #[test]
+    fn follower_loop_exits_on_promote_without_a_leader() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let follower = Arc::new(AtomicBool::new(true));
+        let f2 = Arc::clone(&follower);
+        let t = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || follower_loop("127.0.0.1:1", &stop, &f2, |_, _| Ok(()))
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        follower.store(false, Ordering::SeqCst);
+        t.join().unwrap();
+    }
+}

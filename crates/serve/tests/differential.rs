@@ -18,9 +18,10 @@ use fairsw_metric::{Colored, EuclidPoint, Euclidean};
 use fairsw_serve::loadgen::Client;
 use fairsw_serve::protocol::{ErrorKind, Reply, TenantConfig, WireStats, WireVariant};
 use fairsw_serve::server::{ServeConfig, Server};
-use std::path::PathBuf;
+use fairsw_serve::WalTuning;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const WINDOW: usize = 40;
 const DMIN: f64 = 1e-3;
@@ -48,6 +49,7 @@ fn serve_config() -> ServeConfig {
         tick: Duration::from_millis(5),
         spool_dir: None,
         parallelism: ParallelismSpec::Auto, // honors FAIRSW_THREADS
+        ..ServeConfig::default()
     }
 }
 
@@ -156,6 +158,14 @@ fn expected_stats(
         query_p50_us: 0.0,
         query_p90_us: 0.0,
         query_p99_us: 0.0,
+        // Durability bookkeeping is service-side: blanked by
+        // `deterministic()` on the server reply, zero in the oracle.
+        wal_bytes: 0,
+        wal_segments: 0,
+        wal_unsynced_bytes: 0,
+        wal_fsync_lag_us: 0.0,
+        followers: 0,
+        repl_lag: 0,
     }
 }
 
@@ -386,4 +396,323 @@ fn delete_then_recreate_reuses_a_reset_engine_exactly() {
         expected_stats(&oracle, config.variant.code(), second.len() as u64),
     );
     handle.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Durability lanes: kill -9 mid-ingest, restart from the WAL; kill the
+// leader, promote a hot standby. Both enforce the durable-prefix
+// contract — the survivor answers byte-identically to an oracle fed
+// exactly the recovered prefix, and loses at most one unsynced batch.
+// ---------------------------------------------------------------------------
+
+/// Tiny WAL thresholds so a 160-point stream exercises segment
+/// rotation *and* snapshot compaction mid-test.
+const SEGMENT_BYTES: u64 = 512;
+const COMPACT_BYTES: u64 = 2048;
+
+/// Spawns a real `fairsw-served` subprocess (the thing we can
+/// `SIGKILL`) on an ephemeral port and waits for its bound address.
+fn spawn_served(dir: &Path, extra: &[String]) -> (std::process::Child, std::net::SocketAddr) {
+    std::fs::create_dir_all(dir).expect("create served dir");
+    let port_file = dir.join("addr.port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_fairsw-served"))
+        .args(["--addr", "127.0.0.1:0", "--shards", "2"])
+        .args(["--flush-batch", "16", "--tick-ms", "5"])
+        .arg("--port-file")
+        .arg(&port_file)
+        .args(extra)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn fairsw-served");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if let Ok(addr) = s.trim().parse() {
+                return (child, addr);
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("fairsw-served exited before binding: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for fairsw-served to bind"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Durability flags for one server rooted at `dir`.
+fn wal_args(dir: &Path) -> Vec<String> {
+    vec![
+        "--spool".into(),
+        dir.join("spool").display().to_string(),
+        "--wal".into(),
+        dir.join("wal").display().to_string(),
+        "--wal-segment-bytes".into(),
+        SEGMENT_BYTES.to_string(),
+        "--wal-compact-bytes".into(),
+        COMPACT_BYTES.to_string(),
+    ]
+}
+
+/// One snapshot-capable tenant (compaction folds its WAL into the
+/// spool) and one oblivious tenant (the WAL is its only durability).
+fn wal_tenants() -> Vec<(&'static str, TenantConfig)> {
+    vec![
+        (
+            "wal-fixed",
+            TenantConfig::new(
+                WINDOW,
+                vec![2, 1],
+                WireVariant::Fixed {
+                    dmin: DMIN,
+                    dmax: DMAX,
+                },
+            ),
+        ),
+        (
+            "wal-obliv",
+            TenantConfig::new(WINDOW, vec![2, 1], WireVariant::Oblivious),
+        ),
+    ]
+}
+
+/// Recovered point count for `tenant`, with the replay invariant that
+/// nothing is left buffered.
+fn durable_points(client: &mut Client, tenant: &str) -> usize {
+    match client.stats(tenant).expect("stats reply") {
+        Reply::Stats(s) => {
+            assert_eq!(s.buffered, 0, "{tenant}: replay must leave no buffer");
+            assert_eq!(s.time, s.points_total, "{tenant}: replay must be applied");
+            s.points_total as usize
+        }
+        other => panic!("{tenant}: unexpected stats reply {other:?}"),
+    }
+}
+
+/// Verifies the durable-prefix contract for one tenant on a recovered
+/// server, then streams the rest of `points` and verifies full-stream
+/// identity: the survivor keeps serving, bit-for-bit.
+fn verify_recovered_tenant(
+    client: &mut Client,
+    tenant: &str,
+    config: &TenantConfig,
+    points: &[Colored<EuclidPoint>],
+    acked: usize,
+    batch: usize,
+) {
+    let durable = durable_points(client, tenant);
+    assert!(
+        durable >= acked,
+        "{tenant}: lost acked points ({acked} acked, {durable} recovered)"
+    );
+    assert!(
+        durable - acked <= batch,
+        "{tenant}: recovered more than the one in-flight batch past the acks \
+         ({acked} acked, {durable} recovered, batch {batch})"
+    );
+    assert!(durable <= points.len());
+    let mut oracle = oracle_for(config);
+    for p in &points[..durable] {
+        oracle.insert(p.clone());
+    }
+    let got = client.query(tenant).expect("query reply");
+    assert_reply_bytes(
+        &format!("{tenant} durable prefix t={durable}"),
+        &got,
+        &Reply::from_query(&oracle.query()),
+    );
+    check_stats(
+        &format!("{tenant} durable prefix"),
+        client,
+        tenant,
+        expected_stats(&oracle, config.variant.code(), durable as u64),
+    );
+    // Resume the stream where the durable prefix ends.
+    assert_eq!(
+        client.insert_batch(tenant, &points[durable..]).unwrap(),
+        Reply::Ok,
+        "{tenant}: resume ingest"
+    );
+    for p in &points[durable..] {
+        oracle.insert(p.clone());
+    }
+    let got = client.query(tenant).expect("query reply");
+    assert_reply_bytes(
+        &format!("{tenant} resumed to t={}", points.len()),
+        &got,
+        &Reply::from_query(&oracle.query()),
+    );
+}
+
+#[test]
+fn wal_kill_nine_mid_ingest_loses_at_most_one_unsynced_batch() {
+    const BATCH: usize = 7; // misaligned with the flush threshold of 16
+    let dir = scratch_dir("wal-kill");
+    let (child, addr) = spawn_served(&dir, &wal_args(&dir));
+    let points = stream();
+    let tenants = wal_tenants();
+
+    let mut client = Client::connect(addr).expect("connect");
+    for (name, config) in &tenants {
+        assert_eq!(client.create(name, config).unwrap(), Reply::Ok);
+    }
+    // Warm up a few guaranteed batches, then check the STATS durability
+    // fields are live on a WAL-backed leader.
+    let mut acked = vec![0usize; tenants.len()];
+    let warmup = 3;
+    for chunk in points.chunks(BATCH).take(warmup) {
+        for (i, (name, _)) in tenants.iter().enumerate() {
+            assert_eq!(client.insert_batch(name, chunk).unwrap(), Reply::Ok);
+            acked[i] += chunk.len();
+        }
+    }
+    match client.stats("wal-obliv").unwrap() {
+        Reply::Stats(s) => {
+            assert!(s.wal_bytes > 0, "WAL bytes must be reported");
+            assert!(s.wal_segments >= 1, "WAL segments must be reported");
+        }
+        other => panic!("unexpected stats reply {other:?}"),
+    }
+
+    // SIGKILL at a random moment while the rest of the stream is in
+    // flight (seed printed so a failure can be replayed by pinning it).
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .subsec_nanos() as u64;
+    let delay = Duration::from_millis(2 + seed % 60);
+    println!("kill -9 scheduled {delay:?} into the tail ingest (seed {seed})");
+    let killer = std::thread::spawn(move || {
+        let mut child = child;
+        std::thread::sleep(delay);
+        child.kill().expect("SIGKILL fairsw-served");
+        child.wait().expect("reap fairsw-served");
+    });
+    'ingest: for chunk in points.chunks(BATCH).skip(warmup) {
+        for (i, (name, _)) in tenants.iter().enumerate() {
+            match client.insert_batch(name, chunk) {
+                Ok(Reply::Ok) => acked[i] += chunk.len(),
+                Ok(other) => panic!("unexpected ingest reply {other:?}"),
+                // The kill landed: whatever was acked is the contract.
+                Err(_) => break 'ingest,
+            }
+        }
+        // Pace the stream so the random kill usually lands mid-ingest.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    killer.join().expect("killer thread");
+
+    // Restart in-process on the same spool + WAL and hold every reply
+    // against an oracle fed exactly the recovered prefix.
+    let cfg = ServeConfig {
+        spool_dir: Some(dir.join("spool")),
+        wal_dir: Some(dir.join("wal")),
+        wal_tuning: WalTuning {
+            segment_bytes: SEGMENT_BYTES,
+            compact_bytes: COMPACT_BYTES,
+        },
+        ..serve_config()
+    };
+    let handle = Server::start("127.0.0.1:0", cfg).expect("server restarts from WAL");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for (i, (name, config)) in tenants.iter().enumerate() {
+        verify_recovered_tenant(&mut client, name, config, &points, acked[i], BATCH);
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn leader_kill_follower_promote_resumes_bit_identically() {
+    const BATCH: usize = 7;
+    let dir = scratch_dir("failover");
+    let (mut leader, leader_addr) =
+        spawn_served(&dir.join("leader"), &wal_args(&dir.join("leader")));
+    let points = stream();
+    let tenants = wal_tenants();
+    let two_thirds = 2 * points.len() / 3;
+
+    // Phase 1: the leader takes the first two thirds alone — the
+    // standby's bootstrap must carry all of it (snapshot for the fixed
+    // tenant, full log replay for the oblivious one).
+    let mut client = Client::connect(leader_addr).expect("connect leader");
+    for (name, config) in &tenants {
+        assert_eq!(client.create(name, config).unwrap(), Reply::Ok);
+    }
+    let mut sent = 0usize;
+    for chunk in points[..two_thirds].chunks(BATCH) {
+        for (name, _) in &tenants {
+            assert_eq!(client.insert_batch(name, chunk).unwrap(), Reply::Ok);
+        }
+        sent += chunk.len();
+    }
+
+    // Phase 2: hot standby comes up, bootstraps, and follows.
+    let follower_cfg = ServeConfig {
+        spool_dir: Some(dir.join("f-spool")),
+        wal_dir: Some(dir.join("f-wal")),
+        wal_tuning: WalTuning {
+            segment_bytes: SEGMENT_BYTES,
+            compact_bytes: COMPACT_BYTES,
+        },
+        follow: Some(leader_addr.to_string()),
+        ..serve_config()
+    };
+    let follower = Server::start("127.0.0.1:0", follower_cfg).expect("follower starts");
+    assert!(follower.is_follower());
+    let mut fclient = Client::connect(follower.local_addr()).expect("connect follower");
+    let caught_up = |fclient: &mut Client, target: usize| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for (name, _) in &tenants {
+            loop {
+                match fclient.stats(name) {
+                    Ok(Reply::Stats(s)) if s.points_total >= target as u64 => break,
+                    // Not bootstrapped yet (or mid-catch-up): retry.
+                    Ok(_) => {}
+                    Err(e) => panic!("{name}: follower stats failed: {e}"),
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "{name}: follower never caught up to t={target}"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    caught_up(&mut fclient, sent);
+    // A follower refuses writes until promoted.
+    assert!(matches!(
+        fclient.insert_batch("wal-fixed", &points[..1]).unwrap(),
+        Reply::Error(ErrorKind::ReadOnly, _)
+    ));
+
+    // Phase 3: live tail — more leader ingest streams through the
+    // subscription, not the bootstrap.
+    for chunk in points[two_thirds..].chunks(BATCH).take(3) {
+        for (name, _) in &tenants {
+            assert_eq!(client.insert_batch(name, chunk).unwrap(), Reply::Ok);
+        }
+        sent += chunk.len();
+    }
+    caught_up(&mut fclient, sent);
+
+    // Phase 4: kill the leader, promote the standby, verify the durable
+    // prefix (the catch-up barrier makes it exactly `sent`) and resume
+    // the stream on the new leader.
+    leader.kill().expect("SIGKILL leader");
+    leader.wait().expect("reap leader");
+    assert_eq!(fclient.promote().unwrap(), Reply::Ok);
+    assert!(!follower.is_follower());
+    assert!(matches!(
+        fclient.promote().unwrap(),
+        Reply::Error(ErrorKind::Unsupported, _)
+    ));
+    for (name, config) in &tenants {
+        verify_recovered_tenant(&mut fclient, name, config, &points, sent, BATCH);
+    }
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

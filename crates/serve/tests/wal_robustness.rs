@@ -1,0 +1,291 @@
+//! Decoder-robustness proptests for the WAL: random truncation and
+//! single-byte corruption must never panic and must always leave
+//! exactly the valid record prefix — on a raw segment, on a
+//! `TenantWal`-written log with a torn tail, and on a compacted log.
+//!
+//! Style follows the snapshot-format proptests in
+//! `crates/core/src/snapshot.rs` (96 cases per property).
+
+use fairsw_core::{ParallelismSpec, SlidingWindowClustering};
+use fairsw_metric::{Colored, EuclidPoint};
+use fairsw_serve::protocol::{TenantConfig, WireVariant};
+use fairsw_serve::wal::segment::{
+    encode_batch_body, encode_create_body, frame_record, read_segment, segment_name,
+};
+use fairsw_serve::wal::{build_tenant, read_log, LogCut, TenantWal, WalRecord, WalTuning};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn cp(i: u64) -> Colored<EuclidPoint> {
+    Colored::new(
+        EuclidPoint::new(vec![i as f64, -0.5 * i as f64]),
+        (i % 2) as u32,
+    )
+}
+
+fn config() -> TenantConfig {
+    TenantConfig::new(
+        16,
+        vec![1, 1],
+        WireVariant::Fixed {
+            dmin: 1e-3,
+            dmax: 1e4,
+        },
+    )
+}
+
+/// A representative log: `Create` followed by batches of varying size.
+fn valid_records() -> Vec<WalRecord> {
+    let mut records = vec![WalRecord::Create(config())];
+    let mut t = 0u64;
+    for b in 0..6u64 {
+        let points: Vec<_> = (0..3 + b % 4).map(|j| cp(t + j)).collect();
+        t += points.len() as u64;
+        records.push(WalRecord::Batch {
+            start: t - points.len() as u64,
+            points,
+        });
+    }
+    records
+}
+
+/// Frames `records` into one segment's bytes, returning the byte offset
+/// where each frame ends.
+fn segment_bytes(records: &[WalRecord]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut ends = Vec::new();
+    for r in records {
+        let mut body = Vec::new();
+        r.encode(&mut body);
+        bytes.extend_from_slice(&frame_record(&body));
+        ends.push(bytes.len());
+    }
+    (bytes, ends)
+}
+
+/// A scratch directory unique to this test process + call.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fairsw-walprop-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny() -> WalTuning {
+    WalTuning {
+        segment_bytes: 128,
+        compact_bytes: 1 << 20,
+    }
+}
+
+/// Points applied by replaying `records` (what a rebuilt engine's clock
+/// must read).
+fn batch_points(records: &[WalRecord]) -> u64 {
+    records
+        .iter()
+        .map(|r| match r {
+            WalRecord::Batch { points, .. } => points.len() as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_truncation_keeps_exactly_the_intact_frames(frac in 0.0..1.0f64) {
+        let originals = valid_records();
+        let (bytes, ends) = segment_bytes(&originals);
+        let cut = ((bytes.len() as f64) * frac) as usize % bytes.len();
+        let (records, valid) = read_segment(&bytes[..cut]);
+        // Exactly the frames that fit whole in the prefix survive; the
+        // valid prefix ends at the last intact frame boundary.
+        let intact = ends.iter().filter(|e| **e <= cut).count();
+        prop_assert_eq!(records.len(), intact);
+        prop_assert_eq!(valid, if intact == 0 { 0 } else { ends[intact - 1] });
+        prop_assert_eq!(&records[..], &originals[..intact]);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_and_keeps_a_valid_prefix(
+        frac in 0.0..1.0f64,
+        xor in 1u8..255,
+    ) {
+        let originals = valid_records();
+        let (mut bytes, ends) = segment_bytes(&originals);
+        let pos = ((bytes.len() as f64) * frac) as usize % bytes.len();
+        bytes[pos] ^= xor;
+        // Must return (not panic), and whatever it returns is a prefix
+        // of the uncorrupted records: frames before the damaged one all
+        // decode, nothing past the damage is ever invented.
+        let (records, valid) = read_segment(&bytes);
+        let damaged_frame = ends.iter().filter(|e| **e <= pos).count();
+        prop_assert!(records.len() >= damaged_frame,
+            "frames before the corruption must survive");
+        prop_assert!(records.len() <= originals.len());
+        prop_assert_eq!(&records[..], &originals[..records.len()]);
+        prop_assert!(valid <= bytes.len());
+    }
+
+    #[test]
+    fn torn_tail_replay_keeps_exactly_the_valid_prefix_and_resumes(
+        nbatches in 1usize..16,
+        torn in 1usize..48,
+    ) {
+        let dir = scratch_dir("torn");
+        let mut wal = TenantWal::create(&dir, tiny()).unwrap();
+        wal.append(&encode_create_body(&config())).unwrap();
+        let mut t = 0u64;
+        for b in 0..nbatches as u64 {
+            let points: Vec<_> = (0..1 + b % 5).map(|j| cp(t + j)).collect();
+            wal.append(&encode_batch_body(t, &points)).unwrap();
+            t += points.len() as u64;
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (full, _) = read_log(&dir).unwrap();
+
+        // Tear the open segment: chop `torn` bytes off its end (clamped
+        // to leave the file non-negative), like a crash mid-append.
+        let (last_seq, last_path) = fairsw_serve::wal::segment::list_segments(&dir)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let len = std::fs::metadata(&last_path).unwrap().len();
+        let keep = len.saturating_sub(torn as u64);
+        let f = std::fs::OpenOptions::new().write(true).open(&last_path).unwrap();
+        f.set_len(keep).unwrap();
+        drop(f);
+
+        let (records, cut) = read_log(&dir).unwrap();
+        prop_assert!(records.len() <= full.len());
+        prop_assert_eq!(&records[..], &full[..records.len()]);
+        prop_assert!(cut.seq <= last_seq);
+
+        // A rebuilt tenant applies exactly the surviving batches — or,
+        // if the tear ate the Create record itself, fails cleanly.
+        match build_tenant(None, &records, ParallelismSpec::Sequential) {
+            Ok(replayed) => {
+                prop_assert_eq!(replayed.engine.time(), batch_points(&records));
+                prop_assert!(records.iter().any(|r| matches!(r, WalRecord::Create(_))));
+            }
+            Err(_) => prop_assert!(
+                !records.iter().any(|r| matches!(r, WalRecord::Create(_))),
+                "replay may only fail when the Create record is gone"
+            ),
+        }
+
+        // Reopen at the cut and append: the log must keep working, and
+        // the new record lands right after the surviving prefix.
+        let mut wal = TenantWal::reopen(&dir, tiny(), cut).unwrap();
+        let extra: Vec<_> = (0..2).map(cp).collect();
+        wal.append(&encode_batch_body(batch_points(&records), &extra)).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (resumed, _) = read_log(&dir).unwrap();
+        prop_assert_eq!(resumed.len(), records.len() + 1);
+        prop_assert_eq!(&resumed[..records.len()], &records[..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_history_and_the_compacted_log_stays_robust(
+        nbefore in 1usize..10,
+        nafter in 0usize..6,
+        torn in 0usize..24,
+    ) {
+        let dir = scratch_dir("compact");
+        let mut wal = TenantWal::create(&dir, tiny()).unwrap();
+        wal.append(&encode_create_body(&config())).unwrap();
+        let mut t = 0u64;
+        for _ in 0..nbefore {
+            let points: Vec<_> = (0..3).map(|j| cp(t + j)).collect();
+            wal.append(&encode_batch_body(t, &points)).unwrap();
+            t += 3;
+        }
+        wal.compact().unwrap();
+        prop_assert_eq!(wal.segments(), 1, "compaction must leave one segment");
+        // The server reseeds a compacted log with its Create record so
+        // it stays self-describing; mirror that here.
+        wal.append(&encode_create_body(&config())).unwrap();
+        let mut expected = vec![WalRecord::Create(config())];
+        for _ in 0..nafter {
+            let points: Vec<_> = (0..2).map(|j| cp(t + j)).collect();
+            wal.append(&encode_batch_body(t, &points)).unwrap();
+            expected.push(WalRecord::Batch { start: t, points });
+            t += 2;
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Only post-compaction records remain...
+        let (records, _) = read_log(&dir).unwrap();
+        prop_assert_eq!(&records[..], &expected[..]);
+
+        // ...and a compacted segment torn at the tail degrades exactly
+        // like any other: intact frame prefix, no panic.
+        let (_, last_path) = fairsw_serve::wal::segment::list_segments(&dir)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let bytes = std::fs::read(&last_path).unwrap();
+        let (whole, _) = read_segment(&bytes);
+        let keep = bytes.len().saturating_sub(torn);
+        let (torn_records, valid) = read_segment(&bytes[..keep]);
+        prop_assert!(valid <= keep);
+        prop_assert_eq!(&torn_records[..], &whole[..torn_records.len()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_records_roundtrip_through_frame_and_segment(
+        start in 0u64..(1u64 << 48),
+        pts in proptest::collection::vec((-32_768i32..32_768, 0u32..4), 0..20),
+    ) {
+        let points: Vec<_> = pts
+            .iter()
+            .map(|(x, c)| Colored::new(EuclidPoint::new(vec![*x as f64, 0.25 * *x as f64]), *c))
+            .collect();
+        let record = WalRecord::Batch { start, points };
+        let mut body = Vec::new();
+        record.encode(&mut body);
+        let mut input = &body[..];
+        let decoded = WalRecord::decode(&mut input).unwrap();
+        prop_assert!(input.is_empty(), "decode must consume the whole body");
+        prop_assert_eq!(&decoded, &record);
+        let framed = frame_record(&body);
+        let (records, valid) = read_segment(&framed);
+        prop_assert_eq!(valid, framed.len());
+        prop_assert_eq!(records, vec![record]);
+    }
+
+    #[test]
+    fn snapshot_and_delete_records_roundtrip(blob in proptest::collection::vec(0u8..255, 0..256)) {
+        for record in [WalRecord::Snapshot(blob.clone()), WalRecord::Delete, WalRecord::Create(config())] {
+            let mut body = Vec::new();
+            record.encode(&mut body);
+            let mut input = &body[..];
+            prop_assert_eq!(&WalRecord::decode(&mut input).unwrap(), &record);
+            prop_assert!(input.is_empty());
+        }
+    }
+}
+
+/// Not a proptest, but it anchors the constants the properties rely on:
+/// an absent directory is an empty log at the canonical first cut.
+#[test]
+fn absent_log_directory_is_an_empty_log() {
+    let dir = scratch_dir("absent");
+    let (records, cut) = read_log(&dir).unwrap();
+    assert!(records.is_empty());
+    assert_eq!(cut, LogCut { seq: 1, offset: 0 });
+    // And the segment naming the cut refers to is the one `create`
+    // would open first.
+    assert_eq!(segment_name(cut.seq), "00000001.wal");
+}
