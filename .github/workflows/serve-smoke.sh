@@ -29,6 +29,13 @@ done
 ADDR="$(cat "$PORT_FILE")"
 echo "server at $ADDR (FAIRSW_THREADS=${FAIRSW_THREADS:-unset})"
 
+# Read-heavy burst first: 95/5 query/ingest with Zipf-skewed tenants —
+# repeat queries against an often-unchanged window exercise the serve-
+# side result cache on this thread leg; every query must still answer.
+./target/release/fairsw-loadgen \
+    --addr "$ADDR" --tenants 4 --points 2000 --batch 128 --window 400 \
+    --mix read-heavy
+
 # Short burst: 4 tenants, batched ingest, final queries must answer;
 # --shutdown asks the server to exit cleanly afterwards.
 ./target/release/fairsw-loadgen \

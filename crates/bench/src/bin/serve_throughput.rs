@@ -108,8 +108,8 @@ fn main() {
                 let got = checker.query(&tenant).expect("query reply");
                 let want = Reply::from_query(&oracle.query());
                 assert_eq!(
-                    got.encode(),
-                    want.encode(),
+                    got.encode().unwrap(),
+                    want.encode().unwrap(),
                     "lane tenants={tenants} batch={batch}: tenant {i} diverged from oracle"
                 );
             }

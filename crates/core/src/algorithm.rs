@@ -13,6 +13,7 @@ use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, Sol
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
 use crate::guess_set::GuessSet;
+use crate::memo::{prefix_for, QueryMemo};
 use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_metric::{packing_scan, Colored, ColoredId, DistScratch, Metric, Resolver, ScratchPool};
 use fairsw_sequential::{FairCenterSolver, Jones};
@@ -39,6 +40,7 @@ pub struct FairSlidingWindow<M: Metric> {
     pub(crate) t: u64,
     pub(crate) exec: Exec,
     pub(crate) scratch: QueryScratch<M::Point>,
+    pub(crate) memo: QueryMemo<M::Point>,
 }
 
 impl<M: Metric> FairSlidingWindow<M> {
@@ -65,6 +67,7 @@ impl<M: Metric> FairSlidingWindow<M> {
             t: 0,
             exec: Exec::default(),
             scratch: QueryScratch::default(),
+            memo: QueryMemo::default(),
         })
     }
 
@@ -94,6 +97,7 @@ impl<M: Metric> FairSlidingWindow<M> {
         let gammas: Vec<f64> = self.set.guesses.iter().map(|g| g.gamma).collect();
         self.set = GuessSet::new(gammas.into_iter().map(GuessState::new).collect());
         self.t = 0;
+        self.memo.clear();
     }
 
     /// `Query` (Algorithm 3) with an explicit coreset solver: find the
@@ -111,8 +115,19 @@ impl<M: Metric> FairSlidingWindow<M> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
-        let guesses: Vec<(&GuessState, ())> = self.set.guesses.iter().map(|g| (g, ())).collect();
-        query_over_guesses(
+        // Skip the leading guesses a previous scan proved non-qualifying
+        // at an identical `(γ, rev)` state — qualification is
+        // solver-independent, so the skip is sound for any `solver`.
+        let pairs: Vec<(f64, u64)> = self
+            .set
+            .guesses
+            .iter()
+            .map(|g| (g.gamma(), g.rev()))
+            .collect();
+        let skip = self.memo.skip_count(pairs.iter().copied());
+        let guesses: Vec<(&GuessState, ())> =
+            self.set.guesses[skip..].iter().map(|g| (g, ())).collect();
+        let result = query_over_guesses(
             &self.exec,
             &self.scratch,
             &self.metric,
@@ -122,7 +137,10 @@ impl<M: Metric> FairSlidingWindow<M> {
             &self.cfg.capacities,
             solver,
         )
-        .map(|(sol, ())| sol)
+        .map(|(sol, ())| sol);
+        self.memo
+            .record_prefix(self.t, prefix_for(pairs.iter().copied(), &result));
+        result
     }
 
     /// Iterates the guesses (used by tests and diagnostics).
@@ -212,8 +230,16 @@ where
         self.set.finish_arrival(self.t.checked_sub(n));
     }
 
+    /// `Query` with the paper's default solver, memoized: repeat queries
+    /// at an unchanged engine time return the recorded result (inserts
+    /// are the only mutation, so equal `t` means equal state).
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
-        self.query_with(&Jones)
+        if let Some(hit) = self.memo.cached(self.t) {
+            return hit;
+        }
+        let result = self.query_with(&Jones);
+        self.memo.record_result(self.t, &result);
+        result
     }
 
     fn time(&self) -> u64 {
@@ -472,6 +498,41 @@ mod tests {
         }
         let sol = sw.query().unwrap();
         assert!(sol.guess <= 1.0, "guess {} too large", sol.guess);
+    }
+
+    #[test]
+    fn memoized_queries_bit_identical_to_cold_engine() {
+        // `warm` queries after every insert (exercising the memo and the
+        // prefix skip); `cold` queries once at the end. Answers must be
+        // bit-identical — the memo may only skip work, never change it.
+        let mk = || FairSlidingWindow::new(cfg(50, vec![2, 1], 1.0), Euclidean, 1e-3, 1e4).unwrap();
+        let (mut warm, mut cold) = (mk(), mk());
+        for i in 0..200u64 {
+            let x = (i as f64 * 0.618_033_988_7).fract() * 500.0;
+            let p = cp(x, (i % 3 == 0) as u32);
+            warm.insert(p.clone());
+            cold.insert(p);
+            let _ = warm.query();
+        }
+        let (a, b) = (warm.query().unwrap(), cold.query().unwrap());
+        assert_eq!(a.guess.to_bits(), b.guess.to_bits());
+        assert_eq!(a.coreset_size, b.coreset_size);
+        assert_eq!(a.coreset_radius.to_bits(), b.coreset_radius.to_bits());
+        assert_eq!(a.centers.len(), b.centers.len());
+        for (ca, cb) in a.centers.iter().zip(&b.centers) {
+            assert_eq!(ca.color, cb.color);
+            let (xa, xb) = (ca.point.coords(), cb.point.coords());
+            assert_eq!(xa.len(), xb.len());
+            for (va, vb) in xa.iter().zip(xb) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+        // Repeat query at the same t hits the memo and stays identical.
+        let again = warm.query().unwrap();
+        assert_eq!(again.guess.to_bits(), a.guess.to_bits());
+        // Reset clears the memo along with the state.
+        warm.reset();
+        assert!(matches!(warm.query(), Err(QueryError::EmptyWindow)));
     }
 
     #[test]

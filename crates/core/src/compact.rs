@@ -23,6 +23,7 @@ use crate::algorithm::QueryScratch;
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess_set::{DeadList, GuessSet, GuessSlot};
+use crate::memo::{prefix_for, QueryMemo};
 use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_metric::{packing_scan, Colored, ColoredId, Metric, PointId, Resolver};
 use fairsw_sequential::{FairCenterSolver, Jones};
@@ -50,6 +51,8 @@ struct CompactGuess {
     rv: BTreeMap<u64, RvEntry>,
     /// Arena ids observed crossing refcount zero (owner drains).
     dead: DeadList,
+    /// Revision counter for the query memo (bumps on family mutation).
+    rev: u64,
 }
 
 impl GuessSlot for CompactGuess {
@@ -62,6 +65,9 @@ impl GuessSlot for CompactGuess {
     fn drain_dead(&mut self, into: &mut Vec<PointId>) {
         self.dead.drain_into(into);
     }
+    fn rev(&self) -> u64 {
+        self.rev
+    }
 }
 
 impl CompactGuess {
@@ -72,6 +78,7 @@ impl CompactGuess {
             reps_v: HashMap::new(),
             rv: BTreeMap::new(),
             dead: DeadList::default(),
+            rev: 0,
         }
     }
 
@@ -80,15 +87,21 @@ impl CompactGuess {
     }
 
     fn expire<P>(&mut self, res: Resolver<'_, P>, te: u64) {
+        let mut removed = false;
         if let Some(id) = self.av.remove(&te) {
             // Representatives are orphaned, not removed (same timing
             // invariant as the main algorithm: reps are never older than
             // their attractor, so an expiring rep's attractor is gone).
             self.reps_v.remove(&te);
             self.dead.release(res, id);
+            removed = true;
         }
         if let Some(e) = self.rv.remove(&te) {
             self.dead.release(res, e.id);
+            removed = true;
+        }
+        if removed {
+            self.rev = self.rev.wrapping_add(1);
         }
     }
 
@@ -103,6 +116,8 @@ impl CompactGuess {
         caps: &[usize],
         k: usize,
     ) {
+        // Both branches insert into RV, so every arrival mutates.
+        self.rev = self.rev.wrapping_add(1);
         let p = res.get(id);
         let two_gamma = 2.0 * self.gamma;
         let ci = color as usize;
@@ -249,6 +264,7 @@ pub struct CompactFairSlidingWindow<M: Metric> {
     t: u64,
     exec: Exec,
     scratch: QueryScratch<M::Point>,
+    memo: QueryMemo<M::Point>,
 }
 
 impl<M: Metric> CompactFairSlidingWindow<M> {
@@ -273,6 +289,7 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
             t: 0,
             exec: Exec::default(),
             scratch: QueryScratch::default(),
+            memo: QueryMemo::default(),
         })
     }
 
@@ -295,6 +312,7 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
         let gammas: Vec<f64> = self.set.guesses.iter().map(|g| g.gamma).collect();
         self.set = GuessSet::new(gammas.into_iter().map(CompactGuess::new).collect());
         self.t = 0;
+        self.memo.clear();
     }
 
     /// Queries with an explicit solver: guess selection identical to the
@@ -311,9 +329,19 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
+        // Skip leading guesses a previous scan proved non-qualifying at
+        // an identical `(γ, rev)` state (solver-independent test).
+        let pairs: Vec<(f64, u64)> = self
+            .set
+            .guesses
+            .iter()
+            .map(|g| (GuessSlot::gamma(g), GuessSlot::rev(g)))
+            .collect();
+        let skip = self.memo.skip_count(pairs.iter().copied());
         let res = self.set.store.resolver();
-        self.exec
-            .find_map_first_pooled(&self.scratch, &self.set.guesses, |g, s| {
+        let result = self
+            .exec
+            .find_map_first_pooled(&self.scratch, &self.set.guesses[skip..], |g, s| {
                 if g.av.len() > self.k {
                     return None;
                 }
@@ -344,7 +372,10 @@ impl<M: Metric> CompactFairSlidingWindow<M> {
                         }),
                 )
             })
-            .unwrap_or(Err(QueryError::NoValidGuess))
+            .unwrap_or(Err(QueryError::NoValidGuess));
+        self.memo
+            .record_prefix(self.t, prefix_for(pairs.iter().copied(), &result));
+        result
     }
 }
 
@@ -404,8 +435,15 @@ where
         self.set.finish_arrival(self.t.checked_sub(n));
     }
 
+    /// Query with the default solver, memoized on the engine time
+    /// (repeat queries at unchanged `t` return the recorded result).
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
-        self.query_with(&Jones)
+        if let Some(hit) = self.memo.cached(self.t) {
+            return hit;
+        }
+        let result = self.query_with(&Jones);
+        self.memo.record_result(self.t, &result);
+        result
     }
 
     fn time(&self) -> u64 {

@@ -90,6 +90,12 @@ pub struct GuessState {
     /// drained by the owner's reclaim pass after each (possibly
     /// parallel) dispatch. Never observable between arrivals.
     pub(crate) dead: DeadList,
+    /// Revision counter: bumps whenever a family mutates (`update`
+    /// always inserts; `expire` bumps only when it removed something).
+    /// Queries compare `(γ, rev)` pairs to skip re-scanning unchanged
+    /// guesses. Not serialized — restored states restart at 0, which is
+    /// safe because memos start empty too.
+    pub(crate) rev: u64,
 }
 
 impl GuessState {
@@ -104,12 +110,18 @@ impl GuessState {
             reps_c: HashMap::new(),
             r: BTreeMap::new(),
             dead: DeadList::default(),
+            rev: 0,
         }
     }
 
     /// The guess value `γ`.
     pub fn gamma(&self) -> f64 {
         self.gamma
+    }
+
+    /// The revision counter (bumps on every family mutation).
+    pub fn rev(&self) -> u64 {
+        self.rev
     }
 
     /// `|AV|` — the validity test: the guess is *valid* iff `|AV| ≤ k`.
@@ -180,27 +192,35 @@ impl GuessState {
     /// (Algorithm 1, first step). Call once per arrival with
     /// `te = t - n` before inserting the new point.
     pub fn expire<P>(&mut self, res: Resolver<'_, P>, te: u64) {
+        let mut removed = false;
         if let Some(id) = self.av.remove(&te) {
             // The attractor dies; its current representative becomes an
             // orphan and stays in RV until it expires or Cleanup drops it.
             self.rep_of.remove(&te);
             self.dead.release(res, id);
+            removed = true;
         }
         // Invariant 1: if rv contains te as the *current* rep of a live
         // attractor v, then t(v) ≤ te, so v expired at te or earlier —
         // i.e. this entry is an orphan (or v == te, handled above).
         if let Some(id) = self.rv.remove(&te) {
             self.dead.release(res, id);
+            removed = true;
         }
         if let Some(id) = self.a.remove(&te) {
             // Its representatives become orphans in R.
             self.reps_c.remove(&te);
             self.dead.release(res, id);
+            removed = true;
         }
         // Same invariant on the coreset side: an expiring representative
         // cannot belong to a live c-attractor, so no deque fix-up needed.
         if let Some(e) = self.r.remove(&te) {
             self.dead.release(res, e.id);
+            removed = true;
+        }
+        if removed {
+            self.rev = self.rev.wrapping_add(1);
         }
     }
 
@@ -217,6 +237,9 @@ impl GuessState {
         b: Budgets<'_>,
     ) {
         let Budgets { caps, k, delta } = b;
+        // Both validation branches insert into RV and both coreset
+        // branches insert into R, so every arrival mutates this guess.
+        self.rev = self.rev.wrapping_add(1);
         let p = res.get(id);
         let two_gamma = 2.0 * self.gamma;
 

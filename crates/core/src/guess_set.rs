@@ -68,6 +68,10 @@ pub(crate) trait GuessSlot {
     fn entries(&self) -> usize;
     /// Drains the ids whose refcount this guess observed crossing zero.
     fn drain_dead(&mut self, into: &mut Vec<PointId>);
+    /// Revision counter for the query memo: bumps whenever a family
+    /// mutates. The reclaim pass ([`reclaim_dead`]) frees *payloads*
+    /// only — family contents are untouched — so it never bumps this.
+    fn rev(&self) -> u64;
 }
 
 impl GuessSlot for crate::guess::GuessState {
@@ -79,6 +83,9 @@ impl GuessSlot for crate::guess::GuessState {
     }
     fn drain_dead(&mut self, into: &mut Vec<PointId>) {
         self.dead.drain_into(into);
+    }
+    fn rev(&self) -> u64 {
+        self.rev
     }
 }
 

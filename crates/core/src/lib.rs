@@ -88,6 +88,7 @@ pub mod engine;
 pub mod guess;
 mod guess_set;
 pub mod matroid_window;
+mod memo;
 pub mod oblivious;
 pub mod parallel;
 pub mod robust;

@@ -31,6 +31,7 @@ use crate::algorithm::QueryScratch;
 use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, SolutionExtras};
 use crate::config::{validate_scale, ConfigError};
 use crate::guess_set::{DeadList, GuessSet, GuessSlot};
+use crate::memo::{prefix_for, QueryMemo};
 use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_matroid::{Matroid, OverColors};
 use fairsw_metric::{packing_scan, Colored, ColoredId, Metric, PointId, Resolver};
@@ -54,6 +55,8 @@ struct MatroidGuess {
     r: BTreeMap<u64, (PointId, u32, u64)>,
     /// Arena ids observed crossing refcount zero (owner drains).
     dead: DeadList,
+    /// Revision counter for the query memo (bumps on family mutation).
+    rev: u64,
 }
 
 impl GuessSlot for MatroidGuess {
@@ -65,6 +68,9 @@ impl GuessSlot for MatroidGuess {
     }
     fn drain_dead(&mut self, into: &mut Vec<PointId>) {
         self.dead.drain_into(into);
+    }
+    fn rev(&self) -> u64 {
+        self.rev
     }
 }
 
@@ -79,6 +85,7 @@ impl MatroidGuess {
             reps: HashMap::new(),
             r: BTreeMap::new(),
             dead: DeadList::default(),
+            rev: 0,
         }
     }
 
@@ -87,22 +94,30 @@ impl MatroidGuess {
     }
 
     fn expire<P>(&mut self, res: Resolver<'_, P>, te: u64) {
+        let mut removed = false;
         if let Some(id) = self.av.remove(&te) {
             self.rep_of.remove(&te);
             self.dead.release(res, id);
+            removed = true;
         }
         if let Some(id) = self.rv.remove(&te) {
             self.dead.release(res, id);
+            removed = true;
         }
         if let Some(id) = self.a.remove(&te) {
             self.reps.remove(&te);
             self.dead.release(res, id);
+            removed = true;
         }
         // Timing invariant (same as the partition variant): an expiring
         // representative's attractor is at least as old, hence already
         // gone — no live rep list needs fixing.
         if let Some((id, _, _)) = self.r.remove(&te) {
             self.dead.release(res, id);
+            removed = true;
+        }
+        if removed {
+            self.rev = self.rev.wrapping_add(1);
         }
     }
 
@@ -118,6 +133,9 @@ impl MatroidGuess {
         k: usize,
         delta: f64,
     ) {
+        // Both validation branches insert into RV, so every arrival
+        // mutates this guess.
+        self.rev = self.rev.wrapping_add(1);
         let p = res.get(id);
         let two_gamma = 2.0 * self.gamma;
 
@@ -360,6 +378,7 @@ pub struct MatroidSlidingWindow<M: Metric, Mat: Matroid<u32>> {
     t: u64,
     exec: Exec,
     scratch: QueryScratch<M::Point>,
+    memo: QueryMemo<M::Point>,
 }
 
 impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
@@ -402,6 +421,7 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
             t: 0,
             exec: Exec::default(),
             scratch: QueryScratch::default(),
+            memo: QueryMemo::default(),
         })
     }
 
@@ -430,6 +450,7 @@ impl<M: Metric, Mat: Matroid<u32>> MatroidSlidingWindow<M, Mat> {
         let gammas: Vec<f64> = self.set.guesses.iter().map(|g| g.gamma).collect();
         self.set = GuessSet::new(gammas.into_iter().map(MatroidGuess::new).collect());
         self.t = 0;
+        self.memo.clear();
     }
 }
 
@@ -498,9 +519,22 @@ where
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
+        // Memoized on the engine time (inserts are the only mutation),
+        // with the solver-independent non-qualifying prefix skipped.
+        if let Some(hit) = self.memo.cached(self.t) {
+            return hit;
+        }
+        let pairs: Vec<(f64, u64)> = self
+            .set
+            .guesses
+            .iter()
+            .map(|g| (GuessSlot::gamma(g), GuessSlot::rev(g)))
+            .collect();
+        let skip = self.memo.skip_count(pairs.iter().copied());
         let res = self.set.store.resolver();
-        self.exec
-            .find_map_first_pooled(&self.scratch, &self.set.guesses, |g, s| {
+        let result = self
+            .exec
+            .find_map_first_pooled(&self.scratch, &self.set.guesses[skip..], |g, s| {
                 if g.av.len() > self.k {
                     return None;
                 }
@@ -537,7 +571,11 @@ where
                         }),
                 )
             })
-            .unwrap_or(Err(QueryError::NoValidGuess))
+            .unwrap_or(Err(QueryError::NoValidGuess));
+        self.memo
+            .record_prefix(self.t, prefix_for(pairs.iter().copied(), &result));
+        self.memo.record_result(self.t, &result);
+        result
     }
 
     fn time(&self) -> u64 {

@@ -34,6 +34,7 @@ use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, Sol
 use crate::config::{ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
 use crate::guess_set::{arena_stats, reclaim_dead};
+use crate::memo::QueryMemo;
 use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_metric::{Colored, Metric, PointFootprint, PointStore};
 use fairsw_sequential::{FairCenterSolver, Jones};
@@ -68,6 +69,10 @@ pub struct ObliviousFairSlidingWindow<M: Metric> {
     t: u64,
     exec: Exec,
     scratch: QueryScratch<M::Point>,
+    /// Same-`t` result memo only: the guess set is dynamic (levels are
+    /// materialized and retired between arrivals), so no cross-arrival
+    /// prefix skipping is attempted for this variant.
+    memo: QueryMemo<M::Point>,
 }
 
 /// How many levels to keep below the invalidity frontier.
@@ -100,6 +105,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
             t: 0,
             exec: Exec::default(),
             scratch: QueryScratch::default(),
+            memo: QueryMemo::default(),
         })
     }
 
@@ -131,6 +137,7 @@ impl<M: Metric> ObliviousFairSlidingWindow<M> {
         self.last = None;
         self.prev_point = None;
         self.t = 0;
+        self.memo.clear();
     }
 
     /// Materializes / drops levels according to the current estimates.
@@ -365,8 +372,15 @@ where
         }
     }
 
+    /// Query with the default solver, memoized on the engine time
+    /// (repeat queries at unchanged `t` return the recorded result).
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
-        self.query_with(&Jones)
+        if let Some(hit) = self.memo.cached(self.t) {
+            return hit;
+        }
+        let result = self.query_with(&Jones);
+        self.memo.record_result(self.t, &result);
+        result
     }
 
     fn time(&self) -> u64 {

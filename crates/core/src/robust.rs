@@ -32,6 +32,7 @@ use crate::api::{MemoryStats, QueryError, SlidingWindowClustering, Solution, Sol
 use crate::config::{validate_scale, ConfigError, FairSWConfig};
 use crate::guess::{Budgets, GuessState};
 use crate::guess_set::GuessSet;
+use crate::memo::{prefix_for, QueryMemo};
 use crate::parallel::{Exec, ParallelismSpec};
 use fairsw_metric::{packing_scan, Colored, ColoredId, Metric};
 use fairsw_sequential::RobustFair;
@@ -52,6 +53,7 @@ pub struct RobustFairSlidingWindow<M: Metric> {
     t: u64,
     exec: Exec,
     scratch: QueryScratch<M::Point>,
+    memo: QueryMemo<M::Point>,
 }
 
 impl<M: Metric> RobustFairSlidingWindow<M> {
@@ -83,6 +85,7 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
             t: 0,
             exec: Exec::default(),
             scratch: QueryScratch::default(),
+            memo: QueryMemo::default(),
         })
     }
 
@@ -111,6 +114,7 @@ impl<M: Metric> RobustFairSlidingWindow<M> {
         let gammas: Vec<f64> = self.set.guesses.iter().map(|g| g.gamma).collect();
         self.set = GuessSet::new(gammas.into_iter().map(GuessState::new).collect());
         self.t = 0;
+        self.memo.clear();
     }
 }
 
@@ -184,11 +188,24 @@ where
         if self.t == 0 {
             return Err(QueryError::EmptyWindow);
         }
+        // Memoized on the engine time (inserts are the only mutation),
+        // with the solver-independent non-qualifying prefix skipped.
+        if let Some(hit) = self.memo.cached(self.t) {
+            return hit;
+        }
+        let pairs: Vec<(f64, u64)> = self
+            .set
+            .guesses
+            .iter()
+            .map(|g| (g.gamma(), g.rev()))
+            .collect();
+        let skip = self.memo.skip_count(pairs.iter().copied());
         let k_eff = self.k + self.z;
         let solver = RobustFair::new(self.z);
         let res = self.set.store.resolver();
-        self.exec
-            .find_map_first_pooled(&self.scratch, &self.set.guesses, |g, s| {
+        let result = self
+            .exec
+            .find_map_first_pooled(&self.scratch, &self.set.guesses[skip..], |g, s| {
                 if g.av_len() > k_eff {
                     return None;
                 }
@@ -224,7 +241,11 @@ where
                         }),
                 )
             })
-            .unwrap_or(Err(QueryError::NoValidGuess))
+            .unwrap_or(Err(QueryError::NoValidGuess));
+        self.memo
+            .record_prefix(self.t, prefix_for(pairs.iter().copied(), &result));
+        self.memo.record_result(self.t, &result);
+        result
     }
 
     fn time(&self) -> u64 {

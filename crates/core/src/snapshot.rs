@@ -420,6 +420,7 @@ where
             t,
             exec: crate::parallel::Exec::default(),
             scratch: Default::default(),
+            memo: Default::default(),
         })
     }
 }

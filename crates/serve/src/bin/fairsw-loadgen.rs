@@ -13,6 +13,9 @@
 //!   --window N        tenant window length (default 500)
 //!   --queries N       interim QUERYs per tenant during ingest (default 4;
 //!                     one final QUERY per tenant is always issued)
+//!   --mix MIX         request mix: `ingest` (default) or `read-heavy`
+//!                     (95/5 query/ingest after a warmup, Zipf-skewed
+//!                     across tenants — exercises the QUERY result cache)
 //!   --shutdown        send SHUTDOWN after the burst
 //!
 //! CRASH DRILL (spawns its own servers; --addr is not used):
@@ -50,6 +53,7 @@ OPTIONS:
   --batch N         INSERT_BATCH size (default 128)
   --window N        tenant window length (default 500)
   --queries N       interim QUERYs per tenant during ingest (default 4)
+  --mix MIX         request mix: ingest (default) or read-heavy
   --shutdown        send SHUTDOWN after the burst
 
 CRASH DRILL (spawns its own servers; --addr is not used):
@@ -117,6 +121,7 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--queries: {e}"))?
             }
+            "--mix" => opts.mix = value("--mix")?.parse()?,
             "--shutdown" => shutdown = true,
             "--help" | "-h" => {
                 print!("{USAGE}");

@@ -59,11 +59,12 @@
 //! stream, across tenants, variants, batch shapes and thread counts.
 
 pub mod loadgen;
+pub mod percentile;
 pub mod protocol;
 pub mod server;
 pub mod wal;
 
 pub use loadgen::{run_burst, BurstOptions, BurstReport, Client};
-pub use protocol::{Reply, Request, TenantConfig, WireVariant};
+pub use protocol::{ProtocolError, Reply, Request, TenantConfig, WireVariant};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use wal::{TenantWal, WalRecord, WalTuning};

@@ -75,7 +75,8 @@ impl Client {
 
     /// Sends one request and waits for its reply.
     pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
-        write_frame(&mut self.writer, &req.encode())?;
+        let body = req.encode().map_err(io::Error::from)?;
+        write_frame(&mut self.writer, &body)?;
         match read_frame(&mut self.reader)? {
             Some(body) => Ok(Reply::decode(&body)?),
             None => Err(ClientError::Disconnected),
@@ -179,6 +180,31 @@ impl Client {
     }
 }
 
+/// The request mix a [`run_burst`] worker drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    /// The original write-dominated burst: batched ingest with interim
+    /// queries (`opts.queries` per tenant, plus one final).
+    Ingest,
+    /// A 95/5 query/ingest mix after a warmup ingest, with a Zipf-like
+    /// skew across tenants (tenant `i` issues ~`1/(i+1)` of tenant 0's
+    /// operations) — repeat queries against an often-unchanged window,
+    /// the result cache's target workload.
+    ReadHeavy,
+}
+
+impl std::str::FromStr for Mix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ingest" => Ok(Mix::Ingest),
+            "read-heavy" => Ok(Mix::ReadHeavy),
+            other => Err(format!("unknown mix {other:?} (want ingest|read-heavy)")),
+        }
+    }
+}
+
 /// Parameters of a [`run_burst`] load-generation run.
 #[derive(Clone, Debug)]
 pub struct BurstOptions {
@@ -197,6 +223,8 @@ pub struct BurstOptions {
     /// Delete the tenants afterwards (leave them for inspection when
     /// `false`).
     pub cleanup: bool,
+    /// The request mix each worker drives.
+    pub mix: Mix,
 }
 
 impl Default for BurstOptions {
@@ -208,6 +236,7 @@ impl Default for BurstOptions {
             window: 500,
             queries: 4,
             cleanup: true,
+            mix: Mix::Ingest,
         }
     }
 }
@@ -240,13 +269,11 @@ pub struct BurstReport {
 }
 
 /// Nearest-rank percentile over a sorted latency list (`Duration::ZERO`
-/// when empty) — the same idiom the server's `STATS` percentiles use.
+/// when empty) — the same [`crate::percentile`] rank the server's
+/// `STATS` percentiles use, so the two reporters agree at any sample
+/// size.
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
+    crate::percentile::nearest_rank(sorted.len(), q).map_or(Duration::ZERO, |i| sorted[i])
 }
 
 /// The deterministic synthetic workload every load-generation lane
@@ -315,7 +342,7 @@ pub fn run_burst(
                     // latency samples from mid-burst, under ingest load).
                     let stride = (nchunks / (opts.queries + 1)).max(1);
                     let mut outcome = TenantOutcome {
-                        points: stream.len() as u64,
+                        points: 0,
                         retries: 0,
                         all_queries_ok: true,
                         query_latencies: Vec::with_capacity(opts.queries + 1),
@@ -341,15 +368,52 @@ pub fn run_burst(
                             }
                         }
                     };
-                    for (ci, chunk) in stream.chunks(opts.batch.max(1)).enumerate() {
-                        outcome.retries += c
-                            .insert_batch_backoff(&tenant, chunk)
-                            .map_err(|e| e.to_string())?;
-                        if opts.queries > 0
-                            && (ci + 1) % stride == 0
-                            && outcome.query_latencies.len() < opts.queries
-                        {
-                            timed_query(&mut c, &mut outcome)?;
+                    match opts.mix {
+                        Mix::Ingest => {
+                            for (ci, chunk) in stream.chunks(opts.batch.max(1)).enumerate() {
+                                outcome.retries += c
+                                    .insert_batch_backoff(&tenant, chunk)
+                                    .map_err(|e| e.to_string())?;
+                                outcome.points += chunk.len() as u64;
+                                if opts.queries > 0
+                                    && (ci + 1) % stride == 0
+                                    && outcome.query_latencies.len() < opts.queries
+                                {
+                                    timed_query(&mut c, &mut outcome)?;
+                                }
+                            }
+                        }
+                        Mix::ReadHeavy => {
+                            // Warmup: a quarter of the stream lands
+                            // first, so the op mix queries a populated
+                            // window.
+                            let warmup =
+                                (stream.len() / 4).max(opts.batch.max(1)).min(stream.len());
+                            for chunk in stream[..warmup].chunks(opts.batch.max(1)) {
+                                outcome.retries += c
+                                    .insert_batch_backoff(&tenant, chunk)
+                                    .map_err(|e| e.to_string())?;
+                                outcome.points += chunk.len() as u64;
+                            }
+                            // Zipf-like skew: tenant i runs ~1/(i+1) of
+                            // tenant 0's operations, so a few hot
+                            // tenants dominate — repeat queries between
+                            // writes. One op in twenty ingests a batch
+                            // (5%); the rest query (95%).
+                            let ops = (opts.points / (i + 1)).max(40);
+                            let mut chunks = stream[warmup..].chunks(opts.batch.max(1));
+                            for j in 0..ops {
+                                if j % 20 == 19 {
+                                    if let Some(chunk) = chunks.next() {
+                                        outcome.retries += c
+                                            .insert_batch_backoff(&tenant, chunk)
+                                            .map_err(|e| e.to_string())?;
+                                        outcome.points += chunk.len() as u64;
+                                    }
+                                } else {
+                                    timed_query(&mut c, &mut outcome)?;
+                                }
+                            }
                         }
                     }
                     timed_query(&mut c, &mut outcome)?;

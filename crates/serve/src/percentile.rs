@@ -1,0 +1,68 @@
+//! The one nearest-rank percentile used everywhere a latency
+//! distribution is summarized (tenant `STATS`, the load generator).
+//!
+//! Both call sites previously carried their own copy with the
+//! linear-interpolation index `round((len-1) * q)`, which overshoots at
+//! small samples: two observations put "p50" at the *larger* one. The
+//! standard nearest-rank definition — the smallest value with at least
+//! `q·n` observations at or below it, `idx = ceil(q·n) − 1` — picks the
+//! smaller, and the two reporters can no longer drift apart.
+
+/// Index of the nearest-rank `q`-th percentile in a sorted sample of
+/// `len` values; `None` for an empty sample. `q` is clamped to `[0, 1]`.
+pub fn nearest_rank(len: usize, q: f64) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * len as f64).ceil() as usize;
+    Some(rank.clamp(1, len) - 1)
+}
+
+/// The nearest-rank `q`-th percentile of a **sorted** slice (0.0 when
+/// empty, mirroring how the stats reporters treat "no samples yet").
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    nearest_rank(sorted.len(), q).map_or(0.0, |i| sorted[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_has_no_rank() {
+        assert_eq!(nearest_rank(0, 0.5), None);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn small_samples_round_down_not_up() {
+        // The old `round((len-1)*q)` formula put p50 of two samples at
+        // index 1; nearest rank puts it at index 0.
+        assert_eq!(nearest_rank(2, 0.5), Some(0));
+        assert_eq!(percentile_sorted(&[1.0, 9.0], 0.5), 1.0);
+        assert_eq!(nearest_rank(1, 0.99), Some(0));
+        assert_eq!(nearest_rank(2, 0.9), Some(1));
+    }
+
+    #[test]
+    fn boundaries_are_clamped() {
+        assert_eq!(nearest_rank(10, 0.0), Some(0));
+        assert_eq!(nearest_rank(10, 1.0), Some(9));
+        assert_eq!(nearest_rank(10, -3.0), Some(0));
+        assert_eq!(nearest_rank(10, 7.0), Some(9));
+    }
+
+    #[test]
+    fn matches_the_textbook_definition() {
+        // 10 samples: p50 = ceil(5) = rank 5 → index 4; p90 → index 8;
+        // p99 → ceil(9.9) = rank 10 → index 9.
+        assert_eq!(nearest_rank(10, 0.5), Some(4));
+        assert_eq!(nearest_rank(10, 0.9), Some(8));
+        assert_eq!(nearest_rank(10, 0.99), Some(9));
+        // 100 samples: p50 → index 49, p90 → index 89, p99 → index 98.
+        assert_eq!(nearest_rank(100, 0.5), Some(49));
+        assert_eq!(nearest_rank(100, 0.9), Some(89));
+        assert_eq!(nearest_rank(100, 0.99), Some(98));
+    }
+}

@@ -49,7 +49,11 @@
 //!
 //! Every decoder is total: corrupt input yields [`WireError`], never a
 //! panic, and length prefixes are sanity-checked against the bytes
-//! remaining before any allocation is sized by them.
+//! remaining before any allocation is sized by them. Encoders are
+//! checked the same way: a value that does not fit its wire field (a
+//! point beyond 65535 dimensions, an oversized capacity vector) fails
+//! with [`ProtocolError::TooLarge`] instead of emitting a frame whose
+//! truncated length field would misparse on the other side.
 
 use fairsw_core::{
     ConfigError, EngineBuilder, QueryError, Solution, SolutionExtras, VariantSpec, WindowEngine,
@@ -66,9 +70,20 @@ pub const MAX_TENANT_LEN: usize = 64;
 
 // ---- framing -----------------------------------------------------------
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame. A body over [`MAX_FRAME`] is a
+/// hard error *before* any bytes hit the wire — the peer's `read_frame`
+/// would reject the length prefix anyway, and a half-written oversized
+/// frame would desynchronize the stream for good.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
-    debug_assert!(body.len() <= MAX_FRAME);
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+                body.len()
+            ),
+        ));
+    }
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -135,6 +150,51 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+// ---- encode errors -----------------------------------------------------
+
+/// Errors raised while *encoding* a frame body: a value does not fit
+/// the wire field that carries its length. Encoding is checked, never
+/// asserted — an oversized value is a hard error, not a debug-only
+/// panic that releases silently truncate into garbage frames.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// `what` has `len` items (or bytes) but the wire caps it at `max`.
+    TooLarge {
+        /// What overflowed (e.g. `"point dimension"`).
+        what: &'static str,
+        /// The offending length.
+        len: usize,
+        /// The wire format's cap for this field.
+        max: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::TooLarge { what, len, max } => {
+                write!(f, "{what} of {len} exceeds the wire cap of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for io::Error {
+    fn from(e: ProtocolError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+    }
+}
+
+/// Checks one length against the cap of the wire field carrying it.
+pub(crate) fn check_len(what: &'static str, len: usize, max: usize) -> Result<(), ProtocolError> {
+    if len > max {
+        return Err(ProtocolError::TooLarge { what, len, max });
+    }
+    Ok(())
+}
+
 // ---- primitive helpers -------------------------------------------------
 
 pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -153,10 +213,11 @@ pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_str16(out: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize);
+pub(crate) fn put_str16(out: &mut Vec<u8>, s: &str) -> Result<(), ProtocolError> {
+    check_len("string length", s.len(), u16::MAX as usize)?;
     put_u16(out, s.len() as u16);
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
 pub(crate) fn take_bytes<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
@@ -214,13 +275,14 @@ pub(crate) fn take_str16(input: &mut &[u8]) -> Result<String, WireError> {
 
 // ---- points ------------------------------------------------------------
 
-pub(crate) fn put_point(out: &mut Vec<u8>, p: &Colored<EuclidPoint>) {
+pub(crate) fn put_point(out: &mut Vec<u8>, p: &Colored<EuclidPoint>) -> Result<(), ProtocolError> {
+    check_len("point dimension", p.point.coords().len(), u16::MAX as usize)?;
     put_u32(out, p.color);
-    debug_assert!(p.point.coords().len() <= u16::MAX as usize);
     put_u16(out, p.point.coords().len() as u16);
     for c in p.point.coords() {
         put_f64(out, *c);
     }
+    Ok(())
 }
 
 pub(crate) fn take_point(input: &mut &[u8]) -> Result<Colored<EuclidPoint>, WireError> {
@@ -343,9 +405,9 @@ impl TenantConfig {
         builder.variant(spec).build(Euclidean)
     }
 
-    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
+        check_len("capacity count", self.caps.len(), u16::MAX as usize)?;
         put_u64(out, self.window as u64);
-        debug_assert!(self.caps.len() <= u16::MAX as usize);
         put_u16(out, self.caps.len() as u16);
         for c in &self.caps {
             put_u64(out, *c as u64);
@@ -367,6 +429,7 @@ impl TenantConfig {
                 put_f64(out, dmax);
             }
         }
+        Ok(())
     }
 
     pub(crate) fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -501,59 +564,63 @@ impl Request {
         }
     }
 
-    /// Encodes the request as one frame body.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes the request as one frame body. Fails with
+    /// [`ProtocolError::TooLarge`] when a value does not fit its wire
+    /// field (a >65535-dimensional point, an oversized tenant name or
+    /// capacity vector) — the frame is refused outright instead of
+    /// carrying silently truncated lengths.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtocolError> {
         let mut out = Vec::with_capacity(64);
         match self {
             Request::Create { tenant, config } => {
                 out.push(OP_CREATE);
-                put_str16(&mut out, tenant);
-                config.encode(&mut out);
+                put_str16(&mut out, tenant)?;
+                config.encode(&mut out)?;
             }
             Request::Insert { tenant, point } => {
                 out.push(OP_INSERT);
-                put_str16(&mut out, tenant);
-                put_point(&mut out, point);
+                put_str16(&mut out, tenant)?;
+                put_point(&mut out, point)?;
             }
             Request::InsertBatch { tenant, points } => {
                 out.push(OP_INSERT_BATCH);
-                put_str16(&mut out, tenant);
-                debug_assert!(points.len() <= u32::MAX as usize);
+                put_str16(&mut out, tenant)?;
+                check_len("batch size", points.len(), u32::MAX as usize)?;
                 put_u32(&mut out, points.len() as u32);
                 for p in points {
-                    put_point(&mut out, p);
+                    put_point(&mut out, p)?;
                 }
             }
             Request::Query { tenant } => {
                 out.push(OP_QUERY);
-                put_str16(&mut out, tenant);
+                put_str16(&mut out, tenant)?;
             }
             Request::Stats { tenant } => {
                 out.push(OP_STATS);
-                put_str16(&mut out, tenant);
+                put_str16(&mut out, tenant)?;
             }
             Request::Checkpoint { tenant } => {
                 out.push(OP_CHECKPOINT);
-                put_str16(&mut out, tenant);
+                put_str16(&mut out, tenant)?;
             }
             Request::Delete { tenant } => {
                 out.push(OP_DELETE);
-                put_str16(&mut out, tenant);
+                put_str16(&mut out, tenant)?;
             }
             Request::Shutdown => {
                 out.push(OP_SHUTDOWN);
-                put_str16(&mut out, "");
+                put_str16(&mut out, "")?;
             }
             Request::WalSubscribe => {
                 out.push(OP_WAL_SUBSCRIBE);
-                put_str16(&mut out, "");
+                put_str16(&mut out, "")?;
             }
             Request::Promote => {
                 out.push(OP_PROMOTE);
-                put_str16(&mut out, "");
+                put_str16(&mut out, "")?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decodes one frame body (the whole body must be consumed).
@@ -706,21 +773,23 @@ impl WireSolution {
         }
     }
 
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
         put_f64(out, self.guess);
         put_u64(out, self.coreset_size as u64);
         put_f64(out, self.coreset_radius);
+        check_len("center count", self.centers.len(), u32::MAX as usize)?;
         put_u32(out, self.centers.len() as u32);
         for c in &self.centers {
-            put_point(out, c);
+            put_point(out, c)?;
         }
         match &self.extras {
             WireExtras::None => out.push(0),
             WireExtras::Robust { outliers } => {
                 out.push(1);
+                check_len("outlier count", outliers.len(), u32::MAX as usize)?;
                 put_u32(out, outliers.len() as u32);
                 for p in outliers {
-                    put_point(out, p);
+                    put_point(out, p)?;
                 }
             }
             WireExtras::Oblivious {
@@ -741,6 +810,7 @@ impl WireSolution {
                 }
             }
         }
+        Ok(())
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -840,6 +910,13 @@ pub struct WireStats {
     /// Largest replication backlog (queued frames) across those
     /// subscribers — follower lag in records.
     pub repl_lag: u64,
+    /// Server-wide `QUERY` replies answered from the result cache
+    /// (repeat queries at an unchanged tenant version never reach the
+    /// shard's engine thread).
+    pub query_cache_hits: u64,
+    /// Server-wide `QUERY` replies that missed the result cache and
+    /// were computed by the shard's engine.
+    pub query_cache_misses: u64,
 }
 
 impl WireStats {
@@ -858,6 +935,8 @@ impl WireStats {
         self.wal_fsync_lag_us = 0.0;
         self.followers = 0;
         self.repl_lag = 0;
+        self.query_cache_hits = 0;
+        self.query_cache_misses = 0;
         self
     }
 
@@ -890,6 +969,8 @@ impl WireStats {
         put_f64(out, self.wal_fsync_lag_us);
         put_u64(out, self.followers);
         put_u64(out, self.repl_lag);
+        put_u64(out, self.query_cache_hits);
+        put_u64(out, self.query_cache_misses);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -914,6 +995,8 @@ impl WireStats {
             wal_fsync_lag_us: take_f64(input)?,
             followers: take_u64(input)?,
             repl_lag: take_u64(input)?,
+            query_cache_hits: take_u64(input)?,
+            query_cache_misses: take_u64(input)?,
         })
     }
 }
@@ -961,7 +1044,9 @@ impl Reply {
         let mut out = Vec::with_capacity(4 + tenant.len() + record_body.len());
         out.push(0);
         out.push(REPLY_WAL);
-        put_str16(&mut out, tenant);
+        // Tenant names passed `valid_tenant_name` (≤ 64 bytes) before any
+        // record could be logged under them, so this cannot overflow.
+        put_str16(&mut out, tenant).expect("validated tenant name fits str16");
         out.extend_from_slice(record_body);
         out
     }
@@ -974,8 +1059,11 @@ impl Reply {
         }
     }
 
-    /// Encodes the reply as one frame body.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes the reply as one frame body. Fails with
+    /// [`ProtocolError::TooLarge`] when a value does not fit its wire
+    /// field. [`Reply::Error`] always encodes (its message is truncated
+    /// to fit), so a failed encode can always be *reported* on the wire.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtocolError> {
         let mut out = Vec::with_capacity(32);
         match self {
             Reply::Ok => {
@@ -985,7 +1073,7 @@ impl Reply {
             Reply::Solution(sol) => {
                 out.push(0);
                 out.push(REPLY_SOLUTION);
-                sol.encode(&mut out);
+                sol.encode(&mut out)?;
             }
             Reply::Stats(stats) => {
                 out.push(0);
@@ -999,9 +1087,10 @@ impl Reply {
                 put_u32(&mut out, *skipped);
             }
             Reply::Wal { tenant, record } => {
+                check_len("tenant name", tenant.len(), u16::MAX as usize)?;
                 let mut body = Vec::new();
-                record.encode(&mut body);
-                return Reply::wal_frame_bytes(tenant, &body);
+                record.encode(&mut body)?;
+                return Ok(Reply::wal_frame_bytes(tenant, &body));
             }
             Reply::Error(kind, msg) => {
                 out.push(*kind as u8);
@@ -1011,10 +1100,10 @@ impl Reply {
                 while !msg.is_char_boundary(cut) {
                     cut -= 1;
                 }
-                put_str16(&mut out, &msg[..cut]);
+                put_str16(&mut out, &msg[..cut]).expect("truncated message fits str16");
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decodes one frame body (the whole body must be consumed).
@@ -1103,7 +1192,7 @@ mod tests {
             Request::Promote,
         ];
         for req in reqs {
-            let body = req.encode();
+            let body = req.encode().unwrap();
             assert_eq!(Request::decode(&body).unwrap(), req, "roundtrip {req:?}");
         }
     }
@@ -1153,6 +1242,8 @@ mod tests {
                 wal_fsync_lag_us: 1500.0,
                 followers: 1,
                 repl_lag: 7,
+                query_cache_hits: 21,
+                query_cache_misses: 4,
             }),
             Reply::Checkpointed {
                 written: 3,
@@ -1176,7 +1267,7 @@ mod tests {
             Reply::Error(ErrorKind::ReadOnly, "follower is read-only".into()),
         ];
         for reply in replies {
-            let body = reply.encode();
+            let body = reply.encode().unwrap();
             assert_eq!(Reply::decode(&body).unwrap(), reply, "roundtrip {reply:?}");
         }
     }
@@ -1192,7 +1283,8 @@ mod tests {
             tenant: "t".into(),
             points: vec![pt(1.0, 0); 10],
         }
-        .encode();
+        .encode()
+        .unwrap();
         for cut in 0..body.len() {
             assert!(Request::decode(&body[..cut]).is_err(), "cut at {cut}");
         }
@@ -1200,9 +1292,70 @@ mod tests {
         // allocation is sized by it.
         let mut evil = Vec::new();
         evil.push(3u8); // INSERT_BATCH
-        put_str16(&mut evil, "t");
+        put_str16(&mut evil, "t").unwrap();
         put_u32(&mut evil, u32::MAX);
         assert_eq!(Request::decode(&evil), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn oversized_values_are_hard_encode_errors() {
+        // A 70k-dimensional point cannot travel in a u16 dim field: the
+        // encoder refuses outright instead of emitting a frame whose
+        // truncated length misparses the coordinate payload.
+        let big = Colored::new(EuclidPoint::new(vec![0.0; 70_000]), 0);
+        let err = Request::Insert {
+            tenant: "t".into(),
+            point: big.clone(),
+        }
+        .encode()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::TooLarge {
+                what: "point dimension",
+                len: 70_000,
+                max: u16::MAX as usize,
+            }
+        );
+        // The same point inside a batch, and inside a solution reply.
+        assert!(Request::InsertBatch {
+            tenant: "t".into(),
+            points: vec![big.clone()],
+        }
+        .encode()
+        .is_err());
+        assert!(Reply::Solution(WireSolution {
+            centers: vec![big],
+            guess: 1.0,
+            coreset_size: 1,
+            coreset_radius: 0.0,
+            extras: WireExtras::None,
+        })
+        .encode()
+        .is_err());
+        // An oversized capacity vector overflows its u16 count field.
+        let caps = vec![1usize; u16::MAX as usize + 1];
+        assert!(matches!(
+            Request::Create {
+                tenant: "t".into(),
+                config: TenantConfig::new(10, caps, WireVariant::Oblivious),
+            }
+            .encode(),
+            Err(ProtocolError::TooLarge {
+                what: "capacity count",
+                ..
+            })
+        ));
+        // An oversized tenant name overflows str16.
+        assert!(Request::Query {
+            tenant: "x".repeat(u16::MAX as usize + 1),
+        }
+        .encode()
+        .is_err());
+        // write_frame refuses an over-cap body before any bytes move.
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME + 1]).is_err());
+        assert!(sink.is_empty(), "no partial frame reaches the wire");
     }
 
     #[test]

@@ -47,7 +47,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -112,6 +112,103 @@ impl ServeConfig {
     /// be path-safe).
     fn tenant_wal_dir(&self, tenant: &str) -> Option<PathBuf> {
         self.wal_dir.as_ref().map(|d| d.join(tenant))
+    }
+}
+
+/// One tenant's slot in the [`QueryCache`]: a version counter bumped by
+/// every accepted state change, plus the `QUERY` reply recorded at that
+/// version (when one was).
+#[derive(Default)]
+struct CacheEntry {
+    version: u64,
+    reply: Option<Reply>,
+}
+
+/// The serve-side `QUERY` result cache, shared by every connection
+/// thread and every shard.
+///
+/// Each tenant carries a *version*: a counter its shard bumps for every
+/// accepted state change — ingest (after the WAL accept), create,
+/// delete, and every replicated record a follower applies. Bumping
+/// clears the tenant's cached reply. A repeat `QUERY` at an unchanged
+/// version is answered straight from the cache on the connection
+/// thread, never touching the shard's engine; the first query after a
+/// change recomputes and re-records. Because a cached reply is the
+/// exact encoded reply a shard produced at a version no write has moved
+/// since, cache answers are byte-identical to a from-scratch recompute
+/// — the read-heavy differential lane enforces this on every thread
+/// leg.
+#[derive(Default)]
+struct QueryCache {
+    entries: Mutex<HashMap<String, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<String, CacheEntry>> {
+        // Every write under this lock replaces whole slots, so a holder
+        // that panicked cannot leave a torn entry — a poisoned lock is
+        // still safe to read through.
+        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Invalidates `tenant`: a state change was accepted for it.
+    fn bump(&self, tenant: &str) {
+        let mut entries = self.entries();
+        let e = entries.entry(tenant.to_string()).or_default();
+        e.version = e.version.wrapping_add(1);
+        e.reply = None;
+    }
+
+    /// Cache lookup. A hit returns the recorded reply; a miss returns
+    /// `None` plus the tenant's version at lookup time, which keys the
+    /// subsequent [`store`](Self::store).
+    fn begin_query(&self, tenant: &str) -> (Option<Reply>, u64) {
+        let entries = self.entries();
+        match entries.get(tenant) {
+            Some(e) if e.reply.is_some() => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (e.reply.clone(), e.version)
+            }
+            Some(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                (None, e.version)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                (None, 0)
+            }
+        }
+    }
+
+    /// Records a computed reply under the version observed before the
+    /// query was dispatched. When a write raced the computation the
+    /// version has moved and the store is refused — the reply may or
+    /// may not reflect that write, so it must never be served again.
+    /// Only deterministic outcomes (a solution, or the engine's own
+    /// query error) are cacheable; admission-control and routing errors
+    /// are transient.
+    fn store(&self, tenant: &str, version: u64, reply: &Reply) {
+        if !matches!(
+            reply,
+            Reply::Solution(_) | Reply::Error(ErrorKind::QueryFailed, _)
+        ) {
+            return;
+        }
+        let mut entries = self.entries();
+        let e = entries.entry(tenant.to_string()).or_default();
+        if e.version == version {
+            e.reply = Some(reply.clone());
+        }
+    }
+
+    fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -219,15 +316,13 @@ impl Tenant {
     fn stats(&self) -> WireStats {
         let mem = self.engine.memory_stats();
         let elapsed = self.created.elapsed().as_secs_f64().max(1e-9);
-        let mut sorted = self.latencies.clone();
-        sorted.sort();
-        let pct = |q: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
-            }
-            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-            sorted[idx].as_secs_f64() * 1e6
-        };
+        let mut sorted: Vec<f64> = self
+            .latencies
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e6)
+            .collect();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |q: f64| crate::percentile::percentile_sorted(&sorted, q);
         WireStats {
             time: self.engine.time(),
             window: self.engine.window_size() as u64,
@@ -247,9 +342,12 @@ impl Tenant {
             wal_segments: self.wal.as_ref().map_or(0, TenantWal::segments),
             wal_unsynced_bytes: self.wal.as_ref().map_or(0, TenantWal::unsynced_bytes),
             wal_fsync_lag_us: self.wal.as_ref().map_or(0.0, TenantWal::fsync_lag_us),
-            // Shard-level: filled in by the shard serving the request.
+            // Shard- and server-level: filled in by the shard serving
+            // the request.
             followers: 0,
             repl_lag: 0,
+            query_cache_hits: 0,
+            query_cache_misses: 0,
         }
     }
 }
@@ -303,6 +401,9 @@ struct Shard {
     /// Live replication subscribers (fan-out targets for every
     /// accepted write on this shard).
     subs: Vec<Subscriber>,
+    /// The server-wide query-result cache: the shard bumps tenant
+    /// versions on every accepted state change.
+    cache: Arc<QueryCache>,
     cfg: ServeConfig,
 }
 
@@ -413,6 +514,7 @@ impl Shard {
                     }
                     t.buffer.push(p);
                     t.points_total += 1;
+                    self.cache.bump(tenant);
                     if t.buffer.len() >= self.cfg.flush_batch {
                         t.flush();
                     }
@@ -433,6 +535,7 @@ impl Shard {
                     }
                     t.points_total += points.len() as u64;
                     t.buffer.extend(points);
+                    self.cache.bump(tenant);
                     if t.buffer.len() >= self.cfg.flush_batch {
                         t.flush();
                     }
@@ -456,6 +559,8 @@ impl Shard {
                     let mut stats = t.stats();
                     stats.followers = self.subs.len() as u64;
                     stats.repl_lag = self.subs.iter().map(Subscriber::lag).max().unwrap_or(0);
+                    stats.query_cache_hits = self.cache.hit_count();
+                    stats.query_cache_misses = self.cache.miss_count();
                     Reply::Stats(stats)
                 }
                 None => no_such_tenant(tenant),
@@ -515,6 +620,9 @@ impl Shard {
                         }
                     }
                     push_record(&mut self.subs, tenant, &encode_record(&WalRecord::Delete));
+                    // A cached reply from the deleted life must never
+                    // answer for a future tenant under the same name.
+                    self.cache.bump(tenant);
                     // Park the reset engine for delete-and-recreate
                     // reuse: the next CREATE with the same config takes
                     // it instead of reconstructing.
@@ -554,7 +662,15 @@ impl Shard {
         let wal = match self.cfg.tenant_wal_dir(tenant) {
             Some(dir) => match TenantWal::create(&dir, self.cfg.wal_tuning) {
                 Ok(mut wal) => {
-                    let body = encode_create_body(&config);
+                    let body = match encode_create_body(&config) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            return Reply::Error(
+                                ErrorKind::BadRequest,
+                                format!("config too large for the log: {e}"),
+                            )
+                        }
+                    };
                     if let Err(e) = wal.append(&body).and_then(|()| wal.sync()) {
                         return Reply::Error(
                             ErrorKind::Unsupported,
@@ -574,6 +690,9 @@ impl Shard {
             tenant.to_string(),
             Tenant::new(engine, Some(config)).with_wal(wal),
         );
+        // A fresh tenant must not serve replies cached under a prior
+        // life of the same name.
+        self.cache.bump(tenant);
         Reply::Ok
     }
 
@@ -586,11 +705,24 @@ impl Shard {
             t.flush();
             let mut frames: Vec<Vec<u8>> = Vec::new();
             if let Some(config) = &t.config {
-                frames.push(encode_create_body(config));
+                match encode_create_body(config) {
+                    Ok(body) => frames.push(body),
+                    Err(e) => {
+                        return Reply::Error(
+                            ErrorKind::Unsupported,
+                            format!("bootstrap encode of {name:?} failed: {e}"),
+                        )
+                    }
+                }
             }
             if let Some(bytes) = t.engine.snapshot() {
                 let mut body = Vec::with_capacity(bytes.len() + 8);
-                WalRecord::Snapshot(bytes).encode(&mut body);
+                if let Err(e) = WalRecord::Snapshot(bytes).encode(&mut body) {
+                    return Reply::Error(
+                        ErrorKind::Unsupported,
+                        format!("bootstrap encode of {name:?} failed: {e}"),
+                    );
+                }
                 frames.push(body);
             } else if let Some(wal) = &mut t.wal {
                 // Sync first so the on-disk log holds every
@@ -659,6 +791,8 @@ impl Shard {
                 }
                 t.points_total += suffix.len() as u64;
                 t.buffer.extend_from_slice(suffix);
+                // Replicated state moved: cached replies are stale.
+                self.cache.bump(tenant);
                 if t.buffer.len() >= self.cfg.flush_batch {
                     t.flush();
                 }
@@ -686,7 +820,10 @@ impl Shard {
                     // the snapshot — the snapshot record itself.
                     let mut seed: Vec<Vec<u8>> = Vec::new();
                     if let Some(config) = &fresh.config {
-                        seed.push(encode_create_body(config));
+                        seed.push(
+                            encode_create_body(config)
+                                .map_err(|e| format!("bootstrap wal: {e}"))?,
+                        );
                     }
                     if self.cfg.spool_dir.is_none() {
                         seed.push(encode_record(&WalRecord::Snapshot(bytes)));
@@ -699,6 +836,7 @@ impl Shard {
                     fresh.wal = Some(wal);
                 }
                 self.tenants.insert(tenant.to_string(), fresh);
+                self.cache.bump(tenant);
                 Ok(())
             }
             WalRecord::Delete => {
@@ -750,10 +888,14 @@ impl Shard {
     }
 }
 
-/// Encodes one record body.
+/// Encodes one record body. Every record reaching here was decoded from
+/// a wire or disk frame — i.e. it already round-tripped the format — so
+/// re-encoding cannot exceed the size caps.
 fn encode_record(record: &WalRecord) -> Vec<u8> {
     let mut body = Vec::new();
-    record.encode(&mut body);
+    record
+        .encode(&mut body)
+        .expect("previously framed record re-encodes");
     body
 }
 
@@ -772,7 +914,12 @@ fn log_accept(
     if t.wal.is_none() && subs.is_empty() {
         return Ok(());
     }
-    let body = encode_batch_body(t.points_total, points);
+    let body = encode_batch_body(t.points_total, points).map_err(|e| {
+        Reply::Error(
+            ErrorKind::BadRequest,
+            format!("batch too large for the log: {e}"),
+        )
+    })?;
     if let Some(wal) = &mut t.wal {
         wal.append(&body)
             .map_err(|e| Reply::Error(ErrorKind::Unsupported, format!("wal append failed: {e}")))?;
@@ -792,7 +939,7 @@ fn compact_log(t: &mut Tenant) -> io::Result<()> {
     };
     wal.compact()?;
     if let Some(config) = &config {
-        wal.append(&encode_create_body(config))?;
+        wal.append(&encode_create_body(config)?)?;
         wal.sync()?;
     }
     Ok(())
@@ -972,7 +1119,9 @@ impl ServerHandle {
         // Connection threads observe the stop flag via their read
         // timeout; join them before the shards so no request can race a
         // closing queue.
-        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        // A connection thread that panicked poisons this lock; shutdown
+        // must still join the survivors.
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|p| p.into_inner()));
         for c in conns {
             let _ = c.join();
         }
@@ -1021,6 +1170,7 @@ impl Server {
             initial[shard_of(&name, nshards)].insert(name, tenant);
         }
 
+        let cache = Arc::new(QueryCache::default());
         let mut shard_txs = Vec::with_capacity(nshards);
         let mut shards = Vec::with_capacity(nshards);
         for tenants in initial {
@@ -1029,6 +1179,7 @@ impl Server {
                 tenants,
                 parked: Vec::new(),
                 subs: Vec::new(),
+                cache: Arc::clone(&cache),
                 cfg: cfg.clone(),
             };
             shard_txs.push(tx);
@@ -1070,10 +1221,11 @@ impl Server {
                             let stop = Arc::clone(&stop);
                             let txs = shard_txs.clone();
                             let role = role.clone();
+                            let cache = Arc::clone(&cache);
                             let handle = std::thread::spawn(move || {
-                                serve_connection(stream, txs, stop, role)
+                                serve_connection(stream, txs, stop, role, cache)
                             });
-                            let mut conns = conns.lock().expect("conns lock");
+                            let mut conns = conns.lock().unwrap_or_else(|p| p.into_inner());
                             // Reap finished connections so the handle
                             // list tracks live connections, not the
                             // server's whole connection history.
@@ -1178,10 +1330,19 @@ fn serve_connection(
     shard_txs: Vec<SyncSender<ShardMsg>>,
     stop: Arc<AtomicBool>,
     role: Role,
+    cache: Arc<QueryCache>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut reader = io::BufReader::new(stream.try_clone().expect("clone stream"));
+    // A failed clone (fd exhaustion) costs this connection, not the
+    // server.
+    let mut reader = match stream.try_clone() {
+        Ok(read_half) => io::BufReader::new(read_half),
+        Err(e) => {
+            eprintln!("fairsw-served: dropping connection (stream clone failed: {e})");
+            return;
+        }
+    };
     let mut writer = io::BufWriter::new(stream);
 
     loop {
@@ -1216,11 +1377,11 @@ fn serve_connection(
                 serve_subscription(&mut writer, &shard_txs, &stop, &role);
                 return;
             }
-            Ok(req) => route(req, &shard_txs, &stop, &role),
+            Ok(req) => route(req, &shard_txs, &stop, &role, &cache),
             Err(e) => Reply::Error(ErrorKind::BadRequest, e.to_string()),
         };
         let done = matches!(reply, Reply::Error(ErrorKind::ShuttingDown, _));
-        if write_frame(&mut writer, &reply.encode()).is_err() {
+        if write_frame(&mut writer, &reply_bytes(&reply)).is_err() {
             return;
         }
         if done {
@@ -1243,7 +1404,7 @@ fn serve_subscription(
             ErrorKind::Unsupported,
             "server started without --wal; nothing to replicate".into(),
         );
-        let _ = write_frame(writer, &reply.encode());
+        let _ = write_frame(writer, &reply_bytes(&reply));
         return;
     }
     let (sub, rx) = subscription();
@@ -1260,26 +1421,32 @@ fn serve_subscription(
         {
             let _ = write_frame(
                 writer,
-                &Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into()).encode(),
+                &reply_bytes(&Reply::Error(
+                    ErrorKind::ShuttingDown,
+                    "shard stopped".into(),
+                )),
             );
             return;
         }
         match rrx.recv() {
             Ok(Reply::Ok) => {}
             Ok(other) => {
-                let _ = write_frame(writer, &other.encode());
+                let _ = write_frame(writer, &reply_bytes(&other));
                 return;
             }
             Err(_) => {
                 let _ = write_frame(
                     writer,
-                    &Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into()).encode(),
+                    &reply_bytes(&Reply::Error(
+                        ErrorKind::ShuttingDown,
+                        "shard stopped".into(),
+                    )),
                 );
                 return;
             }
         }
     }
-    if write_frame(writer, &Reply::Ok.encode()).is_err() {
+    if write_frame(writer, &reply_bytes(&Reply::Ok)).is_err() {
         return;
     }
     while !stop.load(Ordering::SeqCst) {
@@ -1295,12 +1462,24 @@ fn serve_subscription(
     }
 }
 
+/// Encodes a reply for the wire, downgrading an unencodable reply into
+/// an error reply (error replies truncate their message, so they always
+/// encode).
+fn reply_bytes(reply: &Reply) -> Vec<u8> {
+    reply.encode().unwrap_or_else(|e| {
+        Reply::Error(ErrorKind::BadRequest, format!("reply unencodable: {e}"))
+            .encode()
+            .expect("error replies always encode")
+    })
+}
+
 /// Routes one decoded request and waits for the shard's reply.
 fn route(
     req: Request,
     shard_txs: &[SyncSender<ShardMsg>],
     stop: &AtomicBool,
     role: &Role,
+    cache: &QueryCache,
 ) -> Reply {
     if stop.load(Ordering::SeqCst) {
         return Reply::Error(ErrorKind::ShuttingDown, "server is shutting down".into());
@@ -1387,11 +1566,30 @@ fn route(
         }
         Request::Insert { tenant, point } => (Op::Insert(point), tenant),
         Request::InsertBatch { tenant, points } => (Op::InsertBatch(points), tenant),
-        Request::Query { tenant } => (Op::Query, tenant),
+        Request::Query { tenant } => {
+            // A repeat query at an unchanged tenant version is answered
+            // straight from the cache — the shard thread never sees it.
+            // On a miss, the version snapshot taken *before* dispatch
+            // keys the store: a write racing the computation moves the
+            // version and the store is refused.
+            let (hit, version) = cache.begin_query(&tenant);
+            if let Some(reply) = hit {
+                return reply;
+            }
+            let reply = dispatch(shard_txs, tenant.clone(), Op::Query);
+            cache.store(&tenant, version, &reply);
+            return reply;
+        }
         Request::Stats { tenant } => (Op::Stats, tenant),
         Request::Checkpoint { tenant } => (Op::Checkpoint, tenant),
         Request::Delete { tenant } => (Op::Delete, tenant),
     };
+    dispatch(shard_txs, tenant, op)
+}
+
+/// Sends one tenant-scoped op to its shard (bounded, non-blocking) and
+/// waits for the reply.
+fn dispatch(shard_txs: &[SyncSender<ShardMsg>], tenant: String, op: Op) -> Reply {
     let tx = &shard_txs[shard_of(&tenant, shard_txs.len())];
     let (rtx, rrx) = mpsc::channel();
     match tx.try_send(ShardMsg::Req {

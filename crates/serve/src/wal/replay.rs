@@ -152,10 +152,11 @@ mod tests {
         )
         .unwrap();
         let mut body = Vec::new();
-        WalRecord::Create(config()).encode(&mut body);
+        WalRecord::Create(config()).encode(&mut body).unwrap();
         wal.append(&body).unwrap();
         for (start, points) in batches {
-            wal.append(&encode_batch_body(*start, points)).unwrap();
+            wal.append(&encode_batch_body(*start, points).unwrap())
+                .unwrap();
         }
         wal.sync().unwrap();
     }

@@ -162,7 +162,11 @@ pub(crate) fn follower_loop(
         warned = false;
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-        if write_frame(&mut stream, &Request::WalSubscribe.encode()).is_err() {
+        // A payload-free static request always fits the wire format.
+        let subscribe = Request::WalSubscribe
+            .encode()
+            .expect("static request encodes");
+        if write_frame(&mut stream, &subscribe).is_err() {
             backoff(&done);
             continue;
         }

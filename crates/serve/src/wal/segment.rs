@@ -22,8 +22,8 @@
 //! `WAL_APPEND` replication frames.
 
 use crate::protocol::{
-    put_u32, put_u64, take_bytes, take_count32, take_point, take_u64, take_u8, TenantConfig,
-    WireError, MAX_FRAME,
+    check_len, put_u32, put_u64, take_bytes, take_count32, take_point, take_u64, take_u8,
+    ProtocolError, TenantConfig, WireError, MAX_FRAME,
 };
 use fairsw_metric::{Colored, EuclidPoint};
 use std::fs::File;
@@ -104,23 +104,29 @@ pub enum WalRecord {
 }
 
 impl WalRecord {
-    /// Appends the record body (tag + payload) to `out`.
-    pub fn encode(&self, out: &mut Vec<u8>) {
+    /// Appends the record body (tag + payload) to `out`. Fails with
+    /// [`ProtocolError::TooLarge`] when a value does not fit its wire
+    /// field — unreachable for records built from wire-decoded requests
+    /// (the wire bounds every length structurally), checked anyway so an
+    /// in-process caller can never log a misparsing record.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
         match self {
             WalRecord::Create(config) => {
                 out.push(REC_CREATE);
-                config.encode(out);
+                config.encode(out)?;
             }
             WalRecord::Batch { start, points } => {
-                out.extend_from_slice(&encode_batch_body(*start, points));
+                out.extend_from_slice(&encode_batch_body(*start, points)?);
             }
             WalRecord::Snapshot(bytes) => {
+                check_len("snapshot bytes", bytes.len(), u32::MAX as usize)?;
                 out.push(REC_SNAPSHOT);
                 put_u32(out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
             }
             WalRecord::Delete => out.push(REC_DELETE),
         }
+        Ok(())
     }
 
     /// Decodes one record body from the front of `input`, advancing it.
@@ -150,23 +156,26 @@ impl WalRecord {
 /// Encodes a `Batch` record body straight from a borrowed point slice —
 /// the ingest hot path logs accepted batches without cloning them into
 /// an owned [`WalRecord`] first.
-pub fn encode_batch_body(start: u64, points: &[Colored<EuclidPoint>]) -> Vec<u8> {
+pub fn encode_batch_body(
+    start: u64,
+    points: &[Colored<EuclidPoint>],
+) -> Result<Vec<u8>, ProtocolError> {
+    check_len("batch size", points.len(), u32::MAX as usize)?;
     let mut out = Vec::with_capacity(16 + points.len() * 24);
     out.push(REC_BATCH);
     put_u64(&mut out, start);
-    debug_assert!(points.len() <= u32::MAX as usize);
     put_u32(&mut out, points.len() as u32);
     for p in points {
-        crate::protocol::put_point(&mut out, p);
+        crate::protocol::put_point(&mut out, p)?;
     }
-    out
+    Ok(out)
 }
 
 /// Encodes a `Create` record body.
-pub fn encode_create_body(config: &TenantConfig) -> Vec<u8> {
+pub fn encode_create_body(config: &TenantConfig) -> Result<Vec<u8>, ProtocolError> {
     let mut out = Vec::with_capacity(64);
-    WalRecord::Create(config.clone()).encode(&mut out);
-    out
+    WalRecord::Create(config.clone()).encode(&mut out)?;
+    Ok(out)
 }
 
 // ---- framing ------------------------------------------------------------
@@ -300,7 +309,7 @@ mod tests {
         ];
         for rec in records {
             let mut body = Vec::new();
-            rec.encode(&mut body);
+            rec.encode(&mut body).unwrap();
             let mut input = body.as_slice();
             assert_eq!(WalRecord::decode(&mut input).unwrap(), rec);
             assert!(input.is_empty(), "{rec:?} left trailing bytes");
@@ -318,7 +327,7 @@ mod tests {
         let mut seg = Vec::new();
         for r in &recs {
             let mut body = Vec::new();
-            r.encode(&mut body);
+            r.encode(&mut body).unwrap();
             seg.extend_from_slice(&frame_record(&body));
         }
         let (got, valid) = read_segment(&seg);

@@ -312,7 +312,7 @@ mod tests {
     fn segments_hold_readable_frames() {
         let dir = scratch("frames");
         let mut wal = TenantWal::create(&dir, WalTuning::default()).unwrap();
-        let body = super::super::segment::encode_batch_body(0, &[]);
+        let body = super::super::segment::encode_batch_body(0, &[]).unwrap();
         wal.append(&body).unwrap();
         wal.append(&body).unwrap();
         wal.sync().unwrap();

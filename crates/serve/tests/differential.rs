@@ -130,8 +130,8 @@ fn oracle_for(config: &TenantConfig) -> WindowEngine<Euclidean> {
 /// is the bit-identity the acceptance criterion demands).
 fn assert_reply_bytes(ctx: &str, got: &Reply, want: &Reply) {
     assert_eq!(
-        got.encode(),
-        want.encode(),
+        got.encode().unwrap(),
+        want.encode().unwrap(),
         "{ctx}: reply diverged from oracle\n got: {got:?}\nwant: {want:?}"
     );
 }
@@ -166,6 +166,8 @@ fn expected_stats(
         wal_fsync_lag_us: 0.0,
         followers: 0,
         repl_lag: 0,
+        query_cache_hits: 0,
+        query_cache_misses: 0,
     }
 }
 
@@ -356,9 +358,79 @@ fn checkpoint_kill_restart_resumes_bit_identically() {
             // points_total restarts from the snapshot's arrival clock.
             expected_stats(&oracle, 0, points.len() as u64),
         );
+        // The restarted server's cache answers the repeat — still
+        // byte-identical to the recompute above.
+        let again = client.query(name).expect("repeat query reply");
+        assert_reply_bytes(&format!("{name} cached repeat after restart"), &again, &got);
     }
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn read_heavy_mix_hits_the_cache_and_stays_bit_identical() {
+    // The result-cache lane: a 95/5 query/ingest mix over every variant.
+    // Each insert chunk is followed by 19 repeat queries — the first
+    // recomputes (cache miss), the rest are answered from the cache on
+    // the connection threads — and every single one must be
+    // byte-identical to a cold sequential oracle fed the same prefix.
+    let handle = Server::start("127.0.0.1:0", serve_config()).expect("server starts");
+    let addr = handle.local_addr();
+    let points = stream();
+
+    std::thread::scope(|scope| {
+        for (name, config) in variants() {
+            let points = &points;
+            let tenant = format!("{name}-readheavy");
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                assert_eq!(
+                    client.create(&tenant, &config).unwrap(),
+                    Reply::Ok,
+                    "{tenant}: create"
+                );
+                let mut oracle = oracle_for(&config);
+                // Chunk size 8 stays under the flush threshold of 16, so
+                // tick-driven flushes interleave with the queries.
+                for (ci, chunk) in points.chunks(8).enumerate() {
+                    assert_eq!(
+                        client.insert_batch(&tenant, chunk).unwrap(),
+                        Reply::Ok,
+                        "{tenant}: ingest chunk {ci}"
+                    );
+                    for p in chunk {
+                        oracle.insert(p.clone());
+                    }
+                    let want = Reply::from_query(&oracle.query());
+                    for rep in 0..19 {
+                        let got = client.query(&tenant).expect("query reply");
+                        assert_reply_bytes(
+                            &format!("{tenant} chunk {ci} repeat {rep}"),
+                            &got,
+                            &want,
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The raw (non-deterministic()) STATS carry the cache counters: a
+    // repeat-dominated mix must be served mostly from the cache.
+    let mut client = Client::connect(addr).expect("connect");
+    match client.stats("fixed-readheavy").expect("stats reply") {
+        Reply::Stats(s) => {
+            assert!(s.query_cache_misses > 0, "first queries must miss");
+            assert!(
+                s.query_cache_hits > s.query_cache_misses,
+                "a 95/5 mix must be hit-dominated: {} hits, {} misses",
+                s.query_cache_hits,
+                s.query_cache_misses
+            );
+        }
+        other => panic!("unexpected stats reply {other:?}"),
+    }
+    handle.shutdown();
 }
 
 #[test]
@@ -545,6 +617,10 @@ fn verify_recovered_tenant(
         &got,
         &Reply::from_query(&oracle.query()),
     );
+    // No write intervened, so the repeat is served from the survivor's
+    // result cache — and must still be byte-identical to the recompute.
+    let again = client.query(tenant).expect("repeat query reply");
+    assert_reply_bytes(&format!("{tenant} cached repeat"), &again, &got);
 }
 
 #[test]

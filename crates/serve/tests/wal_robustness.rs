@@ -57,7 +57,7 @@ fn segment_bytes(records: &[WalRecord]) -> (Vec<u8>, Vec<usize>) {
     let mut ends = Vec::new();
     for r in records {
         let mut body = Vec::new();
-        r.encode(&mut body);
+        r.encode(&mut body).unwrap();
         bytes.extend_from_slice(&frame_record(&body));
         ends.push(bytes.len());
     }
@@ -140,11 +140,11 @@ proptest! {
     ) {
         let dir = scratch_dir("torn");
         let mut wal = TenantWal::create(&dir, tiny()).unwrap();
-        wal.append(&encode_create_body(&config())).unwrap();
+        wal.append(&encode_create_body(&config()).unwrap()).unwrap();
         let mut t = 0u64;
         for b in 0..nbatches as u64 {
             let points: Vec<_> = (0..1 + b % 5).map(|j| cp(t + j)).collect();
-            wal.append(&encode_batch_body(t, &points)).unwrap();
+            wal.append(&encode_batch_body(t, &points).unwrap()).unwrap();
             t += points.len() as u64;
         }
         wal.sync().unwrap();
@@ -185,7 +185,7 @@ proptest! {
         // the new record lands right after the surviving prefix.
         let mut wal = TenantWal::reopen(&dir, tiny(), cut).unwrap();
         let extra: Vec<_> = (0..2).map(cp).collect();
-        wal.append(&encode_batch_body(batch_points(&records), &extra)).unwrap();
+        wal.append(&encode_batch_body(batch_points(&records), &extra).unwrap()).unwrap();
         wal.sync().unwrap();
         drop(wal);
         let (resumed, _) = read_log(&dir).unwrap();
@@ -202,22 +202,22 @@ proptest! {
     ) {
         let dir = scratch_dir("compact");
         let mut wal = TenantWal::create(&dir, tiny()).unwrap();
-        wal.append(&encode_create_body(&config())).unwrap();
+        wal.append(&encode_create_body(&config()).unwrap()).unwrap();
         let mut t = 0u64;
         for _ in 0..nbefore {
             let points: Vec<_> = (0..3).map(|j| cp(t + j)).collect();
-            wal.append(&encode_batch_body(t, &points)).unwrap();
+            wal.append(&encode_batch_body(t, &points).unwrap()).unwrap();
             t += 3;
         }
         wal.compact().unwrap();
         prop_assert_eq!(wal.segments(), 1, "compaction must leave one segment");
         // The server reseeds a compacted log with its Create record so
         // it stays self-describing; mirror that here.
-        wal.append(&encode_create_body(&config())).unwrap();
+        wal.append(&encode_create_body(&config()).unwrap()).unwrap();
         let mut expected = vec![WalRecord::Create(config())];
         for _ in 0..nafter {
             let points: Vec<_> = (0..2).map(|j| cp(t + j)).collect();
-            wal.append(&encode_batch_body(t, &points)).unwrap();
+            wal.append(&encode_batch_body(t, &points).unwrap()).unwrap();
             expected.push(WalRecord::Batch { start: t, points });
             t += 2;
         }
@@ -254,7 +254,7 @@ proptest! {
             .collect();
         let record = WalRecord::Batch { start, points };
         let mut body = Vec::new();
-        record.encode(&mut body);
+        record.encode(&mut body).unwrap();
         let mut input = &body[..];
         let decoded = WalRecord::decode(&mut input).unwrap();
         prop_assert!(input.is_empty(), "decode must consume the whole body");
@@ -269,7 +269,7 @@ proptest! {
     fn snapshot_and_delete_records_roundtrip(blob in proptest::collection::vec(0u8..255, 0..256)) {
         for record in [WalRecord::Snapshot(blob.clone()), WalRecord::Delete, WalRecord::Create(config())] {
             let mut body = Vec::new();
-            record.encode(&mut body);
+            record.encode(&mut body).unwrap();
             let mut input = &body[..];
             prop_assert_eq!(&WalRecord::decode(&mut input).unwrap(), &record);
             prop_assert!(input.is_empty());
