@@ -36,7 +36,9 @@
 use fairsw_bench::{env_usize, fmt_duration};
 use fairsw_core::{FairSWConfig, FairSlidingWindow, SlidingWindowClustering, Solution};
 use fairsw_datasets::BlobsParams;
-use fairsw_metric::{sampled_extremes, CoresetView, EuclidPoint, Euclidean, Metric};
+use fairsw_metric::{
+    active_isa, sampled_extremes, CoresetView, EuclidPoint, Euclidean, Exactness, Metric, Relaxed,
+};
 use fairsw_sequential::{FairCenterSolver, Jones, Kleindessner};
 use std::io::Write as _;
 use std::time::{Duration, Instant};
@@ -62,11 +64,14 @@ struct KernelLane {
     reps: usize,
     scalar: Duration,
     batched: Duration,
+    simd: Duration,
     speedup: f64,
+    simd_speedup: f64,
 }
 
-/// Times `reps` full `dist_one_to_many` sweeps over `view`, returning a
-/// fold of the outputs so the work cannot be optimized away.
+/// Times `reps` full `dist_one_to_many` sweeps over `view` (best of
+/// three rounds — standard noise suppression on a shared host),
+/// returning a fold of the outputs so the work cannot be optimized away.
 fn time_kernel<M: Metric<Point = EuclidPoint>>(
     metric: &M,
     q: &EuclidPoint,
@@ -74,20 +79,32 @@ fn time_kernel<M: Metric<Point = EuclidPoint>>(
     reps: usize,
     out: &mut [f64],
 ) -> (Duration, u64) {
-    let t0 = Instant::now();
+    let mut best = Duration::MAX;
     let mut check = 0u64;
-    for _ in 0..reps {
-        metric.dist_one_to_many(q, view, out);
-        check ^= out.iter().fold(0u64, |acc, d| acc ^ d.to_bits());
+    for _ in 0..3 {
+        check = 0;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            metric.dist_one_to_many(q, view, out);
+            check ^= out.iter().fold(0u64, |acc, d| acc ^ d.to_bits());
+        }
+        best = best.min(t0.elapsed());
     }
-    (t0.elapsed(), check)
+    (best, check)
 }
 
 fn kernel_lanes(reps: usize) -> Vec<KernelLane> {
-    let n = 4096usize;
-    [4usize, 16, 64]
+    [4usize, 16, 64, 256, 1024]
         .into_iter()
         .map(|dim| {
+            // Size each lane so the staged block stays cache-resident
+            // (≤ 2 MB): the lane measures kernel arithmetic, not DRAM
+            // bandwidth — wide-dim candidate sets of thousands of
+            // points do not arise in coreset-sized views anyway.
+            let n = 4096usize.min((1 << 20) / (8 * dim)).max(128);
+            // Keep per-lane flop counts comparable: fewer reps at the
+            // wide dims (floor of 2 so the measurement stays real).
+            let reps = (reps * (4096 * 64) / (n * 64.max(dim))).max(2);
             let points: Vec<EuclidPoint> = (0..n)
                 .map(|i| {
                     EuclidPoint::new(
@@ -100,10 +117,28 @@ fn kernel_lanes(reps: usize) -> Vec<KernelLane> {
             let q = points[0].clone();
             let mut out = vec![0.0f64; n];
 
-            // Staged lane (columnar kernels).
+            // Staged exact lane (columnar kernels, bit-identical).
             let mut staged = CoresetView::new();
             staged.gather(&Euclidean, points.iter());
             let (batched, check_b) = time_kernel(&Euclidean, &q, &staged, reps, &mut out);
+
+            // Staged SIMD lane: the same columns, `Approx` mode — the
+            // runtime-dispatched vector kernels (scalar fallback when
+            // the host has none, making this lane ≈ the exact one).
+            let relaxed = Relaxed::new(Euclidean, Exactness::Approx { epsilon: 0.0 });
+            let mut staged_simd = CoresetView::new();
+            staged_simd.gather(&relaxed, points.iter());
+            let (simd, _check_v) = time_kernel(&relaxed, &q, &staged_simd, reps, &mut out);
+            // FMA contraction may shift the low bits, so the SIMD lane
+            // is tolerance-checked rather than bit-checked.
+            let mut exact_out = vec![0.0f64; n];
+            Euclidean.dist_one_to_many(&q, &staged, &mut exact_out);
+            for (i, (&a, &b)) in exact_out.iter().zip(out.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "dim {dim} row {i}: simd {b} vs exact {a}"
+                );
+            }
 
             // Scalar lane: same view shape, no staged columns.
             let scalar_metric = ScalarOnly(Euclidean);
@@ -119,7 +154,9 @@ fn kernel_lanes(reps: usize) -> Vec<KernelLane> {
                 reps,
                 scalar,
                 batched,
+                simd,
                 speedup: scalar.as_secs_f64() / batched.as_secs_f64().max(1e-12),
+                simd_speedup: scalar.as_secs_f64() / simd.as_secs_f64().max(1e-12),
             }
         })
         .collect()
@@ -205,20 +242,24 @@ fn main() {
     println!("window={window} stream={stream} dim={dim} query_reps={query_reps} smoke={smoke}");
 
     // --- raw kernel lanes ------------------------------------------------
+    let isa = active_isa();
+    println!("simd isa: {}", isa.name());
     let lanes = kernel_lanes(kernel_reps);
     println!(
-        "\n{:<6} {:>7} {:>6} {:>12} {:>12} {:>9}",
-        "dim", "points", "reps", "scalar", "batched", "speedup"
+        "\n{:<6} {:>7} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "dim", "points", "reps", "scalar", "batched", "simd", "speedup", "simd-x"
     );
     for l in &lanes {
         println!(
-            "{:<6} {:>7} {:>6} {:>12} {:>12} {:>8.2}x",
+            "{:<6} {:>7} {:>6} {:>12} {:>12} {:>12} {:>8.2}x {:>8.2}x",
             l.dim,
             l.points,
             l.reps,
             fmt_duration(l.scalar),
             fmt_duration(l.batched),
-            l.speedup
+            fmt_duration(l.simd),
+            l.speedup,
+            l.simd_speedup
         );
     }
 
@@ -305,18 +346,21 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"bench\": \"kernel_throughput\",\n  \"window\": {window},\n  \"stream\": {stream},\n  \"dim\": {dim},\n  \"query_reps\": {query_reps},\n  \"host_cores\": {host_cores},\n  \"smoke\": {smoke},\n  \"query_speedup\": {query_speedup:.3},\n  \"query_speedup_target\": 1.5,\n  \"jones_query_speedup\": {jones_speedup:.3},\n  \"coreset_size\": {},\n  \"answers_bit_identical\": true,\n  \"kernel_lanes\": [\n",
+        "  \"bench\": \"kernel_throughput\",\n  \"window\": {window},\n  \"stream\": {stream},\n  \"dim\": {dim},\n  \"query_reps\": {query_reps},\n  \"host_cores\": {host_cores},\n  \"smoke\": {smoke},\n  \"isa\": \"{}\",\n  \"query_speedup\": {query_speedup:.3},\n  \"query_speedup_target\": 1.5,\n  \"jones_query_speedup\": {jones_speedup:.3},\n  \"jones_query_speedup_target\": 1.5,\n  \"simd_kernel_speedup_target\": 3.0,\n  \"coreset_size\": {},\n  \"answers_bit_identical\": true,\n  \"kernel_lanes\": [\n",
+        isa.name(),
         sol_batched.coreset_size
     ));
     for (i, l) in lanes.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"dim\": {}, \"points\": {}, \"reps\": {}, \"scalar_ns\": {}, \"batched_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"dim\": {}, \"points\": {}, \"reps\": {}, \"scalar_ns\": {}, \"batched_ns\": {}, \"simd_ns\": {}, \"speedup\": {:.3}, \"simd_speedup\": {:.3}}}{}\n",
             l.dim,
             l.points,
             l.reps,
             l.scalar.as_nanos(),
             l.batched.as_nanos(),
+            l.simd.as_nanos(),
             l.speedup,
+            l.simd_speedup,
             if i + 1 < lanes.len() { "," } else { "" }
         ));
     }
@@ -327,8 +371,31 @@ fn main() {
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 
+    let mut failed = false;
     if !smoke && query_speedup < 1.5 {
         eprintln!("query speedup {query_speedup:.2}x below the 1.5x target");
+        failed = true;
+    }
+    if !smoke && jones_speedup < 1.5 {
+        eprintln!("jones query speedup {jones_speedup:.2}x below the 1.5x target");
+        failed = true;
+    }
+    // The vector-kernel gate only binds where a vector ISA actually ran
+    // (the recorded `isa` field proves which path was measured).
+    if !smoke && isa.name() != "scalar" {
+        for l in lanes.iter().filter(|l| l.dim >= 16) {
+            if l.simd_speedup < 3.0 {
+                eprintln!(
+                    "dim {} simd kernel speedup {:.2}x below the 3x target ({} isa)",
+                    l.dim,
+                    l.simd_speedup,
+                    isa.name()
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

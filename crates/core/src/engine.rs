@@ -87,7 +87,7 @@ use crate::oblivious::ObliviousFairSlidingWindow;
 use crate::parallel::ParallelismSpec;
 use crate::robust::RobustFairSlidingWindow;
 use fairsw_matroid::AnyMatroid;
-use fairsw_metric::{Colored, Metric};
+use fairsw_metric::{Colored, Exactness, Metric, Relaxed};
 
 /// Which sliding-window variant to construct, plus its extra parameters.
 ///
@@ -363,6 +363,8 @@ pub struct EngineBuilder {
     cfg: FairSWConfigBuilder,
     spec: Option<VariantSpec>,
     par: ParallelismSpec,
+    exactness: Exactness,
+    compact_mirror: bool,
 }
 
 impl EngineBuilder {
@@ -454,6 +456,45 @@ impl EngineBuilder {
             dmin,
             dmax,
         })
+    }
+
+    /// Sets the kernel exactness contract for
+    /// [`build_relaxed`](Self::build_relaxed): [`Exactness::Exact`]
+    /// (the default) keeps every distance bit-identical to the scalar
+    /// reference kernels, [`Exactness::Approx`] lets staged views run the
+    /// runtime-dispatched SIMD kernels (whose FMA contraction may differ
+    /// from scalar by ulps — well inside the paper's `(1+ε)` radius
+    /// envelope). Ignored by [`build`](Self::build), which constructs the
+    /// engine over the bare metric.
+    pub fn exactness(mut self, exactness: Exactness) -> Self {
+        self.exactness = exactness;
+        self
+    }
+
+    /// In [`Exactness::Approx`] mode, additionally stages coreset views
+    /// as the compact `f32` mirror (about half the staged bytes; distance
+    /// error bounded by `f32` rounding of the coordinates). Final radii
+    /// are still re-ranked with the exact `f64` kernel. No effect in
+    /// exact mode.
+    pub fn compact_mirror(mut self, on: bool) -> Self {
+        self.compact_mirror = on;
+        self
+    }
+
+    /// Like [`build`](Self::build), but wraps the metric in
+    /// [`Relaxed`] carrying the configured
+    /// [`exactness`](Self::exactness) /
+    /// [`compact_mirror`](Self::compact_mirror) policy. With the default
+    /// `Exactness::Exact` the engine is bit-identical to
+    /// `build(metric)` — the serving layer always constructs through
+    /// this path and lets per-tenant configuration pick the mode.
+    pub fn build_relaxed<M: Metric>(
+        self,
+        metric: M,
+    ) -> Result<WindowEngine<Relaxed<M>>, ConfigError> {
+        let relaxed =
+            Relaxed::new(metric, self.exactness).with_compact_staging(self.compact_mirror);
+        self.build(relaxed)
     }
 
     /// Validates the configuration and constructs the engine.

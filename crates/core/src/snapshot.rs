@@ -289,6 +289,25 @@ fn decode_guess<P>(
             },
         );
     }
+    // Cross-table invariants the insert path relies on: every live
+    // v-attractor owns a representative slot and every live c-attractor
+    // owns a repsC table. A flipped key byte can desynchronize two maps
+    // while each stays individually well-formed — that must surface as a
+    // decode error here, not as a panic on the next arrival.
+    for v in av.keys() {
+        if !rep_of.contains_key(v) {
+            return Err(SnapshotError::Invalid(format!(
+                "live v-attractor {v} lacks a representative slot"
+            )));
+        }
+    }
+    for t in a.keys() {
+        if !reps_c.contains_key(t) {
+            return Err(SnapshotError::Invalid(format!(
+                "live c-attractor {t} lacks a repsC table"
+            )));
+        }
+    }
     let mut g = GuessState::new(gamma);
     g.av = av;
     g.rep_of = rep_of;

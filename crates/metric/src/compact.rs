@@ -1,0 +1,483 @@
+//! Compact payload mirrors: `f32` and 8-bit scalar-quantized point
+//! types with Euclidean metrics over them.
+//!
+//! `BENCH_memory.json` shows payload bytes dominating residency on wide
+//! datasets (covtype: ~896 KB of `f64` payloads vs ~34 KB of handles),
+//! so halving or eighth-ing coordinate width shrinks the resident
+//! coreset where it actually lives — and doubles the lanes each vector
+//! register holds. Two point types implement the trade:
+//!
+//! * [`CompactPoint`] — coordinates stored once as `f32`
+//!   (`4 bytes/coord`, ~2× smaller than [`EuclidPoint`]);
+//! * [`Q8Point`] — 8-bit scalar quantization per point
+//!   (`1 byte/coord` + a 8-byte `(lo, step)` header, ~8× smaller):
+//!   coordinate `d` decodes as `lo + step · code[d]` in `f32`.
+//!
+//! ### Memory math
+//!
+//! For a `dim`-dimensional point (ignoring the constant struct header
+//! and allocator rounding): [`EuclidPoint`] keeps `8·dim` payload
+//! bytes, [`CompactPoint`] `4·dim`, [`Q8Point`] `dim + 8`. On covtype
+//! (`dim = 54`) that is 432 → 216 → 62 bytes per stored point; the
+//! `memory_footprint` bench records the realized ratios per dataset.
+//!
+//! ### Exactness contract
+//!
+//! Quantization error lives entirely in the *stored values*: both
+//! metrics' scalar [`dist`](crate::Metric::dist) runs full `f64`
+//! arithmetic over the decoded coordinates, deterministically, so
+//! exact-mode engines over compact points remain bit-reproducible (and
+//! the exact-mode batched kernels widen each stored `f32` to `f64` in
+//! the scalar accumulation order — bit-identical to `dist`). Relative
+//! to the original `f64` stream the answers are approximate — rounding
+//! each coordinate to `f32` perturbs any distance by at most a
+//! `≈ 2⁻²⁴` relative factor plus cancellation effects, and `q8` by at
+//! most `√dim · step/2` absolutely — which is why the compact mirror
+//! belongs to the `Approx(ε)` side of the
+//! [`Exactness`](crate::Exactness) contract: run the candidate scans
+//! compactly, then re-rank the surviving centers on the original
+//! stream (the bench harness does exactly this comparison).
+
+use crate::kernel::{CoresetView, KernelMode, SoaBlock32};
+use crate::metric::{scalar_one_to_many, Metric};
+use crate::point::EuclidPoint;
+use crate::simd;
+use crate::store::PointFootprint;
+use std::fmt;
+use std::sync::Arc;
+
+/// A point with coordinates stored once as `f32` — the 2× compact
+/// payload mirror. Cloning shares the buffer, like [`EuclidPoint`].
+#[derive(Clone)]
+pub struct CompactPoint {
+    coords: Arc<[f32]>,
+}
+
+impl CompactPoint {
+    /// Builds a point from an `f32` coordinate vector.
+    pub fn new(coords: impl Into<Vec<f32>>) -> Self {
+        let v: Vec<f32> = coords.into();
+        CompactPoint {
+            coords: Arc::from(v.into_boxed_slice()),
+        }
+    }
+
+    /// Narrows an `f64` coordinate slice (round-to-nearest per
+    /// coordinate).
+    pub fn from_f64(xs: &[f64]) -> Self {
+        CompactPoint::new(xs.iter().map(|&x| x as f32).collect::<Vec<f32>>())
+    }
+
+    /// The stored coordinates.
+    #[inline]
+    pub fn coords(&self) -> &[f32] {
+        &self.coords
+    }
+
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Widens back to an [`EuclidPoint`] (each stored `f32` converts
+    /// exactly).
+    pub fn widen(&self) -> EuclidPoint {
+        EuclidPoint::new(self.coords.iter().map(|&x| x as f64).collect::<Vec<f64>>())
+    }
+}
+
+impl From<&EuclidPoint> for CompactPoint {
+    fn from(p: &EuclidPoint) -> Self {
+        CompactPoint::from_f64(p.coords())
+    }
+}
+
+impl PointFootprint for CompactPoint {
+    /// Struct plus the shared `f32` buffer — half the coordinate bytes
+    /// of [`EuclidPoint`].
+    fn payload_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.coords.len() * std::mem::size_of::<f32>()
+    }
+}
+
+impl fmt::Debug for CompactPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompactPoint(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialEq for CompactPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.coords[..] == other.coords[..]
+    }
+}
+
+/// A point with 8-bit scalar-quantized coordinates — the ~8× compact
+/// payload mirror. Coordinate `d` decodes as `lo + step · code[d]`,
+/// computed in `f32`; `lo`/`step` are chosen per point so the codes
+/// span the point's own coordinate range.
+#[derive(Clone)]
+pub struct Q8Point {
+    lo: f32,
+    step: f32,
+    codes: Arc<[u8]>,
+}
+
+impl Q8Point {
+    /// Quantizes an `f64` coordinate slice: `lo` = the minimum
+    /// coordinate, `step` = range/255, codes rounded to nearest.
+    /// Degenerate (constant or empty) points get `step = 0`.
+    pub fn quantize(xs: &[f64]) -> Self {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if xs.is_empty() || hi <= lo {
+            return Q8Point {
+                lo: if xs.is_empty() { 0.0 } else { lo as f32 },
+                step: 0.0,
+                codes: Arc::from(vec![0u8; xs.len()].into_boxed_slice()),
+            };
+        }
+        let lo32 = lo as f32;
+        let step = ((hi - lo) / 255.0) as f32;
+        let codes: Vec<u8> = xs
+            .iter()
+            .map(|&x| {
+                let c = ((x as f32 - lo32) / step).round();
+                c.clamp(0.0, 255.0) as u8
+            })
+            .collect();
+        Q8Point {
+            lo: lo32,
+            step,
+            codes: Arc::from(codes.into_boxed_slice()),
+        }
+    }
+
+    /// Decoded coordinate `d` (`lo + step · code`, in `f32`).
+    #[inline]
+    pub fn decode(&self, d: usize) -> f32 {
+        self.lo + self.step * self.codes[d] as f32
+    }
+
+    /// All decoded coordinates, in order.
+    #[inline]
+    pub fn decoded(&self) -> impl ExactSizeIterator<Item = f32> + '_ {
+        self.codes.iter().map(|&c| self.lo + self.step * c as f32)
+    }
+
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Widens the decoded coordinates to an [`EuclidPoint`].
+    pub fn widen(&self) -> EuclidPoint {
+        EuclidPoint::new(self.decoded().map(|x| x as f64).collect::<Vec<f64>>())
+    }
+}
+
+impl From<&EuclidPoint> for Q8Point {
+    fn from(p: &EuclidPoint) -> Self {
+        Q8Point::quantize(p.coords())
+    }
+}
+
+impl PointFootprint for Q8Point {
+    /// Struct (header carries `lo`/`step` inline) plus one byte per
+    /// coordinate.
+    fn payload_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.codes.len()
+    }
+}
+
+impl fmt::Debug for Q8Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q8Point(")?;
+        for (i, c) in self.decoded().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialEq for Q8Point {
+    fn eq(&self, other: &Self) -> bool {
+        self.lo == other.lo && self.step == other.step && self.codes[..] == other.codes[..]
+    }
+}
+
+/// The exact widened L2 kernel over a compact block: each stored `f32`
+/// widens to `f64` and accumulates in the scalar order, reproducing the
+/// compact metrics' `dist` bit for bit.
+fn l2_kernel32_exact(q: &[f32], b: &SoaBlock32, out: &mut [f64]) {
+    use crate::kernel::LANES;
+    debug_assert_eq!(q.len(), b.dim(), "dimension mismatch");
+    let n = b.len();
+    for t in 0..b.tiles() {
+        let tile = b.tile(t);
+        let mut acc = [0.0f64; LANES];
+        for (d, &qd) in q.iter().enumerate() {
+            let qd = qd as f64;
+            let lanes = &tile[d * LANES..(d + 1) * LANES];
+            for (a, &x) in acc.iter_mut().zip(lanes) {
+                let diff = qd - x as f64;
+                *a += diff * diff;
+            }
+        }
+        let start = t * LANES;
+        let w = LANES.min(n - start);
+        for (o, &a) in out[start..start + w].iter_mut().zip(&acc) {
+            *o = a.sqrt();
+        }
+    }
+}
+
+/// Shared staging/dispatch over compact blocks: stages the `f32` mirror
+/// (the only columnar form compact points have) and dispatches
+/// exact-mode views to the widened kernel, relaxed views to the `f32`
+/// SIMD kernels.
+macro_rules! compact_metric {
+    ($(#[$doc:meta])* $name:ident, $point:ty, $p:ident => $row:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default)]
+        pub struct $name;
+
+        impl Metric for $name {
+            type Point = $point;
+
+            /// Full `f64` arithmetic over the decoded stored values —
+            /// deterministic, and what "exact" means for compact
+            /// payloads.
+            #[inline]
+            fn dist(&self, a: &$point, b: &$point) -> f64 {
+                debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+                let mut acc = 0.0f64;
+                let rows = {
+                    let $p: &$point = a;
+                    $row
+                };
+                let cols = {
+                    let $p: &$point = b;
+                    $row
+                };
+                for (x, y) in rows.zip(cols) {
+                    let d = x as f64 - y as f64;
+                    acc += d * d;
+                }
+                acc.sqrt()
+            }
+
+            /// Stages the compact `f32` mirror (points of ragged
+            /// dimension fall back to per-row scalar `dist`).
+            fn stage(&self, view: &mut CoresetView<$point>) {
+                let Some(first) = view.points().first() else {
+                    return;
+                };
+                let dim = first.dim();
+                if view.points().iter().any(|p| p.dim() != dim) {
+                    return;
+                }
+                let mut soa32 = std::mem::take(view.soa32_mut());
+                soa32.stage_rows(dim, view.points().iter().map(|$p: &$point| $row));
+                *view.soa32_mut() = soa32;
+            }
+
+            /// Exact-mode views run the widened (`f64`-accumulating)
+            /// kernel, bit-identical to [`dist`](Metric::dist); relaxed
+            /// views run the runtime-dispatched `f32` SIMD kernels.
+            fn dist_one_to_many(
+                &self,
+                q: &$point,
+                view: &CoresetView<$point>,
+                out: &mut [f64],
+            ) {
+                debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+                let qrow = {
+                    let $p: &$point = q;
+                    $row
+                };
+                match view.soa32() {
+                    Some(b) => simd::with_q32(qrow, |q32| match view.mode() {
+                        KernelMode::Exact => l2_kernel32_exact(q32, b, out),
+                        _ => simd::l2_f32(q32, b, out),
+                    }),
+                    None => scalar_one_to_many(self, q, view, out),
+                }
+            }
+
+            fn dist_one_to_many_exact(
+                &self,
+                q: &$point,
+                view: &CoresetView<$point>,
+                out: &mut [f64],
+            ) {
+                debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+                let qrow = {
+                    let $p: &$point = q;
+                    $row
+                };
+                match view.soa32() {
+                    Some(b) => simd::with_q32(qrow, |q32| l2_kernel32_exact(q32, b, out)),
+                    None => scalar_one_to_many(self, q, view, out),
+                }
+            }
+        }
+    };
+}
+
+compact_metric!(
+    /// The Euclidean metric over [`CompactPoint`]s (`f64` arithmetic on
+    /// the stored `f32` coordinates).
+    CompactEuclidean,
+    CompactPoint,
+    p => p.coords().iter().copied()
+);
+
+compact_metric!(
+    /// The Euclidean metric over [`Q8Point`]s (`f64` arithmetic on the
+    /// decoded coordinates).
+    Q8Euclidean,
+    Q8Point,
+    p => p.decoded()
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Euclidean;
+
+    fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn compact_point_roundtrip_and_footprint() {
+        let p = CompactPoint::from_f64(&[1.0, -2.5, 3.25]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.coords(), &[1.0f32, -2.5, 3.25]);
+        assert_eq!(p.widen().coords(), &[1.0, -2.5, 3.25]);
+        let wide = EuclidPoint::new(vec![0.0; 64]).payload_bytes();
+        let narrow = CompactPoint::from_f64(&[0.0; 64]).payload_bytes();
+        assert!(
+            (narrow as f64) < 0.6 * wide as f64,
+            "f32 mirror not ~2x smaller: {narrow} vs {wide}"
+        );
+    }
+
+    #[test]
+    fn q8_quantizes_within_half_step() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 42.0).collect();
+        let q = Q8Point::quantize(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let step = (hi - lo) / 255.0;
+        for (d, &x) in xs.iter().enumerate() {
+            let err = (q.decode(d) as f64 - x).abs();
+            assert!(err <= step * 0.51 + 1e-6, "coord {d}: err {err} > {step}");
+        }
+        let wide = EuclidPoint::new(xs.clone()).payload_bytes();
+        assert!(
+            (q.payload_bytes() as f64) < 0.2 * wide as f64,
+            "q8 mirror not ~8x smaller"
+        );
+    }
+
+    #[test]
+    fn q8_degenerate_points() {
+        let q = Q8Point::quantize(&[]);
+        assert_eq!(q.dim(), 0);
+        let q = Q8Point::quantize(&[7.5, 7.5, 7.5]);
+        assert_eq!(q.decode(0), 7.5);
+        assert_eq!(q.decode(2), 7.5);
+    }
+
+    #[test]
+    fn compact_dist_tracks_f64_dist() {
+        let a64: Vec<f64> = (0..20).map(|i| (i as f64).cos() * 10.0).collect();
+        let b64: Vec<f64> = (0..20).map(|i| (i as f64).sin() * 10.0).collect();
+        let exact = Euclidean.dist(
+            &EuclidPoint::new(a64.clone()),
+            &EuclidPoint::new(b64.clone()),
+        );
+        let c = CompactEuclidean.dist(&CompactPoint::from_f64(&a64), &CompactPoint::from_f64(&b64));
+        assert!(
+            approx_eq(exact, c, 1e-6),
+            "f32 mirror drifted: {exact} vs {c}"
+        );
+        let q = Q8Euclidean.dist(&Q8Point::quantize(&a64), &Q8Point::quantize(&b64));
+        assert!(
+            approx_eq(exact, q, 0.02),
+            "q8 mirror drifted: {exact} vs {q}"
+        );
+    }
+
+    #[test]
+    fn exact_kernel_is_bit_identical_to_dist() {
+        let pts: Vec<CompactPoint> = (0..37)
+            .map(|i| {
+                CompactPoint::from_f64(&[
+                    (i as f64) * 0.7 - 10.0,
+                    (i as f64).sin(),
+                    1e-3 * i as f64,
+                ])
+            })
+            .collect();
+        let q = CompactPoint::from_f64(&[0.25, -1.5, 3.0]);
+        let mut view = CoresetView::new();
+        view.gather(&CompactEuclidean, pts.iter());
+        assert!(
+            view.soa32().is_some(),
+            "compact metric stages the f32 mirror"
+        );
+        assert!(view.soa().is_none(), "no f64 mirror for compact points");
+        let mut out = vec![f64::NAN; pts.len()];
+        CompactEuclidean.dist_one_to_many(&q, &view, &mut out);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(
+                out[i].to_bits(),
+                CompactEuclidean.dist(&q, p).to_bits(),
+                "exact compact kernel diverged at {i}"
+            );
+        }
+        let mut out2 = vec![f64::NAN; pts.len()];
+        CompactEuclidean.dist_one_to_many_exact(&q, &view, &mut out2);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn q8_kernel_is_bit_identical_to_dist() {
+        let pts: Vec<Q8Point> = (0..19)
+            .map(|i| {
+                Q8Point::quantize(&[(i as f64) * 1.3 - 7.0, (i as f64 * 0.11).cos() * 4.0, 0.5])
+            })
+            .collect();
+        let q = Q8Point::quantize(&[0.0, 1.0, 2.0]);
+        let mut view = CoresetView::new();
+        view.gather(&Q8Euclidean, pts.iter());
+        let mut out = vec![f64::NAN; pts.len()];
+        Q8Euclidean.dist_one_to_many(&q, &view, &mut out);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(
+                out[i].to_bits(),
+                Q8Euclidean.dist(&q, p).to_bits(),
+                "exact q8 kernel diverged at {i}"
+            );
+        }
+    }
+}

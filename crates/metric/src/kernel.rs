@@ -54,6 +54,20 @@ use std::sync::Mutex;
 /// in SIMD registers.
 pub const LANES: usize = 8;
 
+/// One `f64` lane group: the [`LANES`] values a kernel folds per
+/// (tile, dimension) step. `align(64)` pins every group — and therefore
+/// every tile — to a cache-line boundary, so vector loads are aligned
+/// and a group never straddles two lines.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C, align(64))]
+struct Lane64([f64; LANES]);
+
+/// One `f32` lane group ([`LANES`] values, 32 bytes — exactly one
+/// 256-bit vector register), aligned to its own size.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C, align(32))]
+struct Lane32([f32; LANES]);
+
 /// A tiled columnar (structure-of-arrays) coordinate block: points are
 /// grouped into tiles of [`LANES`], and within a tile the layout is
 /// dimension-major (`tile[d * LANES + lane]`). A kernel therefore
@@ -64,10 +78,14 @@ pub const LANES: usize = 8;
 /// arrays" tiling is the layout under the hand-tuned kernels of the
 /// bundled metrics.) The trailing partial tile is zero-padded; kernels
 /// compute the padding lanes and discard them.
+///
+/// The backing storage is a vector of 64-byte-aligned lane groups, so
+/// every (tile, dimension) group starts on a cache-line boundary and
+/// the SIMD kernels of [`crate::simd`] always hit aligned loads.
 #[derive(Clone, Debug, Default)]
 pub struct SoaBlock {
-    /// `ceil(len / LANES) * dim * LANES` values, tile-major.
-    cols: Vec<f64>,
+    /// `ceil(len / LANES) * dim` lane groups, tile-major.
+    cols: Vec<Lane64>,
     dim: usize,
     len: usize,
 }
@@ -97,19 +115,37 @@ impl SoaBlock {
         self.len.div_ceil(LANES)
     }
 
+    /// The staged values as one flat slice (tile-major, dimension-major
+    /// within a tile).
+    #[inline]
+    fn flat(&self) -> &[f64] {
+        // SAFETY: `Lane64` is `repr(C)` over `[f64; LANES]` with size 64
+        // and no padding, so a `Lane64` slice reinterprets soundly as a
+        // `f64` slice of `LANES ×` the length.
+        unsafe { std::slice::from_raw_parts(self.cols.as_ptr().cast(), self.cols.len() * LANES) }
+    }
+
+    #[inline]
+    fn flat_mut(&mut self) -> &mut [f64] {
+        // SAFETY: as in `flat`.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.cols.as_mut_ptr().cast(), self.cols.len() * LANES)
+        }
+    }
+
     /// The `t`-th tile: `dim * LANES` values, dimension-major
-    /// (`tile[d * LANES + lane]`).
+    /// (`tile[d * LANES + lane]`), 64-byte aligned.
     #[inline]
     pub fn tile(&self, t: usize) -> &[f64] {
         let w = self.dim * LANES;
-        &self.cols[t * w..(t + 1) * w]
+        &self.flat()[t * w..(t + 1) * w]
     }
 
     /// Coordinate `d` of point `i` (tests, diagnostics — kernels walk
     /// tiles directly).
     #[inline]
     pub fn coord(&self, d: usize, i: usize) -> f64 {
-        self.cols[(i / LANES) * self.dim * LANES + d * LANES + (i % LANES)]
+        self.flat()[(i / LANES) * self.dim * LANES + d * LANES + (i % LANES)]
     }
 
     /// Drops the staged columns, keeping the allocation.
@@ -131,15 +167,154 @@ impl SoaBlock {
         self.dim = dim;
         self.len = len;
         self.cols.clear();
-        self.cols.resize(len.div_ceil(LANES) * dim * LANES, 0.0);
+        self.cols
+            .resize(len.div_ceil(LANES) * dim, Lane64::default());
+        let flat = self.flat_mut();
         for (i, row) in rows.enumerate() {
             debug_assert_eq!(row.len(), dim, "ragged rows staged into SoaBlock");
             let base = (i / LANES) * dim * LANES + (i % LANES);
             for (d, &x) in row.iter().enumerate() {
-                self.cols[base + d * LANES] = x;
+                flat[base + d * LANES] = x;
             }
         }
     }
+}
+
+/// The `f32` twin of [`SoaBlock`]: same [`LANES`]-wide AoSoA tiling,
+/// half the bytes per coordinate, so one 256-bit register holds a whole
+/// lane group. Staged by the compact payload mirror (the
+/// [`Approx`](crate::Exactness::Approx) compact-staging mode of
+/// [`Relaxed`](crate::Relaxed) and the
+/// [`CompactEuclidean`](crate::CompactEuclidean) /
+/// [`Q8Euclidean`](crate::Q8Euclidean) metrics) and consumed by the
+/// `f32` kernels of [`crate::simd`]. Exact-mode kernels widen each
+/// stored `f32` to `f64` and accumulate in `f64`, which reproduces the
+/// compact metrics' scalar `dist` bit for bit; approximate-mode kernels
+/// accumulate natively in `f32`.
+#[derive(Clone, Debug, Default)]
+pub struct SoaBlock32 {
+    /// `ceil(len / LANES) * dim` lane groups, tile-major.
+    cols: Vec<Lane32>,
+    dim: usize,
+    len: usize,
+}
+
+impl SoaBlock32 {
+    /// Number of staged points (padding excluded).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the staged points.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of [`LANES`]-wide tiles (the last may be padded).
+    #[inline]
+    pub fn tiles(&self) -> usize {
+        self.len.div_ceil(LANES)
+    }
+
+    #[inline]
+    fn flat(&self) -> &[f32] {
+        // SAFETY: `Lane32` is `repr(C)` over `[f32; LANES]` with size 32
+        // and no padding.
+        unsafe { std::slice::from_raw_parts(self.cols.as_ptr().cast(), self.cols.len() * LANES) }
+    }
+
+    #[inline]
+    fn flat_mut(&mut self) -> &mut [f32] {
+        // SAFETY: as in `flat`.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.cols.as_mut_ptr().cast(), self.cols.len() * LANES)
+        }
+    }
+
+    /// The `t`-th tile: `dim * LANES` values, dimension-major
+    /// (`tile[d * LANES + lane]`), 32-byte aligned.
+    #[inline]
+    pub fn tile(&self, t: usize) -> &[f32] {
+        let w = self.dim * LANES;
+        &self.flat()[t * w..(t + 1) * w]
+    }
+
+    /// Coordinate `d` of point `i` (tests, diagnostics).
+    #[inline]
+    pub fn coord(&self, d: usize, i: usize) -> f32 {
+        self.flat()[(i / LANES) * self.dim * LANES + d * LANES + (i % LANES)]
+    }
+
+    /// Drops the staged columns, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.cols.clear();
+        self.dim = 0;
+        self.len = 0;
+    }
+
+    /// Stages `rows` (one `f32` value iterator per point, all of equal
+    /// dimension) into the tiled layout. Reuses the existing allocation.
+    /// The per-row iterator shape lets callers stage narrowed `f64`
+    /// coordinates, native `f32` coordinates, or decoded quantized codes
+    /// without materializing intermediate rows.
+    pub fn stage_rows<I, R>(&mut self, dim: usize, rows: I)
+    where
+        I: IntoIterator<Item = R>,
+        I::IntoIter: ExactSizeIterator,
+        R: IntoIterator<Item = f32>,
+    {
+        let rows = rows.into_iter();
+        let len = rows.len();
+        self.dim = dim;
+        self.len = len;
+        self.cols.clear();
+        self.cols
+            .resize(len.div_ceil(LANES) * dim, Lane32::default());
+        let flat = self.flat_mut();
+        for (i, row) in rows.enumerate() {
+            let base = (i / LANES) * dim * LANES + (i % LANES);
+            let mut staged = 0usize;
+            for (d, x) in row.into_iter().enumerate() {
+                flat[base + d * LANES] = x;
+                staged += 1;
+            }
+            debug_assert_eq!(staged, dim, "ragged rows staged into SoaBlock32");
+        }
+    }
+}
+
+/// How a [`CoresetView`]'s batched kernels are allowed to compute —
+/// stamped onto the view at [`Metric::stage`] time (the
+/// [`Relaxed`](crate::Relaxed) wrapper sets it from its
+/// [`Exactness`](crate::Exactness); plain metrics leave the default).
+///
+/// * [`Exact`](KernelMode::Exact) — scalar tiled kernels only,
+///   bit-identical to per-pair [`Metric::dist`]. The default; every
+///   differential suite that asserts byte equality runs here.
+/// * [`Simd`](KernelMode::Simd) — the runtime-dispatched `f64` SIMD
+///   kernels of [`crate::simd`] may run. FMA contraction changes L2 /
+///   angular rounding by an ulp-scale amount.
+/// * [`SimdF32`](KernelMode::SimdF32) — staging uses the compact `f32`
+///   mirror ([`SoaBlock32`]) and kernels accumulate in `f32`; final
+///   answers are expected to be re-ranked through
+///   [`Metric::dist_one_to_many_exact`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Scalar tiled kernels, bit-identical to scalar `dist`.
+    #[default]
+    Exact,
+    /// `f64` SIMD kernels allowed (ulp-scale FMA divergence).
+    Simd,
+    /// Compact `f32` staging and arithmetic (re-rank exact).
+    SimdF32,
 }
 
 /// A staged set of candidate points for batched distance evaluation.
@@ -160,6 +335,8 @@ pub struct CoresetView<P> {
     points: Vec<P>,
     colors: Vec<u32>,
     soa: SoaBlock,
+    soa32: SoaBlock32,
+    mode: KernelMode,
 }
 
 impl<P> Default for CoresetView<P> {
@@ -175,6 +352,8 @@ impl<P> CoresetView<P> {
             points: Vec::new(),
             colors: Vec::new(),
             soa: SoaBlock::default(),
+            soa32: SoaBlock32::default(),
+            mode: KernelMode::Exact,
         }
     }
 
@@ -223,11 +402,45 @@ impl<P> CoresetView<P> {
         &mut self.soa
     }
 
-    /// Drops the staged points, keeping every allocation.
+    /// The compact `f32` columnar mirror, when the metric staged one
+    /// (`None` unless staging ran in a compact mode, and for empty
+    /// views).
+    #[inline]
+    pub fn soa32(&self) -> Option<&SoaBlock32> {
+        (self.soa32.len() == self.points.len() && !self.points.is_empty()).then_some(&self.soa32)
+    }
+
+    /// Mutable access to the compact `f32` mirror — what compact-mode
+    /// [`Metric::stage`] implementations fill.
+    #[inline]
+    pub fn soa32_mut(&mut self) -> &mut SoaBlock32 {
+        &mut self.soa32
+    }
+
+    /// The kernel mode stamped onto this view at staging time
+    /// ([`KernelMode::Exact`] unless a relaxed metric staged it).
+    #[inline]
+    pub fn mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Stamps the kernel mode — called by [`Metric::stage`]
+    /// implementations (the [`Relaxed`](crate::Relaxed) wrapper) before
+    /// filling the columnar mirrors.
+    #[inline]
+    pub fn set_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
+    }
+
+    /// Drops the staged points, keeping every allocation. Resets the
+    /// kernel mode to [`KernelMode::Exact`]; the next staging metric
+    /// re-stamps it.
     pub fn clear(&mut self) {
         self.points.clear();
         self.colors.clear();
         self.soa.clear();
+        self.soa32.clear();
+        self.mode = KernelMode::Exact;
     }
 
     /// Gathers clones of `points` (no colors) and stages them for

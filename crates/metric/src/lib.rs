@@ -27,15 +27,21 @@
 //!   evaluate distances over the staged block bit-identically to scalar
 //!   [`Metric::dist`].
 
+pub mod compact;
 pub mod doubling;
 pub mod kernel;
 pub mod metric;
 pub mod point;
+pub mod simd;
 pub mod stats;
 pub mod store;
 
-pub use kernel::{packing_scan, CoresetView, DistScratch, ScratchPool, SoaBlock, LANES};
-pub use metric::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
+pub use compact::{CompactEuclidean, CompactPoint, Q8Euclidean, Q8Point};
+pub use kernel::{
+    packing_scan, CoresetView, DistScratch, KernelMode, ScratchPool, SoaBlock, SoaBlock32, LANES,
+};
+pub use metric::{Angular, Chebyshev, Euclidean, Exactness, Manhattan, Metric, Relaxed};
 pub use point::{Colored, Coords, EuclidPoint};
+pub use simd::{active_isa, Isa};
 pub use stats::{aspect_ratio, pairwise_extremes, sampled_extremes, PairwiseExtremes};
 pub use store::{ColoredId, PointFootprint, PointId, PointStore, Resolver};

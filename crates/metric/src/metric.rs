@@ -1,7 +1,7 @@
 //! The distance-oracle trait and the concrete metrics used in the
 //! experiments.
 
-use crate::kernel::CoresetView;
+use crate::kernel::{CoresetView, KernelMode, SoaBlock32};
 use crate::point::EuclidPoint;
 
 /// A metric space: a point type plus a distance oracle.
@@ -95,12 +95,201 @@ pub trait Metric: Clone {
             self.dist_one_to_many(q, cols, &mut out[i * width..(i + 1) * width]);
         }
     }
+
+    /// Like [`dist_one_to_many`](Self::dist_one_to_many) but **always**
+    /// bit-identical to scalar [`dist`](Self::dist), regardless of the
+    /// view's staged [`KernelMode`]. This is the exact re-rank hook:
+    /// when a query ran its candidate scans in a relaxed mode (SIMD or
+    /// the compact `f32` mirror), the final radius over the surviving
+    /// candidate set is recomputed through this method, so reported
+    /// radii always carry full `f64` semantics.
+    ///
+    /// The default is the scalar per-row fallback; the bundled metrics
+    /// override it to use their exact tiled kernels whenever the `f64`
+    /// columnar mirror is staged.
+    #[inline]
+    fn dist_one_to_many_exact(
+        &self,
+        q: &Self::Point,
+        view: &CoresetView<Self::Point>,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+        for (o, p) in out.iter_mut().zip(view.points()) {
+            *o = self.dist(q, p);
+        }
+    }
+}
+
+/// Per-engine answer-precision contract, plumbed from
+/// [`EngineBuilder`](https://docs.rs/fairsw-core) / the serve tenant
+/// config down to the kernels via the [`Relaxed`] metric wrapper.
+///
+/// * [`Exact`](Exactness::Exact) (the default): only the scalar tiled
+///   kernels run; every answer is bit-identical to the pre-SIMD seed
+///   semantics. All differential suites assert under this mode.
+/// * [`Approx`](Exactness::Approx): the runtime-dispatched SIMD kernels
+///   (and optionally the compact `f32` staging mirror) may run. The
+///   engine's answers must stay within the paper's `(1+ε)` radius
+///   envelope — candidate *selection* may tie-break differently, but
+///   the final radius is re-ranked exactly
+///   ([`Metric::dist_one_to_many_exact`]) and the reported guess/radius
+///   stay within `(1+ε)` of the exact-mode answer. The `epsilon` field
+///   records the envelope the caller promises to tolerate; it is a
+///   contract parameter (checked by the quality-delta suites), not a
+///   kernel input.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Exactness {
+    /// Bit-identical scalar kernels (the default everywhere).
+    #[default]
+    Exact,
+    /// SIMD kernels allowed; answers within the `(1+ε)` envelope.
+    Approx {
+        /// The tolerated relative radius slack.
+        epsilon: f64,
+    },
+}
+
+impl Exactness {
+    /// Whether this is the bit-identical mode.
+    #[inline]
+    pub fn is_exact(self) -> bool {
+        matches!(self, Exactness::Exact)
+    }
+
+    /// The tolerated relative slack (`0.0` in exact mode).
+    #[inline]
+    pub fn epsilon(self) -> f64 {
+        match self {
+            Exactness::Exact => 0.0,
+            Exactness::Approx { epsilon } => epsilon,
+        }
+    }
+}
+
+/// A metric wrapper carrying the engine's [`Exactness`] mode down to
+/// the kernels.
+///
+/// Every staging site in the workspace funnels through
+/// [`Metric::stage`] (the `CoresetView::gather*` family calls it after
+/// collecting rows), so stamping the mode there propagates it to every
+/// solver and query path with no per-call-site plumbing: `stage` sets
+/// the view's [`KernelMode`] and then delegates to the inner metric,
+/// whose kernels dispatch on the stamped mode. A plain (unwrapped)
+/// metric never stamps anything, so existing code stays on the exact
+/// path untouched.
+///
+/// With [`compact staging`](Self::with_compact_staging) enabled (and an
+/// `Approx` mode), the bundled coordinate metrics stage the `f32`
+/// mirror [`SoaBlock32`] *instead of* the `f64` block — halving staged
+/// coreset bytes and doubling lanes per vector register — and the
+/// `f32` kernels run; exact `f64` re-rank still flows through
+/// [`Metric::dist_one_to_many_exact`] over the row clones.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Relaxed<M> {
+    inner: M,
+    mode: Exactness,
+    compact: bool,
+}
+
+impl<M> Relaxed<M> {
+    /// Wraps `inner` with the given exactness mode (no compact
+    /// staging).
+    pub fn new(inner: M, mode: Exactness) -> Self {
+        Relaxed {
+            inner,
+            mode,
+            compact: false,
+        }
+    }
+
+    /// Wraps `inner` in exact mode — behaviorally identical to the bare
+    /// metric; useful where an engine type is fixed to `Relaxed<M>`.
+    pub fn exact(inner: M) -> Self {
+        Self::new(inner, Exactness::Exact)
+    }
+
+    /// Enables (or disables) the compact `f32` staging mirror. Only
+    /// takes effect in `Approx` mode; exact mode always stages `f64`.
+    pub fn with_compact_staging(mut self, compact: bool) -> Self {
+        self.compact = compact;
+        self
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The exactness mode this wrapper stamps at staging time.
+    pub fn exactness(&self) -> Exactness {
+        self.mode
+    }
+
+    /// Whether compact `f32` staging is enabled.
+    pub fn compact_staging(&self) -> bool {
+        self.compact
+    }
+}
+
+impl<M: Metric> Metric for Relaxed<M> {
+    type Point = M::Point;
+
+    #[inline]
+    fn dist(&self, a: &M::Point, b: &M::Point) -> f64 {
+        self.inner.dist(a, b)
+    }
+
+    #[inline]
+    fn dist_to_set<'a, I>(&self, p: &M::Point, set: I) -> f64
+    where
+        I: IntoIterator<Item = &'a M::Point>,
+        M::Point: 'a,
+    {
+        self.inner.dist_to_set(p, set)
+    }
+
+    #[inline]
+    fn stage(&self, view: &mut CoresetView<M::Point>) {
+        view.set_mode(match (self.mode, self.compact) {
+            (Exactness::Exact, _) => KernelMode::Exact,
+            (Exactness::Approx { .. }, false) => KernelMode::Simd,
+            (Exactness::Approx { .. }, true) => KernelMode::SimdF32,
+        });
+        self.inner.stage(view);
+    }
+
+    #[inline]
+    fn dist_one_to_many(&self, q: &M::Point, view: &CoresetView<M::Point>, out: &mut [f64]) {
+        // The view carries the stamped mode; the inner metric's kernels
+        // dispatch on it.
+        self.inner.dist_one_to_many(q, view, out);
+    }
+
+    #[inline]
+    fn dist_many_to_many(
+        &self,
+        rows: &CoresetView<M::Point>,
+        cols: &CoresetView<M::Point>,
+        out: &mut [f64],
+    ) {
+        self.inner.dist_many_to_many(rows, cols, out);
+    }
+
+    #[inline]
+    fn dist_one_to_many_exact(&self, q: &M::Point, view: &CoresetView<M::Point>, out: &mut [f64]) {
+        self.inner.dist_one_to_many_exact(q, view, out);
+    }
 }
 
 /// Stages the coordinate columns of a view of [`EuclidPoint`]s — the
 /// shared [`Metric::stage`] body of the four bundled metrics. Views with
 /// ragged dimensions are left unstaged (the kernels then use the scalar
 /// fallback, whose per-pair `debug_assert` reports the mismatch).
+///
+/// In the compact [`KernelMode::SimdF32`] mode the `f32` mirror is
+/// staged *instead of* the `f64` block — half the staged bytes; the
+/// exact re-rank path then falls back to the row clones.
 fn stage_euclid(view: &mut CoresetView<EuclidPoint>) {
     let Some(first) = view.points().first() else {
         return;
@@ -111,16 +300,27 @@ fn stage_euclid(view: &mut CoresetView<EuclidPoint>) {
     }
     // Move the block out to appease the borrow checker: `stage_rows`
     // reads the rows while writing the columns.
-    let mut soa = std::mem::take(view.soa_mut());
-    soa.stage_rows(dim, view.points().iter().map(EuclidPoint::coords));
-    *view.soa_mut() = soa;
+    if view.mode() == KernelMode::SimdF32 {
+        let mut soa32 = std::mem::take(view.soa32_mut());
+        soa32.stage_rows(
+            dim,
+            view.points()
+                .iter()
+                .map(|p| p.coords().iter().map(|&x| x as f32)),
+        );
+        *view.soa32_mut() = soa32;
+    } else {
+        let mut soa = std::mem::take(view.soa_mut());
+        soa.stage_rows(dim, view.points().iter().map(EuclidPoint::coords));
+        *view.soa_mut() = soa;
+    }
 }
 
 use crate::kernel::LANES;
 
 /// The scalar fallback body shared by the hand-tuned kernels for views
 /// the metric did not stage (ragged dimensions).
-fn scalar_one_to_many<M: Metric>(
+pub(crate) fn scalar_one_to_many<M: Metric>(
     metric: &M,
     q: &M::Point,
     view: &CoresetView<M::Point>,
@@ -170,7 +370,7 @@ fn tiled_kernel(
 /// Columnar L2 kernel: squared differences accumulate per point in
 /// ascending-dimension order, then one square root — bit-identical to
 /// the scalar loop.
-fn l2_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
+pub(crate) fn l2_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
     tiled_kernel(
         q,
         soa,
@@ -186,14 +386,14 @@ fn l2_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
 
 /// Columnar L1 kernel (absolute differences summed in
 /// ascending-dimension order).
-fn l1_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
+pub(crate) fn l1_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
     tiled_kernel(q, soa, out, 0.0, |acc, qd, x| acc + (qd - x).abs(), |a| a);
 }
 
 /// Columnar L∞ kernel (running maximum per point, ascending-dimension
 /// order with the same `max(acc, |diff|)` argument order as the scalar
 /// fold).
-fn linf_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
+pub(crate) fn linf_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
     tiled_kernel(
         q,
         soa,
@@ -211,7 +411,7 @@ fn linf_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
 /// the exact scalar operations (including the `x / ‖a‖` normalizing
 /// divisions), so results are bit-identical; zero-norm candidates are
 /// masked to the scalar path's `0.0` convention.
-fn angular_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
+pub(crate) fn angular_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
     debug_assert_eq!(q.len(), soa.dim(), "dimension mismatch");
     let mut na = 0.0;
     for &x in q {
@@ -264,6 +464,60 @@ fn angular_kernel(q: &[f64], soa: &crate::kernel::SoaBlock, out: &mut [f64]) {
     }
 }
 
+/// The shared `dist_one_to_many` dispatch of the four bundled metrics:
+/// the view's stamped [`KernelMode`] picks the kernel family — exact
+/// tiled, runtime-dispatched `f64` SIMD, or compact `f32` — and views
+/// without the matching staged mirror fall back to the scalar per-row
+/// loop.
+#[inline(always)]
+fn euclid_dispatch<M: Metric<Point = EuclidPoint>>(
+    metric: &M,
+    q: &EuclidPoint,
+    view: &CoresetView<EuclidPoint>,
+    out: &mut [f64],
+    exact: fn(&[f64], &crate::kernel::SoaBlock, &mut [f64]),
+    simd: fn(&[f64], &crate::kernel::SoaBlock, &mut [f64]),
+    simd32: fn(&[f32], &SoaBlock32, &mut [f64]),
+) {
+    debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+    match view.mode() {
+        KernelMode::Exact => match view.soa() {
+            Some(soa) => exact(q.coords(), soa, out),
+            None => scalar_one_to_many(metric, q, view, out),
+        },
+        KernelMode::Simd => match view.soa() {
+            Some(soa) => simd(q.coords(), soa, out),
+            None => scalar_one_to_many(metric, q, view, out),
+        },
+        KernelMode::SimdF32 => match view.soa32() {
+            Some(b) => {
+                crate::simd::with_q32(q.coords().iter().map(|&x| x as f32), |q32| {
+                    simd32(q32, b, out)
+                });
+            }
+            None => scalar_one_to_many(metric, q, view, out),
+        },
+    }
+}
+
+/// The shared `dist_one_to_many_exact` body of the four bundled
+/// metrics: the exact tiled kernel when the `f64` mirror is staged, the
+/// scalar per-row loop otherwise (compact-staged or unstaged views).
+#[inline(always)]
+fn euclid_exact<M: Metric<Point = EuclidPoint>>(
+    metric: &M,
+    q: &EuclidPoint,
+    view: &CoresetView<EuclidPoint>,
+    out: &mut [f64],
+    exact: fn(&[f64], &crate::kernel::SoaBlock, &mut [f64]),
+) {
+    debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
+    match view.soa() {
+        Some(soa) => exact(q.coords(), soa, out),
+        None => scalar_one_to_many(metric, q, view, out),
+    }
+}
+
 /// The Euclidean (L2) metric on [`EuclidPoint`]s. Used by every experiment
 /// in the paper.
 #[derive(Clone, Copy, Debug, Default)]
@@ -289,14 +543,28 @@ impl Metric for Euclidean {
         stage_euclid(view);
     }
 
-    /// Columnar L2 kernel over the staged [`SoaBlock`](crate::SoaBlock);
-    /// bit-identical to per-pair [`dist`](Metric::dist).
+    /// Columnar L2 kernel over the staged mirror: bit-identical to
+    /// per-pair [`dist`](Metric::dist) on exact-mode views, the
+    /// runtime-dispatched SIMD / compact kernels on relaxed views.
     fn dist_one_to_many(&self, q: &EuclidPoint, view: &CoresetView<EuclidPoint>, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
-        match view.soa() {
-            Some(soa) => l2_kernel(q.coords(), soa, out),
-            None => scalar_one_to_many(self, q, view, out),
-        }
+        euclid_dispatch(
+            self,
+            q,
+            view,
+            out,
+            l2_kernel,
+            crate::simd::l2_f64,
+            crate::simd::l2_f32,
+        );
+    }
+
+    fn dist_one_to_many_exact(
+        &self,
+        q: &EuclidPoint,
+        view: &CoresetView<EuclidPoint>,
+        out: &mut [f64],
+    ) {
+        euclid_exact(self, q, view, out, l2_kernel);
     }
 }
 
@@ -319,14 +587,28 @@ impl Metric for Manhattan {
         stage_euclid(view);
     }
 
-    /// Columnar L1 kernel over the staged [`SoaBlock`](crate::SoaBlock);
-    /// bit-identical to per-pair [`dist`](Metric::dist).
+    /// Columnar L1 kernel over the staged mirror (the `f64` SIMD
+    /// variant stays bit-identical even in relaxed mode — add/abs have
+    /// no fused rounding).
     fn dist_one_to_many(&self, q: &EuclidPoint, view: &CoresetView<EuclidPoint>, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
-        match view.soa() {
-            Some(soa) => l1_kernel(q.coords(), soa, out),
-            None => scalar_one_to_many(self, q, view, out),
-        }
+        euclid_dispatch(
+            self,
+            q,
+            view,
+            out,
+            l1_kernel,
+            crate::simd::l1_f64,
+            crate::simd::l1_f32,
+        );
+    }
+
+    fn dist_one_to_many_exact(
+        &self,
+        q: &EuclidPoint,
+        view: &CoresetView<EuclidPoint>,
+        out: &mut [f64],
+    ) {
+        euclid_exact(self, q, view, out, l1_kernel);
     }
 }
 
@@ -352,14 +634,28 @@ impl Metric for Chebyshev {
         stage_euclid(view);
     }
 
-    /// Columnar L∞ kernel over the staged [`SoaBlock`](crate::SoaBlock);
-    /// bit-identical to per-pair [`dist`](Metric::dist).
+    /// Columnar L∞ kernel over the staged mirror (the `f64` SIMD
+    /// variant stays bit-identical even in relaxed mode — abs/max have
+    /// no fused rounding).
     fn dist_one_to_many(&self, q: &EuclidPoint, view: &CoresetView<EuclidPoint>, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
-        match view.soa() {
-            Some(soa) => linf_kernel(q.coords(), soa, out),
-            None => scalar_one_to_many(self, q, view, out),
-        }
+        euclid_dispatch(
+            self,
+            q,
+            view,
+            out,
+            linf_kernel,
+            crate::simd::linf_f64,
+            crate::simd::linf_f32,
+        );
+    }
+
+    fn dist_one_to_many_exact(
+        &self,
+        q: &EuclidPoint,
+        view: &CoresetView<EuclidPoint>,
+        out: &mut [f64],
+    ) {
+        euclid_exact(self, q, view, out, linf_kernel);
     }
 }
 
@@ -409,15 +705,29 @@ impl Metric for Angular {
         stage_euclid(view);
     }
 
-    /// Chunked columnar angle kernel over the staged
-    /// [`SoaBlock`](crate::SoaBlock); bit-identical to per-pair
-    /// [`dist`](Metric::dist), including the zero-vector convention.
+    /// Tiled columnar angle kernel over the staged mirror; exact-mode
+    /// views reproduce per-pair [`dist`](Metric::dist) bit for bit,
+    /// including the zero-vector convention (which the relaxed kernels
+    /// preserve too).
     fn dist_one_to_many(&self, q: &EuclidPoint, view: &CoresetView<EuclidPoint>, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), view.len(), "output block size mismatch");
-        match view.soa() {
-            Some(soa) => angular_kernel(q.coords(), soa, out),
-            None => scalar_one_to_many(self, q, view, out),
-        }
+        euclid_dispatch(
+            self,
+            q,
+            view,
+            out,
+            angular_kernel,
+            crate::simd::angular_f64,
+            crate::simd::angular_f32,
+        );
+    }
+
+    fn dist_one_to_many_exact(
+        &self,
+        q: &EuclidPoint,
+        view: &CoresetView<EuclidPoint>,
+        out: &mut [f64],
+    ) {
+        euclid_exact(self, q, view, out, angular_kernel);
     }
 }
 

@@ -1,0 +1,198 @@
+//! Property tests for the runtime-dispatched SIMD kernels and the
+//! compact payload mirrors, against the scalar reference kernels.
+//!
+//! ### What must hold, per ISA
+//!
+//! The vertical SIMD kernels keep one accumulator *per point lane*, so
+//! they replay the scalar per-point accumulation order exactly:
+//!
+//! * **L1 / L∞** are bit-identical to scalar on every ISA — `|x|` via
+//!   sign-mask `andnot`, `add`/`max` lane-wise, no reassociation and no
+//!   contraction.
+//! * **L2** is bit-identical wherever the ISA multiplies and adds in
+//!   two rounded steps (the scalar fallback, SSE2); with FMA (AVX2,
+//!   NEON) each `d·d + acc` rounds once instead of twice, so the
+//!   squared sum may drift by one ulp per dimension. The documented
+//!   bound checked here: relative error `≤ dim · 2⁻⁵⁰` on the distance.
+//! * **Angular** adds a division and `atan2`; the AVX2 path also
+//!   Kahan-compensates the cross terms, so only a small absolute/
+//!   relative envelope is asserted — except *zero-norm masking*, which
+//!   must be exact: any row whose staged block norm is zero reports
+//!   distance exactly `0.0` on every path.
+//!
+//! All assertions hold under every `FAIRSW_SIMD` setting — with the
+//! SIMD kernels disabled both sides are the same scalar code and every
+//! check degenerates to bit-identity.
+//!
+//! The quantized mirror's contract is different: `Q8Euclidean` answers
+//! are *exactly* reproducible (its batched exact kernel re-ranks
+//! bit-identically to its scalar `dist`), and they stay within the
+//! `(1+ε)` envelope of the original `f64` distances for
+//! `ε = √dim · (step_a + step_b) / (2·d)` (the per-point quantization
+//! steps), which is what lets an `Approx` engine scan compactly and
+//! re-rank survivors exactly.
+
+use fairsw_metric::{
+    Angular, Chebyshev, CompactEuclidean, CompactPoint, CoresetView, EuclidPoint, Euclidean,
+    Exactness, Manhattan, Metric, Q8Euclidean, Q8Point, Relaxed,
+};
+use proptest::prelude::*;
+
+/// Dimensions covering every tile shape: sub-lane, exact-lane, lane+1,
+/// and wide blocks with and without a padded tail (LANES = 8).
+const DIMS: [usize; 12] = [1, 2, 7, 8, 9, 16, 17, 63, 64, 129, 256, 1024];
+
+/// Coordinate strategy: mostly well-scaled values, with a ~25% sprinkle
+/// of subnormal and extreme-magnitude outliers (squares that underflow
+/// to 0 or overflow to ∞ must do so identically on both paths).
+fn coord() -> impl Strategy<Value = f64> {
+    (0u32..20, -1e3..1e3f64).prop_map(|(sel, x)| match sel {
+        0 => 1e-310,
+        1 => -2.5e-308,
+        2 => 0.0,
+        3 => 1e160,
+        4 => -3e160,
+        _ => x,
+    })
+}
+
+fn points(dim: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(coord(), dim), 1..n + 1)
+}
+
+/// Stages `rows` twice — exact mode and SIMD (`Approx`) mode — and
+/// returns both `dist_one_to_many` outputs for `metric`.
+fn both_modes<M>(metric: M, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>)
+where
+    M: Metric<Point = EuclidPoint> + Copy,
+{
+    let pts: Vec<EuclidPoint> = rows.iter().map(|r| EuclidPoint::new(r.clone())).collect();
+    let q = pts[0].clone();
+    let mut exact_view = CoresetView::new();
+    exact_view.gather(&metric, pts.iter());
+    let mut exact = vec![0.0; pts.len()];
+    metric.dist_one_to_many(&q, &exact_view, &mut exact);
+
+    let relaxed = Relaxed::new(metric, Exactness::Approx { epsilon: 0.0 });
+    let mut simd_view = CoresetView::new();
+    simd_view.gather(&relaxed, pts.iter());
+    let mut simd = vec![0.0; pts.len()];
+    relaxed.dist_one_to_many(&q, &simd_view, &mut simd);
+    (exact, simd)
+}
+
+fn dims() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // L1 and L∞ SIMD kernels are bit-identical to scalar on every ISA.
+    #[test]
+    fn l1_linf_simd_bit_identical(rows in dims().prop_flat_map(|d| points(d, 20))) {
+        for metric_out in [both_modes(Manhattan, &rows), both_modes(Chebyshev, &rows)] {
+            let (exact, simd) = metric_out;
+            for (i, (a, b)) in exact.iter().zip(&simd).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "row {}: {} vs {}", i, a, b);
+            }
+        }
+    }
+
+    // L2 under SIMD stays within the documented FMA ulp bound of the
+    // scalar kernel (and handles ±∞ results identically).
+    #[test]
+    fn l2_simd_within_ulp_bound(rows in dims().prop_flat_map(|d| points(d, 20))) {
+        let dim = rows[0].len();
+        let (exact, simd) = both_modes(Euclidean, &rows);
+        for (i, (&a, &b)) in exact.iter().zip(&simd).enumerate() {
+            if !a.is_finite() || !b.is_finite() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "row {}: nonfinite mismatch", i);
+                continue;
+            }
+            let tol = a.abs() * (dim as f64) * f64::powi(2.0, -50);
+            prop_assert!((a - b).abs() <= tol, "row {}: {} vs {} (tol {})", i, a, b, tol);
+        }
+    }
+
+    // Angular under SIMD: zero-norm rows mask to exactly 0.0; all other
+    // rows stay within a small envelope of the scalar kernel.
+    #[test]
+    fn angular_simd_masks_and_bounds(rows in dims().prop_flat_map(|d| points(d, 16)), zero_at in 0usize..16) {
+        let mut rows = rows;
+        let dim = rows[0].len();
+        let n = rows.len();
+        rows[zero_at % n] = vec![0.0; dim];
+        let (exact, simd) = both_modes(Angular, &rows);
+        for (i, (&a, &b)) in exact.iter().zip(&simd).enumerate() {
+            if i == zero_at % n {
+                prop_assert_eq!(b.to_bits(), 0.0f64.to_bits(), "zero-norm row must mask to 0.0");
+                prop_assert_eq!(a.to_bits(), 0.0f64.to_bits());
+                continue;
+            }
+            if !a.is_finite() || !b.is_finite() {
+                continue; // overflowed norms: angle undefined either way
+            }
+            prop_assert!((a - b).abs() <= 1e-9 + a.abs() * 1e-9, "row {}: {} vs {}", i, a, b);
+        }
+    }
+
+    // The compact f32 mirror's exact batched kernel re-ranks
+    // bit-identically to its scalar `dist` (and the same for q8).
+    #[test]
+    fn compact_exact_kernels_bit_identical(rows in dims().prop_flat_map(|d| points(d, 16))) {
+        let f32_pts: Vec<CompactPoint> = rows.iter().map(|r| CompactPoint::from_f64(r)).collect();
+        let q8_pts: Vec<Q8Point> = rows.iter().map(|r| Q8Point::quantize(r)).collect();
+
+        let mut view = CoresetView::new();
+        view.gather(&CompactEuclidean, f32_pts.iter());
+        prop_assert!(view.soa32().is_some(), "compact metric must stage the f32 block");
+        let mut out = vec![0.0; f32_pts.len()];
+        CompactEuclidean.dist_one_to_many_exact(&f32_pts[0], &view, &mut out);
+        for (i, (p, &d)) in f32_pts.iter().zip(&out).enumerate() {
+            prop_assert_eq!(d.to_bits(), CompactEuclidean.dist(&f32_pts[0], p).to_bits(), "f32 row {}", i);
+        }
+
+        let mut view = CoresetView::new();
+        view.gather(&Q8Euclidean, q8_pts.iter());
+        let mut out = vec![0.0; q8_pts.len()];
+        Q8Euclidean.dist_one_to_many_exact(&q8_pts[0], &view, &mut out);
+        for (i, (p, &d)) in q8_pts.iter().zip(&out).enumerate() {
+            prop_assert_eq!(d.to_bits(), Q8Euclidean.dist(&q8_pts[0], p).to_bits(), "q8 row {}", i);
+        }
+    }
+
+    // Quantized-mirror distances stay within the analytic (1+ε)
+    // envelope of the original f64 distances: each coordinate is off
+    // by at most step/2, so each distance moves by at most
+    // √dim · (step_a + step_b)/2.
+    #[test]
+    fn q8_within_envelope_of_f64(rows in dims().prop_flat_map(|d| points(d, 12))) {
+        // Quantization degrades gracefully only on finite, same-scale
+        // data; clamp the extreme outliers the other tests exercise.
+        let rows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|x| x.clamp(-1e3, 1e3)).collect())
+            .collect();
+        let dim = rows[0].len();
+        let f64_pts: Vec<EuclidPoint> = rows.iter().map(|r| EuclidPoint::new(r.clone())).collect();
+        let q8_pts: Vec<Q8Point> = f64_pts.iter().map(Q8Point::from).collect();
+        let q = &q8_pts[0];
+        for (i, (p64, p8)) in f64_pts.iter().zip(&q8_pts).enumerate() {
+            let d_true = Euclidean.dist(&f64_pts[0], p64);
+            let d_q8 = Q8Euclidean.dist(q, p8);
+            let step = |r: &[f64]| {
+                let (lo, hi) = r.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+                ((hi - lo) / 255.0).max(0.0)
+            };
+            let eps = (dim as f64).sqrt() * (step(&rows[0]) + step(&rows[i])) / 2.0;
+            // Slack covers the f32 decode rounding on top of the step
+            // bound.
+            prop_assert!(
+                (d_true - d_q8).abs() <= eps + 1e-3 + d_true * 1e-6,
+                "row {}: |{} - {}| > {}",
+                i, d_true, d_q8, eps
+            );
+        }
+    }
+}

@@ -66,18 +66,20 @@ impl Jones {
         let g = gonzalez_view(metric, view, k);
         let npiv = g.pivots.len();
 
-        // mind[p][i] = (distance, witness index) of the nearest point of
-        // color i to pivot p. One kernel call per pivot replaces the
+        // mind[p * ncolors + i] = (distance, witness index) of the
+        // nearest point of color i to pivot p, flattened row-major into a
+        // single allocation. One kernel call per pivot replaces the
         // pointwise O(nk) scan; the per-color argmin keeps the same
         // ascending-index tie-break.
-        let mut mind = vec![vec![(f64::INFINITY, usize::MAX); ncolors]; npiv];
+        let mut mind = vec![(f64::INFINITY, usize::MAX); npiv * ncolors];
         let mut dbuf = vec![0.0f64; view.len()];
         let mut mind_buf: Vec<f64> = Vec::new();
         for (pi, &pividx) in g.pivots.iter().enumerate() {
             metric.dist_one_to_many(view.point(pividx), view, &mut dbuf);
+            let row = &mut mind[pi * ncolors..(pi + 1) * ncolors];
             for (qi, &color) in colors.iter().enumerate() {
                 let d = dbuf[qi];
-                let slot = &mut mind[pi][color as usize];
+                let slot = &mut row[color as usize];
                 if d < slot.0 {
                     *slot = (d, qi);
                 }
@@ -86,16 +88,27 @@ impl Jones {
 
         let mut best: Option<(f64, Vec<usize>)> = None; // (bound, witness indices)
 
+        // Buffers hoisted out of the prefix loop: `cands` accumulates the
+        // finite mind values seen so far (prefix j's candidate set is
+        // prefix j-1's plus row j-1, so extend-then-sort beats
+        // re-collecting), and `adj` keeps one reusable adjacency row per
+        // pivot so the feasibility probes inside the binary search
+        // allocate nothing in steady state.
+        let mut cands: Vec<f64> = Vec::new();
+        let mut adj: Vec<Vec<usize>> = Vec::new();
+        adj.resize_with(npiv, Vec::new);
+
         for j in 1..=npiv {
             if j > k {
                 break;
             }
             // Candidate thresholds: the finite mind values of the prefix.
-            let mut cands: Vec<f64> = mind[..j]
-                .iter()
-                .flat_map(|row| row.iter().map(|&(d, _)| d))
-                .filter(|d| d.is_finite())
-                .collect();
+            cands.extend(
+                mind[(j - 1) * ncolors..j * ncolors]
+                    .iter()
+                    .map(|&(d, _)| d)
+                    .filter(|d| d.is_finite()),
+            );
             cands.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             cands.dedup();
             if cands.is_empty() {
@@ -103,33 +116,24 @@ impl Jones {
             }
 
             // Perfect matching is monotone in τ: binary search the
-            // smallest feasible candidate.
-            let feasible = |tau: f64| -> Option<Vec<usize>> {
-                let adj: Vec<Vec<usize>> = mind[..j]
-                    .iter()
-                    .map(|row| {
-                        row.iter()
-                            .enumerate()
-                            .filter(|(_, &(d, _))| d <= tau)
-                            .map(|(c, _)| c)
-                            .collect()
-                    })
-                    .collect();
-                let m = max_capacitated_matching(caps, &adj);
-                if m.is_left_perfect() {
-                    Some(
-                        m.assigned
+            // smallest feasible candidate. Each probe refills the first j
+            // adjacency rows in place.
+            let mind = &mind;
+            let feasible = |tau: f64, adj: &mut Vec<Vec<usize>>| -> bool {
+                for (p, row) in adj[..j].iter_mut().enumerate() {
+                    row.clear();
+                    row.extend(
+                        mind[p * ncolors..(p + 1) * ncolors]
                             .iter()
                             .enumerate()
-                            .map(|(p, a)| mind[p][a.expect("perfect")].1)
-                            .collect(),
-                    )
-                } else {
-                    None
+                            .filter(|(_, &(d, _))| d <= tau)
+                            .map(|(c, _)| c),
+                    );
                 }
+                max_capacitated_matching(caps, &adj[..j]).is_left_perfect()
             };
 
-            if feasible(*cands.last().expect("non-empty")).is_none() {
+            if !feasible(*cands.last().expect("non-empty"), &mut adj) {
                 // Even the loosest threshold fails (some color classes
                 // absent): this prefix cannot be perfectly matched.
                 continue;
@@ -137,17 +141,25 @@ impl Jones {
             let (mut lo, mut hi) = (0usize, cands.len() - 1);
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                if feasible(cands[mid]).is_some() {
+                if feasible(cands[mid], &mut adj) {
                     hi = mid;
                 } else {
                     lo = mid + 1;
                 }
             }
             let tau = cands[lo];
-            let witnesses = feasible(tau).expect("lo is feasible");
             let cover = g.coverage[j - 1];
             let bound = cover + tau;
             if best.as_ref().is_none_or(|(b, _)| bound < *b) {
+                // Materialize the witnesses only for an improving prefix.
+                assert!(feasible(tau, &mut adj), "lo is feasible");
+                let m = max_capacitated_matching(caps, &adj[..j]);
+                let witnesses: Vec<usize> = m
+                    .assigned
+                    .iter()
+                    .enumerate()
+                    .map(|(p, a)| mind[p * ncolors + a.expect("perfect")].1)
+                    .collect();
                 best = Some((bound, witnesses));
             }
         }

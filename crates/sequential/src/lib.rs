@@ -40,10 +40,13 @@ use std::fmt;
 
 /// Batched distance-to-set: fills `min_dist[i]` with the distance of
 /// `view[i]` to the closest of `centers` (`+∞` when `centers` is empty)
-/// — one [`dist_one_to_many`](Metric::dist_one_to_many) kernel call per
-/// center, merged into running minima. Produces the same values as a
-/// per-point `dist_to_set` scan because the minimum of a fixed set of
-/// non-negative distances is order-independent.
+/// — one [`dist_one_to_many_exact`](Metric::dist_one_to_many_exact)
+/// kernel call per center, merged into running minima. Produces the same
+/// values as a per-point `dist_to_set` scan because the minimum of a
+/// fixed set of non-negative distances is order-independent. Every call
+/// site is a *final-radius* computation, so this deliberately uses the
+/// exact kernel: even when the view was staged in an `Approx` mode, the
+/// reported radii are full-`f64` re-ranks of the surviving candidates.
 pub(crate) fn min_over_centers<'a, M: Metric>(
     metric: &M,
     view: &CoresetView<M::Point>,
@@ -59,7 +62,7 @@ pub(crate) fn min_over_centers<'a, M: Metric>(
     dbuf.clear();
     dbuf.resize(n, 0.0);
     for c in centers {
-        metric.dist_one_to_many(c, view, dbuf);
+        metric.dist_one_to_many_exact(c, view, dbuf);
         for (m, &d) in min_dist.iter_mut().zip(dbuf.iter()) {
             if d < *m {
                 *m = d;

@@ -59,7 +59,7 @@ use fairsw_core::{
     ConfigError, EngineBuilder, QueryError, Solution, SolutionExtras, VariantSpec, WindowEngine,
 };
 use fairsw_matroid::PartitionMatroid;
-use fairsw_metric::{Colored, EuclidPoint, Euclidean};
+use fairsw_metric::{Colored, EuclidPoint, Euclidean, Exactness, Relaxed};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -368,6 +368,13 @@ pub struct TenantConfig {
     pub delta: f64,
     /// Which variant to construct.
     pub variant: WireVariant,
+    /// Kernel exactness: `Exact` (the default) answers bit-identically
+    /// to the scalar reference kernels; `Approx { epsilon }` lets the
+    /// tenant's engine run the runtime-dispatched SIMD kernels.
+    pub exactness: Exactness,
+    /// In approx mode, stage coreset views as the compact `f32` mirror
+    /// (final radii are still re-ranked in exact `f64`).
+    pub compact_mirror: bool,
 }
 
 impl TenantConfig {
@@ -379,16 +386,23 @@ impl TenantConfig {
             beta: 2.0,
             delta: 1.0,
             variant,
+            exactness: Exactness::Exact,
+            compact_mirror: false,
         }
     }
 
     /// Builds the engine this config describes (validation included).
-    pub fn build_engine(&self) -> Result<WindowEngine<Euclidean>, ConfigError> {
+    /// The metric is always wrapped in [`Relaxed`]; with the default
+    /// `Exactness::Exact` the engine answers bit-identically to one
+    /// built over the bare metric.
+    pub fn build_engine(&self) -> Result<WindowEngine<Relaxed<Euclidean>>, ConfigError> {
         let builder = EngineBuilder::new()
             .window_size(self.window)
             .capacities(self.caps.clone())
             .beta(self.beta)
-            .delta(self.delta);
+            .delta(self.delta)
+            .exactness(self.exactness)
+            .compact_mirror(self.compact_mirror);
         let spec = match self.variant {
             WireVariant::Fixed { dmin, dmax } => VariantSpec::Fixed { dmin, dmax },
             WireVariant::Oblivious => VariantSpec::Oblivious,
@@ -402,7 +416,7 @@ impl TenantConfig {
                 dmax,
             },
         };
-        builder.variant(spec).build(Euclidean)
+        builder.variant(spec).build_relaxed(Euclidean)
     }
 
     pub(crate) fn encode(&self, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
@@ -427,6 +441,13 @@ impl TenantConfig {
                 put_u64(out, z as u64);
                 put_f64(out, dmin);
                 put_f64(out, dmax);
+            }
+        }
+        match self.exactness {
+            Exactness::Exact => out.push(0),
+            Exactness::Approx { epsilon } => {
+                out.push(if self.compact_mirror { 2 } else { 1 });
+                put_f64(out, epsilon);
             }
         }
         Ok(())
@@ -465,12 +486,28 @@ impl TenantConfig {
             },
             other => return Err(WireError::Invalid(format!("unknown variant code {other}"))),
         };
+        let (exactness, compact_mirror) = match take_u8(input)? {
+            0 => (Exactness::Exact, false),
+            code @ (1 | 2) => (
+                Exactness::Approx {
+                    epsilon: take_f64(input)?,
+                },
+                code == 2,
+            ),
+            other => {
+                return Err(WireError::Invalid(format!(
+                    "unknown exactness code {other}"
+                )))
+            }
+        };
         Ok(TenantConfig {
             window,
             caps,
             beta,
             delta,
             variant,
+            exactness,
+            compact_mirror,
         })
     }
 }

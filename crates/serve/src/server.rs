@@ -42,7 +42,7 @@ use crate::wal::replicate::{follower_loop, subscription, Subscriber};
 use crate::wal::segment::{encode_batch_body, encode_create_body};
 use crate::wal::{atomic_write, build_tenant, read_log, TenantWal, WalRecord, WalTuning};
 use fairsw_core::{ParallelismSpec, SlidingWindowClustering, WindowEngine};
-use fairsw_metric::{Colored, EuclidPoint, Euclidean};
+use fairsw_metric::{Colored, EuclidPoint, Euclidean, Relaxed};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -224,7 +224,7 @@ fn shard_of(tenant: &str, shards: usize) -> usize {
 
 /// One tenant: its engine plus ingest buffer and service counters.
 struct Tenant {
-    engine: WindowEngine<Euclidean>,
+    engine: WindowEngine<Relaxed<Euclidean>>,
     /// The creating config (None for spool-restored tenants) — the key
     /// for delete-and-recreate engine reuse.
     config: Option<TenantConfig>,
@@ -243,7 +243,7 @@ struct Tenant {
 }
 
 impl Tenant {
-    fn new(engine: WindowEngine<Euclidean>, config: Option<TenantConfig>) -> Self {
+    fn new(engine: WindowEngine<Relaxed<Euclidean>>, config: Option<TenantConfig>) -> Self {
         let variant_code = match engine.variant_name() {
             "fixed" => 0,
             "oblivious" => 1,
@@ -397,7 +397,7 @@ enum Op {
 struct Shard {
     tenants: HashMap<String, Tenant>,
     /// Reset engines awaiting reuse, keyed by their creating config.
-    parked: Vec<(TenantConfig, WindowEngine<Euclidean>)>,
+    parked: Vec<(TenantConfig, WindowEngine<Relaxed<Euclidean>>)>,
     /// Live replication subscribers (fan-out targets for every
     /// accepted write on this shard).
     subs: Vec<Subscriber>,
@@ -799,7 +799,7 @@ impl Shard {
                 Ok(())
             }
             WalRecord::Snapshot(bytes) => {
-                let engine = WindowEngine::restore(Euclidean, &bytes)
+                let engine = WindowEngine::restore(Relaxed::exact(Euclidean), &bytes)
                     .map_err(|e| format!("bootstrap snapshot: {e}"))?
                     .with_parallelism(self.cfg.parallelism);
                 let config = self.tenants.get(tenant).and_then(|t| t.config.clone());
@@ -989,7 +989,9 @@ fn spool_replay(cfg: &ServeConfig) -> Vec<(String, Tenant)> {
         }
         let restored = std::fs::read(&path)
             .map_err(|e| e.to_string())
-            .and_then(|bytes| WindowEngine::restore(Euclidean, &bytes).map_err(|e| e.to_string()));
+            .and_then(|bytes| {
+                WindowEngine::restore(Relaxed::exact(Euclidean), &bytes).map_err(|e| e.to_string())
+            });
         match restored {
             Ok(engine) => {
                 let engine = engine.with_parallelism(cfg.parallelism);

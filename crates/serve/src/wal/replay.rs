@@ -19,7 +19,7 @@ use super::segment::{list_segments, read_segment, WalRecord};
 use super::writer::LogCut;
 use crate::protocol::TenantConfig;
 use fairsw_core::{ParallelismSpec, SlidingWindowClustering, WindowEngine};
-use fairsw_metric::Euclidean;
+use fairsw_metric::{Euclidean, Relaxed};
 use std::io;
 use std::path::Path;
 
@@ -50,7 +50,7 @@ pub fn read_log(dir: &Path) -> io::Result<(Vec<WalRecord>, LogCut)> {
 /// A tenant reconstructed from durable state.
 pub struct ReplayedTenant {
     /// The engine, caught up to the end of the valid log.
-    pub engine: WindowEngine<Euclidean>,
+    pub engine: WindowEngine<Relaxed<Euclidean>>,
     /// The creating configuration, when a `Create` record survives
     /// (compaction keeps snapshots instead, so it may be gone).
     pub config: Option<TenantConfig>,
@@ -69,8 +69,8 @@ pub fn build_tenant(
     records: &[WalRecord],
     parallelism: ParallelismSpec,
 ) -> Result<ReplayedTenant, String> {
-    let restore = |bytes: &[u8]| -> Result<WindowEngine<Euclidean>, String> {
-        WindowEngine::restore(Euclidean, bytes)
+    let restore = |bytes: &[u8]| -> Result<WindowEngine<Relaxed<Euclidean>>, String> {
+        WindowEngine::restore(Relaxed::exact(Euclidean), bytes)
             .map(|e| e.with_parallelism(parallelism))
             .map_err(|e| e.to_string())
     };

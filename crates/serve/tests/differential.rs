@@ -14,7 +14,7 @@
 //! spool, resume bit-identically.
 
 use fairsw_core::{ParallelismSpec, SlidingWindowClustering, WindowEngine};
-use fairsw_metric::{Colored, EuclidPoint, Euclidean};
+use fairsw_metric::{Colored, EuclidPoint, Euclidean, Relaxed};
 use fairsw_serve::loadgen::Client;
 use fairsw_serve::protocol::{ErrorKind, Reply, TenantConfig, WireStats, WireVariant};
 use fairsw_serve::server::{ServeConfig, Server};
@@ -119,7 +119,7 @@ fn variants() -> Vec<(&'static str, TenantConfig)> {
 }
 
 /// Builds the sequential oracle for a tenant config.
-fn oracle_for(config: &TenantConfig) -> WindowEngine<Euclidean> {
+fn oracle_for(config: &TenantConfig) -> WindowEngine<Relaxed<Euclidean>> {
     config
         .build_engine()
         .expect("valid oracle config")
@@ -138,7 +138,7 @@ fn assert_reply_bytes(ctx: &str, got: &Reply, want: &Reply) {
 
 /// The deterministic part of the stats the oracle predicts.
 fn expected_stats(
-    oracle: &WindowEngine<Euclidean>,
+    oracle: &WindowEngine<Relaxed<Euclidean>>,
     variant_code: u8,
     points_total: u64,
 ) -> WireStats {

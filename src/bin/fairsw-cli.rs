@@ -25,6 +25,13 @@
 //!   --threads N         spread per-guess work over N worker threads
 //!                       (default: FAIRSW_THREADS env var, else 1);
 //!                       answers are bit-identical at any thread count
+//!   --approx EPS        allow the runtime-dispatched SIMD kernels
+//!                       (answers stay within the paper's (1+ε) radius
+//!                       envelope; default: exact scalar kernels).
+//!                       FAIRSW_SIMD={auto,force,off} picks the ISA
+//!   --compact-mirror    with --approx: stage candidate scans as the
+//!                       compact f32 mirror (half the staged bytes);
+//!                       final radii are re-ranked in exact f64
 //!   --snapshot-out PATH write an FSW2 snapshot after the stream ends
 //!                       (fixed variant only — the default when no
 //!                       variant flag is given)
@@ -43,7 +50,8 @@ use fairsw::core::{
 };
 use fairsw::datasets::read_csv_points;
 use fairsw::metric::{
-    sampled_extremes, Angular, Chebyshev, Colored, EuclidPoint, Euclidean, Manhattan, Metric,
+    sampled_extremes, Angular, Chebyshev, Colored, EuclidPoint, Euclidean, Exactness, Manhattan,
+    Metric, Relaxed,
 };
 use fairsw_core::FairSWConfig;
 use std::path::PathBuf;
@@ -97,6 +105,8 @@ struct Args {
     compact: bool,
     robust: Option<usize>,
     threads: Option<usize>,
+    approx: Option<f64>,
+    compact_mirror: bool,
     snapshot_out: Option<PathBuf>,
     snapshot_in: Option<PathBuf>,
     quiet: bool,
@@ -115,6 +125,8 @@ fn parse_args() -> Result<Args, String> {
         compact: false,
         robust: None,
         threads: None,
+        approx: None,
+        compact_mirror: false,
         snapshot_out: None,
         snapshot_in: None,
         quiet: false,
@@ -168,6 +180,16 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--threads: {e}"))?,
                 )
             }
+            "--approx" => {
+                let eps: f64 = value("--approx")?
+                    .parse()
+                    .map_err(|e| format!("--approx: {e}"))?;
+                if !eps.is_finite() || eps < 0.0 {
+                    return Err("--approx: epsilon must be a finite non-negative number".into());
+                }
+                args.approx = Some(eps);
+            }
+            "--compact-mirror" => args.compact_mirror = true,
             "--snapshot-out" => args.snapshot_out = Some(PathBuf::from(value("--snapshot-out")?)),
             "--snapshot-in" => args.snapshot_in = Some(PathBuf::from(value("--snapshot-in")?)),
             "--quiet" => args.quiet = true,
@@ -201,6 +223,12 @@ OPTIONS:
   --robust Z       tolerate Z outliers per window
   --threads N      per-guess worker threads (default: FAIRSW_THREADS,
                    else sequential); answers are bit-identical
+  --approx EPS     allow SIMD kernels (answers stay inside the (1+ε)
+                   radius envelope; default: exact scalar kernels);
+                   the ISA is picked at startup, override with
+                   FAIRSW_SIMD={auto,force,off}
+  --compact-mirror with --approx: stage candidate scans as the compact
+                   f32 mirror; final radii re-rank in exact f64
   --snapshot-out PATH  write an FSW2 snapshot after the stream ends
                    (fixed variant only, the default variant); the same
                    format fairsw-served spools on CHECKPOINT
@@ -285,14 +313,30 @@ fn run() -> Result<(), String> {
         None => vec![2; ncolors],
     };
 
+    if args.compact_mirror && args.approx.is_none() {
+        return Err("--compact-mirror requires --approx".into());
+    }
+    let exactness = match args.approx {
+        Some(epsilon) => Exactness::Approx { epsilon },
+        None => Exactness::Exact,
+    };
+    macro_rules! wrap {
+        ($m:expr) => {
+            Relaxed::new($m, exactness).with_compact_staging(args.compact_mirror)
+        };
+    }
+
     // One generic streaming body, instantiated per distance oracle: the
     // whole pipeline below (engine construction, snapshot resume, the
     // insert/query loop) is metric-polymorphic through `WindowEngine`.
+    // Every oracle rides in a `Relaxed` wrapper carrying the kernel
+    // exactness policy; the default `Exact` answers bit-identically to
+    // the bare metric.
     match args.metric {
-        MetricChoice::Euclidean => drive(Euclidean, &args, &points, &caps),
-        MetricChoice::Manhattan => drive(Manhattan, &args, &points, &caps),
-        MetricChoice::Chebyshev => drive(Chebyshev, &args, &points, &caps),
-        MetricChoice::Angular => drive(Angular, &args, &points, &caps),
+        MetricChoice::Euclidean => drive(wrap!(Euclidean), &args, &points, &caps),
+        MetricChoice::Manhattan => drive(wrap!(Manhattan), &args, &points, &caps),
+        MetricChoice::Chebyshev => drive(wrap!(Chebyshev), &args, &points, &caps),
+        MetricChoice::Angular => drive(wrap!(Angular), &args, &points, &caps),
     }
 }
 
