@@ -6,6 +6,11 @@ set -euo pipefail
 
 cargo build --release -p fairsw-serve
 
+# Raise the fd ceiling before the server starts (it inherits the limit
+# at spawn): the 512-connection sweep below needs 512 sockets on each
+# end plus WAL/spool files and headroom.
+ulimit -n 4096 || echo "ulimit raise unavailable; proceeding with default"
+
 SCRATCH="$(mktemp -d)"
 SERVER_PID=""
 # Kill the background server on any failure path so a broken burst
@@ -35,6 +40,13 @@ echo "server at $ADDR (FAIRSW_THREADS=${FAIRSW_THREADS:-unset})"
 ./target/release/fairsw-loadgen \
     --addr "$ADDR" --tenants 4 --points 2000 --batch 128 --window 400 \
     --mix read-heavy
+
+# High-concurrency sweep: 512 open connections against the reactor with
+# connection churn, exercising accept/reap under load and the bounded
+# per-connection buffers.
+./target/release/fairsw-loadgen \
+    --addr "$ADDR" --connections 512 --tenants 8 --requests 4000 \
+    --window 400 --churn 0.02
 
 # Short burst: 4 tenants, batched ingest, final queries must answer;
 # --shutdown asks the server to exit cleanly afterwards.

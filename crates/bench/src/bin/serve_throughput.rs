@@ -14,17 +14,17 @@
 //! — exactly the `memory_footprint` discipline, so a lane that got
 //! faster by dropping or reordering points fails loudly.
 //!
-//! Results land in `BENCH_serve.json`, including `host_cores` so
-//! multicore readers can judge the thread-scaling headroom. Scaling
-//! knobs: `FAIRSW_STREAM` (points per tenant), `FAIRSW_WINDOW`,
-//! `FAIRSW_SERVE_SHARDS`.
+//! Results land in the `serve_throughput` section of
+//! `BENCH_serve.json` (beside `serve_concurrency`'s connection sweep),
+//! including `host_cores` so multicore readers can judge the
+//! thread-scaling headroom. Scaling knobs: `FAIRSW_STREAM` (points per
+//! tenant), `FAIRSW_WINDOW`, `FAIRSW_SERVE_SHARDS`.
 
-use fairsw_bench::{env_usize, fmt_duration};
+use fairsw_bench::{env_usize, fmt_duration, merge_json_section};
 use fairsw_core::{ParallelismSpec, SlidingWindowClustering};
 use fairsw_serve::loadgen::{burst_config, workload, Client};
 use fairsw_serve::protocol::Reply;
 use fairsw_serve::server::{ServeConfig, Server};
-use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 struct LaneReport {
@@ -155,7 +155,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"bench\": \"serve_throughput\",\n  \"window\": {window},\n  \"points_per_tenant\": {points},\n  \"shards\": {shards},\n  \"host_cores\": {},\n  \"answer_checked\": true,\n  \"lanes\": [\n",
+        "  \"window\": {window},\n  \"points_per_tenant\": {points},\n  \"shards\": {shards},\n  \"host_cores\": {},\n  \"answer_checked\": true,\n  \"lanes\": [\n",
         host_cores()
     ));
     for (i, r) in reports.iter().enumerate() {
@@ -170,10 +170,10 @@ fn main() {
             if i + 1 < reports.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]\n}");
     let path = "BENCH_serve.json";
-    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
-        Ok(()) => println!("wrote {path}"),
+    match merge_json_section(path, "serve_throughput", &json) {
+        Ok(()) => println!("wrote the serve_throughput section of {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

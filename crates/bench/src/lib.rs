@@ -155,6 +155,109 @@ pub fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Merges `section` — a JSON value, typically an object literal — into
+/// the top-level JSON object stored at `path` under `key`, creating the
+/// file as `{"key": section}` when it is missing and replacing any
+/// existing entry of the same name. Lets independent bench binaries
+/// (e.g. `serve_throughput` and `serve_concurrency`) share one results
+/// file without clobbering each other's sections.
+///
+/// The scanner tracks strings, escapes and brace depth — enough to
+/// split the well-formed JSON these binaries emit; it is not a general
+/// JSON parser. A file whose top level is not an object is rewritten.
+pub fn merge_json_section(path: &str, key: &str, section: &str) -> std::io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => split_top_level(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let section = section.trim().to_string();
+    match entries.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = section,
+        None => entries.push((key.to_string(), section)),
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        out.push_str(&format!("\"{k}\": {v}"));
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Splits the top-level object of `text` into `(key, raw value)` pairs.
+/// Returns an empty list when `text` holds no top-level object.
+fn split_top_level(text: &str) -> Vec<(String, String)> {
+    let Some(open) = text.find('{') else {
+        return Vec::new();
+    };
+    let inner = &text[open + 1..];
+    let (mut depth, mut in_string, mut escaped) = (0usize, false, false);
+    let mut entries = Vec::new();
+    let mut start = 0usize;
+    let mut end = None;
+    for (i, c) in inner.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' if depth > 0 => depth -= 1,
+            ',' if depth == 0 => {
+                entries.push(&inner[start..i]);
+                start = i + 1;
+            }
+            '}' => {
+                end = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    if let Some(end) = end {
+        entries.push(&inner[start..end]);
+    }
+    entries
+        .into_iter()
+        .filter_map(|entry| {
+            let colon = top_level_colon(entry)?;
+            let key = entry[..colon].trim();
+            let key = key.strip_prefix('"')?.strip_suffix('"')?;
+            Some((key.to_string(), entry[colon + 1..].trim().to_string()))
+        })
+        .collect()
+}
+
+/// Byte offset of the key/value colon of one top-level entry — the
+/// first `:` outside the key string.
+fn top_level_colon(entry: &str) -> Option<usize> {
+    let (mut in_string, mut escaped) = (false, false);
+    for (i, c) in entry.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            ':' => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
 /// A lane under measurement: a streaming engine, or a sequential
 /// baseline answering from the shared exact window.
 enum Lane {
@@ -416,6 +519,42 @@ pub fn caps_for(dataset: &Dataset, total_k: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_json_section_roundtrips() {
+        let path = std::env::temp_dir().join(format!("fairsw-merge-{}.json", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        // Creating from scratch yields a one-section object.
+        merge_json_section(path, "alpha", "{\n  \"x\": 1,\n  \"s\": \"a,b:{c}\"\n}").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"alpha\""), "{text}");
+
+        // A second section lands beside the first.
+        merge_json_section(path, "beta", "{\"lanes\": [1, 2, {\"n\": 3}]}").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(
+            text.contains("\"alpha\"") && text.contains("\"beta\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("a,b:{c}"),
+            "braces in strings survive: {text}"
+        );
+
+        // Re-merging a section replaces it without duplicating the key.
+        merge_json_section(path, "alpha", "{\"x\": 2}").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.matches("\"alpha\"").count(), 1, "{text}");
+        assert!(
+            text.contains("\"x\": 2") && !text.contains("\"x\": 1"),
+            "{text}"
+        );
+        assert!(text.contains("\"beta\""), "other sections survive: {text}");
+
+        std::fs::remove_file(path).unwrap();
+    }
 
     #[test]
     fn driver_end_to_end_small() {

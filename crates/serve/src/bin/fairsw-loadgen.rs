@@ -18,6 +18,16 @@
 //!                     across tenants — exercises the QUERY result cache)
 //!   --shutdown        send SHUTDOWN after the burst
 //!
+//! CONNECTION SWEEP (hold a large, mostly idle connection pool open):
+//!   --connections N   run the high-concurrency sweep instead of a burst:
+//!                     N open connections, Zipf-assigned over --tenants,
+//!                     driven by --workers threads with a query-dominated
+//!                     mix; reports client-side p50/p95/p99
+//!   --requests N      requests issued across all workers (default 5000)
+//!   --workers N       driving threads (default 8)
+//!   --churn F         close-and-reopen chance per request, 0..=1
+//!                     (default 0 — exercises accept/reap under load)
+//!
 //! CRASH DRILL (spawns its own servers; --addr is not used):
 //!   --crash-drill     run the kill -9 durability drill instead of a burst
 //!   --kill-after N    points to ingest before the SIGKILL (default 2000)
@@ -35,7 +45,9 @@
 //! doubles as a smoke test (CI boots a server, runs a short burst and
 //! asserts a clean shutdown).
 
-use fairsw_serve::loadgen::{run_burst, run_crash_drill, BurstOptions, Client, DrillOptions};
+use fairsw_serve::loadgen::{
+    run_burst, run_connections, run_crash_drill, BurstOptions, Client, ConnOptions, DrillOptions,
+};
 use fairsw_serve::protocol::Reply;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -55,6 +67,12 @@ OPTIONS:
   --queries N       interim QUERYs per tenant during ingest (default 4)
   --mix MIX         request mix: ingest (default) or read-heavy
   --shutdown        send SHUTDOWN after the burst
+
+CONNECTION SWEEP (hold a large, mostly idle connection pool open):
+  --connections N   N open connections, Zipf-assigned over --tenants
+  --requests N      requests issued across all workers (default 5000)
+  --workers N       driving threads (default 8)
+  --churn F         close-and-reopen chance per request, 0..=1 (default 0)
 
 CRASH DRILL (spawns its own servers; --addr is not used):
   --crash-drill     run the kill -9 durability drill instead of a burst
@@ -77,6 +95,8 @@ fn run() -> Result<(), String> {
     let mut opts = BurstOptions::default();
     let mut shutdown = false;
     let mut crash_drill = false;
+    let mut connections: Option<usize> = None;
+    let mut conn = ConnOptions::default();
     let mut drill = DrillOptions {
         served_bin: sibling_served(),
         dir: std::env::temp_dir().join(format!("fairsw-crash-drill-{}", std::process::id())),
@@ -122,6 +142,28 @@ fn run() -> Result<(), String> {
                     .map_err(|e| format!("--queries: {e}"))?
             }
             "--mix" => opts.mix = value("--mix")?.parse()?,
+            "--connections" => {
+                connections = Some(
+                    value("--connections")?
+                        .parse()
+                        .map_err(|e| format!("--connections: {e}"))?,
+                )
+            }
+            "--requests" => {
+                conn.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--workers" => {
+                conn.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--churn" => {
+                conn.churn = value("--churn")?
+                    .parse()
+                    .map_err(|e| format!("--churn: {e}"))?
+            }
             "--shutdown" => shutdown = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -152,6 +194,38 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let addr = addr.ok_or("--addr is required (try --help)")?;
+
+    if let Some(n) = connections {
+        conn.connections = n;
+        conn.tenants = opts.tenants.max(1);
+        conn.window = opts.window;
+        let report = run_connections(addr.clone(), &conn)?;
+        println!(
+            "{} connections ({} workers, {} tenants, churn {:.2}): \
+             {} requests in {:.2?} = {:.0} req/s, {} reconnects, {} overloaded",
+            report.connections,
+            conn.workers,
+            conn.tenants,
+            conn.churn,
+            report.requests,
+            report.elapsed,
+            report.requests_per_sec,
+            report.reconnects,
+            report.overloaded,
+        );
+        println!(
+            "client-side request latency: p50={:.2?} p95={:.2?} p99={:.2?}",
+            report.p50, report.p95, report.p99,
+        );
+        if shutdown {
+            let mut c = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            match c.shutdown().map_err(|e| e.to_string())? {
+                Reply::Ok => println!("server acknowledged shutdown"),
+                other => return Err(format!("shutdown not acknowledged: {other:?}")),
+            }
+        }
+        return Ok(());
+    }
 
     let report = run_burst(addr.clone(), &opts)?;
     println!(

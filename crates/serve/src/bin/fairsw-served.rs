@@ -23,6 +23,10 @@
 //!   --follow ADDR      start as a hot standby of the leader at ADDR:
 //!                      read-only, streams the leader's WAL, becomes a
 //!                      leader itself on PROMOTE
+//!   --idle-timeout-ms N    reap a fully idle connection after N ms
+//!                      without a byte from the peer (default 120000)
+//!   --header-timeout-ms N  reap a connection stalled mid-frame after
+//!                      N ms — the slowloris guard (default 10000)
 //!   --port-file PATH   write the bound address to PATH once listening
 //!                      (lets scripts find an ephemeral port)
 //! ```
@@ -52,6 +56,8 @@ OPTIONS:
   --wal-segment-bytes N  WAL segment rotation threshold (default 1 MiB)
   --wal-compact-bytes N  WAL-into-snapshot compaction threshold (default 4 MiB)
   --follow ADDR     run as a read-only hot standby of the leader at ADDR
+  --idle-timeout-ms N    reap idle connections after N ms (default 120000)
+  --header-timeout-ms N  reap mid-frame stalls after N ms (default 10000)
   --port-file PATH  write the bound address to PATH once listening
 ";
 
@@ -106,6 +112,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--wal-compact-bytes: {e}"))?
             }
             "--follow" => args.cfg.follow = Some(value("--follow")?),
+            "--idle-timeout-ms" => {
+                let ms: u64 = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+                args.cfg.idle_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--header-timeout-ms" => {
+                let ms: u64 = value("--header-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--header-timeout-ms: {e}"))?;
+                args.cfg.header_timeout = Duration::from_millis(ms.max(1));
+            }
             "--port-file" => args.port_file = Some(PathBuf::from(value("--port-file")?)),
             "--help" | "-h" => {
                 print!("{USAGE}");

@@ -59,12 +59,15 @@
 //! stream, across tenants, variants, batch shapes and thread counts.
 
 pub mod loadgen;
+pub mod net;
 pub mod percentile;
 pub mod protocol;
 pub mod server;
 pub mod wal;
 
-pub use loadgen::{run_burst, BurstOptions, BurstReport, Client};
+pub use loadgen::{
+    run_burst, run_connections, BurstOptions, BurstReport, Client, ConnOptions, ConnReport,
+};
 pub use protocol::{ProtocolError, Reply, Request, TenantConfig, WireVariant};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use wal::{TenantWal, WalRecord, WalTuning};

@@ -449,6 +449,254 @@ pub fn run_burst(
     })
 }
 
+/// Parameters of a [`run_connections`] high-concurrency sweep.
+#[derive(Clone, Debug)]
+pub struct ConnOptions {
+    /// Open connections held for the whole run — mostly idle at any
+    /// instant, the reactor's target regime.
+    pub connections: usize,
+    /// Driving threads; each owns an equal slice of the connection
+    /// pool and round-robins requests over it by PRNG pick.
+    pub workers: usize,
+    /// Tenant pool the connections are assigned over with a Zipf-like
+    /// skew (tenant `i` attracts ~`1/(i+1)` of tenant 0's connections).
+    pub tenants: usize,
+    /// Window length of each tenant's engine.
+    pub window: usize,
+    /// Points warmed into every tenant before the measured phase, so
+    /// queries answer over a populated window.
+    pub warmup_points: usize,
+    /// Requests issued across all workers during the measured phase.
+    pub requests: usize,
+    /// Churn rate: the chance (`0..=1`) that a connection is closed
+    /// and reopened right after serving a request.
+    pub churn: f64,
+    /// PRNG seed (tenant assignment, op picks, churn).
+    pub seed: u64,
+    /// Delete the tenants afterwards.
+    pub cleanup: bool,
+}
+
+impl Default for ConnOptions {
+    fn default() -> Self {
+        ConnOptions {
+            connections: 256,
+            workers: 8,
+            tenants: 8,
+            window: 500,
+            warmup_points: 1_000,
+            requests: 5_000,
+            churn: 0.0,
+            seed: 0x5eed,
+            cleanup: true,
+        }
+    }
+}
+
+/// Aggregate outcome of a [`run_connections`] sweep.
+#[derive(Clone, Debug)]
+pub struct ConnReport {
+    /// Connections held open (as configured, after worker split).
+    pub connections: usize,
+    /// Requests issued during the measured phase.
+    pub requests: u64,
+    /// Connections churned (closed and reopened) along the way.
+    pub reconnects: u64,
+    /// `OVERLOADED` replies absorbed (back-pressure, not failures).
+    pub overloaded: u64,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+    /// `requests / elapsed`.
+    pub requests_per_sec: f64,
+    /// Client-side request-latency percentiles (request write to reply
+    /// decode) over every accepted request.
+    pub p50: Duration,
+    /// 95th percentile (same measurement).
+    pub p95: Duration,
+    /// 99th percentile (same measurement).
+    pub p99: Duration,
+}
+
+/// `splitmix64`: the tiny deterministic PRNG the sweep runs on.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Zipf-like pick over `n` tenants: weight `1/(i+1)`.
+fn zipf_pick(n: usize, rng: &mut u64) -> usize {
+    let h: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+    let mut u = (splitmix64(rng) >> 11) as f64 / (1u64 << 53) as f64 * h;
+    for i in 0..n {
+        u -= 1.0 / (i + 1) as f64;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+fn conn_tenant(i: usize) -> String {
+    format!("conn-{i}")
+}
+
+/// Per-worker outcome of one connection sweep.
+struct ConnOutcome {
+    issued: u64,
+    reconnects: u64,
+    overloaded: u64,
+    latencies: Vec<Duration>,
+}
+
+/// One sweep worker: owns `connections/workers` open sockets, issues
+/// its share of the requests against PRNG-picked connections (~1 in 16
+/// inserts a point, the rest query), and churns connections at the
+/// configured rate.
+fn conn_worker(
+    addr: impl ToSocketAddrs + Clone,
+    opts: &ConnOptions,
+    w: usize,
+    connections: usize,
+    workers: usize,
+    tenants: usize,
+) -> Result<ConnOutcome, String> {
+    let lo = w * connections / workers;
+    let hi = (w + 1) * connections / workers;
+    let mut rng = opts.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut pool: Vec<(Client, usize)> = Vec::with_capacity(hi - lo);
+    for _ in lo..hi {
+        let tenant = zipf_pick(tenants, &mut rng);
+        let c = Client::connect(addr.clone()).map_err(|e| e.to_string())?;
+        pool.push((c, tenant));
+    }
+    let my_requests = (w + 1) * opts.requests / workers - w * opts.requests / workers;
+    let mut outcome = ConnOutcome {
+        issued: 0,
+        reconnects: 0,
+        overloaded: 0,
+        latencies: Vec::with_capacity(my_requests),
+    };
+    for _ in 0..my_requests {
+        let slot = (splitmix64(&mut rng) as usize) % pool.len().max(1);
+        let (c, tenant) = &mut pool[slot];
+        let name = conn_tenant(*tenant);
+        let write = splitmix64(&mut rng).is_multiple_of(16);
+        let q0 = Instant::now();
+        let reply = if write {
+            let k = splitmix64(&mut rng);
+            let x = (k % 3) as f64 * 120.0 + ((k >> 8) % 1000) as f64 * 0.004;
+            let y = ((k >> 18) % 1000) as f64 * 0.004;
+            c.insert(
+                &name,
+                &Colored::new(EuclidPoint::new(vec![x, y]), (k % 2) as u32),
+            )
+        } else {
+            c.query(&name)
+        }
+        .map_err(|e| e.to_string())?;
+        outcome.issued += 1;
+        match reply {
+            Reply::Ok | Reply::Solution(_) => outcome.latencies.push(q0.elapsed()),
+            Reply::Error(ErrorKind::Overloaded, _) => outcome.overloaded += 1,
+            other => return Err(format!("{name}: unexpected reply {other:?}")),
+        }
+        let roll = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+        if opts.churn > 0.0 && roll < opts.churn {
+            let tenant = *tenant;
+            pool[slot] = (
+                Client::connect(addr.clone()).map_err(|e| e.to_string())?,
+                tenant,
+            );
+            outcome.reconnects += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Holds `opts.connections` sockets open against a running server —
+/// the overwhelming majority idle at any instant — while `opts.workers`
+/// threads issue a Zipf-skewed query-dominated request mix over
+/// PRNG-picked connections, optionally churning connections as they
+/// go. Reports client-side latency percentiles; raises the fd rlimit
+/// first.
+pub fn run_connections(
+    addr: impl ToSocketAddrs + Clone + Send + 'static,
+    opts: &ConnOptions,
+) -> Result<ConnReport, String> {
+    let connections = opts.connections.max(1);
+    let workers = opts.workers.clamp(1, connections);
+    let tenants = opts.tenants.max(1);
+    let limit = crate::net::raise_fd_limit(connections as u64 + 64);
+    if limit < connections as u64 + 16 {
+        return Err(format!(
+            "open-file limit {limit} too low for {connections} connections \
+             (raise `ulimit -n`)"
+        ));
+    }
+
+    // Setup: create and warm the tenant pool over one ordinary client.
+    let mut setup = Client::connect(addr.clone()).map_err(|e| e.to_string())?;
+    for t in 0..tenants {
+        let name = conn_tenant(t);
+        match setup
+            .create(&name, &burst_config(opts.window))
+            .map_err(|e| e.to_string())?
+        {
+            Reply::Ok => {}
+            other => return Err(format!("{name}: create failed: {other:?}")),
+        }
+        let stream = workload(opts.warmup_points, t as u64 * 104_729);
+        for chunk in stream.chunks(256) {
+            setup
+                .insert_batch_backoff(&name, chunk)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+
+    let t0 = Instant::now();
+    let results: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let addr = addr.clone();
+                let opts = opts.clone();
+                scope.spawn(move || conn_worker(addr, &opts, w, connections, workers, tenants))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection worker panicked"))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let elapsed = t0.elapsed();
+
+    if opts.cleanup {
+        for t in 0..tenants {
+            setup.delete(&conn_tenant(t)).map_err(|e| e.to_string())?;
+        }
+    }
+
+    let issued: u64 = results.iter().map(|r| r.issued).sum();
+    let mut latencies: Vec<Duration> = results
+        .iter()
+        .flat_map(|r| r.latencies.iter().copied())
+        .collect();
+    latencies.sort();
+    Ok(ConnReport {
+        connections,
+        requests: issued,
+        reconnects: results.iter().map(|r| r.reconnects).sum(),
+        overloaded: results.iter().map(|r| r.overloaded).sum(),
+        elapsed,
+        requests_per_sec: issued as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+    })
+}
+
 /// Parameters of a [`run_crash_drill`] durability drill.
 #[derive(Clone, Debug)]
 pub struct DrillOptions {

@@ -1,0 +1,350 @@
+//! The per-connection state machine: incremental frame reassembly in,
+//! an in-order reply pipeline through, a vectored write queue out.
+//!
+//! A connection owns a nonblocking [`TcpStream`] and never blocks the
+//! reactor: reads stop at `WouldBlock` (or at the pipeline/write-buffer
+//! bounds — TCP backpressure does the rest), writes resume exactly
+//! where a partial `writev` left off, and replies that depend on a
+//! shard land in a [`Slot::Waiting`] entry of the pipeline so the
+//! response order always matches the request order.
+
+use super::poll::{sock_id, SockId};
+use crate::protocol::{ErrorKind, FrameAssembler, Reply};
+use crate::server::{reply_bytes, PendingReply, Routed, Router};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Per-connection tuning of the event-driven front-end.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Reap a fully idle connection (nothing buffered, nothing in
+    /// flight) after this long without a byte from the peer.
+    pub idle_timeout: Duration,
+    /// Reap a connection whose only activity is a stalled partial
+    /// frame (the slowloris guard) after this long without progress.
+    pub header_timeout: Duration,
+    /// In-flight request cap per connection: decoded requests whose
+    /// replies have not yet been queued for writing. At the cap the
+    /// connection stops being read until replies drain.
+    pub max_pipeline: usize,
+    /// Queued-reply byte cap per connection; same backpressure rule.
+    pub max_write_buffer: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            idle_timeout: Duration::from_secs(120),
+            header_timeout: Duration::from_secs(10),
+            max_pipeline: 128,
+            max_write_buffer: 8 << 20,
+        }
+    }
+}
+
+/// Read budget per readiness wake: a firehose connection yields to its
+/// peers after this many bytes (level-triggered polling re-reports it).
+const READ_BUDGET: usize = 256 << 10;
+
+/// Vectored-write fan: frames batched into one `writev`.
+const MAX_IOV: usize = 32;
+
+/// One entry of the in-order reply pipeline.
+enum Slot {
+    /// Reply already known (cache hit, validation error, admission
+    /// rejection) but an earlier request is still in flight — it must
+    /// wait its turn. Holds the complete encoded frame.
+    Done(Vec<u8>),
+    /// Dispatched to a shard; the reply arrives on a channel.
+    Waiting(PendingReply),
+}
+
+/// The output queue: whole reply frames, flushed with `writev`, with
+/// partial-write resumption (`head` tracks consumed bytes of the front
+/// frame).
+#[derive(Default)]
+struct WriteQueue {
+    frames: VecDeque<Vec<u8>>,
+    head: usize,
+    bytes: usize,
+}
+
+impl WriteQueue {
+    fn push(&mut self, frame: Vec<u8>) {
+        self.bytes += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Unsent bytes currently queued.
+    fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Writes as much as the socket takes. Returns whether any bytes
+    /// moved; `WouldBlock` stops quietly (poll for writability), every
+    /// other error is the connection's end.
+    fn flush_into(&mut self, w: &mut TcpStream) -> io::Result<bool> {
+        let mut progress = false;
+        while !self.frames.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.frames.len().min(MAX_IOV));
+            for (i, f) in self.frames.iter().take(MAX_IOV).enumerate() {
+                slices.push(IoSlice::new(if i == 0 { &f[self.head..] } else { f }));
+            }
+            match w.write_vectored(&slices) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    progress = true;
+                    self.consume(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(progress)
+    }
+
+    /// Advances past `n` written bytes, popping fully sent frames.
+    fn consume(&mut self, mut n: usize) {
+        self.bytes -= n;
+        while n > 0 {
+            let front_remaining = self.frames[0].len() - self.head;
+            if n >= front_remaining {
+                n -= front_remaining;
+                self.frames.pop_front();
+                self.head = 0;
+            } else {
+                self.head += n;
+                n = 0;
+            }
+        }
+    }
+}
+
+/// Encodes a reply as one complete wire frame (length prefix + body).
+fn frame_bytes(reply: &Reply) -> Vec<u8> {
+    let body = reply_bytes(reply);
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// One live connection registered with the reactor.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    wbuf: WriteQueue,
+    pipeline: VecDeque<Slot>,
+    /// Last time anything progressed here (bytes read, a reply queued,
+    /// bytes flushed) — the reference point of both timeouts.
+    last_activity: Instant,
+    /// No more requests will be read (peer EOF, a `ShuttingDown` reply,
+    /// or a framing error): flush what is queued, then drop.
+    closing: bool,
+    /// A `WAL_SUBSCRIBE` arrived: once drained, the reactor hands the
+    /// stream to a dedicated blocking subscription thread.
+    handoff: bool,
+}
+
+impl Conn {
+    /// Adopts an accepted stream (made nonblocking; Nagle off like the
+    /// blocking path).
+    pub fn new(stream: TcpStream, now: Instant) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            assembler: FrameAssembler::new(),
+            wbuf: WriteQueue::default(),
+            pipeline: VecDeque::new(),
+            last_activity: now,
+            closing: false,
+            handoff: false,
+        })
+    }
+
+    /// The poll identity of the socket.
+    pub fn id(&self) -> SockId {
+        sock_id(&self.stream)
+    }
+
+    /// Should the reactor poll this connection for readability?
+    pub fn wants_read(&self, cfg: &NetConfig) -> bool {
+        !self.closing
+            && !self.handoff
+            && self.pipeline.len() < cfg.max_pipeline
+            && self.wbuf.bytes() < cfg.max_write_buffer
+    }
+
+    /// Should the reactor poll this connection for writability?
+    pub fn wants_write(&self) -> bool {
+        !self.wbuf.is_empty()
+    }
+
+    /// Everything queued went out and nothing is in flight.
+    pub fn drained(&self) -> bool {
+        self.pipeline.is_empty() && self.wbuf.is_empty()
+    }
+
+    /// Closing and fully drained: the reactor drops the connection.
+    pub fn finished(&self) -> bool {
+        self.closing && self.drained()
+    }
+
+    /// `WAL_SUBSCRIBE` received and every earlier reply flushed: the
+    /// reactor converts the stream to a blocking subscription.
+    pub fn handoff_ready(&self) -> bool {
+        self.handoff && !self.closing && self.drained()
+    }
+
+    /// Surrenders the stream for the subscription handoff.
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+
+    /// Drains the readable socket into the frame assembler and routes
+    /// every completed frame. Returns `false` when the connection is
+    /// beyond saving (I/O error, framing desync) and must be dropped
+    /// immediately.
+    pub fn on_readable(
+        &mut self,
+        router: &Router,
+        cfg: &NetConfig,
+        now: Instant,
+        scratch: &mut [u8],
+    ) -> bool {
+        let mut budget = READ_BUDGET;
+        while budget > 0 && self.wants_read(cfg) {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    // Peer EOF: no more requests, but replies already
+                    // in flight still go out before the drop.
+                    self.closing = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.last_activity = now;
+                    self.assembler.push(&scratch[..n]);
+                    if !self.process_frames(router, cfg, now) {
+                        return false;
+                    }
+                    budget = budget.saturating_sub(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Decodes and routes every complete frame the bounds allow.
+    fn process_frames(&mut self, router: &Router, cfg: &NetConfig, now: Instant) -> bool {
+        while !self.closing
+            && !self.handoff
+            && self.pipeline.len() < cfg.max_pipeline
+            && self.wbuf.bytes() < cfg.max_write_buffer
+        {
+            match self.assembler.next_frame() {
+                Ok(Some(body)) => match router.route_frame(&body) {
+                    Routed::Ready(reply) => {
+                        // The blocking path closed after answering
+                        // `ShuttingDown`; keep that contract.
+                        if matches!(reply, Reply::Error(ErrorKind::ShuttingDown, _)) {
+                            self.closing = true;
+                        }
+                        self.queue_reply(&reply, now);
+                    }
+                    Routed::Pending(pending) => self.pipeline.push_back(Slot::Waiting(pending)),
+                    Routed::Handoff => self.handoff = true,
+                },
+                Ok(None) => break,
+                // Framing desync (oversized length prefix): the stream
+                // cannot recover — drop, like the blocking path.
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Queues a known reply, preserving request order: straight to the
+    /// write queue when nothing earlier is in flight, else behind the
+    /// in-flight entries.
+    fn queue_reply(&mut self, reply: &Reply, now: Instant) {
+        let frame = frame_bytes(reply);
+        if self.pipeline.is_empty() {
+            self.wbuf.push(frame);
+        } else {
+            self.pipeline.push_back(Slot::Done(frame));
+        }
+        self.last_activity = now;
+    }
+
+    /// Moves every head-of-line-ready reply from the pipeline to the
+    /// write queue (shard replies are polled, never waited on).
+    /// Returns whether anything moved.
+    pub fn pump(&mut self, now: Instant) -> bool {
+        let mut progress = false;
+        loop {
+            match self.pipeline.front_mut() {
+                Some(Slot::Done(_)) => {
+                    let Some(Slot::Done(frame)) = self.pipeline.pop_front() else {
+                        unreachable!("front was Done");
+                    };
+                    self.wbuf.push(frame);
+                }
+                Some(Slot::Waiting(pending)) => match pending.try_poll() {
+                    Some(reply) => {
+                        if matches!(reply, Reply::Error(ErrorKind::ShuttingDown, _)) {
+                            self.closing = true;
+                        }
+                        self.pipeline.pop_front();
+                        self.wbuf.push(frame_bytes(&reply));
+                    }
+                    None => break,
+                },
+                None => break,
+            }
+            progress = true;
+            self.last_activity = now;
+        }
+        progress
+    }
+
+    /// Flushes the write queue into the socket (partial-write safe).
+    pub fn flush(&mut self, now: Instant) -> io::Result<bool> {
+        let progress = self.wbuf.flush_into(&mut self.stream)?;
+        if progress {
+            self.last_activity = now;
+        }
+        Ok(progress)
+    }
+
+    /// Timeout check. A connection is reaped when its only activity is
+    /// a stalled partial frame (header timeout) or it is completely
+    /// quiet (idle timeout); connections with requests in flight or
+    /// replies unflushed are never reaped.
+    pub fn due_reap(&self, now: Instant, cfg: &NetConfig) -> bool {
+        if !self.drained() || self.handoff || self.closing {
+            return false;
+        }
+        let stalled = now.duration_since(self.last_activity);
+        if self.assembler.buffered() > 0 {
+            stalled >= cfg.header_timeout
+        } else {
+            stalled >= cfg.idle_timeout
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The event-driven connection front-end: one reactor thread, 10k+
+//! concurrent connections.
+//!
+//! The server's hot path (shard threads owning engines outright,
+//! bounded queues, the connection-side `QUERY` cache) survives from the
+//! thread-per-connection design unchanged — this module replaces only
+//! the I/O front: instead of one blocking thread and stack per socket,
+//! a single reactor thread multiplexes every connection over
+//! nonblocking sockets and a readiness scan.
+//!
+//! ## Pieces
+//!
+//! - `sys`: minimal self-contained `epoll(7)` and `poll(2)` bindings
+//!   plus an fd rlimit helper ([`raise_fd_limit`]) — std-only, no
+//!   external crates.
+//! - `poll`: the `Poller` readiness abstraction with persistent
+//!   registrations — `epoll` on Linux (the kernel holds the interest
+//!   set, a round costs O(ready)), `poll(2)` on other unix, a portable
+//!   round-robin scan with exponential backoff everywhere else
+//!   (level-triggered spurious readiness is safe with nonblocking
+//!   sockets).
+//! - `wake`: a UDP-socketpair waker. Shard threads finish requests on
+//!   their own schedule; the reply channel pokes the waker so the
+//!   reactor wakes immediately instead of on its next timeout tick.
+//! - `conn`: the per-connection state machine — incremental frame
+//!   reassembly ([`FrameAssembler`](crate::protocol::FrameAssembler)),
+//!   an in-order pipeline of in-flight requests, and a vectored-write
+//!   output queue with partial-write resumption.
+//! - `reactor`: the event loop — accept, read, route, pump shard
+//!   replies, flush, reap timed-out connections.
+//!
+//! ## Pipelining semantics
+//!
+//! A client may write any number of requests without waiting for
+//! replies. The reactor decodes each completed frame immediately and
+//! either answers inline (cache hits, validation errors, admission
+//! rejections) or dispatches to the owning shard; replies are queued
+//! back **in request order** regardless of completion order, so the
+//! wire contract is exactly the blocking path's — byte-identical
+//! replies, one per request, in order. Per-connection buffers are
+//! bounded ([`NetConfig::max_pipeline`] in-flight requests,
+//! [`NetConfig::max_write_buffer`] queued reply bytes); a
+//! connection at either bound simply stops being read until it drains,
+//! which backpressures the peer through TCP instead of buffering
+//! without bound. The shard queues keep their own bound: a full queue
+//! still answers `OVERLOADED` immediately.
+//!
+//! ## Timeouts (slowloris guard)
+//!
+//! Two deadlines protect the reactor's buffers, both configurable via
+//! [`ServeConfig`](crate::server::ServeConfig):
+//!
+//! - **header-read timeout** (`header_timeout`, default 10s): a
+//!   connection whose only activity is a partial frame — no queued
+//!   replies, no pending requests, just bytes dribbling in — is reaped
+//!   when the partial frame stalls past the deadline.
+//! - **idle timeout** (`idle_timeout`, default 120s): a fully quiet
+//!   connection (no buffered bytes, nothing in flight) is reaped after
+//!   the deadline.
+//!
+//! Connections with in-flight requests or unflushed replies are never
+//! reaped. Reap counts surface in `STATS` as `conns_reaped`, next to
+//! `conns_open` and `conns_accepted`.
+
+pub(crate) mod conn;
+pub(crate) mod poll;
+pub(crate) mod reactor;
+pub(crate) mod sys;
+pub(crate) mod wake;
+
+pub use conn::NetConfig;
+pub use sys::raise_fd_limit;

@@ -1,0 +1,302 @@
+//! The readiness abstraction the reactor loops on: `epoll` on Linux,
+//! `poll(2)` on other unix, a portable round-robin/backoff scan
+//! elsewhere.
+//!
+//! Registrations are **persistent**: the reactor registers a socket
+//! once, flips its interest flags in place as its state machine moves,
+//! and deregisters it on close. The hot loop therefore does no
+//! per-round allocation or interest-list rebuild, and on Linux the
+//! kernel holds the interest set too, so a round costs O(ready) —
+//! which is what keeps tail latency flat as the connection count grows
+//! (`serve_concurrency` gates on exactly this).
+//!
+//! All three backends present the same `Poller` API: `register`
+//! returns an index that stays stable until a `deregister` swap-moves
+//! the last entry into a freed slot (the moved entry's token is
+//! reported back so the caller can repair its token-to-index map).
+//!
+//! The fallback scan never asks the OS which sockets are ready — it
+//! reports *everything* with active interest as ready and lets the
+//! nonblocking reads/writes answer `WouldBlock`. That is correct
+//! (level-triggered readiness may always be spurious) but busy, so the
+//! scan sleeps between sweeps with an exponential backoff that resets
+//! whenever a sweep makes progress.
+
+/// Opaque socket identity handed to [`Poller::register`]: the raw fd
+/// on unix, nothing elsewhere (the fallback scan polls by token alone).
+#[cfg(unix)]
+pub(crate) type SockId = std::os::unix::io::RawFd;
+/// Opaque socket identity (non-unix: unused by the fallback scan).
+#[cfg(not(unix))]
+pub(crate) type SockId = usize;
+
+/// Captures a socket's [`SockId`].
+#[cfg(unix)]
+pub(crate) fn sock_id<T: std::os::unix::io::AsRawFd>(s: &T) -> SockId {
+    s.as_raw_fd()
+}
+/// Captures a socket's [`SockId`] (non-unix: a placeholder).
+#[cfg(not(unix))]
+pub(crate) fn sock_id<T>(_s: &T) -> SockId {
+    0
+}
+
+/// One ready socket reported by [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Readiness {
+    /// The token given at [`Poller::register`] time.
+    pub token: usize,
+    /// Readable now (possibly spuriously, on the fallback).
+    pub read: bool,
+    /// Writable now (possibly spuriously, on the fallback).
+    pub write: bool,
+    /// The peer hung up or the socket errored; drain and close.
+    pub hup: bool,
+}
+
+pub(crate) use imp::Poller;
+
+/// epoll backend (Linux): the kernel owns the interest set and reports
+/// only ready fds.
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Readiness, SockId};
+    use crate::net::sys::{EpollSet, Events};
+    use std::time::Duration;
+
+    /// The readiness selector: a kernel epoll set plus the fd/token
+    /// bookkeeping the index-based API needs for `epoll_ctl` calls.
+    pub(crate) struct Poller {
+        epoll: EpollSet,
+        /// fd of each registered entry (`epoll_ctl` addresses by fd).
+        fds: Vec<SockId>,
+        /// Token of each registered entry, parallel to `fds`.
+        tokens: Vec<usize>,
+        /// Reused `(token, events)` buffer for [`wait`](Self::wait).
+        scratch: Vec<(usize, Events)>,
+    }
+
+    impl Poller {
+        /// A fresh poller. Failing to create the epoll instance is as
+        /// fatal (and as unlikely) as failing to spawn the reactor.
+        pub fn new() -> Self {
+            Poller {
+                epoll: EpollSet::new().expect("epoll_create1"),
+                fds: Vec::new(),
+                tokens: Vec::new(),
+                scratch: Vec::new(),
+            }
+        }
+
+        /// Registers a socket under `token` with initial interest flags
+        /// and returns its index.
+        pub fn register(&mut self, id: SockId, token: usize, read: bool, write: bool) -> usize {
+            self.epoll
+                .add(id, token, read, write)
+                .expect("epoll_ctl(ADD)");
+            self.fds.push(id);
+            self.tokens.push(token);
+            self.tokens.len() - 1
+        }
+
+        /// Rewrites the interest flags of the entry at `idx` in place.
+        /// An entry with neither flag is still watched for
+        /// hangup/error.
+        pub fn set_interest(&mut self, idx: usize, read: bool, write: bool) {
+            self.epoll
+                .modify(self.fds[idx], self.tokens[idx], read, write)
+                .expect("epoll_ctl(MOD)");
+        }
+
+        /// Removes the entry at `idx`. Returns the token of the entry
+        /// that was swap-moved into `idx` (if any).
+        pub fn deregister(&mut self, idx: usize) -> Option<usize> {
+            // Closing an fd drops it from the epoll set on its own, so
+            // a DEL that races a close is allowed to fail.
+            let _ = self.epoll.remove(self.fds[idx]);
+            self.fds.swap_remove(idx);
+            self.tokens.swap_remove(idx);
+            self.tokens.get(idx).copied()
+        }
+
+        /// Waits until some registered entry is ready or `timeout`
+        /// passes, filling `out` with the ready set (empty on timeout).
+        pub fn wait(&mut self, timeout: Duration, out: &mut Vec<Readiness>) -> std::io::Result<()> {
+            out.clear();
+            self.epoll.wait(timeout, &mut self.scratch)?;
+            out.extend(self.scratch.iter().map(|&(token, ev)| Readiness {
+                token,
+                read: ev.read,
+                write: ev.write,
+                hup: ev.hup,
+            }));
+            Ok(())
+        }
+
+        /// Feedback from the caller's sweep — a no-op over epoll.
+        pub fn note_progress(&mut self, _any: bool) {}
+    }
+}
+
+/// `poll(2)` backend (portable unix): a persistent fd array the kernel
+/// rescans each round.
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::{Readiness, SockId};
+    use crate::net::sys::FdSet;
+    use std::time::Duration;
+
+    /// The readiness selector: a persistent `pollfd` array plus the
+    /// tokens parallel to it.
+    pub(crate) struct Poller {
+        set: FdSet,
+        /// Token of each registered entry, parallel to the fd set.
+        tokens: Vec<usize>,
+    }
+
+    impl Poller {
+        /// A fresh poller.
+        pub fn new() -> Self {
+            Poller {
+                set: FdSet::new(),
+                tokens: Vec::new(),
+            }
+        }
+
+        /// Registers a socket under `token` with initial interest flags
+        /// and returns its index.
+        pub fn register(&mut self, id: SockId, token: usize, read: bool, write: bool) -> usize {
+            self.set.push(id, read, write);
+            self.tokens.push(token);
+            self.tokens.len() - 1
+        }
+
+        /// Rewrites the interest flags of the entry at `idx` in place.
+        /// An entry with neither flag is still watched for
+        /// hangup/error.
+        pub fn set_interest(&mut self, idx: usize, read: bool, write: bool) {
+            self.set.set_events(idx, read, write);
+        }
+
+        /// Removes the entry at `idx`. Returns the token of the entry
+        /// that was swap-moved into `idx` (if any).
+        pub fn deregister(&mut self, idx: usize) -> Option<usize> {
+            self.set.swap_remove(idx);
+            self.tokens.swap_remove(idx);
+            self.tokens.get(idx).copied()
+        }
+
+        /// Waits until some registered entry is ready or `timeout`
+        /// passes, filling `out` with the ready set (empty on timeout).
+        pub fn wait(&mut self, timeout: Duration, out: &mut Vec<Readiness>) -> std::io::Result<()> {
+            out.clear();
+            let n = self.set.poll(timeout)?;
+            if n > 0 {
+                let mut left = n;
+                for idx in 0..self.tokens.len() {
+                    let ev = self.set.revents(idx);
+                    if ev.read || ev.write || ev.hup {
+                        out.push(Readiness {
+                            token: self.tokens[idx],
+                            read: ev.read,
+                            write: ev.write,
+                            hup: ev.hup,
+                        });
+                        left -= 1;
+                        if left == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Feedback from the caller's sweep — a no-op over `poll(2)`.
+        pub fn note_progress(&mut self, _any: bool) {}
+    }
+}
+
+/// Backoff-scan backend (non-unix): report everything with interest as
+/// ready and let `WouldBlock` sort out reality.
+#[cfg(not(unix))]
+mod imp {
+    use super::{Readiness, SockId};
+    use std::time::Duration;
+
+    /// Backoff floor of the scan.
+    const SCAN_BACKOFF_MIN: Duration = Duration::from_millis(1);
+    /// Backoff ceiling of the scan.
+    const SCAN_BACKOFF_MAX: Duration = Duration::from_millis(16);
+
+    /// The readiness selector: the registration table alone.
+    pub(crate) struct Poller {
+        /// Token of each registered entry.
+        tokens: Vec<usize>,
+        /// Interest flags of each entry — the scan's readiness source.
+        flags: Vec<(bool, bool)>,
+        backoff: Duration,
+    }
+
+    impl Poller {
+        /// A fresh poller.
+        pub fn new() -> Self {
+            Poller {
+                tokens: Vec::new(),
+                flags: Vec::new(),
+                backoff: SCAN_BACKOFF_MIN,
+            }
+        }
+
+        /// Registers a socket under `token` with initial interest flags
+        /// and returns its index.
+        pub fn register(&mut self, _id: SockId, token: usize, read: bool, write: bool) -> usize {
+            self.flags.push((read, write));
+            self.tokens.push(token);
+            self.tokens.len() - 1
+        }
+
+        /// Rewrites the interest flags of the entry at `idx` in place.
+        pub fn set_interest(&mut self, idx: usize, read: bool, write: bool) {
+            self.flags[idx] = (read, write);
+        }
+
+        /// Removes the entry at `idx`. Returns the token of the entry
+        /// that was swap-moved into `idx` (if any).
+        pub fn deregister(&mut self, idx: usize) -> Option<usize> {
+            self.flags.swap_remove(idx);
+            self.tokens.swap_remove(idx);
+            self.tokens.get(idx).copied()
+        }
+
+        /// Waits (scan): sleep a beat, then report every entry with
+        /// active interest as ready.
+        pub fn wait(&mut self, timeout: Duration, out: &mut Vec<Readiness>) -> std::io::Result<()> {
+            out.clear();
+            std::thread::sleep(timeout.min(self.backoff));
+            out.extend(
+                self.tokens
+                    .iter()
+                    .zip(&self.flags)
+                    .filter(|(_, (r, w))| *r || *w)
+                    .map(|(&token, &(read, write))| Readiness {
+                        token,
+                        read,
+                        write,
+                        hup: false,
+                    }),
+            );
+            Ok(())
+        }
+
+        /// Feedback from the caller's sweep: progress resets the
+        /// backoff, an empty sweep doubles it up to the ceiling.
+        pub fn note_progress(&mut self, any: bool) {
+            self.backoff = if any {
+                SCAN_BACKOFF_MIN
+            } else {
+                (self.backoff * 2).min(SCAN_BACKOFF_MAX)
+            };
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The event loop: one thread multiplexing the listener, the waker and
+//! every client connection.
+//!
+//! Each round the reactor (1) polls readiness, (2) accepts new
+//! connections, (3) reads/routes ready sockets, (4) pumps completed
+//! shard replies into write queues and flushes opportunistically,
+//! (5) converts drained `WAL_SUBSCRIBE` connections to blocking
+//! subscription threads, and (6) reaps connections past their idle or
+//! header-read deadline. The poll timeout bounds how late the stop
+//! flag and the reaper can run; everything latency-sensitive is woken
+//! explicitly (socket readiness, or the [`Waker`](super::wake::Waker)
+//! a shard pokes when a reply completes).
+
+use super::conn::{Conn, NetConfig};
+use super::poll::{sock_id, Poller, Readiness};
+use super::wake::WakeRx;
+use crate::server::Router;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server-wide connection counters, shared with the shards so `STATS`
+/// can report them.
+#[derive(Default)]
+pub(crate) struct ConnStats {
+    /// Connections currently registered with the reactor.
+    pub open: AtomicU64,
+    /// Connections accepted since start.
+    pub accepted: AtomicU64,
+    /// Connections reaped by the idle/header-read timeouts.
+    pub reaped: AtomicU64,
+}
+
+/// Poll timeout: the upper bound on stop-flag and reap latency when no
+/// socket activity wakes the loop earlier.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// How long a failed `accept` (fd exhaustion, transient error) mutes
+/// the listener, so a persistent error cannot spin the loop.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Stop-drain budget: after the stop flag, in-flight replies get this
+/// long to complete and flush before connections are dropped.
+const STOP_DRAIN: Duration = Duration::from_secs(5);
+
+/// Listener and waker tokens; connection slot `i` maps to token
+/// `i + TOKEN_CONNS`.
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKE: usize = 1;
+const TOKEN_CONNS: usize = 2;
+
+/// Poller index of the listener registration (the waker sits at index
+/// 1). Connection entries are only ever swap-removed from higher
+/// indices, so the two fixed registrations never move.
+const IDX_LISTENER: usize = 0;
+
+/// The reactor: owns the listener, the wake receiver and every live
+/// connection. [`run`](Self::run) consumes it on its own thread.
+pub(crate) struct Reactor {
+    listener: TcpListener,
+    wake_rx: WakeRx,
+    router: Router,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ConnStats>,
+    cfg: NetConfig,
+    /// Connection slab: slot index is stable for a connection's life.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    poller: Poller,
+    /// Poller index of each live slot (parallel to `conns`), kept in
+    /// sync across the poller's swap-removes.
+    pidx: Vec<usize>,
+    /// Last interest flags pushed to the poller per slot, so the
+    /// refresh pass only touches entries whose interest changed.
+    pflags: Vec<(bool, bool)>,
+    accept_muted_until: Option<Instant>,
+    /// Listener interest currently registered with the poller.
+    accept_armed: bool,
+    /// Next timeout sweep — reaping is periodic, not per-round.
+    next_reap: Instant,
+}
+
+impl Reactor {
+    /// Builds a reactor over an already nonblocking listener.
+    pub fn new(
+        listener: TcpListener,
+        wake_rx: WakeRx,
+        router: Router,
+        stop: Arc<AtomicBool>,
+        stats: Arc<ConnStats>,
+        cfg: NetConfig,
+    ) -> Self {
+        let next_reap = Instant::now();
+        Reactor {
+            listener,
+            wake_rx,
+            router,
+            stop,
+            stats,
+            cfg,
+            conns: Vec::new(),
+            free: Vec::new(),
+            poller: Poller::new(),
+            pidx: Vec::new(),
+            pflags: Vec::new(),
+            accept_muted_until: None,
+            accept_armed: true,
+            next_reap,
+        }
+    }
+
+    /// How often the timeout reaper sweeps the slab: a fraction of the
+    /// tightest timeout, bounded below by the poll tick — reap latency
+    /// stays proportional to the timeouts without paying a full
+    /// connection scan every round.
+    fn reap_tick(&self) -> Duration {
+        (self.cfg.idle_timeout.min(self.cfg.header_timeout) / 8)
+            .clamp(POLL_TICK, Duration::from_secs(1))
+    }
+
+    /// The event loop; returns after the stop flag is observed and the
+    /// final drain completes.
+    pub fn run(mut self) {
+        let mut scratch = vec![0u8; 64 << 10];
+        let mut ready: Vec<Readiness> = Vec::new();
+        // The two fixed registrations; connections come and go above.
+        self.poller
+            .register(sock_id(&self.listener), TOKEN_LISTENER, true, false);
+        self.poller
+            .register(self.wake_rx.id(), TOKEN_WAKE, true, false);
+        while !self.stop.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            let accept_open = match self.accept_muted_until {
+                Some(t) => now >= t,
+                None => true,
+            };
+            if accept_open != self.accept_armed {
+                self.poller.set_interest(IDX_LISTENER, accept_open, false);
+                self.accept_armed = accept_open;
+            }
+            if self.poller.wait(POLL_TICK, &mut ready).is_err() {
+                // A transient poll failure: take a breath and rescan.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+
+            let now = Instant::now();
+            let mut progress = false;
+            for r in &ready {
+                let r = *r;
+                match r.token {
+                    TOKEN_LISTENER => progress |= self.accept(now),
+                    TOKEN_WAKE => self.wake_rx.drain(),
+                    token => {
+                        let slot = token - TOKEN_CONNS;
+                        let Some(conn) = self.conns[slot].as_mut() else {
+                            continue;
+                        };
+                        // On hangup, read anyway: the kernel may hold
+                        // final bytes, and the read path reports EOF or
+                        // the error cleanly.
+                        if (r.read || r.hup)
+                            && !conn.on_readable(&self.router, &self.cfg, now, &mut scratch)
+                        {
+                            self.drop_conn(slot, false);
+                            continue;
+                        }
+                        progress |= r.read;
+                        if r.write {
+                            let conn = self.conns[slot].as_mut().expect("conn checked above");
+                            match conn.flush(now) {
+                                Ok(p) => progress |= p,
+                                Err(_) => self.drop_conn(slot, false),
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Completed shard replies (the waker got us here), freshly
+            // queued inline replies, and finished lifecycle states.
+            progress |= self.pump_all(now);
+            if now >= self.next_reap {
+                self.reap(now);
+                self.next_reap = now + self.reap_tick();
+            }
+            self.poller.note_progress(progress);
+        }
+        self.drain_on_stop();
+    }
+
+    /// Accepts until `WouldBlock`. Any other accept error (fd
+    /// exhaustion, aborted handshake storms) mutes the listener briefly
+    /// instead of spinning on a level-triggered readiness that will not
+    /// clear.
+    fn accept(&mut self, now: Instant) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Ok(conn) = Conn::new(stream, now) {
+                        let flags = (conn.wants_read(&self.cfg), conn.wants_write());
+                        let (slot, id) = match self.free.pop() {
+                            Some(s) => {
+                                let id = conn.id();
+                                self.conns[s] = Some(conn);
+                                (s, id)
+                            }
+                            None => {
+                                let id = conn.id();
+                                self.conns.push(Some(conn));
+                                self.pidx.push(0);
+                                self.pflags.push((false, false));
+                                (self.conns.len() - 1, id)
+                            }
+                        };
+                        self.pidx[slot] =
+                            self.poller
+                                .register(id, slot + TOKEN_CONNS, flags.0, flags.1);
+                        self.pflags[slot] = flags;
+                        self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        self.stats.open.fetch_add(1, Ordering::Relaxed);
+                        any = true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    self.accept_muted_until = Some(now + ACCEPT_BACKOFF);
+                    break;
+                }
+            }
+        }
+        any
+    }
+
+    /// Pumps every connection's pipeline, flushes what became writable,
+    /// settles finished/handoff states, and re-arms each survivor's
+    /// poll interest where it changed (the only per-round full pass —
+    /// a few loads per idle connection, no allocation).
+    fn pump_all(&mut self, now: Instant) -> bool {
+        let mut progress = false;
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            progress |= conn.pump(now);
+            if conn.wants_write() {
+                match conn.flush(now) {
+                    Ok(p) => progress |= p,
+                    Err(_) => {
+                        self.drop_conn(slot, false);
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conns[slot].as_ref().expect("conn checked above");
+            if conn.finished() {
+                self.drop_conn(slot, false);
+            } else if conn.handoff_ready() {
+                let conn = self.conns[slot].take().expect("conn checked above");
+                self.free.push(slot);
+                self.unregister(slot);
+                self.stats.open.fetch_sub(1, Ordering::Relaxed);
+                self.router.spawn_subscription(conn.into_stream());
+                progress = true;
+            } else {
+                let flags = (conn.wants_read(&self.cfg), conn.wants_write());
+                if flags != self.pflags[slot] {
+                    self.poller.set_interest(self.pidx[slot], flags.0, flags.1);
+                    self.pflags[slot] = flags;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Reaps connections past their idle or header-read deadline.
+    fn reap(&mut self, now: Instant) {
+        for slot in 0..self.conns.len() {
+            if self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| c.due_reap(now, &self.cfg))
+            {
+                self.drop_conn(slot, true);
+            }
+        }
+    }
+
+    /// Unregisters and closes one connection.
+    fn drop_conn(&mut self, slot: usize, reaped: bool) {
+        if self.conns[slot].is_some() {
+            // Deregister while the fd is still open, then close it.
+            self.unregister(slot);
+            self.conns[slot] = None;
+            self.free.push(slot);
+            self.stats.open.fetch_sub(1, Ordering::Relaxed);
+            if reaped {
+                self.stats.reaped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes a freed slot's poller entry and repairs the slot of the
+    /// entry the poller swap-moved into its place.
+    fn unregister(&mut self, slot: usize) {
+        let idx = self.pidx[slot];
+        if let Some(moved) = self.poller.deregister(idx) {
+            if moved >= TOKEN_CONNS {
+                self.pidx[moved - TOKEN_CONNS] = idx;
+            }
+        }
+    }
+
+    /// After the stop flag: in-flight requests still get their replies
+    /// (the shards outlive the reactor; see the server's join order),
+    /// and queued replies still flush — the `SHUTDOWN` ack itself rides
+    /// this path. Bounded by [`STOP_DRAIN`].
+    fn drain_on_stop(&mut self) {
+        let deadline = Instant::now() + STOP_DRAIN;
+        loop {
+            let now = Instant::now();
+            let mut busy = false;
+            for slot in 0..self.conns.len() {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    continue;
+                };
+                conn.pump(now);
+                if conn.wants_write() && conn.flush(now).is_err() {
+                    self.drop_conn(slot, false);
+                    continue;
+                }
+                let conn = self.conns[slot].as_ref().expect("conn checked above");
+                if conn.drained() {
+                    self.drop_conn(slot, false);
+                } else {
+                    busy = true;
+                }
+            }
+            if !busy || now >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

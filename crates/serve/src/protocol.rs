@@ -128,6 +128,96 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
     Ok(true)
 }
 
+/// Incremental frame reassembly for nonblocking sockets.
+///
+/// The blocking [`read_frame`] owns its stream and can wait for a whole
+/// frame; the event-driven path (see [`crate::net`]) receives arbitrary
+/// byte chunks — a frame may arrive one byte at a time, or several
+/// pipelined frames may land in a single `read`. `FrameAssembler` is the
+/// state machine between the two: [`push`](Self::push) appends whatever
+/// the socket produced, [`next_frame`](Self::next_frame) yields each
+/// completed frame body in arrival order.
+///
+/// The length prefix is validated against [`MAX_FRAME`] *before* any
+/// allocation is sized by it, exactly like the blocking reader; an
+/// oversized prefix is an unrecoverable framing error (the stream can
+/// never resynchronize) and poisons the assembler. Consumed bytes are
+/// compacted away lazily, so the buffer stays bounded by one maximal
+/// frame plus one read chunk.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily).
+    start: usize,
+    /// A framing error was hit: the stream is desynchronized for good.
+    poisoned: bool,
+}
+
+/// Compaction threshold for the consumed prefix of the buffer.
+const ASSEMBLER_COMPACT: usize = 64 << 10;
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes received but not yet yielded as complete frames (a partial
+    /// frame, a partial length prefix, or frames not yet drained).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` while the tail is
+    /// still partial. After an `Err` (length prefix over [`MAX_FRAME`])
+    /// the assembler is poisoned: every later call errs too, because a
+    /// desynchronized length-prefixed stream cannot be re-entered.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.poisoned {
+            return Err(WireError::Invalid("framing desynchronized".into()));
+        }
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let mut len = [0u8; 4];
+        len.copy_from_slice(&self.buf[self.start..self.start + 4]);
+        let n = u32::from_le_bytes(len) as usize;
+        if n > MAX_FRAME {
+            self.poisoned = true;
+            return Err(WireError::Invalid(format!(
+                "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap"
+            )));
+        }
+        if avail < 4 + n {
+            self.compact();
+            return Ok(None);
+        }
+        let body = self.buf[self.start + 4..self.start + 4 + n].to_vec();
+        self.start += 4 + n;
+        self.compact();
+        Ok(Some(body))
+    }
+
+    /// Reclaims the consumed prefix once it is large enough to matter
+    /// (or the buffer emptied, which makes it free).
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= ASSEMBLER_COMPACT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 // ---- decode errors -----------------------------------------------------
 
 /// Errors raised while decoding a frame body.
@@ -954,6 +1044,14 @@ pub struct WireStats {
     /// Server-wide `QUERY` replies that missed the result cache and
     /// were computed by the shard's engine.
     pub query_cache_misses: u64,
+    /// Connections currently registered with the reactor (subscription
+    /// streams handed off to their own thread are not counted).
+    pub conns_open: u64,
+    /// Connections accepted since the server started.
+    pub conns_accepted: u64,
+    /// Connections reaped by the idle/header-read timeouts (the
+    /// slowloris guard; see [`crate::net`]).
+    pub conns_reaped: u64,
 }
 
 impl WireStats {
@@ -974,6 +1072,9 @@ impl WireStats {
         self.repl_lag = 0;
         self.query_cache_hits = 0;
         self.query_cache_misses = 0;
+        self.conns_open = 0;
+        self.conns_accepted = 0;
+        self.conns_reaped = 0;
         self
     }
 
@@ -1008,6 +1109,9 @@ impl WireStats {
         put_u64(out, self.repl_lag);
         put_u64(out, self.query_cache_hits);
         put_u64(out, self.query_cache_misses);
+        put_u64(out, self.conns_open);
+        put_u64(out, self.conns_accepted);
+        put_u64(out, self.conns_reaped);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -1034,6 +1138,9 @@ impl WireStats {
             repl_lag: take_u64(input)?,
             query_cache_hits: take_u64(input)?,
             query_cache_misses: take_u64(input)?,
+            conns_open: take_u64(input)?,
+            conns_accepted: take_u64(input)?,
+            conns_reaped: take_u64(input)?,
         })
     }
 }
@@ -1281,6 +1388,9 @@ mod tests {
                 repl_lag: 7,
                 query_cache_hits: 21,
                 query_cache_misses: 4,
+                conns_open: 3,
+                conns_accepted: 900,
+                conns_reaped: 12,
             }),
             Reply::Checkpointed {
                 written: 3,

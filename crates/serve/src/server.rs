@@ -1,21 +1,34 @@
 //! The multi-tenant TCP server: shard threads own the engines, the hot
-//! path is lock-free, admission control is a bounded queue.
+//! path is lock-free, admission control is a bounded queue, and one
+//! event-driven reactor thread fronts every connection.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!             ┌──────────┐  bounded try_send   ┌─────────────────────┐
-//! client ──▶  │ conn     │ ───────────────────▶│ shard 0: {tenants}  │
-//! client ──▶  │ threads  │      (OVERLOADED    │ shard 1: {tenants}  │
-//!             └──────────┘       when full)    └─────────────────────┘
+//! client ──▶ ┌───────────────┐  bounded try_send  ┌────────────────────┐
+//! client ──▶ │ reactor       │ ──────────────────▶│ shard 0: {tenants} │
+//!   ⋮        │ (one thread,  │     (OVERLOADED    │ shard 1: {tenants} │
+//! client ──▶ │  nonblocking) │      when full)    └────────────────────┘
+//!            └───────────────┘ ◀─── reply channel + waker ──┘
 //! ```
 //!
 //! Tenants are hash-sharded by name across `shards` worker threads; each
 //! shard **owns** its tenants' [`WindowEngine`]s outright — no mutex is
 //! ever taken on the insert/query path; cross-thread communication is
-//! exactly one bounded [`sync_channel`] per shard. When a shard's queue is full, the connection thread
-//! replies [`ErrorKind::Overloaded`] immediately instead of buffering
-//! without bound — clients treat it as back-pressure and retry.
+//! exactly one bounded [`sync_channel`] per shard. When a shard's queue
+//! is full, the reactor replies [`ErrorKind::Overloaded`] immediately
+//! instead of buffering without bound — clients treat it as
+//! back-pressure and retry.
+//!
+//! The connection front-end lives in [`crate::net`]: a single reactor
+//! thread multiplexes every socket (nonblocking I/O over a hand-rolled
+//! `poll(2)` binding), reassembles frames from arbitrary byte chunks,
+//! pipelines any number of in-flight requests per connection with
+//! replies kept in request order, and reaps stalled or idle
+//! connections. Requests that need a shard are dispatched exactly as
+//! before — the same bounded channels, the same `OVERLOADED` contract —
+//! with the per-request reply channel wrapped in a `ReplyTx` that
+//! pokes the reactor's waker on completion.
 //!
 //! Arriving points land in a per-tenant ingest buffer that flushes into
 //! the engine's batched [`insert_batch`] path when it reaches
@@ -35,6 +48,9 @@
 //!
 //! [`insert_batch`]: fairsw_core::SlidingWindowClustering::insert_batch
 
+use crate::net::conn::NetConfig;
+use crate::net::reactor::{ConnStats, Reactor};
+use crate::net::wake::{wake_pair, Waker};
 use crate::protocol::{
     valid_tenant_name, write_frame, ErrorKind, Reply, Request, TenantConfig, WireStats,
 };
@@ -43,7 +59,7 @@ use crate::wal::segment::{encode_batch_body, encode_create_body};
 use crate::wal::{atomic_write, build_tenant, read_log, TenantWal, WalRecord, WalTuning};
 use fairsw_core::{ParallelismSpec, SlidingWindowClustering, WindowEngine};
 use fairsw_metric::{Colored, EuclidPoint, Euclidean, Relaxed};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -89,6 +105,12 @@ pub struct ServeConfig {
     /// Per-engine parallelism applied to every tenant (the default
     /// honors `FAIRSW_THREADS`).
     pub parallelism: ParallelismSpec,
+    /// Reap a fully idle connection after this long without a byte
+    /// from the peer (see [`crate::net`]).
+    pub idle_timeout: Duration,
+    /// Reap a connection stalled mid-frame after this long — the
+    /// slowloris guard (see [`crate::net`]).
+    pub header_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +125,8 @@ impl Default for ServeConfig {
             wal_tuning: WalTuning::default(),
             follow: None,
             parallelism: ParallelismSpec::Auto,
+            idle_timeout: NetConfig::default().idle_timeout,
+            header_timeout: NetConfig::default().header_timeout,
         }
     }
 }
@@ -112,6 +136,15 @@ impl ServeConfig {
     /// be path-safe).
     fn tenant_wal_dir(&self, tenant: &str) -> Option<PathBuf> {
         self.wal_dir.as_ref().map(|d| d.join(tenant))
+    }
+
+    /// The connection-level knobs, in the net layer's shape.
+    fn net_config(&self) -> NetConfig {
+        NetConfig {
+            idle_timeout: self.idle_timeout,
+            header_timeout: self.header_timeout,
+            ..NetConfig::default()
+        }
     }
 }
 
@@ -348,21 +381,41 @@ impl Tenant {
             repl_lag: 0,
             query_cache_hits: 0,
             query_cache_misses: 0,
+            conns_open: 0,
+            conns_accepted: 0,
+            conns_reaped: 0,
+        }
+    }
+}
+
+/// The reply half handed to a shard: a per-request channel sender plus
+/// the reactor's waker, poked after a successful send so a parked
+/// `poll` learns about the completed reply immediately instead of on
+/// its next tick.
+pub(crate) struct ReplyTx {
+    tx: Sender<Reply>,
+    waker: Waker,
+}
+
+impl ReplyTx {
+    fn send(&self, reply: Reply) {
+        if self.tx.send(reply).is_ok() {
+            self.waker.wake();
         }
     }
 }
 
 /// A request routed to a shard. Replies go back on a per-request
-/// channel so connection threads can interleave freely.
+/// channel so connections can interleave freely.
 enum ShardMsg {
     Req {
         tenant: String,
         op: Op,
-        reply: Sender<Reply>,
+        reply: ReplyTx,
     },
     /// Checkpoint every tenant of this shard.
     CheckpointAll {
-        reply: Sender<Reply>,
+        reply: ReplyTx,
     },
     /// Attach a replication subscriber: bootstrap every tenant of this
     /// shard onto it, then add it to the live fan-out list.
@@ -404,6 +457,8 @@ struct Shard {
     /// The server-wide query-result cache: the shard bumps tenant
     /// versions on every accepted state change.
     cache: Arc<QueryCache>,
+    /// Reactor-side connection counters, surfaced through `STATS`.
+    conn_stats: Arc<ConnStats>,
     cfg: ServeConfig,
 }
 
@@ -418,11 +473,11 @@ impl Shard {
             match rx.recv_timeout(timeout) {
                 Ok(ShardMsg::Req { tenant, op, reply }) => {
                     let r = self.handle(&tenant, op);
-                    let _ = reply.send(r);
+                    reply.send(r);
                 }
                 Ok(ShardMsg::CheckpointAll { reply }) => {
                     let r = self.checkpoint_all();
-                    let _ = reply.send(r);
+                    reply.send(r);
                 }
                 Ok(ShardMsg::Subscribe { sub, reply }) => {
                     let r = self.subscribe(sub);
@@ -561,6 +616,9 @@ impl Shard {
                     stats.repl_lag = self.subs.iter().map(Subscriber::lag).max().unwrap_or(0);
                     stats.query_cache_hits = self.cache.hit_count();
                     stats.query_cache_misses = self.cache.miss_count();
+                    stats.conns_open = self.conn_stats.open.load(Ordering::Relaxed);
+                    stats.conns_accepted = self.conn_stats.accepted.load(Ordering::Relaxed);
+                    stats.conns_reaped = self.conn_stats.reaped.load(Ordering::Relaxed);
                     Reply::Stats(stats)
                 }
                 None => no_such_tenant(tenant),
@@ -1173,6 +1231,7 @@ impl Server {
         }
 
         let cache = Arc::new(QueryCache::default());
+        let conn_stats = Arc::new(ConnStats::default());
         let mut shard_txs = Vec::with_capacity(nshards);
         let mut shards = Vec::with_capacity(nshards);
         for tenants in initial {
@@ -1182,6 +1241,7 @@ impl Server {
                 parked: Vec::new(),
                 subs: Vec::new(),
                 cache: Arc::clone(&cache),
+                conn_stats: Arc::clone(&conn_stats),
                 cfg: cfg.clone(),
             };
             shard_txs.push(tx);
@@ -1212,43 +1272,24 @@ impl Server {
             is_follower: Arc::clone(&is_follower),
         };
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let listener_handle = {
-            let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
-            let shard_txs = shard_txs.clone();
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let stop = Arc::clone(&stop);
-                            let txs = shard_txs.clone();
-                            let role = role.clone();
-                            let cache = Arc::clone(&cache);
-                            let handle = std::thread::spawn(move || {
-                                serve_connection(stream, txs, stop, role, cache)
-                            });
-                            let mut conns = conns.lock().unwrap_or_else(|p| p.into_inner());
-                            // Reap finished connections so the handle
-                            // list tracks live connections, not the
-                            // server's whole connection history.
-                            let mut i = 0;
-                            while i < conns.len() {
-                                if conns[i].is_finished() {
-                                    let _ = conns.swap_remove(i).join();
-                                } else {
-                                    i += 1;
-                                }
-                            }
-                            conns.push(handle);
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                    }
-                }
-            })
+        let (waker, wake_rx) = wake_pair()?;
+        let router = Router {
+            shard_txs: shard_txs.clone(),
+            stop: Arc::clone(&stop),
+            role,
+            cache: Arc::clone(&cache),
+            waker,
+            conns: Arc::clone(&conns),
         };
+        let reactor = Reactor::new(
+            listener,
+            wake_rx,
+            router,
+            Arc::clone(&stop),
+            Arc::clone(&conn_stats),
+            cfg.net_config(),
+        );
+        let listener_handle = std::thread::spawn(move || reactor.run());
 
         Ok(ServerHandle {
             addr,
@@ -1324,71 +1365,286 @@ pub(crate) fn read_exact_polled(
     Ok(PolledRead::Done)
 }
 
-/// One connection: read a frame, route it, write the reply. Requests on
-/// one connection are strictly ordered; concurrency comes from many
+/// The outcome of routing one decoded frame, as seen by the reactor's
+/// connection state machine.
+pub(crate) enum Routed {
+    /// The reply is known now (cache hit, validation error, admission
+    /// rejection, control request): queue it in request order.
+    Ready(Reply),
+    /// The request went to a shard; poll [`PendingReply::try_poll`]
+    /// until the reply lands.
+    Pending(PendingReply),
+    /// `WAL_SUBSCRIBE`: drain the connection, then hand its stream to a
+    /// blocking subscription thread.
+    Handoff,
+}
+
+/// A deferred cache store for an in-flight `QUERY`: the version
+/// snapshot was taken *before* dispatch, so a write racing the
+/// computation moves the version and the store is refused.
+pub(crate) struct QueryStore {
+    cache: Arc<QueryCache>,
+    tenant: String,
+    version: u64,
+}
+
+/// A reply still in flight on a shard channel. Polled (never waited
+/// on) by the reactor, so one slow shard cannot stall unrelated
 /// connections.
-fn serve_connection(
-    stream: TcpStream,
+pub(crate) enum PendingReply {
+    /// One tenant-scoped request on one shard.
+    Shard {
+        rx: Receiver<Reply>,
+        store: Option<QueryStore>,
+    },
+    /// A broadcast checkpoint: one `CheckpointAll` per shard, counts
+    /// summed in shard order, first error reply wins — exactly the
+    /// sequential semantics of the blocking path.
+    Broadcast {
+        rxs: VecDeque<Receiver<Reply>>,
+        written: u32,
+        skipped: u32,
+    },
+}
+
+impl PendingReply {
+    /// Checks for the completed reply without blocking.
+    pub(crate) fn try_poll(&mut self) -> Option<Reply> {
+        match self {
+            PendingReply::Shard { rx, store } => match rx.try_recv() {
+                Ok(reply) => {
+                    if let Some(store) = store.take() {
+                        store.cache.store(&store.tenant, store.version, &reply);
+                    }
+                    Some(reply)
+                }
+                Err(mpsc::TryRecvError::Empty) => None,
+                Err(mpsc::TryRecvError::Disconnected) => Some(Reply::Error(
+                    ErrorKind::ShuttingDown,
+                    "shard stopped".into(),
+                )),
+            },
+            PendingReply::Broadcast {
+                rxs,
+                written,
+                skipped,
+            } => {
+                while let Some(rx) = rxs.front() {
+                    match rx.try_recv() {
+                        Ok(Reply::Checkpointed {
+                            written: w,
+                            skipped: s,
+                        }) => {
+                            *written += w;
+                            *skipped += s;
+                            rxs.pop_front();
+                        }
+                        Ok(other) => return Some(other), // first error wins
+                        Err(mpsc::TryRecvError::Empty) => return None,
+                        Err(mpsc::TryRecvError::Disconnected) => {
+                            return Some(Reply::Error(
+                                ErrorKind::ShuttingDown,
+                                "shard stopped".into(),
+                            ))
+                        }
+                    }
+                }
+                Some(Reply::Checkpointed {
+                    written: *written,
+                    skipped: *skipped,
+                })
+            }
+        }
+    }
+}
+
+/// The request router the reactor carries: decodes frames, answers what
+/// it can inline (control requests, cache hits, validation errors,
+/// admission rejections) and dispatches the rest to the shards without
+/// ever blocking.
+pub(crate) struct Router {
     shard_txs: Vec<SyncSender<ShardMsg>>,
     stop: Arc<AtomicBool>,
     role: Role,
     cache: Arc<QueryCache>,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    // A failed clone (fd exhaustion) costs this connection, not the
-    // server.
-    let mut reader = match stream.try_clone() {
-        Ok(read_half) => io::BufReader::new(read_half),
-        Err(e) => {
-            eprintln!("fairsw-served: dropping connection (stream clone failed: {e})");
-            return;
-        }
-    };
-    let mut writer = io::BufWriter::new(stream);
+    /// Cloned into every [`ReplyTx`] so shards can nudge the reactor.
+    waker: Waker,
+    /// Live subscription threads, joined at shutdown.
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
 
-    loop {
-        let mut header = [0u8; 4];
-        match read_exact_polled(
-            &mut reader,
-            &mut header,
-            || stop.load(Ordering::SeqCst),
-            true,
-        ) {
-            Ok(PolledRead::Done) => {}
-            Ok(PolledRead::Eof) | Ok(PolledRead::Stopped) | Err(_) => return,
+impl Router {
+    /// Decodes one frame body and routes the request. Decode errors are
+    /// ordinary `BAD_REQUEST` replies, exactly like the blocking path.
+    pub(crate) fn route_frame(&self, body: &[u8]) -> Routed {
+        match Request::decode(body) {
+            Ok(req) => self.route(req),
+            Err(e) => Routed::Ready(Reply::Error(ErrorKind::BadRequest, e.to_string())),
         }
-        let n = u32::from_le_bytes(header) as usize;
-        if n > crate::protocol::MAX_FRAME {
-            return; // unrecoverable framing error: drop the connection
+    }
+
+    fn route(&self, req: Request) -> Routed {
+        if self.stop.load(Ordering::SeqCst) {
+            return Routed::Ready(Reply::Error(
+                ErrorKind::ShuttingDown,
+                "server is shutting down".into(),
+            ));
         }
-        let mut body = vec![0u8; n];
-        match read_exact_polled(
-            &mut reader,
-            &mut body,
-            || stop.load(Ordering::SeqCst),
-            false,
-        ) {
-            Ok(PolledRead::Done) => {}
-            Ok(PolledRead::Eof) | Ok(PolledRead::Stopped) | Err(_) => return,
+        // A not-yet-promoted follower serves reads from replicated
+        // state; writes must go to the leader (or wait for PROMOTE).
+        if self.role.is_follower.load(Ordering::SeqCst)
+            && matches!(
+                req,
+                Request::Create { .. }
+                    | Request::Insert { .. }
+                    | Request::InsertBatch { .. }
+                    | Request::Delete { .. }
+                    | Request::Checkpoint { .. }
+            )
+        {
+            return Routed::Ready(Reply::Error(
+                ErrorKind::ReadOnly,
+                "follower is read-only until PROMOTE".into(),
+            ));
         }
-        let reply = match Request::decode(&body) {
-            Ok(Request::WalSubscribe) => {
-                // Converts this connection into a one-way replication
-                // stream; serve_subscription only returns when it ends.
-                serve_subscription(&mut writer, &shard_txs, &stop, &role);
+        let (op, tenant) = match req {
+            Request::Promote => {
+                return Routed::Ready(if self.role.is_follower.swap(false, Ordering::SeqCst) {
+                    // The replication thread sees the flag and detaches.
+                    Reply::Ok
+                } else {
+                    Reply::Error(ErrorKind::Unsupported, "server is not a follower".into())
+                });
+            }
+            Request::WalSubscribe => return Routed::Handoff,
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                // Ack; the reactor observes the flag, drains queued
+                // replies (this ack included) and exits.
+                return Routed::Ready(Reply::Ok);
+            }
+            Request::Checkpoint { tenant } if tenant.is_empty() => {
+                // Broadcast: every shard checkpoints its tenants. All
+                // dispatches go out up front; the replies aggregate in
+                // shard order as they complete.
+                let mut rxs = VecDeque::with_capacity(self.shard_txs.len());
+                for tx in &self.shard_txs {
+                    let (rtx, rrx) = mpsc::channel();
+                    match tx.try_send(ShardMsg::CheckpointAll {
+                        reply: self.reply_tx(rtx),
+                    }) {
+                        Ok(()) => rxs.push_back(rrx),
+                        Err(TrySendError::Full(_)) => {
+                            return Routed::Ready(Reply::Error(
+                                ErrorKind::Overloaded,
+                                "shard queue full, retry".into(),
+                            ))
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            return Routed::Ready(Reply::Error(
+                                ErrorKind::ShuttingDown,
+                                "shard stopped".into(),
+                            ))
+                        }
+                    }
+                }
+                return Routed::Pending(PendingReply::Broadcast {
+                    rxs,
+                    written: 0,
+                    skipped: 0,
+                });
+            }
+            Request::Create { tenant, config } => {
+                if !valid_tenant_name(&tenant) {
+                    return Routed::Ready(Reply::Error(
+                        ErrorKind::BadRequest,
+                        format!("invalid tenant name {tenant:?} (want [A-Za-z0-9._-]{{1,64}})"),
+                    ));
+                }
+                (Op::Create(config), tenant)
+            }
+            Request::Insert { tenant, point } => (Op::Insert(point), tenant),
+            Request::InsertBatch { tenant, points } => (Op::InsertBatch(points), tenant),
+            Request::Query { tenant } => {
+                // A repeat query at an unchanged tenant version is
+                // answered straight from the cache — neither the shard
+                // nor the pipeline sees it. On a miss, the deferred
+                // store rides along with the pending reply.
+                let (hit, version) = self.cache.begin_query(&tenant);
+                if let Some(reply) = hit {
+                    return Routed::Ready(reply);
+                }
+                let store = QueryStore {
+                    cache: Arc::clone(&self.cache),
+                    tenant: tenant.clone(),
+                    version,
+                };
+                return self.dispatch(tenant, Op::Query, Some(store));
+            }
+            Request::Stats { tenant } => (Op::Stats, tenant),
+            Request::Checkpoint { tenant } => (Op::Checkpoint, tenant),
+            Request::Delete { tenant } => (Op::Delete, tenant),
+        };
+        self.dispatch(tenant, op, None)
+    }
+
+    /// Sends one tenant-scoped op to its shard (bounded, non-blocking).
+    /// A full queue answers `OVERLOADED` immediately — the admission
+    /// contract is unchanged.
+    fn dispatch(&self, tenant: String, op: Op, store: Option<QueryStore>) -> Routed {
+        let tx = &self.shard_txs[shard_of(&tenant, self.shard_txs.len())];
+        let (rtx, rrx) = mpsc::channel();
+        match tx.try_send(ShardMsg::Req {
+            tenant,
+            op,
+            reply: self.reply_tx(rtx),
+        }) {
+            Ok(()) => Routed::Pending(PendingReply::Shard { rx: rrx, store }),
+            Err(TrySendError::Full(_)) => Routed::Ready(Reply::Error(
+                ErrorKind::Overloaded,
+                "shard queue full, retry".into(),
+            )),
+            Err(TrySendError::Disconnected(_)) => Routed::Ready(Reply::Error(
+                ErrorKind::ShuttingDown,
+                "shard stopped".into(),
+            )),
+        }
+    }
+
+    fn reply_tx(&self, tx: Sender<Reply>) -> ReplyTx {
+        ReplyTx {
+            tx,
+            waker: self.waker.clone(),
+        }
+    }
+
+    /// Converts a drained `WAL_SUBSCRIBE` connection into a dedicated
+    /// blocking subscription thread: replication is a long-lived
+    /// one-way stream and has no business on the reactor. The handle
+    /// joins with the other connection threads at shutdown.
+    pub(crate) fn spawn_subscription(&self, stream: TcpStream) {
+        let txs = self.shard_txs.clone();
+        let stop = Arc::clone(&self.stop);
+        let role = self.role.clone();
+        let handle = std::thread::spawn(move || {
+            if stream.set_nonblocking(false).is_err() {
                 return;
             }
-            Ok(req) => route(req, &shard_txs, &stop, &role, &cache),
-            Err(e) => Reply::Error(ErrorKind::BadRequest, e.to_string()),
-        };
-        let done = matches!(reply, Reply::Error(ErrorKind::ShuttingDown, _));
-        if write_frame(&mut writer, &reply_bytes(&reply)).is_err() {
-            return;
+            let mut writer = io::BufWriter::new(stream);
+            serve_subscription(&mut writer, &txs, &stop, &role);
+        });
+        let mut conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+        // Reap finished subscriptions so the handle list tracks live
+        // streams, not the server's whole history.
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].is_finished() {
+                let _ = conns.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
         }
-        if done {
-            return;
-        }
+        conns.push(handle);
     }
 }
 
@@ -1467,150 +1723,12 @@ fn serve_subscription(
 /// Encodes a reply for the wire, downgrading an unencodable reply into
 /// an error reply (error replies truncate their message, so they always
 /// encode).
-fn reply_bytes(reply: &Reply) -> Vec<u8> {
+pub(crate) fn reply_bytes(reply: &Reply) -> Vec<u8> {
     reply.encode().unwrap_or_else(|e| {
         Reply::Error(ErrorKind::BadRequest, format!("reply unencodable: {e}"))
             .encode()
             .expect("error replies always encode")
     })
-}
-
-/// Routes one decoded request and waits for the shard's reply.
-fn route(
-    req: Request,
-    shard_txs: &[SyncSender<ShardMsg>],
-    stop: &AtomicBool,
-    role: &Role,
-    cache: &QueryCache,
-) -> Reply {
-    if stop.load(Ordering::SeqCst) {
-        return Reply::Error(ErrorKind::ShuttingDown, "server is shutting down".into());
-    }
-    // A not-yet-promoted follower serves reads from replicated state;
-    // writes must go to the leader (or wait for PROMOTE).
-    if role.is_follower.load(Ordering::SeqCst)
-        && matches!(
-            req,
-            Request::Create { .. }
-                | Request::Insert { .. }
-                | Request::InsertBatch { .. }
-                | Request::Delete { .. }
-                | Request::Checkpoint { .. }
-        )
-    {
-        return Reply::Error(
-            ErrorKind::ReadOnly,
-            "follower is read-only until PROMOTE".into(),
-        );
-    }
-    let (op, tenant) = match req {
-        Request::Promote => {
-            return if role.is_follower.swap(false, Ordering::SeqCst) {
-                // The replication thread sees the flag and detaches.
-                Reply::Ok
-            } else {
-                Reply::Error(ErrorKind::Unsupported, "server is not a follower".into())
-            };
-        }
-        Request::WalSubscribe => {
-            // Handled stream-side in serve_connection; reaching route
-            // means a non-connection caller (not supported).
-            return Reply::Error(
-                ErrorKind::Unsupported,
-                "WAL_SUBSCRIBE is stream-only".into(),
-            );
-        }
-        Request::Shutdown => {
-            stop.store(true, Ordering::SeqCst);
-            // Ack, then the conn thread closes; `ServerHandle::wait`
-            // observes the flag and joins everything.
-            return Reply::Ok;
-        }
-        Request::Checkpoint { tenant } if tenant.is_empty() => {
-            // Broadcast: every shard checkpoints its tenants; counts sum.
-            let (mut written, mut skipped) = (0u32, 0u32);
-            for tx in shard_txs {
-                let (rtx, rrx) = mpsc::channel();
-                match tx.try_send(ShardMsg::CheckpointAll { reply: rtx }) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(_)) => {
-                        return Reply::Error(
-                            ErrorKind::Overloaded,
-                            "shard queue full, retry".into(),
-                        )
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        return Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into())
-                    }
-                }
-                match rrx.recv() {
-                    Ok(Reply::Checkpointed {
-                        written: w,
-                        skipped: s,
-                    }) => {
-                        written += w;
-                        skipped += s;
-                    }
-                    Ok(other) => return other, // first error wins
-                    Err(_) => return Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into()),
-                }
-            }
-            return Reply::Checkpointed { written, skipped };
-        }
-        Request::Create { tenant, config } => {
-            if !valid_tenant_name(&tenant) {
-                return Reply::Error(
-                    ErrorKind::BadRequest,
-                    format!("invalid tenant name {tenant:?} (want [A-Za-z0-9._-]{{1,64}})"),
-                );
-            }
-            (Op::Create(config), tenant)
-        }
-        Request::Insert { tenant, point } => (Op::Insert(point), tenant),
-        Request::InsertBatch { tenant, points } => (Op::InsertBatch(points), tenant),
-        Request::Query { tenant } => {
-            // A repeat query at an unchanged tenant version is answered
-            // straight from the cache — the shard thread never sees it.
-            // On a miss, the version snapshot taken *before* dispatch
-            // keys the store: a write racing the computation moves the
-            // version and the store is refused.
-            let (hit, version) = cache.begin_query(&tenant);
-            if let Some(reply) = hit {
-                return reply;
-            }
-            let reply = dispatch(shard_txs, tenant.clone(), Op::Query);
-            cache.store(&tenant, version, &reply);
-            return reply;
-        }
-        Request::Stats { tenant } => (Op::Stats, tenant),
-        Request::Checkpoint { tenant } => (Op::Checkpoint, tenant),
-        Request::Delete { tenant } => (Op::Delete, tenant),
-    };
-    dispatch(shard_txs, tenant, op)
-}
-
-/// Sends one tenant-scoped op to its shard (bounded, non-blocking) and
-/// waits for the reply.
-fn dispatch(shard_txs: &[SyncSender<ShardMsg>], tenant: String, op: Op) -> Reply {
-    let tx = &shard_txs[shard_of(&tenant, shard_txs.len())];
-    let (rtx, rrx) = mpsc::channel();
-    match tx.try_send(ShardMsg::Req {
-        tenant,
-        op,
-        reply: rtx,
-    }) {
-        Ok(()) => {}
-        Err(TrySendError::Full(_)) => {
-            return Reply::Error(ErrorKind::Overloaded, "shard queue full, retry".into())
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            return Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into())
-        }
-    }
-    match rrx.recv() {
-        Ok(reply) => reply,
-        Err(_) => Reply::Error(ErrorKind::ShuttingDown, "shard stopped".into()),
-    }
 }
 
 #[cfg(test)]
@@ -1829,5 +1947,121 @@ mod tests {
         let hit: std::collections::HashSet<usize> =
             (0..64).map(|i| shard_of(&format!("t{i}"), 4)).collect();
         assert!(hit.len() > 1, "all tenants on one shard");
+    }
+
+    /// Raw frame bytes of one request (length prefix + body).
+    fn raw_frame(req: &Request) -> Vec<u8> {
+        let body = req.encode().unwrap();
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    /// Reads one reply frame from a raw (blocking) socket.
+    fn read_reply(stream: &mut TcpStream) -> Reply {
+        use std::io::Read;
+        let mut header = [0u8; 4];
+        stream.read_exact(&mut header).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(header) as usize];
+        stream.read_exact(&mut body).unwrap();
+        Reply::decode(&body).unwrap()
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_socket_get_ordered_replies() {
+        use std::io::Write;
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+
+        // One write carrying the whole conversation back-to-back: the
+        // replies must come back in request order.
+        let mut batch = Vec::new();
+        batch.extend_from_slice(&raw_frame(&Request::Create {
+            tenant: "pipe".into(),
+            config: cfg_fixed(50),
+        }));
+        for i in 0..20 {
+            batch.extend_from_slice(&raw_frame(&Request::Insert {
+                tenant: "pipe".into(),
+                point: pt(i as f64, (i % 2) as u32),
+            }));
+        }
+        batch.extend_from_slice(&raw_frame(&Request::Stats {
+            tenant: "pipe".into(),
+        }));
+        batch.extend_from_slice(&raw_frame(&Request::Query {
+            tenant: "pipe".into(),
+        }));
+        stream.write_all(&batch).unwrap();
+
+        assert_eq!(read_reply(&mut stream), Reply::Ok, "create");
+        for i in 0..20 {
+            assert_eq!(read_reply(&mut stream), Reply::Ok, "insert {i}");
+        }
+        match read_reply(&mut stream) {
+            Reply::Stats(s) => assert_eq!(s.points_total, 20),
+            other => panic!("unexpected stats reply {other:?}"),
+        }
+        assert!(matches!(read_reply(&mut stream), Reply::Solution(_)));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn one_byte_chunked_frames_still_decode() {
+        use std::io::Write;
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let frame = raw_frame(&Request::Create {
+            tenant: "drip".into(),
+            config: cfg_fixed(10),
+        });
+        for b in &frame {
+            stream.write_all(std::slice::from_ref(b)).unwrap();
+        }
+        assert_eq!(read_reply(&mut stream), Reply::Ok);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_and_stalled_connections_are_reaped_and_counted() {
+        use std::io::{Read, Write};
+        let cfg = ServeConfig {
+            idle_timeout: Duration::from_millis(150),
+            header_timeout: Duration::from_millis(150),
+            ..ServeConfig::default()
+        };
+        let handle = Server::start("127.0.0.1:0", cfg).unwrap();
+
+        // One idle connection, one stalled mid-header (the slowloris).
+        let mut idle = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut slow = TcpStream::connect(handle.local_addr()).unwrap();
+        slow.write_all(&[0x03, 0x00]).unwrap(); // half a length prefix
+
+        // Both must be closed by the reaper: the reads see EOF.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for (name, s) in [("idle", &mut idle), ("slow", &mut slow)] {
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut buf = [0u8; 1];
+            match s.read(&mut buf) {
+                Ok(0) => {}
+                other => panic!("{name} connection not reaped: {other:?}"),
+            }
+            assert!(Instant::now() < deadline, "reaper too slow");
+        }
+
+        // A fresh (active) connection keeps working and sees the reap
+        // counters.
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        assert_eq!(c.create("t", &cfg_fixed(10)).unwrap(), Reply::Ok);
+        match c.stats("t").unwrap() {
+            Reply::Stats(s) => {
+                assert_eq!(s.conns_reaped, 2, "idle + slowloris");
+                assert!(s.conns_accepted >= 3);
+                assert!(s.conns_open >= 1);
+            }
+            other => panic!("unexpected stats reply {other:?}"),
+        }
+        handle.shutdown();
     }
 }

@@ -168,6 +168,9 @@ fn expected_stats(
         repl_lag: 0,
         query_cache_hits: 0,
         query_cache_misses: 0,
+        conns_open: 0,
+        conns_accepted: 0,
+        conns_reaped: 0,
     }
 }
 

@@ -1,0 +1,213 @@
+//! Proptests for the event-driven front-end's frame reassembly: the
+//! [`FrameAssembler`] must recover the exact frame sequence from any
+//! chunking of the byte stream (1-byte drips included), pipelined
+//! back-to-back frames over a real socket must answer in request order
+//! with replies identical to a strict request/reply client, and
+//! corrupted or truncated input must never panic.
+
+use fairsw_metric::{Colored, EuclidPoint};
+use fairsw_serve::loadgen::Client;
+use fairsw_serve::protocol::{
+    FrameAssembler, Reply, Request, TenantConfig, WireVariant, MAX_FRAME,
+};
+use fairsw_serve::server::{ServeConfig, Server};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn tenant_cfg() -> TenantConfig {
+    TenantConfig::new(
+        64,
+        vec![1, 1],
+        WireVariant::Fixed {
+            dmin: 0.01,
+            dmax: 1e4,
+        },
+    )
+}
+
+/// A request against the fixed tenant `t` (plus an undecodable body, so
+/// the mix also exercises the `BAD_REQUEST` path through the pipeline).
+fn req_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (-1000i32..1000, 0u32..2).prop_map(|(x, c)| Request::Insert {
+            tenant: "t".into(),
+            point: Colored::new(EuclidPoint::new(vec![x as f64]), c),
+        }),
+        Just(Request::Query { tenant: "t".into() }),
+        Just(Request::Stats { tenant: "t".into() }),
+    ]
+}
+
+/// One wire frame (length prefix + body).
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits `stream` into chunks cycling through `sizes` and pushes each
+/// into the assembler, draining complete frames as they form.
+fn reassemble(stream: &[u8], sizes: &[usize]) -> Vec<Vec<u8>> {
+    let mut asm = FrameAssembler::new();
+    let mut frames = Vec::new();
+    let mut at = 0;
+    let mut i = 0;
+    while at < stream.len() {
+        let n = sizes[i % sizes.len()].min(stream.len() - at);
+        i += 1;
+        asm.push(&stream[at..at + n]);
+        at += n;
+        while let Some(body) = asm.next_frame().expect("valid stream never poisons") {
+            frames.push(body);
+        }
+    }
+    frames
+}
+
+/// Scrubs service-side nondeterminism (latency percentiles, connection
+/// counters, throughput) so replies from different runs compare.
+fn scrubbed(reply: Reply) -> Reply {
+    match reply {
+        Reply::Stats(s) => Reply::Stats(s.deterministic()),
+        other => other,
+    }
+}
+
+/// Reads one reply frame from a blocking socket.
+fn read_reply(stream: &mut TcpStream) -> Reply {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header).unwrap();
+    let mut body = vec![0u8; u32::from_le_bytes(header) as usize];
+    stream.read_exact(&mut body).unwrap();
+    Reply::decode(&body).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Any chunking of a frame stream — 1-byte drips, chunks spanning
+    // frame boundaries, whole-stream pushes — reassembles the exact
+    // frame sequence.
+    #[test]
+    fn arbitrary_chunking_reassembles_the_exact_frames(
+        reqs in proptest::collection::vec(req_strategy(), 1..24),
+        sizes in proptest::collection::vec(1usize..9, 1..32),
+    ) {
+        let bodies: Vec<Vec<u8>> = reqs.iter().map(|r| r.encode().unwrap()).collect();
+        let stream: Vec<u8> = bodies.iter().flat_map(|b| frame(b)).collect();
+        let got = reassemble(&stream, &sizes);
+        prop_assert_eq!(&got, &bodies);
+        // The reassembled bodies decode to the original requests.
+        for (body, want) in got.iter().zip(&reqs) {
+            prop_assert_eq!(&Request::decode(body).unwrap(), want);
+        }
+    }
+
+    // Random garbage, chunked randomly, never panics the assembler:
+    // every call returns `Ok(frame)`, `Ok(None)` or a framing error,
+    // and after an error the assembler stays poisoned.
+    #[test]
+    fn corruption_and_truncation_never_panic(
+        bytes in proptest::collection::vec(0u8..255, 0..512),
+        sizes in proptest::collection::vec(1usize..17, 1..16),
+    ) {
+        let mut asm = FrameAssembler::new();
+        let mut at = 0;
+        let mut i = 0;
+        let mut poisoned = false;
+        while at < bytes.len() {
+            let n = sizes[i % sizes.len()].min(bytes.len() - at);
+            i += 1;
+            asm.push(&bytes[at..at + n]);
+            at += n;
+            loop {
+                match asm.next_frame() {
+                    Ok(Some(body)) => prop_assert!(body.len() <= MAX_FRAME),
+                    Ok(None) => break,
+                    Err(_) => {
+                        poisoned = true;
+                        break;
+                    }
+                }
+            }
+            if poisoned {
+                // Poison is permanent: every later call errors too.
+                prop_assert!(asm.next_frame().is_err());
+                break;
+            }
+        }
+    }
+
+    // An oversized length prefix poisons the assembler instead of
+    // allocating: the frame before it still comes out, nothing after.
+    #[test]
+    fn oversized_prefix_poisons_after_the_last_good_frame(
+        body in proptest::collection::vec(0u8..255, 0..64),
+        oversize in (MAX_FRAME as u32 + 1)..u32::MAX,
+    ) {
+        let mut stream = frame(&body);
+        stream.extend_from_slice(&oversize.to_le_bytes());
+        let mut asm = FrameAssembler::new();
+        asm.push(&stream);
+        prop_assert_eq!(asm.next_frame().unwrap(), Some(body));
+        prop_assert!(asm.next_frame().is_err());
+        prop_assert!(asm.next_frame().is_err());
+    }
+}
+
+proptest! {
+    // End-to-end cases boot two servers each; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The same request sequence, (a) pipelined back-to-back in
+    // arbitrary chunks over one raw socket and (b) strict
+    // request/reply via the ordinary client against a fresh server,
+    // produces identical replies in request order.
+    #[test]
+    fn pipelined_chunked_requests_match_the_strict_client(
+        reqs in proptest::collection::vec(req_strategy(), 1..16),
+        sizes in proptest::collection::vec(1usize..64, 1..8),
+    ) {
+        // (a) pipelined over one socket, dripped in chunks.
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut sock = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut stream = frame(
+            &Request::Create { tenant: "t".into(), config: tenant_cfg() }.encode().unwrap(),
+        );
+        for r in &reqs {
+            stream.extend_from_slice(&frame(&r.encode().unwrap()));
+        }
+        let mut at = 0;
+        let mut i = 0;
+        while at < stream.len() {
+            let n = sizes[i % sizes.len()].min(stream.len() - at);
+            i += 1;
+            sock.write_all(&stream[at..at + n]).unwrap();
+            at += n;
+        }
+        prop_assert_eq!(read_reply(&mut sock), Reply::Ok, "create");
+        let piped: Vec<Reply> = reqs.iter().map(|_| scrubbed(read_reply(&mut sock))).collect();
+        handle.shutdown();
+
+        // (b) strict request/reply against a fresh server.
+        let handle = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        prop_assert_eq!(client.create("t", &tenant_cfg()).unwrap(), Reply::Ok);
+        let strict: Vec<Reply> = reqs
+            .iter()
+            .map(|r| scrubbed(client.call(r).unwrap()))
+            .collect();
+        handle.shutdown();
+
+        for (i, (got, want)) in piped.iter().zip(&strict).enumerate() {
+            prop_assert_eq!(
+                got.encode().unwrap(),
+                want.encode().unwrap(),
+                "request {}: pipelined reply diverged ({:?} vs {:?})",
+                i, got, want
+            );
+        }
+    }
+}
