@@ -1,0 +1,70 @@
+//! Throwaway review repro: pipeline > max_pipeline requests in one
+//! burst; the tail beyond the cap should still be answered.
+
+use fairsw_serve::{Reply, Request, ServeConfig, Server, TenantConfig, WireVariant};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn raw_frame(req: &Request) -> Vec<u8> {
+    let body = req.encode().unwrap();
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+fn read_reply(stream: &mut TcpStream) -> std::io::Result<Reply> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    let mut body = vec![0u8; u32::from_le_bytes(header) as usize];
+    stream.read_exact(&mut body)?;
+    Ok(Reply::decode(&body).unwrap())
+}
+
+#[test]
+fn burst_beyond_pipeline_cap_gets_all_replies() {
+    let cfg = ServeConfig {
+        header_timeout: Duration::from_millis(500),
+        idle_timeout: Duration::from_millis(2000),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start("127.0.0.1:0", cfg).unwrap();
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let tenant_cfg = TenantConfig::new(
+        1000,
+        vec![2, 2],
+        WireVariant::Fixed {
+            dmin: 0.1,
+            dmax: 1000.0,
+        },
+    );
+    let mut batch = raw_frame(&Request::Create {
+        tenant: "burst".into(),
+        config: tenant_cfg,
+    });
+    const N: usize = 300; // well past max_pipeline = 128
+    for i in 0..N {
+        batch.extend_from_slice(&raw_frame(&Request::Insert {
+            tenant: "burst".into(),
+            point: fairsw_metric::Colored::new(
+                fairsw_metric::EuclidPoint::new(vec![i as f64, -(i as f64)]),
+                (i % 2) as u32,
+            ),
+        }));
+    }
+    stream.write_all(&batch).unwrap();
+
+    assert!(matches!(read_reply(&mut stream).unwrap(), Reply::Ok), "create");
+    for i in 0..N {
+        match read_reply(&mut stream) {
+            Ok(Reply::Ok) => {}
+            other => panic!("insert {i}/{N}: {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
