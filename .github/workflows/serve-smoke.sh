@@ -41,6 +41,19 @@ echo "server at $ADDR (FAIRSW_THREADS=${FAIRSW_THREADS:-unset})"
     --addr "$ADDR" --tenants 4 --points 2000 --batch 128 --window 400 \
     --mix read-heavy
 
+# Wide-dim ingest: the unit-norm embedding-drift workload with a
+# server-side JL projection riding in the CREATE config — covers the
+# projection wire path end to end (project-before-WAL, STATS fields
+# surfaced in the report) on this thread leg.
+./target/release/fairsw-loadgen \
+    --addr "$ADDR" --tenants 2 --points 1500 --batch 128 --window 400 \
+    --embeddings --dim 256 --project 32
+
+# Same wide-dim burst through the sparse Achlioptas matrix.
+./target/release/fairsw-loadgen \
+    --addr "$ADDR" --tenants 2 --points 1500 --batch 128 --window 400 \
+    --embeddings --dim 256 --project 32 --project-sparse
+
 # High-concurrency sweep: 512 open connections against the reactor with
 # connection churn, exercising accept/reap under load and the bounded
 # per-connection buffers.

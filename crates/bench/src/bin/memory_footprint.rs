@@ -80,7 +80,7 @@ fn mirror_lane<M>(
 ) -> MirrorLane
 where
     M: Metric + Sync,
-    M::Point: PointFootprint + Send + Sync,
+    M::Point: PointFootprint + fairsw_metric::Projectable + Send + Sync,
 {
     let mut engine = EngineBuilder::new()
         .window_size(window)

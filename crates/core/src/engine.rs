@@ -87,7 +87,7 @@ use crate::oblivious::ObliviousFairSlidingWindow;
 use crate::parallel::ParallelismSpec;
 use crate::robust::RobustFairSlidingWindow;
 use fairsw_matroid::AnyMatroid;
-use fairsw_metric::{Colored, Exactness, Metric, Relaxed};
+use fairsw_metric::{Colored, Exactness, Metric, Projectable, Projector, ProjectorKind, Relaxed};
 
 /// Which sliding-window variant to construct, plus its extra parameters.
 ///
@@ -140,7 +140,7 @@ pub enum VariantSpec {
 /// heterogeneous `Vec<WindowEngine<M>>` moves cheaply regardless of how
 /// much per-guess state each algorithm carries.
 #[derive(Clone, Debug)]
-pub enum WindowEngine<M: Metric> {
+pub enum EngineKind<M: Metric> {
     /// [`FairSlidingWindow`] — "Ours".
     Fixed(Box<FairSlidingWindow<M>>),
     /// [`ObliviousFairSlidingWindow`] — "OursOblivious".
@@ -153,15 +153,96 @@ pub enum WindowEngine<M: Metric> {
     Matroid(Box<MatroidSlidingWindow<M, AnyMatroid>>),
 }
 
+/// A seeded Johnson–Lindenstrauss ingest transform attached ahead of an
+/// engine: every inserted point is projected to `out_dim` dimensions
+/// before it reaches the window, so the interned [`fairsw_metric::PointStore`]
+/// — and with it every coreset byte, kernel mirror, and snapshot — only
+/// ever holds projected payloads.
+///
+/// The matrix is materialized lazily from the first inserted point's
+/// dimension (see the seed contract in [`fairsw_metric::project`]), so
+/// the spec itself is a few words and clones freely.
+#[derive(Clone, Debug)]
+pub struct EngineProjection {
+    out_dim: usize,
+    seed: u64,
+    sparse: bool,
+    projector: Option<Projector>,
+}
+
+impl EngineProjection {
+    fn new(out_dim: usize, seed: u64, sparse: bool) -> Self {
+        EngineProjection {
+            out_dim,
+            seed,
+            sparse,
+            projector: None,
+        }
+    }
+
+    /// Target dimension of the projection.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The seed the matrix is rematerialized from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the sparse (Achlioptas ±1/0) construction is used.
+    pub fn sparse(&self) -> bool {
+        self.sparse
+    }
+
+    /// Input dimension, once the first point materialized the matrix.
+    pub fn in_dim(&self) -> Option<usize> {
+        self.projector.as_ref().map(Projector::in_dim)
+    }
+
+    fn materialize(&mut self, in_dim: usize) -> &Projector {
+        if self.projector.is_none() {
+            let kind = if self.sparse {
+                ProjectorKind::Sparse
+            } else {
+                ProjectorKind::Dense
+            };
+            self.projector = Some(Projector::build(in_dim, self.out_dim, self.seed, kind));
+        }
+        self.projector
+            .as_ref()
+            .expect("projector just materialized")
+    }
+
+    /// Projects one colored point, materializing the matrix from the
+    /// first point's dimension. Later points of a different dimension
+    /// panic (the projection matrix is fixed once data arrived).
+    fn apply<P: Projectable>(&mut self, p: Colored<P>) -> Colored<P> {
+        let projector = self.materialize(p.point.width());
+        Colored::new(p.point.project_with(projector), p.color)
+    }
+}
+
+/// One sliding-window variant plus an optional JL ingest projection.
+///
+/// The variant dispatch lives in [`EngineKind`]; this wrapper threads
+/// every insert through [`EngineProjection`] when one is configured
+/// (see [`EngineBuilder::project`]) and otherwise forwards untouched.
+#[derive(Clone, Debug)]
+pub struct WindowEngine<M: Metric> {
+    kind: EngineKind<M>,
+    proj: Option<EngineProjection>,
+}
+
 /// Dispatches a method call to whichever variant the engine holds.
 macro_rules! dispatch {
-    ($self:expr, $inner:ident => $body:expr) => {
-        match $self {
-            WindowEngine::Fixed($inner) => $body,
-            WindowEngine::Oblivious($inner) => $body,
-            WindowEngine::Compact($inner) => $body,
-            WindowEngine::Robust($inner) => $body,
-            WindowEngine::Matroid($inner) => $body,
+    ($kind:expr, $inner:ident => $body:expr) => {
+        match $kind {
+            EngineKind::Fixed($inner) => $body,
+            EngineKind::Oblivious($inner) => $body,
+            EngineKind::Compact($inner) => $body,
+            EngineKind::Robust($inner) => $body,
+            EngineKind::Matroid($inner) => $body,
         }
     };
 }
@@ -171,17 +252,17 @@ impl<M: Metric> WindowEngine<M> {
     /// configuration. All parameter validation is fallible — no variant
     /// panics on bad input.
     pub fn build(cfg: FairSWConfig, spec: VariantSpec, metric: M) -> Result<Self, ConfigError> {
-        Ok(match spec {
+        let kind = match spec {
             VariantSpec::Fixed { dmin, dmax } => {
-                WindowEngine::Fixed(Box::new(FairSlidingWindow::new(cfg, metric, dmin, dmax)?))
+                EngineKind::Fixed(Box::new(FairSlidingWindow::new(cfg, metric, dmin, dmax)?))
             }
             VariantSpec::Oblivious => {
-                WindowEngine::Oblivious(Box::new(ObliviousFairSlidingWindow::new(cfg, metric)?))
+                EngineKind::Oblivious(Box::new(ObliviousFairSlidingWindow::new(cfg, metric)?))
             }
-            VariantSpec::Compact { dmin, dmax } => WindowEngine::Compact(Box::new(
+            VariantSpec::Compact { dmin, dmax } => EngineKind::Compact(Box::new(
                 CompactFairSlidingWindow::new(cfg, metric, dmin, dmax)?,
             )),
-            VariantSpec::Robust { z, dmin, dmax } => WindowEngine::Robust(Box::new(
+            VariantSpec::Robust { z, dmin, dmax } => EngineKind::Robust(Box::new(
                 RobustFairSlidingWindow::new(cfg, z, metric, dmin, dmax)?,
             )),
             VariantSpec::Matroid {
@@ -192,7 +273,7 @@ impl<M: Metric> WindowEngine<M> {
                 // The matroid is the constraint: the config's capacities
                 // are documented as ignored here, so only the parameters
                 // the variant consumes are validated (by its constructor).
-                WindowEngine::Matroid(Box::new(MatroidSlidingWindow::new(
+                EngineKind::Matroid(Box::new(MatroidSlidingWindow::new(
                     metric,
                     matroid,
                     cfg.window_size,
@@ -202,17 +283,43 @@ impl<M: Metric> WindowEngine<M> {
                     dmax,
                 )?))
             }
-        })
+        };
+        Ok(WindowEngine { kind, proj: None })
+    }
+
+    /// Attaches a seeded JL ingest projection: every subsequent insert
+    /// is mapped to `out_dim` dimensions (dense Gaussian, or sparse
+    /// Achlioptas when `sparse`) before it reaches the window. The
+    /// matrix materializes from the first inserted point's dimension;
+    /// see [`fairsw_metric::project`] for the seed/recovery contract.
+    pub fn with_projection(mut self, out_dim: usize, seed: u64, sparse: bool) -> Self {
+        self.proj = Some(EngineProjection::new(out_dim, seed, sparse));
+        self
+    }
+
+    /// The configured ingest projection, if any.
+    pub fn projection(&self) -> Option<&EngineProjection> {
+        self.proj.as_ref()
     }
 
     /// Short stable identifier of the variant this engine runs.
     pub fn variant_name(&self) -> &'static str {
-        match self {
-            WindowEngine::Fixed(_) => "fixed",
-            WindowEngine::Oblivious(_) => "oblivious",
-            WindowEngine::Compact(_) => "compact",
-            WindowEngine::Robust(_) => "robust",
-            WindowEngine::Matroid(_) => "matroid",
+        match &self.kind {
+            EngineKind::Fixed(_) => "fixed",
+            EngineKind::Oblivious(_) => "oblivious",
+            EngineKind::Compact(_) => "compact",
+            EngineKind::Robust(_) => "robust",
+            EngineKind::Matroid(_) => "matroid",
+        }
+    }
+
+    /// The number of fairness colors of the fixed-lattice variant's
+    /// configuration (`None` for the other variants; serving layers use
+    /// this for spool-restored tenants, which are always fixed).
+    pub fn num_colors(&self) -> Option<usize> {
+        match &self.kind {
+            EngineKind::Fixed(e) => Some(e.config().num_colors()),
+            _ => None,
         }
     }
 
@@ -221,31 +328,43 @@ impl<M: Metric> WindowEngine<M> {
     /// interact — so this is purely a throughput knob (see
     /// [`crate::parallel`]).
     pub fn with_parallelism(self, spec: ParallelismSpec) -> Self {
-        match self {
-            WindowEngine::Fixed(e) => WindowEngine::Fixed(Box::new(e.with_parallelism(spec))),
-            WindowEngine::Oblivious(e) => {
-                WindowEngine::Oblivious(Box::new(e.with_parallelism(spec)))
-            }
-            WindowEngine::Compact(e) => WindowEngine::Compact(Box::new(e.with_parallelism(spec))),
-            WindowEngine::Robust(e) => WindowEngine::Robust(Box::new(e.with_parallelism(spec))),
-            WindowEngine::Matroid(e) => WindowEngine::Matroid(Box::new(e.with_parallelism(spec))),
-        }
+        let kind = match self.kind {
+            EngineKind::Fixed(e) => EngineKind::Fixed(Box::new(e.with_parallelism(spec))),
+            EngineKind::Oblivious(e) => EngineKind::Oblivious(Box::new(e.with_parallelism(spec))),
+            EngineKind::Compact(e) => EngineKind::Compact(Box::new(e.with_parallelism(spec))),
+            EngineKind::Robust(e) => EngineKind::Robust(Box::new(e.with_parallelism(spec))),
+            EngineKind::Matroid(e) => EngineKind::Matroid(Box::new(e.with_parallelism(spec))),
+        };
+        WindowEngine { kind, ..self }
     }
 
     /// The effective worker-thread count (1 when sequential).
     pub fn threads(&self) -> usize {
-        dispatch!(self, e => e.threads())
+        dispatch!(&self.kind, e => e.threads())
     }
 
     /// Drops all streamed state and rebuilds the empty structures from
     /// the retained configuration — same variant, same guess lattice,
     /// same worker pool. Much cheaper than reconstructing through
     /// [`EngineBuilder`]; this is the tenant delete-and-recreate reuse
-    /// path of serving layers.
+    /// path of serving layers. A configured projection keeps its spec
+    /// but drops the materialized matrix — the next stream's first
+    /// point redetermines the input dimension.
     pub fn reset(&mut self) {
-        dispatch!(self, e => e.reset())
+        if let Some(proj) = &mut self.proj {
+            proj.projector = None;
+        }
+        dispatch!(&mut self.kind, e => e.reset())
     }
 }
+
+/// Magic tag prefixed to FSW2 bytes when the engine carries an ingest
+/// projection: the trailer-free FSW2 payload follows a 21-byte header
+/// (`"FSWP"`, `out_dim: u32`, `seed: u64`, `sparse: u8`, `in_dim: u32`,
+/// little-endian; `in_dim = 0` when the matrix never materialized).
+/// Stored window payloads are already projected, so restore reprojects
+/// nothing — it only rebuilds the matrix for *future* inserts.
+const PROJ_SNAPSHOT_MAGIC: &[u8; 4] = b"FSWP";
 
 impl<M: Metric> WindowEngine<M>
 where
@@ -255,22 +374,73 @@ where
     /// snapshot (see [`crate::snapshot`]). Only the fixed-lattice main
     /// algorithm supports checkpointing today; the other variants return
     /// `None` (callers such as the serving layer report the tenant as
-    /// unsupported instead of failing).
+    /// unsupported instead of failing). An ingest projection rides as a
+    /// tiny parameter header — per the seed contract the matrix itself
+    /// is never serialized.
     pub fn snapshot(&self) -> Option<Vec<u8>> {
-        match self {
-            WindowEngine::Fixed(e) => Some(e.snapshot()),
-            _ => None,
-        }
+        let inner = match &self.kind {
+            EngineKind::Fixed(e) => e.snapshot(),
+            _ => return None,
+        };
+        Some(match &self.proj {
+            None => inner,
+            Some(p) => {
+                let mut out = Vec::with_capacity(21 + inner.len());
+                out.extend_from_slice(PROJ_SNAPSHOT_MAGIC);
+                out.extend_from_slice(&(p.out_dim as u32).to_le_bytes());
+                out.extend_from_slice(&p.seed.to_le_bytes());
+                out.push(p.sparse as u8);
+                let in_dim = p.in_dim().unwrap_or(0) as u32;
+                out.extend_from_slice(&in_dim.to_le_bytes());
+                out.extend_from_slice(&inner);
+                out
+            }
+        })
     }
 
-    /// Reconstructs a [`WindowEngine::Fixed`] engine from an FSW2
-    /// snapshot produced by [`snapshot`](Self::snapshot). The restored
-    /// engine starts sequential; re-apply
+    /// Reconstructs a fixed-variant engine from a snapshot produced by
+    /// [`snapshot`](Self::snapshot), including a carried projection
+    /// (rematerialized from its seed, bit-identical to the original).
+    /// The restored engine starts sequential; re-apply
     /// [`with_parallelism`](Self::with_parallelism) to restore a pool.
     pub fn restore(metric: M, bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
-        Ok(WindowEngine::Fixed(Box::new(FairSlidingWindow::restore(
-            metric, bytes,
-        )?)))
+        use crate::snapshot::SnapshotError;
+        if bytes.len() >= 4 && &bytes[..4] == PROJ_SNAPSHOT_MAGIC {
+            if bytes.len() < 21 {
+                return Err(SnapshotError::Truncated);
+            }
+            let out_dim = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+            let seed = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+            let sparse = match bytes[16] {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(SnapshotError::Invalid(format!(
+                        "projection sparse flag {other} (expected 0 or 1)"
+                    )))
+                }
+            };
+            let in_dim = u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
+            if out_dim == 0 {
+                return Err(SnapshotError::Invalid(
+                    "projection out_dim must be positive".into(),
+                ));
+            }
+            let inner = FairSlidingWindow::restore(metric, &bytes[21..])?;
+            let mut proj = EngineProjection::new(out_dim, seed, sparse);
+            if in_dim > 0 {
+                proj.materialize(in_dim);
+            }
+            Ok(WindowEngine {
+                kind: EngineKind::Fixed(Box::new(inner)),
+                proj: Some(proj),
+            })
+        } else {
+            Ok(WindowEngine {
+                kind: EngineKind::Fixed(Box::new(FairSlidingWindow::restore(metric, bytes)?)),
+                proj: None,
+            })
+        }
     }
 }
 
@@ -289,7 +459,7 @@ pub fn run_fleet<M>(
 ) -> Vec<Result<Solution<M::Point>, QueryError>>
 where
     M: Metric + Send + Sync,
-    M::Point: Send + Sync,
+    M::Point: Projectable + Send + Sync,
 {
     std::thread::scope(|scope| {
         let handles: Vec<_> = engines
@@ -311,10 +481,14 @@ where
 impl<M> SlidingWindowClustering<M> for WindowEngine<M>
 where
     M: Metric + Sync,
-    M::Point: Send + Sync,
+    M::Point: Projectable + Send + Sync,
 {
     fn insert(&mut self, p: Colored<M::Point>) {
-        dispatch!(self, e => e.insert(p))
+        let p = match &mut self.proj {
+            Some(proj) => proj.apply(p),
+            None => p,
+        };
+        dispatch!(&mut self.kind, e => e.insert(p))
     }
 
     fn insert_batch<I>(&mut self, batch: I)
@@ -323,35 +497,41 @@ where
     {
         // Forward to the variant's batched path (one pool dispatch per
         // batch) instead of the trait's insert-by-insert default.
-        dispatch!(self, e => e.insert_batch(batch))
+        let WindowEngine { kind, proj } = self;
+        match proj {
+            Some(proj) => {
+                dispatch!(kind, e => e.insert_batch(batch.into_iter().map(|p| proj.apply(p))))
+            }
+            None => dispatch!(kind, e => e.insert_batch(batch)),
+        }
     }
 
     fn query(&self) -> Result<Solution<M::Point>, QueryError> {
-        dispatch!(self, e => e.query())
+        dispatch!(&self.kind, e => e.query())
     }
 
     fn time(&self) -> u64 {
-        dispatch!(self, e => e.time())
+        dispatch!(&self.kind, e => e.time())
     }
 
     fn window_size(&self) -> usize {
-        dispatch!(self, e => e.window_size())
+        dispatch!(&self.kind, e => e.window_size())
     }
 
     fn memory_stats(&self) -> MemoryStats {
-        dispatch!(self, e => e.memory_stats())
+        dispatch!(&self.kind, e => e.memory_stats())
     }
 
     fn check_invariants(&self) -> Result<(), String> {
-        dispatch!(self, e => e.check_invariants())
+        dispatch!(&self.kind, e => e.check_invariants())
     }
 
     fn stored_points(&self) -> usize {
-        dispatch!(self, e => e.stored_points())
+        dispatch!(&self.kind, e => e.stored_points())
     }
 
     fn num_guesses(&self) -> usize {
-        dispatch!(self, e => e.num_guesses())
+        dispatch!(&self.kind, e => e.num_guesses())
     }
 }
 
@@ -365,6 +545,7 @@ pub struct EngineBuilder {
     par: ParallelismSpec,
     exactness: Exactness,
     compact_mirror: bool,
+    project: Option<(usize, u64, bool)>,
 }
 
 impl EngineBuilder {
@@ -481,6 +662,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Projects every ingested point to `out_dim` dimensions through a
+    /// seeded dense JL transform before anything is interned — the
+    /// window, its kernels, mirrors, and snapshots only ever see
+    /// projected payloads. The matrix materializes from the first
+    /// inserted point's dimension and is rematerialized from `seed`
+    /// anywhere (see [`fairsw_metric::project`]); pick
+    /// `out_dim = O(ε⁻² log n)` below the stream dimension.
+    pub fn project(mut self, out_dim: usize, seed: u64) -> Self {
+        self.project = Some((out_dim, seed, false));
+        self
+    }
+
+    /// Like [`project`](Self::project) with the sparse (Achlioptas
+    /// ±1/0) construction: same distortion guarantee, two thirds of
+    /// the matrix entries are exact zeros.
+    pub fn project_sparse(mut self, out_dim: usize, seed: u64) -> Self {
+        self.project = Some((out_dim, seed, true));
+        self
+    }
+
     /// Like [`build`](Self::build), but wraps the metric in
     /// [`Relaxed`] carrying the configured
     /// [`exactness`](Self::exactness) /
@@ -508,7 +709,11 @@ impl EngineBuilder {
             VariantSpec::Matroid { .. } => self.cfg.build_raw(),
             _ => self.cfg.build()?,
         };
-        Ok(WindowEngine::build(cfg, spec, metric)?.with_parallelism(self.par))
+        let mut engine = WindowEngine::build(cfg, spec, metric)?.with_parallelism(self.par);
+        if let Some((out_dim, seed, sparse)) = self.project {
+            engine = engine.with_projection(out_dim, seed, sparse);
+        }
+        Ok(engine)
     }
 }
 
@@ -735,6 +940,81 @@ mod tests {
         let (a, b) = (fixed.query().unwrap(), restored.query().unwrap());
         assert_eq!(a.guess.to_bits(), b.guess.to_bits());
         assert_eq!(a.coreset_radius.to_bits(), b.coreset_radius.to_bits());
+    }
+
+    fn wide(i: u64, dim: usize) -> Colored<EuclidPoint> {
+        let coords: Vec<f64> = (0..dim)
+            .map(|d| ((i * dim as u64 + d as u64) as f64 * 0.37).sin())
+            .collect();
+        Colored::new(EuclidPoint::new(coords), (i % 2) as u32)
+    }
+
+    #[test]
+    fn projected_engine_stores_low_dim_payloads() {
+        for sparse in [false, true] {
+            let builder = base().fixed(1e-4, 1e3);
+            let builder = if sparse {
+                builder.project_sparse(8, 7)
+            } else {
+                builder.project(8, 7)
+            };
+            let mut eng = builder.build(Euclidean).unwrap();
+            for i in 0..50 {
+                eng.insert(wide(i, 64));
+            }
+            let sol = eng.query().unwrap();
+            assert!(
+                sol.centers.iter().all(|c| c.point.dim() == 8),
+                "sparse={sparse}: centers kept the raw dimension"
+            );
+            let proj = eng.projection().expect("projection configured");
+            assert_eq!(proj.in_dim(), Some(64));
+            assert_eq!(proj.out_dim(), 8);
+            assert_eq!(proj.sparse(), sparse);
+        }
+    }
+
+    #[test]
+    fn projected_snapshot_roundtrips_bit_identically() {
+        let mut orig = base()
+            .fixed(1e-4, 1e3)
+            .project(8, 1234)
+            .build(Euclidean)
+            .unwrap();
+        for i in 0..60 {
+            orig.insert(wide(i, 96));
+        }
+        let bytes = orig.snapshot().expect("fixed variant snapshots");
+        let mut restored = WindowEngine::restore(Euclidean, &bytes).unwrap();
+        let rp = restored.projection().expect("projection restored");
+        assert_eq!((rp.out_dim(), rp.seed(), rp.sparse()), (8, 1234, false));
+        assert_eq!(rp.in_dim(), Some(96), "matrix not rematerialized");
+        // Both engines continue the stream: the rematerialized matrix
+        // must be bit-identical, so the answers must be too.
+        for i in 60..100 {
+            orig.insert(wide(i, 96));
+            restored.insert(wide(i, 96));
+        }
+        let (a, b) = (orig.query().unwrap(), restored.query().unwrap());
+        assert_eq!(a.guess.to_bits(), b.guess.to_bits());
+        assert_eq!(a.coreset_radius.to_bits(), b.coreset_radius.to_bits());
+        assert_eq!(a.centers.len(), b.centers.len());
+    }
+
+    #[test]
+    fn reset_keeps_projection_spec_but_redetermines_in_dim() {
+        let mut eng = base()
+            .fixed(1e-4, 1e3)
+            .project(4, 9)
+            .build(Euclidean)
+            .unwrap();
+        eng.insert(wide(0, 32));
+        assert_eq!(eng.projection().unwrap().in_dim(), Some(32));
+        eng.reset();
+        assert_eq!(eng.projection().unwrap().in_dim(), None);
+        eng.insert(wide(0, 16));
+        assert_eq!(eng.projection().unwrap().in_dim(), Some(16));
+        assert_eq!(eng.projection().unwrap().out_dim(), 4);
     }
 
     #[test]

@@ -101,7 +101,9 @@ pub use api::{
 };
 pub use compact::CompactFairSlidingWindow;
 pub use config::{validate_scale, ConfigError, FairSWConfig, FairSWConfigBuilder};
-pub use engine::{run_fleet, EngineBuilder, VariantSpec, WindowEngine};
+pub use engine::{
+    run_fleet, EngineBuilder, EngineKind, EngineProjection, VariantSpec, WindowEngine,
+};
 pub use matroid_window::MatroidSlidingWindow;
 pub use oblivious::ObliviousFairSlidingWindow;
 pub use parallel::{ParallelismSpec, WorkerPool};

@@ -291,6 +291,89 @@ pub fn covtype_like(n: usize, seed: u64) -> Dataset {
     }
 }
 
+/// Parameters of the [`embedding_drift`] family.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbeddingDriftParams {
+    /// Number of colors (one drifting cluster per color).
+    pub num_colors: usize,
+    /// Tangential Gaussian noise before renormalization.
+    pub sigma: f64,
+    /// Base angular drift per arriving point (radians along the great
+    /// circle); each color drifts at its own multiple of this rate.
+    pub drift: f64,
+}
+
+impl Default for EmbeddingDriftParams {
+    fn default() -> Self {
+        EmbeddingDriftParams {
+            num_colors: 4,
+            sigma: 0.05,
+            drift: std::f64::consts::TAU / 8192.0,
+        }
+    }
+}
+
+/// Synthetic embedding stream: unit-norm points from per-color Gaussian
+/// clusters whose centers walk along great circles of the unit sphere.
+///
+/// Models the high-dimensional embedding workloads the projection
+/// pipeline targets (`256 ≤ dim ≤ 1024` in the benchmarks): text/image
+/// encoders emit L2-normalized vectors whose topic distribution drifts
+/// over time. Each color `c` owns an orthonormal pair `(u_c, v_c)`
+/// spanning a random 2-plane; its cluster center at stream position `t`
+/// is `cos(φ_c(t))·u_c + sin(φ_c(t))·v_c` with the phase advancing at a
+/// color-specific rate (`(1 + c) ×` the base drift — drift is
+/// *correlated with color*, so windows see colors at different spread).
+/// Points add isotropic Gaussian noise `σ` and are renormalized to unit
+/// norm. Deterministic given the seed.
+pub fn embedding_drift(n: usize, dim: usize, params: EmbeddingDriftParams, seed: u64) -> Dataset {
+    assert!(dim >= 4, "embedding dimension must be ≥ 4");
+    assert!(params.num_colors > 0, "need at least one color");
+    let mut rng = seeded(seed);
+    // Per-color orthonormal 2-plane (u, v) via Gram–Schmidt.
+    let planes: Vec<(Vec<f64>, Vec<f64>)> = (0..params.num_colors)
+        .map(|_| {
+            let u = unit_vec(&mut rng, dim);
+            loop {
+                let w = unit_vec(&mut rng, dim);
+                let dot: f64 = u.iter().zip(&w).map(|(a, b)| a * b).sum();
+                let v: Vec<f64> = w.iter().zip(&u).map(|(wi, ui)| wi - dot * ui).collect();
+                let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm > 1e-9 {
+                    return (u, v.into_iter().map(|x| x / norm).collect());
+                }
+            }
+        })
+        .collect();
+    let mut phases: Vec<f64> = (0..params.num_colors)
+        .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
+        .collect();
+    let points = (0..n)
+        .map(|_| {
+            let c = rng.random_range(0..params.num_colors);
+            // Color-correlated drift: higher colors wander faster.
+            phases[c] += params.drift * (1.0 + c as f64);
+            let (u, v) = &planes[c];
+            let (s, co) = phases[c].sin_cos();
+            let mut coords: Vec<f64> = u
+                .iter()
+                .zip(v)
+                .map(|(ui, vi)| co * ui + s * vi + params.sigma * gaussian(&mut rng))
+                .collect();
+            let norm: f64 = coords.iter().map(|x| x * x).sum::<f64>().sqrt();
+            for x in coords.iter_mut() {
+                *x /= norm.max(1e-12);
+            }
+            Colored::new(EuclidPoint::new(coords), c as u32)
+        })
+        .collect();
+    Dataset {
+        name: format!("embeddings-d{dim}"),
+        points,
+        num_colors: params.num_colors,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +441,57 @@ mod tests {
         let freq = crate::color_frequencies(&ds.points, 2);
         let ratio = freq[1] as f64 / ds.points.len() as f64;
         assert!(ratio > 0.45 && ratio < 0.6, "signal share {ratio}");
+    }
+
+    #[test]
+    fn embedding_drift_unit_norm_and_deterministic() {
+        let p = EmbeddingDriftParams::default();
+        let a = embedding_drift(400, 256, p, 77);
+        let b = embedding_drift(400, 256, p, 77);
+        assert_eq!(a.dim(), 256);
+        assert_eq!(a.num_colors, 4);
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.point.coords(), y.point.coords());
+            assert_eq!(x.color, y.color);
+        }
+        for cp in &a.points {
+            let norm: f64 = cp.point.coords().iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+        }
+        let freq = crate::color_frequencies(&a.points, 4);
+        assert!(freq.iter().all(|&f| f > 0), "missing color: {freq:?}");
+    }
+
+    #[test]
+    fn embedding_drift_centers_actually_drift() {
+        // With a brisk drift rate, the early and late per-color means
+        // must be far apart on the sphere.
+        let p = EmbeddingDriftParams {
+            num_colors: 2,
+            sigma: 0.02,
+            drift: std::f64::consts::TAU / 2000.0,
+        };
+        let ds = embedding_drift(4000, 64, p, 5);
+        let mean = |slice: &[Colored<EuclidPoint>], color: u32| -> Vec<f64> {
+            let mut acc = vec![0.0f64; 64];
+            let mut cnt = 0usize;
+            for cp in slice.iter().filter(|cp| cp.color == color) {
+                for (a, &x) in acc.iter_mut().zip(cp.point.coords()) {
+                    *a += x;
+                }
+                cnt += 1;
+            }
+            acc.into_iter().map(|a| a / cnt.max(1) as f64).collect()
+        };
+        let early = mean(&ds.points[..800], 1);
+        let late = mean(&ds.points[3200..], 1);
+        let gap: f64 = early
+            .iter()
+            .zip(&late)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(gap > 0.3, "cluster did not drift: gap {gap}");
     }
 
     #[test]

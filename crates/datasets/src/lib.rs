@@ -17,7 +17,10 @@ pub mod io;
 pub mod rng;
 pub mod rotation;
 
-pub use generators::{blobs, covtype_like, higgs_like, phones_like, rotated, BlobsParams, Dataset};
+pub use generators::{
+    blobs, covtype_like, embedding_drift, higgs_like, phones_like, rotated, BlobsParams, Dataset,
+    EmbeddingDriftParams,
+};
 pub use io::read_csv_points;
 pub use rotation::random_rotation;
 

@@ -19,6 +19,10 @@
 //! * [`store`] — the interned [`PointStore`] arena: each live window
 //!   point stored once, addressed by copyable 4-byte [`PointId`] handles
 //!   with refcounted early reclaim plus window-expiry epoch GC;
+//! * [`project`] — seeded Johnson–Lindenstrauss random projection
+//!   ([`Projector`], dense Gaussian or sparse Achlioptas) that maps
+//!   wide embedding streams to a compact dimension at ingest,
+//!   bit-identically across SIMD ISAs;
 //! * [`kernel`] — the batched distance layer: [`CoresetView`] gathers a
 //!   candidate set once into a columnar (structure-of-arrays) block,
 //!   [`DistScratch`]/[`ScratchPool`] make steady-state queries
@@ -32,6 +36,7 @@ pub mod doubling;
 pub mod kernel;
 pub mod metric;
 pub mod point;
+pub mod project;
 pub mod simd;
 pub mod stats;
 pub mod store;
@@ -42,6 +47,7 @@ pub use kernel::{
 };
 pub use metric::{Angular, Chebyshev, Euclidean, Exactness, Manhattan, Metric, Relaxed};
 pub use point::{Colored, Coords, EuclidPoint};
+pub use project::{Projectable, Projector, ProjectorKind};
 pub use simd::{active_isa, Isa};
 pub use stats::{aspect_ratio, pairwise_extremes, sampled_extremes, PairwiseExtremes};
 pub use store::{ColoredId, PointFootprint, PointId, PointStore, Resolver};

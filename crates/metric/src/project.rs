@@ -1,0 +1,479 @@
+//! Johnson–Lindenstrauss random projection for wide-dimension streams.
+//!
+//! Every solver hot loop in the workspace pays O(dim) per distance, so
+//! a stream of dim-1024 embedding vectors costs 16x what a dim-64
+//! stream does — in query time, coreset bytes, WAL records, and
+//! snapshot payloads alike. The JL lemma says a random linear map to
+//! `out_dim = O(ε⁻² log n)` dimensions preserves all pairwise
+//! distances within `(1 ± ε)`, so projecting *once at ingest* shrinks
+//! every downstream cost at a bounded, provable quality price.
+//!
+//! [`Projector`] implements two classic constructions:
+//!
+//! * **dense** — entries i.i.d. `N(0, 1/out_dim)`;
+//! * **sparse** (Achlioptas) — entries `±1` with probability 1/6 each
+//!   and `0` with probability 2/3, scaled by `√(3/out_dim)`; two
+//!   thirds of the multiplies vanish with the same distortion bound.
+//!
+//! ## Seed contract
+//!
+//! The matrix is **rematerialized from `(in_dim, out_dim, seed,
+//! kind)` and never serialized**: a SplitMix64 stream seeded with
+//! `seed` fills the matrix row-major, so any process that knows the
+//! four parameters reconstructs the projection bit-exactly. Snapshots,
+//! WAL records, and tenant configs therefore carry only the parameters
+//! (a few bytes), and recovery — restart, follower replay, checkpoint
+//! restore — reprojects nothing: stored payloads are already
+//! projected, and *future* ingest projects through the identical
+//! matrix.
+//!
+//! ## Bit-identity across ISAs
+//!
+//! The matrix–vector kernel routes through the [`crate::simd`]
+//! dispatch ladder, but unlike the relaxed L2 kernels it uses separate
+//! multiply-then-add on **every** ISA (no FMA contraction), over the
+//! same AoSoA tiling ([`SoaBlock`]) in which each output row owns one
+//! accumulator lane. AVX2, SSE2, NEON and the scalar oracle therefore
+//! perform the exact same IEEE operation sequence per row and agree
+//! bit-for-bit — projected payloads are reproducible across hosts, so
+//! the differential suites stay exact under any `FAIRSW_SIMD` setting.
+
+use crate::kernel::{SoaBlock, LANES};
+use crate::point::{Colored, EuclidPoint};
+use crate::simd;
+use std::sync::Arc;
+
+/// SplitMix64 stream, matching the recipe used by the dataset
+/// generators (the metric crate sits below `fairsw-datasets`, so the
+/// few lines are reproduced rather than imported).
+struct Split64 {
+    state: u64,
+}
+
+impl Split64 {
+    fn new(seed: u64) -> Self {
+        Split64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Standard normal via Box–Muller (cosine branch).
+    fn gaussian(&mut self) -> f64 {
+        loop {
+            let u1 = self.unit();
+            let u2 = self.unit();
+            if u1 > 1e-300 {
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+/// Which JL construction a [`Projector`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProjectorKind {
+    /// Dense Gaussian entries `N(0, 1/out_dim)`.
+    Dense,
+    /// Sparse Achlioptas entries: `±1` w.p. 1/6 each, `0` w.p. 2/3,
+    /// scaled by `√(3/out_dim)`.
+    Sparse,
+}
+
+/// A seeded Johnson–Lindenstrauss projection `ℝ^in_dim → ℝ^out_dim`.
+///
+/// Construction is deterministic in `(in_dim, out_dim, seed, kind)` —
+/// see the [module docs](self) for the seed/recovery contract and the
+/// cross-ISA bit-identity guarantee. Cloning is cheap (the matrix is
+/// behind an [`Arc`]).
+#[derive(Clone, Debug)]
+pub struct Projector {
+    in_dim: usize,
+    out_dim: usize,
+    seed: u64,
+    kind: ProjectorKind,
+    /// `out_dim` rows of length `in_dim`, staged AoSoA so each output
+    /// row owns one accumulator lane in the matvec kernels. Dense
+    /// entries carry the `1/√out_dim` scale; sparse entries are the
+    /// raw `±1/0` and [`Self::scale`] is applied once per output.
+    matrix: Arc<SoaBlock>,
+    scale: f64,
+}
+
+impl Projector {
+    /// Builds the dense Gaussian projector.
+    ///
+    /// # Panics
+    /// If `in_dim` or `out_dim` is zero.
+    pub fn dense(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self::build(in_dim, out_dim, seed, ProjectorKind::Dense)
+    }
+
+    /// Builds the sparse (Achlioptas ±1/0) projector.
+    ///
+    /// # Panics
+    /// If `in_dim` or `out_dim` is zero.
+    pub fn sparse(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self::build(in_dim, out_dim, seed, ProjectorKind::Sparse)
+    }
+
+    /// Builds a projector of the given kind; `dense`/`sparse` are the
+    /// ergonomic entry points.
+    pub fn build(in_dim: usize, out_dim: usize, seed: u64, kind: ProjectorKind) -> Self {
+        assert!(in_dim > 0, "projector in_dim must be positive");
+        assert!(out_dim > 0, "projector out_dim must be positive");
+        let mut rng = Split64::new(seed);
+        let mut rows = vec![0.0f64; out_dim * in_dim];
+        let scale = match kind {
+            ProjectorKind::Dense => {
+                let s = 1.0 / (out_dim as f64).sqrt();
+                for e in rows.iter_mut() {
+                    *e = rng.gaussian() * s;
+                }
+                1.0
+            }
+            ProjectorKind::Sparse => {
+                for e in rows.iter_mut() {
+                    let u = rng.unit();
+                    *e = if u < 1.0 / 6.0 {
+                        1.0
+                    } else if u < 2.0 / 6.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    };
+                }
+                (3.0 / out_dim as f64).sqrt()
+            }
+        };
+        let mut matrix = SoaBlock::default();
+        matrix.stage_rows(in_dim, rows.chunks_exact(in_dim));
+        Projector {
+            in_dim,
+            out_dim,
+            seed,
+            kind,
+            matrix: Arc::new(matrix),
+            scale,
+        }
+    }
+
+    /// Input dimension the projector accepts.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension the projector produces.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The seed the matrix is rematerialized from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Which construction this projector uses.
+    pub fn kind(&self) -> ProjectorKind {
+        self.kind
+    }
+
+    /// One (unscaled for sparse, pre-scaled for dense) matrix row —
+    /// exposed so tests can assert seed determinism bit-for-bit.
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        (0..self.in_dim).map(|d| self.matrix.coord(d, r)).collect()
+    }
+
+    /// Projects one coordinate vector through the SIMD-dispatched
+    /// matvec kernel.
+    ///
+    /// # Panics
+    /// If `x.len() != in_dim`.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "projector input dimension mismatch");
+        let mut out = vec![0.0f64; self.out_dim];
+        simd::matvec_f64(x, &self.matrix, &mut out);
+        if self.scale != 1.0 {
+            for o in out.iter_mut() {
+                *o *= self.scale;
+            }
+        }
+        out
+    }
+
+    /// Reference projection: the naive dense row-major loop, no SIMD,
+    /// no tiling. Bit-identical to [`Self::project`] on every ISA by
+    /// the mul-then-add contract — the differential oracle the
+    /// proptests pin.
+    pub fn project_ref(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "projector input dimension mismatch");
+        (0..self.out_dim)
+            .map(|r| {
+                let mut acc = 0.0f64;
+                for (d, &xd) in x.iter().enumerate() {
+                    acc += xd * self.matrix.coord(d, r);
+                }
+                if self.scale != 1.0 {
+                    acc * self.scale
+                } else {
+                    acc
+                }
+            })
+            .collect()
+    }
+
+    /// Projects a point, preserving nothing but coordinates (the
+    /// projected point is a fresh allocation).
+    pub fn project_point(&self, p: &EuclidPoint) -> EuclidPoint {
+        EuclidPoint::new(self.project(p.coords()))
+    }
+
+    /// Projects the payload of a colored point, keeping its color.
+    pub fn project_colored(&self, p: &Colored<EuclidPoint>) -> Colored<EuclidPoint> {
+        Colored::new(self.project_point(&p.point), p.color)
+    }
+}
+
+/// Point payloads that a [`Projector`] can map to a lower dimension.
+///
+/// Implemented for [`EuclidPoint`]; custom point types opt in by
+/// projecting their own coordinate representation.
+pub trait Projectable: Sized {
+    /// The coordinate dimension of `self` — what a lazily-materialized
+    /// projector adopts as its `in_dim`.
+    fn width(&self) -> usize;
+
+    /// Returns the projected copy of `self`.
+    fn project_with(&self, projector: &Projector) -> Self;
+}
+
+impl Projectable for EuclidPoint {
+    fn width(&self) -> usize {
+        self.dim()
+    }
+
+    fn project_with(&self, projector: &Projector) -> Self {
+        projector.project_point(self)
+    }
+}
+
+// The compact payload mirrors project through their widened `f64`
+// coordinates and re-narrow: the projection happens once at ingest, so
+// the round-trip cost is bounded by the mirror's own quantization
+// contract (callers re-rank through the exact kernels regardless).
+impl Projectable for crate::compact::CompactPoint {
+    fn width(&self) -> usize {
+        self.dim()
+    }
+
+    fn project_with(&self, projector: &Projector) -> Self {
+        crate::compact::CompactPoint::from_f64(&projector.project(self.widen().coords()))
+    }
+}
+
+impl Projectable for crate::compact::Q8Point {
+    fn width(&self) -> usize {
+        self.dim()
+    }
+
+    fn project_with(&self, projector: &Projector) -> Self {
+        crate::compact::Q8Point::quantize(&projector.project(self.widen().coords()))
+    }
+}
+
+/// Exact scalar tiled matvec over the AoSoA matrix: per output row the
+/// accumulation visits input dimensions in ascending order, exactly
+/// like the naive loop in [`Projector::project_ref`] and like every
+/// vector ISA (mul-then-add, one row per lane). This is the
+/// `FAIRSW_SIMD=off` leg of the dispatch in [`crate::simd`].
+pub(crate) fn matvec_kernel(x: &[f64], m: &SoaBlock, out: &mut [f64]) {
+    debug_assert_eq!(x.len(), m.dim(), "dimension mismatch");
+    let n = m.len();
+    for t in 0..m.tiles() {
+        let tile = m.tile(t);
+        let mut acc = [0.0f64; LANES];
+        for (d, &xd) in x.iter().enumerate() {
+            let lanes = &tile[d * LANES..(d + 1) * LANES];
+            for (a, &w) in acc.iter_mut().zip(lanes) {
+                *a += xd * w;
+            }
+        }
+        let start = t * LANES;
+        let w = LANES.min(n - start);
+        out[start..start + w].copy_from_slice(&acc[..w]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_matrix_across_calls() {
+        for kind in [ProjectorKind::Dense, ProjectorKind::Sparse] {
+            let a = Projector::build(17, 5, 0xfeed, kind);
+            let b = Projector::build(17, 5, 0xfeed, kind);
+            for r in 0..5 {
+                assert_eq!(bits(&a.row(r)), bits(&b.row(r)), "{kind:?} row {r}");
+            }
+            let c = Projector::build(17, 5, 0xfeee, kind);
+            assert_ne!(bits(&a.row(0)), bits(&c.row(0)), "{kind:?} seed ignored");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_matrix_across_threads() {
+        let rows: Vec<Vec<u64>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let p = Projector::dense(33, 7, 42);
+                        let mut all = Vec::new();
+                        for r in 0..7 {
+                            all.extend(bits(&p.row(r)));
+                        }
+                        all.extend(bits(&p.project(&vec![0.25; 33])));
+                        all
+                    })
+                })
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for w in rows.windows(2) {
+            assert_eq!(w[0], w[1], "projector differs across threads");
+        }
+    }
+
+    #[test]
+    fn sparse_density_is_about_one_third() {
+        let p = Projector::sparse(256, 64, 9);
+        let mut nonzero = 0usize;
+        for r in 0..64 {
+            nonzero += p.row(r).iter().filter(|&&e| e != 0.0).count();
+        }
+        let frac = nonzero as f64 / (256.0 * 64.0);
+        assert!((0.25..0.42).contains(&frac), "sparse density {frac}");
+    }
+
+    #[test]
+    fn zero_dims_panic() {
+        assert!(std::panic::catch_unwind(|| Projector::dense(0, 4, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| Projector::dense(4, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn projected_point_keeps_color() {
+        let p = Projector::dense(8, 2, 3);
+        let c = Colored::new(EuclidPoint::new(vec![1.0; 8]), 5);
+        let q = p.project_colored(&c);
+        assert_eq!(q.color, 5);
+        assert_eq!(q.point.dim(), 2);
+    }
+
+    // The dispatched kernel (whatever ISA `FAIRSW_SIMD` selects) is
+    // bit-identical to the naive scalar reference. CI runs this under
+    // `off` and `force`, which together pin every ISA the host offers
+    // to the same bits.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn dispatched_matches_reference_dense(
+            seed in 0u64..u64::MAX,
+            in_dim in 1usize..40,
+            out_dim in 1usize..24,
+            scale in -8.0f64..8.0,
+        ) {
+            let p = Projector::dense(in_dim, out_dim, seed);
+            let x: Vec<f64> = (0..in_dim).map(|d| scale * (d as f64 + 0.5).sin()).collect();
+            prop_assert_eq!(bits(&p.project(&x)), bits(&p.project_ref(&x)));
+        }
+    }
+
+    // Sparse shipping path == its scalar oracle, bit-for-bit: the
+    // oracle accumulates the `±1` nonzeros in index order and scales
+    // once at the end, exactly like the dense-staged kernel
+    // (zero-entry adds are bit-neutral from a `+0.0` accumulator and
+    // `±1` multiplies are exact).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn sparse_matches_scalar_oracle(
+            seed in 0u64..u64::MAX,
+            in_dim in 1usize..48,
+            out_dim in 1usize..24,
+        ) {
+            let p = Projector::sparse(in_dim, out_dim, seed);
+            let x: Vec<f64> = (0..in_dim).map(|d| ((d * 37 + 11) as f64).cos() * 3.0).collect();
+            let oracle: Vec<f64> = (0..out_dim).map(|r| {
+                let row = p.row(r);
+                let mut acc = 0.0f64;
+                for (d, &sign) in row.iter().enumerate() {
+                    if sign != 0.0 {
+                        acc += sign * x[d];
+                    }
+                }
+                acc * (3.0 / out_dim as f64).sqrt()
+            }).collect();
+            prop_assert_eq!(bits(&p.project(&x)), bits(&oracle));
+            prop_assert_eq!(bits(&p.project_ref(&x)), bits(&oracle));
+        }
+    }
+
+    // JL distance-preservation envelope: at out_dim = 128 the
+    // pairwise distance of random unit vectors survives within a
+    // generous (1 ± ε) band (the concentration failure mass at this
+    // out_dim is far below one in a billion per pair).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn pairwise_distance_envelope(
+            seed in 0u64..u64::MAX,
+            pair_seed in 0u64..u64::MAX,
+            sparse_sel in 0u32..2,
+        ) {
+            let (in_dim, out_dim) = (256, 128);
+            let p = if sparse_sel == 1 {
+                Projector::sparse(in_dim, out_dim, seed)
+            } else {
+                Projector::dense(in_dim, out_dim, seed)
+            };
+            let mut rng = Split64::new(pair_seed);
+            let unit = |rng: &mut Split64| {
+                let v: Vec<f64> = (0..in_dim).map(|_| rng.gaussian()).collect();
+                let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+                v.into_iter().map(|x| x / n).collect::<Vec<f64>>()
+            };
+            let (u, v) = (unit(&mut rng), unit(&mut rng));
+            let before = l2(&u, &v);
+            let after = l2(&p.project(&u), &p.project(&v));
+            let ratio = after / before;
+            prop_assert!((0.5..=1.6).contains(&ratio), "distortion {ratio} out of envelope");
+        }
+    }
+}

@@ -326,6 +326,16 @@ mod x86 {
         |acc| _mm256_sqrt_pd(acc)
     );
 
+    // Projection matvec: separate multiply and add even though FMA is
+    // available — the projection contract is bit-identity across every
+    // ISA (see `crate::project`), so no contraction is allowed here.
+    avx2_fold_kernel!(
+        matvec_f64,
+        || _mm256_setzero_pd(),
+        |acc, qv, x| _mm256_add_pd(acc, _mm256_mul_pd(qv, x)),
+        |acc| acc
+    );
+
     avx2_fold_kernel!(
         l1_f64,
         || _mm256_setzero_pd(),
@@ -592,6 +602,12 @@ mod x86 {
     );
 
     sse2_fold_kernel!(
+        matvec_f64_sse2,
+        |acc, qv, x| unsafe { _mm_add_pd(acc, _mm_mul_pd(qv, x)) },
+        |acc| acc
+    );
+
+    sse2_fold_kernel!(
         l1_f64_sse2,
         |acc, qv, x| unsafe {
             let sign = _mm_set1_pd(-0.0);
@@ -717,6 +733,14 @@ mod neon {
         |acc| unsafe { vsqrtq_f64(acc) }
     );
 
+    // Multiply-then-add (no `vfmaq`): the projection matvec must stay
+    // bit-identical to the scalar oracle on every ISA.
+    neon_fold_kernel!(
+        matvec_f64_neon,
+        |acc, qv, x| unsafe { vaddq_f64(acc, vmulq_f64(qv, x)) },
+        |acc| acc
+    );
+
     neon_fold_kernel!(
         l1_f64_neon,
         |acc, qv, x| unsafe { vaddq_f64(acc, vabsq_f64(vsubq_f64(qv, x))) },
@@ -827,6 +851,17 @@ dispatch_f64!(
     linf_f64_sse2,
     linf_f64_neon,
     crate::metric::linf_kernel
+);
+// The JL projection matvec (`y[r] = Σ_d M[r][d]·x[d]`, rows staged as
+// AoSoA "points"). Every leg — AVX2 included — uses separate multiply
+// and add, so all four paths are bit-identical and projected payloads
+// reproduce exactly across hosts and `FAIRSW_SIMD` settings.
+dispatch_f64!(
+    matvec_f64,
+    matvec_f64,
+    matvec_f64_sse2,
+    matvec_f64_neon,
+    crate::project::matvec_kernel
 );
 
 /// Runtime-dispatched relaxed angular kernel. NEON and SSE2 hosts use

@@ -16,6 +16,14 @@
 //!   --mix MIX         request mix: `ingest` (default) or `read-heavy`
 //!                     (95/5 query/ingest after a warmup, Zipf-skewed
 //!                     across tenants — exercises the QUERY result cache)
+//!   --embeddings      stream the unit-norm embedding-drift workload
+//!                     instead of the classic 2-D drift
+//!   --dim D           embedding dimension (default 256; needs
+//!                     --embeddings)
+//!   --project DIM     ask the server to JL-project every point to DIM
+//!                     dimensions (rides in the CREATE config; the
+//!                     report surfaces the projection STATS)
+//!   --project-sparse  sparse Achlioptas matrix instead of dense
 //!   --shutdown        send SHUTDOWN after the burst
 //!
 //! CONNECTION SWEEP (hold a large, mostly idle connection pool open):
@@ -66,6 +74,10 @@ OPTIONS:
   --window N        tenant window length (default 500)
   --queries N       interim QUERYs per tenant during ingest (default 4)
   --mix MIX         request mix: ingest (default) or read-heavy
+  --embeddings      stream the unit-norm embedding-drift workload
+  --dim D           embedding dimension (default 256; needs --embeddings)
+  --project DIM     server-side JL projection to DIM dimensions
+  --project-sparse  sparse Achlioptas matrix instead of dense
   --shutdown        send SHUTDOWN after the burst
 
 CONNECTION SWEEP (hold a large, mostly idle connection pool open):
@@ -93,6 +105,9 @@ fn sibling_served() -> PathBuf {
 fn run() -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut opts = BurstOptions::default();
+    let mut embeddings = false;
+    let mut dim: Option<usize> = None;
+    let mut project_sparse = false;
     let mut shutdown = false;
     let mut crash_drill = false;
     let mut connections: Option<usize> = None;
@@ -142,6 +157,18 @@ fn run() -> Result<(), String> {
                     .map_err(|e| format!("--queries: {e}"))?
             }
             "--mix" => opts.mix = value("--mix")?.parse()?,
+            "--embeddings" => embeddings = true,
+            "--dim" => dim = Some(value("--dim")?.parse().map_err(|e| format!("--dim: {e}"))?),
+            "--project" => {
+                let d: usize = value("--project")?
+                    .parse()
+                    .map_err(|e| format!("--project: {e}"))?;
+                if d == 0 {
+                    return Err("--project: dimension must be positive".into());
+                }
+                opts.project = Some((d, false));
+            }
+            "--project-sparse" => project_sparse = true,
             "--connections" => {
                 connections = Some(
                     value("--connections")?
@@ -170,6 +197,22 @@ fn run() -> Result<(), String> {
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if dim.is_some() && !embeddings {
+        return Err("--dim needs --embeddings (the 2-D drift has a fixed dimension)".into());
+    }
+    if embeddings {
+        let d = dim.unwrap_or(256);
+        if d < 4 {
+            return Err("--dim: embedding dimension must be at least 4".into());
+        }
+        opts.embed_dim = Some(d);
+    }
+    if project_sparse {
+        match &mut opts.project {
+            Some((_, sparse)) => *sparse = true,
+            None => return Err("--project-sparse needs --project DIM".into()),
         }
     }
     if crash_drill {
@@ -245,6 +288,12 @@ fn run() -> Result<(), String> {
         "client-side query latency over {} queries: p50={:.2?} p95={:.2?} p99={:.2?}",
         report.queries_total, report.query_p50, report.query_p95, report.query_p99,
     );
+    if report.proj_out_dim > 0 {
+        println!(
+            "server-side projection: {} -> {} dims, {:.0} ns/point",
+            report.proj_in_dim, report.proj_out_dim, report.proj_ns_per_point,
+        );
+    }
     if report.queries_ok != opts.tenants {
         return Err(format!(
             "only {}/{} tenants answered all their queries",

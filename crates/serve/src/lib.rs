@@ -68,6 +68,6 @@ pub mod wal;
 pub use loadgen::{
     run_burst, run_connections, BurstOptions, BurstReport, Client, ConnOptions, ConnReport,
 };
-pub use protocol::{ProtocolError, Reply, Request, TenantConfig, WireVariant};
+pub use protocol::{ProtocolError, Reply, Request, TenantConfig, WireProjection, WireVariant};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use wal::{TenantWal, WalRecord, WalTuning};

@@ -11,7 +11,8 @@
 //! throughput.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorKind, Reply, Request, TenantConfig, WireError, WireVariant,
+    read_frame, write_frame, ErrorKind, Reply, Request, TenantConfig, WireError, WireStats,
+    WireVariant,
 };
 use fairsw_metric::{Colored, EuclidPoint};
 use std::fmt;
@@ -225,6 +226,13 @@ pub struct BurstOptions {
     pub cleanup: bool,
     /// The request mix each worker drives.
     pub mix: Mix,
+    /// Stream the unit-norm embedding-drift workload in this dimension
+    /// instead of the classic 2-D drift (`--dim D --embeddings`).
+    pub embed_dim: Option<usize>,
+    /// Ask the server to JL-project every ingested point to
+    /// `(out_dim, sparse)` — the per-tenant projection rides in the
+    /// `CREATE` config, so this exercises the full wide-dim wire path.
+    pub project: Option<(usize, bool)>,
 }
 
 impl Default for BurstOptions {
@@ -237,6 +245,8 @@ impl Default for BurstOptions {
             queries: 4,
             cleanup: true,
             mix: Mix::Ingest,
+            embed_dim: None,
+            project: None,
         }
     }
 }
@@ -266,6 +276,14 @@ pub struct BurstReport {
     pub query_p95: Duration,
     /// 99th percentile (same measurement).
     pub query_p99: Duration,
+    /// Projection input dimension the server reported in `STATS`
+    /// (0 when no tenant projects).
+    pub proj_in_dim: u64,
+    /// Projection output dimension from `STATS` (0 when not projecting).
+    pub proj_out_dim: u64,
+    /// Mean server-side projection cost in ns/point across the tenants
+    /// that reported one.
+    pub proj_ns_per_point: f64,
 }
 
 /// Nearest-rank percentile over a sorted latency list (`Duration::ZERO`
@@ -291,6 +309,27 @@ pub fn workload(points: usize, seed: u64) -> Vec<Colored<EuclidPoint>> {
         .collect()
 }
 
+/// The unit-norm embedding-drift workload ([`BurstOptions::embed_dim`]):
+/// the dataset generator's drifting great-circle clusters, two colors so
+/// the [`burst_config`] caps apply unchanged.
+pub fn embedding_workload(points: usize, dim: usize, seed: u64) -> Vec<Colored<EuclidPoint>> {
+    fairsw_datasets::embedding_drift(
+        points,
+        dim,
+        fairsw_datasets::EmbeddingDriftParams {
+            num_colors: 2,
+            ..fairsw_datasets::EmbeddingDriftParams::default()
+        },
+        seed,
+    )
+    .points
+}
+
+/// Seed of the projection [`run_burst`] requests when
+/// [`BurstOptions::project`] is set — fixed, so repeated runs against a
+/// durable server agree on the matrix.
+pub const PROJECT_SEED: u64 = 0xfa15_c0de;
+
 /// The tenant configuration [`run_burst`] creates: the fixed-lattice
 /// main algorithm with bounds spanning [`workload`]'s scales.
 pub fn burst_config(window: usize) -> TenantConfig {
@@ -310,6 +349,7 @@ struct TenantOutcome {
     retries: u64,
     all_queries_ok: bool,
     query_latencies: Vec<Duration>,
+    stats: Option<WireStats>,
 }
 
 /// Drives `opts.tenants` concurrent tenants through create → batched
@@ -329,14 +369,18 @@ pub fn run_burst(
                 scope.spawn(move || -> Result<TenantOutcome, String> {
                     let tenant = format!("burst-{i}");
                     let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
-                    match c
-                        .create(&tenant, &burst_config(opts.window))
-                        .map_err(|e| e.to_string())?
-                    {
+                    let mut config = burst_config(opts.window);
+                    if let Some((out_dim, sparse)) = opts.project {
+                        config = config.with_projection(out_dim, PROJECT_SEED, sparse);
+                    }
+                    match c.create(&tenant, &config).map_err(|e| e.to_string())? {
                         Reply::Ok => {}
                         other => return Err(format!("{tenant}: create failed: {other:?}")),
                     }
-                    let stream = workload(opts.points, i as u64 * 7919);
+                    let stream = match opts.embed_dim {
+                        Some(dim) => embedding_workload(opts.points, dim, i as u64 * 7919),
+                        None => workload(opts.points, i as u64 * 7919),
+                    };
                     let nchunks = stream.chunks(opts.batch.max(1)).count();
                     // Interim queries every `stride` chunks (client-side
                     // latency samples from mid-burst, under ingest load).
@@ -346,6 +390,7 @@ pub fn run_burst(
                         retries: 0,
                         all_queries_ok: true,
                         query_latencies: Vec::with_capacity(opts.queries + 1),
+                        stats: None,
                     };
                     // Like ingest, a query answered `OVERLOADED` is
                     // back-pressure, not a failure: back off and retry,
@@ -417,6 +462,11 @@ pub fn run_burst(
                         }
                     }
                     timed_query(&mut c, &mut outcome)?;
+                    // Grab the server-side view before the tenant goes
+                    // away — the report surfaces its projection fields.
+                    if let Reply::Stats(s) = c.stats(&tenant).map_err(|e| e.to_string())? {
+                        outcome.stats = Some(s);
+                    }
                     if opts.cleanup {
                         c.delete(&tenant).map_err(|e| e.to_string())?;
                     }
@@ -436,6 +486,11 @@ pub fn run_burst(
         .flat_map(|r| r.query_latencies.iter().copied())
         .collect();
     latencies.sort();
+    let projecting: Vec<&WireStats> = results
+        .iter()
+        .filter_map(|r| r.stats.as_ref())
+        .filter(|s| s.proj_out_dim > 0)
+        .collect();
     Ok(BurstReport {
         points_sent,
         elapsed,
@@ -446,6 +501,13 @@ pub fn run_burst(
         query_p50: percentile(&latencies, 0.50),
         query_p95: percentile(&latencies, 0.95),
         query_p99: percentile(&latencies, 0.99),
+        proj_in_dim: projecting.iter().map(|s| s.proj_in_dim).max().unwrap_or(0),
+        proj_out_dim: projecting.iter().map(|s| s.proj_out_dim).max().unwrap_or(0),
+        proj_ns_per_point: if projecting.is_empty() {
+            0.0
+        } else {
+            projecting.iter().map(|s| s.proj_ns_per_point).sum::<f64>() / projecting.len() as f64
+        },
     })
 }
 

@@ -279,6 +279,28 @@ impl Conn {
         true
     }
 
+    /// Bytes sitting in the frame assembler: complete frames the
+    /// pipeline/write caps postponed, plus any trailing partial frame.
+    pub fn backlog(&self) -> usize {
+        self.assembler.buffered()
+    }
+
+    /// Routes frames already buffered in the assembler once pipeline or
+    /// write-buffer capacity frees up. A burst can land hundreds of
+    /// complete frames in a single readiness wake; `process_frames`
+    /// stops at `max_pipeline`, and because the remaining frames live
+    /// here — not in the kernel socket buffer — a level-triggered poll
+    /// will never re-report the fd. The reactor therefore calls this
+    /// from its pump pass as in-flight replies drain, which is what
+    /// keeps a burst past the cap from stalling forever. Returns
+    /// `false` on framing desync (the connection must be dropped).
+    pub fn drain_backlog(&mut self, router: &Router, cfg: &NetConfig, now: Instant) -> bool {
+        if self.assembler.buffered() == 0 {
+            return true;
+        }
+        self.process_frames(router, cfg, now)
+    }
+
     /// Queues a known reply, preserving request order: straight to the
     /// write queue when nothing earlier is in flight, else behind the
     /// in-flight entries.

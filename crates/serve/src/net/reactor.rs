@@ -245,6 +245,17 @@ impl Reactor {
                 continue;
             };
             progress |= conn.pump(now);
+            // Frames a burst parked in the assembler (read in one wake,
+            // capped by `max_pipeline`) re-enter routing here as the
+            // pipeline drains — no new socket bytes will ever arrive to
+            // make the poller re-report this fd.
+            let backlog_before = conn.backlog();
+            if !conn.drain_backlog(&self.router, &self.cfg, now) {
+                self.drop_conn(slot, false);
+                continue;
+            }
+            let conn = self.conns[slot].as_mut().expect("conn checked above");
+            progress |= conn.backlog() != backlog_before;
             if conn.wants_write() {
                 match conn.flush(now) {
                     Ok(p) => progress |= p,

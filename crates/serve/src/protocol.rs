@@ -443,6 +443,25 @@ impl WireVariant {
     }
 }
 
+/// Per-tenant Johnson–Lindenstrauss ingest projection, as carried in
+/// `CREATE`: every accepted point is projected to `out_dim` coordinates
+/// *before* it reaches the WAL, the ingest buffer, or the engine, so
+/// the tenant's durable state and resident memory shrink with the
+/// dimension. Only the spec travels on the wire — the projection matrix
+/// is rematerialized from the seed on every node (leader, follower,
+/// restart), which keeps recovery bit-identical without serializing
+/// `in_dim × out_dim` floats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireProjection {
+    /// Projected dimensionality (must be > 0).
+    pub out_dim: usize,
+    /// Seed the projection matrix is rematerialized from.
+    pub seed: u64,
+    /// Use the sparse (Achlioptas ±1/0) variant instead of dense
+    /// Gaussian entries.
+    pub sparse: bool,
+}
+
 /// A tenant's engine configuration as sent in `CREATE`: the shared
 /// [`FairSWConfig`](fairsw_core::FairSWConfig) parameters plus a
 /// [`WireVariant`].
@@ -465,6 +484,11 @@ pub struct TenantConfig {
     /// In approx mode, stage coreset views as the compact `f32` mirror
     /// (final radii are still re-ranked in exact `f64`).
     pub compact_mirror: bool,
+    /// Optional JL ingest projection (see [`WireProjection`]). Encoded
+    /// as trailing bytes, so configs without one are byte-identical to
+    /// the previous wire revision and old WAL logs/snapshots replay
+    /// unchanged.
+    pub projection: Option<WireProjection>,
 }
 
 impl TenantConfig {
@@ -478,7 +502,18 @@ impl TenantConfig {
             variant,
             exactness: Exactness::Exact,
             compact_mirror: false,
+            projection: None,
         }
+    }
+
+    /// Attaches a JL ingest projection to the config.
+    pub fn with_projection(mut self, out_dim: usize, seed: u64, sparse: bool) -> Self {
+        self.projection = Some(WireProjection {
+            out_dim,
+            seed,
+            sparse,
+        });
+        self
     }
 
     /// Builds the engine this config describes (validation included).
@@ -540,6 +575,14 @@ impl TenantConfig {
                 put_f64(out, epsilon);
             }
         }
+        // The projection rides as trailing bytes: absent, the encoding
+        // is byte-identical to the pre-projection wire revision.
+        if let Some(proj) = self.projection {
+            check_len("projection dimension", proj.out_dim, u16::MAX as usize)?;
+            out.push(if proj.sparse { 2 } else { 1 });
+            put_u64(out, proj.out_dim as u64);
+            put_u64(out, proj.seed);
+        }
         Ok(())
     }
 
@@ -590,6 +633,33 @@ impl TenantConfig {
                 )))
             }
         };
+        // Trailing projection bytes; their absence (an encoding from the
+        // pre-projection wire revision, e.g. an old WAL log) means no
+        // projection. Every enclosing body is length-delimited with the
+        // config last, so "remaining input" is well-defined here.
+        let projection = if input.is_empty() {
+            None
+        } else {
+            let sparse = match take_u8(input)? {
+                1 => false,
+                2 => true,
+                other => {
+                    return Err(WireError::Invalid(format!(
+                        "unknown projection tag {other}"
+                    )))
+                }
+            };
+            let out_dim = take_u64(input)? as usize;
+            if out_dim == 0 {
+                return Err(WireError::Invalid("projection dimension 0".into()));
+            }
+            let seed = take_u64(input)?;
+            Some(WireProjection {
+                out_dim,
+                seed,
+                sparse,
+            })
+        };
         Ok(TenantConfig {
             window,
             caps,
@@ -598,6 +668,7 @@ impl TenantConfig {
             variant,
             exactness,
             compact_mirror,
+            projection,
         })
     }
 }
@@ -1052,6 +1123,14 @@ pub struct WireStats {
     /// Connections reaped by the idle/header-read timeouts (the
     /// slowloris guard; see [`crate::net`]).
     pub conns_reaped: u64,
+    /// Input dimensionality of the tenant's JL ingest projection (0
+    /// when the tenant does not project, or before its first point).
+    pub proj_in_dim: u64,
+    /// Projected dimensionality (0 when the tenant does not project).
+    pub proj_out_dim: u64,
+    /// Mean projection cost per accepted point, in nanoseconds (0 when
+    /// the tenant does not project).
+    pub proj_ns_per_point: f64,
 }
 
 impl WireStats {
@@ -1075,6 +1154,9 @@ impl WireStats {
         self.conns_open = 0;
         self.conns_accepted = 0;
         self.conns_reaped = 0;
+        // The projection dims are engine state; only the timing is
+        // wall-clock.
+        self.proj_ns_per_point = 0.0;
         self
     }
 
@@ -1112,6 +1194,9 @@ impl WireStats {
         put_u64(out, self.conns_open);
         put_u64(out, self.conns_accepted);
         put_u64(out, self.conns_reaped);
+        put_u64(out, self.proj_in_dim);
+        put_u64(out, self.proj_out_dim);
+        put_f64(out, self.proj_ns_per_point);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -1141,6 +1226,9 @@ impl WireStats {
             conns_open: take_u64(input)?,
             conns_accepted: take_u64(input)?,
             conns_reaped: take_u64(input)?,
+            proj_in_dim: take_u64(input)?,
+            proj_out_dim: take_u64(input)?,
+            proj_ns_per_point: take_f64(input)?,
         })
     }
 }
@@ -1391,6 +1479,9 @@ mod tests {
                 conns_open: 3,
                 conns_accepted: 900,
                 conns_reaped: 12,
+                proj_in_dim: 768,
+                proj_out_dim: 64,
+                proj_ns_per_point: 412.5,
             }),
             Reply::Checkpointed {
                 written: 3,

@@ -52,13 +52,14 @@ use crate::net::conn::NetConfig;
 use crate::net::reactor::{ConnStats, Reactor};
 use crate::net::wake::{wake_pair, Waker};
 use crate::protocol::{
-    valid_tenant_name, write_frame, ErrorKind, Reply, Request, TenantConfig, WireStats,
+    valid_tenant_name, write_frame, ErrorKind, Reply, Request, TenantConfig, WireProjection,
+    WireStats,
 };
 use crate::wal::replicate::{follower_loop, subscription, Subscriber};
 use crate::wal::segment::{encode_batch_body, encode_create_body};
 use crate::wal::{atomic_write, build_tenant, read_log, TenantWal, WalRecord, WalTuning};
 use fairsw_core::{ParallelismSpec, SlidingWindowClustering, WindowEngine};
-use fairsw_metric::{Colored, EuclidPoint, Euclidean, Relaxed};
+use fairsw_metric::{Colored, EuclidPoint, Euclidean, Projectable, Projector, Relaxed};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -255,6 +256,92 @@ fn shard_of(tenant: &str, shards: usize) -> usize {
     (h % shards.max(1) as u64) as usize
 }
 
+/// The shard-side half of a tenant's JL ingest projection: the wire
+/// spec plus the matrix, rematerialized from the seed once the first
+/// point reveals the input dimensionality.
+///
+/// The shard projects accepted points *before* they reach
+/// [`log_accept`], so the WAL, the replication stream, the ingest
+/// buffer, the engine, and every snapshot hold only `out_dim`-sized
+/// payloads. Followers and WAL replay therefore apply already-projected
+/// records verbatim — projection happens exactly once, on the accepting
+/// leader, and recovery is bit-identical by construction.
+struct TenantProjection {
+    spec: WireProjection,
+    projector: Option<Projector>,
+    /// Accumulated projection wall time (ns) and points, for `STATS`.
+    spent_ns: u64,
+    points: u64,
+}
+
+impl TenantProjection {
+    fn new(spec: WireProjection) -> Self {
+        TenantProjection {
+            spec,
+            projector: None,
+            spent_ns: 0,
+            points: 0,
+        }
+    }
+
+    /// Projects a batch in place. The tenant's first-ever point fixes
+    /// the input dimensionality; every later point must match it. The
+    /// whole batch is validated *before* anything is projected (or the
+    /// matrix materialized), preserving the ingest path's all-or-nothing
+    /// contract: a refused batch changes no state.
+    #[allow(clippy::result_large_err)] // Err is the wire `Reply`; cold path
+    fn apply(&mut self, points: &mut [Colored<EuclidPoint>]) -> Result<(), Reply> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        let in_dim = match &self.projector {
+            Some(pr) => pr.in_dim(),
+            None => points[0].point.dim(),
+        };
+        if in_dim == 0 {
+            return Err(Reply::Error(
+                ErrorKind::BadRequest,
+                "cannot project a zero-dimensional point".into(),
+            ));
+        }
+        if let Some(bad) = points.iter().find(|p| p.point.dim() != in_dim) {
+            return Err(Reply::Error(
+                ErrorKind::BadRequest,
+                format!(
+                    "point dimension {} does not match the projection input dimension {in_dim}",
+                    bad.point.dim()
+                ),
+            ));
+        }
+        let projector = self.projector.get_or_insert_with(|| {
+            if self.spec.sparse {
+                Projector::sparse(in_dim, self.spec.out_dim, self.spec.seed)
+            } else {
+                Projector::dense(in_dim, self.spec.out_dim, self.spec.seed)
+            }
+        });
+        let t0 = Instant::now();
+        for p in points.iter_mut() {
+            *p = Colored::new(p.point.project_with(projector), p.color);
+        }
+        self.spent_ns += t0.elapsed().as_nanos() as u64;
+        self.points += points.len() as u64;
+        Ok(())
+    }
+
+    fn in_dim(&self) -> u64 {
+        self.projector.as_ref().map_or(0, |p| p.in_dim() as u64)
+    }
+
+    fn ns_per_point(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.spent_ns as f64 / self.points as f64
+        }
+    }
+}
+
 /// One tenant: its engine plus ingest buffer and service counters.
 struct Tenant {
     engine: WindowEngine<Relaxed<Euclidean>>,
@@ -273,6 +360,8 @@ struct Tenant {
     latencies: Vec<Duration>,
     /// The tenant's write-ahead log (servers started with a WAL dir).
     wal: Option<TenantWal>,
+    /// JL ingest projection (from the config, or a spool header).
+    proj: Option<TenantProjection>,
 }
 
 impl Tenant {
@@ -288,11 +377,12 @@ impl Tenant {
             Some(c) => c.caps.len(),
             // Spool-restored tenants are always the fixed variant; its
             // configuration rode in the snapshot.
-            None => match &engine {
-                WindowEngine::Fixed(e) => e.config().num_colors(),
-                _ => 0,
-            },
+            None => engine.num_colors().unwrap_or(0),
         };
+        let proj = config
+            .as_ref()
+            .and_then(|c| c.projection)
+            .map(TenantProjection::new);
         Tenant {
             engine,
             config,
@@ -303,11 +393,21 @@ impl Tenant {
             created: Instant::now(),
             latencies: Vec::new(),
             wal: None,
+            proj,
         }
     }
 
     fn with_wal(mut self, wal: Option<TenantWal>) -> Self {
         self.wal = wal;
+        self
+    }
+
+    /// Attaches a projection spec recovered from a spool header (the
+    /// config-less restore path).
+    fn with_projection(mut self, spec: Option<WireProjection>) -> Self {
+        if let Some(spec) = spec {
+            self.proj = Some(TenantProjection::new(spec));
+        }
         self
     }
 
@@ -384,7 +484,21 @@ impl Tenant {
             conns_open: 0,
             conns_accepted: 0,
             conns_reaped: 0,
+            proj_in_dim: self.proj.as_ref().map_or(0, TenantProjection::in_dim),
+            proj_out_dim: self.proj.as_ref().map_or(0, |p| p.spec.out_dim as u64),
+            proj_ns_per_point: self
+                .proj
+                .as_ref()
+                .map_or(0.0, TenantProjection::ns_per_point),
         }
+    }
+
+    /// The tenant's spool representation: the engine snapshot, prefixed
+    /// with the projection spec when the tenant projects (see
+    /// [`spool_encode`]).
+    fn spool_bytes(&self) -> Option<Vec<u8>> {
+        let bytes = self.engine.snapshot()?;
+        Some(spool_encode(self.proj.as_ref().map(|p| p.spec), &bytes))
     }
 }
 
@@ -537,7 +651,7 @@ impl Shard {
                 continue;
             }
             t.flush();
-            let Some(bytes) = t.engine.snapshot() else {
+            let Some(bytes) = t.spool_bytes() else {
                 continue;
             };
             match spool_write(&dir, name, &bytes) {
@@ -559,6 +673,15 @@ impl Shard {
                     if let Err(reply) = t.check_colors([&p]) {
                         return reply;
                     }
+                    // Project before the durability step: the WAL and
+                    // every subscriber see the low-dimensional point.
+                    let mut p = [p];
+                    if let Some(proj) = &mut t.proj {
+                        if let Err(reply) = proj.apply(&mut p) {
+                            return reply;
+                        }
+                    }
+                    let [p] = p;
                     // Log before ack: the reply leaves only after the
                     // point is in the WAL (page cache) and on its way
                     // to every subscriber.
@@ -584,6 +707,12 @@ impl Shard {
                     // partially applied batch behind.
                     if let Err(reply) = t.check_colors(&points) {
                         return reply;
+                    }
+                    let mut points = points;
+                    if let Some(proj) = &mut t.proj {
+                        if let Err(reply) = proj.apply(&mut points) {
+                            return reply;
+                        }
                     }
                     if let Err(reply) = log_accept(&mut self.subs, tenant, t, &points) {
                         return reply;
@@ -633,7 +762,7 @@ impl Shard {
                 match self.tenants.get_mut(tenant) {
                     Some(t) => {
                         t.flush();
-                        match t.engine.snapshot() {
+                        match t.spool_bytes() {
                             Some(bytes) => match spool_write(&dir, tenant, &bytes) {
                                 Ok(()) => {
                                     // The snapshot covers the whole log:
@@ -866,7 +995,8 @@ impl Shard {
                 // Persist our own recovery point: snapshot to the
                 // spool, WAL restarted just past it.
                 if let Some(dir) = &self.cfg.spool_dir {
-                    if let Err(e) = spool_write(dir, tenant, &bytes) {
+                    let spool = spool_encode(fresh.proj.as_ref().map(|p| p.spec), &bytes);
+                    if let Err(e) = spool_write(dir, tenant, &spool) {
                         return Err(format!("bootstrap spool write: {e}"));
                     }
                 }
@@ -924,7 +1054,7 @@ impl Shard {
         let (mut written, mut skipped) = (0u32, 0u32);
         for (name, t) in self.tenants.iter_mut() {
             t.flush();
-            match t.engine.snapshot() {
+            match t.spool_bytes() {
                 Some(bytes) => match spool_write(&dir, name, &bytes) {
                     Ok(()) => {
                         written += 1;
@@ -1023,6 +1153,60 @@ fn spool_write(dir: &std::path::Path, tenant: &str, bytes: &[u8]) -> io::Result<
     atomic_write(dir, &format!("{tenant}.{SPOOL_EXT}"), bytes)
 }
 
+/// Magic prefixing the spool snapshot of a *projecting* tenant. The
+/// engine holds already-projected points, so its FSW2 payload carries no
+/// trace of the projection — without the header a spool-only restart
+/// (`--spool` without `--wal`) would come back accepting raw
+/// high-dimensional points unprojected. Non-projecting tenants keep the
+/// bare FSW2 format.
+const SPOOL_PROJ_MAGIC: &[u8; 4] = b"FSWQ";
+
+/// Wraps an engine snapshot in the spool format: a 21-byte projection
+/// header (magic, sparse tag, `out_dim`, seed) when the tenant
+/// projects, the bare snapshot otherwise.
+fn spool_encode(proj: Option<WireProjection>, snapshot: &[u8]) -> Vec<u8> {
+    let Some(spec) = proj else {
+        return snapshot.to_vec();
+    };
+    let mut out = Vec::with_capacity(21 + snapshot.len());
+    out.extend_from_slice(SPOOL_PROJ_MAGIC);
+    out.push(if spec.sparse { 2 } else { 1 });
+    out.extend_from_slice(&(spec.out_dim as u64).to_le_bytes());
+    out.extend_from_slice(&spec.seed.to_le_bytes());
+    out.extend_from_slice(snapshot);
+    out
+}
+
+/// Splits a spool file into its optional projection spec and the FSW2
+/// payload. Headerless files (non-projecting tenants, or spools written
+/// before projections existed) pass through untouched.
+fn spool_decode(bytes: &[u8]) -> Result<(Option<WireProjection>, &[u8]), String> {
+    if !bytes.starts_with(SPOOL_PROJ_MAGIC) {
+        return Ok((None, bytes));
+    }
+    if bytes.len() < 21 {
+        return Err("truncated projection header".into());
+    }
+    let sparse = match bytes[4] {
+        1 => false,
+        2 => true,
+        other => return Err(format!("unknown projection tag {other}")),
+    };
+    let out_dim = u64::from_le_bytes(bytes[5..13].try_into().unwrap()) as usize;
+    if out_dim == 0 {
+        return Err("projection dimension 0".into());
+    }
+    let seed = u64::from_le_bytes(bytes[13..21].try_into().unwrap());
+    Ok((
+        Some(WireProjection {
+            out_dim,
+            seed,
+            sparse,
+        }),
+        &bytes[21..],
+    ))
+}
+
 /// Restores every spooled tenant (`<name>.fsw2`), skipping unreadable
 /// or corrupt files with a note on stderr — a damaged snapshot must not
 /// keep the service down.
@@ -1048,12 +1232,15 @@ fn spool_replay(cfg: &ServeConfig) -> Vec<(String, Tenant)> {
         let restored = std::fs::read(&path)
             .map_err(|e| e.to_string())
             .and_then(|bytes| {
-                WindowEngine::restore(Relaxed::exact(Euclidean), &bytes).map_err(|e| e.to_string())
+                let (proj, payload) = spool_decode(&bytes)?;
+                WindowEngine::restore(Relaxed::exact(Euclidean), payload)
+                    .map(|e| (proj, e))
+                    .map_err(|e| e.to_string())
             });
         match restored {
-            Ok(engine) => {
+            Ok((proj, engine)) => {
                 let engine = engine.with_parallelism(cfg.parallelism);
-                let mut tenant = Tenant::new(engine, None);
+                let mut tenant = Tenant::new(engine, None).with_projection(proj);
                 tenant.points_total = tenant.engine.time();
                 out.push((name, tenant));
             }
@@ -1100,10 +1287,22 @@ fn replay_all(cfg: &ServeConfig) -> Vec<(String, Tenant)> {
         if !valid_tenant_name(&name) {
             continue;
         }
-        let snapshot = cfg
+        let raw_snapshot = cfg
             .spool_dir
             .as_ref()
             .and_then(|d| std::fs::read(d.join(format!("{name}.{SPOOL_EXT}"))).ok());
+        // Peel the spool's projection header: the FSW2 payload goes to
+        // the replay; the spec backstops a log without a Create record.
+        let (spool_proj, snapshot) = match raw_snapshot.as_deref().map(spool_decode).transpose() {
+            Ok(v) => match v {
+                Some((proj, payload)) => (proj, Some(payload)),
+                None => (None, None),
+            },
+            Err(e) => {
+                eprintln!("fairsw-served: skipping tenant {name:?}: spool: {e}");
+                continue;
+            }
+        };
         let tenant_dir = wal_root.join(&name);
         let (records, cut) = match read_log(&tenant_dir) {
             Ok(v) => v,
@@ -1112,7 +1311,7 @@ fn replay_all(cfg: &ServeConfig) -> Vec<(String, Tenant)> {
                 continue;
             }
         };
-        let replayed = match build_tenant(snapshot.as_deref(), &records, cfg.parallelism) {
+        let replayed = match build_tenant(snapshot, &records, cfg.parallelism) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("fairsw-served: skipping tenant {name:?}: {e}");
@@ -1121,7 +1320,11 @@ fn replay_all(cfg: &ServeConfig) -> Vec<(String, Tenant)> {
         };
         match TenantWal::reopen(&tenant_dir, cfg.wal_tuning, cut) {
             Ok(wal) => {
+                let has_config = replayed.config.is_some();
                 let mut tenant = Tenant::new(replayed.engine, replayed.config).with_wal(Some(wal));
+                if !has_config {
+                    tenant = tenant.with_projection(spool_proj);
+                }
                 tenant.points_total = tenant.engine.time();
                 out.push((name, tenant));
             }

@@ -82,6 +82,33 @@ fn stream() -> Vec<Colored<EuclidPoint>> {
         .collect()
 }
 
+/// A high-dimensional embedding stream (unit-norm, drifting clusters,
+/// two colors) for the projecting-tenant lanes. Same length as
+/// [`stream`] so the two can be driven through shared chunk loops.
+fn embedding_stream(dim: usize) -> Vec<Colored<EuclidPoint>> {
+    let params = fairsw_datasets::EmbeddingDriftParams {
+        num_colors: 2,
+        sigma: 0.05,
+        drift: std::f64::consts::TAU / 500.0,
+    };
+    fairsw_datasets::embedding_drift(4 * WINDOW, dim, params, 0xfa15).points
+}
+
+/// A fixed-variant config with a JL ingest projection (unit-norm
+/// embeddings keep pairwise distances in (0, 2]; the guess range covers
+/// the projected stream's distortion envelope comfortably).
+fn projecting_config(out_dim: usize, sparse: bool) -> TenantConfig {
+    TenantConfig::new(
+        WINDOW,
+        vec![2, 1],
+        WireVariant::Fixed {
+            dmin: 1e-4,
+            dmax: 16.0,
+        },
+    )
+    .with_projection(out_dim, 0x9e37_79b9, sparse)
+}
+
 fn variants() -> Vec<(&'static str, TenantConfig)> {
     let base = |variant| TenantConfig::new(WINDOW, vec![2, 1], variant);
     vec![
@@ -118,12 +145,20 @@ fn variants() -> Vec<(&'static str, TenantConfig)> {
     ]
 }
 
-/// Builds the sequential oracle for a tenant config.
+/// Builds the sequential oracle for a tenant config. A projecting
+/// config gets an *engine-level* projection: the server projects on the
+/// shard before the WAL while the oracle projects inside the engine,
+/// and the two must still agree bit-for-bit (same seed, same matrix,
+/// same kernel).
 fn oracle_for(config: &TenantConfig) -> WindowEngine<Relaxed<Euclidean>> {
-    config
+    let engine = config
         .build_engine()
         .expect("valid oracle config")
-        .with_parallelism(ParallelismSpec::Sequential)
+        .with_parallelism(ParallelismSpec::Sequential);
+    match config.projection {
+        Some(p) => engine.with_projection(p.out_dim, p.seed, p.sparse),
+        None => engine,
+    }
 }
 
 /// Byte-level reply comparison (wire bytes carry raw f64 bits, so this
@@ -171,6 +206,13 @@ fn expected_stats(
         conns_open: 0,
         conns_accepted: 0,
         conns_reaped: 0,
+        // Filled from the oracle's engine-level projection when the
+        // tenant projects (the timing field is always blanked).
+        proj_in_dim: oracle
+            .projection()
+            .map_or(0, |p| p.in_dim().unwrap_or(0) as u64),
+        proj_out_dim: oracle.projection().map_or(0, |p| p.out_dim() as u64),
+        proj_ns_per_point: 0.0,
     }
 }
 
@@ -259,6 +301,53 @@ fn every_variant_single_and_batched_matches_the_oracle_bit_for_bit() {
 }
 
 #[test]
+fn projecting_tenants_match_an_engine_level_oracle_bit_for_bit() {
+    let handle = Server::start("127.0.0.1:0", serve_config()).expect("server starts");
+    let addr = handle.local_addr();
+    let points = embedding_stream(48);
+
+    // Dense and sparse projections, single and batched ingest: the
+    // shard projects before the WAL, the oracle projects inside the
+    // engine, and every QUERY/STATS reply must still be byte-identical.
+    std::thread::scope(|scope| {
+        for (name, sparse) in [("dense", false), ("sparse", true)] {
+            let points = &points;
+            let config = projecting_config(6, sparse);
+            let cfg2 = config.clone();
+            let single = format!("proj-{name}-single");
+            let batch = format!("proj-{name}-batched");
+            scope.spawn(move || drive_tenant(addr, &single, &config, points, None));
+            scope.spawn(move || drive_tenant(addr, &batch, &cfg2, points, Some(17)));
+        }
+    });
+
+    // The raw STATS surface the projection dims and a live per-point
+    // timing (the deterministic() comparison above blanks the latter).
+    let mut client = Client::connect(addr).expect("connect");
+    match client.stats("proj-dense-single").expect("stats reply") {
+        Reply::Stats(s) => {
+            assert_eq!(s.proj_in_dim, 48);
+            assert_eq!(s.proj_out_dim, 6);
+            assert!(s.proj_ns_per_point > 0.0, "projection timing must be live");
+        }
+        other => panic!("unexpected stats reply {other:?}"),
+    }
+
+    // A dimension change mid-stream is refused without touching state.
+    let config = projecting_config(6, false);
+    assert_eq!(client.create("proj-dim", &config).unwrap(), Reply::Ok);
+    assert_eq!(
+        client.insert_batch("proj-dim", &points[..3]).unwrap(),
+        Reply::Ok
+    );
+    assert!(matches!(
+        client.insert("proj-dim", &cp(1.0, 0)).unwrap(),
+        Reply::Error(ErrorKind::BadRequest, _)
+    ));
+    handle.shutdown();
+}
+
+#[test]
 fn checkpoint_kill_restart_resumes_bit_identically() {
     let spool = scratch_dir("spool");
     let mk_cfg = || ServeConfig {
@@ -267,6 +356,10 @@ fn checkpoint_kill_restart_resumes_bit_identically() {
     };
     let points = stream();
     let half = points.len() / 2;
+    // A projecting tenant rides along: its spool snapshot must carry
+    // the projection spec so the restart keeps projecting new ingest.
+    let emb = embedding_stream(32);
+    let proj_config = projecting_config(5, true);
 
     // Three fixed tenants (snapshot-capable) with distinct configs plus
     // one oblivious tenant (not snapshot-capable, reported as skipped).
@@ -311,11 +404,16 @@ fn checkpoint_kill_restart_resumes_bit_identically() {
             client.insert_batch("ephemeral", &points[..half]).unwrap(),
             Reply::Ok
         );
-        // Checkpoint-all: 3 snapshots written, the oblivious tenant
+        assert_eq!(client.create("ckpt-proj", &proj_config).unwrap(), Reply::Ok);
+        assert_eq!(
+            client.insert_batch("ckpt-proj", &emb[..half]).unwrap(),
+            Reply::Ok
+        );
+        // Checkpoint-all: 4 snapshots written, the oblivious tenant
         // skipped (no snapshot support).
         match client.checkpoint("").unwrap() {
             Reply::Checkpointed { written, skipped } => {
-                assert_eq!((written, skipped), (3, 1));
+                assert_eq!((written, skipped), (4, 1));
             }
             other => panic!("unexpected checkpoint reply {other:?}"),
         }
@@ -365,6 +463,33 @@ fn checkpoint_kill_restart_resumes_bit_identically() {
         // byte-identical to the recompute above.
         let again = client.query(name).expect("repeat query reply");
         assert_reply_bytes(&format!("{name} cached repeat after restart"), &again, &got);
+    }
+    // The projecting tenant resumes from its spool snapshot (restored
+    // without its config — the spec rode the spool header) and keeps
+    // projecting the second half bit-identically.
+    {
+        let mut oracle = oracle_for(&proj_config);
+        for p in &emb {
+            oracle.insert(p.clone());
+        }
+        assert_eq!(
+            client.insert_batch("ckpt-proj", &emb[half..]).unwrap(),
+            Reply::Ok,
+            "ckpt-proj: resume ingest"
+        );
+        let got = client.query("ckpt-proj").expect("query reply");
+        assert_reply_bytes(
+            "ckpt-proj after restart",
+            &got,
+            &Reply::from_query(&oracle.query()),
+        );
+        match client.stats("ckpt-proj").expect("stats reply") {
+            Reply::Stats(s) => {
+                assert_eq!(s.proj_in_dim, 32, "restored spec must keep projecting");
+                assert_eq!(s.proj_out_dim, 5);
+            }
+            other => panic!("unexpected stats reply {other:?}"),
+        }
     }
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&spool);
@@ -533,8 +658,11 @@ fn wal_args(dir: &Path) -> Vec<String> {
 }
 
 /// One snapshot-capable tenant (compaction folds its WAL into the
-/// spool) and one oblivious tenant (the WAL is its only durability).
-fn wal_tenants() -> Vec<(&'static str, TenantConfig)> {
+/// spool), one oblivious tenant (the WAL is its only durability), and
+/// one projecting tenant (its WAL and snapshots hold projected points;
+/// recovery must keep projecting). Every tenant carries its own stream
+/// of identical length, so the ingest loops chunk by index.
+fn wal_tenants() -> Vec<(&'static str, TenantConfig, Vec<Colored<EuclidPoint>>)> {
     vec![
         (
             "wal-fixed",
@@ -546,10 +674,17 @@ fn wal_tenants() -> Vec<(&'static str, TenantConfig)> {
                     dmax: DMAX,
                 },
             ),
+            stream(),
         ),
         (
             "wal-obliv",
             TenantConfig::new(WINDOW, vec![2, 1], WireVariant::Oblivious),
+            stream(),
+        ),
+        (
+            "wal-proj",
+            projecting_config(4, false),
+            embedding_stream(24),
         ),
     ]
 }
@@ -599,12 +734,12 @@ fn verify_recovered_tenant(
         &got,
         &Reply::from_query(&oracle.query()),
     );
-    check_stats(
-        &format!("{tenant} durable prefix"),
-        client,
-        tenant,
-        expected_stats(&oracle, config.variant.code(), durable as u64),
-    );
+    // A recovered server holds only already-projected WAL records, so it
+    // rediscovers the projection input dimension from the next raw
+    // insert; until then STATS report it as 0.
+    let mut want = expected_stats(&oracle, config.variant.code(), durable as u64);
+    want.proj_in_dim = 0;
+    check_stats(&format!("{tenant} durable prefix"), client, tenant, want);
     // Resume the stream where the durable prefix ends.
     assert_eq!(
         client.insert_batch(tenant, &points[durable..]).unwrap(),
@@ -620,6 +755,13 @@ fn verify_recovered_tenant(
         &got,
         &Reply::from_query(&oracle.query()),
     );
+    // The resumed raw inserts re-materialize the projector, so the
+    // input dimension is live again (unless nothing was left to send).
+    let mut want = expected_stats(&oracle, config.variant.code(), points.len() as u64);
+    if durable == points.len() {
+        want.proj_in_dim = 0;
+    }
+    check_stats(&format!("{tenant} resumed"), client, tenant, want);
     // No write intervened, so the repeat is served from the survivor's
     // result cache — and must still be byte-identical to the recompute.
     let again = client.query(tenant).expect("repeat query reply");
@@ -631,21 +773,25 @@ fn wal_kill_nine_mid_ingest_loses_at_most_one_unsynced_batch() {
     const BATCH: usize = 7; // misaligned with the flush threshold of 16
     let dir = scratch_dir("wal-kill");
     let (child, addr) = spawn_served(&dir, &wal_args(&dir));
-    let points = stream();
     let tenants = wal_tenants();
+    let len = tenants[0].2.len();
 
     let mut client = Client::connect(addr).expect("connect");
-    for (name, config) in &tenants {
+    for (name, config, _) in &tenants {
         assert_eq!(client.create(name, config).unwrap(), Reply::Ok);
     }
     // Warm up a few guaranteed batches, then check the STATS durability
     // fields are live on a WAL-backed leader.
     let mut acked = vec![0usize; tenants.len()];
     let warmup = 3;
-    for chunk in points.chunks(BATCH).take(warmup) {
-        for (i, (name, _)) in tenants.iter().enumerate() {
-            assert_eq!(client.insert_batch(name, chunk).unwrap(), Reply::Ok);
-            acked[i] += chunk.len();
+    for start in (0..len).step_by(BATCH).take(warmup) {
+        let end = (start + BATCH).min(len);
+        for (i, (name, _, pts)) in tenants.iter().enumerate() {
+            assert_eq!(
+                client.insert_batch(name, &pts[start..end]).unwrap(),
+                Reply::Ok
+            );
+            acked[i] += end - start;
         }
     }
     match client.stats("wal-obliv").unwrap() {
@@ -670,10 +816,11 @@ fn wal_kill_nine_mid_ingest_loses_at_most_one_unsynced_batch() {
         child.kill().expect("SIGKILL fairsw-served");
         child.wait().expect("reap fairsw-served");
     });
-    'ingest: for chunk in points.chunks(BATCH).skip(warmup) {
-        for (i, (name, _)) in tenants.iter().enumerate() {
-            match client.insert_batch(name, chunk) {
-                Ok(Reply::Ok) => acked[i] += chunk.len(),
+    'ingest: for start in (0..len).step_by(BATCH).skip(warmup) {
+        let end = (start + BATCH).min(len);
+        for (i, (name, _, pts)) in tenants.iter().enumerate() {
+            match client.insert_batch(name, &pts[start..end]) {
+                Ok(Reply::Ok) => acked[i] += end - start,
                 Ok(other) => panic!("unexpected ingest reply {other:?}"),
                 // The kill landed: whatever was acked is the contract.
                 Err(_) => break 'ingest,
@@ -697,8 +844,8 @@ fn wal_kill_nine_mid_ingest_loses_at_most_one_unsynced_batch() {
     };
     let handle = Server::start("127.0.0.1:0", cfg).expect("server restarts from WAL");
     let mut client = Client::connect(handle.local_addr()).expect("connect");
-    for (i, (name, config)) in tenants.iter().enumerate() {
-        verify_recovered_tenant(&mut client, name, config, &points, acked[i], BATCH);
+    for (i, (name, config, pts)) in tenants.iter().enumerate() {
+        verify_recovered_tenant(&mut client, name, config, pts, acked[i], BATCH);
     }
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
@@ -710,23 +857,27 @@ fn leader_kill_follower_promote_resumes_bit_identically() {
     let dir = scratch_dir("failover");
     let (mut leader, leader_addr) =
         spawn_served(&dir.join("leader"), &wal_args(&dir.join("leader")));
-    let points = stream();
     let tenants = wal_tenants();
-    let two_thirds = 2 * points.len() / 3;
+    let len = tenants[0].2.len();
+    let two_thirds = 2 * len / 3;
 
     // Phase 1: the leader takes the first two thirds alone — the
     // standby's bootstrap must carry all of it (snapshot for the fixed
-    // tenant, full log replay for the oblivious one).
+    // and projecting tenants, full log replay for the oblivious one).
     let mut client = Client::connect(leader_addr).expect("connect leader");
-    for (name, config) in &tenants {
+    for (name, config, _) in &tenants {
         assert_eq!(client.create(name, config).unwrap(), Reply::Ok);
     }
     let mut sent = 0usize;
-    for chunk in points[..two_thirds].chunks(BATCH) {
-        for (name, _) in &tenants {
-            assert_eq!(client.insert_batch(name, chunk).unwrap(), Reply::Ok);
+    for start in (0..two_thirds).step_by(BATCH) {
+        let end = (start + BATCH).min(two_thirds);
+        for (name, _, pts) in &tenants {
+            assert_eq!(
+                client.insert_batch(name, &pts[start..end]).unwrap(),
+                Reply::Ok
+            );
         }
-        sent += chunk.len();
+        sent += end - start;
     }
 
     // Phase 2: hot standby comes up, bootstraps, and follows.
@@ -745,7 +896,7 @@ fn leader_kill_follower_promote_resumes_bit_identically() {
     let mut fclient = Client::connect(follower.local_addr()).expect("connect follower");
     let caught_up = |fclient: &mut Client, target: usize| {
         let deadline = Instant::now() + Duration::from_secs(30);
-        for (name, _) in &tenants {
+        for (name, _, _) in &tenants {
             loop {
                 match fclient.stats(name) {
                     Ok(Reply::Stats(s)) if s.points_total >= target as u64 => break,
@@ -764,17 +915,23 @@ fn leader_kill_follower_promote_resumes_bit_identically() {
     caught_up(&mut fclient, sent);
     // A follower refuses writes until promoted.
     assert!(matches!(
-        fclient.insert_batch("wal-fixed", &points[..1]).unwrap(),
+        fclient
+            .insert_batch("wal-fixed", &tenants[0].2[..1])
+            .unwrap(),
         Reply::Error(ErrorKind::ReadOnly, _)
     ));
 
     // Phase 3: live tail — more leader ingest streams through the
     // subscription, not the bootstrap.
-    for chunk in points[two_thirds..].chunks(BATCH).take(3) {
-        for (name, _) in &tenants {
-            assert_eq!(client.insert_batch(name, chunk).unwrap(), Reply::Ok);
+    for start in (two_thirds..len).step_by(BATCH).take(3) {
+        let end = (start + BATCH).min(len);
+        for (name, _, pts) in &tenants {
+            assert_eq!(
+                client.insert_batch(name, &pts[start..end]).unwrap(),
+                Reply::Ok
+            );
         }
-        sent += chunk.len();
+        sent += end - start;
     }
     caught_up(&mut fclient, sent);
 
@@ -789,8 +946,8 @@ fn leader_kill_follower_promote_resumes_bit_identically() {
         fclient.promote().unwrap(),
         Reply::Error(ErrorKind::Unsupported, _)
     ));
-    for (name, config) in &tenants {
-        verify_recovered_tenant(&mut fclient, name, config, &points, sent, BATCH);
+    for (name, config, pts) in &tenants {
+        verify_recovered_tenant(&mut fclient, name, config, pts, sent, BATCH);
     }
     follower.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,5 +1,9 @@
-//! Throwaway review repro: pipeline > max_pipeline requests in one
-//! burst; the tail beyond the cap should still be answered.
+//! Regression test for the pipeline-cap stall: a single burst of more
+//! requests than `max_pipeline` lands every frame in the connection's
+//! assembler in one readiness wake, so once the in-flight cap is hit
+//! the remainder can only be routed by the reactor's backlog drain —
+//! a level-triggered poll never re-reports a socket with no new bytes.
+//! Every request past the cap must still be answered, in order.
 
 use fairsw_serve::{Reply, Request, ServeConfig, Server, TenantConfig, WireVariant};
 use std::io::{Read, Write};
@@ -59,7 +63,10 @@ fn burst_beyond_pipeline_cap_gets_all_replies() {
     }
     stream.write_all(&batch).unwrap();
 
-    assert!(matches!(read_reply(&mut stream).unwrap(), Reply::Ok), "create");
+    assert!(
+        matches!(read_reply(&mut stream).unwrap(), Reply::Ok),
+        "create"
+    );
     for i in 0..N {
         match read_reply(&mut stream) {
             Ok(Reply::Ok) => {}

@@ -11,6 +11,9 @@
 //!
 //! OPTIONS:
 //!   --input PATH        CSV file (default: built-in demo stream)
+//!   --embeddings DIM    replace the input with the synthetic
+//!                       embedding-drift stream (unit-norm vectors in
+//!                       DIM dimensions, 3x window points)
 //!   --window N          window length (default 10000)
 //!   --caps a,b,c        per-color budgets k_i (default: 2 per color seen)
 //!   --delta F           coreset precision δ in (0,4] (default 1.0)
@@ -32,6 +35,14 @@
 //!   --compact-mirror    with --approx: stage candidate scans as the
 //!                       compact f32 mirror (half the staged bytes);
 //!                       final radii are re-ranked in exact f64
+//!   --project DIM       JL-project every point to DIM dimensions at
+//!                       ingest (scale estimation, clustering, memory
+//!                       and snapshots all live in the projected space)
+//!   --project-seed S    seed of the projection matrix (default
+//!                       0xfa15c0de); the matrix is rematerialized from
+//!                       the seed, never stored
+//!   --project-sparse    use the sparse Achlioptas ±1/0 matrix instead
+//!                       of the dense Gaussian one
 //!   --snapshot-out PATH write an FSW2 snapshot after the stream ends
 //!                       (fixed variant only — the default when no
 //!                       variant flag is given)
@@ -51,7 +62,7 @@ use fairsw::core::{
 use fairsw::datasets::read_csv_points;
 use fairsw::metric::{
     sampled_extremes, Angular, Chebyshev, Colored, EuclidPoint, Euclidean, Exactness, Manhattan,
-    Metric, Relaxed,
+    Metric, Projector, Relaxed,
 };
 use fairsw_core::FairSWConfig;
 use std::path::PathBuf;
@@ -95,6 +106,7 @@ impl MetricChoice {
 #[derive(Debug)]
 struct Args {
     input: Option<PathBuf>,
+    embeddings: Option<usize>,
     window: usize,
     caps: Option<Vec<usize>>,
     delta: f64,
@@ -107,14 +119,22 @@ struct Args {
     threads: Option<usize>,
     approx: Option<f64>,
     compact_mirror: bool,
+    project: Option<usize>,
+    project_seed: u64,
+    project_sparse: bool,
     snapshot_out: Option<PathBuf>,
     snapshot_in: Option<PathBuf>,
     quiet: bool,
 }
 
+/// Default `--project-seed`: arbitrary but fixed, so two runs (or a run
+/// and its snapshot resume) agree without spelling the seed out.
+const DEFAULT_PROJECT_SEED: u64 = 0xfa15_c0de;
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         input: None,
+        embeddings: None,
         window: 10_000,
         caps: None,
         delta: 1.0,
@@ -127,6 +147,9 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         approx: None,
         compact_mirror: false,
+        project: None,
+        project_seed: DEFAULT_PROJECT_SEED,
+        project_sparse: false,
         snapshot_out: None,
         snapshot_in: None,
         quiet: false,
@@ -136,6 +159,15 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--input" => args.input = Some(PathBuf::from(value("--input")?)),
+            "--embeddings" => {
+                let dim: usize = value("--embeddings")?
+                    .parse()
+                    .map_err(|e| format!("--embeddings: {e}"))?;
+                if dim < 4 {
+                    return Err("--embeddings: dimension must be at least 4".into());
+                }
+                args.embeddings = Some(dim);
+            }
             "--window" => {
                 args.window = value("--window")?
                     .parse()
@@ -190,6 +222,21 @@ fn parse_args() -> Result<Args, String> {
                 args.approx = Some(eps);
             }
             "--compact-mirror" => args.compact_mirror = true,
+            "--project" => {
+                let dim: usize = value("--project")?
+                    .parse()
+                    .map_err(|e| format!("--project: {e}"))?;
+                if dim == 0 {
+                    return Err("--project: dimension must be positive".into());
+                }
+                args.project = Some(dim);
+            }
+            "--project-seed" => {
+                args.project_seed = value("--project-seed")?
+                    .parse()
+                    .map_err(|e| format!("--project-seed: {e}"))?
+            }
+            "--project-sparse" => args.project_sparse = true,
             "--snapshot-out" => args.snapshot_out = Some(PathBuf::from(value("--snapshot-out")?)),
             "--snapshot-in" => args.snapshot_in = Some(PathBuf::from(value("--snapshot-in")?)),
             "--quiet" => args.quiet = true,
@@ -211,6 +258,9 @@ USAGE:
 
 OPTIONS:
   --input PATH     CSV file: x_1,...,x_d,color per line (default: demo)
+  --embeddings DIM replace the input with the synthetic embedding-drift
+                   stream: unit-norm vectors in DIM dimensions drifting
+                   along great circles, 3x window points
   --window N       window length (default 10000)
   --caps a,b,c     per-color budgets (default: 2 per color present)
   --delta F        coreset precision in (0,4] (default 1.0)
@@ -229,6 +279,15 @@ OPTIONS:
                    FAIRSW_SIMD={auto,force,off}
   --compact-mirror with --approx: stage candidate scans as the compact
                    f32 mirror; final radii re-rank in exact f64
+  --project DIM    JL-project every point to DIM dimensions at ingest:
+                   scale estimation, clustering, memory and snapshots
+                   all live in the projected space (distances are
+                   preserved within the JL (1±ε) envelope)
+  --project-seed S projection-matrix seed, decimal (default 4195729630
+                   = 0xfa15c0de); the matrix rematerializes from the
+                   seed and is never stored
+  --project-sparse sparse Achlioptas ±1/0 matrix instead of dense
+                   Gaussian (cheaper to apply, same guarantee)
   --snapshot-out PATH  write an FSW2 snapshot after the stream ends
                    (fixed variant only, the default variant); the same
                    format fairsw-served spools on CHECKPOINT
@@ -288,9 +347,22 @@ fn variant_for<M: Metric<Point = EuclidPoint>>(
 fn run() -> Result<(), String> {
     let args = parse_args()?;
 
-    let points = match &args.input {
-        Some(path) => read_csv_points(path).map_err(|e| format!("reading input: {e}"))?,
-        None => {
+    if args.input.is_some() && args.embeddings.is_some() {
+        return Err("--input and --embeddings are mutually exclusive".into());
+    }
+    let points = match (&args.input, args.embeddings) {
+        (Some(path), _) => read_csv_points(path).map_err(|e| format!("reading input: {e}"))?,
+        (None, Some(dim)) => {
+            let data = fairsw::datasets::embedding_drift(
+                args.window * 3,
+                dim,
+                fairsw::datasets::EmbeddingDriftParams::default(),
+                DEFAULT_PROJECT_SEED,
+            );
+            eprintln!("generated {} ({} points)", data.name, data.points.len());
+            data.points
+        }
+        (None, None) => {
             eprintln!("no --input given: running on a built-in demo stream");
             demo_stream(args.window * 3)
         }
@@ -366,6 +438,13 @@ where
                         .into(),
                 );
             }
+            if args.project.is_some() {
+                return Err(
+                    "--snapshot-in conflicts with --project: a snapshot carries its own \
+                     projection (seed and dimensions) and restores it automatically"
+                        .into(),
+                );
+            }
             let bytes = std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
             let engine = WindowEngine::restore(metric, &bytes)
                 .map_err(|e| format!("restoring {path:?}: {e}"))?
@@ -395,10 +474,38 @@ where
                 .delta(args.delta)
                 .build()
                 .map_err(|e| format!("configuration: {e}"))?;
-            let spec = variant_for(&metric, args, points)?;
-            WindowEngine::build(cfg, spec, metric)
+            // The engine clusters projected payloads, so when --project
+            // is on the scale estimation must sample distances in the
+            // projected space — dmin/dmax under the raw dimensionality
+            // would mis-seed the guess lattice.
+            let spec = match args.project {
+                Some(out_dim) => {
+                    let in_dim = points[0].point.dim();
+                    if in_dim == 0 {
+                        return Err("--project: input points are zero-dimensional".into());
+                    }
+                    let projector = if args.project_sparse {
+                        Projector::sparse(in_dim, out_dim, args.project_seed)
+                    } else {
+                        Projector::dense(in_dim, out_dim, args.project_seed)
+                    };
+                    let projected: Vec<Colored<EuclidPoint>> = points
+                        .iter()
+                        .map(|p| projector.project_colored(p))
+                        .collect();
+                    variant_for(&metric, args, &projected)?
+                }
+                None => variant_for(&metric, args, points)?,
+            };
+            let engine = WindowEngine::build(cfg, spec, metric)
                 .map_err(|e| format!("configuration: {e}"))?
-                .with_parallelism(par)
+                .with_parallelism(par);
+            match args.project {
+                Some(out_dim) => {
+                    engine.with_projection(out_dim, args.project_seed, args.project_sparse)
+                }
+                None => engine,
+            }
         }
     };
     eprintln!(
@@ -408,6 +515,14 @@ where
         engine.threads(),
         if engine.threads() == 1 { "" } else { "s" }
     );
+    if let Some(proj) = engine.projection() {
+        eprintln!(
+            "projection: {} JL to {} dims (seed {:#x})",
+            if proj.sparse() { "sparse" } else { "dense" },
+            proj.out_dim(),
+            proj.seed(),
+        );
+    }
 
     let cadence = args.query_every.unwrap_or(args.window).max(1);
     let t0 = Instant::now();
